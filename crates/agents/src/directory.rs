@@ -1,0 +1,214 @@
+//! The platform registry: name → mailbox routing and service-type lookup.
+//!
+//! This is the substrate-level equivalent of Jade's AMS/DF.  The paper's
+//! *information service* — where core and end-user services register
+//! their offerings — is a core service implemented *on top of* this
+//! registry in `gridflow-services`; the directory here only provides
+//! transport-level routing.
+
+use crate::error::{AgentError, Result};
+use crate::message::AclMessage;
+use crossbeam_channel::Sender;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Control messages delivered to an agent thread.
+#[derive(Debug, Clone)]
+pub enum Control {
+    /// Deliver an ACL message.
+    Deliver(AclMessage),
+    /// Stop the agent thread.
+    Stop,
+}
+
+/// Registration record of one agent.
+#[derive(Clone)]
+pub struct AgentInfo {
+    /// Unique agent name.
+    pub name: String,
+    /// Service type exposed by the agent (e.g. `"planning"`).
+    pub service_type: String,
+    /// Mailbox sender.
+    pub mailbox: Sender<Control>,
+}
+
+impl std::fmt::Debug for AgentInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AgentInfo")
+            .field("name", &self.name)
+            .field("service_type", &self.service_type)
+            .finish()
+    }
+}
+
+/// Thread-safe agent registry.
+#[derive(Debug, Default, Clone)]
+pub struct Directory {
+    inner: Arc<RwLock<BTreeMap<String, AgentInfo>>>,
+}
+
+impl Directory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an agent; names must be unique.
+    pub fn register(&self, info: AgentInfo) -> Result<()> {
+        let mut map = self.inner.write();
+        if map.contains_key(&info.name) {
+            return Err(AgentError::DuplicateAgent(info.name));
+        }
+        map.insert(info.name.clone(), info);
+        Ok(())
+    }
+
+    /// Remove an agent's registration.
+    pub fn deregister(&self, name: &str) -> Result<AgentInfo> {
+        self.inner
+            .write()
+            .remove(name)
+            .ok_or_else(|| AgentError::UnknownAgent(name.to_owned()))
+    }
+
+    /// Look up an agent by name.
+    pub fn lookup(&self, name: &str) -> Result<AgentInfo> {
+        self.inner
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| AgentError::UnknownAgent(name.to_owned()))
+    }
+
+    /// All agents exposing the given service type, in name order.
+    pub fn find_by_type(&self, service_type: &str) -> Vec<AgentInfo> {
+        self.inner
+            .read()
+            .values()
+            .filter(|a| a.service_type == service_type)
+            .cloned()
+            .collect()
+    }
+
+    /// Names of all registered agents, in order.
+    pub fn names(&self) -> Vec<String> {
+        self.inner.read().keys().cloned().collect()
+    }
+
+    /// Number of registered agents.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Is the directory empty?
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Route a message to its receiver's mailbox.
+    pub fn deliver(&self, msg: AclMessage) -> Result<()> {
+        let info = self.lookup(&msg.receiver)?;
+        info.mailbox
+            .send(Control::Deliver(msg))
+            .map_err(|_| AgentError::MailboxClosed(info.name.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Performative;
+    use crossbeam_channel::unbounded;
+    use serde_json::json;
+
+    fn info(name: &str, service_type: &str) -> (AgentInfo, crossbeam_channel::Receiver<Control>) {
+        let (tx, rx) = unbounded();
+        (
+            AgentInfo {
+                name: name.into(),
+                service_type: service_type.into(),
+                mailbox: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn register_lookup_deregister() {
+        let dir = Directory::new();
+        let (a, _rx) = info("planner-1", "planning");
+        dir.register(a).unwrap();
+        assert_eq!(dir.len(), 1);
+        assert_eq!(dir.lookup("planner-1").unwrap().service_type, "planning");
+        dir.deregister("planner-1").unwrap();
+        assert!(dir.is_empty());
+        assert!(matches!(
+            dir.lookup("planner-1"),
+            Err(AgentError::UnknownAgent(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let dir = Directory::new();
+        let (a, _rxa) = info("x", "t");
+        let (b, _rxb) = info("x", "t");
+        dir.register(a).unwrap();
+        assert!(matches!(
+            dir.register(b),
+            Err(AgentError::DuplicateAgent(_))
+        ));
+    }
+
+    #[test]
+    fn find_by_type_filters() {
+        let dir = Directory::new();
+        let (a, _r1) = info("broker-1", "brokerage");
+        let (b, _r2) = info("broker-2", "brokerage");
+        let (c, _r3) = info("planner-1", "planning");
+        dir.register(a).unwrap();
+        dir.register(b).unwrap();
+        dir.register(c).unwrap();
+        let brokers = dir.find_by_type("brokerage");
+        assert_eq!(brokers.len(), 2);
+        assert_eq!(brokers[0].name, "broker-1");
+        assert!(dir.find_by_type("nothing").is_empty());
+    }
+
+    #[test]
+    fn deliver_routes_to_mailbox() {
+        let dir = Directory::new();
+        let (a, rx) = info("target", "t");
+        dir.register(a).unwrap();
+        let msg = AclMessage::new(Performative::Inform, "src", "target", "t", json!(1));
+        dir.deliver(msg.clone()).unwrap();
+        match rx.try_recv().unwrap() {
+            Control::Deliver(got) => assert_eq!(got, msg),
+            other => panic!("expected Deliver, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deliver_to_unknown_fails() {
+        let dir = Directory::new();
+        let msg = AclMessage::new(Performative::Inform, "src", "ghost", "t", json!(1));
+        assert!(matches!(
+            dir.deliver(msg),
+            Err(AgentError::UnknownAgent(_))
+        ));
+    }
+
+    #[test]
+    fn deliver_to_closed_mailbox_fails() {
+        let dir = Directory::new();
+        let (a, rx) = info("gone", "t");
+        dir.register(a).unwrap();
+        drop(rx);
+        let msg = AclMessage::new(Performative::Inform, "src", "gone", "t", json!(1));
+        assert!(matches!(
+            dir.deliver(msg),
+            Err(AgentError::MailboxClosed(_))
+        ));
+    }
+}

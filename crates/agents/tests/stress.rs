@@ -1,0 +1,169 @@
+//! Concurrency stress tests for the agent runtime: correlation under
+//! interleaving, multi-client contention, and chained synchronous
+//! conversations.
+
+use gridflow_agents::{Agent, AgentContext, AclMessage, AgentRuntime, Performative};
+use serde_json::json;
+use std::time::Duration;
+
+/// Echoes requests with their own content (plus which worker answered).
+struct Worker {
+    name: String,
+}
+
+impl Agent for Worker {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+    fn service_type(&self) -> String {
+        "worker".into()
+    }
+    fn handle(&mut self, msg: AclMessage, ctx: &AgentContext) {
+        if msg.performative == Performative::Request {
+            let mut body = msg.content.clone();
+            body["worker"] = json!(self.name);
+            ctx.reply(&msg, Performative::Inform, body).expect("reply");
+        }
+    }
+}
+
+/// Forwards to a worker synchronously (request_and_wait inside handle),
+/// then relays — a two-hop synchronous conversation like Fig. 3's.
+struct Gateway;
+
+impl Agent for Gateway {
+    fn name(&self) -> String {
+        "gateway".into()
+    }
+    fn service_type(&self) -> String {
+        "gateway".into()
+    }
+    fn handle(&mut self, msg: AclMessage, ctx: &AgentContext) {
+        if msg.performative != Performative::Request {
+            return;
+        }
+        let target = msg.content["target"].as_str().unwrap_or("worker-0").to_owned();
+        match ctx.request_and_wait(
+            target,
+            "t",
+            msg.content.clone(),
+            Duration::from_secs(5),
+        ) {
+            Ok(reply) => {
+                let _ = ctx.reply(&msg, Performative::Inform, reply.content);
+            }
+            Err(e) => {
+                let _ = ctx.reply(
+                    &msg,
+                    Performative::Failure,
+                    json!({"reason": e.to_string()}),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn hundreds_of_interleaved_requests_correlate() {
+    let mut rt = AgentRuntime::new();
+    for i in 0..4 {
+        rt.spawn(Worker {
+            name: format!("worker-{i}"),
+        })
+        .unwrap();
+    }
+    let client = rt.client("stress").unwrap();
+    // Fire 200 requests round-robin, then collect all replies in reverse.
+    let mut ids = Vec::new();
+    for n in 0..200u32 {
+        let target = format!("worker-{}", n % 4);
+        let id = client
+            .send(&target, Performative::Request, "t", json!({"n": n}))
+            .unwrap();
+        ids.push((id, target, n));
+    }
+    for (id, target, n) in ids.into_iter().rev() {
+        let reply = client
+            .wait_reply(id, &target, Duration::from_secs(10))
+            .unwrap();
+        assert_eq!(reply.content["n"], json!(n), "correlation broke");
+        assert_eq!(reply.content["worker"], json!(target));
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn many_clients_share_the_runtime() {
+    let mut rt = AgentRuntime::new();
+    rt.spawn(Worker {
+        name: "worker-0".into(),
+    })
+    .unwrap();
+    let clients: Vec<_> = (0..8).map(|_| rt.client("multi").unwrap()).collect();
+    // Drive the clients from threads to create real contention.
+    std::thread::scope(|scope| {
+        for (ci, client) in clients.iter().enumerate() {
+            scope.spawn(move || {
+                for n in 0..25u32 {
+                    let reply = client
+                        .request(
+                            "worker-0",
+                            "t",
+                            json!({"ci": ci, "n": n}),
+                            Duration::from_secs(10),
+                        )
+                        .expect("reply");
+                    assert_eq!(reply.content["ci"], json!(ci));
+                    assert_eq!(reply.content["n"], json!(n));
+                }
+            });
+        }
+    });
+    rt.shutdown();
+}
+
+#[test]
+fn chained_synchronous_conversations_under_load() {
+    let mut rt = AgentRuntime::new();
+    for i in 0..2 {
+        rt.spawn(Worker {
+            name: format!("worker-{i}"),
+        })
+        .unwrap();
+    }
+    rt.spawn(Gateway).unwrap();
+    let client = rt.client("chain").unwrap();
+    for n in 0..50u32 {
+        let target = format!("worker-{}", n % 2);
+        let reply = client
+            .request(
+                "gateway",
+                "t",
+                json!({"n": n, "target": target}),
+                Duration::from_secs(10),
+            )
+            .unwrap();
+        assert_eq!(reply.content["n"], json!(n));
+        assert_eq!(reply.content["worker"], json!(target));
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn gateway_reports_downstream_timeouts_as_failures() {
+    let mut rt = AgentRuntime::new();
+    rt.spawn(Gateway).unwrap();
+    let client = rt.client("t").unwrap();
+    // Target that doesn't exist: the gateway's forward fails fast and the
+    // client sees a Failure (surfaced as Refused).
+    let err = client
+        .request(
+            "gateway",
+            "t",
+            json!({"target": "ghost"}),
+            Duration::from_secs(5),
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("refused"), "{err}");
+    rt.shutdown();
+}

@@ -1,0 +1,106 @@
+//! Criterion bench **A7**: coordination-service enactment throughput as
+//! the workflow grows in width (Fork fan-out) and depth (sequential
+//! chain length), plus the Fig. 10 reference workflow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridflow::casestudy;
+use gridflow::prelude::*;
+use gridflow_grid::container::ApplicationContainer;
+use gridflow_grid::resource::{Resource, ResourceKind};
+use gridflow_grid::GridTopology;
+
+/// A permissive world hosting services s0..s15 with no preconditions.
+fn wide_world() -> GridWorld {
+    let names: Vec<String> = (0..16).map(|i| format!("s{i}")).collect();
+    let resources: Vec<Resource> = (0..4)
+        .map(|i| {
+            Resource::new(format!("r{i}"), ResourceKind::PcCluster)
+                .with_nodes(32)
+                .with_software(names.clone())
+        })
+        .collect();
+    let containers: Vec<ApplicationContainer> = (0..4)
+        .map(|i| ApplicationContainer::new(format!("ac{i}"), format!("r{i}")).hosting(names.clone()))
+        .collect();
+    let mut world = GridWorld::new(GridTopology {
+        resources,
+        containers,
+    });
+    for n in &names {
+        world.offer(ServiceOffering::new(
+            n.clone(),
+            Vec::<String>::new(),
+            vec![OutputSpec::plain(format!("{n}-out"))],
+        ));
+    }
+    world
+}
+
+fn chain_graph(depth: usize) -> ProcessGraph {
+    let body: String = (0..depth).map(|i| format!("s{}; ", i % 16)).collect();
+    lower("chain", &parse_process(&format!("BEGIN {body} END")).unwrap()).unwrap()
+}
+
+fn fork_graph(width: usize) -> ProcessGraph {
+    let branches: Vec<String> = (0..width).map(|i| format!("{{ s{}; }}", i % 16)).collect();
+    let src = format!("BEGIN FORK {{ {} }} JOIN; END", branches.join(", "));
+    lower("fork", &parse_process(&src).unwrap()).unwrap()
+}
+
+fn bench_enactment(c: &mut Criterion) {
+    let case = CaseDescription::new("bench").with_data("D1", DataItem::classified("seed"));
+    let mut group = c.benchmark_group("enactment");
+    group.sample_size(20);
+
+    for depth in [4usize, 16, 64] {
+        let graph = chain_graph(depth);
+        group.bench_with_input(BenchmarkId::new("chain_depth", depth), &graph, |b, graph| {
+            b.iter(|| {
+                let mut world = wide_world();
+                let report = Enactor::default().enact(&mut world, graph, &case);
+                assert!(report.success);
+                std::hint::black_box(report.executions.len())
+            });
+        });
+    }
+    for width in [2usize, 8, 16] {
+        let graph = fork_graph(width);
+        group.bench_with_input(BenchmarkId::new("fork_width", width), &graph, |b, graph| {
+            b.iter(|| {
+                let mut world = wide_world();
+                let report = Enactor::default().enact(&mut world, graph, &case);
+                assert!(report.success);
+                std::hint::black_box(report.executions.len())
+            });
+        });
+    }
+    // The reference workflow (3 refinement iterations).
+    let graph = casestudy::process_description();
+    let case10 = casestudy::case_description();
+    group.bench_function("figure10_full", |b| {
+        b.iter(|| {
+            let mut world = casestudy::virtual_lab_world(0, 1);
+            let report = Enactor::default().enact(&mut world, &graph, &case10);
+            assert!(report.success);
+            std::hint::black_box(report.executions.len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    // A7 companion: the simulation service's fault-free prediction.
+    let graph = casestudy::process_description();
+    let case = casestudy::case_description();
+    let world = casestudy::virtual_lab_world(0, 1);
+    c.bench_function("prediction/figure10", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                gridflow_services::simulation::predict(&world, &graph, &case, 100_000).unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_enactment, bench_prediction);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion bench **A9**: matchmaking latency vs. grid size, with and
+//! without conditions, plus brokerage refresh cost — the "equivalence
+//! classes" bookkeeping of §1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridflow::casestudy;
+use gridflow::prelude::*;
+use gridflow_services::brokerage::BrokerageService;
+
+fn world_of(sites: usize) -> GridWorld {
+    casestudy::virtual_lab_world(sites, 42)
+}
+
+fn bench_matchmaking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matchmaking");
+    for sites in [10usize, 100, 1000] {
+        let world = world_of(sites);
+        group.bench_with_input(
+            BenchmarkId::new("unconstrained", sites),
+            &world,
+            |b, world| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        matchmake(world, &MatchRequest::for_service("P3DR")).unwrap().len(),
+                    )
+                })
+            },
+        );
+        let strict = MatchRequest {
+            require_fine_grain: true,
+            min_reliability: 0.9,
+            deadline_s: Some(1e6),
+            budget: Some(1e9),
+            ..MatchRequest::for_service("P3DR")
+        };
+        group.bench_with_input(
+            BenchmarkId::new("all_conditions", sites),
+            &world,
+            |b, world| {
+                b.iter(|| std::hint::black_box(matchmake(world, &strict).map(|m| m.len())))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_brokerage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("brokerage");
+    for sites in [10usize, 100, 1000] {
+        let world = world_of(sites);
+        group.bench_with_input(BenchmarkId::new("refresh", sites), &world, |b, world| {
+            b.iter(|| {
+                let mut broker = BrokerageService::new();
+                broker.refresh(world);
+                std::hint::black_box(broker.equivalence_classes().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_market(c: &mut Criterion) {
+    let world = world_of(100);
+    c.bench_function("market/acquire_release", |b| {
+        b.iter(|| {
+            let mut market = gridflow_grid::SpotMarket::new(world.topology.resources.iter().cloned());
+            let (id, price) = market.acquire(4, f64::INFINITY, |_| true).unwrap();
+            market.release(&id, 4).unwrap();
+            std::hint::black_box(price)
+        })
+    });
+}
+
+criterion_group!(benches, bench_matchmaking, bench_brokerage, bench_market);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion bench **A10**: knowledge-base throughput — instance
+//! insertion (with facet validation), queries, full-KB validation, and
+//! JSON round-trips, vs. instance count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridflow_ontology::{schema, Instance, KnowledgeBase, Query, SlotCond, Value};
+
+fn populated(n: usize) -> KnowledgeBase {
+    let mut kb = schema::grid_ontology_shell();
+    for i in 0..n {
+        kb.add_instance(
+            Instance::new(format!("D{i}"), schema::classes::DATA)
+                .with("Name", Value::str(format!("item-{i}")))
+                .with("Size", Value::Int((i as i64 % 100) * 1000))
+                .with(
+                    "Classification",
+                    Value::str(if i % 3 == 0 { "3D Model" } else { "2D Image" }),
+                ),
+        )
+        .expect("valid");
+    }
+    kb
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ontology_insert");
+    for n in [100usize, 1000] {
+        group.bench_with_input(BenchmarkId::new("validated_inserts", n), &n, |b, &n| {
+            b.iter(|| std::hint::black_box(populated(n).instance_count()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ontology_query");
+    for n in [100usize, 1000, 10_000] {
+        let kb = populated(n);
+        let query = Query::And(vec![
+            Query::cond(SlotCond::Eq(
+                "Classification".into(),
+                Value::str("3D Model"),
+            )),
+            Query::cond(SlotCond::Gt("Size".into(), Value::Int(50_000))),
+        ]);
+        group.bench_with_input(BenchmarkId::new("conjunctive", n), &kb, |b, kb| {
+            b.iter(|| std::hint::black_box(query.run(kb, Some(schema::classes::DATA)).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_validate_and_serde(c: &mut Criterion) {
+    let kb = populated(1000);
+    c.bench_function("ontology/validate_all_1000", |b| {
+        b.iter(|| std::hint::black_box(kb.validate_all().len()))
+    });
+    c.bench_function("ontology/json_round_trip_1000", |b| {
+        b.iter(|| {
+            let json = kb.to_json().unwrap();
+            std::hint::black_box(KnowledgeBase::from_json(&json).unwrap().instance_count())
+        })
+    });
+}
+
+criterion_group!(benches, bench_insert, bench_query, bench_validate_and_serde);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion micro-benches for the representation pipeline: parsing,
+//! printing, lowering (AST→graph), structure recovery (graph→AST), and
+//! ATN stepping on the Fig. 10 workflow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gridflow::casestudy;
+use gridflow::prelude::*;
+
+fn figure_10_text() -> String {
+    printer::print(&recover(&casestudy::process_description()).unwrap())
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let text = figure_10_text();
+    let ast = parse_process(&text).unwrap();
+    let graph = casestudy::process_description();
+
+    c.bench_function("representations/parse_fig10", |b| {
+        b.iter(|| std::hint::black_box(parse_process(&text).unwrap().node_count()))
+    });
+    c.bench_function("representations/print_fig10", |b| {
+        b.iter(|| std::hint::black_box(printer::print(&ast).len()))
+    });
+    c.bench_function("representations/lower_fig10", |b| {
+        b.iter(|| std::hint::black_box(lower("bench", &ast).unwrap().transitions().len()))
+    });
+    c.bench_function("representations/recover_fig10", |b| {
+        b.iter(|| std::hint::black_box(recover(&graph).unwrap().node_count()))
+    });
+    c.bench_function("representations/tree_conversions_fig11", |b| {
+        b.iter(|| {
+            let tree = ast_to_tree(&ast);
+            std::hint::black_box(tree_to_ast(&tree).node_count())
+        })
+    });
+}
+
+fn bench_atn(c: &mut Criterion) {
+    // Drive the Fig. 10 token game to completion (flow-control only cost;
+    // activity "execution" is a no-op data update here).
+    let graph = casestudy::process_description();
+    let case = casestudy::case_description();
+    c.bench_function("atn/fig10_token_game", |b| {
+        b.iter(|| {
+            let mut machine = AtnMachine::new(&graph).unwrap();
+            let mut state = case.initial_data.clone();
+            let mut psf_runs = 0u32;
+            machine.start(&state).unwrap();
+            while let Some(id) = machine.ready().first().cloned() {
+                machine.begin_activity(&id).unwrap();
+                if id == "PSF" {
+                    state.insert(
+                        "D12",
+                        DataItem::classified("Resolution File").with(
+                            "Value",
+                            Value::Float(
+                                casestudy::INITIAL_RESOLUTION
+                                    - casestudy::RESOLUTION_STEP * psf_runs as f64,
+                            ),
+                        ),
+                    );
+                    psf_runs += 1;
+                }
+                machine.complete_activity(&id, &state).unwrap();
+            }
+            assert!(machine.is_finished());
+            std::hint::black_box(machine.total_executions())
+        })
+    });
+}
+
+fn bench_simulation_engine(c: &mut Criterion) {
+    c.bench_function("sim_engine/10k_events", |b| {
+        b.iter(|| {
+            let mut sim = gridflow_grid::SimEngine::new();
+            sim.schedule_at(0, 0u32);
+            let n = sim.run(10_000, |_, gen, engine| {
+                engine.schedule_in(1 + (gen as u64 % 7), gen + 1);
+            });
+            std::hint::black_box(n)
+        })
+    });
+}
+
+criterion_group!(benches, bench_pipeline, bench_atn, bench_simulation_engine);
+criterion_main!(benches);

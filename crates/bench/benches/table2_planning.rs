@@ -1,0 +1,50 @@
+//! Criterion bench for the Table 2 workload: one full GP planning run on
+//! the virus case-study problem, at several population sizes (the §5
+//! configuration is pop = 200).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gridflow::casestudy;
+use gridflow_planner::prelude::*;
+
+fn bench_gp_run(c: &mut Criterion) {
+    let problem = casestudy::planning_problem();
+    let mut group = c.benchmark_group("table2_planning");
+    group.sample_size(10);
+    for population in [50usize, 100, 200] {
+        group.bench_with_input(
+            BenchmarkId::new("gp_run", population),
+            &population,
+            |b, &population| {
+                let config = GpConfig {
+                    population_size: population,
+                    seed: 1,
+                    ..GpConfig::default()
+                };
+                b.iter(|| {
+                    let result = GpPlanner::new(config, problem.clone()).run();
+                    std::hint::black_box(result.best_fitness.overall)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fitness_evaluation(c: &mut Criterion) {
+    let problem = casestudy::planning_problem();
+    let tree = casestudy::plan_tree();
+    c.bench_function("fitness/figure11_tree", |b| {
+        b.iter(|| {
+            std::hint::black_box(gridflow_planner::evaluate(
+                &tree,
+                &problem,
+                40,
+                FitnessWeights::default(),
+                64,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_gp_run, bench_fitness_evaluation);
+criterion_main!(benches);

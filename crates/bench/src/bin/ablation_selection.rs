@@ -1,0 +1,86 @@
+//! **Ablation A6 — selection pressure.**  §3.4.5 uses binary tournament
+//! selection; sweep the tournament size (1 = no selection pressure,
+//! pure drift) and watch convergence respond.
+
+use gridflow::casestudy;
+use gridflow::experiments::table2_on;
+use gridflow_bench::{banner, bar, render_table};
+use gridflow_planner::prelude::GpConfig;
+
+fn main() {
+    banner("Ablation A6: tournament size (selection pressure)");
+    let problem = casestudy::planning_problem();
+    let runs = 10;
+    let base = GpConfig {
+        seed: 19,
+        ..GpConfig::default()
+    };
+    let mut rows = Vec::new();
+    for size in [1usize, 2, 4, 8, 16] {
+        let cfg = GpConfig {
+            tournament_size: size,
+            ..base
+        };
+        let result = table2_on(&problem, cfg, runs);
+        let solved = result
+            .runs
+            .iter()
+            .filter(|r| r.fitness.is_perfect())
+            .count();
+        let marker = if size == 2 { "← paper (§3.4.5)" } else { "" };
+        rows.push(vec![
+            format!("{size}"),
+            format!("{solved}/{runs}"),
+            bar(solved as f64, runs as f64, 10),
+            format!("{:.3}", result.avg_fitness),
+            format!("{:.1}", result.avg_size),
+            marker.to_owned(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["tournament", "solved", "", "avg fitness", "avg size", ""],
+            &rows
+        )
+    );
+
+    // Companion sweep: elitism on top of binary tournaments.  The
+    // paper's procedure has none; elitism makes the best-of-generation
+    // fitness monotone (the engine test asserts this) at a mild
+    // diversity cost.
+    println!("elitism (with binary tournaments):\n");
+    let mut rows = Vec::new();
+    for elites in [0usize, 1, 4, 16] {
+        let cfg = GpConfig {
+            elitism: elites,
+            ..base
+        };
+        let result = table2_on(&problem, cfg, runs);
+        let solved = result
+            .runs
+            .iter()
+            .filter(|r| r.fitness.is_perfect())
+            .count();
+        let marker = if elites == 0 { "← paper (§3.4.6)" } else { "" };
+        rows.push(vec![
+            format!("{elites}"),
+            format!("{solved}/{runs}"),
+            bar(solved as f64, runs as f64, 10),
+            format!("{:.3}", result.avg_fitness),
+            format!("{:.1}", result.avg_size),
+            marker.to_owned(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["elites", "solved", "", "avg fitness", "avg size", ""],
+            &rows
+        )
+    );
+    println!("expected shape: size 1 is random drift (rarely solves);");
+    println!("binary tournaments already solve reliably; very large");
+    println!("tournaments over-exploit; a little elitism never hurts on");
+    println!("this landscape and pins the best plan in place.");
+}

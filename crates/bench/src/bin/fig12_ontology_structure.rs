@@ -1,0 +1,50 @@
+//! Regenerate **Figure 12**: "Logic view of the ontology structure used
+//! by the framework" — every class with its slots, plus the reference
+//! links between classes.
+
+use gridflow_bench::{banner, render_table};
+use gridflow_ontology::schema::grid_ontology_shell;
+use gridflow_ontology::ValueType;
+
+fn main() {
+    banner("Figure 12: the grid ontology structure");
+    let kb = grid_ontology_shell();
+    for class in kb.classes() {
+        println!("┌─ {} — {}", class.name, class.doc);
+        let rows: Vec<Vec<String>> = kb
+            .effective_slots(&class.name)
+            .expect("class exists")
+            .iter()
+            .map(|s| {
+                let kind = match (&s.facets.value_type, &s.facets.ref_class) {
+                    (ValueType::Ref, Some(target)) => format!("→ {target}"),
+                    (vt, _) => vt.to_string(),
+                };
+                let card = match s.facets.cardinality {
+                    gridflow_ontology::Cardinality::Single => "1",
+                    gridflow_ontology::Cardinality::Multiple => "*",
+                };
+                vec![
+                    s.name.clone(),
+                    kind,
+                    card.to_owned(),
+                    if s.facets.required { "required" } else { "" }.to_owned(),
+                ]
+            })
+            .collect();
+        let table = render_table(&["slot", "type", "card", ""], &rows);
+        for line in table.lines() {
+            println!("│  {line}");
+        }
+        println!("└─");
+    }
+
+    println!("\nreference links between classes (the figure's arrows):");
+    for class in kb.classes() {
+        for slot in kb.effective_slots(&class.name).expect("exists") {
+            if let Some(target) = &slot.facets.ref_class {
+                println!("  {} ─({})→ {}", class.name, slot.name, target);
+            }
+        }
+    }
+}

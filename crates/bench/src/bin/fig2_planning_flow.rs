@@ -1,0 +1,60 @@
+//! Regenerate **Figure 2**: "The interactions between the planning
+//! service and the coordination service" — drive a planning-task
+//! specification through the coordination agent and print the message
+//! exchange.
+
+use gridflow::casestudy;
+use gridflow::prelude::*;
+use gridflow_bench::banner;
+use gridflow_services::agents::GRIDFLOW_ONTOLOGY;
+use gridflow_services::planning::PlanRequest;
+use serde_json::json;
+use std::time::Duration;
+
+fn main() {
+    banner("Figure 2: planning-request message flow");
+    let world = share(casestudy::virtual_lab_world(0, 2));
+    let mut rt = AgentRuntime::new();
+    let gp = GpConfig {
+        seed: 2,
+        ..GpConfig::default()
+    };
+    let stack = boot_stack(
+        &mut rt,
+        world,
+        PlanningService::new(gp),
+        EnactmentConfig::default(),
+    )
+    .expect("stack boots");
+
+    let problem = casestudy::planning_problem();
+    let request = PlanRequest {
+        initial: problem.initial,
+        goals: problem.goals,
+        produced: vec![],
+        excluded: vec![],
+    };
+
+    println!("user-interface        → coordination-1 : planning task specification");
+    println!("  (S_init = D1..D7 classifications, G = {{Resolution File ≥ 1}})");
+    println!("coordination-1        → planning-1     : 1. Planning task specification");
+    let reply = stack
+        .client
+        .request(
+            &stack.coordination,
+            GRIDFLOW_ONTOLOGY,
+            json!({"action": "plan_request", "request": request}),
+            Duration::from_secs(300),
+        )
+        .expect("plan flows back");
+    println!("planning-1            → coordination-1 : 2. plan");
+    println!("coordination-1        → user-interface : plan relayed\n");
+
+    println!(
+        "viable: {}   fitness: {}",
+        reply.content["viable"], reply.content["fitness"]["overall"]
+    );
+    println!("\nthe plan, as a process description:\n");
+    println!("{}", reply.content["process_text"].as_str().unwrap());
+    rt.shutdown();
+}

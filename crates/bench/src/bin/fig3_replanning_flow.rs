@@ -1,0 +1,82 @@
+//! Regenerate **Figure 3**: "The flow of communications between the
+//! planning service and other services during re-planning" — kill a
+//! service's hosts, send a re-planning request, and print the probe
+//! trace (information → brokerage → application containers).
+
+use gridflow::casestudy;
+use gridflow::prelude::*;
+use gridflow_bench::banner;
+use gridflow_services::agents::GRIDFLOW_ONTOLOGY;
+use gridflow_services::planning::PlanRequest;
+use serde_json::json;
+use std::time::Duration;
+
+fn main() {
+    banner("Figure 3: re-planning message flow");
+    let world = share(casestudy::virtual_lab_world(0, 3));
+    // The orientation-refinement hosts die (POR is optional for the
+    // minimal plan, so re-planning can still succeed).
+    {
+        let mut w = world.write();
+        for c in w.hosting_containers("POR") {
+            w.set_container_up(&c, false).expect("known container");
+            println!("✗ {c} (hosting POR) goes down");
+        }
+    }
+    let mut rt = AgentRuntime::new();
+    let gp = GpConfig {
+        seed: 3,
+        ..GpConfig::default()
+    };
+    let stack = boot_stack(
+        &mut rt,
+        world,
+        PlanningService::new(gp),
+        EnactmentConfig::default(),
+    )
+    .expect("stack boots");
+    stack
+        .client
+        .request(
+            &stack.brokerage,
+            GRIDFLOW_ONTOLOGY,
+            json!({"action": "refresh"}),
+            Duration::from_secs(5),
+        )
+        .expect("broker refresh");
+
+    let problem = casestudy::planning_problem();
+    let request = PlanRequest {
+        initial: problem.initial,
+        goals: problem.goals,
+        produced: vec![],
+        excluded: vec![],
+    };
+    println!("\ncoordination          → planning-1     : 1. planning task + non-executable activities [POR, PSF]");
+    let reply = stack
+        .client
+        .request(
+            &stack.planning,
+            GRIDFLOW_ONTOLOGY,
+            json!({
+                "action": "replan",
+                "request": request,
+                "nonexecutable": ["POR", "PSF"],
+            }),
+            Duration::from_secs(300),
+        )
+        .expect("replan replies");
+
+    println!("\nprobe trace (steps 2–7 of the figure):");
+    let trace: Vec<String> =
+        serde_json::from_value(reply.content["probe_trace"].clone()).expect("trace");
+    for (i, line) in trace.iter().enumerate() {
+        println!("  {}. {line}", i + 2);
+    }
+    let excluded: Vec<String> =
+        serde_json::from_value(reply.content["excluded"].clone()).expect("excluded");
+    println!("\nexcluded after probing: {excluded:?}");
+    println!("planning-1            → coordination   : 8. a new plan (viable = {})", reply.content["viable"]);
+    println!("\nthe new plan:\n\n{}", reply.content["process_text"].as_str().unwrap());
+    rt.shutdown();
+}

@@ -1,0 +1,70 @@
+//! Regenerate **Figure 9**: "An example of mutation performed on a plan
+//! tree" — a node is selected and its subtree is replaced by a randomly
+//! generated tree.
+
+use gridflow::prelude::*;
+use gridflow_bench::banner;
+use gridflow_planner::genetic::mutate;
+use rand::SeedableRng;
+
+fn t(name: &str) -> PlanNode {
+    PlanNode::terminal(name)
+}
+
+fn print_tree(node: &PlanNode, depth: usize) {
+    let pad = "  ".repeat(depth);
+    match node {
+        PlanNode::Terminal(name) => println!("{pad}{name}"),
+        PlanNode::Sequential(c) => {
+            println!("{pad}Sequential");
+            c.iter().for_each(|n| print_tree(n, depth + 1));
+        }
+        PlanNode::Concurrent(c) => {
+            println!("{pad}Concurrent");
+            c.iter().for_each(|n| print_tree(n, depth + 1));
+        }
+        PlanNode::Selective(c) => {
+            println!("{pad}Selective");
+            c.iter().for_each(|(_, n)| print_tree(n, depth + 1));
+        }
+        PlanNode::Iterative { body, .. } => {
+            println!("{pad}Iterative");
+            body.iter().for_each(|n| print_tree(n, depth + 1));
+        }
+    }
+}
+
+fn main() {
+    banner("Figure 9: mutation on a plan tree");
+    // Fig. 9(a): Sequential(A, Selective(B, C), D).
+    let original = PlanNode::Sequential(vec![
+        t("A"),
+        PlanNode::selective_unguarded([t("B"), t("C")]),
+        t("D"),
+    ]);
+    println!("(a) original tree (size {}):", original.size());
+    print_tree(&original, 1);
+
+    let activities: Vec<String> = ["E", "F", "G"].iter().map(|s| s.to_string()).collect();
+    // Find a seed where mutation replaces an interior subtree (as the
+    // figure shows the Selective being replaced).
+    let mut chosen = None;
+    for seed in 0..500u64 {
+        let mut tree = original.clone();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let applied = mutate(&mut tree, &mut rng, 0.25, 40, 8, &activities);
+        if applied >= 1 && tree.controller_counts().2 == 0 && tree != original {
+            chosen = Some((seed, applied, tree));
+            break;
+        }
+    }
+    let (seed, applied, mutated) = chosen.expect("a selective-replacing mutation exists");
+    println!(
+        "\n(b) after mutation (seed {seed}, {applied} node(s) mutated, size {}):",
+        mutated.size()
+    );
+    print_tree(&mutated, 1);
+    println!("\nthe Selective subtree was replaced by a randomly generated tree,");
+    println!("mirroring the figure; the size cap S_max = 40 was respected: {}", mutated.size() <= 40);
+    assert!(mutated.is_gp_valid());
+}

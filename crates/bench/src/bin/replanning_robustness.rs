@@ -1,0 +1,88 @@
+//! **Ablation A8 — enactment robustness vs. failure probability.**
+//! Sweep the per-execution failure rate of the grid and compare three
+//! coordination policies on the Fig. 10 workflow: no retries, retries
+//! only, retries + re-planning (§3.3).
+
+use gridflow::casestudy;
+use gridflow::prelude::*;
+use gridflow_bench::{banner, bar, render_table};
+use gridflow_grid::failure::FailureModel;
+
+fn run_policy(
+    failure_prob: f64,
+    max_candidates: usize,
+    replan: bool,
+    trials: u64,
+    seed: u64,
+) -> (usize, f64) {
+    let mut successes = 0;
+    let mut replans_total = 0usize;
+    for trial in 0..trials {
+        let mut world = casestudy::virtual_lab_world(0, 5);
+        world.failure = if failure_prob == 0.0 {
+            FailureModel::none()
+        } else {
+            FailureModel::new(seed * 1000 + trial, failure_prob)
+        };
+        // Failures are transient here: the service instance crashes but
+        // the container survives (persistent failures are covered by the
+        // Fig. 3 flow).
+        world.failures_are_persistent = false;
+        let config = EnactmentConfig {
+            max_candidates,
+            replan,
+            planning_goals: casestudy::planning_problem().goals,
+            wrap_replans_with_constraint: Some("Cons1".into()),
+            gp: GpConfig {
+                population_size: 100,
+                generations: 15,
+                seed: seed * 7 + trial,
+                ..GpConfig::default()
+            },
+            ..EnactmentConfig::default()
+        };
+        let report = Enactor::new(config).enact(
+            &mut world,
+            &casestudy::process_description(),
+            &casestudy::case_description(),
+        );
+        if report.success {
+            successes += 1;
+        }
+        replans_total += report.replans;
+    }
+    (successes, replans_total as f64 / trials as f64)
+}
+
+fn main() {
+    banner("Ablation A8: enactment success vs. failure probability");
+    let trials = 20u64;
+    let mut rows = Vec::new();
+    for &p in &[0.0, 0.05, 0.1, 0.2, 0.3, 0.5] {
+        let (no_retry, _) = run_policy(p, 1, false, trials, 1);
+        let (retry, _) = run_policy(p, 3, false, trials, 2);
+        let (retry_replan, avg_replans) = run_policy(p, 3, true, trials, 3);
+        rows.push(vec![
+            format!("{p:.2}"),
+            format!("{no_retry}/{trials} {}", bar(no_retry as f64, trials as f64, 10)),
+            format!("{retry}/{trials} {}", bar(retry as f64, trials as f64, 10)),
+            format!(
+                "{retry_replan}/{trials} {} (avg {avg_replans:.1} replans)",
+                bar(retry_replan as f64, trials as f64, 10)
+            ),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["p(fail)", "no retry", "retry×3", "retry×3 + re-planning"],
+            &rows
+        )
+    );
+    println!("observed shape: success collapses without retries as the");
+    println!("~17-execution workflow compounds per-step failure; retries");
+    println!("absorb moderate failure rates; at high rates re-planning");
+    println!("dominates — when every candidate of an activity fails, a fresh");
+    println!("plan (with the refinement loop re-attached) restarts the chase");
+    println!("with the data produced so far credited to S_init.");
+}

@@ -1,0 +1,66 @@
+//! Supplementary study via the simulation service: "Simulation services
+//! are necessary to study the scalability of the system" (§2).  Predict
+//! the Fig. 10 enactment across grid sizes and workflow widths without
+//! touching the live world.
+
+use gridflow::casestudy;
+use gridflow::prelude::*;
+use gridflow_bench::{banner, render_table};
+use gridflow_services::simulation::predict;
+
+fn main() {
+    banner("Supplementary: scalability study through the simulation service");
+    let case = casestudy::case_description();
+    let graph = casestudy::process_description();
+
+    // --- Grid size: does a bigger grid speed the reference workflow? ---
+    println!("Fig. 10 prediction vs. grid size:\n");
+    let mut rows = Vec::new();
+    for extra in [0usize, 4, 16, 64] {
+        let world = casestudy::virtual_lab_world(extra, 33);
+        let p = predict(&world, &graph, &case, 100_000).expect("predicts");
+        rows.push(vec![
+            format!("{}", 5 + extra),
+            format!("{}", p.executions),
+            format!("{:.1}s", p.makespan_s),
+            format!("{:.2}", p.total_cost),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["sites", "executions", "makespan", "cost"], &rows)
+    );
+
+    // --- Workflow width: reconstruction fan-out 2..32 streams ----------
+    println!("prediction vs. reconstruction fan-out (P3DR streams per pass):\n");
+    let world = casestudy::virtual_lab_world(8, 33);
+    let mut rows = Vec::new();
+    for width in [2usize, 4, 8, 16, 32] {
+        let branches: Vec<String> = (0..width).map(|_| "{ P3DR; }".to_owned()).collect();
+        let src = format!(
+            "BEGIN POD; P3DR; FORK {{ {} }} JOIN; PSF; END",
+            branches.join(", ")
+        );
+        let g = lower("wide", &parse_process(&src).unwrap()).unwrap();
+        let p = predict(&world, &g, &case, 100_000).expect("predicts");
+        rows.push(vec![
+            format!("{width}"),
+            format!("{}", p.executions),
+            format!("{:.1}s", p.makespan_s),
+            format!("{:.2}", p.total_cost),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["streams", "executions", "makespan", "cost"], &rows)
+    );
+    println!("observed shape: extra sites barely move the Fig. 10 makespan —");
+    println!("its critical path (POD → P3DR → 3 iterations of POR/P3DR/PSF)");
+    println!("has little parallel slack, so grid growth mostly shops for");
+    println!("cheaper/faster hosts (see the cost column).  The fan-out sweep");
+    println!("shows the prediction model's contract plainly: it is fault-free");
+    println!("AND contention-free, so widening the fork grows cost linearly");
+    println!("while the makespan stays at the slowest single branch — the");
+    println!("lower bound a real enactment approaches only with unbounded");
+    println!("capacity (the serial Enactor gives the matching upper bound).");
+}

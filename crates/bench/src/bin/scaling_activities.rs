@@ -1,0 +1,70 @@
+//! **Ablation A5 — planner scalability vs. |T|.**  Grow the activity
+//! catalog with distractor services and measure solve rate and wall
+//! time — the search-space growth the paper's heterogeneous grid
+//! implies.
+
+use gridflow::casestudy;
+use gridflow::experiments::table2_on;
+use gridflow_bench::{banner, bar, render_table};
+use gridflow_planner::prelude::*;
+use std::time::Instant;
+
+fn problem_with_distractors(extra: usize) -> PlanningProblem {
+    let mut problem = casestudy::planning_problem();
+    for i in 0..extra {
+        // Chained distractors: plausible but goal-irrelevant.
+        let input = if i == 0 {
+            "2D Image".to_owned()
+        } else {
+            format!("Noise-{}", i - 1)
+        };
+        problem.activities.push(ActivitySpec::new(
+            format!("distractor-{i}"),
+            [input],
+            [format!("Noise-{i}")],
+        ));
+    }
+    problem
+}
+
+fn main() {
+    banner("Ablation A5: planner scalability vs. catalog size |T|");
+    let runs = 8;
+    let base = GpConfig {
+        seed: 23,
+        ..GpConfig::default()
+    };
+    let mut rows = Vec::new();
+    for extra in [0usize, 2, 4, 8, 16, 32] {
+        let problem = problem_with_distractors(extra);
+        let start = Instant::now();
+        let result = table2_on(&problem, base, runs);
+        let elapsed = start.elapsed().as_secs_f64();
+        let solved = result
+            .runs
+            .iter()
+            .filter(|r| r.fitness.is_perfect())
+            .count();
+        rows.push(vec![
+            format!("{}", 4 + extra),
+            format!("{solved}/{runs}"),
+            bar(solved as f64, runs as f64, 10),
+            format!("{:.3}", result.avg_fitness),
+            format!("{:.1}", result.avg_size),
+            format!("{:.2}s", elapsed),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["|T|", "solved", "", "avg fitness", "avg size", "time (8 runs)"],
+            &rows
+        )
+    );
+    println!("observed shape: the Table-1 budget (pop 200 / 20 generations) is");
+    println!("tuned to the paper's |T| = 4; distractors dilute the goal-reaching");
+    println!("genetic material quickly, and past |T| ≈ 12 the search collapses");
+    println!("into the small-valid-plan local optimum (w_v + w_r reward tiny");
+    println!("always-valid plans).  Larger budgets or restarts recover — see");
+    println!("ablation_population and the best-of-3 pattern in the tests.");
+}

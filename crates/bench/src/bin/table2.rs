@@ -1,0 +1,54 @@
+//! Regenerate **Table 2**: "We test the algorithm ten times and select
+//! the individual with the highest fitness in the final generation as
+//! the solution.  Then we calculate the average fitness, validity
+//! fitness, goal fitness, and the size of solutions over ten runs."
+//!
+//! Run with `--release`; ten full Table-1-sized GP runs take a little
+//! while in debug builds.
+
+use gridflow::experiments;
+use gridflow_bench::{banner, render_table};
+use gridflow_planner::prelude::GpConfig;
+
+fn main() {
+    banner("Table 2: ten-run planning study on the virus case study");
+    let config = GpConfig {
+        seed: 1,
+        ..experiments::table1_config()
+    };
+    let result = experiments::table2(config, 10);
+
+    println!("per-run best solutions:");
+    let rows: Vec<Vec<String>> = result
+        .runs
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            vec![
+                format!("{}", i + 1),
+                format!("{}", r.seed),
+                format!("{:.3}", r.fitness.overall),
+                format!("{:.2}", r.fitness.validity),
+                format!("{:.2}", r.fitness.goal),
+                format!("{}", r.fitness.size),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["run", "seed", "fitness", "f_v", "f_g", "size"], &rows)
+    );
+
+    println!("{result}");
+    println!("paper reports (Table 2):");
+    println!("{:<28} {:>8}", "Average Fitness", "0.928");
+    println!("{:<28} {:>8}", "Average Validity Fitness", "1.0");
+    println!("{:<28} {:>8}", "Average Goal Fitness", "1.0");
+    println!("{:<28} {:>8}", "Average Size of solutions", "9.7");
+    println!();
+    println!(
+        "shape check: every run perfect = {}, avg fitness in (0.9, 1.0) = {}",
+        result.all_perfect(),
+        result.avg_fitness > 0.9 && result.avg_fitness < 1.0
+    );
+}

@@ -1,0 +1,111 @@
+//! Shared helpers for the GridFlow benchmark harness: plain-text table
+//! rendering for the table/figure regeneration binaries and the ablation
+//! sweeps.
+//!
+//! Regeneration binaries (`cargo run -p gridflow-bench --release --bin <name>`):
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `table1` | Table 1 (GP parameter settings) |
+//! | `table2` | Table 2 (ten-run planning study) |
+//! | `fig1_architecture` | Fig. 1 (core/end-user service architecture) |
+//! | `fig2_planning_flow` | Fig. 2 (planning request message flow) |
+//! | `fig3_replanning_flow` | Fig. 3 (re-planning probe message flow) |
+//! | `fig4to7_conversions` | Figs. 4–7 (process ⇄ plan-tree conversions) |
+//! | `fig8_crossover` | Fig. 8 (crossover example) |
+//! | `fig9_mutation` | Fig. 9 (mutation example) |
+//! | `fig10_process_description` | Fig. 10 (virus workflow) |
+//! | `fig11_plan_tree` | Fig. 11 (its plan tree) |
+//! | `fig12_ontology_structure` | Fig. 12 (ontology classes/slots) |
+//! | `fig13_ontology_instances` | Fig. 13 (ontology instances) |
+//! | `ablation_smax`, `ablation_population`, `ablation_operators`, `ablation_weights`, `ablation_selection` | design-choice sweeps (A1–A4, A6) |
+//! | `scaling_activities` | planner scalability vs. catalog size (A5) |
+//! | `replanning_robustness` | enactment success vs. failure probability (A8) |
+//!
+//! Criterion benches (`cargo bench -p gridflow-bench`): `table2_planning`,
+//! `enactment`, `matchmaking`, `ontology`, `representations`.
+
+/// Render a plain-text table: headers + rows, columns padded to fit.
+/// Widths are measured in characters (not bytes), so the block-glyph
+/// bars of [`bar`] align correctly.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let width_of = |s: &str| s.chars().count();
+    let mut widths: Vec<usize> = headers.iter().map(|h| width_of(h)).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(width_of(cell));
+        }
+    }
+    let pad = |out: &mut String, text: &str, width: usize| {
+        out.push_str(text);
+        for _ in width_of(text)..width {
+            out.push(' ');
+        }
+        out.push_str("  ");
+    };
+    let mut out = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        pad(&mut out, h, widths[i]);
+    }
+    out.push('\n');
+    for (i, _) in headers.iter().enumerate() {
+        pad(&mut out, &"-".repeat(widths[i]), widths[i]);
+    }
+    out.push('\n');
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            pad(&mut out, cell, widths[i]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a one-line ASCII bar of `value` against `max`, `width` chars.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    let filled = if max > 0.0 {
+        ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize
+    } else {
+        0
+    };
+    format!("{}{}", "█".repeat(filled), "·".repeat(width - filled))
+}
+
+/// Standard banner for regeneration binaries.
+pub fn banner(what: &str) {
+    println!("================================================================");
+    println!("GridFlow reproduction — {what}");
+    println!("Yu, Bai, Wang, Ji, Marinescu: \"Metainformation and Workflow");
+    println!("Management for Solving Complex Problems in Grid Environments\"");
+    println!("(IPDPS 2004)");
+    println!("================================================================\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["Parameter", "Value"],
+            &[
+                vec!["Population Size".into(), "200".into()],
+                vec!["Smax".into(), "40".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Parameter"));
+        assert!(lines[2].contains("200"));
+    }
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(0.0, 1.0, 4), "····");
+        assert_eq!(bar(1.0, 1.0, 4), "████");
+        assert_eq!(bar(0.5, 1.0, 4), "██··");
+        assert_eq!(bar(2.0, 0.0, 3), "···");
+    }
+}

@@ -1,0 +1,240 @@
+//! §5's experiment and reusable sweep helpers.
+//!
+//! "We test the planning algorithm using the computational biology
+//! described in Section 4 as test case.  Table 1 shows the parameter
+//! settings used in the experiment.  We test the algorithm ten times and
+//! select the individual with the highest fitness in the final
+//! generation as the solution.  Then we calculate the average fitness,
+//! validity fitness, goal fitness, and the size of solutions over ten
+//! runs, shown in Table 2."
+
+use crate::casestudy;
+use gridflow_planner::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The paper's Table 1 parameter settings.
+pub fn table1_config() -> GpConfig {
+    GpConfig::default() // Table 1 *is* the default configuration.
+}
+
+/// Render Table 1 as the paper prints it.
+pub fn table1() -> String {
+    let c = table1_config();
+    let rows = [
+        ("Population Size", format!("{}", c.population_size)),
+        ("Number of Generation", format!("{}", c.generations)),
+        ("Crossover Rate", format!("{}", c.crossover_rate)),
+        ("Mutation Rate", format!("{}", c.mutation_rate)),
+        ("Smax", format!("{}", c.smax)),
+        ("wv", format!("{}", c.weights.validity)),
+        ("wg", format!("{}", c.weights.goal)),
+    ];
+    let mut out = String::from("Table 1. Parameter Settings in the experiments.\n");
+    out.push_str(&format!("{:<24} {:>8}\n", "Parameters", "Values"));
+    out.push_str(&format!("{:-<24} {:->8}\n", "", ""));
+    for (name, value) in rows {
+        out.push_str(&format!("{name:<24} {value:>8}\n"));
+    }
+    out
+}
+
+/// Statistics of one planning run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunStat {
+    /// Seed used.
+    pub seed: u64,
+    /// Best-of-final-generation fitness.
+    pub fitness: Fitness,
+}
+
+/// The Table 2 aggregate over N runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Result {
+    /// Per-run best solutions.
+    pub runs: Vec<RunStat>,
+    /// Average overall fitness of the best solutions.
+    pub avg_fitness: f64,
+    /// Average validity fitness.
+    pub avg_validity: f64,
+    /// Average goal fitness.
+    pub avg_goal: f64,
+    /// Average plan-tree size.
+    pub avg_size: f64,
+}
+
+impl Table2Result {
+    /// Do all runs solve the problem (f_v = f_g = 1)?
+    pub fn all_perfect(&self) -> bool {
+        self.runs.iter().all(|r| r.fitness.is_perfect())
+    }
+}
+
+impl fmt::Display for Table2Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table 2. Experiment results collected from the best solutions of {} runs.",
+            self.runs.len()
+        )?;
+        writeln!(f, "{:<28} {:>8}", "Average Fitness", format_num(self.avg_fitness))?;
+        writeln!(
+            f,
+            "{:<28} {:>8}",
+            "Average Validity Fitness",
+            format_num(self.avg_validity)
+        )?;
+        writeln!(
+            f,
+            "{:<28} {:>8}",
+            "Average Goal Fitness",
+            format_num(self.avg_goal)
+        )?;
+        writeln!(
+            f,
+            "{:<28} {:>8}",
+            "Average Size of solutions",
+            format_num(self.avg_size)
+        )
+    }
+}
+
+fn format_num(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Run the §5 experiment: `runs` seeded GP runs on the case-study
+/// planning problem with `config` (seed is varied per run: `config.seed +
+/// run index`).
+pub fn table2(config: GpConfig, runs: usize) -> Table2Result {
+    table2_on(&casestudy::planning_problem(), config, runs)
+}
+
+/// The same aggregation over an arbitrary problem (used by the ablation
+/// benches).
+pub fn table2_on(problem: &PlanningProblem, config: GpConfig, runs: usize) -> Table2Result {
+    let runs: Vec<RunStat> = (0..runs.max(1) as u64)
+        .map(|i| {
+            let cfg = GpConfig {
+                seed: config.seed.wrapping_add(i),
+                ..config
+            };
+            let result = GpPlanner::new(cfg, problem.clone()).run();
+            RunStat {
+                seed: cfg.seed,
+                fitness: result.best_fitness,
+            }
+        })
+        .collect();
+    let n = runs.len() as f64;
+    Table2Result {
+        avg_fitness: runs.iter().map(|r| r.fitness.overall).sum::<f64>() / n,
+        avg_validity: runs.iter().map(|r| r.fitness.validity).sum::<f64>() / n,
+        avg_goal: runs.iter().map(|r| r.fitness.goal).sum::<f64>() / n,
+        avg_size: runs.iter().map(|r| r.fitness.size as f64).sum::<f64>() / n,
+        runs,
+    }
+}
+
+/// One point of a parameter sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The swept parameter's value, as a label.
+    pub label: String,
+    /// Aggregate over the runs at this point.
+    pub result: Table2Result,
+}
+
+/// Sweep a GP parameter: for each `(label, config)` pair run the Table-2
+/// aggregation and collect the series (the ablation benches print these
+/// as the paper would a figure).
+pub fn sweep<I>(problem: &PlanningProblem, points: I, runs: usize) -> Vec<SweepPoint>
+where
+    I: IntoIterator<Item = (String, GpConfig)>,
+{
+    points
+        .into_iter()
+        .map(|(label, config)| SweepPoint {
+            label,
+            result: table2_on(problem, config, runs),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_prints_the_papers_settings() {
+        let t = table1();
+        assert!(t.contains("Population Size"));
+        assert!(t.contains("200"));
+        assert!(t.contains("0.7"));
+        assert!(t.contains("0.001"));
+        assert!(t.contains("40"));
+        assert!(t.contains("0.2"));
+        assert!(t.contains("0.5"));
+    }
+
+    /// A scaled-down Table 2 (3 runs, smaller population) — the full-size
+    /// reproduction runs in the bench harness.
+    #[test]
+    fn table2_small_scale_solves_the_case_study() {
+        let config = GpConfig {
+            population_size: 100,
+            generations: 20,
+            seed: 40,
+            ..GpConfig::default()
+        };
+        let result = table2(config, 3);
+        assert_eq!(result.runs.len(), 3);
+        assert!(
+            result.avg_goal > 0.99,
+            "expected consistently solved runs: {result}"
+        );
+        assert!(result.avg_validity > 0.99, "{result}");
+        assert!(result.avg_size < 20.0, "{result}");
+        assert!(result.avg_fitness > 0.85 && result.avg_fitness < 1.0, "{result}");
+        let rendered = result.to_string();
+        assert!(rendered.contains("Average Fitness"));
+        assert!(rendered.contains("Average Size of solutions"));
+    }
+
+    #[test]
+    fn table2_is_deterministic() {
+        let config = GpConfig {
+            population_size: 40,
+            generations: 5,
+            seed: 9,
+            ..GpConfig::default()
+        };
+        assert_eq!(table2(config, 2), table2(config, 2));
+    }
+
+    #[test]
+    fn sweep_produces_one_point_per_config() {
+        let problem = casestudy::planning_problem();
+        let base = GpConfig {
+            population_size: 30,
+            generations: 5,
+            ..GpConfig::default()
+        };
+        let points = sweep(
+            &problem,
+            [10usize, 20].into_iter().map(|smax| {
+                (
+                    format!("smax={smax}"),
+                    GpConfig {
+                        smax,
+                        init_max_size: smax.min(base.init_max_size),
+                        ..base
+                    },
+                )
+            }),
+            2,
+        );
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].label, "smax=10");
+    }
+}

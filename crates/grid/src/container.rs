@@ -1,0 +1,153 @@
+//! Application containers: the execution hosts of end-user services
+//! ("Applications Containers (ACs) host end-user services", Fig. 1).
+
+use crate::error::{GridError, Result};
+use crate::resource::Resource;
+use crate::workload::{estimate, ExecutionEstimate, TaskDemand};
+use serde::{Deserialize, Serialize};
+
+/// One application container, bound to a resource, hosting a set of
+/// end-user services.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApplicationContainer {
+    /// Unique container id (e.g. `ac-ucf-1`).
+    pub id: String,
+    /// Id of the resource the container runs on.
+    pub resource_id: String,
+    /// Service names this container can execute.
+    pub services: Vec<String>,
+    /// Is the container currently up?  End-user services "may be
+    /// short-lived"; their reliability "cannot be guaranteed" (§2).
+    pub up: bool,
+    /// Completed executions (for monitoring / history).
+    pub completed: u64,
+    /// Failed executions.
+    pub failed: u64,
+}
+
+impl ApplicationContainer {
+    /// A new, healthy container.
+    pub fn new(id: impl Into<String>, resource_id: impl Into<String>) -> Self {
+        ApplicationContainer {
+            id: id.into(),
+            resource_id: resource_id.into(),
+            services: Vec::new(),
+            up: true,
+            completed: 0,
+            failed: 0,
+        }
+    }
+
+    /// Host additional services (builder style).
+    pub fn hosting<I, S>(mut self, services: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.services.extend(services.into_iter().map(Into::into));
+        self
+    }
+
+    /// Does the container host this service?
+    pub fn hosts(&self, service: &str) -> bool {
+        self.services.iter().any(|s| s == service)
+    }
+
+    /// Can the container execute this service right now?
+    pub fn can_execute(&self, service: &str) -> bool {
+        self.up && self.hosts(service)
+    }
+
+    /// Take the container down (failure injection).
+    pub fn fail(&mut self) {
+        self.up = false;
+    }
+
+    /// Bring the container back up.
+    pub fn recover(&mut self) {
+        self.up = true;
+    }
+
+    /// Estimate (and account) one execution of `demand` on this container
+    /// running on `resource`.  Fails when the container is down, does not
+    /// host the service, or the resource id mismatches.
+    pub fn execute(
+        &mut self,
+        demand: &TaskDemand,
+        resource: &Resource,
+    ) -> Result<ExecutionEstimate> {
+        if resource.id != self.resource_id {
+            return Err(GridError::UnknownResource(resource.id.clone()));
+        }
+        if !self.up {
+            self.failed += 1;
+            return Err(GridError::ContainerDown(self.id.clone()));
+        }
+        if !self.hosts(&demand.service) {
+            return Err(GridError::ServiceNotHosted {
+                container: self.id.clone(),
+                service: demand.service.clone(),
+            });
+        }
+        self.completed += 1;
+        Ok(estimate(demand, resource))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::ResourceKind;
+
+    fn setup() -> (ApplicationContainer, Resource) {
+        let resource = Resource::new("r1", ResourceKind::PcCluster).with_nodes(8);
+        let ac = ApplicationContainer::new("ac-1", "r1").hosting(["P3DR", "POD"]);
+        (ac, resource)
+    }
+
+    #[test]
+    fn hosts_and_can_execute() {
+        let (ac, _) = setup();
+        assert!(ac.hosts("P3DR"));
+        assert!(!ac.hosts("PSF"));
+        assert!(ac.can_execute("POD"));
+    }
+
+    #[test]
+    fn execute_happy_path_counts_completion() {
+        let (mut ac, r) = setup();
+        let est = ac.execute(&TaskDemand::coarse("POD", 10.0, 1.0), &r).unwrap();
+        assert!(est.duration_s > 0.0);
+        assert_eq!(ac.completed, 1);
+        assert_eq!(ac.failed, 0);
+    }
+
+    #[test]
+    fn down_container_refuses_and_counts_failure() {
+        let (mut ac, r) = setup();
+        ac.fail();
+        assert!(!ac.can_execute("POD"));
+        let err = ac.execute(&TaskDemand::coarse("POD", 10.0, 1.0), &r).unwrap_err();
+        assert!(matches!(err, GridError::ContainerDown(_)));
+        assert_eq!(ac.failed, 1);
+        ac.recover();
+        assert!(ac.can_execute("POD"));
+    }
+
+    #[test]
+    fn unhosted_service_rejected() {
+        let (mut ac, r) = setup();
+        let err = ac.execute(&TaskDemand::coarse("PSF", 10.0, 1.0), &r).unwrap_err();
+        assert!(matches!(err, GridError::ServiceNotHosted { .. }));
+    }
+
+    #[test]
+    fn mismatched_resource_rejected() {
+        let (mut ac, _) = setup();
+        let other = Resource::new("r2", ResourceKind::Workstation);
+        let err = ac
+            .execute(&TaskDemand::coarse("POD", 10.0, 1.0), &other)
+            .unwrap_err();
+        assert!(matches!(err, GridError::UnknownResource(_)));
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type for the grid simulator.
+
+use std::fmt;
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, GridError>;
+
+/// Errors raised by grid operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GridError {
+    /// The referenced resource does not exist.
+    UnknownResource(String),
+    /// The referenced application container does not exist.
+    UnknownContainer(String),
+    /// The container is down and cannot execute.
+    ContainerDown(String),
+    /// The container does not host the requested service.
+    ServiceNotHosted {
+        /// Container id.
+        container: String,
+        /// Requested service.
+        service: String,
+    },
+    /// No offer matched a market query.
+    NoMatchingOffer(String),
+    /// Reservations are not supported by this market (§1: "the system may
+    /// either not support resource reservations…").
+    ReservationsUnsupported,
+    /// Insufficient budget for the requested acquisition.
+    InsufficientBudget {
+        /// Price asked.
+        price: f64,
+        /// Budget available.
+        budget: f64,
+    },
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownResource(r) => write!(f, "unknown resource `{r}`"),
+            Self::UnknownContainer(c) => write!(f, "unknown application container `{c}`"),
+            Self::ContainerDown(c) => write!(f, "application container `{c}` is down"),
+            Self::ServiceNotHosted { container, service } => {
+                write!(f, "container `{container}` does not host service `{service}`")
+            }
+            Self::NoMatchingOffer(q) => write!(f, "no offer matches query: {q}"),
+            Self::ReservationsUnsupported => {
+                write!(f, "this market does not support advance reservations")
+            }
+            Self::InsufficientBudget { price, budget } => {
+                write!(f, "price {price:.2} exceeds budget {budget:.2}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(GridError::ContainerDown("ac-1".into())
+            .to_string()
+            .contains("ac-1"));
+        assert!(GridError::InsufficientBudget {
+            price: 5.0,
+            budget: 1.0
+        }
+        .to_string()
+        .contains("5.00"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Failure models: seeded stochastic failures and deterministic failure
+//! scripts.
+//!
+//! "The ability to recover from errors caused by the failure of
+//! individual nodes is a critical aspect for the execution of complex
+//! tasks" (§1).  The re-planning benches drive the coordination stack
+//! under both a Bernoulli per-execution failure model and scripted
+//! failures at chosen points.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Seeded Bernoulli per-execution failure model, optionally modulated by
+/// resource reliability.
+#[derive(Debug, Clone)]
+pub struct FailureModel {
+    rng: ChaCha8Rng,
+    /// Base probability that any single execution fails.
+    pub base_failure_prob: f64,
+    /// When false, no execution ever fails (reliability is not consulted
+    /// either) — the state [`FailureModel::none`] constructs.
+    pub enabled: bool,
+    draws: u64,
+}
+
+impl FailureModel {
+    /// A model with the given per-execution failure probability.
+    pub fn new(seed: u64, base_failure_prob: f64) -> Self {
+        FailureModel {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            base_failure_prob: base_failure_prob.clamp(0.0, 1.0),
+            enabled: true,
+            draws: 0,
+        }
+    }
+
+    /// A disabled model: no execution ever fails, regardless of resource
+    /// reliability.
+    pub fn none() -> Self {
+        let mut model = Self::new(0, 0.0);
+        model.enabled = false;
+        model
+    }
+
+    /// Draw one execution outcome on a resource with the given
+    /// reliability: the effective failure probability is
+    /// `1 − reliability·(1 − base)`.
+    pub fn execution_fails(&mut self, resource_reliability: f64) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        self.draws += 1;
+        let survive = resource_reliability.clamp(0.0, 1.0) * (1.0 - self.base_failure_prob);
+        self.rng.gen_range(0.0..1.0) >= survive
+    }
+
+    /// Number of outcomes drawn so far.
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+}
+
+/// A deterministic failure script: which container fails before which
+/// (0-based) execution attempt.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FailureScript {
+    /// container id → set of attempt indices at which it is down.
+    downs: BTreeMap<String, Vec<u64>>,
+}
+
+impl FailureScript {
+    /// An empty script (nothing fails).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `container` to be down for attempt `attempt`.
+    pub fn fail_at(mut self, container: impl Into<String>, attempt: u64) -> Self {
+        self.downs.entry(container.into()).or_default().push(attempt);
+        self
+    }
+
+    /// Is `container` scripted to be down at `attempt`?
+    pub fn is_down(&self, container: &str, attempt: u64) -> bool {
+        self.downs
+            .get(container)
+            .map(|v| v.contains(&attempt))
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_probability_never_fails_on_reliable_resources() {
+        let mut m = FailureModel::new(1, 0.0);
+        assert!((0..1000).all(|_| !m.execution_fails(1.0)));
+        // …but an *active* zero-base model still respects reliability.
+        let mut m = FailureModel::new(1, 0.0);
+        let failures = (0..2000).filter(|_| m.execution_fails(0.5)).count();
+        assert!(failures > 500, "reliability must matter when enabled");
+    }
+
+    #[test]
+    fn disabled_model_never_fails_even_on_flaky_resources() {
+        let mut m = FailureModel::none();
+        assert!((0..1000).all(|_| !m.execution_fails(0.01)));
+        assert_eq!(m.draws(), 0);
+    }
+
+    #[test]
+    fn one_probability_always_fails() {
+        let mut m = FailureModel::new(1, 1.0);
+        assert!((0..100).all(|_| m.execution_fails(1.0)));
+    }
+
+    #[test]
+    fn failure_rate_tracks_probability() {
+        let mut m = FailureModel::new(7, 0.2);
+        let failures = (0..10_000).filter(|_| m.execution_fails(1.0)).count();
+        let rate = failures as f64 / 10_000.0;
+        assert!((rate - 0.2).abs() < 0.02, "rate {rate}");
+        assert_eq!(m.draws(), 10_000);
+    }
+
+    #[test]
+    fn unreliable_resources_fail_more() {
+        let mut m1 = FailureModel::new(3, 0.1);
+        let mut m2 = FailureModel::new(3, 0.1);
+        let reliable = (0..5_000).filter(|_| m1.execution_fails(0.99)).count();
+        let flaky = (0..5_000).filter(|_| m2.execution_fails(0.5)).count();
+        assert!(flaky > reliable);
+    }
+
+    #[test]
+    fn same_seed_same_outcomes() {
+        let mut a = FailureModel::new(9, 0.3);
+        let mut b = FailureModel::new(9, 0.3);
+        let oa: Vec<bool> = (0..100).map(|_| a.execution_fails(0.9)).collect();
+        let ob: Vec<bool> = (0..100).map(|_| b.execution_fails(0.9)).collect();
+        assert_eq!(oa, ob);
+    }
+
+    #[test]
+    fn script_hits_exact_attempts() {
+        let s = FailureScript::new().fail_at("ac-1", 2).fail_at("ac-1", 4);
+        assert!(!s.is_down("ac-1", 0));
+        assert!(s.is_down("ac-1", 2));
+        assert!(!s.is_down("ac-1", 3));
+        assert!(s.is_down("ac-1", 4));
+        assert!(!s.is_down("ac-2", 2));
+    }
+}

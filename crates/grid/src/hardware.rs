@@ -1,0 +1,107 @@
+//! Hardware characteristics (the `Hardware` ontology class of Fig. 12:
+//! Type, Speed, Size, Bandwidth, Latency, Manufacturer, Model).
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware of one resource.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HardwareSpec {
+    /// Per-core CPU speed in GHz (the figure's `Speed`).
+    pub cpu_ghz: f64,
+    /// Main memory per node in MBytes (the figure's `Size`).
+    pub memory_mb: u64,
+    /// Interconnect bandwidth in Mbit/s.
+    pub bandwidth_mbps: f64,
+    /// Interconnect latency in microseconds.
+    pub latency_us: f64,
+    /// Architecture label (the figure's `Type`).
+    pub arch: String,
+}
+
+impl HardwareSpec {
+    /// A 2004-era commodity PC-cluster node: decent CPU, commodity
+    /// Ethernet — high latency, modest bandwidth.  The paper's §1 example
+    /// of a *poor* choice for fine-grain parallelism.
+    pub fn pc_cluster_node() -> Self {
+        HardwareSpec {
+            cpu_ghz: 2.4,
+            memory_mb: 1024,
+            bandwidth_mbps: 100.0,
+            latency_us: 150.0,
+            arch: "x86".into(),
+        }
+    }
+
+    /// A supercomputer node: fast interconnect (low latency, high
+    /// bandwidth), good for fine-grain parallel computations.
+    pub fn supercomputer_node() -> Self {
+        HardwareSpec {
+            cpu_ghz: 1.9,
+            memory_mb: 4096,
+            bandwidth_mbps: 2000.0,
+            latency_us: 5.0,
+            arch: "power".into(),
+        }
+    }
+
+    /// A desktop workstation.
+    pub fn workstation() -> Self {
+        HardwareSpec {
+            cpu_ghz: 1.6,
+            memory_mb: 512,
+            bandwidth_mbps: 10.0,
+            latency_us: 400.0,
+            arch: "x86".into(),
+        }
+    }
+
+    /// A crude single-number speed index used for coarse ranking:
+    /// GHz weighted by a memory factor.
+    pub fn speed_index(&self) -> f64 {
+        self.cpu_ghz * (1.0 + (self.memory_mb as f64 / 4096.0).min(1.0))
+    }
+
+    /// Is the interconnect suitable for fine-grain parallelism?  The
+    /// paper's rule of thumb: high latency + low bandwidth disqualifies.
+    pub fn suits_fine_grain(&self) -> bool {
+        self.latency_us <= 20.0 && self.bandwidth_mbps >= 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_heterogeneous() {
+        let pc = HardwareSpec::pc_cluster_node();
+        let sc = HardwareSpec::supercomputer_node();
+        let ws = HardwareSpec::workstation();
+        assert!(pc.cpu_ghz > sc.cpu_ghz, "commodity CPUs clock higher");
+        assert!(sc.bandwidth_mbps > pc.bandwidth_mbps);
+        assert!(sc.latency_us < pc.latency_us);
+        assert!(ws.memory_mb < pc.memory_mb);
+    }
+
+    #[test]
+    fn fine_grain_suitability_follows_the_papers_rule() {
+        assert!(HardwareSpec::supercomputer_node().suits_fine_grain());
+        assert!(!HardwareSpec::pc_cluster_node().suits_fine_grain());
+        assert!(!HardwareSpec::workstation().suits_fine_grain());
+    }
+
+    #[test]
+    fn speed_index_orders_sensibly() {
+        let pc = HardwareSpec::pc_cluster_node();
+        let ws = HardwareSpec::workstation();
+        assert!(pc.speed_index() > ws.speed_index());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let hw = HardwareSpec::pc_cluster_node();
+        let json = serde_json::to_string(&hw).unwrap();
+        let back: HardwareSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(hw, back);
+    }
+}

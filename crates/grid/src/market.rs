@@ -1,0 +1,312 @@
+//! The spot market: "resource acquisition on the spot markets, based
+//! upon some form of resource brokerage, generally faces stiff
+//! competitions … hot-spot contention cannot be discounted" (§1).
+//!
+//! Resources post [`Offer`]s; acquisition prices rise with current load
+//! (contention), desirable (reliable) resources attract load first, and
+//! advance reservations are either unsupported or carry a configurable
+//! premium — the paper's "prohibitive cost for the advanced reservation".
+
+use crate::error::{GridError, Result};
+use crate::resource::Resource;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One resource's standing offer on the market.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Offer {
+    /// The offered resource.
+    pub resource: Resource,
+    /// Currently acquired (busy) node count.
+    pub load: u32,
+}
+
+impl Offer {
+    /// Utilization in [0, 1].
+    pub fn utilization(&self) -> f64 {
+        self.load as f64 / self.resource.nodes.max(1) as f64
+    }
+
+    /// Spot price per CPU-hour: base cost scaled by contention
+    /// (quadratic in utilization so hot spots price out sharply).
+    pub fn spot_price(&self) -> f64 {
+        let u = self.utilization();
+        self.resource.cost_per_cpu_hour * (1.0 + 3.0 * u * u)
+    }
+}
+
+/// Reservation policy of a market.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ReservationPolicy {
+    /// Reservations are not supported at all.
+    Unsupported,
+    /// Reservations cost `premium ×` the spot price.
+    Premium(f64),
+}
+
+/// The spot market over a set of resources.
+#[derive(Debug, Clone)]
+pub struct SpotMarket {
+    offers: BTreeMap<String, Offer>,
+    /// Reservation policy (§1's two unfriendly options).
+    pub reservation_policy: ReservationPolicy,
+    trades: u64,
+}
+
+impl SpotMarket {
+    /// A market over the given resources, initially idle, with
+    /// reservations priced at 5× (the default "prohibitive" premium).
+    pub fn new<I: IntoIterator<Item = Resource>>(resources: I) -> Self {
+        SpotMarket {
+            offers: resources
+                .into_iter()
+                .map(|r| {
+                    (
+                        r.id.clone(),
+                        Offer {
+                            resource: r,
+                            load: 0,
+                        },
+                    )
+                })
+                .collect(),
+            reservation_policy: ReservationPolicy::Premium(5.0),
+            trades: 0,
+        }
+    }
+
+    /// Number of completed acquisitions.
+    pub fn trades(&self) -> u64 {
+        self.trades
+    }
+
+    /// All current offers, in resource-id order.
+    pub fn offers(&self) -> impl Iterator<Item = &Offer> {
+        self.offers.values()
+    }
+
+    /// Look up one offer.
+    pub fn offer(&self, resource_id: &str) -> Option<&Offer> {
+        self.offers.get(resource_id)
+    }
+
+    /// Offers grouped into brokerage equivalence classes.
+    pub fn equivalence_classes(&self) -> BTreeMap<String, Vec<&Offer>> {
+        let mut out: BTreeMap<String, Vec<&Offer>> = BTreeMap::new();
+        for offer in self.offers.values() {
+            out.entry(offer.resource.equivalence_class())
+                .or_default()
+                .push(offer);
+        }
+        out
+    }
+
+    /// Acquire `nodes` nodes on the cheapest offer that satisfies
+    /// `filter`, spending from `budget`.  Returns `(resource id, price)`.
+    pub fn acquire(
+        &mut self,
+        nodes: u32,
+        budget: f64,
+        filter: impl Fn(&Offer) -> bool,
+    ) -> Result<(String, f64)> {
+        let candidate = self
+            .offers
+            .values()
+            .filter(|o| o.resource.nodes - o.load >= nodes && filter(o))
+            .min_by(|a, b| {
+                a.spot_price()
+                    .partial_cmp(&b.spot_price())
+                    .expect("prices are finite")
+            })
+            .map(|o| o.resource.id.clone());
+        let Some(id) = candidate else {
+            return Err(GridError::NoMatchingOffer(format!("{nodes} nodes")));
+        };
+        let price = {
+            let offer = &self.offers[&id];
+            offer.spot_price() * nodes as f64
+        };
+        if price > budget {
+            return Err(GridError::InsufficientBudget { price, budget });
+        }
+        let offer = self.offers.get_mut(&id).expect("candidate exists");
+        offer.load += nodes;
+        self.trades += 1;
+        Ok((id, price))
+    }
+
+    /// Release `nodes` previously acquired on `resource_id`.
+    pub fn release(&mut self, resource_id: &str, nodes: u32) -> Result<()> {
+        let offer = self
+            .offers
+            .get_mut(resource_id)
+            .ok_or_else(|| GridError::UnknownResource(resource_id.to_owned()))?;
+        offer.load = offer.load.saturating_sub(nodes);
+        Ok(())
+    }
+
+    /// Place an advance reservation: pay the quoted premium up front and
+    /// hold `nodes` on `resource_id`.  Fails like
+    /// [`Self::reservation_quote`] when unsupported, and when the budget
+    /// or remaining capacity cannot cover it.
+    pub fn reserve(&mut self, resource_id: &str, nodes: u32, budget: f64) -> Result<f64> {
+        let price = self.reservation_quote(resource_id, nodes)?;
+        if price > budget {
+            return Err(GridError::InsufficientBudget { price, budget });
+        }
+        let offer = self
+            .offers
+            .get_mut(resource_id)
+            .ok_or_else(|| GridError::UnknownResource(resource_id.to_owned()))?;
+        if offer.resource.nodes - offer.load < nodes {
+            return Err(GridError::NoMatchingOffer(format!(
+                "{nodes} nodes on `{resource_id}`"
+            )));
+        }
+        offer.load += nodes;
+        self.trades += 1;
+        Ok(price)
+    }
+
+    /// Price an advance reservation of `nodes` on `resource_id` (§1's
+    /// prohibitive-cost scenario), without acquiring.
+    pub fn reservation_quote(&self, resource_id: &str, nodes: u32) -> Result<f64> {
+        let offer = self
+            .offers
+            .get(resource_id)
+            .ok_or_else(|| GridError::UnknownResource(resource_id.to_owned()))?;
+        match self.reservation_policy {
+            ReservationPolicy::Unsupported => Err(GridError::ReservationsUnsupported),
+            ReservationPolicy::Premium(premium) => {
+                Ok(offer.spot_price() * nodes as f64 * premium)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::ResourceKind;
+
+    fn market() -> SpotMarket {
+        SpotMarket::new([
+            Resource::new("cheap", ResourceKind::PcCluster)
+                .with_nodes(16)
+                .with_cost(0.5),
+            Resource::new("pricey", ResourceKind::PcCluster)
+                .with_nodes(16)
+                .with_cost(2.0),
+            Resource::new("small", ResourceKind::Workstation)
+                .with_nodes(1)
+                .with_cost(0.1),
+        ])
+    }
+
+    #[test]
+    fn acquire_picks_cheapest_fitting_offer() {
+        let mut m = market();
+        let (id, price) = m.acquire(4, 100.0, |_| true).unwrap();
+        assert_eq!(id, "cheap");
+        assert!((price - 0.5 * 4.0).abs() < 1e-9);
+        assert_eq!(m.offer("cheap").unwrap().load, 4);
+        assert_eq!(m.trades(), 1);
+    }
+
+    #[test]
+    fn contention_raises_prices() {
+        let mut m = market();
+        let p0 = m.offer("cheap").unwrap().spot_price();
+        m.acquire(12, 100.0, |o| o.resource.id == "cheap").unwrap();
+        let p1 = m.offer("cheap").unwrap().spot_price();
+        assert!(p1 > p0, "{p1} <= {p0}");
+    }
+
+    #[test]
+    fn hot_spot_diverts_to_other_resources() {
+        let mut m = market();
+        // Saturate the cheap cluster to 100%; next acquisition should go
+        // to the pricey one (cheap can't fit, or costs more under load).
+        m.acquire(16, 100.0, |o| o.resource.id == "cheap").unwrap();
+        let (id, _) = m.acquire(4, 100.0, |_| true).unwrap();
+        assert_eq!(id, "pricey");
+    }
+
+    #[test]
+    fn no_fitting_offer_errors() {
+        let mut m = market();
+        assert!(matches!(
+            m.acquire(64, 1000.0, |_| true),
+            Err(GridError::NoMatchingOffer(_))
+        ));
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let mut m = market();
+        assert!(matches!(
+            m.acquire(8, 0.5, |_| true),
+            Err(GridError::InsufficientBudget { .. })
+        ));
+        // Failed acquisition must not hold load.
+        assert_eq!(m.offer("cheap").unwrap().load, 0);
+    }
+
+    #[test]
+    fn release_restores_capacity() {
+        let mut m = market();
+        m.acquire(16, 100.0, |o| o.resource.id == "cheap").unwrap();
+        m.release("cheap", 16).unwrap();
+        assert_eq!(m.offer("cheap").unwrap().load, 0);
+        assert!(m.release("ghost", 1).is_err());
+    }
+
+    #[test]
+    fn reservation_policies() {
+        let mut m = market();
+        let spot = m.offer("cheap").unwrap().spot_price();
+        let quote = m.reservation_quote("cheap", 2).unwrap();
+        assert!((quote - spot * 2.0 * 5.0).abs() < 1e-9, "5x premium");
+        m.reservation_policy = ReservationPolicy::Unsupported;
+        assert!(matches!(
+            m.reservation_quote("cheap", 2),
+            Err(GridError::ReservationsUnsupported)
+        ));
+    }
+
+    #[test]
+    fn reservations_hold_capacity_at_a_premium() {
+        let mut m = market();
+        let spot = m.offer("cheap").unwrap().spot_price();
+        let price = m.reserve("cheap", 4, 1000.0).unwrap();
+        assert!((price - spot * 4.0 * 5.0).abs() < 1e-9);
+        assert_eq!(m.offer("cheap").unwrap().load, 4);
+        assert_eq!(m.trades(), 1);
+        // Budget and capacity limits apply.
+        assert!(matches!(
+            m.reserve("cheap", 4, 0.01),
+            Err(GridError::InsufficientBudget { .. })
+        ));
+        assert!(matches!(
+            m.reserve("cheap", 100, 1e9),
+            Err(GridError::NoMatchingOffer(_))
+        ));
+        m.reservation_policy = ReservationPolicy::Unsupported;
+        assert!(matches!(
+            m.reserve("cheap", 1, 1e9),
+            Err(GridError::ReservationsUnsupported)
+        ));
+        // Failed reservations must not leak load.
+        assert_eq!(m.offer("cheap").unwrap().load, 4);
+    }
+
+    #[test]
+    fn equivalence_classes_partition_offers() {
+        let m = market();
+        let classes = m.equivalence_classes();
+        let total: usize = classes.values().map(|v| v.len()).sum();
+        assert_eq!(total, 3);
+        assert!(classes.keys().any(|k| k.contains("PC Cluster")));
+        assert!(classes.keys().any(|k| k.contains("Workstation")));
+    }
+}

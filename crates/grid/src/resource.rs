@@ -1,0 +1,226 @@
+//! Resources: the `Resource` ontology class of Fig. 12 (Name, Type,
+//! Location, Number of Nodes, Administration Domain, Hardware, Software,
+//! Access Set), extended with the reliability and cost attributes the
+//! paper's brokerage discussion requires ("the heterogeneity makes some
+//! of the resources (e.g. those with a proven record of reliability) more
+//! desirable", §1).
+
+use crate::hardware::HardwareSpec;
+use serde::{Deserialize, Serialize};
+
+/// Kind of resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// A commodity PC cluster.
+    PcCluster,
+    /// A tightly coupled parallel machine.
+    Supercomputer,
+    /// A single interactive workstation.
+    Workstation,
+    /// A storage site (persistent storage service substrate).
+    Storage,
+}
+
+impl ResourceKind {
+    /// Display label (the ontology `Type` slot value).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ResourceKind::PcCluster => "PC Cluster",
+            ResourceKind::Supercomputer => "Supercomputer",
+            ResourceKind::Workstation => "Workstation",
+            ResourceKind::Storage => "Storage",
+        }
+    }
+}
+
+/// One grid resource.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Resource {
+    /// Unique identifier (e.g. `ucf-cluster-1`).
+    pub id: String,
+    /// Kind of resource.
+    pub kind: ResourceKind,
+    /// Geographic / site label.
+    pub location: String,
+    /// Administrative domain (autonomy: negotiations cross domains, §1).
+    pub domain: String,
+    /// Number of nodes.
+    pub nodes: u32,
+    /// Per-node hardware.
+    pub hardware: HardwareSpec,
+    /// Installed software packages (service prerequisites).
+    pub software: Vec<String>,
+    /// Probability that a task submitted here completes without the
+    /// resource failing under it (0–1].
+    pub reliability: f64,
+    /// Base cost per CPU-hour on the spot market.
+    pub cost_per_cpu_hour: f64,
+}
+
+impl Resource {
+    /// Builder-entry: a resource with the given id/kind and preset
+    /// hardware, one node, perfect reliability, unit cost.
+    pub fn new(id: impl Into<String>, kind: ResourceKind) -> Self {
+        let hardware = match kind {
+            ResourceKind::PcCluster => HardwareSpec::pc_cluster_node(),
+            ResourceKind::Supercomputer => HardwareSpec::supercomputer_node(),
+            ResourceKind::Workstation | ResourceKind::Storage => HardwareSpec::workstation(),
+        };
+        Resource {
+            id: id.into(),
+            kind,
+            location: "unknown".into(),
+            domain: "default".into(),
+            nodes: 1,
+            hardware,
+            software: Vec::new(),
+            reliability: 1.0,
+            cost_per_cpu_hour: 1.0,
+        }
+    }
+
+    /// Set node count (builder style).
+    pub fn with_nodes(mut self, nodes: u32) -> Self {
+        self.nodes = nodes.max(1);
+        self
+    }
+
+    /// Set location and domain (builder style).
+    pub fn at(mut self, location: impl Into<String>, domain: impl Into<String>) -> Self {
+        self.location = location.into();
+        self.domain = domain.into();
+        self
+    }
+
+    /// Set hardware (builder style).
+    pub fn with_hardware(mut self, hardware: HardwareSpec) -> Self {
+        self.hardware = hardware;
+        self
+    }
+
+    /// Add installed software (builder style).
+    pub fn with_software<I, S>(mut self, packages: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.software.extend(packages.into_iter().map(Into::into));
+        self
+    }
+
+    /// Set reliability (builder style; clamped to (0, 1]).
+    pub fn with_reliability(mut self, reliability: f64) -> Self {
+        self.reliability = reliability.clamp(f64::MIN_POSITIVE, 1.0);
+        self
+    }
+
+    /// Set base cost (builder style).
+    pub fn with_cost(mut self, cost_per_cpu_hour: f64) -> Self {
+        self.cost_per_cpu_hour = cost_per_cpu_hour.max(0.0);
+        self
+    }
+
+    /// Aggregate compute capacity: nodes × per-node speed index.
+    pub fn capacity(&self) -> f64 {
+        self.nodes as f64 * self.hardware.speed_index()
+    }
+
+    /// The equivalence-class key used by brokers: "brokers must maintain
+    /// full information about resources with similar characteristics and
+    /// group them in multiple equivalence classes based upon different
+    /// sets of properties" (§1).  The default class groups by (kind,
+    /// fine-grain suitability, reliability band).
+    pub fn equivalence_class(&self) -> String {
+        let band = if self.reliability >= 0.99 {
+            "high-rel"
+        } else if self.reliability >= 0.9 {
+            "mid-rel"
+        } else {
+            "low-rel"
+        };
+        let grain = if self.hardware.suits_fine_grain() {
+            "fine-grain"
+        } else {
+            "coarse-grain"
+        };
+        format!("{}/{}/{}", self.kind.label(), grain, band)
+    }
+
+    /// Does the resource have this software package installed?
+    pub fn has_software(&self, package: &str) -> bool {
+        self.software.iter().any(|p| p == package)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let r = Resource::new("ucf-1", ResourceKind::PcCluster)
+            .with_nodes(64)
+            .at("Orlando", "ucf.edu")
+            .with_software(["P3DR", "POD"])
+            .with_reliability(0.95)
+            .with_cost(0.4);
+        assert_eq!(r.nodes, 64);
+        assert_eq!(r.domain, "ucf.edu");
+        assert!(r.has_software("P3DR"));
+        assert!(!r.has_software("PSF"));
+        assert_eq!(r.reliability, 0.95);
+    }
+
+    #[test]
+    fn reliability_is_clamped() {
+        assert_eq!(
+            Resource::new("x", ResourceKind::Workstation)
+                .with_reliability(7.0)
+                .reliability,
+            1.0
+        );
+        assert!(
+            Resource::new("x", ResourceKind::Workstation)
+                .with_reliability(-1.0)
+                .reliability
+                > 0.0
+        );
+    }
+
+    #[test]
+    fn node_count_is_at_least_one() {
+        assert_eq!(
+            Resource::new("x", ResourceKind::PcCluster).with_nodes(0).nodes,
+            1
+        );
+    }
+
+    #[test]
+    fn capacity_scales_with_nodes() {
+        let small = Resource::new("s", ResourceKind::PcCluster).with_nodes(4);
+        let big = Resource::new("b", ResourceKind::PcCluster).with_nodes(64);
+        assert!(big.capacity() > small.capacity());
+    }
+
+    #[test]
+    fn equivalence_classes_group_by_kind_grain_reliability() {
+        let a = Resource::new("a", ResourceKind::PcCluster).with_reliability(0.995);
+        let b = Resource::new("b", ResourceKind::PcCluster).with_reliability(0.992);
+        let c = Resource::new("c", ResourceKind::PcCluster).with_reliability(0.5);
+        let d = Resource::new("d", ResourceKind::Supercomputer).with_reliability(0.995);
+        assert_eq!(a.equivalence_class(), b.equivalence_class());
+        assert_ne!(a.equivalence_class(), c.equivalence_class());
+        assert_ne!(a.equivalence_class(), d.equivalence_class());
+        assert!(d.equivalence_class().contains("fine-grain"));
+    }
+
+    #[test]
+    fn kind_presets_pick_matching_hardware() {
+        assert!(Resource::new("x", ResourceKind::Supercomputer)
+            .hardware
+            .suits_fine_grain());
+        assert!(!Resource::new("x", ResourceKind::PcCluster)
+            .hardware
+            .suits_fine_grain());
+    }
+}

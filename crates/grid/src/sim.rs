@@ -1,0 +1,202 @@
+//! A small discrete-event simulation engine.
+//!
+//! The paper lists *simulation services* among the core services:
+//! "necessary to study the scalability of the system and … useful for
+//! end-users to simulate an experiment before actually conducting it"
+//! (§2).  [`SimEngine`] is the kernel those services are built on: a
+//! virtual clock and a time-ordered event queue with deterministic
+//! tie-breaking (FIFO within a timestamp).
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Virtual time in microseconds.
+pub type SimTime = u64;
+
+/// A scheduled event of payload type `E`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event<E> {
+    /// Firing time.
+    pub time: SimTime,
+    /// Monotonic sequence number (FIFO tie-break).
+    pub seq: u64,
+    /// Payload.
+    pub payload: E,
+}
+
+/// Reverse ordering so the `BinaryHeap` pops the earliest event.
+impl<E: Eq> Ord for Event<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Event<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The engine: a clock plus a pending-event queue.
+#[derive(Debug)]
+pub struct SimEngine<E: Eq> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Event<E>>,
+    processed: u64,
+}
+
+impl<E: Eq> SimEngine<E> {
+    /// A fresh engine at time 0.
+    pub fn new() -> Self {
+        SimEngine {
+            now: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            processed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `payload` at absolute time `time`.  Scheduling in the past
+    /// clamps to `now` (the event fires immediately next).
+    pub fn schedule_at(&mut self, time: SimTime, payload: E) {
+        let time = time.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Event { time, seq, payload });
+    }
+
+    /// Schedule `payload` after a delay.
+    pub fn schedule_in(&mut self, delay: SimTime, payload: E) {
+        self.schedule_at(self.now.saturating_add(delay), payload);
+    }
+
+    /// Pop the next event, advancing the clock to its time.
+    #[allow(clippy::should_implement_trait)] // queue pop, not an Iterator
+    pub fn next(&mut self) -> Option<Event<E>> {
+        let event = self.queue.pop()?;
+        self.now = event.time;
+        self.processed += 1;
+        Some(event)
+    }
+
+    /// Run until the queue drains or `limit` events have been processed,
+    /// calling `handler(time, payload, engine)` for each; the handler may
+    /// schedule follow-up events.  Returns the number processed.
+    pub fn run(&mut self, limit: u64, mut handler: impl FnMut(SimTime, E, &mut Self)) -> u64 {
+        let mut n = 0;
+        while n < limit {
+            let Some(event) = self.next() else { break };
+            handler(event.time, event.payload, self);
+            n += 1;
+        }
+        n
+    }
+}
+
+impl<E: Eq> Default for SimEngine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut sim = SimEngine::new();
+        sim.schedule_at(30, "c");
+        sim.schedule_at(10, "a");
+        sim.schedule_at(20, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| sim.next().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut sim = SimEngine::new();
+        sim.schedule_at(5, "first");
+        sim.schedule_at(5, "second");
+        sim.schedule_at(5, "third");
+        let order: Vec<&str> = std::iter::from_fn(|| sim.next().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut sim = SimEngine::new();
+        sim.schedule_at(100, ());
+        sim.schedule_at(50, ());
+        assert_eq!(sim.now(), 0);
+        sim.next();
+        assert_eq!(sim.now(), 50);
+        sim.next();
+        assert_eq!(sim.now(), 100);
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut sim = SimEngine::new();
+        sim.schedule_at(100, "late");
+        sim.next();
+        sim.schedule_at(10, "past");
+        let e = sim.next().unwrap();
+        assert_eq!(e.time, 100);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut sim = SimEngine::new();
+        sim.schedule_at(40, "base");
+        sim.next();
+        sim.schedule_in(5, "after");
+        assert_eq!(sim.next().unwrap().time, 45);
+    }
+
+    #[test]
+    fn run_with_cascading_events() {
+        // Each event schedules a follow-up until time 50.
+        let mut sim = SimEngine::new();
+        sim.schedule_at(10, 0u32);
+        let processed = sim.run(1000, |time, gen, engine| {
+            if time < 50 {
+                engine.schedule_in(10, gen + 1);
+            }
+        });
+        // Events at 10,20,30,40,50 = 5.
+        assert_eq!(processed, 5);
+        assert_eq!(sim.processed(), 5);
+        assert_eq!(sim.pending(), 0);
+    }
+
+    #[test]
+    fn run_respects_limit() {
+        let mut sim = SimEngine::new();
+        for t in 0..100 {
+            sim.schedule_at(t, ());
+        }
+        assert_eq!(sim.run(10, |_, _, _| {}), 10);
+        assert_eq!(sim.pending(), 90);
+    }
+}

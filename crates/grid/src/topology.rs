@@ -1,0 +1,207 @@
+//! Seeded generators for heterogeneous grid topologies: resources plus
+//! the application containers running on them.
+
+use crate::container::ApplicationContainer;
+use crate::hardware::HardwareSpec;
+use crate::resource::{Resource, ResourceKind};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// A generated grid: resources and the containers hosted on them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridTopology {
+    /// All resources, in id order.
+    pub resources: Vec<Resource>,
+    /// All application containers.
+    pub containers: Vec<ApplicationContainer>,
+}
+
+impl GridTopology {
+    /// Generate a heterogeneous grid.
+    ///
+    /// * `sites` — number of sites; each gets one resource and one
+    ///   container;
+    /// * `services` — the pool of end-user service names; each container
+    ///   hosts a random non-empty subset (every service is guaranteed to
+    ///   be hosted somewhere);
+    /// * `seed` — RNG seed (same seed ⇒ same topology).
+    ///
+    /// Resource kinds, node counts, reliability, and costs are drawn from
+    /// distributions that mirror the paper's §1 description: mostly
+    /// commodity clusters, a few supercomputers, varying reliability.
+    pub fn generate(sites: usize, services: &[String], seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut resources = Vec::with_capacity(sites);
+        let mut containers = Vec::with_capacity(sites);
+        let domains = ["ucf.edu", "purdue.edu", "anl.gov", "sdsc.edu"];
+
+        for i in 0..sites {
+            let kind = match rng.gen_range(0..10u8) {
+                0..=5 => ResourceKind::PcCluster,
+                6..=7 => ResourceKind::Workstation,
+                _ => ResourceKind::Supercomputer,
+            };
+            let nodes = match kind {
+                ResourceKind::PcCluster => rng.gen_range(8..=128),
+                ResourceKind::Supercomputer => rng.gen_range(64..=512),
+                _ => 1,
+            };
+            let mut hardware = match kind {
+                ResourceKind::PcCluster => HardwareSpec::pc_cluster_node(),
+                ResourceKind::Supercomputer => HardwareSpec::supercomputer_node(),
+                _ => HardwareSpec::workstation(),
+            };
+            // Jitter the hardware so no two sites are identical.
+            hardware.cpu_ghz *= rng.gen_range(0.8..1.2);
+            hardware.bandwidth_mbps *= rng.gen_range(0.8..1.2);
+            hardware.latency_us *= rng.gen_range(0.8..1.2);
+
+            let domain = domains[rng.gen_range(0..domains.len())];
+            let resource = Resource::new(format!("site-{i}"), kind)
+                .with_nodes(nodes)
+                .at(format!("loc-{i}"), domain)
+                .with_hardware(hardware)
+                .with_reliability(rng.gen_range(0.7..1.0))
+                .with_cost(rng.gen_range(0.1..2.0));
+
+            // Host a random non-empty subset of services.
+            let mut hosted: Vec<String> = services
+                .iter()
+                .filter(|_| rng.gen_bool(0.5))
+                .cloned()
+                .collect();
+            if hosted.is_empty() && !services.is_empty() {
+                hosted.push(services[rng.gen_range(0..services.len())].clone());
+            }
+            let container = ApplicationContainer::new(format!("ac-{i}"), format!("site-{i}"))
+                .hosting(hosted.clone());
+            let mut resource = resource.with_software(hosted);
+            resource.software.sort();
+            resource.software.dedup();
+
+            resources.push(resource);
+            containers.push(container);
+        }
+
+        // Guarantee global coverage: every service hosted somewhere.
+        if !resources.is_empty() {
+            for service in services {
+                let hosted_anywhere = containers.iter().any(|c| c.hosts(service));
+                if !hosted_anywhere {
+                    let idx = rng.gen_range(0..containers.len());
+                    containers[idx].services.push(service.clone());
+                    resources[idx].software.push(service.clone());
+                }
+            }
+        }
+        // Shuffle container order to avoid positional bias, then restore
+        // deterministic id order.
+        containers.shuffle(&mut rng);
+        containers.sort_by(|a, b| a.id.cmp(&b.id));
+
+        GridTopology {
+            resources,
+            containers,
+        }
+    }
+
+    /// Look up a resource by id.
+    pub fn resource(&self, id: &str) -> Option<&Resource> {
+        self.resources.iter().find(|r| r.id == id)
+    }
+
+    /// Look up a container by id.
+    pub fn container(&self, id: &str) -> Option<&ApplicationContainer> {
+        self.containers.iter().find(|c| c.id == id)
+    }
+
+    /// Containers hosting the given service.
+    pub fn containers_hosting<'a>(
+        &'a self,
+        service: &'a str,
+    ) -> impl Iterator<Item = &'a ApplicationContainer> + 'a {
+        self.containers.iter().filter(move |c| c.hosts(service))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn services() -> Vec<String> {
+        ["POD", "P3DR", "POR", "PSF"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = GridTopology::generate(20, &services(), 11);
+        let b = GridTopology::generate(20, &services(), 11);
+        assert_eq!(a, b);
+        let c = GridTopology::generate(20, &services(), 12);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_service_is_hosted_somewhere() {
+        for seed in 0..20 {
+            let topo = GridTopology::generate(5, &services(), seed);
+            for s in services() {
+                assert!(
+                    topo.containers_hosting(&s).count() > 0,
+                    "service {s} unhosted at seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn topology_is_heterogeneous() {
+        let topo = GridTopology::generate(40, &services(), 3);
+        let kinds: std::collections::BTreeSet<_> =
+            topo.resources.iter().map(|r| r.kind.label()).collect();
+        assert!(kinds.len() >= 2, "only kinds {kinds:?}");
+        let classes: std::collections::BTreeSet<_> = topo
+            .resources
+            .iter()
+            .map(|r| r.equivalence_class())
+            .collect();
+        assert!(classes.len() >= 3, "only classes {classes:?}");
+    }
+
+    #[test]
+    fn containers_bind_to_their_resources() {
+        let topo = GridTopology::generate(10, &services(), 5);
+        for c in &topo.containers {
+            assert!(topo.resource(&c.resource_id).is_some());
+        }
+        assert!(topo.container("ac-0").is_some());
+        assert!(topo.container("ac-99").is_none());
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let topo = GridTopology::generate(0, &services(), 1);
+        assert!(topo.resources.is_empty());
+        assert!(topo.containers.is_empty());
+    }
+
+    #[test]
+    fn hosted_services_have_matching_software() {
+        let topo = GridTopology::generate(15, &services(), 9);
+        for c in &topo.containers {
+            let r = topo.resource(&c.resource_id).unwrap();
+            for s in &c.services {
+                assert!(
+                    r.has_software(s),
+                    "container {} hosts {s} but resource lacks the package",
+                    c.id
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Data transformations for task migration (§1): "Additional data
+//! transformations may be necessary before and/or after migrating a
+//! task.  Transformation such as data compression/decompression,
+//! encryption/decryption and byte swapping are likely to be necessary."
+//!
+//! A [`TransformPlan`] is derived from the two endpoints of a migration:
+//! byte swapping when architectures differ in endianness, compression
+//! when the path is bandwidth-starved, encryption when the
+//! administrative domain changes.  Each step has a throughput cost, so a
+//! migration's total time is transfer + transformation.
+
+use crate::hardware::HardwareSpec;
+use crate::resource::Resource;
+use serde::{Deserialize, Serialize};
+
+/// One transformation step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Transform {
+    /// Compress before the wire, decompress after (lossless, ratio ~2×).
+    Compression,
+    /// Encrypt before leaving the administrative domain, decrypt after.
+    Encryption,
+    /// Swap byte order between endianness-incompatible architectures.
+    ByteSwap,
+}
+
+impl Transform {
+    /// Throughput of the step in MB/s (2004-era single-core figures).
+    pub fn throughput_mb_s(&self) -> f64 {
+        match self {
+            Transform::Compression => 40.0,
+            Transform::Encryption => 25.0,
+            Transform::ByteSwap => 400.0,
+        }
+    }
+
+    /// Factor applied to the on-the-wire size (compression shrinks it).
+    pub fn wire_size_factor(&self) -> f64 {
+        match self {
+            Transform::Compression => 0.5,
+            _ => 1.0,
+        }
+    }
+
+    /// Does the step run on both endpoints (encode + decode)?
+    pub fn is_symmetric(&self) -> bool {
+        matches!(self, Transform::Compression | Transform::Encryption)
+    }
+}
+
+/// Endianness of an architecture label (the `arch` field of
+/// [`HardwareSpec`]).  Unknown labels default to little-endian —
+/// commodity hardware.
+pub fn endianness(arch: &str) -> &'static str {
+    match arch {
+        "power" | "sparc" => "big",
+        _ => "little",
+    }
+}
+
+/// The ordered transformation steps a migration needs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TransformPlan {
+    /// Steps, applied source-side in order (and mirrored destination-side
+    /// for symmetric steps).
+    pub steps: Vec<Transform>,
+}
+
+impl TransformPlan {
+    /// Derive the plan for moving `data_mb` from `source` to `dest`:
+    ///
+    /// * differing endianness ⇒ byte swap;
+    /// * differing administrative domains ⇒ encryption;
+    /// * a bottleneck link under 100 Mbit/s ⇒ compression (the CPU cost
+    ///   pays for itself on slow wires).
+    pub fn for_migration(source: &Resource, dest: &Resource) -> TransformPlan {
+        let mut steps = Vec::new();
+        let bottleneck = source
+            .hardware
+            .bandwidth_mbps
+            .min(dest.hardware.bandwidth_mbps);
+        if bottleneck < 100.0 {
+            steps.push(Transform::Compression);
+        }
+        if source.domain != dest.domain {
+            steps.push(Transform::Encryption);
+        }
+        if endianness(&source.hardware.arch) != endianness(&dest.hardware.arch) {
+            steps.push(Transform::ByteSwap);
+        }
+        TransformPlan { steps }
+    }
+
+    /// Is any transformation needed?
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Seconds of CPU time the transformations take for `data_mb` MB
+    /// (symmetric steps run twice: encode at the source, decode at the
+    /// destination).
+    pub fn transform_time_s(&self, data_mb: f64) -> f64 {
+        self.steps
+            .iter()
+            .map(|s| {
+                let passes = if s.is_symmetric() { 2.0 } else { 1.0 };
+                passes * data_mb / s.throughput_mb_s()
+            })
+            .sum()
+    }
+
+    /// On-the-wire size after source-side transformations.
+    pub fn wire_size_mb(&self, data_mb: f64) -> f64 {
+        self.steps
+            .iter()
+            .fold(data_mb, |size, s| size * s.wire_size_factor())
+    }
+
+    /// Total migration time: transformations + transfer over the
+    /// bottleneck link between the endpoints' interconnects.
+    pub fn migration_time_s(&self, data_mb: f64, source: &HardwareSpec, dest: &HardwareSpec) -> f64 {
+        let bottleneck_mbps = source.bandwidth_mbps.min(dest.bandwidth_mbps).max(1e-9);
+        let transfer = self.wire_size_mb(data_mb) * 8.0 / bottleneck_mbps;
+        self.transform_time_s(data_mb) + transfer
+    }
+}
+
+/// Estimate a task migration between two resources: the derived plan and
+/// its total time for `data_mb` of checkpoint/state data.
+pub fn estimate_migration(
+    source: &Resource,
+    dest: &Resource,
+    data_mb: f64,
+) -> (TransformPlan, f64) {
+    let plan = TransformPlan::for_migration(source, dest);
+    let time = plan.migration_time_s(data_mb, &source.hardware, &dest.hardware);
+    (plan, time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::ResourceKind;
+
+    fn pc(domain: &str) -> Resource {
+        Resource::new(format!("pc-{domain}"), ResourceKind::PcCluster).at("x", domain)
+    }
+
+    fn sc(domain: &str) -> Resource {
+        Resource::new(format!("sc-{domain}"), ResourceKind::Supercomputer).at("y", domain)
+    }
+
+    fn ws(domain: &str) -> Resource {
+        Resource::new(format!("ws-{domain}"), ResourceKind::Workstation).at("z", domain)
+    }
+
+    #[test]
+    fn same_domain_same_arch_fast_link_needs_nothing() {
+        let a = sc("anl.gov");
+        let mut b = sc("anl.gov");
+        b.id = "sc-2".into();
+        let plan = TransformPlan::for_migration(&a, &b);
+        assert!(plan.is_empty());
+        assert_eq!(plan.transform_time_s(1000.0), 0.0);
+    }
+
+    #[test]
+    fn cross_domain_adds_encryption() {
+        let plan = TransformPlan::for_migration(&pc("ucf.edu"), &pc("purdue.edu"));
+        assert!(plan.steps.contains(&Transform::Encryption));
+        assert!(!plan.steps.contains(&Transform::ByteSwap), "same endianness");
+    }
+
+    #[test]
+    fn endianness_mismatch_adds_byte_swap() {
+        // PC cluster is x86 (little); supercomputer preset is power (big).
+        let plan = TransformPlan::for_migration(&pc("ucf.edu"), &sc("ucf.edu"));
+        assert!(plan.steps.contains(&Transform::ByteSwap));
+        assert_eq!(endianness("x86"), "little");
+        assert_eq!(endianness("power"), "big");
+        assert_eq!(endianness("mystery"), "little");
+    }
+
+    #[test]
+    fn slow_links_add_compression() {
+        // Workstation preset: 10 Mbit/s — well under the threshold.
+        let plan = TransformPlan::for_migration(&ws("ucf.edu"), &pc("ucf.edu"));
+        assert!(plan.steps.contains(&Transform::Compression));
+        // Supercomputer-to-supercomputer: no compression.
+        let fast = TransformPlan::for_migration(&sc("a"), &sc("a"));
+        assert!(!fast.steps.contains(&Transform::Compression));
+    }
+
+    #[test]
+    fn compression_halves_wire_size_and_costs_two_passes() {
+        let plan = TransformPlan {
+            steps: vec![Transform::Compression],
+        };
+        assert_eq!(plan.wire_size_mb(100.0), 50.0);
+        let t = plan.transform_time_s(100.0);
+        assert!((t - 2.0 * 100.0 / 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn byte_swap_is_one_pass_and_size_neutral() {
+        let plan = TransformPlan {
+            steps: vec![Transform::ByteSwap],
+        };
+        assert_eq!(plan.wire_size_mb(64.0), 64.0);
+        assert!((plan.transform_time_s(64.0) - 64.0 / 400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compression_pays_off_on_slow_wires_only() {
+        let data = 1000.0;
+        let slow_src = ws("a");
+        let slow_dst = ws("a");
+        let with = TransformPlan {
+            steps: vec![Transform::Compression],
+        }
+        .migration_time_s(data, &slow_src.hardware, &slow_dst.hardware);
+        let without = TransformPlan::default().migration_time_s(
+            data,
+            &slow_src.hardware,
+            &slow_dst.hardware,
+        );
+        assert!(with < without, "compression must win on a 10 Mbit/s link");
+
+        let fast_src = sc("a");
+        let fast_dst = sc("a");
+        let with = TransformPlan {
+            steps: vec![Transform::Compression],
+        }
+        .migration_time_s(data, &fast_src.hardware, &fast_dst.hardware);
+        let without = TransformPlan::default().migration_time_s(
+            data,
+            &fast_src.hardware,
+            &fast_dst.hardware,
+        );
+        assert!(with > without, "compression must lose on a 2 Gbit/s link");
+    }
+
+    #[test]
+    fn estimate_migration_composes() {
+        let (plan, time) = estimate_migration(&pc("ucf.edu"), &sc("anl.gov"), 500.0);
+        // Cross-domain + endianness mismatch; PC link is 100 Mbit/s (not
+        // under the threshold), so no compression.
+        assert_eq!(
+            plan.steps,
+            vec![Transform::Encryption, Transform::ByteSwap]
+        );
+        assert!(time > 0.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! The execution-cost model: how long and how expensive one task
+//! execution is on a given resource.
+//!
+//! The model captures the §1 trade-offs: computational demand scales down
+//! with aggregate CPU capacity; *fine-grain* parallel tasks pay a
+//! latency-dominated synchronization penalty that makes commodity
+//! clusters a poor fit; data staging pays bandwidth costs (the paper's
+//! data sets are "GBytes or TBytes").
+
+use crate::resource::Resource;
+use serde::{Deserialize, Serialize};
+
+/// Computational demand of one task execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskDemand {
+    /// Service name being executed (e.g. `P3DR`).
+    pub service: String,
+    /// Total compute demand in Gflop.
+    pub gflop: f64,
+    /// Input data to stage in, in MBytes.
+    pub input_mb: f64,
+    /// Output data to stage out, in MBytes.
+    pub output_mb: f64,
+    /// Degree of parallelism the task can exploit (nodes).
+    pub max_parallelism: u32,
+    /// Fine-grain parallel (frequent synchronization)?  If so, every
+    /// compute step pays interconnect latency.
+    pub fine_grain: bool,
+    /// Synchronization rounds per Gflop when fine-grain.
+    pub sync_rounds_per_gflop: f64,
+}
+
+impl TaskDemand {
+    /// A coarse-grain task with the given demand.
+    pub fn coarse(service: impl Into<String>, gflop: f64, input_mb: f64) -> Self {
+        TaskDemand {
+            service: service.into(),
+            gflop,
+            input_mb,
+            output_mb: input_mb * 0.1,
+            max_parallelism: 64,
+            fine_grain: false,
+            sync_rounds_per_gflop: 0.0,
+        }
+    }
+
+    /// A fine-grain parallel task (e.g. the iterative 3D reconstruction).
+    pub fn fine(service: impl Into<String>, gflop: f64, input_mb: f64) -> Self {
+        TaskDemand {
+            service: service.into(),
+            gflop,
+            input_mb,
+            output_mb: input_mb * 0.1,
+            max_parallelism: 64,
+            fine_grain: true,
+            sync_rounds_per_gflop: 50.0,
+        }
+    }
+}
+
+/// Predicted duration and cost of an execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionEstimate {
+    /// Wall-clock seconds.
+    pub duration_s: f64,
+    /// Cost in market units.
+    pub cost: f64,
+    /// Nodes actually used.
+    pub nodes_used: u32,
+}
+
+/// Estimate one execution of `demand` on `resource`.
+///
+/// duration = compute + synchronization + staging, where
+///
+/// * compute = gflop / (nodes × GHz) — a GHz-node does ~1 Gflop/s here;
+/// * synchronization = rounds × latency (fine-grain only, and only when
+///   more than one node cooperates);
+/// * staging = (input+output) / bandwidth.
+pub fn estimate(demand: &TaskDemand, resource: &Resource) -> ExecutionEstimate {
+    let nodes_used = demand.max_parallelism.min(resource.nodes).max(1);
+    let compute_rate = nodes_used as f64 * resource.hardware.cpu_ghz; // Gflop/s
+    let compute_s = demand.gflop / compute_rate.max(1e-9);
+    let sync_s = if demand.fine_grain && nodes_used > 1 {
+        demand.gflop * demand.sync_rounds_per_gflop * (resource.hardware.latency_us * 1e-6)
+    } else {
+        0.0
+    };
+    let staging_s =
+        (demand.input_mb + demand.output_mb) * 8.0 / resource.hardware.bandwidth_mbps.max(1e-9);
+    let duration_s = compute_s + sync_s + staging_s;
+    let cost = resource.cost_per_cpu_hour * nodes_used as f64 * (duration_s / 3600.0);
+    ExecutionEstimate {
+        duration_s,
+        cost,
+        nodes_used,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::ResourceKind;
+
+    fn pc_cluster() -> Resource {
+        Resource::new("pc", ResourceKind::PcCluster).with_nodes(32)
+    }
+
+    fn supercomputer() -> Resource {
+        Resource::new("sc", ResourceKind::Supercomputer).with_nodes(32)
+    }
+
+    #[test]
+    fn coarse_grain_prefers_raw_clock() {
+        // Coarse-grain work: the higher-clocked PC cluster wins.
+        let demand = TaskDemand::coarse("POD", 500.0, 10.0);
+        let pc = estimate(&demand, &pc_cluster());
+        let sc = estimate(&demand, &supercomputer());
+        assert!(
+            pc.duration_s < sc.duration_s,
+            "pc {} vs sc {}",
+            pc.duration_s,
+            sc.duration_s
+        );
+    }
+
+    #[test]
+    fn fine_grain_prefers_fast_interconnect() {
+        // Fine-grain work: latency penalties sink the PC cluster — the
+        // paper's §1 example.
+        let demand = TaskDemand::fine("P3DR", 500.0, 10.0);
+        let pc = estimate(&demand, &pc_cluster());
+        let sc = estimate(&demand, &supercomputer());
+        assert!(
+            sc.duration_s < pc.duration_s,
+            "sc {} vs pc {}",
+            sc.duration_s,
+            pc.duration_s
+        );
+    }
+
+    #[test]
+    fn parallelism_is_capped_by_both_sides() {
+        let mut demand = TaskDemand::coarse("X", 100.0, 1.0);
+        demand.max_parallelism = 8;
+        let est = estimate(&demand, &pc_cluster());
+        assert_eq!(est.nodes_used, 8);
+        demand.max_parallelism = 128;
+        let est = estimate(&demand, &pc_cluster());
+        assert_eq!(est.nodes_used, 32);
+    }
+
+    #[test]
+    fn single_node_fine_grain_pays_no_sync() {
+        let demand = TaskDemand::fine("X", 100.0, 1.0);
+        let ws = Resource::new("ws", ResourceKind::Workstation);
+        let est = estimate(&demand, &ws);
+        let coarse_est = estimate(&TaskDemand::coarse("X", 100.0, 1.0), &ws);
+        assert!((est.duration_s - coarse_est.duration_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn staging_time_scales_with_data_size() {
+        let small = TaskDemand::coarse("X", 1.0, 10.0);
+        let big = TaskDemand::coarse("X", 1.0, 10_000.0);
+        let r = pc_cluster();
+        assert!(estimate(&big, &r).duration_s > estimate(&small, &r).duration_s);
+    }
+
+    #[test]
+    fn cost_scales_with_duration_and_nodes() {
+        let demand = TaskDemand::coarse("X", 1000.0, 1.0);
+        let cheap = pc_cluster().with_cost(0.1);
+        let pricey = pc_cluster().with_cost(10.0);
+        assert!(estimate(&demand, &pricey).cost > estimate(&demand, &cheap).cost);
+    }
+
+    #[test]
+    fn estimates_are_finite_and_positive() {
+        let demand = TaskDemand::fine("X", 123.0, 45.0);
+        for r in [pc_cluster(), supercomputer()] {
+            let e = estimate(&demand, &r);
+            assert!(e.duration_s.is_finite() && e.duration_s > 0.0);
+            assert!(e.cost.is_finite() && e.cost >= 0.0);
+        }
+    }
+}

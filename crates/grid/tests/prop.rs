@@ -1,0 +1,164 @@
+//! Property-based tests for the grid substrate.
+
+use gridflow_grid::failure::FailureModel;
+use gridflow_grid::market::SpotMarket;
+use gridflow_grid::resource::{Resource, ResourceKind};
+use gridflow_grid::sim::SimEngine;
+use gridflow_grid::transform::TransformPlan;
+use gridflow_grid::workload::{estimate, TaskDemand};
+use gridflow_grid::GridTopology;
+use proptest::prelude::*;
+
+fn resource_kind() -> impl Strategy<Value = ResourceKind> {
+    prop_oneof![
+        Just(ResourceKind::PcCluster),
+        Just(ResourceKind::Supercomputer),
+        Just(ResourceKind::Workstation),
+    ]
+}
+
+fn resource() -> impl Strategy<Value = Resource> {
+    (
+        resource_kind(),
+        1u32..256,
+        0.1f64..1.0,
+        0.01f64..5.0,
+        "[a-z]{3,8}",
+    )
+        .prop_map(|(kind, nodes, reliability, cost, domain)| {
+            Resource::new(format!("r-{domain}-{nodes}"), kind)
+                .with_nodes(nodes)
+                .at("loc", domain)
+                .with_reliability(reliability)
+                .with_cost(cost)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Execution estimates are finite, positive, and monotone in compute
+    /// demand and data size.
+    #[test]
+    fn estimates_monotone(r in resource(), gflop in 1.0f64..10_000.0, mb in 0.1f64..10_000.0) {
+        let base = TaskDemand::coarse("t", gflop, mb);
+        let more_compute = TaskDemand::coarse("t", gflop * 2.0, mb);
+        let more_data = TaskDemand::coarse("t", gflop, mb * 2.0);
+        let e0 = estimate(&base, &r);
+        prop_assert!(e0.duration_s.is_finite() && e0.duration_s > 0.0);
+        prop_assert!(e0.cost >= 0.0);
+        prop_assert!(estimate(&more_compute, &r).duration_s > e0.duration_s);
+        prop_assert!(estimate(&more_data, &r).duration_s > e0.duration_s);
+        // Fine-grain variant of the same work is never faster.
+        let fine = TaskDemand::fine("t", gflop, mb);
+        prop_assert!(estimate(&fine, &r).duration_s >= e0.duration_s - 1e-12);
+    }
+
+    /// More nodes never slow a task down (up to its parallelism cap).
+    #[test]
+    fn more_nodes_never_hurt(kind in resource_kind(), gflop in 1.0f64..1000.0) {
+        let small = Resource::new("s", kind).with_nodes(4);
+        let big = Resource::new("b", kind).with_nodes(64);
+        let demand = TaskDemand::coarse("t", gflop, 1.0);
+        prop_assert!(estimate(&demand, &big).duration_s <= estimate(&demand, &small).duration_s + 1e-12);
+    }
+
+    /// Market load conservation: every acquire is matched by its release,
+    /// returning the market to zero load, with prices never below base.
+    #[test]
+    fn market_load_conserves(resources in prop::collection::vec(resource(), 1..8),
+                             requests in prop::collection::vec(1u32..16, 0..12)) {
+        // Ensure unique ids.
+        let resources: Vec<Resource> = resources
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut r)| { r.id = format!("r{i}"); r })
+            .collect();
+        let mut market = SpotMarket::new(resources.clone());
+        let mut held: Vec<(String, u32)> = Vec::new();
+        for nodes in requests {
+            if let Ok((id, price)) = market.acquire(nodes, f64::INFINITY, |_| true) {
+                let base = resources.iter().find(|r| r.id == id).unwrap().cost_per_cpu_hour;
+                prop_assert!(price >= base * nodes as f64 - 1e-9, "price below base");
+                held.push((id, nodes));
+            }
+        }
+        for (id, nodes) in held {
+            market.release(&id, nodes).unwrap();
+        }
+        for offer in market.offers() {
+            prop_assert_eq!(offer.load, 0);
+        }
+    }
+
+    /// The sim engine delivers events in nondecreasing time order and
+    /// FIFO within a timestamp, for arbitrary schedules.
+    #[test]
+    fn sim_engine_ordering(times in prop::collection::vec(0u64..1000, 1..64)) {
+        let mut sim = SimEngine::new();
+        for (i, &t) in times.iter().enumerate() {
+            sim.schedule_at(t, i);
+        }
+        let mut last_time = 0;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        let mut current_time = u64::MAX;
+        while let Some(e) = sim.next() {
+            prop_assert!(e.time >= last_time);
+            if e.time != current_time {
+                current_time = e.time;
+                seen_at_time.clear();
+            }
+            // FIFO within a timestamp: payload indices increase.
+            if let Some(&prev) = seen_at_time.last() {
+                prop_assert!(e.payload > prev, "FIFO violated at t={}", e.time);
+            }
+            seen_at_time.push(e.payload);
+            last_time = e.time;
+        }
+    }
+
+    /// Failure models are deterministic per seed and their empirical rate
+    /// tracks the configured probability.
+    #[test]
+    fn failure_rate_statistics(seed in any::<u64>(), prob in 0.0f64..1.0) {
+        let mut a = FailureModel::new(seed, prob);
+        let mut b = FailureModel::new(seed, prob);
+        let oa: Vec<bool> = (0..500).map(|_| a.execution_fails(1.0)).collect();
+        let ob: Vec<bool> = (0..500).map(|_| b.execution_fails(1.0)).collect();
+        prop_assert_eq!(&oa, &ob);
+        let rate = oa.iter().filter(|&&f| f).count() as f64 / 500.0;
+        prop_assert!((rate - prob).abs() < 0.1, "rate {rate} vs prob {prob}");
+    }
+
+    /// Topology generation is deterministic per seed and hosts every
+    /// service somewhere.
+    #[test]
+    fn topology_invariants(sites in 1usize..20, seed in any::<u64>()) {
+        let services: Vec<String> = vec!["a".into(), "b".into(), "c".into()];
+        let t1 = GridTopology::generate(sites, &services, seed);
+        let t2 = GridTopology::generate(sites, &services, seed);
+        prop_assert_eq!(&t1, &t2);
+        prop_assert_eq!(t1.resources.len(), sites);
+        for s in &services {
+            prop_assert!(t1.containers_hosting(s).count() > 0, "{s} unhosted");
+        }
+        for c in &t1.containers {
+            prop_assert!(t1.resource(&c.resource_id).is_some());
+        }
+    }
+
+    /// Migration plans: transform time and wire size are nonnegative and
+    /// compression never increases the wire size.
+    #[test]
+    fn migration_plan_sanity(a in resource(), b in resource(), mb in 0.1f64..10_000.0) {
+        let plan = TransformPlan::for_migration(&a, &b);
+        prop_assert!(plan.transform_time_s(mb) >= 0.0);
+        prop_assert!(plan.wire_size_mb(mb) <= mb + 1e-9);
+        let t = plan.migration_time_s(mb, &a.hardware, &b.hardware);
+        prop_assert!(t.is_finite() && t > 0.0);
+        // Same endpoints ⇒ at most an encryption-free, swap-free plan.
+        let self_plan = TransformPlan::for_migration(&a, &a);
+        prop_assert!(!self_plan.steps.contains(&gridflow_grid::Transform::Encryption));
+        prop_assert!(!self_plan.steps.contains(&gridflow_grid::Transform::ByteSwap));
+    }
+}

@@ -1,0 +1,203 @@
+//! Slot facets: constraints attached to slot definitions.
+//!
+//! Protégé slots carry *facets* — value type, cardinality, required flag,
+//! allowed values, numeric ranges, and (for instance-typed slots) the class
+//! the referenced instance must belong to.  The brokerage service of the
+//! paper groups resources into "equivalence classes based upon different
+//! sets of properties"; facets are what make those property sets
+//! machine-checkable.
+
+use crate::value::{Value, ValueType};
+use serde::{Deserialize, Serialize};
+
+/// How many values a slot holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Cardinality {
+    /// Exactly zero or one value.
+    #[default]
+    Single,
+    /// A list of values (possibly empty); the facet checks apply to every
+    /// element of the list.
+    Multiple,
+}
+
+/// The set of constraints attached to a slot definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Facets {
+    /// The admissible type of (each element of) the value.
+    pub value_type: ValueType,
+    /// Single- or multi-valued.
+    pub cardinality: Cardinality,
+    /// Must an instance provide a value for this slot to validate?
+    pub required: bool,
+    /// If non-empty, the value must be one of these (enumeration facet).
+    pub allowed: Vec<Value>,
+    /// Inclusive lower bound for numeric values.
+    pub min: Option<f64>,
+    /// Inclusive upper bound for numeric values.
+    pub max: Option<f64>,
+    /// For `Ref`-typed slots: the class (or a subclass) the referenced
+    /// instance must belong to.  Checked by the knowledge base, which knows
+    /// the taxonomy.
+    pub ref_class: Option<String>,
+    /// Default value used when an instance omits the slot.
+    pub default: Option<Value>,
+}
+
+impl Default for Facets {
+    fn default() -> Self {
+        Facets {
+            value_type: ValueType::Any,
+            cardinality: Cardinality::Single,
+            required: false,
+            allowed: Vec::new(),
+            min: None,
+            max: None,
+            ref_class: None,
+            default: None,
+        }
+    }
+}
+
+impl Facets {
+    /// A fresh facet set admitting a single optional value of `value_type`.
+    pub fn of_type(value_type: ValueType) -> Self {
+        Facets {
+            value_type,
+            ..Facets::default()
+        }
+    }
+
+    /// Check a single (non-list) element against the element-level facets.
+    ///
+    /// Returns a human-readable reason on failure.  `Ref`-class conformance
+    /// is *not* checked here (the facet set has no access to the taxonomy);
+    /// the knowledge base layers that check on top.
+    pub fn check_element(&self, value: &Value) -> std::result::Result<(), String> {
+        if !self.value_type.admits(value) {
+            return Err(format!(
+                "expected {} but got {}",
+                self.value_type,
+                value.value_type()
+            ));
+        }
+        if !self.allowed.is_empty() && !self.allowed.iter().any(|a| a.loose_eq(value)) {
+            return Err(format!("value {value} is not in the allowed set"));
+        }
+        if let Some(min) = self.min {
+            match value.as_float() {
+                Some(x) if x < min => {
+                    return Err(format!("value {x} below minimum {min}"));
+                }
+                None => {
+                    return Err(format!("value {value} is not numeric but a minimum is set"));
+                }
+                _ => {}
+            }
+        }
+        if let Some(max) = self.max {
+            match value.as_float() {
+                Some(x) if x > max => {
+                    return Err(format!("value {x} above maximum {max}"));
+                }
+                None => {
+                    return Err(format!("value {value} is not numeric but a maximum is set"));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Check a full slot value (which is a list when the cardinality is
+    /// [`Cardinality::Multiple`]) against the facets.
+    pub fn check(&self, value: &Value) -> std::result::Result<(), String> {
+        match self.cardinality {
+            Cardinality::Single => self.check_element(value),
+            Cardinality::Multiple => {
+                let items = value
+                    .as_list()
+                    .ok_or_else(|| format!("multi-valued slot expects a list, got {value}"))?;
+                for (i, item) in items.iter().enumerate() {
+                    self.check_element(item)
+                        .map_err(|reason| format!("element {i}: {reason}"))?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_facet_rejects_mismatch() {
+        let f = Facets::of_type(ValueType::Int);
+        assert!(f.check(&Value::Int(5)).is_ok());
+        let err = f.check(&Value::str("five")).unwrap_err();
+        assert!(err.contains("expected Int"));
+    }
+
+    #[test]
+    fn allowed_values_facet() {
+        let mut f = Facets::of_type(ValueType::Str);
+        f.allowed = vec![Value::str("Text"), Value::str("Binary")];
+        assert!(f.check(&Value::str("Text")).is_ok());
+        assert!(f.check(&Value::str("Csv")).is_err());
+    }
+
+    #[test]
+    fn numeric_range_facet() {
+        let mut f = Facets::of_type(ValueType::Float);
+        f.min = Some(0.0);
+        f.max = Some(1.0);
+        assert!(f.check(&Value::Float(0.5)).is_ok());
+        assert!(f.check(&Value::Int(1)).is_ok());
+        assert!(f.check(&Value::Float(-0.1)).is_err());
+        assert!(f.check(&Value::Float(1.1)).is_err());
+    }
+
+    #[test]
+    fn range_on_non_numeric_value_is_an_error() {
+        let mut f = Facets::of_type(ValueType::Any);
+        f.min = Some(0.0);
+        assert!(f.check(&Value::str("x")).is_err());
+    }
+
+    #[test]
+    fn multivalued_slot_checks_each_element() {
+        let mut f = Facets::of_type(ValueType::Int);
+        f.cardinality = Cardinality::Multiple;
+        f.min = Some(0.0);
+        assert!(f
+            .check(&Value::List(vec![Value::Int(1), Value::Int(2)]))
+            .is_ok());
+        let err = f
+            .check(&Value::List(vec![Value::Int(1), Value::Int(-2)]))
+            .unwrap_err();
+        assert!(err.contains("element 1"));
+    }
+
+    #[test]
+    fn multivalued_slot_rejects_scalar() {
+        let mut f = Facets::of_type(ValueType::Int);
+        f.cardinality = Cardinality::Multiple;
+        assert!(f.check(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn empty_list_is_valid_for_multivalued() {
+        let mut f = Facets::of_type(ValueType::Str);
+        f.cardinality = Cardinality::Multiple;
+        assert!(f.check(&Value::List(vec![])).is_ok());
+    }
+
+    #[test]
+    fn allowed_set_is_numerically_tolerant() {
+        let mut f = Facets::of_type(ValueType::Float);
+        f.allowed = vec![Value::Float(1.0), Value::Float(2.0)];
+        assert!(f.check(&Value::Int(1)).is_ok());
+    }
+}

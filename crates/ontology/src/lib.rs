@@ -1,0 +1,67 @@
+//! # gridflow-ontology
+//!
+//! A frame-based ontology / knowledge-base substrate, in the style of
+//! Protégé-2000, as used by the GridFlow reproduction of *"Metainformation
+//! and Workflow Management for Solving Complex Problems in Grid
+//! Environments"* (Yu et al., IPDPS 2004).
+//!
+//! The paper keeps all metainformation manipulated by its agents in
+//! **ontologies**: collections of *classes* with *slots* (typed, faceted
+//! attributes) and *instances* that populate those classes.  The ontology
+//! service of the paper distributes *ontology shells* (classes and slots but
+//! no instances) as well as populated ontologies.  The original used the
+//! Java-based Protégé tool; since no comparable frame-ontology ecosystem
+//! exists in Rust, this crate provides the substrate from scratch:
+//!
+//! * [`Value`] — the dynamic value space slots range over;
+//! * [`SlotDef`] / [`Facets`] — slot definitions with validation facets
+//!   (value type, cardinality, required, allowed values, numeric bounds,
+//!   instance-class ranges);
+//! * [`ClassDef`] — classes with single inheritance;
+//! * [`Instance`] — frames populating classes;
+//! * [`KnowledgeBase`] — the store: class taxonomy, instance catalog,
+//!   effective-slot resolution, validation, shells, JSON persistence;
+//! * [`Query`] — a small conjunctive/disjunctive query engine over
+//!   instances, used by the information and matchmaking services;
+//! * [`schema`] — the concrete grid ontology of the paper's Figure 12
+//!   (Task, ProcessDescription, CaseDescription, Activity, Transition,
+//!   Data, Service, Resource, Hardware, Software).
+//!
+//! ## Example
+//!
+//! ```
+//! use gridflow_ontology::{KnowledgeBase, ClassDef, SlotDef, ValueType, Value, Instance};
+//!
+//! let mut kb = KnowledgeBase::new("demo");
+//! kb.add_class(
+//!     ClassDef::new("Data")
+//!         .with_slot(SlotDef::required("Name", ValueType::Str))
+//!         .with_slot(SlotDef::optional("Size", ValueType::Int)),
+//! ).unwrap();
+//! let inst = Instance::new("D1", "Data")
+//!     .with("Name", Value::str("2D image stack"))
+//!     .with("Size", Value::Int(1_500_000_000));
+//! kb.add_instance(inst).unwrap();
+//! assert_eq!(kb.instances_of("Data").count(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod class;
+pub mod error;
+pub mod facet;
+pub mod instance;
+pub mod kb;
+pub mod query;
+pub mod schema;
+pub mod slot;
+pub mod value;
+
+pub use class::ClassDef;
+pub use error::{OntologyError, Result};
+pub use facet::{Cardinality, Facets};
+pub use instance::Instance;
+pub use kb::KnowledgeBase;
+pub use query::{Query, SlotCond};
+pub use slot::SlotDef;
+pub use value::{Value, ValueType};

@@ -1,0 +1,377 @@
+//! The concrete grid ontology of the paper (Figure 12).
+//!
+//! Figure 12 of the paper gives the "logic view of the ontology structure
+//! used by the framework": ten interlinked classes — Task,
+//! ProcessDescription, CaseDescription, Activity, Transition, Data,
+//! Service, Resource, Hardware, Software — each with the slots listed in
+//! the figure.  [`grid_ontology_shell`] builds that shell; the case-study
+//! module of the `gridflow` facade crate populates it with the instances of
+//! Figure 13.
+
+use crate::class::ClassDef;
+use crate::kb::KnowledgeBase;
+use crate::slot::SlotDef;
+use crate::value::{Value, ValueType};
+
+/// Class name constants, so call-sites don't scatter string literals.
+pub mod classes {
+    /// The `Task` class.
+    pub const TASK: &str = "Task";
+    /// The `ProcessDescription` class.
+    pub const PROCESS_DESCRIPTION: &str = "ProcessDescription";
+    /// The `CaseDescription` class.
+    pub const CASE_DESCRIPTION: &str = "CaseDescription";
+    /// The `Activity` class.
+    pub const ACTIVITY: &str = "Activity";
+    /// The `Transition` class.
+    pub const TRANSITION: &str = "Transition";
+    /// The `Data` class.
+    pub const DATA: &str = "Data";
+    /// The `Service` class.
+    pub const SERVICE: &str = "Service";
+    /// The `Resource` class.
+    pub const RESOURCE: &str = "Resource";
+    /// The `Hardware` class.
+    pub const HARDWARE: &str = "Hardware";
+    /// The `Software` class.
+    pub const SOFTWARE: &str = "Software";
+}
+
+/// The activity `Type` values used in Figure 13.
+pub const ACTIVITY_TYPES: [&str; 7] = [
+    "Begin", "End", "End-user", "Fork", "Join", "Choice", "Merge",
+];
+
+/// Build the ontology shell of Figure 12: all ten classes with their slots,
+/// no instances.
+pub fn grid_ontology_shell() -> KnowledgeBase {
+    let mut kb = KnowledgeBase::new("grid-core");
+
+    kb.add_class(
+        ClassDef::new(classes::HARDWARE)
+            .with_doc("Hardware characteristics of a resource")
+            .with_slot(SlotDef::optional("Type", ValueType::Str))
+            .with_slot(
+                SlotDef::optional("Speed", ValueType::Float)
+                    .with_doc("CPU speed in GHz")
+                    .with_range(Some(0.0), None),
+            )
+            .with_slot(
+                SlotDef::optional("Size", ValueType::Int)
+                    .with_doc("Main memory in MBytes")
+                    .with_range(Some(0.0), None),
+            )
+            .with_slot(
+                SlotDef::optional("Bandwidth", ValueType::Float)
+                    .with_doc("Interconnect bandwidth in Mbit/s")
+                    .with_range(Some(0.0), None),
+            )
+            .with_slot(
+                SlotDef::optional("Latency", ValueType::Float)
+                    .with_doc("Interconnect latency in microseconds")
+                    .with_range(Some(0.0), None),
+            )
+            .with_slot(SlotDef::optional("Manufacturer", ValueType::Str))
+            .with_slot(SlotDef::optional("Model", ValueType::Str))
+            .with_slot(SlotDef::optional("Comment", ValueType::Str)),
+    )
+    .expect("fresh KB");
+
+    kb.add_class(
+        ClassDef::new(classes::SOFTWARE)
+            .with_doc("A software package installed on a resource")
+            .with_slot(SlotDef::required("Name", ValueType::Str))
+            .with_slot(SlotDef::optional("Type", ValueType::Str))
+            .with_slot(SlotDef::optional("Manufacturer", ValueType::Str))
+            .with_slot(SlotDef::optional("Version", ValueType::Str))
+            .with_slot(SlotDef::optional("Distribution", ValueType::Str)),
+    )
+    .expect("fresh KB");
+
+    kb.add_class(
+        ClassDef::new(classes::RESOURCE)
+            .with_doc("A computational resource (node, cluster, storage site)")
+            .with_slot(SlotDef::required("Name", ValueType::Str))
+            .with_slot(SlotDef::optional("Type", ValueType::Str))
+            .with_slot(SlotDef::optional("Location", ValueType::Str))
+            .with_slot(
+                SlotDef::optional("Number of Nodes", ValueType::Int).with_range(Some(1.0), None),
+            )
+            .with_slot(SlotDef::optional("Administration Domain", ValueType::Str))
+            .with_slot(SlotDef::reference("Hardware", classes::HARDWARE))
+            .with_slot(SlotDef::reference_multi("Software", classes::SOFTWARE))
+            .with_slot(SlotDef::multi("Access Set", ValueType::Str)),
+    )
+    .expect("fresh KB");
+
+    kb.add_class(
+        ClassDef::new(classes::DATA)
+            .with_doc("A data item manipulated by activities")
+            .with_slot(SlotDef::required("Name", ValueType::Str))
+            .with_slot(SlotDef::optional("Location", ValueType::Str))
+            .with_slot(SlotDef::optional("Time Stamp", ValueType::Int))
+            .with_slot(SlotDef::optional("Value", ValueType::Any))
+            .with_slot(SlotDef::optional("Category", ValueType::Str))
+            .with_slot(SlotDef::optional("Format", ValueType::Str))
+            .with_slot(SlotDef::optional("Owner", ValueType::Str))
+            .with_slot(SlotDef::optional("Creator", ValueType::Str))
+            .with_slot(SlotDef::optional("Size", ValueType::Int).with_range(Some(0.0), None))
+            .with_slot(SlotDef::optional("Creation Date", ValueType::Str))
+            .with_slot(SlotDef::optional("Description", ValueType::Str))
+            .with_slot(SlotDef::optional("Latest Modified Date", ValueType::Str))
+            .with_slot(
+                SlotDef::optional("Classification", ValueType::Str)
+                    .with_doc("Semantic kind of the data, e.g. \"2D Image\" or \"3D Model\""),
+            )
+            .with_slot(SlotDef::optional("Type", ValueType::Str))
+            .with_slot(SlotDef::optional("Access Right", ValueType::Str)),
+    )
+    .expect("fresh KB");
+
+    kb.add_class(
+        ClassDef::new(classes::SERVICE)
+            .with_doc("An end-user computing service offered by an application container")
+            .with_slot(SlotDef::required("Name", ValueType::Str))
+            .with_slot(SlotDef::optional("Type", ValueType::Str))
+            .with_slot(SlotDef::optional("Time Stamp", ValueType::Int))
+            .with_slot(SlotDef::multi("User Set", ValueType::Str))
+            .with_slot(SlotDef::optional("Location", ValueType::Str))
+            .with_slot(SlotDef::optional("Creation Date", ValueType::Str))
+            .with_slot(SlotDef::optional("Version", ValueType::Str))
+            .with_slot(SlotDef::optional("Description", ValueType::Str))
+            .with_slot(SlotDef::multi("Command History", ValueType::Str))
+            .with_slot(
+                SlotDef::multi("Input Condition", ValueType::Str)
+                    .with_doc("Preconditions C_i on the input data, in the condition language"),
+            )
+            .with_slot(
+                SlotDef::multi("Output Condition", ValueType::Str)
+                    .with_doc("Postconditions on the output data, in the condition language"),
+            )
+            .with_slot(SlotDef::multi("Input Data Set", ValueType::Str))
+            .with_slot(SlotDef::multi("Output Data Set", ValueType::Str))
+            .with_slot(SlotDef::multi("Input Data Order", ValueType::Str))
+            .with_slot(SlotDef::multi("Output Data Order", ValueType::Str))
+            .with_slot(SlotDef::optional("Cost", ValueType::Float).with_range(Some(0.0), None))
+            .with_slot(SlotDef::reference("Resource", classes::RESOURCE)),
+    )
+    .expect("fresh KB");
+
+    kb.add_class(
+        ClassDef::new(classes::ACTIVITY)
+            .with_doc("One activity of a process description")
+            .with_slot(SlotDef::required("ID", ValueType::Str))
+            .with_slot(SlotDef::required("Name", ValueType::Str))
+            .with_slot(SlotDef::optional("Task ID", ValueType::Str))
+            .with_slot(SlotDef::optional("Owner", ValueType::Str))
+            .with_slot(SlotDef::optional("Service Name", ValueType::Str))
+            .with_slot(
+                SlotDef::required("Type", ValueType::Str)
+                    .with_allowed(ACTIVITY_TYPES.iter().map(|t| Value::str(*t))),
+            )
+            .with_slot(SlotDef::optional("Execution Location", ValueType::Str))
+            .with_slot(SlotDef::multi("Input Data Set", ValueType::Ref))
+            .with_slot(SlotDef::multi("Output Data Set", ValueType::Ref))
+            .with_slot(SlotDef::multi("Input Data Order", ValueType::Str))
+            .with_slot(SlotDef::multi("Output Data Order", ValueType::Str))
+            .with_slot(SlotDef::optional("Status", ValueType::Str))
+            .with_slot(SlotDef::optional("Constraint", ValueType::Str))
+            .with_slot(SlotDef::optional("Work Directory", ValueType::Str))
+            .with_slot(SlotDef::multi("Direct Predecessor Set", ValueType::Ref))
+            .with_slot(SlotDef::multi("Direct Successor Set", ValueType::Ref))
+            .with_slot(
+                SlotDef::optional("Retry Count", ValueType::Int)
+                    .with_range(Some(0.0), None)
+                    .with_default(Value::Int(0)),
+            )
+            .with_slot(SlotDef::optional("Dispatched By", ValueType::Str)),
+    )
+    .expect("fresh KB");
+
+    kb.add_class(
+        ClassDef::new(classes::TRANSITION)
+            .with_doc("A directed edge between two activities")
+            .with_slot(SlotDef::required("ID", ValueType::Str))
+            .with_slot(SlotDef::reference("Source Activity", classes::ACTIVITY).require())
+            .with_slot(SlotDef::reference("Destination Activity", classes::ACTIVITY).require()),
+    )
+    .expect("fresh KB");
+
+    kb.add_class(
+        ClassDef::new(classes::PROCESS_DESCRIPTION)
+            .with_doc("A formal description of the complex problem to solve")
+            .with_slot(SlotDef::optional("ID", ValueType::Str))
+            .with_slot(SlotDef::required("Name", ValueType::Str))
+            .with_slot(SlotDef::optional("Location", ValueType::Str))
+            .with_slot(SlotDef::reference_multi("Activity Set", classes::ACTIVITY))
+            .with_slot(SlotDef::reference_multi("Transition Set", classes::TRANSITION))
+            .with_slot(SlotDef::optional("Creator", ValueType::Str)),
+    )
+    .expect("fresh KB");
+
+    kb.add_class(
+        ClassDef::new(classes::CASE_DESCRIPTION)
+            .with_doc("Instance information for one run of a process description")
+            .with_slot(SlotDef::optional("ID", ValueType::Str))
+            .with_slot(SlotDef::required("Name", ValueType::Str))
+            .with_slot(SlotDef::reference_multi("Initial Data Set", classes::DATA))
+            .with_slot(SlotDef::reference_multi("Result Set", classes::DATA))
+            .with_slot(SlotDef::multi("Constraint", ValueType::Str))
+            .with_slot(SlotDef::optional("Goal", ValueType::Str))
+            .with_slot(SlotDef::multi("Condition", ValueType::Str)),
+    )
+    .expect("fresh KB");
+
+    kb.add_class(
+        ClassDef::new(classes::TASK)
+            .with_doc("A top-level computing task submitted by an end user")
+            .with_slot(SlotDef::required("ID", ValueType::Str))
+            .with_slot(SlotDef::required("Name", ValueType::Str))
+            .with_slot(SlotDef::optional("Owner", ValueType::Str))
+            .with_slot(SlotDef::optional("Submit Location", ValueType::Str))
+            .with_slot(SlotDef::optional("Status", ValueType::Str))
+            .with_slot(SlotDef::reference_multi("Data Set", classes::DATA))
+            .with_slot(SlotDef::reference_multi("Result Set", classes::DATA))
+            .with_slot(SlotDef::reference("Case Description", classes::CASE_DESCRIPTION))
+            .with_slot(SlotDef::reference(
+                "Process Description",
+                classes::PROCESS_DESCRIPTION,
+            ))
+            .with_slot(
+                SlotDef::optional("Need Planning", ValueType::Bool)
+                    .with_default(Value::Bool(false)),
+            ),
+    )
+    .expect("fresh KB");
+
+    kb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::Instance;
+
+    #[test]
+    fn shell_has_the_ten_classes_of_figure_12() {
+        let kb = grid_ontology_shell();
+        assert!(kb.is_shell());
+        assert_eq!(kb.class_count(), 10);
+        for name in [
+            classes::TASK,
+            classes::PROCESS_DESCRIPTION,
+            classes::CASE_DESCRIPTION,
+            classes::ACTIVITY,
+            classes::TRANSITION,
+            classes::DATA,
+            classes::SERVICE,
+            classes::RESOURCE,
+            classes::HARDWARE,
+            classes::SOFTWARE,
+        ] {
+            assert!(kb.class(name).is_some(), "missing class {name}");
+        }
+    }
+
+    #[test]
+    fn activity_slots_match_figure_12() {
+        let kb = grid_ontology_shell();
+        let slots: Vec<&str> = kb
+            .effective_slots(classes::ACTIVITY)
+            .unwrap()
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
+        for expected in [
+            "ID",
+            "Name",
+            "Task ID",
+            "Owner",
+            "Service Name",
+            "Type",
+            "Execution Location",
+            "Input Data Set",
+            "Output Data Set",
+            "Input Data Order",
+            "Output Data Order",
+            "Status",
+            "Constraint",
+            "Work Directory",
+            "Direct Predecessor Set",
+            "Direct Successor Set",
+            "Retry Count",
+            "Dispatched By",
+        ] {
+            assert!(slots.contains(&expected), "missing Activity slot {expected}");
+        }
+        assert_eq!(slots.len(), 18);
+    }
+
+    #[test]
+    fn activity_type_is_restricted_to_the_seven_kinds() {
+        let mut kb = grid_ontology_shell();
+        kb.add_instance(
+            Instance::new("A1", classes::ACTIVITY)
+                .with("ID", Value::str("A1"))
+                .with("Name", Value::str("BEGIN"))
+                .with("Type", Value::str("Begin")),
+        )
+        .unwrap();
+        let err = kb
+            .add_instance(
+                Instance::new("A2", classes::ACTIVITY)
+                    .with("ID", Value::str("A2"))
+                    .with("Name", Value::str("X"))
+                    .with("Type", Value::str("Loop")),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("allowed set"));
+    }
+
+    #[test]
+    fn retry_count_defaults_to_zero() {
+        let mut kb = grid_ontology_shell();
+        kb.add_instance(
+            Instance::new("A1", classes::ACTIVITY)
+                .with("ID", Value::str("A1"))
+                .with("Name", Value::str("POD"))
+                .with("Type", Value::str("End-user")),
+        )
+        .unwrap();
+        assert_eq!(kb.instance("A1").unwrap().get_int("Retry Count"), Some(0));
+    }
+
+    #[test]
+    fn transition_requires_endpoints() {
+        let mut kb = grid_ontology_shell();
+        let err = kb
+            .add_instance(Instance::new("TR1", classes::TRANSITION).with("ID", Value::str("TR1")))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::OntologyError::MissingRequiredSlot { .. }
+        ));
+    }
+
+    #[test]
+    fn hardware_speed_must_be_non_negative() {
+        let mut kb = grid_ontology_shell();
+        let err = kb
+            .add_instance(
+                Instance::new("hw", classes::HARDWARE).with("Speed", Value::Float(-2.0)),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::OntologyError::FacetViolation { .. }
+        ));
+    }
+
+    #[test]
+    fn shell_round_trips_through_json() {
+        let kb = grid_ontology_shell();
+        let json = kb.to_json().unwrap();
+        let back = KnowledgeBase::from_json(&json).unwrap();
+        assert_eq!(kb, back);
+    }
+}

@@ -1,0 +1,134 @@
+//! Slot definitions: named, faceted attributes of a class.
+
+use crate::facet::{Cardinality, Facets};
+use crate::value::{Value, ValueType};
+use serde::{Deserialize, Serialize};
+
+/// A named slot with its facets, as attached to a [`crate::ClassDef`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotDef {
+    /// Slot name, unique within the effective slot set of a class.
+    pub name: String,
+    /// Human-readable documentation.
+    pub doc: String,
+    /// Constraints on values stored under this slot.
+    pub facets: Facets,
+}
+
+impl SlotDef {
+    /// A new optional, single-valued slot of the given type.
+    pub fn optional(name: impl Into<String>, value_type: ValueType) -> Self {
+        SlotDef {
+            name: name.into(),
+            doc: String::new(),
+            facets: Facets::of_type(value_type),
+        }
+    }
+
+    /// A new required, single-valued slot of the given type.
+    pub fn required(name: impl Into<String>, value_type: ValueType) -> Self {
+        let mut slot = Self::optional(name, value_type);
+        slot.facets.required = true;
+        slot
+    }
+
+    /// A new multi-valued slot whose elements have the given type.
+    pub fn multi(name: impl Into<String>, value_type: ValueType) -> Self {
+        let mut slot = Self::optional(name, value_type);
+        slot.facets.cardinality = Cardinality::Multiple;
+        slot
+    }
+
+    /// A new single-valued slot referencing instances of `class`.
+    pub fn reference(name: impl Into<String>, class: impl Into<String>) -> Self {
+        let mut slot = Self::optional(name, ValueType::Ref);
+        slot.facets.ref_class = Some(class.into());
+        slot
+    }
+
+    /// A new multi-valued slot whose elements reference instances of
+    /// `class`.
+    pub fn reference_multi(name: impl Into<String>, class: impl Into<String>) -> Self {
+        let mut slot = Self::multi(name, ValueType::Ref);
+        slot.facets.ref_class = Some(class.into());
+        slot
+    }
+
+    /// Attach documentation (builder style).
+    pub fn with_doc(mut self, doc: impl Into<String>) -> Self {
+        self.doc = doc.into();
+        self
+    }
+
+    /// Mark the slot required (builder style).
+    pub fn require(mut self) -> Self {
+        self.facets.required = true;
+        self
+    }
+
+    /// Restrict the slot to an enumerated set of values (builder style).
+    pub fn with_allowed<I>(mut self, allowed: I) -> Self
+    where
+        I: IntoIterator<Item = Value>,
+    {
+        self.facets.allowed = allowed.into_iter().collect();
+        self
+    }
+
+    /// Set an inclusive numeric range (builder style).
+    pub fn with_range(mut self, min: Option<f64>, max: Option<f64>) -> Self {
+        self.facets.min = min;
+        self.facets.max = max;
+        self
+    }
+
+    /// Set a default value (builder style).
+    pub fn with_default(mut self, default: Value) -> Self {
+        self.facets.default = Some(default);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_expected_facets() {
+        let s = SlotDef::required("Name", ValueType::Str);
+        assert!(s.facets.required);
+        assert_eq!(s.facets.cardinality, Cardinality::Single);
+
+        let m = SlotDef::multi("Data Set", ValueType::Ref);
+        assert_eq!(m.facets.cardinality, Cardinality::Multiple);
+        assert!(!m.facets.required);
+
+        let r = SlotDef::reference("Hardware", "Hardware");
+        assert_eq!(r.facets.ref_class.as_deref(), Some("Hardware"));
+        assert_eq!(r.facets.value_type, ValueType::Ref);
+
+        let rm = SlotDef::reference_multi("Activity Set", "Activity");
+        assert_eq!(rm.facets.cardinality, Cardinality::Multiple);
+        assert_eq!(rm.facets.ref_class.as_deref(), Some("Activity"));
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let s = SlotDef::optional("Type", ValueType::Str)
+            .with_doc("Kind of resource")
+            .require()
+            .with_allowed([Value::str("Cluster"), Value::str("Workstation")])
+            .with_default(Value::str("Workstation"));
+        assert!(s.facets.required);
+        assert_eq!(s.doc, "Kind of resource");
+        assert_eq!(s.facets.allowed.len(), 2);
+        assert_eq!(s.facets.default, Some(Value::str("Workstation")));
+    }
+
+    #[test]
+    fn range_builder() {
+        let s = SlotDef::optional("Speed", ValueType::Float).with_range(Some(0.0), None);
+        assert_eq!(s.facets.min, Some(0.0));
+        assert_eq!(s.facets.max, None);
+    }
+}

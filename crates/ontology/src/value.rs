@@ -1,0 +1,368 @@
+//! The dynamic value space that slots range over.
+//!
+//! The paper's ontology (Fig. 12) stores strings (names, locations,
+//! classifications), integers (sizes, counts), floats (speeds, resolution
+//! values), booleans (flags such as `Need Planning`), lists (activity sets,
+//! transition sets, data sets) and references to other instances.  [`Value`]
+//! models that space; [`ValueType`] is the corresponding type tag used by
+//! slot facets.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A dynamically typed slot value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// UTF-8 string.
+    Str(String),
+    /// 64-bit signed integer (sizes, counts, versions).
+    Int(i64),
+    /// 64-bit float (speeds, bandwidth, resolution).
+    Float(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Ordered list of values (activity sets, data sets, …).
+    List(Vec<Value>),
+    /// Reference to another instance by its identifier.
+    Ref(String),
+}
+
+impl Value {
+    /// Convenience constructor for a string value.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Convenience constructor for an instance reference.
+    pub fn reference(id: impl Into<String>) -> Self {
+        Value::Ref(id.into())
+    }
+
+    /// Convenience constructor for a list of string values.
+    pub fn str_list<I, S>(items: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Value::List(items.into_iter().map(|s| Value::Str(s.into())).collect())
+    }
+
+    /// Convenience constructor for a list of instance references.
+    pub fn ref_list<I, S>(items: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Value::List(items.into_iter().map(|s| Value::Ref(s.into())).collect())
+    }
+
+    /// The runtime type tag of this value.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::Str(_) => ValueType::Str,
+            Value::Int(_) => ValueType::Int,
+            Value::Float(_) => ValueType::Float,
+            Value::Bool(_) => ValueType::Bool,
+            Value::List(_) => ValueType::List,
+            Value::Ref(_) => ValueType::Ref,
+        }
+    }
+
+    /// Borrow the string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is a [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The float payload; integers are widened so numeric slots can be
+    /// compared uniformly.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Borrow the list payload, if this is a [`Value::List`].
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow the referenced instance id, if this is a [`Value::Ref`].
+    pub fn as_ref_id(&self) -> Option<&str> {
+        match self {
+            Value::Ref(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Ordered comparison used by the condition sub-language of the process
+    /// description grammar (`<data>.<property> <op> <value>`).
+    ///
+    /// Numeric values compare numerically (with `Int` widened to `Float`),
+    /// strings and references lexicographically, booleans with
+    /// `false < true`.  Lists and mixed non-numeric types are unordered and
+    /// return `None`.
+    pub fn partial_cmp_value(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Str(a), Str(b)) => Some(a.cmp(b)),
+            (Ref(a), Ref(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (a, b) => {
+                if let (Some(x), Some(y)) = (a.as_float(), b.as_float()) {
+                    x.partial_cmp(&y)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Equality as used by the condition sub-language: numerically tolerant
+    /// across `Int`/`Float`, structural otherwise.
+    pub fn loose_eq(&self, other: &Value) -> bool {
+        match (self.as_float(), other.as_float()) {
+            (Some(a), Some(b)) => a == b,
+            _ => self == other,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Int(i) => write!(f, "{i}"),
+            // Keep whole-valued floats recognizably float ("8.0", not
+            // "8") so printed conditions re-parse to the same variant.
+            Value::Float(x) if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 => {
+                write!(f, "{x:.1}")
+            }
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Ref(r) => write!(f, "@{r}"),
+            Value::List(items) => {
+                write!(f, "{{")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+/// Type tag restricting what a slot may hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ValueType {
+    /// Any value is admissible.
+    Any,
+    /// UTF-8 string.
+    Str,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float (also admits integers, which widen losslessly enough
+    /// for the metadata the paper stores).
+    Float,
+    /// Boolean.
+    Bool,
+    /// List of values.
+    List,
+    /// Reference to another instance.
+    Ref,
+}
+
+impl ValueType {
+    /// Does `value` conform to this type tag?
+    pub fn admits(&self, value: &Value) -> bool {
+        match self {
+            ValueType::Any => true,
+            ValueType::Float => matches!(value, Value::Float(_) | Value::Int(_)),
+            other => value.value_type() == *other,
+        }
+    }
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ValueType::Any => "Any",
+            ValueType::Str => "Str",
+            ValueType::Int => "Int",
+            ValueType::Float => "Float",
+            ValueType::Bool => "Bool",
+            ValueType::List => "List",
+            ValueType::Ref => "Ref",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_return_expected_payloads() {
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Float(1.5).as_float(), Some(1.5));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::reference("D1").as_ref_id(), Some("D1"));
+        assert_eq!(
+            Value::str_list(["a", "b"]).as_list().map(|l| l.len()),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn accessors_reject_wrong_variants() {
+        assert_eq!(Value::Int(1).as_str(), None);
+        assert_eq!(Value::str("x").as_int(), None);
+        assert_eq!(Value::Bool(true).as_float(), None);
+        assert_eq!(Value::str("x").as_bool(), None);
+        assert_eq!(Value::Int(1).as_list(), None);
+        assert_eq!(Value::str("x").as_ref_id(), None);
+    }
+
+    #[test]
+    fn int_widens_to_float() {
+        assert_eq!(Value::Int(3).as_float(), Some(3.0));
+        assert!(ValueType::Float.admits(&Value::Int(3)));
+        assert!(!ValueType::Int.admits(&Value::Float(3.0)));
+    }
+
+    #[test]
+    fn numeric_comparison_is_cross_type() {
+        assert_eq!(
+            Value::Int(8).partial_cmp_value(&Value::Float(8.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Float(9.0).partial_cmp_value(&Value::Int(8)),
+            Some(Ordering::Greater)
+        );
+        assert!(Value::Int(8).loose_eq(&Value::Float(8.0)));
+    }
+
+    #[test]
+    fn strings_compare_lexicographically() {
+        assert_eq!(
+            Value::str("abc").partial_cmp_value(&Value::str("abd")),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn mixed_types_are_unordered() {
+        assert_eq!(Value::str("a").partial_cmp_value(&Value::Int(1)), None);
+        assert_eq!(
+            Value::List(vec![]).partial_cmp_value(&Value::List(vec![])),
+            None
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::str("x").to_string(), "\"x\"");
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::reference("D1").to_string(), "@D1");
+        assert_eq!(
+            Value::List(vec![Value::Int(1), Value::Int(2)]).to_string(),
+            "{1, 2}"
+        );
+    }
+
+    #[test]
+    fn any_admits_everything() {
+        for v in [
+            Value::str("x"),
+            Value::Int(1),
+            Value::Float(1.0),
+            Value::Bool(false),
+            Value::List(vec![]),
+            Value::reference("i"),
+        ] {
+            assert!(ValueType::Any.admits(&v));
+        }
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from("a"), Value::str("a"));
+        assert_eq!(Value::from(2i64), Value::Int(2));
+        assert_eq!(Value::from(2.5f64), Value::Float(2.5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let v = Value::List(vec![
+            Value::str("a"),
+            Value::Int(1),
+            Value::reference("D1"),
+            Value::Bool(true),
+        ]);
+        let json = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+}

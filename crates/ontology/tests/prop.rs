@@ -1,0 +1,153 @@
+//! Property-based tests for the ontology substrate.
+
+use gridflow_ontology::{
+    Cardinality, ClassDef, Instance, KnowledgeBase, Query, SlotCond, SlotDef, Value, ValueType,
+};
+use proptest::prelude::*;
+
+/// Strategy producing scalar (non-list) values.
+fn scalar_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::str),
+        any::<i64>().prop_map(Value::Int),
+        (-1.0e12f64..1.0e12).prop_map(Value::Float),
+        any::<bool>().prop_map(Value::Bool),
+        "[a-z]{1,6}".prop_map(Value::reference),
+    ]
+}
+
+/// Strategy producing arbitrary values including shallow lists.
+fn any_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        scalar_value(),
+        prop::collection::vec(scalar_value(), 0..5).prop_map(Value::List),
+    ]
+}
+
+proptest! {
+    /// Value serde round-trip is the identity.
+    #[test]
+    fn value_serde_round_trip(v in any_value()) {
+        let json = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(v, back);
+    }
+
+    /// `loose_eq` is reflexive for every value except NaN floats.
+    #[test]
+    fn loose_eq_reflexive(v in any_value()) {
+        let is_nan = matches!(&v, Value::Float(x) if x.is_nan());
+        prop_assume!(!is_nan);
+        prop_assert!(v.loose_eq(&v));
+    }
+
+    /// Comparison is antisymmetric: cmp(a,b) is the reverse of cmp(b,a).
+    #[test]
+    fn partial_cmp_antisymmetric(a in scalar_value(), b in scalar_value()) {
+        let ab = a.partial_cmp_value(&b);
+        let ba = b.partial_cmp_value(&a);
+        prop_assert_eq!(ab.map(|o| o.reverse()), ba);
+    }
+
+    /// Every value admitted by a concrete type tag reports that tag (Float
+    /// also admits Int by widening).
+    #[test]
+    fn type_tag_consistent(v in any_value()) {
+        let tag = v.value_type();
+        prop_assert!(tag.admits(&v));
+        if ValueType::Int.admits(&v) {
+            prop_assert!(ValueType::Float.admits(&v));
+        }
+    }
+
+    /// A KB populated with arbitrary valid instances round-trips through
+    /// JSON.
+    #[test]
+    fn kb_json_round_trip(names in prop::collection::btree_set("[a-z]{1,8}", 1..10),
+                          sizes in prop::collection::vec(0i64..1_000_000, 10)) {
+        let mut kb = KnowledgeBase::new("prop");
+        kb.add_class(
+            ClassDef::new("Data")
+                .with_slot(SlotDef::required("Name", ValueType::Str))
+                .with_slot(SlotDef::optional("Size", ValueType::Int).with_range(Some(0.0), None)),
+        ).unwrap();
+        for (i, name) in names.iter().enumerate() {
+            kb.add_instance(
+                Instance::new(format!("D{i}"), "Data")
+                    .with("Name", Value::str(name.clone()))
+                    .with("Size", Value::Int(sizes[i % sizes.len()])),
+            ).unwrap();
+        }
+        let json = kb.to_json().unwrap();
+        let back = KnowledgeBase::from_json(&json).unwrap();
+        prop_assert_eq!(kb, back);
+    }
+
+    /// Double negation in the query algebra is the identity on results.
+    #[test]
+    fn query_double_negation(threshold in 0i64..100) {
+        let mut kb = KnowledgeBase::new("q");
+        kb.add_class(
+            ClassDef::new("D").with_slot(SlotDef::optional("Size", ValueType::Int)),
+        ).unwrap();
+        for i in 0..50 {
+            kb.add_instance(Instance::new(format!("d{i:02}"), "D").with("Size", Value::Int(i)))
+                .unwrap();
+        }
+        let q = Query::cond(SlotCond::Lt("Size".into(), Value::Int(threshold)));
+        let qnn = Query::Not(Box::new(Query::Not(Box::new(q.clone()))));
+        let direct: Vec<&str> = q.run(&kb, None).iter().map(|i| i.id.as_str()).collect();
+        let doubled: Vec<&str> = qnn.run(&kb, None).iter().map(|i| i.id.as_str()).collect();
+        prop_assert_eq!(direct, doubled);
+    }
+
+    /// Lt and Ge partition the instances that carry the slot.
+    #[test]
+    fn lt_ge_partition(threshold in 0i64..100) {
+        let mut kb = KnowledgeBase::new("q");
+        kb.add_class(
+            ClassDef::new("D").with_slot(SlotDef::optional("Size", ValueType::Int)),
+        ).unwrap();
+        for i in 0..50 {
+            kb.add_instance(Instance::new(format!("d{i:02}"), "D").with("Size", Value::Int(i)))
+                .unwrap();
+        }
+        let lt = Query::cond(SlotCond::Lt("Size".into(), Value::Int(threshold)))
+            .run(&kb, None).len();
+        let ge = Query::cond(SlotCond::Ge("Size".into(), Value::Int(threshold)))
+            .run(&kb, None).len();
+        prop_assert_eq!(lt + ge, 50);
+    }
+
+    /// Facet checks on multi-valued slots accept exactly the lists whose
+    /// every element passes the element check.
+    #[test]
+    fn multivalue_facet_equiv_elementwise(values in prop::collection::vec(-50i64..50, 0..8)) {
+        let slot = {
+            let mut s = SlotDef::multi("Xs", ValueType::Int);
+            s.facets.min = Some(0.0);
+            s
+        };
+        assert_eq!(slot.facets.cardinality, Cardinality::Multiple);
+        let list = Value::List(values.iter().map(|&v| Value::Int(v)).collect());
+        let ok = slot.facets.check(&list).is_ok();
+        let all_pass = values.iter().all(|&v| v >= 0);
+        prop_assert_eq!(ok, all_pass);
+    }
+
+    /// Shell extraction never keeps instances, and merging a populated KB
+    /// back into its shell restores the instance count.
+    #[test]
+    fn shell_then_merge_restores(count in 1usize..20) {
+        let mut kb = KnowledgeBase::new("s");
+        kb.add_class(ClassDef::new("D").with_slot(SlotDef::optional("Size", ValueType::Int)))
+            .unwrap();
+        for i in 0..count {
+            kb.add_instance(Instance::new(format!("d{i}"), "D")).unwrap();
+        }
+        let mut shell = kb.shell();
+        prop_assert!(shell.is_shell());
+        shell.merge(&kb).unwrap();
+        prop_assert_eq!(shell.instance_count(), count);
+    }
+}

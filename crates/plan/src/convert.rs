@@ -1,0 +1,215 @@
+//! Conversions between plan trees, process ASTs, and process graphs
+//! (Figures 4–7 and the Figure 10 ⇄ Figure 11 pair).
+
+use crate::tree::PlanNode;
+use gridflow_process::error::Result;
+use gridflow_process::{lower, recover, ProcessAst, ProcessGraph, Stmt};
+
+/// Convert a process AST to a plan tree.  The root is always a sequential
+/// node over the body (matching Fig. 11, whose root is sequential).
+pub fn ast_to_tree(ast: &ProcessAst) -> PlanNode {
+    PlanNode::Sequential(ast.body.iter().map(stmt_to_node).collect())
+}
+
+fn stmt_to_node(stmt: &Stmt) -> PlanNode {
+    match stmt {
+        Stmt::Activity(name) => PlanNode::Terminal(name.clone()),
+        Stmt::Concurrent(branches) => {
+            PlanNode::Concurrent(branches.iter().map(|b| stmts_to_node(b)).collect())
+        }
+        Stmt::Selective(branches) => PlanNode::Selective(
+            branches
+                .iter()
+                .map(|(cond, b)| (cond.clone(), stmts_to_node(b)))
+                .collect(),
+        ),
+        Stmt::Iterative { cond, body } => PlanNode::Iterative {
+            cond: cond.clone(),
+            body: body.iter().map(stmt_to_node).collect(),
+        },
+    }
+}
+
+/// A branch (statement list) becomes a single node: the lone statement's
+/// node if the branch has one statement, otherwise a sequential node.
+fn stmts_to_node(stmts: &[Stmt]) -> PlanNode {
+    match stmts {
+        [single] => stmt_to_node(single),
+        many => PlanNode::Sequential(many.iter().map(stmt_to_node).collect()),
+    }
+}
+
+/// Convert a plan tree to a process AST.
+///
+/// This is exact for trees produced by [`ast_to_tree`]; for arbitrary
+/// trees it is semantics-preserving but may erase redundant sequential
+/// nesting (see [`canonicalize`]).
+pub fn tree_to_ast(tree: &PlanNode) -> ProcessAst {
+    ProcessAst::new(node_to_stmts(tree))
+}
+
+fn node_to_stmts(node: &PlanNode) -> Vec<Stmt> {
+    match node {
+        PlanNode::Terminal(name) => vec![Stmt::Activity(name.clone())],
+        PlanNode::Sequential(children) => children.iter().flat_map(node_to_stmts).collect(),
+        PlanNode::Concurrent(children) => vec![Stmt::Concurrent(
+            children.iter().map(node_to_stmts).collect(),
+        )],
+        PlanNode::Selective(children) => vec![Stmt::Selective(
+            children
+                .iter()
+                .map(|(cond, c)| (cond.clone(), node_to_stmts(c)))
+                .collect(),
+        )],
+        PlanNode::Iterative { cond, body } => vec![Stmt::Iterative {
+            cond: cond.clone(),
+            body: body.iter().flat_map(node_to_stmts).collect(),
+        }],
+    }
+}
+
+/// The canonical form of a plan tree: the unique tree that converts to
+/// the same process AST.  `canonicalize` is idempotent, and
+/// tree→AST→tree equals `canonicalize(tree)`.
+pub fn canonicalize(tree: &PlanNode) -> PlanNode {
+    ast_to_tree(&tree_to_ast(tree))
+}
+
+/// Lower a plan tree all the way to an activity/transition graph (the
+/// Figure 11 → Figure 10 direction).
+pub fn tree_to_graph(name: impl Into<String>, tree: &PlanNode) -> Result<ProcessGraph> {
+    lower::lower(name, &tree_to_ast(tree))
+}
+
+/// Recover a plan tree from an activity/transition graph (the Figure 10 →
+/// Figure 11 direction).
+pub fn graph_to_tree(graph: &ProcessGraph) -> Result<PlanNode> {
+    Ok(ast_to_tree(&recover::recover(graph)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridflow_process::condition::{CompareOp, Condition};
+    use gridflow_process::parser::parse_process;
+
+    fn figure_10_source() -> &'static str {
+        "BEGIN POD; P3DR; \
+         ITERATIVE { COND { D10.Value > 8 } } { \
+            POR; FORK { { P3DR; }, { P3DR; }, { P3DR; } } JOIN; PSF; \
+         }; END"
+    }
+
+    #[test]
+    fn figure_10_converts_to_figure_11_tree() {
+        let ast = parse_process(figure_10_source()).unwrap();
+        let tree = ast_to_tree(&ast);
+        // Fig. 11: sequential root [POD, P3DR, Iterative[POR, Concurrent
+        // [P3DR ×3], PSF]] — 10 nodes.
+        assert_eq!(tree.size(), 10);
+        let (seq, con, sel, ite) = tree.controller_counts();
+        assert_eq!((seq, con, sel, ite), (1, 1, 0, 1));
+        assert_eq!(
+            tree.activities(),
+            vec!["POD", "P3DR", "POR", "P3DR", "P3DR", "P3DR", "PSF"]
+        );
+    }
+
+    #[test]
+    fn ast_tree_round_trip_is_exact() {
+        let ast = parse_process(figure_10_source()).unwrap();
+        let tree = ast_to_tree(&ast);
+        assert_eq!(tree_to_ast(&tree), ast);
+    }
+
+    #[test]
+    fn sequential_branches_round_trip() {
+        // Figure 4: a sequence A;B;C in a branch position becomes a
+        // sequential node and converts back.
+        let ast = parse_process("BEGIN FORK { { A; B; C; }, { D; } } JOIN; END").unwrap();
+        let tree = ast_to_tree(&ast);
+        match tree.node_at(1) {
+            Some(PlanNode::Concurrent(children)) => {
+                assert!(matches!(children[0], PlanNode::Sequential(_)));
+                assert!(matches!(children[1], PlanNode::Terminal(_)));
+            }
+            other => panic!("expected Concurrent, got {other:?}"),
+        }
+        assert_eq!(tree_to_ast(&tree), ast);
+    }
+
+    #[test]
+    fn selective_guards_are_preserved() {
+        let ast = parse_process(
+            "BEGIN CHOICE { COND { D.X = 1 } { A; }, COND { true } { B; } } MERGE; END",
+        )
+        .unwrap();
+        let tree = ast_to_tree(&ast);
+        match tree.node_at(1) {
+            Some(PlanNode::Selective(children)) => {
+                assert_eq!(
+                    children[0].0,
+                    Condition::compare("D", "X", CompareOp::Eq, 1i64)
+                );
+                assert_eq!(children[1].0, Condition::True);
+            }
+            other => panic!("expected Selective, got {other:?}"),
+        }
+        assert_eq!(tree_to_ast(&tree), ast);
+    }
+
+    #[test]
+    fn canonicalize_erases_redundant_nesting() {
+        // Sequential directly under sequential flattens; the result is
+        // stable under further canonicalization.
+        let tree = PlanNode::Sequential(vec![PlanNode::Sequential(vec![
+            PlanNode::terminal("A"),
+            PlanNode::Sequential(vec![PlanNode::terminal("B")]),
+        ])]);
+        let canon = canonicalize(&tree);
+        assert_eq!(
+            canon,
+            PlanNode::Sequential(vec![PlanNode::terminal("A"), PlanNode::terminal("B")])
+        );
+        assert_eq!(canonicalize(&canon), canon);
+    }
+
+    #[test]
+    fn canonicalize_preserves_activities() {
+        let tree = PlanNode::Sequential(vec![
+            PlanNode::Concurrent(vec![
+                PlanNode::Sequential(vec![PlanNode::terminal("A")]),
+                PlanNode::terminal("B"),
+            ]),
+            PlanNode::terminal("C"),
+        ]);
+        assert_eq!(canonicalize(&tree).activities(), tree.activities());
+    }
+
+    #[test]
+    fn tree_to_graph_produces_figure_10_shape() {
+        let ast = parse_process(figure_10_source()).unwrap();
+        let tree = ast_to_tree(&ast);
+        let graph = tree_to_graph("PD-3DSD", &tree).unwrap();
+        graph.validate().unwrap();
+        assert_eq!(graph.activities().len(), 13);
+        assert_eq!(graph.transitions().len(), 15);
+    }
+
+    #[test]
+    fn graph_to_tree_inverts_tree_to_graph() {
+        let ast = parse_process(figure_10_source()).unwrap();
+        let tree = ast_to_tree(&ast);
+        let graph = tree_to_graph("PD", &tree).unwrap();
+        let back = graph_to_tree(&graph).unwrap();
+        assert_eq!(back, tree);
+    }
+
+    #[test]
+    fn empty_tree_converts() {
+        let tree = PlanNode::Sequential(vec![]);
+        let ast = tree_to_ast(&tree);
+        assert!(ast.body.is_empty());
+        assert_eq!(ast_to_tree(&ast), tree);
+    }
+}

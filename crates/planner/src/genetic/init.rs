@@ -1,0 +1,178 @@
+//! Solution initialization (§3.4.2).
+//!
+//! "The initialization of a plan tree consists of two steps.  In the first
+//! step, we generate an arbitrary tree structure for a plan of a given
+//! size.  In the second step, we instantiate each node in the tree:
+//! every internal node is instantiated with a controller node, which is
+//! randomly selected from four controller nodes; every terminal node is
+//! instantiated with an end-user activity."
+
+use gridflow_plan::PlanNode;
+use gridflow_process::Condition;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Generate a random plan tree with exactly `size` nodes, instantiating
+/// terminals from `activities` (service names).
+///
+/// Controller nodes get 1–4 children (subject to the size budget);
+/// selective guards and iterative conditions are `true` — the planner
+/// treats conditions abstractly, and the coordination layer refines them
+/// at enactment time.
+///
+/// `size == 0` is clamped to 1.  With an empty activity set, terminals are
+/// named `"noop"` (they will be invalid in any simulation, which is the
+/// correct fitness signal for a grid with no services).
+pub fn random_tree<R: Rng>(rng: &mut R, size: usize, activities: &[String]) -> PlanNode {
+    let size = size.max(1);
+    if size == 1 {
+        return PlanNode::Terminal(random_activity(rng, activities));
+    }
+    // Internal node: pick a child count and partition the remaining
+    // budget among the children (each child gets at least one node).
+    let remaining = size - 1;
+    let max_children = remaining.min(4);
+    let child_count = rng.gen_range(1..=max_children);
+    let parts = random_composition(rng, remaining, child_count);
+    let children: Vec<PlanNode> = parts
+        .into_iter()
+        .map(|p| random_tree(rng, p, activities))
+        .collect();
+    match rng.gen_range(0..4u8) {
+        0 => PlanNode::Sequential(children),
+        1 => PlanNode::Concurrent(children),
+        2 => PlanNode::Selective(
+            children
+                .into_iter()
+                .map(|c| (Condition::True, c))
+                .collect(),
+        ),
+        _ => PlanNode::Iterative {
+            cond: Condition::True,
+            body: children,
+        },
+    }
+}
+
+fn random_activity<R: Rng>(rng: &mut R, activities: &[String]) -> String {
+    activities
+        .choose(rng)
+        .cloned()
+        .unwrap_or_else(|| "noop".to_owned())
+}
+
+/// A uniform random composition of `total` into `parts` positive integers.
+fn random_composition<R: Rng>(rng: &mut R, total: usize, parts: usize) -> Vec<usize> {
+    debug_assert!(parts >= 1 && total >= parts);
+    // Choose parts-1 distinct cut points in 1..total.
+    let mut cuts: Vec<usize> = Vec::with_capacity(parts - 1);
+    while cuts.len() < parts - 1 {
+        let c = rng.gen_range(1..total);
+        if !cuts.contains(&c) {
+            cuts.push(c);
+        }
+    }
+    cuts.sort_unstable();
+    let mut out = Vec::with_capacity(parts);
+    let mut prev = 0;
+    for c in cuts {
+        out.push(c - prev);
+        prev = c;
+    }
+    out.push(total - prev);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn names() -> Vec<String> {
+        vec!["POD".into(), "P3DR".into(), "POR".into(), "PSF".into()]
+    }
+
+    #[test]
+    fn generated_trees_have_requested_size() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for size in 1..=40 {
+            for _ in 0..10 {
+                let t = random_tree(&mut rng, size, &names());
+                assert_eq!(t.size(), size, "requested {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn generated_trees_are_gp_valid() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..200 {
+            let size = rng.gen_range(1..=40);
+            let t = random_tree(&mut rng, size, &names());
+            assert!(t.is_gp_valid());
+        }
+    }
+
+    #[test]
+    fn terminals_come_from_the_activity_set() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let names = names();
+        for _ in 0..50 {
+            let t = random_tree(&mut rng, 15, &names);
+            for a in t.activities() {
+                assert!(names.iter().any(|n| n == a), "unexpected terminal {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn size_zero_clamps_to_single_terminal() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let t = random_tree(&mut rng, 0, &names());
+        assert_eq!(t.size(), 1);
+    }
+
+    #[test]
+    fn empty_activity_set_yields_noop_terminals() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let t = random_tree(&mut rng, 3, &[]);
+        assert!(t.activities().iter().all(|a| *a == "noop"));
+    }
+
+    #[test]
+    fn all_four_controller_kinds_appear_over_many_samples() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut totals = (0, 0, 0, 0);
+        for _ in 0..100 {
+            let t = random_tree(&mut rng, 20, &names());
+            let c = t.controller_counts();
+            totals.0 += c.0;
+            totals.1 += c.1;
+            totals.2 += c.2;
+            totals.3 += c.3;
+        }
+        assert!(totals.0 > 0 && totals.1 > 0 && totals.2 > 0 && totals.3 > 0,
+            "controller kinds missing: {totals:?}");
+    }
+
+    #[test]
+    fn composition_sums_and_is_positive() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            let total = rng.gen_range(1..=30);
+            let parts = rng.gen_range(1..=total.min(4));
+            let comp = random_composition(&mut rng, total, parts);
+            assert_eq!(comp.len(), parts);
+            assert_eq!(comp.iter().sum::<usize>(), total);
+            assert!(comp.iter().all(|&p| p >= 1));
+        }
+    }
+
+    #[test]
+    fn same_seed_same_tree() {
+        let t1 = random_tree(&mut ChaCha8Rng::seed_from_u64(9), 25, &names());
+        let t2 = random_tree(&mut ChaCha8Rng::seed_from_u64(9), 25, &names());
+        assert_eq!(t1, t2);
+    }
+}

@@ -1,0 +1,14 @@
+//! The genetic-programming engine of §3.4: tree representation (in
+//! `gridflow-plan`), solution initialization (§3.4.2), genetic operators
+//! (§3.4.3), plan evaluation (§3.4.4), tournament selection (§3.4.5), and
+//! the overall procedure (§3.4.6).
+
+mod config;
+mod engine;
+mod init;
+mod ops;
+
+pub use config::GpConfig;
+pub use engine::{GenerationStats, GpPlanner, GpResult};
+pub use init::random_tree;
+pub use ops::{crossover, mutate};

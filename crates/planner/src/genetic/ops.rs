@@ -1,0 +1,172 @@
+//! Genetic operators (§3.4.3): subtree crossover and subtree-replacement
+//! mutation, both guarded by the size cap `S_max`.
+
+use crate::genetic::init::random_tree;
+use gridflow_plan::PlanNode;
+use rand::Rng;
+
+/// Subtree crossover (§3.4.3, Fig. 8).
+///
+/// A random node is selected in each parent and the associated subtrees
+/// are exchanged.  "In case the size of a new tree exceeds `S_max`,
+/// crossover fails and both parents are kept" — modelled by returning
+/// `None`.
+pub fn crossover<R: Rng>(
+    a: &PlanNode,
+    b: &PlanNode,
+    rng: &mut R,
+    smax: usize,
+) -> Option<(PlanNode, PlanNode)> {
+    let idx_a = rng.gen_range(0..a.size());
+    let idx_b = rng.gen_range(0..b.size());
+    let sub_a = a.node_at(idx_a).expect("index in range").clone();
+    let sub_b = b.node_at(idx_b).expect("index in range").clone();
+    let new_a_size = a.size() - sub_a.size() + sub_b.size();
+    let new_b_size = b.size() - sub_b.size() + sub_a.size();
+    if new_a_size > smax || new_b_size > smax {
+        return None;
+    }
+    let mut child_a = a.clone();
+    child_a.replace_at(idx_a, sub_b).expect("index in range");
+    let mut child_b = b.clone();
+    child_b.replace_at(idx_b, sub_a).expect("index in range");
+    debug_assert_eq!(child_a.size(), new_a_size);
+    debug_assert_eq!(child_b.size(), new_b_size);
+    Some((child_a, child_b))
+}
+
+/// Subtree-replacement mutation (§3.4.3, Fig. 9).
+///
+/// Each node of the tree is independently selected with probability
+/// `rate`; a selected node's subtree is replaced by a randomly generated
+/// tree ("using the same method as plan initialization").  "If the new
+/// tree exceeds the size limitation, mutation fails and we keep the
+/// original tree."  Returns the number of applied mutations.
+pub fn mutate<R: Rng>(
+    tree: &mut PlanNode,
+    rng: &mut R,
+    rate: f64,
+    smax: usize,
+    init_max_size: usize,
+    activities: &[String],
+) -> usize {
+    let mut applied = 0;
+    // Sample selections against the *current* tree on each pass; indices
+    // shift as mutations land, so process one selection at a time.
+    let mut i = 0;
+    loop {
+        let size = tree.size();
+        if i >= size {
+            break;
+        }
+        if rng.gen_bool(rate) {
+            let old_size = tree.node_at(i).expect("index in range").size();
+            let budget = smax.saturating_sub(size - old_size).max(1);
+            let new_size = rng.gen_range(1..=budget.min(init_max_size));
+            let replacement = random_tree(rng, new_size, activities);
+            if size - old_size + replacement.size() <= smax {
+                tree.replace_at(i, replacement).expect("index in range");
+                applied += 1;
+            }
+        }
+        i += 1;
+    }
+    applied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn names() -> Vec<String> {
+        vec!["A".into(), "B".into(), "C".into()]
+    }
+
+    fn sample_pair(rng: &mut ChaCha8Rng) -> (PlanNode, PlanNode) {
+        (
+            random_tree(rng, 12, &names()),
+            random_tree(rng, 15, &names()),
+        )
+    }
+
+    #[test]
+    fn crossover_preserves_total_size() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            let (a, b) = sample_pair(&mut rng);
+            if let Some((ca, cb)) = crossover(&a, &b, &mut rng, 40) {
+                assert_eq!(ca.size() + cb.size(), a.size() + b.size());
+                assert!(ca.is_gp_valid() && cb.is_gp_valid());
+            }
+        }
+    }
+
+    #[test]
+    fn crossover_respects_smax() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..200 {
+            let (a, b) = sample_pair(&mut rng);
+            if let Some((ca, cb)) = crossover(&a, &b, &mut rng, 16) {
+                assert!(ca.size() <= 16);
+                assert!(cb.size() <= 16);
+            }
+        }
+    }
+
+    #[test]
+    fn crossover_at_roots_swaps_whole_trees() {
+        // With both trees of size 1, the only choice is the root; children
+        // are the parents swapped.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let a = PlanNode::terminal("A");
+        let b = PlanNode::terminal("B");
+        let (ca, cb) = crossover(&a, &b, &mut rng, 40).unwrap();
+        assert_eq!(ca, b);
+        assert_eq!(cb, a);
+    }
+
+    #[test]
+    fn mutation_rate_zero_never_mutates() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut t = random_tree(&mut rng, 20, &names());
+        let before = t.clone();
+        let applied = mutate(&mut t, &mut rng, 0.0, 40, 20, &names());
+        assert_eq!(applied, 0);
+        assert_eq!(t, before);
+    }
+
+    #[test]
+    fn mutation_rate_one_always_mutates_root() {
+        // With rate 1 the root (index 0) is always selected, replacing the
+        // whole tree.
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut t = random_tree(&mut rng, 20, &names());
+        let applied = mutate(&mut t, &mut rng, 1.0, 40, 20, &names());
+        assert!(applied >= 1);
+        assert!(t.size() <= 40);
+        assert!(t.is_gp_valid());
+    }
+
+    #[test]
+    fn mutation_respects_smax() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        for _ in 0..100 {
+            let mut t = random_tree(&mut rng, 35, &names());
+            mutate(&mut t, &mut rng, 0.3, 40, 20, &names());
+            assert!(t.size() <= 40, "size {} exceeds smax", t.size());
+            assert!(t.is_gp_valid());
+        }
+    }
+
+    #[test]
+    fn mutated_terminals_come_from_activity_set() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut t = random_tree(&mut rng, 10, &names());
+        mutate(&mut t, &mut rng, 1.0, 40, 20, &names());
+        for a in t.activities() {
+            assert!(names().iter().any(|n| n == a));
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Re-planning (§3.3).
+//!
+//! "Re-planning is triggered by the coordination service, whenever the
+//! state of the environment is such that the execution of the current
+//! case description … cannot continue.  … during re-planning, the
+//! planning service has to improve the robustness of plans … and avoid
+//! reusing in the new plan those activities that prevent the previous
+//! plan from successful execution."
+//!
+//! The knowledge of *which* activities are non-executable arrives either
+//! directly from the coordination service or through the brokerage /
+//! application-container probe of Fig. 3 — that protocol lives in
+//! `gridflow-services`; this module implements the planning core: plan
+//! against `T \ excluded`, carrying forward the data produced so far.
+
+use crate::genetic::{GpConfig, GpPlanner, GpResult};
+use crate::problem::PlanningProblem;
+use serde::{Deserialize, Serialize};
+
+/// A re-planning request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplanRequest {
+    /// The original problem.
+    pub problem: PlanningProblem,
+    /// Data classifications already produced by the partially executed
+    /// previous plan ("all available data, including the initial set of
+    /// data and the data modified, or created during the execution").
+    pub produced: Vec<String>,
+    /// Service names observed to be non-executable.
+    pub excluded: Vec<String>,
+}
+
+/// Outcome of a re-planning run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplanOutcome {
+    /// The GP result over the restricted problem.
+    pub result: GpResult,
+    /// The restricted problem that was actually solved.
+    pub restricted: PlanningProblem,
+}
+
+/// Run re-planning: restrict `T`, extend `S_init` with the data produced
+/// so far, and plan afresh.
+pub fn replan(request: &ReplanRequest, config: GpConfig) -> ReplanOutcome {
+    let mut restricted = request
+        .problem
+        .without_activities(request.excluded.iter().map(String::as_str));
+    restricted
+        .initial
+        .extend(request.produced.iter().cloned());
+    let result = GpPlanner::new(config, restricted.clone()).run();
+    ReplanOutcome { result, restricted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::ActivitySpec;
+
+    /// Two routes to the goal: a direct activity and a two-step detour.
+    fn redundant_problem() -> PlanningProblem {
+        PlanningProblem::builder()
+            .initial(["Raw"])
+            .goal("Final", 1)
+            .activity(ActivitySpec::new("direct", ["Raw"], ["Final"]))
+            .activity(ActivitySpec::new("detour1", ["Raw"], ["Mid"]))
+            .activity(ActivitySpec::new("detour2", ["Mid"], ["Final"]))
+            .build()
+    }
+
+    fn config(seed: u64) -> GpConfig {
+        GpConfig {
+            population_size: 60,
+            generations: 20,
+            seed,
+            ..GpConfig::default()
+        }
+    }
+
+    #[test]
+    fn replanning_avoids_excluded_activities() {
+        let request = ReplanRequest {
+            problem: redundant_problem(),
+            produced: vec![],
+            excluded: vec!["direct".into()],
+        };
+        let outcome = replan(&request, config(1));
+        assert!(outcome.result.best_fitness.is_perfect());
+        assert!(
+            !outcome.result.best.activities().contains(&"direct"),
+            "excluded activity reused: {:?}",
+            outcome.result.best
+        );
+        assert_eq!(outcome.restricted.activities.len(), 2);
+    }
+
+    #[test]
+    fn produced_data_shortens_the_replan() {
+        // `Mid` was already produced before the failure; only detour2 is
+        // needed now even though detour1 is excluded.
+        let request = ReplanRequest {
+            problem: redundant_problem(),
+            produced: vec!["Mid".into()],
+            excluded: vec!["direct".into(), "detour1".into()],
+        };
+        let outcome = replan(&request, config(2));
+        assert!(outcome.result.best_fitness.is_perfect());
+        let acts = outcome.result.best.activities();
+        assert!(acts.contains(&"detour2"));
+        assert!(!acts.contains(&"detour1"));
+    }
+
+    #[test]
+    fn impossible_replan_reports_imperfect_fitness() {
+        let request = ReplanRequest {
+            problem: redundant_problem(),
+            produced: vec![],
+            excluded: vec!["direct".into(), "detour2".into()],
+        };
+        let outcome = replan(&request, config(3));
+        assert!(outcome.result.best_fitness.goal < 1.0);
+    }
+}

@@ -1,0 +1,318 @@
+//! Plan simulation (§3.4.4): "to evaluate the plan validity fitness, we
+//! need to simulate the execution of a plan".
+//!
+//! The simulator walks a plan tree over a [`PlanningState`]:
+//!
+//! * a **terminal** checks its preconditions against the current state;
+//!   if they hold it is a *valid* execution and its outputs are applied,
+//!   otherwise it is an *invalid* execution and the state is unchanged
+//!   ("If the activity is not valid, we don't update the system state");
+//! * a **sequential** node runs its children left to right;
+//! * a **concurrent** node's children "can be executed either sequentially
+//!   or concurrently … in any order"; the simulator runs them left to
+//!   right (one admissible order);
+//! * a **selective** node forks the simulation: "we need to enumerate each
+//!   possible flow of execution and simulate the execution of a plan
+//!   multiple times" — each child spawns a separate *world*;
+//! * an **iterative** node's stopping condition is opaque at planning
+//!   time; the simulator unrolls the body once (the do-while lower bound:
+//!   every admissible enactment runs the body at least once).
+//!
+//! Worlds multiply exponentially in the number of selective nodes, so the
+//! simulator caps them at [`DEFAULT_FLOW_CAP`] (configurable); beyond the
+//! cap, the earliest-enumerated flows are kept.  "If a single activity is
+//! simulated multiple times, each execution is counted in the validity
+//! check" — counts aggregate across worlds.
+
+use crate::problem::PlanningProblem;
+use crate::state::PlanningState;
+use gridflow_plan::PlanNode;
+use serde::{Deserialize, Serialize};
+
+/// Default cap on the number of enumerated flows.
+pub const DEFAULT_FLOW_CAP: usize = 64;
+
+/// One enumerated flow of execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct World {
+    /// State after executing this flow.
+    pub state: PlanningState,
+    /// Valid activity executions in this flow.
+    pub valid: usize,
+    /// Total activity executions in this flow.
+    pub executed: usize,
+}
+
+/// Aggregated simulation outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimOutcome {
+    /// Every enumerated flow (at most the configured cap).
+    pub worlds: Vec<World>,
+    /// Sum of valid executions across flows.
+    pub total_valid: usize,
+    /// Sum of executions across flows.
+    pub total_executed: usize,
+    /// True when the flow cap truncated enumeration.
+    pub truncated: bool,
+}
+
+impl SimOutcome {
+    /// Validity fitness `f_v` (Eq. 1).  A plan that executes no activities
+    /// is vacuously valid.
+    pub fn validity_fitness(&self) -> f64 {
+        if self.total_executed == 0 {
+            1.0
+        } else {
+            self.total_valid as f64 / self.total_executed as f64
+        }
+    }
+
+    /// Goal fitness `f_g` (Eq. 2), averaged over flows ("if a plan is
+    /// simulated multiple times … the goal fitness is given as the average
+    /// goal fitness of each execution").  With no goals, trivially 1.
+    pub fn goal_fitness(&self, problem: &PlanningProblem) -> f64 {
+        if problem.goals.is_empty() {
+            return 1.0;
+        }
+        let per_world: f64 = self
+            .worlds
+            .iter()
+            .map(|w| {
+                let satisfied = problem
+                    .goals
+                    .iter()
+                    .filter(|g| w.state.satisfies_goal(g))
+                    .count();
+                satisfied as f64 / problem.goals.len() as f64
+            })
+            .sum();
+        per_world / self.worlds.len().max(1) as f64
+    }
+}
+
+/// Simulate `tree` against `problem` with the default flow cap.
+pub fn simulate(tree: &PlanNode, problem: &PlanningProblem) -> SimOutcome {
+    simulate_capped(tree, problem, DEFAULT_FLOW_CAP)
+}
+
+/// Simulate with an explicit flow cap.
+pub fn simulate_capped(tree: &PlanNode, problem: &PlanningProblem, flow_cap: usize) -> SimOutcome {
+    let initial = World {
+        state: PlanningState::from_classifications(problem.initial.iter().cloned()),
+        valid: 0,
+        executed: 0,
+    };
+    let mut truncated = false;
+    let worlds = sim_node(tree, vec![initial], problem, flow_cap.max(1), &mut truncated);
+    let total_valid = worlds.iter().map(|w| w.valid).sum();
+    let total_executed = worlds.iter().map(|w| w.executed).sum();
+    SimOutcome {
+        worlds,
+        total_valid,
+        total_executed,
+        truncated,
+    }
+}
+
+fn sim_node(
+    node: &PlanNode,
+    mut worlds: Vec<World>,
+    problem: &PlanningProblem,
+    flow_cap: usize,
+    truncated: &mut bool,
+) -> Vec<World> {
+    match node {
+        PlanNode::Terminal(name) => {
+            for w in &mut worlds {
+                w.executed += 1;
+                match problem.activity(name) {
+                    Some(spec) if w.state.satisfies_inputs(spec) => {
+                        w.valid += 1;
+                        w.state.apply_outputs(spec);
+                    }
+                    // Unknown service or unmet preconditions: invalid
+                    // execution, state unchanged.
+                    _ => {}
+                }
+            }
+            worlds
+        }
+        PlanNode::Sequential(children) | PlanNode::Iterative { body: children, .. } => {
+            for child in children {
+                worlds = sim_node(child, worlds, problem, flow_cap, truncated);
+            }
+            worlds
+        }
+        PlanNode::Concurrent(children) => {
+            // One admissible order: left to right.
+            for child in children {
+                worlds = sim_node(child, worlds, problem, flow_cap, truncated);
+            }
+            worlds
+        }
+        PlanNode::Selective(children) => {
+            if children.is_empty() {
+                return worlds;
+            }
+            let mut out = Vec::with_capacity(worlds.len() * children.len());
+            'outer: for w in worlds {
+                for (_, child) in children {
+                    if out.len() >= flow_cap {
+                        *truncated = true;
+                        break 'outer;
+                    }
+                    let forked =
+                        sim_node(child, vec![w.clone()], problem, flow_cap, truncated);
+                    out.extend(forked);
+                }
+            }
+            out.truncate(flow_cap);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{ActivitySpec, PlanningProblem};
+    use gridflow_process::Condition;
+
+    fn chain_problem() -> PlanningProblem {
+        PlanningProblem::builder()
+            .initial(["Raw"])
+            .goal("Final", 1)
+            .activity(ActivitySpec::new("step1", ["Raw"], ["Mid"]))
+            .activity(ActivitySpec::new("step2", ["Mid"], ["Final"]))
+            .build()
+    }
+
+    #[test]
+    fn valid_chain_scores_perfect_validity_and_goal() {
+        let tree = PlanNode::Sequential(vec![
+            PlanNode::terminal("step1"),
+            PlanNode::terminal("step2"),
+        ]);
+        let out = simulate(&tree, &chain_problem());
+        assert_eq!(out.total_executed, 2);
+        assert_eq!(out.total_valid, 2);
+        assert_eq!(out.validity_fitness(), 1.0);
+        assert_eq!(out.goal_fitness(&chain_problem()), 1.0);
+    }
+
+    #[test]
+    fn wrong_order_is_partially_valid() {
+        let tree = PlanNode::Sequential(vec![
+            PlanNode::terminal("step2"), // Mid not yet available
+            PlanNode::terminal("step1"),
+        ]);
+        let out = simulate(&tree, &chain_problem());
+        assert_eq!(out.total_executed, 2);
+        assert_eq!(out.total_valid, 1);
+        assert_eq!(out.validity_fitness(), 0.5);
+        assert_eq!(out.goal_fitness(&chain_problem()), 0.0);
+    }
+
+    #[test]
+    fn unknown_activity_is_invalid_execution() {
+        let tree = PlanNode::terminal("bogus");
+        let out = simulate(&tree, &chain_problem());
+        assert_eq!(out.total_executed, 1);
+        assert_eq!(out.total_valid, 0);
+    }
+
+    #[test]
+    fn empty_plan_is_vacuously_valid_but_misses_goals() {
+        let tree = PlanNode::Sequential(vec![]);
+        let out = simulate(&tree, &chain_problem());
+        assert_eq!(out.validity_fitness(), 1.0);
+        assert_eq!(out.goal_fitness(&chain_problem()), 0.0);
+    }
+
+    #[test]
+    fn selective_enumerates_both_flows() {
+        // One branch completes the chain, the other does not; goal fitness
+        // averages to 0.5 and each flow counts its own executions.
+        let tree = PlanNode::Sequential(vec![
+            PlanNode::terminal("step1"),
+            PlanNode::Selective(vec![
+                (Condition::True, PlanNode::terminal("step2")),
+                (Condition::True, PlanNode::terminal("step1")),
+            ]),
+        ]);
+        let problem = chain_problem();
+        let out = simulate(&tree, &problem);
+        assert_eq!(out.worlds.len(), 2);
+        assert_eq!(out.goal_fitness(&problem), 0.5);
+        // Flow 1: step1 (valid) + step2 (valid); flow 2: step1 + step1
+        // (second still valid: Raw persists).
+        assert_eq!(out.total_executed, 4);
+        assert_eq!(out.total_valid, 4);
+    }
+
+    #[test]
+    fn nested_selectives_multiply_worlds() {
+        let sel = |a: &str, b: &str| {
+            PlanNode::Selective(vec![
+                (Condition::True, PlanNode::terminal(a)),
+                (Condition::True, PlanNode::terminal(b)),
+            ])
+        };
+        let tree = PlanNode::Sequential(vec![sel("step1", "step1"), sel("step2", "step2")]);
+        let out = simulate(&tree, &chain_problem());
+        assert_eq!(out.worlds.len(), 4);
+        assert!(!out.truncated);
+    }
+
+    #[test]
+    fn flow_cap_truncates() {
+        let sel = PlanNode::Selective(vec![
+            (Condition::True, PlanNode::terminal("step1")),
+            (Condition::True, PlanNode::terminal("step1")),
+        ]);
+        // 2^6 = 64 flows, cap at 8.
+        let tree = PlanNode::Sequential(vec![sel.clone(); 6]);
+        let out = simulate_capped(&tree, &chain_problem(), 8);
+        assert_eq!(out.worlds.len(), 8);
+        assert!(out.truncated);
+    }
+
+    #[test]
+    fn iterative_unrolls_once() {
+        let tree = PlanNode::Iterative {
+            cond: Condition::True,
+            body: vec![PlanNode::terminal("step1"), PlanNode::terminal("step2")],
+        };
+        let out = simulate(&tree, &chain_problem());
+        assert_eq!(out.total_executed, 2);
+        assert_eq!(out.validity_fitness(), 1.0);
+    }
+
+    #[test]
+    fn multiplicity_matters_for_psf_style_inputs() {
+        let problem = PlanningProblem::builder()
+            .initial(["Param"])
+            .goal("Resolution File", 1)
+            .activity(ActivitySpec::new("P3DR", ["Param"], ["3D Model"]))
+            .activity(ActivitySpec::new(
+                "PSF",
+                ["3D Model", "3D Model"],
+                ["Resolution File"],
+            ))
+            .build();
+        let once = PlanNode::Sequential(vec![
+            PlanNode::terminal("P3DR"),
+            PlanNode::terminal("PSF"),
+        ]);
+        let out = simulate(&once, &problem);
+        assert_eq!(out.total_valid, 1, "PSF must fail with one model");
+        let twice = PlanNode::Sequential(vec![
+            PlanNode::terminal("P3DR"),
+            PlanNode::terminal("P3DR"),
+            PlanNode::terminal("PSF"),
+        ]);
+        let out = simulate(&twice, &problem);
+        assert_eq!(out.total_valid, 3);
+        assert_eq!(out.goal_fitness(&problem), 1.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! The system state tracked during plan simulation.
+//!
+//! "S_init … include\[s\] all the initial data provided by an end user and
+//! their specifications" (§3.2).  For planning purposes a data item is
+//! characterized by its *classification* (the property every service
+//! signature C1–C8 of Fig. 13 constrains), so the state is a multiset of
+//! classifications: how many distinct data items of each kind exist.
+
+use crate::problem::{ActivitySpec, GoalSpec};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A multiset of data classifications.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct PlanningState {
+    counts: BTreeMap<String, usize>,
+}
+
+impl PlanningState {
+    /// The empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an iterator of classifications (duplicates accumulate).
+    pub fn from_classifications<I, S>(items: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut state = PlanningState::new();
+        for c in items {
+            state.add(c);
+        }
+        state
+    }
+
+    /// Add one data item of the given classification.
+    pub fn add(&mut self, classification: impl Into<String>) {
+        *self.counts.entry(classification.into()).or_insert(0) += 1;
+    }
+
+    /// Number of items with this classification.
+    pub fn count(&self, classification: &str) -> usize {
+        self.counts.get(classification).copied().unwrap_or(0)
+    }
+
+    /// Total number of items.
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Distinct classifications present, in order.
+    pub fn classifications(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.counts.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Does the state provide every input of `activity`?  Inputs form a
+    /// multiset: an activity listing `3D Model` twice needs two items.
+    pub fn satisfies_inputs(&self, activity: &ActivitySpec) -> bool {
+        let mut required: BTreeMap<&str, usize> = BTreeMap::new();
+        for input in &activity.inputs {
+            *required.entry(input.as_str()).or_insert(0) += 1;
+        }
+        required.iter().all(|(c, &n)| self.count(c) >= n)
+    }
+
+    /// Apply the outputs of `activity` (data is produced, never consumed —
+    /// the paper's activities add to and modify the data pool).
+    pub fn apply_outputs(&mut self, activity: &ActivitySpec) {
+        for output in &activity.outputs {
+            self.add(output.clone());
+        }
+    }
+
+    /// Does the state satisfy a goal specification?
+    pub fn satisfies_goal(&self, goal: &GoalSpec) -> bool {
+        self.count(&goal.classification) >= goal.min_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::ActivitySpec;
+
+    #[test]
+    fn multiset_counting() {
+        let s = PlanningState::from_classifications(["A", "A", "B"]);
+        assert_eq!(s.count("A"), 2);
+        assert_eq!(s.count("B"), 1);
+        assert_eq!(s.count("C"), 0);
+        assert_eq!(s.total(), 3);
+        assert_eq!(s.classifications().count(), 2);
+    }
+
+    #[test]
+    fn inputs_respect_multiplicity() {
+        let psf = ActivitySpec::new("PSF", ["PSF-Parameter", "3D Model", "3D Model"], ["Resolution File"]);
+        let mut s = PlanningState::from_classifications(["PSF-Parameter", "3D Model"]);
+        assert!(!s.satisfies_inputs(&psf), "one 3D Model must not satisfy a two-model input");
+        s.add("3D Model");
+        assert!(s.satisfies_inputs(&psf));
+    }
+
+    #[test]
+    fn outputs_accumulate() {
+        let a = ActivitySpec::new("P3DR", Vec::<String>::new(), ["3D Model"]);
+        let mut s = PlanningState::new();
+        s.apply_outputs(&a);
+        s.apply_outputs(&a);
+        assert_eq!(s.count("3D Model"), 2);
+    }
+
+    #[test]
+    fn goal_satisfaction() {
+        let s = PlanningState::from_classifications(["Resolution File"]);
+        assert!(s.satisfies_goal(&GoalSpec {
+            classification: "Resolution File".into(),
+            min_count: 1
+        }));
+        assert!(!s.satisfies_goal(&GoalSpec {
+            classification: "Resolution File".into(),
+            min_count: 2
+        }));
+        assert!(!s.satisfies_goal(&GoalSpec {
+            classification: "3D Model".into(),
+            min_count: 1
+        }));
+    }
+
+    #[test]
+    fn no_inputs_always_satisfied() {
+        let a = ActivitySpec::new("gen", Vec::<String>::new(), ["X"]);
+        assert!(PlanningState::new().satisfies_inputs(&a));
+    }
+}

@@ -1,0 +1,217 @@
+//! The structured (abstract-syntax) form of a process description.
+//!
+//! The paper's grammar composes activities with four constructs; the AST
+//! mirrors them one-to-one:
+//!
+//! * sequencing (`<ActivityList> ::= <Activity>; <ActivityList>`) —
+//!   a `Vec<Stmt>`;
+//! * `FORK { … ; … } JOIN` — [`Stmt::Concurrent`];
+//! * `CHOICE { COND {…} {…} … } MERGE` — [`Stmt::Selective`];
+//! * `ITERATIVE { COND {…} } { … }` — [`Stmt::Iterative`].
+//!
+//! The AST is also, deliberately, isomorphic to the *plan tree* of §3.4.1
+//! (sequential / concurrent / selective / iterative controller nodes plus
+//! end-user terminals); the `gridflow-plan` crate exploits that for the
+//! conversions of Figures 4–7.
+
+use crate::condition::Condition;
+use serde::{Deserialize, Serialize};
+
+/// One statement of a process description body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// An end-user activity, referenced by name (e.g. `POD`).
+    Activity(String),
+    /// `FORK { branch, branch, … } JOIN`: all branches execute (the paper:
+    /// "after the execution of a Fork activity, all the activities in its
+    /// successor set are triggered"; Join fires when all complete).
+    Concurrent(Vec<Vec<Stmt>>),
+    /// `CHOICE { COND {c} {branch}, … } MERGE`: exactly one branch
+    /// executes — the first whose condition holds (the paper: "only one of
+    /// its successor activities may be executed", selected by "a condition
+    /// set").
+    Selective(Vec<(Condition, Vec<Stmt>)>),
+    /// `ITERATIVE { COND {c} } { body }`: the body executes, then the
+    /// condition is evaluated; while it holds the body repeats (do-while —
+    /// this matches Fig. 10, where the resolution test sits at the
+    /// *bottom* of the refinement loop).
+    Iterative {
+        /// Continue-looping condition, evaluated after each pass.
+        cond: Condition,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// Number of AST nodes in this statement (each branch list contributes
+    /// its statements; the construct itself counts as one node).
+    pub fn node_count(&self) -> usize {
+        match self {
+            Stmt::Activity(_) => 1,
+            Stmt::Concurrent(branches) => {
+                1 + branches
+                    .iter()
+                    .flat_map(|b| b.iter())
+                    .map(Stmt::node_count)
+                    .sum::<usize>()
+            }
+            Stmt::Selective(branches) => {
+                1 + branches
+                    .iter()
+                    .flat_map(|(_, b)| b.iter())
+                    .map(Stmt::node_count)
+                    .sum::<usize>()
+            }
+            Stmt::Iterative { body, .. } => {
+                1 + body.iter().map(Stmt::node_count).sum::<usize>()
+            }
+        }
+    }
+
+    /// Maximum nesting depth (an activity has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Stmt::Activity(_) => 1,
+            Stmt::Concurrent(branches) => {
+                1 + branches
+                    .iter()
+                    .flat_map(|b| b.iter())
+                    .map(Stmt::depth)
+                    .max()
+                    .unwrap_or(0)
+            }
+            Stmt::Selective(branches) => {
+                1 + branches
+                    .iter()
+                    .flat_map(|(_, b)| b.iter())
+                    .map(Stmt::depth)
+                    .max()
+                    .unwrap_or(0)
+            }
+            Stmt::Iterative { body, .. } => {
+                1 + body.iter().map(Stmt::depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    fn collect_activities<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Stmt::Activity(name) => out.push(name),
+            Stmt::Concurrent(branches) => {
+                for b in branches {
+                    for s in b {
+                        s.collect_activities(out);
+                    }
+                }
+            }
+            Stmt::Selective(branches) => {
+                for (_, b) in branches {
+                    for s in b {
+                        s.collect_activities(out);
+                    }
+                }
+            }
+            Stmt::Iterative { body, .. } => {
+                for s in body {
+                    s.collect_activities(out);
+                }
+            }
+        }
+    }
+}
+
+/// A complete process description: `BEGIN <body> END`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ProcessAst {
+    /// The statements between `BEGIN` and `END`.
+    pub body: Vec<Stmt>,
+}
+
+impl ProcessAst {
+    /// An empty process (`BEGIN END`).
+    pub fn new(body: Vec<Stmt>) -> Self {
+        ProcessAst { body }
+    }
+
+    /// Every end-user activity occurrence, in syntactic order (duplicates
+    /// preserved: an activity used twice appears twice).
+    pub fn activities(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        for s in &self.body {
+            s.collect_activities(&mut out);
+        }
+        out
+    }
+
+    /// Total number of AST nodes (excluding the implicit Begin/End).
+    pub fn node_count(&self) -> usize {
+        self.body.iter().map(Stmt::node_count).sum()
+    }
+
+    /// Maximum nesting depth of the body.
+    pub fn depth(&self) -> usize {
+        self.body.iter().map(Stmt::depth).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Condition;
+
+    fn sample() -> ProcessAst {
+        ProcessAst::new(vec![
+            Stmt::Activity("POD".into()),
+            Stmt::Iterative {
+                cond: Condition::True,
+                body: vec![
+                    Stmt::Activity("POR".into()),
+                    Stmt::Concurrent(vec![
+                        vec![Stmt::Activity("P3DR2".into())],
+                        vec![Stmt::Activity("P3DR3".into())],
+                    ]),
+                ],
+            },
+        ])
+    }
+
+    #[test]
+    fn activities_in_order_with_duplicates() {
+        let ast = ProcessAst::new(vec![
+            Stmt::Activity("A".into()),
+            Stmt::Selective(vec![
+                (Condition::True, vec![Stmt::Activity("A".into())]),
+                (Condition::True, vec![Stmt::Activity("B".into())]),
+            ]),
+        ]);
+        assert_eq!(ast.activities(), vec!["A", "A", "B"]);
+    }
+
+    #[test]
+    fn node_count_counts_constructs_and_activities() {
+        let ast = sample();
+        // POD(1) + Iterative(1) + POR(1) + Concurrent(1) + P3DR2(1) + P3DR3(1)
+        assert_eq!(ast.node_count(), 6);
+    }
+
+    #[test]
+    fn depth_reflects_nesting() {
+        let ast = sample();
+        // Iterative > Concurrent > Activity = 3
+        assert_eq!(ast.depth(), 3);
+        assert_eq!(ProcessAst::default().depth(), 0);
+        assert_eq!(
+            ProcessAst::new(vec![Stmt::Activity("A".into())]).depth(),
+            1
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let ast = sample();
+        let json = serde_json::to_string(&ast).unwrap();
+        let back: ProcessAst = serde_json::from_str(&json).unwrap();
+        assert_eq!(ast, back);
+    }
+}

@@ -1,0 +1,212 @@
+//! Data items and the data state conditions are evaluated against.
+//!
+//! The condition sub-language of the paper's grammar constrains *data
+//! properties*: `<data>.<property> <op> <value>`, with properties such as
+//! `Classification`, `Size`, `Location`, or `Value` (cf. constraint
+//! `Cons1` of Fig. 13: `D10.Classification = "Resolution File" and
+//! D10.Value > 8`).  A [`DataState`] is the set of data items currently in
+//! existence together with their properties; it evolves as activities
+//! execute (each activity's postconditions add or modify items).
+
+use gridflow_ontology::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One data item: an identifier plus a property map.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct DataItem {
+    /// Property name → value (e.g. `Classification → "2D Image"`).
+    pub properties: BTreeMap<String, Value>,
+}
+
+impl DataItem {
+    /// An item with no properties.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An item with a single `Classification` property — the dominant use
+    /// in the paper's case study.
+    pub fn classified(classification: impl Into<String>) -> Self {
+        DataItem::new().with("Classification", Value::str(classification))
+    }
+
+    /// Add a property (builder style).
+    pub fn with(mut self, property: impl Into<String>, value: Value) -> Self {
+        self.properties.insert(property.into(), value);
+        self
+    }
+
+    /// Set a property in place.
+    pub fn set(&mut self, property: impl Into<String>, value: Value) {
+        self.properties.insert(property.into(), value);
+    }
+
+    /// Borrow a property value.
+    pub fn get(&self, property: &str) -> Option<&Value> {
+        self.properties.get(property)
+    }
+
+    /// The `Classification` property, if set and a string.
+    pub fn classification(&self) -> Option<&str> {
+        self.get("Classification").and_then(Value::as_str)
+    }
+}
+
+/// The set of data items in existence at some point of an enactment or a
+/// plan simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct DataState {
+    items: BTreeMap<String, DataItem>,
+}
+
+impl DataState {
+    /// An empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert (or replace) an item.
+    pub fn insert(&mut self, id: impl Into<String>, item: DataItem) {
+        self.items.insert(id.into(), item);
+    }
+
+    /// Builder-style insertion.
+    pub fn with(mut self, id: impl Into<String>, item: DataItem) -> Self {
+        self.insert(id, item);
+        self
+    }
+
+    /// Remove an item, returning it if present.
+    pub fn remove(&mut self, id: &str) -> Option<DataItem> {
+        self.items.remove(id)
+    }
+
+    /// Borrow an item.
+    pub fn get(&self, id: &str) -> Option<&DataItem> {
+        self.items.get(id)
+    }
+
+    /// Mutably borrow an item.
+    pub fn get_mut(&mut self, id: &str) -> Option<&mut DataItem> {
+        self.items.get_mut(id)
+    }
+
+    /// Does an item with this id exist?
+    pub fn contains(&self, id: &str) -> bool {
+        self.items.contains_key(id)
+    }
+
+    /// A property of an item, if both exist.
+    pub fn property(&self, id: &str, property: &str) -> Option<&Value> {
+        self.get(id).and_then(|item| item.get(property))
+    }
+
+    /// Set a property of an item, creating the item if needed.
+    pub fn set_property(&mut self, id: &str, property: impl Into<String>, value: Value) {
+        self.items.entry(id.to_owned()).or_default().set(property, value);
+    }
+
+    /// Iterate over `(id, item)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &DataItem)> {
+        self.items.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Ids in id order.
+    pub fn ids(&self) -> impl Iterator<Item = &str> {
+        self.items.keys().map(String::as_str)
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Is the state empty?
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Merge another state into this one (other wins on conflicts) — used
+    /// when an activity's outputs are folded into the running state.
+    pub fn merge(&mut self, other: &DataState) {
+        for (id, item) in &other.items {
+            self.items.insert(id.clone(), item.clone());
+        }
+    }
+}
+
+impl FromIterator<(String, DataItem)> for DataState {
+    fn from_iter<T: IntoIterator<Item = (String, DataItem)>>(iter: T) -> Self {
+        DataState {
+            items: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn item_builder_and_accessors() {
+        let item = DataItem::classified("2D Image")
+            .with("Size", Value::Int(1_500_000_000))
+            .with("Format", Value::str("Binary"));
+        assert_eq!(item.classification(), Some("2D Image"));
+        assert_eq!(item.get("Size"), Some(&Value::Int(1_500_000_000)));
+        assert!(item.get("Missing").is_none());
+    }
+
+    #[test]
+    fn state_insert_get_remove() {
+        let mut state = DataState::new();
+        state.insert("D1", DataItem::classified("POD-Parameter"));
+        assert!(state.contains("D1"));
+        assert_eq!(
+            state.property("D1", "Classification"),
+            Some(&Value::str("POD-Parameter"))
+        );
+        assert_eq!(state.len(), 1);
+        let removed = state.remove("D1").unwrap();
+        assert_eq!(removed.classification(), Some("POD-Parameter"));
+        assert!(state.is_empty());
+    }
+
+    #[test]
+    fn set_property_creates_item() {
+        let mut state = DataState::new();
+        state.set_property("D8", "Classification", Value::str("Orientation File"));
+        assert_eq!(
+            state.get("D8").unwrap().classification(),
+            Some("Orientation File")
+        );
+    }
+
+    #[test]
+    fn merge_overwrites_on_conflict() {
+        let mut a = DataState::new().with("D1", DataItem::classified("Old"));
+        let b = DataState::new()
+            .with("D1", DataItem::classified("New"))
+            .with("D2", DataItem::classified("Extra"));
+        a.merge(&b);
+        assert_eq!(a.get("D1").unwrap().classification(), Some("New"));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn iteration_is_in_id_order() {
+        let state = DataState::new()
+            .with("D2", DataItem::new())
+            .with("D1", DataItem::new())
+            .with("D10", DataItem::new());
+        let ids: Vec<&str> = state.ids().collect();
+        assert_eq!(ids, vec!["D1", "D10", "D2"]); // lexicographic
+    }
+
+    #[test]
+    fn from_iterator() {
+        let state: DataState = vec![("D1".to_owned(), DataItem::new())].into_iter().collect();
+        assert_eq!(state.len(), 1);
+    }
+}

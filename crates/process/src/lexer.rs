@@ -1,0 +1,444 @@
+//! Lexer for the process-description language.
+
+use crate::error::{ProcessError, Result};
+use std::fmt;
+
+/// A lexical token with its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Byte offset of the first character of the token.
+    pub offset: usize,
+    /// The token kind and payload.
+    pub kind: TokenKind,
+}
+
+/// Token kinds of the PDL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `BEGIN`
+    Begin,
+    /// `END`
+    End,
+    /// `FORK`
+    Fork,
+    /// `JOIN`
+    Join,
+    /// `CHOICE`
+    Choice,
+    /// `MERGE`
+    Merge,
+    /// `ITERATIVE`
+    Iterative,
+    /// `COND`
+    Cond,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `not`
+    Not,
+    /// `exists`
+    Exists,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// An identifier (activity or data name).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A quoted string literal.
+    Str(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// End of input (always the last token).
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Begin => write!(f, "BEGIN"),
+            TokenKind::End => write!(f, "END"),
+            TokenKind::Fork => write!(f, "FORK"),
+            TokenKind::Join => write!(f, "JOIN"),
+            TokenKind::Choice => write!(f, "CHOICE"),
+            TokenKind::Merge => write!(f, "MERGE"),
+            TokenKind::Iterative => write!(f, "ITERATIVE"),
+            TokenKind::Cond => write!(f, "COND"),
+            TokenKind::And => write!(f, "and"),
+            TokenKind::Or => write!(f, "or"),
+            TokenKind::Not => write!(f, "not"),
+            TokenKind::Exists => write!(f, "exists"),
+            TokenKind::True => write!(f, "true"),
+            TokenKind::False => write!(f, "false"),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(v) => write!(f, "integer {v}"),
+            TokenKind::Float(v) => write!(f, "float {v}"),
+            TokenKind::Str(s) => write!(f, "string \"{s}\""),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Lt => write!(f, "`<`"),
+            TokenKind::Gt => write!(f, "`>`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::Ne => write!(f, "`!=`"),
+            TokenKind::Le => write!(f, "`<=`"),
+            TokenKind::Ge => write!(f, "`>=`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Tokenize a PDL source text.  Line comments start with `//` or `#` and
+/// run to end of line.
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '#' || (c == '/' && bytes.get(i + 1) == Some(&b'/')) {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        // Punctuation and operators.
+        let punct = match c {
+            '{' => Some(TokenKind::LBrace),
+            '}' => Some(TokenKind::RBrace),
+            '(' => Some(TokenKind::LParen),
+            ')' => Some(TokenKind::RParen),
+            ';' => Some(TokenKind::Semi),
+            ',' => Some(TokenKind::Comma),
+            '.' => Some(TokenKind::Dot),
+            '=' => Some(TokenKind::Eq),
+            _ => None,
+        };
+        if let Some(kind) = punct {
+            tokens.push(Token { offset: start, kind });
+            i += 1;
+            continue;
+        }
+        match c {
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { offset: start, kind: TokenKind::Le });
+                    i += 2;
+                } else {
+                    tokens.push(Token { offset: start, kind: TokenKind::Lt });
+                    i += 1;
+                }
+                continue;
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { offset: start, kind: TokenKind::Ge });
+                    i += 2;
+                } else {
+                    tokens.push(Token { offset: start, kind: TokenKind::Gt });
+                    i += 1;
+                }
+                continue;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { offset: start, kind: TokenKind::Ne });
+                    i += 2;
+                    continue;
+                }
+                return Err(ProcessError::Lex {
+                    offset: start,
+                    message: "expected `!=`".into(),
+                });
+            }
+            '"' => {
+                i += 1;
+                let mut text = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(ProcessError::Lex {
+                                offset: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            // Simple escapes: \" and \\.
+                            match bytes.get(i + 1) {
+                                Some(b'"') => text.push('"'),
+                                Some(b'\\') => text.push('\\'),
+                                _ => {
+                                    return Err(ProcessError::Lex {
+                                        offset: i,
+                                        message: "unsupported escape".into(),
+                                    })
+                                }
+                            }
+                            i += 2;
+                        }
+                        Some(&b) => {
+                            text.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    offset: start,
+                    kind: TokenKind::Str(text),
+                });
+                continue;
+            }
+            _ => {}
+        }
+        // Numbers (optionally signed).
+        if c.is_ascii_digit()
+            || (c == '-' && bytes.get(i + 1).map(|b| b.is_ascii_digit()).unwrap_or(false))
+        {
+            let mut j = i + 1;
+            let mut is_float = false;
+            while j < bytes.len() {
+                let d = bytes[j] as char;
+                if d.is_ascii_digit() {
+                    j += 1;
+                } else if d == '.'
+                    && !is_float
+                    && bytes.get(j + 1).map(|b| b.is_ascii_digit()).unwrap_or(false)
+                {
+                    is_float = true;
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            let text = &source[i..j];
+            let kind = if is_float {
+                TokenKind::Float(text.parse().map_err(|_| ProcessError::Lex {
+                    offset: start,
+                    message: format!("invalid float literal `{text}`"),
+                })?)
+            } else {
+                TokenKind::Int(text.parse().map_err(|_| ProcessError::Lex {
+                    offset: start,
+                    message: format!("invalid integer literal `{text}`"),
+                })?)
+            };
+            tokens.push(Token { offset: start, kind });
+            i = j;
+            continue;
+        }
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut j = i + 1;
+            while j < bytes.len() {
+                let d = bytes[j] as char;
+                if d.is_ascii_alphanumeric() || d == '_' {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            let text = &source[i..j];
+            let kind = match text {
+                "BEGIN" => TokenKind::Begin,
+                "END" => TokenKind::End,
+                "FORK" => TokenKind::Fork,
+                "JOIN" => TokenKind::Join,
+                "CHOICE" => TokenKind::Choice,
+                "MERGE" => TokenKind::Merge,
+                "ITERATIVE" => TokenKind::Iterative,
+                "COND" => TokenKind::Cond,
+                "and" => TokenKind::And,
+                "or" => TokenKind::Or,
+                "not" => TokenKind::Not,
+                "exists" => TokenKind::Exists,
+                "true" => TokenKind::True,
+                "false" => TokenKind::False,
+                _ => TokenKind::Ident(text.to_owned()),
+            };
+            tokens.push(Token { offset: start, kind });
+            i = j;
+            continue;
+        }
+        return Err(ProcessError::Lex {
+            offset: start,
+            message: format!("unexpected character `{c}`"),
+        });
+    }
+
+    tokens.push(Token {
+        offset: source.len(),
+        kind: TokenKind::Eof,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("BEGIN POD END"),
+            vec![
+                TokenKind::Begin,
+                TokenKind::Ident("POD".into()),
+                TokenKind::End,
+                TokenKind::Eof
+            ]
+        );
+        // Keywords are case-sensitive: lowercase `begin` is an identifier.
+        assert_eq!(
+            kinds("begin"),
+            vec![TokenKind::Ident("begin".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds("< > = != <= >="),
+            vec![
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("8 8.5 -3 -0.25"),
+            vec![
+                TokenKind::Int(8),
+                TokenKind::Float(8.5),
+                TokenKind::Int(-3),
+                TokenKind::Float(-0.25),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn dotted_property_access_lexes_as_three_tokens() {
+        assert_eq!(
+            kinds("D10.Value"),
+            vec![
+                TokenKind::Ident("D10".into()),
+                TokenKind::Dot,
+                TokenKind::Ident("Value".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""Resolution File" "a\"b" "c\\d""#),
+            vec![
+                TokenKind::Str("Resolution File".into()),
+                TokenKind::Str("a\"b".into()),
+                TokenKind::Str("c\\d".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(matches!(lex("\"oops"), Err(ProcessError::Lex { .. })));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("POD; // comment\n# another\nPOR;"),
+            vec![
+                TokenKind::Ident("POD".into()),
+                TokenKind::Semi,
+                TokenKind::Ident("POR".into()),
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn offsets_are_byte_positions() {
+        let toks = lex("BEGIN POD").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 6);
+    }
+
+    #[test]
+    fn unexpected_character_reports_offset() {
+        match lex("POD $") {
+            Err(ProcessError::Lex { offset, .. }) => assert_eq!(offset, 4),
+            other => panic!("expected lex error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_bang_is_an_error() {
+        assert!(matches!(lex("!x"), Err(ProcessError::Lex { .. })));
+    }
+
+    #[test]
+    fn minus_without_digit_is_an_error() {
+        assert!(matches!(lex("a - b"), Err(ProcessError::Lex { .. })));
+    }
+}

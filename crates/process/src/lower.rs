@@ -1,0 +1,316 @@
+//! Lowering: structured AST → activity/transition graph.
+//!
+//! This is the left-to-right direction of the conversions in Figures 4–7
+//! of the paper: each `FORK…JOIN` statement becomes a Fork/Join activity
+//! pair, each `CHOICE…MERGE` a Choice/Merge pair, and each `ITERATIVE` a
+//! Merge (loop entry) / Choice (loop test) pair with a back transition —
+//! exactly the loop shape of Figure 10, where the resolution-refinement
+//! loop is entered through MERGE and closed by CHOICE.
+
+use crate::ast::{ProcessAst, Stmt};
+use crate::condition::Condition;
+use crate::error::Result;
+use crate::graph::{ActivityDecl, ActivityKind, ProcessGraph};
+use std::collections::BTreeMap;
+
+/// Lower a structured process description into graph form.
+///
+/// End-user activity ids are taken from the AST names; when a name occurs
+/// more than once, later occurrences get `#2`, `#3`, … suffixes while the
+/// *service* name stays the base name (mirroring the paper's `P3DR1` …
+/// `P3DR4` which all invoke service `P3DR`).
+pub fn lower(name: impl Into<String>, ast: &ProcessAst) -> Result<ProcessGraph> {
+    let mut ctx = Lowering {
+        graph: ProcessGraph::new(name),
+        used_names: BTreeMap::new(),
+        flow_counter: 0,
+    };
+    ctx.graph
+        .add_activity(ActivityDecl::flow("BEGIN", ActivityKind::Begin))?;
+    let last = ctx.lower_stmts(&ast.body, "BEGIN".to_owned(), None)?;
+    ctx.graph
+        .add_activity(ActivityDecl::flow("END", ActivityKind::End))?;
+    ctx.graph.add_transition(last, "END", None)?;
+    Ok(ctx.graph)
+}
+
+struct Lowering {
+    graph: ProcessGraph,
+    used_names: BTreeMap<String, usize>,
+    flow_counter: usize,
+}
+
+impl Lowering {
+    fn fresh_flow_id(&mut self, base: &str) -> String {
+        self.flow_counter += 1;
+        format!("{base}{}", self.flow_counter)
+    }
+
+    fn fresh_activity_id(&mut self, name: &str) -> String {
+        let count = self.used_names.entry(name.to_owned()).or_insert(0);
+        *count += 1;
+        if *count == 1 {
+            name.to_owned()
+        } else {
+            format!("{name}#{count}")
+        }
+    }
+
+    /// Lower a statement list, linking from `prev` with an optional guard
+    /// on the very first transition; returns the id of the last activity.
+    fn lower_stmts(
+        &mut self,
+        stmts: &[Stmt],
+        prev: String,
+        mut first_guard: Option<Condition>,
+    ) -> Result<String> {
+        let mut current = prev;
+        for stmt in stmts {
+            let guard = first_guard.take();
+            current = self.lower_stmt(stmt, current, guard)?;
+        }
+        Ok(current)
+    }
+
+    /// Lower one statement; `guard` is attached to the entering
+    /// transition (used for Choice branches).  Returns the exit activity.
+    fn lower_stmt(
+        &mut self,
+        stmt: &Stmt,
+        prev: String,
+        guard: Option<Condition>,
+    ) -> Result<String> {
+        match stmt {
+            Stmt::Activity(name) => {
+                let id = self.fresh_activity_id(name);
+                self.graph
+                    .add_activity(ActivityDecl::end_user_with_service(&id, name))?;
+                self.graph.add_transition(prev, &id, guard)?;
+                Ok(id)
+            }
+            Stmt::Concurrent(branches) => {
+                if branches.len() < 2 {
+                    return Err(crate::error::ProcessError::Structure(
+                        "a concurrent statement requires at least two branches".into(),
+                    ));
+                }
+                let fork = self.fresh_flow_id("FORK");
+                let join = self.fresh_flow_id("JOIN");
+                self.graph
+                    .add_activity(ActivityDecl::flow(&fork, ActivityKind::Fork))?;
+                self.graph.add_transition(prev, &fork, guard)?;
+                self.graph
+                    .add_activity(ActivityDecl::flow(&join, ActivityKind::Join))?;
+                for branch in branches {
+                    let last = self.lower_stmts(branch, fork.clone(), None)?;
+                    self.graph.add_transition(last, &join, None)?;
+                }
+                Ok(join)
+            }
+            Stmt::Selective(branches) => {
+                if branches.len() < 2 {
+                    return Err(crate::error::ProcessError::Structure(
+                        "a selective statement requires at least two branches".into(),
+                    ));
+                }
+                let choice = self.fresh_flow_id("CHOICE");
+                let merge = self.fresh_flow_id("MERGE");
+                self.graph
+                    .add_activity(ActivityDecl::flow(&choice, ActivityKind::Choice))?;
+                self.graph.add_transition(prev, &choice, guard)?;
+                self.graph
+                    .add_activity(ActivityDecl::flow(&merge, ActivityKind::Merge))?;
+                for (cond, branch) in branches {
+                    let last =
+                        self.lower_stmts(branch, choice.clone(), Some(cond.clone()))?;
+                    // An empty branch means the Choice connects straight to
+                    // the Merge; lower_stmts returned `choice` itself.
+                    if last == choice {
+                        self.graph
+                            .add_transition(&choice, &merge, Some(cond.clone()))?;
+                    } else {
+                        self.graph.add_transition(last, &merge, None)?;
+                    }
+                }
+                Ok(merge)
+            }
+            Stmt::Iterative { cond, body } => {
+                // Loop entry: a Merge fed by the incoming transition and by
+                // the Choice's back transition (Fig. 10 shape).
+                let merge = self.fresh_flow_id("MERGE");
+                let choice = self.fresh_flow_id("CHOICE");
+                self.graph
+                    .add_activity(ActivityDecl::flow(&merge, ActivityKind::Merge))?;
+                self.graph.add_transition(prev, &merge, guard)?;
+                let last = self.lower_stmts(body, merge.clone(), None)?;
+                self.graph
+                    .add_activity(ActivityDecl::flow(&choice, ActivityKind::Choice))?;
+                self.graph.add_transition(last, &choice, None)?;
+                // Back transition carries the continue condition; the
+                // forward (exit) transition is the default branch.
+                self.graph
+                    .add_transition(&choice, &merge, Some(cond.clone()))?;
+                Ok(choice)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::{CompareOp, Condition};
+    use crate::parser::parse_process;
+
+    fn lower_src(src: &str) -> ProcessGraph {
+        let ast = parse_process(src).unwrap();
+        let g = lower("test", &ast).unwrap();
+        g.validate().unwrap_or_else(|e| panic!("invalid graph: {e}"));
+        g
+    }
+
+    #[test]
+    fn sequence_lowers_to_chain() {
+        let g = lower_src("BEGIN A; B; C; END");
+        assert_eq!(g.sole_successor("BEGIN").unwrap(), "A");
+        assert_eq!(g.sole_successor("A").unwrap(), "B");
+        assert_eq!(g.sole_successor("B").unwrap(), "C");
+        assert_eq!(g.sole_successor("C").unwrap(), "END");
+        assert_eq!(g.activities().len(), 5);
+        assert_eq!(g.transitions().len(), 4);
+    }
+
+    #[test]
+    fn fork_join_shape_matches_figure_5() {
+        let g = lower_src("BEGIN FORK { { A; }, { B; } } JOIN; END");
+        let fork = g
+            .activities()
+            .iter()
+            .find(|a| a.kind == ActivityKind::Fork)
+            .unwrap();
+        let join = g
+            .activities()
+            .iter()
+            .find(|a| a.kind == ActivityKind::Join)
+            .unwrap();
+        assert_eq!(g.successors(&fork.id), vec!["A", "B"]);
+        assert_eq!(g.predecessors(&join.id), vec!["A", "B"]);
+    }
+
+    #[test]
+    fn choice_merge_shape_matches_figure_6() {
+        let g = lower_src(
+            "BEGIN CHOICE { COND { D.X = 1 } { A; }, COND { true } { B; } } MERGE; END",
+        );
+        let choice = g
+            .activities()
+            .iter()
+            .find(|a| a.kind == ActivityKind::Choice)
+            .unwrap();
+        let out = g.outgoing(&choice.id);
+        assert_eq!(out.len(), 2);
+        assert_eq!(
+            out[0].condition,
+            Some(Condition::compare("D", "X", CompareOp::Eq, 1i64))
+        );
+        assert_eq!(out[1].condition, Some(Condition::True));
+    }
+
+    #[test]
+    fn iterative_lowers_to_merge_choice_loop_matching_figure_7() {
+        let g = lower_src("BEGIN ITERATIVE { COND { D.X > 8 } } { A; B; }; END");
+        let merge = g
+            .activities()
+            .iter()
+            .find(|a| a.kind == ActivityKind::Merge)
+            .unwrap();
+        let choice = g
+            .activities()
+            .iter()
+            .find(|a| a.kind == ActivityKind::Choice)
+            .unwrap();
+        // Merge is fed by BEGIN and by the Choice (back edge).
+        let preds = g.predecessors(&merge.id);
+        assert!(preds.contains(&"BEGIN"));
+        assert!(preds.contains(&choice.id.as_str()));
+        // Choice leads back to the Merge (guarded) and on to END (default).
+        let out = g.outgoing(&choice.id);
+        assert_eq!(out.len(), 2);
+        let back = out.iter().find(|t| t.dest == merge.id).unwrap();
+        assert!(back.condition.is_some());
+        let exit = out.iter().find(|t| t.dest == "END").unwrap();
+        assert!(exit.condition.is_none());
+    }
+
+    #[test]
+    fn duplicate_activity_names_are_uniquified() {
+        let g = lower_src("BEGIN A; A; A; END");
+        let ids: Vec<&str> = g.end_user_activities().map(|a| a.id.as_str()).collect();
+        assert_eq!(ids, vec!["A", "A#2", "A#3"]);
+        for a in g.end_user_activities() {
+            assert_eq!(a.service.as_deref(), Some("A"));
+        }
+    }
+
+    #[test]
+    fn empty_selective_branch_connects_choice_to_merge() {
+        let g = lower_src("BEGIN CHOICE { COND { D.X = 1 } { A; }, COND { true } { } } MERGE; END");
+        let choice = g
+            .activities()
+            .iter()
+            .find(|a| a.kind == ActivityKind::Choice)
+            .unwrap();
+        let merge = g
+            .activities()
+            .iter()
+            .find(|a| a.kind == ActivityKind::Merge)
+            .unwrap();
+        assert!(g
+            .outgoing(&choice.id)
+            .iter()
+            .any(|t| t.dest == merge.id && t.condition == Some(Condition::True)));
+    }
+
+    #[test]
+    fn empty_iterative_body_connects_merge_to_choice() {
+        let g = lower_src("BEGIN ITERATIVE { COND { D.X > 0 } } { }; END");
+        g.validate().unwrap();
+        let merge = g
+            .activities()
+            .iter()
+            .find(|a| a.kind == ActivityKind::Merge)
+            .unwrap();
+        let choice = g
+            .activities()
+            .iter()
+            .find(|a| a.kind == ActivityKind::Choice)
+            .unwrap();
+        assert_eq!(g.sole_successor(&merge.id).unwrap(), choice.id);
+    }
+
+    #[test]
+    fn nested_constructs_validate() {
+        let g = lower_src(
+            "BEGIN ITERATIVE { COND { D.X > 8 } } { \
+                FORK { { A; CHOICE { COND { true } { B; } , COND { D.Y = 1 } { } } MERGE; }, { C; } } JOIN; \
+             }; END",
+        );
+        assert!(g.activities().len() > 8);
+    }
+
+    #[test]
+    fn virus_workflow_of_figure_10_lowers_to_13_activities_and_15_transitions() {
+        // Fig. 10: POD; P3DR1; loop( POR; FORK{P3DR2,P3DR3,P3DR4}JOIN; PSF )
+        // = 7 end-user + BEGIN,END,MERGE,FORK,JOIN,CHOICE = 13 activities,
+        //   TR1..TR15 = 15 transitions.
+        let g = lower_src(
+            "BEGIN POD; P3DR; \
+             ITERATIVE { COND { D10.Value > 8 } } { \
+                POR; FORK { { P3DR; }, { P3DR; }, { P3DR; } } JOIN; PSF; \
+             }; END",
+        );
+        assert_eq!(g.activities().len(), 13);
+        assert_eq!(g.transitions().len(), 15);
+        assert_eq!(g.end_user_activities().count(), 7);
+    }
+}

@@ -1,0 +1,456 @@
+//! Recursive-descent parser for the process-description language.
+//!
+//! Concrete syntax (our rendering of the paper's BNF, which the paper
+//! gives only in OCR-damaged form; the constructs and keywords are the
+//! paper's own):
+//!
+//! ```text
+//! process   := "BEGIN" stmt_list "END"
+//! stmt_list := (stmt ";")*
+//! stmt      := IDENT                                        -- end-user activity
+//!            | "FORK" "{" block ("," block)+ "}" "JOIN"     -- concurrent
+//!            | "CHOICE" "{" guarded ("," guarded)* "}" "MERGE"
+//!            | "ITERATIVE" "{" "COND" "{" cond "}" "}" block
+//! block     := "{" stmt_list "}"
+//! guarded   := "COND" "{" cond "}" block
+//!
+//! cond      := and_expr ("or" and_expr)*
+//! and_expr  := unary ("and" unary)*
+//! unary     := "not" unary | "(" cond ")" | atom
+//! atom      := "true" | "false" | "exists" IDENT
+//!            | IDENT "." IDENT op literal                   -- the paper's atom
+//! op        := "<" | ">" | "=" | "!=" | "<=" | ">="
+//! literal   := INT | FLOAT | STRING | "true" | "false" | IDENT
+//! ```
+//!
+//! The pretty-printer in [`crate::printer`] emits exactly this syntax, and
+//! print→parse is the identity (tested property-style in the crate tests).
+
+use crate::ast::{ProcessAst, Stmt};
+use crate::condition::{CompareOp, Condition};
+use crate::error::{ProcessError, Result};
+use crate::lexer::{lex, Token, TokenKind};
+use gridflow_ontology::Value;
+
+/// Parse a complete process description (`BEGIN … END`).
+pub fn parse_process(source: &str) -> Result<ProcessAst> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.expect(&TokenKind::Begin)?;
+    let body = p.stmt_list()?;
+    p.expect(&TokenKind::End)?;
+    p.expect(&TokenKind::Eof)?;
+    Ok(ProcessAst::new(body))
+}
+
+/// Parse a condition expression on its own (used for case-description
+/// goals and constraints).
+pub fn parse_condition(source: &str) -> Result<Condition> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let cond = p.condition()?;
+    p.expect(&TokenKind::Eof)?;
+    Ok(cond)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<()> {
+        if self.peek() == kind {
+            self.advance();
+            Ok(())
+        } else {
+            Err(ProcessError::Parse {
+                offset: self.offset(),
+                message: format!("expected {kind}, found {}", self.peek()),
+            })
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(name)
+            }
+            other => Err(ProcessError::Parse {
+                offset: self.offset(),
+                message: format!("expected identifier, found {other}"),
+            }),
+        }
+    }
+
+    // ---- statements -------------------------------------------------
+
+    fn stmt_list(&mut self) -> Result<Vec<Stmt>> {
+        let mut out = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::Ident(_)
+                | TokenKind::Fork
+                | TokenKind::Choice
+                | TokenKind::Iterative => {
+                    let stmt = self.stmt()?;
+                    self.expect(&TokenKind::Semi)?;
+                    out.push(stmt);
+                }
+                _ => return Ok(out),
+            }
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(Stmt::Activity(name))
+            }
+            TokenKind::Fork => {
+                self.advance();
+                self.expect(&TokenKind::LBrace)?;
+                let mut branches = vec![self.block()?];
+                while self.peek() == &TokenKind::Comma {
+                    self.advance();
+                    branches.push(self.block()?);
+                }
+                self.expect(&TokenKind::RBrace)?;
+                self.expect(&TokenKind::Join)?;
+                if branches.len() < 2 {
+                    return Err(ProcessError::Parse {
+                        offset: self.offset(),
+                        message: "FORK requires at least two branches".into(),
+                    });
+                }
+                Ok(Stmt::Concurrent(branches))
+            }
+            TokenKind::Choice => {
+                self.advance();
+                self.expect(&TokenKind::LBrace)?;
+                let mut branches = vec![self.guarded()?];
+                while self.peek() == &TokenKind::Comma {
+                    self.advance();
+                    branches.push(self.guarded()?);
+                }
+                self.expect(&TokenKind::RBrace)?;
+                self.expect(&TokenKind::Merge)?;
+                if branches.len() < 2 {
+                    return Err(ProcessError::Parse {
+                        offset: self.offset(),
+                        message: "CHOICE requires at least two branches".into(),
+                    });
+                }
+                Ok(Stmt::Selective(branches))
+            }
+            TokenKind::Iterative => {
+                self.advance();
+                self.expect(&TokenKind::LBrace)?;
+                self.expect(&TokenKind::Cond)?;
+                self.expect(&TokenKind::LBrace)?;
+                let cond = self.condition()?;
+                self.expect(&TokenKind::RBrace)?;
+                self.expect(&TokenKind::RBrace)?;
+                let body = self.block()?;
+                Ok(Stmt::Iterative { cond, body })
+            }
+            other => Err(ProcessError::Parse {
+                offset: self.offset(),
+                message: format!("expected a statement, found {other}"),
+            }),
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>> {
+        self.expect(&TokenKind::LBrace)?;
+        let body = self.stmt_list()?;
+        self.expect(&TokenKind::RBrace)?;
+        Ok(body)
+    }
+
+    fn guarded(&mut self) -> Result<(Condition, Vec<Stmt>)> {
+        self.expect(&TokenKind::Cond)?;
+        self.expect(&TokenKind::LBrace)?;
+        let cond = self.condition()?;
+        self.expect(&TokenKind::RBrace)?;
+        let body = self.block()?;
+        Ok((cond, body))
+    }
+
+    // ---- conditions --------------------------------------------------
+
+    fn condition(&mut self) -> Result<Condition> {
+        let mut left = self.and_expr()?;
+        while self.peek() == &TokenKind::Or {
+            self.advance();
+            let right = self.and_expr()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Condition> {
+        let mut left = self.unary()?;
+        while self.peek() == &TokenKind::And {
+            self.advance();
+            let right = self.unary()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Condition> {
+        match self.peek() {
+            TokenKind::Not => {
+                self.advance();
+                Ok(self.unary()?.negate())
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let inner = self.condition()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            _ => self.atom(),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Condition> {
+        match self.peek().clone() {
+            TokenKind::True => {
+                self.advance();
+                Ok(Condition::True)
+            }
+            TokenKind::False => {
+                self.advance();
+                Ok(Condition::True.negate())
+            }
+            TokenKind::Exists => {
+                self.advance();
+                Ok(Condition::Exists(self.ident()?))
+            }
+            TokenKind::Ident(data) => {
+                self.advance();
+                self.expect(&TokenKind::Dot)?;
+                let property = self.ident()?;
+                let op = self.compare_op()?;
+                let value = self.literal()?;
+                Ok(Condition::Compare {
+                    data,
+                    property,
+                    op,
+                    value,
+                })
+            }
+            other => Err(ProcessError::Parse {
+                offset: self.offset(),
+                message: format!("expected a condition, found {other}"),
+            }),
+        }
+    }
+
+    fn compare_op(&mut self) -> Result<CompareOp> {
+        let op = match self.peek() {
+            TokenKind::Lt => CompareOp::Lt,
+            TokenKind::Gt => CompareOp::Gt,
+            TokenKind::Eq => CompareOp::Eq,
+            TokenKind::Ne => CompareOp::Ne,
+            TokenKind::Le => CompareOp::Le,
+            TokenKind::Ge => CompareOp::Ge,
+            other => {
+                return Err(ProcessError::Parse {
+                    offset: self.offset(),
+                    message: format!("expected a comparison operator, found {other}"),
+                })
+            }
+        };
+        self.advance();
+        Ok(op)
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        let value = match self.peek().clone() {
+            TokenKind::Int(v) => Value::Int(v),
+            TokenKind::Float(v) => Value::Float(v),
+            TokenKind::Str(s) => Value::Str(s),
+            TokenKind::True => Value::Bool(true),
+            TokenKind::False => Value::Bool(false),
+            // A bare identifier is a bare-word string (the paper writes
+            // e.g. `Classification = Text` without quotes in places).
+            TokenKind::Ident(s) => Value::Str(s),
+            other => {
+                return Err(ProcessError::Parse {
+                    offset: self.offset(),
+                    message: format!("expected a literal, found {other}"),
+                })
+            }
+        };
+        self.advance();
+        Ok(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_process() {
+        let ast = parse_process("BEGIN END").unwrap();
+        assert!(ast.body.is_empty());
+    }
+
+    #[test]
+    fn sequence() {
+        let ast = parse_process("BEGIN POD; P3DR1; END").unwrap();
+        assert_eq!(ast.activities(), vec!["POD", "P3DR1"]);
+    }
+
+    #[test]
+    fn fork_join() {
+        let ast = parse_process("BEGIN FORK { { A; }, { B; C; } } JOIN; END").unwrap();
+        match &ast.body[0] {
+            Stmt::Concurrent(branches) => {
+                assert_eq!(branches.len(), 2);
+                assert_eq!(branches[1].len(), 2);
+            }
+            other => panic!("expected Concurrent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fork_needs_two_branches() {
+        assert!(parse_process("BEGIN FORK { { A; } } JOIN; END").is_err());
+    }
+
+    #[test]
+    fn choice_merge_with_conditions() {
+        let src = r#"BEGIN CHOICE {
+            COND { D1.Classification = "3D Model" } { A; },
+            COND { true } { B; }
+        } MERGE; END"#;
+        let ast = parse_process(src).unwrap();
+        match &ast.body[0] {
+            Stmt::Selective(branches) => {
+                assert_eq!(branches.len(), 2);
+                assert_eq!(branches[1].0, Condition::True);
+            }
+            other => panic!("expected Selective, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn iterative_do_while() {
+        let src = "BEGIN ITERATIVE { COND { D10.Value > 8 } } { POR; PSF; }; END";
+        let ast = parse_process(src).unwrap();
+        match &ast.body[0] {
+            Stmt::Iterative { cond, body } => {
+                assert_eq!(body.len(), 2);
+                assert_eq!(cond.to_string(), "D10.Value > 8");
+            }
+            other => panic!("expected Iterative, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_constructs() {
+        let src = "BEGIN ITERATIVE { COND { true } } { FORK { { A; }, { B; } } JOIN; }; END";
+        let ast = parse_process(src).unwrap();
+        assert_eq!(ast.depth(), 3);
+        assert_eq!(ast.node_count(), 4);
+    }
+
+    #[test]
+    fn condition_precedence_and_over_or() {
+        let c = parse_condition("true or true and not true").unwrap();
+        // Parses as: true or (true and (not true))
+        match c {
+            Condition::Or(_, rhs) => match *rhs {
+                Condition::And(_, _) => {}
+                other => panic!("expected And under Or, got {other:?}"),
+            },
+            other => panic!("expected Or at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parenthesised_condition() {
+        let c = parse_condition("(true or true) and exists D1").unwrap();
+        match c {
+            Condition::And(lhs, _) => match *lhs {
+                Condition::Or(_, _) => {}
+                other => panic!("expected Or under And, got {other:?}"),
+            },
+            other => panic!("expected And at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn condition_literals() {
+        assert_eq!(
+            parse_condition("D.X = 5").unwrap(),
+            Condition::compare("D", "X", CompareOp::Eq, 5i64)
+        );
+        assert_eq!(
+            parse_condition("D.X >= 2.5").unwrap(),
+            Condition::compare("D", "X", CompareOp::Ge, 2.5)
+        );
+        assert_eq!(
+            parse_condition("D.X != \"s\"").unwrap(),
+            Condition::compare("D", "X", CompareOp::Ne, Value::str("s"))
+        );
+        assert_eq!(
+            parse_condition("D.X = Text").unwrap(),
+            Condition::compare("D", "X", CompareOp::Eq, Value::str("Text"))
+        );
+        assert_eq!(
+            parse_condition("D.Flag = true").unwrap(),
+            Condition::compare("D", "Flag", CompareOp::Eq, true)
+        );
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        match parse_process("BEGIN POD P3DR1; END") {
+            Err(ProcessError::Parse { offset, message }) => {
+                assert_eq!(offset, 10); // at `P3DR1`, expecting `;`
+                assert!(message.contains("`;`"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_end_is_an_error() {
+        assert!(parse_process("BEGIN POD;").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        assert!(parse_process("BEGIN END extra").is_err());
+        assert!(parse_condition("true extra").is_err());
+    }
+
+    #[test]
+    fn statement_requires_semicolon() {
+        assert!(parse_process("BEGIN FORK { { A; }, { B; } } JOIN END").is_err());
+    }
+}

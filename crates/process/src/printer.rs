@@ -1,0 +1,151 @@
+//! Pretty-printer for process descriptions.
+//!
+//! Emits the concrete syntax documented in [`crate::parser`], indented two
+//! spaces per nesting level.  The printer is the inverse of the parser:
+//! `parse_process(&print(ast)) == ast` (exercised by the crate's property
+//! tests).
+
+use crate::ast::{ProcessAst, Stmt};
+use std::fmt::Write as _;
+
+/// Render a process description in canonical concrete syntax.
+pub fn print(ast: &ProcessAst) -> String {
+    let mut out = String::from("BEGIN\n");
+    for stmt in &ast.body {
+        print_stmt(stmt, 1, &mut out);
+    }
+    out.push_str("END\n");
+    out
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn print_stmt(stmt: &Stmt, level: usize, out: &mut String) {
+    indent(level, out);
+    match stmt {
+        Stmt::Activity(name) => {
+            let _ = writeln!(out, "{name};");
+        }
+        Stmt::Concurrent(branches) => {
+            out.push_str("FORK {\n");
+            for (i, branch) in branches.iter().enumerate() {
+                indent(level + 1, out);
+                out.push_str("{\n");
+                for s in branch {
+                    print_stmt(s, level + 2, out);
+                }
+                indent(level + 1, out);
+                out.push('}');
+                if i + 1 < branches.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            indent(level, out);
+            out.push_str("} JOIN;\n");
+        }
+        Stmt::Selective(branches) => {
+            out.push_str("CHOICE {\n");
+            for (i, (cond, branch)) in branches.iter().enumerate() {
+                indent(level + 1, out);
+                let _ = writeln!(out, "COND {{ {cond} }} {{");
+                for s in branch {
+                    print_stmt(s, level + 2, out);
+                }
+                indent(level + 1, out);
+                out.push('}');
+                if i + 1 < branches.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            indent(level, out);
+            out.push_str("} MERGE;\n");
+        }
+        Stmt::Iterative { cond, body } => {
+            let _ = writeln!(out, "ITERATIVE {{ COND {{ {cond} }} }} {{");
+            for s in body {
+                print_stmt(s, level + 1, out);
+            }
+            indent(level, out);
+            out.push_str("};\n");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::{CompareOp, Condition};
+    use crate::parser::parse_process;
+
+    fn round_trip(ast: &ProcessAst) {
+        let text = print(ast);
+        let back = parse_process(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        assert_eq!(&back, ast, "print→parse changed the AST:\n{text}");
+    }
+
+    #[test]
+    fn empty_process_round_trips() {
+        round_trip(&ProcessAst::default());
+    }
+
+    #[test]
+    fn sequence_round_trips() {
+        round_trip(&ProcessAst::new(vec![
+            Stmt::Activity("POD".into()),
+            Stmt::Activity("P3DR1".into()),
+        ]));
+    }
+
+    #[test]
+    fn all_constructs_round_trip() {
+        let ast = ProcessAst::new(vec![
+            Stmt::Activity("POD".into()),
+            Stmt::Iterative {
+                cond: Condition::compare("D10", "Value", CompareOp::Gt, 8i64),
+                body: vec![
+                    Stmt::Activity("POR".into()),
+                    Stmt::Concurrent(vec![
+                        vec![Stmt::Activity("P3DR2".into())],
+                        vec![
+                            Stmt::Activity("P3DR3".into()),
+                            Stmt::Activity("P3DR4".into()),
+                        ],
+                    ]),
+                    Stmt::Selective(vec![
+                        (
+                            Condition::classified("D9", "3D Model"),
+                            vec![Stmt::Activity("PSF".into())],
+                        ),
+                        (Condition::True, vec![]),
+                    ]),
+                ],
+            },
+        ]);
+        round_trip(&ast);
+    }
+
+    #[test]
+    fn printed_text_is_indented() {
+        let ast = ProcessAst::new(vec![Stmt::Iterative {
+            cond: Condition::True,
+            body: vec![Stmt::Activity("A".into())],
+        }]);
+        let text = print(&ast);
+        assert!(text.contains("  ITERATIVE"), "{text}");
+        assert!(text.contains("    A;"), "{text}");
+    }
+
+    #[test]
+    fn empty_branches_round_trip() {
+        round_trip(&ProcessAst::new(vec![Stmt::Concurrent(vec![
+            vec![],
+            vec![Stmt::Activity("B".into())],
+        ])]));
+    }
+}

@@ -1,0 +1,582 @@
+//! Agent wrappers for the remaining core services of Fig. 1: monitoring,
+//! ontology, persistent storage, authentication, scheduling, and
+//! simulation.  Together with information / brokerage / planning /
+//! coordination / container agents, every service in the figure is
+//! addressable over ACL.
+
+use crate::agents::{action_of, reply_failure};
+use crate::auth::AuthService;
+use crate::monitoring::MonitoringService;
+use crate::ontology_service::OntologyService;
+use crate::scheduling;
+use crate::simulation;
+use crate::storage::StorageService;
+use crate::world::SharedWorld;
+use gridflow_agents::{Agent, AgentContext, AclMessage, Performative};
+use gridflow_ontology::KnowledgeBase;
+use gridflow_process::{CaseDescription, ProcessGraph};
+use serde_json::json;
+
+/// Wraps the (stateless) [`MonitoringService`] over the shared world.
+pub struct MonitoringAgent {
+    /// Agent name (conventionally `monitoring-1`).
+    pub agent_name: String,
+    /// The shared world probed on every request.
+    pub world: SharedWorld,
+}
+
+impl Agent for MonitoringAgent {
+    fn name(&self) -> String {
+        self.agent_name.clone()
+    }
+
+    fn service_type(&self) -> String {
+        "monitoring".into()
+    }
+
+    fn handle(&mut self, msg: AclMessage, ctx: &AgentContext) {
+        if msg.performative != Performative::Request {
+            return;
+        }
+        let mon = MonitoringService;
+        let world = self.world.read();
+        match action_of(&msg).as_deref() {
+            Ok("probe_container") => {
+                let id = msg.content["container"].as_str().unwrap_or("");
+                match mon.probe_container(&world, id) {
+                    Some(status) => {
+                        let _ = ctx.reply(&msg, Performative::Inform, json!({"status": status}));
+                    }
+                    None => reply_failure(
+                        ctx,
+                        &msg,
+                        &crate::ServiceError::NotFound(id.to_owned()),
+                    ),
+                }
+            }
+            Ok("probe_resource") => {
+                let id = msg.content["resource"].as_str().unwrap_or("");
+                match mon.probe_resource(&world, id) {
+                    Some(status) => {
+                        let _ = ctx.reply(&msg, Performative::Inform, json!({"status": status}));
+                    }
+                    None => reply_failure(
+                        ctx,
+                        &msg,
+                        &crate::ServiceError::NotFound(id.to_owned()),
+                    ),
+                }
+            }
+            Ok("availability") => {
+                let _ = ctx.reply(
+                    &msg,
+                    Performative::Inform,
+                    json!({"availability": mon.availability(&world)}),
+                );
+            }
+            Ok(other) => reply_failure(
+                ctx,
+                &msg,
+                &crate::ServiceError::BadRequest(format!("unknown action `{other}`")),
+            ),
+            Err(e) => reply_failure(ctx, &msg, &e),
+        }
+    }
+}
+
+/// Wraps an [`OntologyService`].
+pub struct OntologyAgent {
+    /// Agent name (conventionally `ontology-1`).
+    pub agent_name: String,
+    /// The wrapped catalog.
+    pub service: OntologyService,
+}
+
+impl Agent for OntologyAgent {
+    fn name(&self) -> String {
+        self.agent_name.clone()
+    }
+
+    fn service_type(&self) -> String {
+        "ontology".into()
+    }
+
+    fn handle(&mut self, msg: AclMessage, ctx: &AgentContext) {
+        if msg.performative != Performative::Request {
+            return;
+        }
+        match action_of(&msg).as_deref() {
+            Ok("publish") => {
+                match serde_json::from_value::<KnowledgeBase>(msg.content["ontology"].clone()) {
+                    Ok(kb) => {
+                        self.service.publish(kb);
+                        let _ = ctx.reply(&msg, Performative::Confirm, json!({}));
+                    }
+                    Err(e) => reply_failure(ctx, &msg, &e),
+                }
+            }
+            Ok("get_shell") => {
+                let name = msg.content["name"].as_str().unwrap_or("");
+                match self.service.get_shell(name) {
+                    Ok(shell) => {
+                        let _ = ctx.reply(&msg, Performative::Inform, json!({"ontology": shell}));
+                    }
+                    Err(e) => reply_failure(ctx, &msg, &e),
+                }
+            }
+            Ok("get") => {
+                let name = msg.content["name"].as_str().unwrap_or("");
+                match self.service.get(name) {
+                    Ok(kb) => {
+                        let _ = ctx.reply(&msg, Performative::Inform, json!({"ontology": kb}));
+                    }
+                    Err(e) => reply_failure(ctx, &msg, &e),
+                }
+            }
+            Ok("names") => {
+                let _ = ctx.reply(
+                    &msg,
+                    Performative::Inform,
+                    json!({"names": self.service.names()}),
+                );
+            }
+            Ok(other) => reply_failure(
+                ctx,
+                &msg,
+                &crate::ServiceError::BadRequest(format!("unknown action `{other}`")),
+            ),
+            Err(e) => reply_failure(ctx, &msg, &e),
+        }
+    }
+}
+
+/// Wraps a [`StorageService`].
+pub struct StorageAgent {
+    /// Agent name (conventionally `storage-1`).
+    pub agent_name: String,
+    /// The wrapped versioned store.
+    pub service: StorageService,
+}
+
+impl Agent for StorageAgent {
+    fn name(&self) -> String {
+        self.agent_name.clone()
+    }
+
+    fn service_type(&self) -> String {
+        "persistent-storage".into()
+    }
+
+    fn handle(&mut self, msg: AclMessage, ctx: &AgentContext) {
+        if msg.performative != Performative::Request {
+            return;
+        }
+        match action_of(&msg).as_deref() {
+            Ok("put") => {
+                let key = msg.content["key"].as_str().unwrap_or("").to_owned();
+                if key.is_empty() {
+                    return reply_failure(
+                        ctx,
+                        &msg,
+                        &crate::ServiceError::BadRequest("missing key".into()),
+                    );
+                }
+                let version = self.service.put(key, msg.content["body"].clone());
+                let _ = ctx.reply(&msg, Performative::Inform, json!({"version": version}));
+            }
+            Ok("get") => {
+                let key = msg.content["key"].as_str().unwrap_or("");
+                let result = match msg.content["version"].as_u64() {
+                    Some(v) => self.service.get_version(key, v),
+                    None => self.service.get(key),
+                };
+                match result {
+                    Ok(doc) => {
+                        let _ = ctx.reply(&msg, Performative::Inform, json!({"doc": doc}));
+                    }
+                    Err(e) => reply_failure(ctx, &msg, &e),
+                }
+            }
+            Ok("keys") => {
+                let prefix = msg.content["prefix"].as_str().unwrap_or("");
+                let _ = ctx.reply(
+                    &msg,
+                    Performative::Inform,
+                    json!({"keys": self.service.keys_with_prefix(prefix)}),
+                );
+            }
+            Ok(other) => reply_failure(
+                ctx,
+                &msg,
+                &crate::ServiceError::BadRequest(format!("unknown action `{other}`")),
+            ),
+            Err(e) => reply_failure(ctx, &msg, &e),
+        }
+    }
+}
+
+/// Wraps an [`AuthService`].
+pub struct AuthAgent {
+    /// Agent name (conventionally `authentication-1`).
+    pub agent_name: String,
+    /// The wrapped authenticator.
+    pub service: AuthService,
+}
+
+impl Agent for AuthAgent {
+    fn name(&self) -> String {
+        self.agent_name.clone()
+    }
+
+    fn service_type(&self) -> String {
+        "authentication".into()
+    }
+
+    fn handle(&mut self, msg: AclMessage, ctx: &AgentContext) {
+        if msg.performative != Performative::Request {
+            return;
+        }
+        match action_of(&msg).as_deref() {
+            Ok("authenticate") => {
+                let name = msg.content["principal"].as_str().unwrap_or("");
+                let secret = msg.content["secret"].as_str().unwrap_or("");
+                let uses = msg.content["uses"].as_u64().unwrap_or(16) as u32;
+                match self.service.authenticate(name, secret, uses) {
+                    Ok(token) => {
+                        let _ = ctx.reply(&msg, Performative::Inform, json!({"token": token}));
+                    }
+                    Err(e) => reply_failure(ctx, &msg, &e),
+                }
+            }
+            Ok("authorize") => {
+                let token = msg.content["token"].as_u64().unwrap_or(0);
+                let domain = msg.content["domain"].as_str().unwrap_or("");
+                match self.service.authorize(token, domain) {
+                    Ok(()) => {
+                        let _ = ctx.reply(&msg, Performative::Agree, json!({}));
+                    }
+                    Err(e) => reply_failure(ctx, &msg, &e),
+                }
+            }
+            Ok("revoke") => {
+                let token = msg.content["token"].as_u64().unwrap_or(0);
+                match self.service.revoke(token) {
+                    Ok(()) => {
+                        let _ = ctx.reply(&msg, Performative::Confirm, json!({}));
+                    }
+                    Err(e) => reply_failure(ctx, &msg, &e),
+                }
+            }
+            Ok(other) => reply_failure(
+                ctx,
+                &msg,
+                &crate::ServiceError::BadRequest(format!("unknown action `{other}`")),
+            ),
+            Err(e) => reply_failure(ctx, &msg, &e),
+        }
+    }
+}
+
+/// Wraps the scheduling service over the shared world.
+pub struct SchedulingAgent {
+    /// Agent name (conventionally `scheduling-1`).
+    pub agent_name: String,
+    /// The shared world.
+    pub world: SharedWorld,
+}
+
+impl Agent for SchedulingAgent {
+    fn name(&self) -> String {
+        self.agent_name.clone()
+    }
+
+    fn service_type(&self) -> String {
+        "scheduling".into()
+    }
+
+    fn handle(&mut self, msg: AclMessage, ctx: &AgentContext) {
+        if msg.performative != Performative::Request {
+            return;
+        }
+        match action_of(&msg).as_deref() {
+            Ok("schedule") => {
+                let jobs: Vec<String> =
+                    serde_json::from_value(msg.content["jobs"].clone()).unwrap_or_default();
+                let world = self.world.read();
+                match scheduling::schedule(&world, &jobs) {
+                    Ok((schedule, skipped)) => {
+                        let _ = ctx.reply(
+                            &msg,
+                            Performative::Inform,
+                            json!({"schedule": schedule, "skipped": skipped}),
+                        );
+                    }
+                    Err(e) => reply_failure(ctx, &msg, &e),
+                }
+            }
+            Ok(other) => reply_failure(
+                ctx,
+                &msg,
+                &crate::ServiceError::BadRequest(format!("unknown action `{other}`")),
+            ),
+            Err(e) => reply_failure(ctx, &msg, &e),
+        }
+    }
+}
+
+/// Wraps the simulation (prediction) service over the shared world.
+pub struct SimulationAgent {
+    /// Agent name (conventionally `simulation-1`).
+    pub agent_name: String,
+    /// The shared world (cloned per prediction; never mutated).
+    pub world: SharedWorld,
+}
+
+impl Agent for SimulationAgent {
+    fn name(&self) -> String {
+        self.agent_name.clone()
+    }
+
+    fn service_type(&self) -> String {
+        "simulation".into()
+    }
+
+    fn handle(&mut self, msg: AclMessage, ctx: &AgentContext) {
+        if msg.performative != Performative::Request {
+            return;
+        }
+        match action_of(&msg).as_deref() {
+            Ok("predict") => {
+                let graph: ProcessGraph =
+                    match serde_json::from_value(msg.content["graph"].clone()) {
+                        Ok(g) => g,
+                        Err(e) => return reply_failure(ctx, &msg, &e),
+                    };
+                let case: CaseDescription =
+                    match serde_json::from_value(msg.content["case"].clone()) {
+                        Ok(c) => c,
+                        Err(e) => return reply_failure(ctx, &msg, &e),
+                    };
+                let world = self.world.read();
+                match simulation::predict(&world, &graph, &case, 100_000) {
+                    Ok(prediction) => {
+                        let _ = ctx.reply(
+                            &msg,
+                            Performative::Inform,
+                            json!({"prediction": prediction}),
+                        );
+                    }
+                    Err(e) => reply_failure(ctx, &msg, &e),
+                }
+            }
+            Ok(other) => reply_failure(
+                ctx,
+                &msg,
+                &crate::ServiceError::BadRequest(format!("unknown action `{other}`")),
+            ),
+            Err(e) => reply_failure(ctx, &msg, &e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agents::GRIDFLOW_ONTOLOGY;
+    use crate::world::{share, GridWorld, OutputSpec, ServiceOffering};
+    use gridflow_agents::AgentRuntime;
+    use gridflow_grid::GridTopology;
+    use gridflow_process::DataItem;
+    use std::time::Duration;
+
+    fn shared() -> SharedWorld {
+        let mut w = GridWorld::new(GridTopology::generate(4, &["S".into()], 6));
+        w.offer(ServiceOffering::new(
+            "S",
+            Vec::<String>::new(),
+            vec![OutputSpec::plain("Out")],
+        ));
+        share(w)
+    }
+
+    #[test]
+    fn monitoring_agent_probes_live_state() {
+        let world = shared();
+        let container = world.read().topology.containers[0].id.clone();
+        let mut rt = AgentRuntime::new();
+        rt.spawn(MonitoringAgent {
+            agent_name: "monitoring-1".into(),
+            world: world.clone(),
+        })
+        .unwrap();
+        let client = rt.client("t").unwrap();
+        let reply = client
+            .request(
+                "monitoring-1",
+                GRIDFLOW_ONTOLOGY,
+                json!({"action": "probe_container", "container": container}),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert_eq!(reply.content["status"]["up"], json!(true));
+        world.write().set_container_up(&container, false).unwrap();
+        let reply = client
+            .request(
+                "monitoring-1",
+                GRIDFLOW_ONTOLOGY,
+                json!({"action": "availability"}),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert!(reply.content["availability"].as_f64().unwrap() < 1.0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn ontology_agent_serves_shells() {
+        let mut rt = AgentRuntime::new();
+        rt.spawn(OntologyAgent {
+            agent_name: "ontology-1".into(),
+            service: OntologyService::with_grid_core(),
+        })
+        .unwrap();
+        let client = rt.client("t").unwrap();
+        let reply = client
+            .request(
+                "ontology-1",
+                GRIDFLOW_ONTOLOGY,
+                json!({"action": "get_shell", "name": "grid-core"}),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        let kb: KnowledgeBase = serde_json::from_value(reply.content["ontology"].clone()).unwrap();
+        assert!(kb.is_shell());
+        assert_eq!(kb.class_count(), 10);
+        assert!(client
+            .request(
+                "ontology-1",
+                GRIDFLOW_ONTOLOGY,
+                json!({"action": "get", "name": "missing"}),
+                Duration::from_secs(2),
+            )
+            .is_err());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn storage_agent_versions_documents() {
+        let mut rt = AgentRuntime::new();
+        rt.spawn(StorageAgent {
+            agent_name: "storage-1".into(),
+            service: StorageService::new(),
+        })
+        .unwrap();
+        let client = rt.client("t").unwrap();
+        for v in 1..=2u64 {
+            let reply = client
+                .request(
+                    "storage-1",
+                    GRIDFLOW_ONTOLOGY,
+                    json!({"action": "put", "key": "pd/x", "body": {"rev": v}}),
+                    Duration::from_secs(2),
+                )
+                .unwrap();
+            assert_eq!(reply.content["version"], json!(v));
+        }
+        let reply = client
+            .request(
+                "storage-1",
+                GRIDFLOW_ONTOLOGY,
+                json!({"action": "get", "key": "pd/x", "version": 1}),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert_eq!(reply.content["doc"]["body"]["rev"], json!(1));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn auth_agent_full_cycle() {
+        let mut service = AuthService::new();
+        service.enroll("hyu", "virus-lab", ["ucf.edu"]);
+        let mut rt = AgentRuntime::new();
+        rt.spawn(AuthAgent {
+            agent_name: "authentication-1".into(),
+            service,
+        })
+        .unwrap();
+        let client = rt.client("t").unwrap();
+        let reply = client
+            .request(
+                "authentication-1",
+                GRIDFLOW_ONTOLOGY,
+                json!({"action": "authenticate", "principal": "hyu", "secret": "virus-lab"}),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        let token = reply.content["token"]["id"].as_u64().unwrap();
+        let reply = client
+            .request(
+                "authentication-1",
+                GRIDFLOW_ONTOLOGY,
+                json!({"action": "authorize", "token": token, "domain": "ucf.edu"}),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert_eq!(reply.performative, Performative::Agree);
+        assert!(client
+            .request(
+                "authentication-1",
+                GRIDFLOW_ONTOLOGY,
+                json!({"action": "authorize", "token": token, "domain": "anl.gov"}),
+                Duration::from_secs(2),
+            )
+            .is_err());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn scheduling_and_simulation_agents_answer() {
+        let world = shared();
+        let mut rt = AgentRuntime::new();
+        rt.spawn(SchedulingAgent {
+            agent_name: "scheduling-1".into(),
+            world: world.clone(),
+        })
+        .unwrap();
+        rt.spawn(SimulationAgent {
+            agent_name: "simulation-1".into(),
+            world: world.clone(),
+        })
+        .unwrap();
+        let client = rt.client("t").unwrap();
+
+        let reply = client
+            .request(
+                "scheduling-1",
+                GRIDFLOW_ONTOLOGY,
+                json!({"action": "schedule", "jobs": ["S", "S", "nope"]}),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert_eq!(reply.content["skipped"], json!(["nope"]));
+        assert!(reply.content["schedule"]["makespan_s"].as_f64().unwrap() > 0.0);
+
+        let graph = gridflow_process::lower::lower(
+            "g",
+            &gridflow_process::parser::parse_process("BEGIN S; END").unwrap(),
+        )
+        .unwrap();
+        let case = CaseDescription::new("c").with_data("D1", DataItem::classified("x"));
+        let reply = client
+            .request(
+                "simulation-1",
+                GRIDFLOW_ONTOLOGY,
+                json!({"action": "predict", "graph": graph, "case": case}),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert_eq!(reply.content["prediction"]["executions"], json!(1));
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,185 @@
+//! The brokerage-service agent: candidate-container queries (step 2 of
+//! Fig. 3: "Application Containers for the activity?" → "A group of
+//! Application Containers found") and performance-history queries.
+
+use crate::agents::{action_of, reply_failure};
+use crate::brokerage::BrokerageService;
+use crate::world::SharedWorld;
+use gridflow_agents::{Agent, AgentContext, AclMessage, Performative};
+use serde_json::json;
+
+/// Wraps a [`BrokerageService`] over the shared world.
+pub struct BrokerageAgent {
+    /// Agent name (conventionally `brokerage-1`).
+    pub agent_name: String,
+    /// The wrapped broker.
+    pub service: BrokerageService,
+    /// The shared world (read for refreshes).
+    pub world: SharedWorld,
+}
+
+impl BrokerageAgent {
+    /// A fresh agent; the broker snapshot is taken at start-up.
+    pub fn new(agent_name: impl Into<String>, world: SharedWorld) -> Self {
+        BrokerageAgent {
+            agent_name: agent_name.into(),
+            service: BrokerageService::new(),
+            world,
+        }
+    }
+}
+
+impl Agent for BrokerageAgent {
+    fn name(&self) -> String {
+        self.agent_name.clone()
+    }
+
+    fn service_type(&self) -> String {
+        "brokerage".into()
+    }
+
+    fn on_start(&mut self, _ctx: &AgentContext) {
+        self.service.refresh(&self.world.read());
+    }
+
+    fn handle(&mut self, msg: AclMessage, ctx: &AgentContext) {
+        if msg.performative != Performative::Request {
+            return;
+        }
+        let action = match action_of(&msg) {
+            Ok(a) => a,
+            Err(e) => return reply_failure(ctx, &msg, &e),
+        };
+        match action.as_str() {
+            "refresh" => {
+                self.service.refresh(&self.world.read());
+                let _ = ctx.reply(&msg, Performative::Confirm, json!({}));
+            }
+            // Fig. 3 step 2.
+            "candidates" => {
+                let service = msg.content["service"].as_str().unwrap_or("");
+                let containers = self.service.candidate_containers(service);
+                let _ = ctx.reply(
+                    &msg,
+                    Performative::Inform,
+                    json!({ "containers": containers }),
+                );
+            }
+            "performance" => {
+                let service = msg.content["service"].as_str().unwrap_or("");
+                let container = msg.content["container"].as_str().unwrap_or("");
+                self.service.ingest_history(&self.world.read());
+                let stats = self.service.performance(service, container);
+                let _ = ctx.reply(&msg, Performative::Inform, json!({ "stats": stats }));
+            }
+            "equivalence_classes" => {
+                let _ = ctx.reply(
+                    &msg,
+                    Performative::Inform,
+                    json!({ "classes": self.service.equivalence_classes() }),
+                );
+            }
+            other => reply_failure(
+                ctx,
+                &msg,
+                &crate::ServiceError::BadRequest(format!("unknown action `{other}`")),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agents::GRIDFLOW_ONTOLOGY;
+    use crate::world::{share, GridWorld, OutputSpec, ServiceOffering};
+    use gridflow_agents::AgentRuntime;
+    use gridflow_grid::GridTopology;
+    use std::time::Duration;
+
+    fn shared() -> SharedWorld {
+        let mut w = GridWorld::new(GridTopology::generate(4, &["S".into()], 3));
+        w.offer(ServiceOffering::new(
+            "S",
+            Vec::<String>::new(),
+            vec![OutputSpec::plain("Out")],
+        ));
+        share(w)
+    }
+
+    #[test]
+    fn candidates_and_staleness_over_acl() {
+        let world = shared();
+        let mut rt = AgentRuntime::new();
+        rt.spawn(BrokerageAgent::new("brokerage-1", world.clone()))
+            .unwrap();
+        let client = rt.client("t").unwrap();
+
+        let reply = client
+            .request(
+                "brokerage-1",
+                GRIDFLOW_ONTOLOGY,
+                json!({"action": "candidates", "service": "S"}),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        let containers: Vec<String> =
+            serde_json::from_value(reply.content["containers"].clone()).unwrap();
+        assert!(!containers.is_empty());
+
+        // Kill one container: the broker is stale until refreshed.
+        world.write().set_container_up(&containers[0], false).unwrap();
+        let reply = client
+            .request(
+                "brokerage-1",
+                GRIDFLOW_ONTOLOGY,
+                json!({"action": "candidates", "service": "S"}),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        let stale: Vec<String> =
+            serde_json::from_value(reply.content["containers"].clone()).unwrap();
+        assert!(stale.contains(&containers[0]), "broker should be stale");
+
+        client
+            .request(
+                "brokerage-1",
+                GRIDFLOW_ONTOLOGY,
+                json!({"action": "refresh"}),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        let reply = client
+            .request(
+                "brokerage-1",
+                GRIDFLOW_ONTOLOGY,
+                json!({"action": "candidates", "service": "S"}),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        let fresh: Vec<String> =
+            serde_json::from_value(reply.content["containers"].clone()).unwrap();
+        assert!(!fresh.contains(&containers[0]));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn performance_query_over_acl() {
+        let world = shared();
+        let container = world.read().executable_containers("S")[0].clone();
+        world.write().execute_service("S", &container).unwrap();
+        let mut rt = AgentRuntime::new();
+        rt.spawn(BrokerageAgent::new("brokerage-1", world)).unwrap();
+        let client = rt.client("t").unwrap();
+        let reply = client
+            .request(
+                "brokerage-1",
+                GRIDFLOW_ONTOLOGY,
+                json!({"action": "performance", "service": "S", "container": container}),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert_eq!(reply.content["stats"]["successes"], json!(1));
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,197 @@
+//! Application-container agents: the end-user-service hosts of Fig. 1,
+//! and the endpoints probed in step 3 of the Fig. 3 re-planning flow
+//! ("the planning service communicate[s] with each Application Container
+//! for the availability of execution of this activity").
+
+use crate::agents::{action_of, reply_failure};
+use crate::world::SharedWorld;
+use gridflow_agents::{Agent, AgentContext, AclMessage, Performative};
+use serde_json::json;
+
+/// Wraps one application container of the shared world.
+pub struct ContainerAgent {
+    /// The container id this agent fronts (also its agent name).
+    pub container_id: String,
+    /// The shared world.
+    pub world: SharedWorld,
+}
+
+impl ContainerAgent {
+    /// A new agent for `container_id`.
+    pub fn new(container_id: impl Into<String>, world: SharedWorld) -> Self {
+        ContainerAgent {
+            container_id: container_id.into(),
+            world,
+        }
+    }
+}
+
+impl Agent for ContainerAgent {
+    fn name(&self) -> String {
+        self.container_id.clone()
+    }
+
+    fn service_type(&self) -> String {
+        "application-container".into()
+    }
+
+    fn handle(&mut self, msg: AclMessage, ctx: &AgentContext) {
+        if msg.performative != Performative::Request {
+            return;
+        }
+        let action = match action_of(&msg) {
+            Ok(a) => a,
+            Err(e) => return reply_failure(ctx, &msg, &e),
+        };
+        let service = msg
+            .content
+            .get("service")
+            .and_then(|v| v.as_str())
+            .unwrap_or("")
+            .to_owned();
+        match action.as_str() {
+            // Step 3 of Fig. 3: executability probe.
+            "can_execute" => {
+                let executable = {
+                    let world = self.world.read();
+                    world
+                        .topology
+                        .container(&self.container_id)
+                        .map(|c| c.can_execute(&service))
+                        .unwrap_or(false)
+                };
+                let _ = ctx.reply(
+                    &msg,
+                    Performative::Inform,
+                    json!({ "executable": executable, "container": self.container_id }),
+                );
+            }
+            "execute" => {
+                let result = {
+                    let mut world = self.world.write();
+                    world.execute_service(&service, &self.container_id)
+                };
+                match result {
+                    Ok(record) => {
+                        let _ = ctx.reply(
+                            &msg,
+                            Performative::Inform,
+                            json!({
+                                "duration_s": record.duration_s,
+                                "cost": record.cost,
+                                "resource": record.resource,
+                            }),
+                        );
+                    }
+                    Err(e) => reply_failure(ctx, &msg, &e),
+                }
+            }
+            other => reply_failure(
+                ctx,
+                &msg,
+                &crate::ServiceError::BadRequest(format!("unknown action `{other}`")),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agents::GRIDFLOW_ONTOLOGY;
+    use crate::world::{share, GridWorld, OutputSpec, ServiceOffering};
+    use gridflow_agents::AgentRuntime;
+    use gridflow_grid::GridTopology;
+    use std::time::Duration;
+
+    fn shared() -> SharedWorld {
+        let mut w = GridWorld::new(GridTopology::generate(3, &["S".into()], 2));
+        w.offer(ServiceOffering::new(
+            "S",
+            Vec::<String>::new(),
+            vec![OutputSpec::plain("Out")],
+        ));
+        share(w)
+    }
+
+    #[test]
+    fn probe_and_execute() {
+        let world = shared();
+        let container = world.read().executable_containers("S")[0].clone();
+        let mut rt = AgentRuntime::new();
+        rt.spawn(ContainerAgent::new(container.clone(), world.clone()))
+            .unwrap();
+        let client = rt.client("t").unwrap();
+
+        let reply = client
+            .request(
+                &container,
+                GRIDFLOW_ONTOLOGY,
+                json!({"action": "can_execute", "service": "S"}),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert_eq!(reply.content["executable"], json!(true));
+
+        let reply = client
+            .request(
+                &container,
+                GRIDFLOW_ONTOLOGY,
+                json!({"action": "execute", "service": "S"}),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert!(reply.content["duration_s"].as_f64().unwrap() > 0.0);
+        assert_eq!(world.read().history.len(), 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn down_container_probes_false_and_refuses_execution() {
+        let world = shared();
+        let container = world.read().executable_containers("S")[0].clone();
+        world.write().set_container_up(&container, false).unwrap();
+        let mut rt = AgentRuntime::new();
+        rt.spawn(ContainerAgent::new(container.clone(), world.clone()))
+            .unwrap();
+        let client = rt.client("t").unwrap();
+        let reply = client
+            .request(
+                &container,
+                GRIDFLOW_ONTOLOGY,
+                json!({"action": "can_execute", "service": "S"}),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert_eq!(reply.content["executable"], json!(false));
+        let err = client
+            .request(
+                &container,
+                GRIDFLOW_ONTOLOGY,
+                json!({"action": "execute", "service": "S"}),
+                Duration::from_secs(2),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("refused") || err.to_string().contains("down"));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn unknown_action_fails() {
+        let world = shared();
+        let container = world.read().executable_containers("S")[0].clone();
+        let mut rt = AgentRuntime::new();
+        rt.spawn(ContainerAgent::new(container.clone(), world))
+            .unwrap();
+        let client = rt.client("t").unwrap();
+        assert!(client
+            .request(
+                &container,
+                GRIDFLOW_ONTOLOGY,
+                json!({"action": "dance"}),
+                Duration::from_secs(2),
+            )
+            .is_err());
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,253 @@
+//! The coordination-service agent: the end-user's proxy.
+//!
+//! Implements the Fig. 2 exchange (forwarding planning-task
+//! specifications to the planning service and relaying the plan), the
+//! `enact`/`solve` actions that drive the
+//! [`crate::coordination::Enactor`] against the shared world, and the
+//! disconnected-user protocol of §2 ("Individual users may only be
+//! intermittently connected to the network"): `submit` acknowledges
+//! immediately and runs the task while the user is away; `fetch_result`
+//! retrieves the report later.  Completed tasks are archived — report
+//! and Fig.-13-style ontology record — with the persistent-storage
+//! service when one is registered.
+
+use crate::agents::{action_of, reply_failure, CONVERSATION_TIMEOUT, GRIDFLOW_ONTOLOGY};
+use crate::coordination::{EnactmentConfig, Enactor};
+use crate::planning::PlanRequest;
+use crate::world::SharedWorld;
+use gridflow_agents::{Agent, AgentContext, AclMessage, Performative};
+use gridflow_process::{CaseDescription, ProcessGraph};
+use serde_json::json;
+
+/// Wraps an [`Enactor`] and the Fig. 2 conversation with planning.
+pub struct CoordinationAgent {
+    /// Agent name (conventionally `coordination-1`).
+    pub agent_name: String,
+    /// Enactment configuration.
+    pub config: EnactmentConfig,
+    /// The shared world.
+    pub world: SharedWorld,
+    /// Reports of submitted (disconnected-user) tasks, by task id.
+    completed: std::collections::BTreeMap<String, crate::coordination::EnactmentReport>,
+    submit_counter: u64,
+}
+
+impl CoordinationAgent {
+    /// A fresh agent.
+    pub fn new(
+        agent_name: impl Into<String>,
+        config: EnactmentConfig,
+        world: SharedWorld,
+    ) -> Self {
+        CoordinationAgent {
+            agent_name: agent_name.into(),
+            config,
+            world,
+            completed: std::collections::BTreeMap::new(),
+            submit_counter: 0,
+        }
+    }
+
+    /// Archive a finished task's report and its ontology record with the
+    /// persistent-storage service, if one is registered (best effort —
+    /// archival failures never fail the task).
+    fn archive(
+        &self,
+        ctx: &AgentContext,
+        task_id: &str,
+        graph: &ProcessGraph,
+        case: &CaseDescription,
+        report: &crate::coordination::EnactmentReport,
+    ) {
+        let Some(storage) = ctx
+            .directory()
+            .find_by_type("persistent-storage")
+            .into_iter()
+            .next()
+        else {
+            return;
+        };
+        let _ = ctx.request_and_wait(
+            storage.name.clone(),
+            GRIDFLOW_ONTOLOGY,
+            json!({"action": "put", "key": format!("report/{task_id}"), "body": report}),
+            CONVERSATION_TIMEOUT,
+        );
+        if let Ok(kb) =
+            crate::tracker::track_enactment(task_id, graph, case, report, &self.agent_name)
+        {
+            let _ = ctx.request_and_wait(
+                storage.name,
+                GRIDFLOW_ONTOLOGY,
+                json!({"action": "put", "key": format!("ontology/{task_id}"), "body": kb}),
+                CONVERSATION_TIMEOUT,
+            );
+        }
+    }
+
+    fn planning_agent(&self, ctx: &AgentContext) -> crate::Result<String> {
+        ctx.directory()
+            .find_by_type("planning")
+            .into_iter()
+            .next()
+            .map(|a| a.name)
+            .ok_or_else(|| crate::ServiceError::BadRequest("no planning service".into()))
+    }
+
+    /// Fig. 2: forward a planning-task specification, return the plan.
+    fn request_plan(
+        &self,
+        ctx: &AgentContext,
+        request: &PlanRequest,
+    ) -> crate::Result<serde_json::Value> {
+        let planner = self.planning_agent(ctx)?;
+        let reply = ctx.request_and_wait(
+            planner,
+            GRIDFLOW_ONTOLOGY,
+            json!({"action": "plan", "request": request}),
+            CONVERSATION_TIMEOUT,
+        )?;
+        Ok(reply.content)
+    }
+
+    fn enact(
+        &self,
+        graph: &ProcessGraph,
+        case: &CaseDescription,
+    ) -> crate::coordination::EnactmentReport {
+        let mut world = self.world.write();
+        Enactor::new(self.config.clone()).enact(&mut world, graph, case)
+    }
+}
+
+impl Agent for CoordinationAgent {
+    fn name(&self) -> String {
+        self.agent_name.clone()
+    }
+
+    fn service_type(&self) -> String {
+        "coordination".into()
+    }
+
+    fn handle(&mut self, msg: AclMessage, ctx: &AgentContext) {
+        if msg.performative != Performative::Request {
+            return;
+        }
+        let action = match action_of(&msg) {
+            Ok(a) => a,
+            Err(e) => return reply_failure(ctx, &msg, &e),
+        };
+        match action.as_str() {
+            // Fig. 2 relay.
+            "plan_request" => {
+                let request: PlanRequest =
+                    match serde_json::from_value(msg.content["request"].clone()) {
+                        Ok(r) => r,
+                        Err(e) => return reply_failure(ctx, &msg, &e),
+                    };
+                match self.request_plan(ctx, &request) {
+                    Ok(body) => {
+                        let _ = ctx.reply(&msg, Performative::Inform, body);
+                    }
+                    Err(e) => reply_failure(ctx, &msg, &e),
+                }
+            }
+            // Enact a supplied process description under a case.
+            "enact" => {
+                let graph: ProcessGraph =
+                    match serde_json::from_value(msg.content["graph"].clone()) {
+                        Ok(g) => g,
+                        Err(e) => return reply_failure(ctx, &msg, &e),
+                    };
+                let case: CaseDescription =
+                    match serde_json::from_value(msg.content["case"].clone()) {
+                        Ok(c) => c,
+                        Err(e) => return reply_failure(ctx, &msg, &e),
+                    };
+                let report = self.enact(&graph, &case);
+                let _ = ctx.reply(&msg, Performative::Inform, json!({ "report": report }));
+            }
+            // Disconnected-user protocol: acknowledge, then run the task
+            // while the user is away.
+            "submit" => {
+                let graph: ProcessGraph =
+                    match serde_json::from_value(msg.content["graph"].clone()) {
+                        Ok(g) => g,
+                        Err(e) => return reply_failure(ctx, &msg, &e),
+                    };
+                let case: CaseDescription =
+                    match serde_json::from_value(msg.content["case"].clone()) {
+                        Ok(c) => c,
+                        Err(e) => return reply_failure(ctx, &msg, &e),
+                    };
+                self.submit_counter += 1;
+                let task_id = format!("task-{}", self.submit_counter);
+                // Acknowledge before doing the work: the user can now
+                // disconnect.
+                let _ = ctx.reply(&msg, Performative::Agree, json!({ "task_id": task_id }));
+                let report = self.enact(&graph, &case);
+                self.archive(ctx, &task_id, &graph, &case, &report);
+                self.completed.insert(task_id, report);
+            }
+            // The user reconnects and asks for the outcome.
+            "fetch_result" => {
+                let task_id = msg.content["task_id"].as_str().unwrap_or("");
+                match self.completed.get(task_id) {
+                    Some(report) => {
+                        let _ = ctx.reply(
+                            &msg,
+                            Performative::Inform,
+                            json!({ "report": report }),
+                        );
+                    }
+                    None => reply_failure(
+                        ctx,
+                        &msg,
+                        &crate::ServiceError::NotFound(format!("task `{task_id}`")),
+                    ),
+                }
+            }
+            // Plan (via the planning agent) then enact: the full proxy
+            // behaviour.
+            "solve" => {
+                let request: PlanRequest =
+                    match serde_json::from_value(msg.content["request"].clone()) {
+                        Ok(r) => r,
+                        Err(e) => return reply_failure(ctx, &msg, &e),
+                    };
+                let case: CaseDescription =
+                    match serde_json::from_value(msg.content["case"].clone()) {
+                        Ok(c) => c,
+                        Err(e) => return reply_failure(ctx, &msg, &e),
+                    };
+                let plan_body = match self.request_plan(ctx, &request) {
+                    Ok(b) => b,
+                    Err(e) => return reply_failure(ctx, &msg, &e),
+                };
+                if plan_body["viable"] != json!(true) {
+                    return reply_failure(
+                        ctx,
+                        &msg,
+                        &crate::ServiceError::NoViablePlan("planner found no perfect plan".into()),
+                    );
+                }
+                let graph: ProcessGraph =
+                    match serde_json::from_value(plan_body["graph"].clone()) {
+                        Ok(g) => g,
+                        Err(e) => return reply_failure(ctx, &msg, &e),
+                    };
+                let report = self.enact(&graph, &case);
+                let _ = ctx.reply(
+                    &msg,
+                    Performative::Inform,
+                    json!({ "report": report, "plan": plan_body }),
+                );
+            }
+            other => reply_failure(
+                ctx,
+                &msg,
+                &crate::ServiceError::BadRequest(format!("unknown action `{other}`")),
+            ),
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! The information-service agent: registrations and type lookups over
+//! ACL (step 1 of the Fig. 3 flow answers "Brokerage Service?" queries).
+
+use crate::agents::{action_of, reply_failure};
+use crate::information::{InformationService, Registration};
+use gridflow_agents::{Agent, AgentContext, AclMessage, Performative};
+use serde_json::json;
+
+/// Wraps an [`InformationService`].
+pub struct InformationAgent {
+    /// Agent name (conventionally `information-1`).
+    pub agent_name: String,
+    /// The wrapped registry.
+    pub service: InformationService,
+}
+
+impl InformationAgent {
+    /// A fresh agent with an empty registry.
+    pub fn new(agent_name: impl Into<String>) -> Self {
+        InformationAgent {
+            agent_name: agent_name.into(),
+            service: InformationService::new(),
+        }
+    }
+}
+
+impl Agent for InformationAgent {
+    fn name(&self) -> String {
+        self.agent_name.clone()
+    }
+
+    fn service_type(&self) -> String {
+        "information".into()
+    }
+
+    fn handle(&mut self, msg: AclMessage, ctx: &AgentContext) {
+        if msg.performative != Performative::Request {
+            return;
+        }
+        let action = match action_of(&msg) {
+            Ok(a) => a,
+            Err(e) => return reply_failure(ctx, &msg, &e),
+        };
+        match action.as_str() {
+            "register" => {
+                let reg: Result<Registration, _> =
+                    serde_json::from_value(msg.content["registration"].clone());
+                match reg {
+                    Ok(reg) => match self.service.register(reg) {
+                        Ok(()) => {
+                            let _ = ctx.reply(&msg, Performative::Confirm, json!({}));
+                        }
+                        Err(e) => reply_failure(ctx, &msg, &e),
+                    },
+                    Err(e) => reply_failure(ctx, &msg, &e),
+                }
+            }
+            "deregister" => {
+                let name = msg.content["name"].as_str().unwrap_or("");
+                match self.service.deregister(name) {
+                    Ok(()) => {
+                        let _ = ctx.reply(&msg, Performative::Confirm, json!({}));
+                    }
+                    Err(e) => reply_failure(ctx, &msg, &e),
+                }
+            }
+            // Fig. 3 step 1: "Brokerage Service?" → "Brokerage Service
+            // found".
+            "find_by_type" => {
+                let service_type = msg.content["service_type"].as_str().unwrap_or("");
+                let found = self.service.find_by_type(service_type);
+                let _ = ctx.reply(
+                    &msg,
+                    Performative::Inform,
+                    json!({ "services": found }),
+                );
+            }
+            "lookup" => {
+                let name = msg.content["name"].as_str().unwrap_or("");
+                match self.service.lookup(name) {
+                    Some(reg) => {
+                        let _ = ctx.reply(
+                            &msg,
+                            Performative::Inform,
+                            json!({ "registration": reg }),
+                        );
+                    }
+                    None => reply_failure(
+                        ctx,
+                        &msg,
+                        &crate::ServiceError::NotFound(name.to_owned()),
+                    ),
+                }
+            }
+            "list" => {
+                let _ = ctx.reply(
+                    &msg,
+                    Performative::Inform,
+                    json!({ "services": self.service.all() }),
+                );
+            }
+            other => reply_failure(
+                ctx,
+                &msg,
+                &crate::ServiceError::BadRequest(format!("unknown action `{other}`")),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agents::GRIDFLOW_ONTOLOGY;
+    use gridflow_agents::AgentRuntime;
+    use std::time::Duration;
+
+    #[test]
+    fn register_find_lookup_over_acl() {
+        let mut rt = AgentRuntime::new();
+        rt.spawn(InformationAgent::new("information-1")).unwrap();
+        let client = rt.client("t").unwrap();
+
+        let reg = Registration {
+            name: "brokerage-1".into(),
+            service_type: "brokerage".into(),
+            location: "brokerage-1".into(),
+            description: "broker".into(),
+        };
+        let reply = client
+            .request(
+                "information-1",
+                GRIDFLOW_ONTOLOGY,
+                json!({"action": "register", "registration": reg}),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert_eq!(reply.performative, Performative::Confirm);
+
+        let reply = client
+            .request(
+                "information-1",
+                GRIDFLOW_ONTOLOGY,
+                json!({"action": "find_by_type", "service_type": "brokerage"}),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        let found: Vec<Registration> =
+            serde_json::from_value(reply.content["services"].clone()).unwrap();
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].name, "brokerage-1");
+
+        let reply = client
+            .request(
+                "information-1",
+                GRIDFLOW_ONTOLOGY,
+                json!({"action": "lookup", "name": "brokerage-1"}),
+                Duration::from_secs(2),
+            )
+            .unwrap();
+        assert_eq!(reply.content["registration"]["name"], json!("brokerage-1"));
+
+        assert!(client
+            .request(
+                "information-1",
+                GRIDFLOW_ONTOLOGY,
+                json!({"action": "lookup", "name": "nope"}),
+                Duration::from_secs(2),
+            )
+            .is_err());
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,59 @@
+//! Agent wrappers for the core services: the message-level layer of the
+//! paper's architecture (Fig. 1), including the planning-request flow of
+//! Fig. 2 and the re-planning probe of Fig. 3.
+//!
+//! Every wrapper owns its service core and speaks a JSON protocol over
+//! [`gridflow_agents::AclMessage`].  Requests carry an `action` field;
+//! positive replies are `Inform`/`Confirm`, negative ones `Refuse`/
+//! `Failure` with a `reason`.
+//!
+//! Agent naming convention: core services are `<type>-1` (e.g.
+//! `planning-1`); application-container agents are named after their
+//! container id (`ac-0`, `ac-1`, …) so brokerage candidate lists map
+//! directly to agent addresses.
+
+mod auxiliary_agents;
+mod brokerage_agent;
+mod container_agent;
+mod coordination_agent;
+mod information_agent;
+mod planning_agent;
+mod stack;
+
+pub use auxiliary_agents::{
+    AuthAgent, MonitoringAgent, OntologyAgent, SchedulingAgent, SimulationAgent, StorageAgent,
+};
+pub use brokerage_agent::BrokerageAgent;
+pub use container_agent::ContainerAgent;
+pub use coordination_agent::CoordinationAgent;
+pub use information_agent::InformationAgent;
+pub use planning_agent::PlanningAgent;
+pub use stack::{boot_stack, StackHandles};
+
+/// The shared ontology tag for all GridFlow protocols.
+pub const GRIDFLOW_ONTOLOGY: &str = "gridflow";
+
+/// Default timeout for synchronous inter-agent conversations.
+pub const CONVERSATION_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+
+/// Extract the `action` field of a request, or a [`crate::ServiceError::BadRequest`].
+pub(crate) fn action_of(msg: &gridflow_agents::AclMessage) -> crate::Result<String> {
+    msg.content
+        .get("action")
+        .and_then(|v| v.as_str())
+        .map(str::to_owned)
+        .ok_or_else(|| crate::ServiceError::BadRequest("missing `action` field".into()))
+}
+
+/// Reply with a `Failure` carrying the error as reason (best effort).
+pub(crate) fn reply_failure(
+    ctx: &gridflow_agents::AgentContext,
+    msg: &gridflow_agents::AclMessage,
+    err: &dyn std::fmt::Display,
+) {
+    let _ = ctx.reply(
+        msg,
+        gridflow_agents::Performative::Failure,
+        serde_json::json!({ "reason": err.to_string() }),
+    );
+}

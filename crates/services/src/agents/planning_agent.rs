@@ -1,0 +1,197 @@
+//! The planning-service agent.
+//!
+//! Handles plain planning requests (Fig. 2: "1. Planning task
+//! specification" → "2. plan") and re-planning requests with the full
+//! probe of Fig. 3: it asks the information service for a brokerage
+//! service, asks the broker for candidate application containers for each
+//! suspect activity, asks each container whether it can execute, and
+//! excludes the activities with no executable container before running
+//! the GP planner.
+
+use crate::agents::{action_of, reply_failure, CONVERSATION_TIMEOUT, GRIDFLOW_ONTOLOGY};
+use crate::information::Registration;
+use crate::planning::{PlanRequest, PlanningService};
+use crate::world::SharedWorld;
+use gridflow_agents::{Agent, AgentContext, AclMessage, Performative};
+use gridflow_process::printer;
+use serde_json::json;
+
+/// Wraps a [`PlanningService`] over the shared world.
+pub struct PlanningAgent {
+    /// Agent name (conventionally `planning-1`).
+    pub agent_name: String,
+    /// The wrapped planner.
+    pub service: PlanningService,
+    /// The shared world (read for the service catalog).
+    pub world: SharedWorld,
+}
+
+impl PlanningAgent {
+    /// A fresh agent.
+    pub fn new(
+        agent_name: impl Into<String>,
+        service: PlanningService,
+        world: SharedWorld,
+    ) -> Self {
+        PlanningAgent {
+            agent_name: agent_name.into(),
+            service,
+            world,
+        }
+    }
+
+    fn run_plan(&self, request: &PlanRequest) -> crate::Result<serde_json::Value> {
+        let world = self.world.read();
+        let response = self.service.plan(&world, request)?;
+        Ok(json!({
+            "viable": response.viable,
+            "fitness": response.fitness,
+            "process_text": printer::print(&gridflow_plan::tree_to_ast(&response.tree)),
+            "tree": response.tree,
+            "graph": response.graph,
+        }))
+    }
+
+    /// The Fig. 3 probe: which of `suspects` have no executable
+    /// container?  Returns the excluded service names, and the probe
+    /// trace for observability.
+    fn probe_nonexecutable(
+        &self,
+        ctx: &AgentContext,
+        suspects: &[String],
+    ) -> crate::Result<(Vec<String>, Vec<String>)> {
+        let mut trace = Vec::new();
+        // Step 1: find a brokerage service via the information service.
+        let info = ctx
+            .directory()
+            .find_by_type("information")
+            .into_iter()
+            .next()
+            .ok_or_else(|| crate::ServiceError::BadRequest("no information service".into()))?;
+        let reply = ctx.request_and_wait(
+            info.name.clone(),
+            GRIDFLOW_ONTOLOGY,
+            json!({"action": "find_by_type", "service_type": "brokerage"}),
+            CONVERSATION_TIMEOUT,
+        )?;
+        let brokers: Vec<Registration> =
+            serde_json::from_value(reply.content["services"].clone())
+                .map_err(|e| crate::ServiceError::BadRequest(e.to_string()))?;
+        let broker = brokers
+            .first()
+            .ok_or_else(|| crate::ServiceError::BadRequest("no brokerage service".into()))?;
+        trace.push(format!("information: brokerage service found: {}", broker.name));
+
+        let mut excluded = Vec::new();
+        for service in suspects {
+            // Step 2: candidate containers from the broker.
+            let reply = ctx.request_and_wait(
+                broker.location.clone(),
+                GRIDFLOW_ONTOLOGY,
+                json!({"action": "candidates", "service": service}),
+                CONVERSATION_TIMEOUT,
+            )?;
+            let candidates: Vec<String> =
+                serde_json::from_value(reply.content["containers"].clone())
+                    .map_err(|e| crate::ServiceError::BadRequest(e.to_string()))?;
+            trace.push(format!(
+                "brokerage: {} candidate container(s) for `{service}`",
+                candidates.len()
+            ));
+            // Step 3: probe each container.
+            let mut executable = false;
+            for container in &candidates {
+                let probe = ctx.request_and_wait(
+                    container.clone(),
+                    GRIDFLOW_ONTOLOGY,
+                    json!({"action": "can_execute", "service": service}),
+                    CONVERSATION_TIMEOUT,
+                );
+                match probe {
+                    Ok(reply) if reply.content["executable"] == json!(true) => {
+                        trace.push(format!("container {container}: `{service}` executable"));
+                        executable = true;
+                        break;
+                    }
+                    _ => {
+                        trace.push(format!(
+                            "container {container}: `{service}` not executable"
+                        ));
+                    }
+                }
+            }
+            if !executable {
+                excluded.push(service.clone());
+            }
+        }
+        Ok((excluded, trace))
+    }
+}
+
+impl Agent for PlanningAgent {
+    fn name(&self) -> String {
+        self.agent_name.clone()
+    }
+
+    fn service_type(&self) -> String {
+        "planning".into()
+    }
+
+    fn handle(&mut self, msg: AclMessage, ctx: &AgentContext) {
+        if msg.performative != Performative::Request {
+            return;
+        }
+        let action = match action_of(&msg) {
+            Ok(a) => a,
+            Err(e) => return reply_failure(ctx, &msg, &e),
+        };
+        match action.as_str() {
+            // Fig. 2: a plain planning request.
+            "plan" => {
+                let request: PlanRequest = match serde_json::from_value(msg.content["request"].clone())
+                {
+                    Ok(r) => r,
+                    Err(e) => return reply_failure(ctx, &msg, &e),
+                };
+                match self.run_plan(&request) {
+                    Ok(body) => {
+                        let _ = ctx.reply(&msg, Performative::Inform, body);
+                    }
+                    Err(e) => reply_failure(ctx, &msg, &e),
+                }
+            }
+            // Fig. 3: re-planning with the executability probe.
+            "replan" => {
+                let mut request: PlanRequest =
+                    match serde_json::from_value(msg.content["request"].clone()) {
+                        Ok(r) => r,
+                        Err(e) => return reply_failure(ctx, &msg, &e),
+                    };
+                let suspects: Vec<String> =
+                    serde_json::from_value(msg.content["nonexecutable"].clone())
+                        .unwrap_or_default();
+                match self.probe_nonexecutable(ctx, &suspects) {
+                    Ok((excluded, trace)) => {
+                        request.excluded.extend(excluded);
+                        request.excluded.sort();
+                        request.excluded.dedup();
+                        match self.run_plan(&request) {
+                            Ok(mut body) => {
+                                body["probe_trace"] = json!(trace);
+                                body["excluded"] = json!(request.excluded);
+                                let _ = ctx.reply(&msg, Performative::Inform, body);
+                            }
+                            Err(e) => reply_failure(ctx, &msg, &e),
+                        }
+                    }
+                    Err(e) => reply_failure(ctx, &msg, &e),
+                }
+            }
+            other => reply_failure(
+                ctx,
+                &msg,
+                &crate::ServiceError::BadRequest(format!("unknown action `{other}`")),
+            ),
+        }
+    }
+}

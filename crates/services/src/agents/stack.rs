@@ -1,0 +1,359 @@
+//! Boot the full core-service stack of Fig. 1 on an agent runtime.
+
+use crate::agents::{
+    AuthAgent, BrokerageAgent, ContainerAgent, CoordinationAgent, InformationAgent,
+    MonitoringAgent, OntologyAgent, PlanningAgent, SchedulingAgent, SimulationAgent,
+    StorageAgent, GRIDFLOW_ONTOLOGY,
+};
+use crate::auth::AuthService;
+use crate::coordination::EnactmentConfig;
+use crate::information::Registration;
+use crate::ontology_service::OntologyService;
+use crate::planning::PlanningService;
+use crate::storage::StorageService;
+use crate::world::SharedWorld;
+use gridflow_agents::{AgentRuntime, Performative, RuntimeHandle};
+use serde_json::json;
+use std::time::Duration;
+
+/// Names of the agents a booted stack exposes.
+pub struct StackHandles {
+    /// The information service agent.
+    pub information: String,
+    /// The brokerage service agent.
+    pub brokerage: String,
+    /// The planning service agent.
+    pub planning: String,
+    /// The coordination service agent.
+    pub coordination: String,
+    /// The monitoring service agent.
+    pub monitoring: String,
+    /// The ontology service agent.
+    pub ontology: String,
+    /// The persistent-storage service agent.
+    pub storage: String,
+    /// The authentication service agent.
+    pub authentication: String,
+    /// The scheduling service agent.
+    pub scheduling: String,
+    /// The simulation service agent.
+    pub simulation: String,
+    /// One agent per application container, named after the container.
+    pub containers: Vec<String>,
+    /// A client handle already connected to the runtime.
+    pub client: RuntimeHandle,
+}
+
+/// Spawn the Fig. 1 core services over `world` and register every agent
+/// with the information service (the paper: "all end-user services and
+/// other core services register their offerings with the information
+/// services").
+pub fn boot_stack(
+    runtime: &mut AgentRuntime,
+    world: SharedWorld,
+    planning: PlanningService,
+    enactment: EnactmentConfig,
+) -> crate::Result<StackHandles> {
+    runtime.spawn(InformationAgent::new("information-1"))?;
+    runtime.spawn(BrokerageAgent::new("brokerage-1", world.clone()))?;
+    runtime.spawn(PlanningAgent::new("planning-1", planning, world.clone()))?;
+    runtime.spawn(CoordinationAgent::new(
+        "coordination-1",
+        enactment,
+        world.clone(),
+    ))?;
+    runtime.spawn(MonitoringAgent {
+        agent_name: "monitoring-1".into(),
+        world: world.clone(),
+    })?;
+    runtime.spawn(OntologyAgent {
+        agent_name: "ontology-1".into(),
+        service: OntologyService::with_grid_core(),
+    })?;
+    runtime.spawn(StorageAgent {
+        agent_name: "storage-1".into(),
+        service: StorageService::new(),
+    })?;
+    runtime.spawn(AuthAgent {
+        agent_name: "authentication-1".into(),
+        service: AuthService::new(),
+    })?;
+    runtime.spawn(SchedulingAgent {
+        agent_name: "scheduling-1".into(),
+        world: world.clone(),
+    })?;
+    runtime.spawn(SimulationAgent {
+        agent_name: "simulation-1".into(),
+        world: world.clone(),
+    })?;
+    let containers: Vec<String> = world
+        .read()
+        .topology
+        .containers
+        .iter()
+        .map(|c| c.id.clone())
+        .collect();
+    for container in &containers {
+        runtime.spawn(ContainerAgent::new(container.clone(), world.clone()))?;
+    }
+
+    let client = runtime.client("stack")?;
+    // Register the core services (and the containers as end-user service
+    // hosts) with the information service.
+    let registrations: Vec<Registration> = [
+        ("brokerage-1", "brokerage"),
+        ("planning-1", "planning"),
+        ("coordination-1", "coordination"),
+        ("monitoring-1", "monitoring"),
+        ("ontology-1", "ontology"),
+        ("storage-1", "persistent-storage"),
+        ("authentication-1", "authentication"),
+        ("scheduling-1", "scheduling"),
+        ("simulation-1", "simulation"),
+    ]
+    .into_iter()
+    .map(|(name, service_type)| Registration {
+        name: name.into(),
+        service_type: service_type.into(),
+        location: name.into(),
+        description: format!("core {service_type} service"),
+    })
+    .chain(containers.iter().map(|c| Registration {
+        name: c.clone(),
+        service_type: "application-container".into(),
+        location: c.clone(),
+        description: "application container hosting end-user services".into(),
+    }))
+    .collect();
+    for reg in registrations {
+        let reply = client.request(
+            "information-1",
+            GRIDFLOW_ONTOLOGY,
+            json!({"action": "register", "registration": reg}),
+            Duration::from_secs(5),
+        )?;
+        debug_assert_eq!(reply.performative, Performative::Confirm);
+    }
+
+    Ok(StackHandles {
+        information: "information-1".into(),
+        brokerage: "brokerage-1".into(),
+        planning: "planning-1".into(),
+        coordination: "coordination-1".into(),
+        monitoring: "monitoring-1".into(),
+        ontology: "ontology-1".into(),
+        storage: "storage-1".into(),
+        authentication: "authentication-1".into(),
+        scheduling: "scheduling-1".into(),
+        simulation: "simulation-1".into(),
+        containers,
+        client,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{share, GridWorld, OutputSpec, ServiceOffering};
+    use gridflow_grid::GridTopology;
+    use gridflow_planner::prelude::{GoalSpec, GpConfig};
+
+    fn shared() -> SharedWorld {
+        let names: Vec<String> = vec!["mix".into(), "bake".into()];
+        let mut w = GridWorld::new(GridTopology::generate(4, &names, 8));
+        w.offer(ServiceOffering::new(
+            "mix",
+            ["Flour"],
+            vec![OutputSpec::plain("Dough")],
+        ));
+        w.offer(ServiceOffering::new(
+            "bake",
+            ["Dough"],
+            vec![OutputSpec::plain("Bread")],
+        ));
+        share(w)
+    }
+
+    fn gp() -> GpConfig {
+        GpConfig {
+            population_size: 60,
+            generations: 20,
+            seed: 2,
+            ..GpConfig::default()
+        }
+    }
+
+    #[test]
+    fn stack_boots_and_registers_everything() {
+        let world = shared();
+        let mut rt = AgentRuntime::new();
+        let stack = boot_stack(
+            &mut rt,
+            world.clone(),
+            PlanningService::new(gp()),
+            EnactmentConfig::default(),
+        )
+        .unwrap();
+        // Directory has 10 core agents + containers + the client.
+        assert_eq!(
+            rt.directory().len(),
+            10 + stack.containers.len() + 1
+        );
+        // The information service knows the registered services.
+        let reply = stack
+            .client
+            .request(
+                &stack.information,
+                GRIDFLOW_ONTOLOGY,
+                json!({"action": "list"}),
+                Duration::from_secs(5),
+            )
+            .unwrap();
+        let count = reply.content["services"].as_array().unwrap().len();
+        assert_eq!(count, 9 + stack.containers.len());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn figure_2_flow_plan_request_through_coordination() {
+        let world = shared();
+        let mut rt = AgentRuntime::new();
+        let stack = boot_stack(
+            &mut rt,
+            world,
+            PlanningService::new(gp()),
+            EnactmentConfig::default(),
+        )
+        .unwrap();
+        let request = crate::planning::PlanRequest {
+            initial: vec!["Flour".into()],
+            goals: vec![GoalSpec {
+                classification: "Bread".into(),
+                min_count: 1,
+            }],
+            produced: vec![],
+            excluded: vec![],
+        };
+        let reply = stack
+            .client
+            .request(
+                &stack.coordination,
+                GRIDFLOW_ONTOLOGY,
+                json!({"action": "plan_request", "request": request}),
+                Duration::from_secs(60),
+            )
+            .unwrap();
+        assert_eq!(reply.content["viable"], json!(true));
+        let text = reply.content["process_text"].as_str().unwrap();
+        assert!(text.contains("BEGIN"));
+        assert!(text.contains("mix"));
+        assert!(text.contains("bake"));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn replicated_planning_service_fails_over() {
+        // §2: "Core services are replicated to ensure an adequate level
+        // of performance and reliability."  Spawn a second planning
+        // replica, stop the primary, and verify the coordination agent
+        // still gets plans through the directory.
+        let world = shared();
+        let mut rt = AgentRuntime::new();
+        let stack = boot_stack(
+            &mut rt,
+            world.clone(),
+            PlanningService::new(gp()),
+            EnactmentConfig::default(),
+        )
+        .unwrap();
+        rt.spawn(crate::agents::PlanningAgent::new(
+            "planning-2",
+            PlanningService::new(gp()),
+            world,
+        ))
+        .unwrap();
+        rt.stop_agent(&stack.planning).unwrap();
+        let request = crate::planning::PlanRequest {
+            initial: vec!["Flour".into()],
+            goals: vec![GoalSpec {
+                classification: "Bread".into(),
+                min_count: 1,
+            }],
+            produced: vec![],
+            excluded: vec![],
+        };
+        let reply = stack
+            .client
+            .request(
+                &stack.coordination,
+                GRIDFLOW_ONTOLOGY,
+                json!({"action": "plan_request", "request": request}),
+                Duration::from_secs(60),
+            )
+            .unwrap();
+        assert_eq!(reply.content["viable"], json!(true));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn figure_3_flow_replanning_probe() {
+        let world = shared();
+        // Take every `bake` container down so the probe excludes it.
+        {
+            let mut w = world.write();
+            for c in w.hosting_containers("bake") {
+                w.set_container_up(&c, false).unwrap();
+            }
+        }
+        let mut rt = AgentRuntime::new();
+        let stack = boot_stack(
+            &mut rt,
+            world,
+            PlanningService::new(gp()),
+            EnactmentConfig::default(),
+        )
+        .unwrap();
+        // Refresh the broker so its snapshot reflects the failures.
+        stack
+            .client
+            .request(
+                &stack.brokerage,
+                GRIDFLOW_ONTOLOGY,
+                json!({"action": "refresh"}),
+                Duration::from_secs(5),
+            )
+            .unwrap();
+        let request = crate::planning::PlanRequest {
+            initial: vec!["Flour".into()],
+            goals: vec![GoalSpec {
+                classification: "Bread".into(),
+                min_count: 1,
+            }],
+            produced: vec![],
+            excluded: vec![],
+        };
+        let reply = stack
+            .client
+            .request(
+                &stack.planning,
+                GRIDFLOW_ONTOLOGY,
+                json!({
+                    "action": "replan",
+                    "request": request,
+                    "nonexecutable": ["bake", "mix"],
+                }),
+                Duration::from_secs(60),
+            )
+            .unwrap();
+        // `bake` has no executable container → excluded; `mix` survives.
+        let excluded: Vec<String> =
+            serde_json::from_value(reply.content["excluded"].clone()).unwrap();
+        assert_eq!(excluded, vec!["bake".to_owned()]);
+        // Without `bake` the goal is unreachable → not viable.
+        assert_eq!(reply.content["viable"], json!(false));
+        let trace: Vec<String> =
+            serde_json::from_value(reply.content["probe_trace"].clone()).unwrap();
+        assert!(trace.iter().any(|l| l.contains("brokerage service found")));
+        rt.shutdown();
+    }
+}

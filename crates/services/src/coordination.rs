@@ -1,0 +1,689 @@
+//! The coordination service: "Coordination services act as proxies for
+//! the end-user.  A coordination service receives a case description and
+//! controls the enactment of the workflow" (§2) by driving the abstract
+//! ATN machine over the process description.
+//!
+//! [`Enactor`] is the core: it runs ready activities against the grid
+//! world (locating containers through matchmaking, retrying alternates on
+//! failure), folds each activity's outputs into the case's data state,
+//! evaluates choice/loop conditions against that state, and — when every
+//! candidate container for an activity has failed — triggers re-planning
+//! through the planning service, exactly the escalation of §3.3.
+
+use crate::error::{Result, ServiceError};
+use crate::matchmaking::{matchmake, MatchRequest};
+use crate::planning::{PlanRequest, PlanningService};
+use crate::world::GridWorld;
+use gridflow_planner::prelude::GpConfig;
+use gridflow_planner::GoalSpec;
+use gridflow_process::{
+    ActivityKind, AtnMachine, AtnSnapshot, CaseDescription, DataState, ProcessGraph,
+};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of an enactment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnactmentConfig {
+    /// How many candidate containers to try per activity execution.
+    pub max_candidates: usize,
+    /// Re-plan when an activity fails on every candidate?
+    pub replan: bool,
+    /// Maximum number of re-planning rounds.
+    pub max_replans: usize,
+    /// Goal specifications handed to the planning service on re-plans
+    /// (required when `replan` is on).
+    pub planning_goals: Vec<GoalSpec>,
+    /// GP configuration for re-planning.
+    pub gp: GpConfig,
+    /// Abort if any loop header executes more than this many times
+    /// (defends against plans whose loop conditions never falsify).
+    pub max_loop_iterations: usize,
+    /// When re-planning, wrap the fresh (loop-free) GP plan in an
+    /// iterative node guarded by this named constraint of the case
+    /// description — restoring the refinement semantics the original
+    /// workflow carried (Fig. 10's Cons1 loop).  Ignored when the case
+    /// has no constraint of that name.
+    pub wrap_replans_with_constraint: Option<String>,
+    /// Capture a resumable [`EnactmentCheckpoint`] after every N
+    /// successful activity executions (§1: long-lasting tasks "require
+    /// checkpointing").  `None` disables checkpointing.
+    pub checkpoint_every: Option<usize>,
+}
+
+impl Default for EnactmentConfig {
+    fn default() -> Self {
+        EnactmentConfig {
+            max_candidates: 3,
+            replan: false,
+            max_replans: 3,
+            planning_goals: Vec::new(),
+            gp: GpConfig {
+                population_size: 100,
+                generations: 20,
+                ..GpConfig::default()
+            },
+            max_loop_iterations: 64,
+            wrap_replans_with_constraint: None,
+            checkpoint_every: None,
+        }
+    }
+}
+
+/// One successful activity execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivityExecution {
+    /// Activity id in the process graph (e.g. `P3DR1`).
+    pub activity: String,
+    /// Service executed.
+    pub service: String,
+    /// Container it ran on.
+    pub container: String,
+    /// Duration (virtual seconds).
+    pub duration_s: f64,
+    /// Market cost.
+    pub cost: f64,
+}
+
+/// A resumable mid-enactment checkpoint: the workflow graph in force,
+/// the ATN machine state, the data state, and the accounting so far.
+/// Serializable, so the persistent storage service can archive it and a
+/// different coordination service can pick the task up after a crash.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnactmentCheckpoint {
+    /// The process graph in force when the checkpoint was taken (the
+    /// original, or a re-planned replacement).
+    pub graph: ProcessGraph,
+    /// ATN machine state (taken between activity completions, so no
+    /// activity is mid-flight).
+    pub snapshot: AtnSnapshot,
+    /// Data state at checkpoint time.
+    pub state: DataState,
+    /// Accounting mirrors of the report fields.
+    pub executions: Vec<ActivityExecution>,
+    /// Failed `(activity, container)` attempts so far.
+    pub failed_attempts: Vec<(String, String)>,
+    /// Re-plans so far.
+    pub replans: usize,
+    /// Services excluded by re-planning so far.
+    pub excluded: Vec<String>,
+    /// Produced classifications so far.
+    pub produced: Vec<String>,
+    /// Serial duration so far.
+    pub total_duration_s: f64,
+    /// Cost so far.
+    pub total_cost: f64,
+}
+
+/// The record of one enactment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnactmentReport {
+    /// Did the workflow reach End with all case goals met?
+    pub success: bool,
+    /// Successful executions, in order.
+    pub executions: Vec<ActivityExecution>,
+    /// `(activity, container)` pairs that failed.
+    pub failed_attempts: Vec<(String, String)>,
+    /// Re-planning rounds used.
+    pub replans: usize,
+    /// The data state at the end.
+    pub final_state: DataState,
+    /// Sum of execution durations (the enactor serializes execution; see
+    /// the simulation service for a parallelism-aware estimate).
+    pub total_duration_s: f64,
+    /// Total market cost.
+    pub total_cost: f64,
+    /// Classifications produced during the run.
+    pub produced: Vec<String>,
+    /// Why the enactment aborted, if it did.
+    pub abort_reason: Option<String>,
+    /// Checkpoints captured during the run (empty unless
+    /// [`EnactmentConfig::checkpoint_every`] is set).
+    pub checkpoints: Vec<EnactmentCheckpoint>,
+}
+
+/// The enactment engine.
+#[derive(Debug, Clone, Default)]
+pub struct Enactor {
+    /// Configuration.
+    pub config: EnactmentConfig,
+}
+
+impl Enactor {
+    /// An enactor with the given configuration.
+    pub fn new(config: EnactmentConfig) -> Self {
+        Enactor { config }
+    }
+
+    /// Enact `graph` under `case` against `world`.
+    pub fn enact(
+        &self,
+        world: &mut GridWorld,
+        graph: &ProcessGraph,
+        case: &CaseDescription,
+    ) -> EnactmentReport {
+        self.enact_internal(world, graph, case, None)
+    }
+
+    /// Resume an enactment from a checkpoint (same case, possibly a
+    /// different — recovered — world).
+    pub fn resume(
+        &self,
+        world: &mut GridWorld,
+        checkpoint: EnactmentCheckpoint,
+        case: &CaseDescription,
+    ) -> EnactmentReport {
+        let graph = checkpoint.graph.clone();
+        self.enact_internal(world, &graph, case, Some(checkpoint))
+    }
+
+    fn enact_internal(
+        &self,
+        world: &mut GridWorld,
+        graph: &ProcessGraph,
+        case: &CaseDescription,
+        resume_from: Option<EnactmentCheckpoint>,
+    ) -> EnactmentReport {
+        let mut report = EnactmentReport {
+            success: false,
+            executions: Vec::new(),
+            failed_attempts: Vec::new(),
+            replans: 0,
+            final_state: case.initial_data.clone(),
+            total_duration_s: 0.0,
+            total_cost: 0.0,
+            produced: Vec::new(),
+            abort_reason: None,
+            checkpoints: Vec::new(),
+        };
+        let mut state = case.initial_data.clone();
+        let mut current_graph = graph.clone();
+        let mut excluded: Vec<String> = Vec::new();
+        let mut pending_snapshot: Option<AtnSnapshot> = None;
+        if let Some(cp) = resume_from {
+            state = cp.state;
+            report.executions = cp.executions;
+            report.failed_attempts = cp.failed_attempts;
+            report.replans = cp.replans;
+            report.produced = cp.produced;
+            report.total_duration_s = cp.total_duration_s;
+            report.total_cost = cp.total_cost;
+            excluded = cp.excluded;
+            pending_snapshot = Some(cp.snapshot);
+        }
+        let planning = PlanningService::new(self.config.gp);
+        let initial_classifications = initial_classifications(case);
+        let mut since_checkpoint = 0usize;
+
+        'plans: loop {
+            let mut machine = match pending_snapshot.take() {
+                Some(snapshot) => match AtnMachine::restore(&current_graph, snapshot) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        report.abort_reason = Some(format!("checkpoint restore failed: {e}"));
+                        break 'plans;
+                    }
+                },
+                None => {
+                    let mut m = match AtnMachine::new(&current_graph) {
+                        Ok(m) => m,
+                        Err(e) => {
+                            report.abort_reason = Some(format!("invalid process graph: {e}"));
+                            break 'plans;
+                        }
+                    };
+                    if let Err(e) = m.start(&state) {
+                        report.abort_reason = Some(format!("start failed: {e}"));
+                        break 'plans;
+                    }
+                    m
+                }
+            };
+
+            loop {
+                if machine.is_finished() {
+                    report.success = case.goals_met(&state);
+                    if !report.success {
+                        report.abort_reason =
+                            Some("workflow finished but case goals unmet".into());
+                    }
+                    break 'plans;
+                }
+                // Loop-bound defense.
+                if let Some(merge) = current_graph
+                    .activities()
+                    .iter()
+                    .filter(|a| a.kind == ActivityKind::Merge)
+                    .find(|a| machine.executions(&a.id) > self.config.max_loop_iterations)
+                {
+                    report.abort_reason = Some(format!(
+                        "loop at `{}` exceeded {} iterations",
+                        merge.id, self.config.max_loop_iterations
+                    ));
+                    break 'plans;
+                }
+                let Some(activity_id) = machine.ready().first().cloned() else {
+                    report.abort_reason = Some("workflow stuck: no ready activities".into());
+                    break 'plans;
+                };
+                let service = current_graph
+                    .activity(&activity_id)
+                    .and_then(|a| a.service.clone())
+                    .unwrap_or_else(|| activity_id.clone());
+
+                match self.run_activity(world, &service, &activity_id, &mut state, &mut report) {
+                    Ok(()) => {
+                        if let Err(e) = machine.run_activity(&activity_id, &state) {
+                            report.abort_reason = Some(format!("machine error: {e}"));
+                            break 'plans;
+                        }
+                        since_checkpoint += 1;
+                        if let Some(every) = self.config.checkpoint_every {
+                            if since_checkpoint >= every.max(1) {
+                                since_checkpoint = 0;
+                                report.checkpoints.push(EnactmentCheckpoint {
+                                    graph: current_graph.clone(),
+                                    snapshot: machine.snapshot(),
+                                    state: state.clone(),
+                                    executions: report.executions.clone(),
+                                    failed_attempts: report.failed_attempts.clone(),
+                                    replans: report.replans,
+                                    excluded: excluded.clone(),
+                                    produced: report.produced.clone(),
+                                    total_duration_s: report.total_duration_s,
+                                    total_cost: report.total_cost,
+                                });
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        // Every candidate failed → escalate.
+                        if !self.config.replan || report.replans >= self.config.max_replans {
+                            report.abort_reason = Some(
+                                ServiceError::ActivityFailed {
+                                    activity: activity_id.clone(),
+                                    service: service.clone(),
+                                }
+                                .to_string(),
+                            );
+                            break 'plans;
+                        }
+                        report.replans += 1;
+                        if !excluded.contains(&service) {
+                            excluded.push(service.clone());
+                        }
+                        let request = PlanRequest {
+                            initial: initial_classifications.clone(),
+                            goals: self.config.planning_goals.clone(),
+                            produced: report.produced.clone(),
+                            excluded: excluded.clone(),
+                        };
+                        match planning.plan(world, &request) {
+                            Ok(response) if response.viable => {
+                                current_graph = match self.refinement_wrap(case, &response) {
+                                    Ok(g) => g,
+                                    Err(e) => {
+                                        report.abort_reason =
+                                            Some(format!("re-plan wrapping failed: {e}"));
+                                        break 'plans;
+                                    }
+                                };
+                                continue 'plans;
+                            }
+                            Ok(_) => {
+                                report.abort_reason = Some(
+                                    "re-planning produced no viable plan".into(),
+                                );
+                                break 'plans;
+                            }
+                            Err(e) => {
+                                report.abort_reason = Some(format!("re-planning failed: {e}"));
+                                break 'plans;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        report.final_state = state;
+        report
+    }
+
+    /// Apply the configured refinement constraint to a fresh plan (see
+    /// [`EnactmentConfig::wrap_replans_with_constraint`]).
+    fn refinement_wrap(
+        &self,
+        case: &CaseDescription,
+        response: &crate::planning::PlanResponse,
+    ) -> Result<ProcessGraph> {
+        let cond = self
+            .config
+            .wrap_replans_with_constraint
+            .as_ref()
+            .and_then(|name| case.constraints.get(name));
+        match cond {
+            Some(cond) => {
+                let wrapped = gridflow_plan::PlanNode::Iterative {
+                    cond: cond.clone(),
+                    body: vec![response.tree.clone()],
+                };
+                Ok(gridflow_plan::tree_to_graph("replan+refinement", &wrapped)?)
+            }
+            None => Ok(response.graph.clone()),
+        }
+    }
+
+    /// Try to execute one activity on up to `max_candidates` containers,
+    /// applying outputs on success.
+    fn run_activity(
+        &self,
+        world: &mut GridWorld,
+        service: &str,
+        activity_id: &str,
+        state: &mut DataState,
+        report: &mut EnactmentReport,
+    ) -> Result<()> {
+        let candidates = matchmake(world, &MatchRequest::for_service(service))?;
+        for candidate in candidates.iter().take(self.config.max_candidates.max(1)) {
+            match world.execute_service(service, &candidate.container) {
+                Ok(record) => {
+                    let produced = world.apply_outputs(service, state)?;
+                    report.produced.extend(produced);
+                    report.total_duration_s += record.duration_s;
+                    report.total_cost += record.cost;
+                    report.executions.push(ActivityExecution {
+                        activity: activity_id.to_owned(),
+                        service: service.to_owned(),
+                        container: candidate.container.clone(),
+                        duration_s: record.duration_s,
+                        cost: record.cost,
+                    });
+                    return Ok(());
+                }
+                Err(_) => {
+                    report
+                        .failed_attempts
+                        .push((activity_id.to_owned(), candidate.container.clone()));
+                }
+            }
+        }
+        Err(ServiceError::ActivityFailed {
+            activity: activity_id.to_owned(),
+            service: service.to_owned(),
+        })
+    }
+}
+
+/// Classifications of a case's initial data items.
+pub fn initial_classifications(case: &CaseDescription) -> Vec<String> {
+    case.initial_data
+        .iter()
+        .filter_map(|(_, item)| item.classification().map(str::to_owned))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{OutputSpec, ServiceOffering};
+    use gridflow_grid::GridTopology;
+    use gridflow_process::{lower::lower, parser::parse_process, Condition, DataItem};
+
+    /// A hand-built topology: each service hosted on two dedicated
+    /// containers, so failing one service's hosts never disables another
+    /// service.
+    fn dinner_topology() -> GridTopology {
+        use gridflow_grid::container::ApplicationContainer;
+        use gridflow_grid::resource::{Resource, ResourceKind};
+        let mut resources = Vec::new();
+        let mut containers = Vec::new();
+        let hosting: [(&str, &[&str]); 8] = [
+            ("h0", &["prep"]),
+            ("h1", &["prep"]),
+            ("h2", &["cook"]),
+            ("h3", &["cook"]),
+            ("h4", &["nuke"]),
+            ("h5", &["nuke"]),
+            ("h6", &["plate"]),
+            ("h7", &["plate"]),
+        ];
+        for (i, (name, services)) in hosting.iter().enumerate() {
+            resources.push(
+                Resource::new(*name, ResourceKind::PcCluster)
+                    .with_nodes(4 + i as u32)
+                    .with_software(services.iter().map(|s| s.to_string())),
+            );
+            containers.push(
+                ApplicationContainer::new(format!("ac-{name}"), *name)
+                    .hosting(services.iter().map(|s| s.to_string())),
+            );
+        }
+        GridTopology {
+            resources,
+            containers,
+        }
+    }
+
+    fn world(_seed: u64) -> GridWorld {
+        let mut w = GridWorld::new(dinner_topology());
+        w.offer(ServiceOffering::new(
+            "prep",
+            ["Raw"],
+            vec![OutputSpec::plain("Prepped")],
+        ));
+        w.offer(ServiceOffering::new(
+            "cook",
+            ["Prepped"],
+            vec![OutputSpec::plain("Cooked")],
+        ));
+        // `nuke` is an alternative cooker.
+        w.offer(ServiceOffering::new(
+            "nuke",
+            ["Prepped"],
+            vec![OutputSpec::plain("Cooked")],
+        ));
+        w.offer(ServiceOffering::new(
+            "plate",
+            ["Cooked"],
+            vec![OutputSpec::plain("Plated")],
+        ));
+        w
+    }
+
+    fn case() -> CaseDescription {
+        CaseDescription::new("dinner")
+            .with_data("D1", DataItem::classified("Raw"))
+            .with_goal("G1", Condition::classified("D101", "Plated").or(plated_exists()))
+    }
+
+    /// Goal: some produced item is classified Plated.  Data ids are
+    /// fresh (D101, D102, …), so express the goal over a range of ids.
+    fn plated_exists() -> Condition {
+        (102..=116)
+            .map(|i| Condition::classified(format!("D{i}"), "Plated"))
+            .fold(Condition::classified("D101", "Plated"), Condition::or)
+    }
+
+    fn graph() -> gridflow_process::ProcessGraph {
+        let ast = parse_process("BEGIN prep; cook; plate; END").unwrap();
+        lower("dinner", &ast).unwrap()
+    }
+
+    #[test]
+    fn happy_path_enacts_all_activities() {
+        let mut w = world(1);
+        let report = Enactor::default().enact(&mut w, &graph(), &case());
+        assert!(report.success, "abort: {:?}", report.abort_reason);
+        assert_eq!(report.executions.len(), 3);
+        assert_eq!(report.replans, 0);
+        assert!(report.total_duration_s > 0.0);
+        assert_eq!(
+            report.produced,
+            vec!["Prepped".to_owned(), "Cooked".into(), "Plated".into()]
+        );
+    }
+
+    #[test]
+    fn retries_alternate_containers_on_failure() {
+        let mut w = world(2);
+        // Take down the best container for `prep`; the enactor must fall
+        // back to another.
+        let candidates = matchmake(&w, &MatchRequest::for_service("prep")).unwrap();
+        assert!(candidates.len() >= 2, "need at least 2 candidates");
+        w.set_container_up(&candidates[0].container, false).unwrap();
+        let report = Enactor::default().enact(&mut w, &graph(), &case());
+        assert!(report.success, "abort: {:?}", report.abort_reason);
+    }
+
+    #[test]
+    fn fails_without_replanning_when_service_is_gone() {
+        let mut w = world(3);
+        for c in w.hosting_containers("cook") {
+            w.set_container_up(&c, false).unwrap();
+        }
+        let report = Enactor::default().enact(&mut w, &graph(), &case());
+        assert!(!report.success);
+        assert!(report.abort_reason.is_some());
+    }
+
+    #[test]
+    fn replanning_switches_to_the_alternative_service() {
+        let mut w = world(4);
+        for c in w.hosting_containers("cook") {
+            w.set_container_up(&c, false).unwrap();
+        }
+        let config = EnactmentConfig {
+            replan: true,
+            planning_goals: vec![GoalSpec {
+                classification: "Plated".into(),
+                min_count: 1,
+            }],
+            gp: GpConfig {
+                population_size: 80,
+                generations: 25,
+                seed: 11,
+                ..GpConfig::default()
+            },
+            ..EnactmentConfig::default()
+        };
+        let report = Enactor::new(config).enact(&mut w, &graph(), &case());
+        assert!(report.success, "abort: {:?}", report.abort_reason);
+        assert!(report.replans >= 1);
+        assert!(
+            report.executions.iter().any(|e| e.service == "nuke"),
+            "expected the alternative cooker; executions: {:?}",
+            report.executions
+        );
+    }
+
+    #[test]
+    fn loop_bound_aborts_runaway_plans() {
+        let mut w = world(5);
+        // An iterative plan whose condition never falsifies.
+        let ast = parse_process(
+            "BEGIN prep; ITERATIVE { COND { D1.Classification = \"Raw\" } } { cook; }; END",
+        )
+        .unwrap();
+        let g = lower("runaway", &ast).unwrap();
+        let config = EnactmentConfig {
+            max_loop_iterations: 5,
+            ..EnactmentConfig::default()
+        };
+        let report = Enactor::new(config).enact(&mut w, &g, &case());
+        assert!(!report.success);
+        assert!(report
+            .abort_reason
+            .as_deref()
+            .unwrap_or("")
+            .contains("iterations"));
+    }
+
+    #[test]
+    fn finished_but_goal_unmet_is_reported() {
+        let mut w = world(6);
+        let ast = parse_process("BEGIN prep; END").unwrap();
+        let g = lower("short", &ast).unwrap();
+        let report = Enactor::default().enact(&mut w, &g, &case());
+        assert!(!report.success);
+        assert!(report
+            .abort_reason
+            .as_deref()
+            .unwrap_or("")
+            .contains("goals unmet"));
+    }
+
+    #[test]
+    fn initial_classifications_extracts_from_case() {
+        let c = case();
+        assert_eq!(initial_classifications(&c), vec!["Raw".to_owned()]);
+    }
+
+    #[test]
+    fn checkpoints_are_captured_at_the_configured_cadence() {
+        let mut w = world(7);
+        let config = EnactmentConfig {
+            checkpoint_every: Some(1),
+            ..EnactmentConfig::default()
+        };
+        let report = Enactor::new(config).enact(&mut w, &graph(), &case());
+        assert!(report.success);
+        // Three activities → three checkpoints (one per execution).
+        assert_eq!(report.checkpoints.len(), 3);
+        assert_eq!(report.checkpoints[0].executions.len(), 1);
+        assert_eq!(report.checkpoints[2].executions.len(), 3);
+        // Checkpoints are serializable for the storage service.
+        let json = serde_json::to_string(&report.checkpoints[1]).unwrap();
+        let back: EnactmentCheckpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report.checkpoints[1]);
+    }
+
+    #[test]
+    fn resume_from_checkpoint_completes_the_workflow() {
+        // Run with checkpointing, pretend the coordinator crashed after
+        // the first activity, resume from that checkpoint on a fresh
+        // world, and compare with an uninterrupted run.
+        let config = EnactmentConfig {
+            checkpoint_every: Some(1),
+            ..EnactmentConfig::default()
+        };
+        let mut w1 = world(8);
+        let full = Enactor::new(config.clone()).enact(&mut w1, &graph(), &case());
+        assert!(full.success);
+
+        let mut w2 = world(8);
+        let interrupted = Enactor::new(config.clone()).enact(&mut w2, &graph(), &case());
+        let checkpoint = interrupted.checkpoints[0].clone(); // after `prep`
+        let mut w3 = world(8);
+        let resumed = Enactor::new(config).resume(&mut w3, checkpoint, &case());
+        assert!(resumed.success, "abort: {:?}", resumed.abort_reason);
+        // The resumed run finishes the remaining activities only.
+        let services: Vec<&str> = resumed
+            .executions
+            .iter()
+            .map(|e| e.service.as_str())
+            .collect();
+        assert_eq!(services, vec!["prep", "cook", "plate"]);
+        // And reaches the same final data state as the full run.
+        assert_eq!(resumed.final_state, full.final_state);
+    }
+
+    #[test]
+    fn resume_with_an_invalid_graph_reports_cleanly() {
+        let mut w = world(9);
+        let config = EnactmentConfig {
+            checkpoint_every: Some(1),
+            ..EnactmentConfig::default()
+        };
+        let report = Enactor::new(config.clone()).enact(&mut w, &graph(), &case());
+        let mut checkpoint = report.checkpoints[0].clone();
+        checkpoint.graph = gridflow_process::ProcessGraph::new("empty");
+        let mut w2 = world(9);
+        let resumed = Enactor::new(config).resume(&mut w2, checkpoint, &case());
+        assert!(!resumed.success);
+        assert!(resumed
+            .abort_reason
+            .as_deref()
+            .unwrap()
+            .contains("restore failed"));
+    }
+}

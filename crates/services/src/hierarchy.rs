@@ -1,0 +1,192 @@
+//! Hierarchical organization of core services: "Core services may be
+//! organized hierarchically, in a manner similar to the DNS (Domain Name
+//! Services) in the Internet" (§2).
+//!
+//! [`InformationHierarchy`] arranges information-service registries in a
+//! domain tree (e.g. `grid` → `grid.ucf` → `grid.ucf.biology`).  Lookups
+//! resolve locally first and then walk up toward the root (the DNS
+//! referral pattern inverted into parent delegation); type searches can
+//! be *scoped* (this zone and everything beneath it) so a campus-level
+//! matchmaker only sees campus services while the root sees everything.
+
+use crate::error::{Result, ServiceError};
+use crate::information::{InformationService, Registration};
+use std::collections::BTreeMap;
+
+/// A tree of information-service zones, keyed by dotted zone names.
+#[derive(Debug, Clone, Default)]
+pub struct InformationHierarchy {
+    zones: BTreeMap<String, InformationService>,
+}
+
+impl InformationHierarchy {
+    /// An empty hierarchy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a zone.  The parent zone (everything before the last `.`)
+    /// must already exist, except for root zones (no dot).
+    pub fn add_zone(&mut self, zone: impl Into<String>) -> Result<()> {
+        let zone = zone.into();
+        if self.zones.contains_key(&zone) {
+            return Err(ServiceError::BadRequest(format!(
+                "zone `{zone}` already exists"
+            )));
+        }
+        if let Some(parent) = parent_zone(&zone) {
+            if !self.zones.contains_key(parent) {
+                return Err(ServiceError::BadRequest(format!(
+                    "parent zone `{parent}` of `{zone}` does not exist"
+                )));
+            }
+        }
+        self.zones.insert(zone, InformationService::new());
+        Ok(())
+    }
+
+    /// Register a service in a zone.
+    pub fn register(&mut self, zone: &str, registration: Registration) -> Result<()> {
+        self.zones
+            .get_mut(zone)
+            .ok_or_else(|| ServiceError::NotFound(format!("zone `{zone}`")))?
+            .register(registration)
+    }
+
+    /// Resolve a name starting at `zone` and walking up to the root — the
+    /// DNS-style lookup: local knowledge first, then increasingly global.
+    /// Returns the registration and the zone that answered.
+    pub fn lookup(&self, zone: &str, name: &str) -> Result<(Registration, String)> {
+        let mut current = Some(zone);
+        while let Some(z) = current {
+            let service = self
+                .zones
+                .get(z)
+                .ok_or_else(|| ServiceError::NotFound(format!("zone `{z}`")))?;
+            if let Some(reg) = service.lookup(name) {
+                return Ok((reg, z.to_owned()));
+            }
+            current = parent_zone(z);
+        }
+        Err(ServiceError::NotFound(format!(
+            "`{name}` (searched from zone `{zone}` to the root)"
+        )))
+    }
+
+    /// All registrations of `service_type` in `zone` and every zone
+    /// beneath it (scoped search).
+    pub fn find_by_type_scoped(&self, zone: &str, service_type: &str) -> Vec<(Registration, String)> {
+        let prefix = format!("{zone}.");
+        self.zones
+            .iter()
+            .filter(|(z, _)| z.as_str() == zone || z.starts_with(&prefix))
+            .flat_map(|(z, svc)| {
+                svc.find_by_type(service_type)
+                    .into_iter()
+                    .map(move |r| (r, z.clone()))
+            })
+            .collect()
+    }
+
+    /// Number of zones.
+    pub fn zone_count(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// Total registrations across all zones.
+    pub fn total_registrations(&self) -> usize {
+        self.zones.values().map(InformationService::len).sum()
+    }
+}
+
+fn parent_zone(zone: &str) -> Option<&str> {
+    zone.rsplit_once('.').map(|(parent, _)| parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg(name: &str, service_type: &str) -> Registration {
+        Registration {
+            name: name.into(),
+            service_type: service_type.into(),
+            location: name.into(),
+            description: String::new(),
+        }
+    }
+
+    fn hierarchy() -> InformationHierarchy {
+        let mut h = InformationHierarchy::new();
+        h.add_zone("grid").unwrap();
+        h.add_zone("grid.ucf").unwrap();
+        h.add_zone("grid.ucf.biology").unwrap();
+        h.add_zone("grid.purdue").unwrap();
+        h.register("grid", reg("root-broker", "brokerage")).unwrap();
+        h.register("grid.ucf", reg("ucf-broker", "brokerage")).unwrap();
+        h.register("grid.ucf.biology", reg("p3dr-svc", "end-user"))
+            .unwrap();
+        h.register("grid.purdue", reg("purdue-broker", "brokerage"))
+            .unwrap();
+        h
+    }
+
+    #[test]
+    fn zones_require_existing_parents() {
+        let mut h = InformationHierarchy::new();
+        assert!(h.add_zone("grid.ucf").is_err(), "no root yet");
+        h.add_zone("grid").unwrap();
+        h.add_zone("grid.ucf").unwrap();
+        assert!(h.add_zone("grid.ucf").is_err(), "duplicate");
+        assert_eq!(h.zone_count(), 2);
+    }
+
+    #[test]
+    fn lookup_walks_toward_the_root() {
+        let h = hierarchy();
+        // Local hit.
+        let (r, zone) = h.lookup("grid.ucf.biology", "p3dr-svc").unwrap();
+        assert_eq!(r.name, "p3dr-svc");
+        assert_eq!(zone, "grid.ucf.biology");
+        // One level up.
+        let (r, zone) = h.lookup("grid.ucf.biology", "ucf-broker").unwrap();
+        assert_eq!(r.name, "ucf-broker");
+        assert_eq!(zone, "grid.ucf");
+        // All the way to the root.
+        let (_, zone) = h.lookup("grid.ucf.biology", "root-broker").unwrap();
+        assert_eq!(zone, "grid");
+        // Sibling zones are NOT searched.
+        assert!(h.lookup("grid.ucf.biology", "purdue-broker").is_err());
+    }
+
+    #[test]
+    fn scoped_type_search_covers_the_subtree_only() {
+        let h = hierarchy();
+        let from_root = h.find_by_type_scoped("grid", "brokerage");
+        assert_eq!(from_root.len(), 3);
+        let from_ucf = h.find_by_type_scoped("grid.ucf", "brokerage");
+        assert_eq!(from_ucf.len(), 1);
+        assert_eq!(from_ucf[0].0.name, "ucf-broker");
+        // Zone-name prefixing must not leak `grid.ucfX` into `grid.ucf`.
+        let mut h2 = hierarchy();
+        h2.add_zone("grid.ucfsibling").unwrap();
+        h2.register("grid.ucfsibling", reg("decoy", "brokerage"))
+            .unwrap();
+        assert_eq!(h2.find_by_type_scoped("grid.ucf", "brokerage").len(), 1);
+    }
+
+    #[test]
+    fn totals_aggregate() {
+        let h = hierarchy();
+        assert_eq!(h.zone_count(), 4);
+        assert_eq!(h.total_registrations(), 4);
+    }
+
+    #[test]
+    fn unknown_zone_errors() {
+        let h = hierarchy();
+        assert!(h.lookup("grid.mit", "x").is_err());
+        let mut h = hierarchy();
+        assert!(h.register("grid.mit", reg("x", "t")).is_err());
+    }
+}

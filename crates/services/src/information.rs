@@ -1,0 +1,160 @@
+//! The information service: "all end-user services and other core
+//! services register their offerings with the information services" (§2).
+//!
+//! Registrations are kept as ontology instances of the `Service` class so
+//! the same queries work for matchmaking and for the ontology service.
+
+use gridflow_ontology::{Instance, KnowledgeBase, Query, SlotCond, Value};
+use serde::{Deserialize, Serialize};
+
+/// One registration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Registration {
+    /// Registered name (unique).
+    pub name: String,
+    /// Service type (e.g. `"brokerage"`, `"end-user"`).
+    pub service_type: String,
+    /// Where the service runs (agent name or container id).
+    pub location: String,
+    /// Free-text description.
+    pub description: String,
+}
+
+/// The information service core.
+#[derive(Debug, Clone)]
+pub struct InformationService {
+    kb: KnowledgeBase,
+}
+
+impl Default for InformationService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl InformationService {
+    /// An empty registry.
+    pub fn new() -> Self {
+        let mut kb = gridflow_ontology::schema::grid_ontology_shell();
+        kb.name = "information-registry".into();
+        InformationService { kb }
+    }
+
+    /// Register (or re-register) a service.
+    pub fn register(&mut self, reg: Registration) -> crate::Result<()> {
+        // Re-registration replaces the previous record.
+        let _ = self.kb.remove_instance(&reg.name);
+        self.kb.add_instance(
+            Instance::new(reg.name.clone(), gridflow_ontology::schema::classes::SERVICE)
+                .with("Name", Value::str(reg.name.clone()))
+                .with("Type", Value::str(reg.service_type))
+                .with("Location", Value::str(reg.location))
+                .with("Description", Value::str(reg.description)),
+        )?;
+        Ok(())
+    }
+
+    /// Remove a registration.
+    pub fn deregister(&mut self, name: &str) -> crate::Result<()> {
+        self.kb.remove_instance(name)?;
+        Ok(())
+    }
+
+    /// Look up one registration by name.
+    pub fn lookup(&self, name: &str) -> Option<Registration> {
+        self.kb.instance(name).map(Self::to_registration)
+    }
+
+    /// All registrations of a given service type, in name order — the
+    /// query the planning service issues in step 1 of the Fig. 3 flow
+    /// ("the planning service asks the information service for a
+    /// brokerage service that is available in the system").
+    pub fn find_by_type(&self, service_type: &str) -> Vec<Registration> {
+        Query::cond(SlotCond::Eq("Type".into(), Value::str(service_type)))
+            .run(&self.kb, Some(gridflow_ontology::schema::classes::SERVICE))
+            .into_iter()
+            .map(Self::to_registration)
+            .collect()
+    }
+
+    /// Total number of registrations.
+    pub fn len(&self) -> usize {
+        self.kb.instance_count()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.kb.instance_count() == 0
+    }
+
+    /// All registrations, in name order.
+    pub fn all(&self) -> Vec<Registration> {
+        self.kb.instances().map(Self::to_registration).collect()
+    }
+
+    fn to_registration(inst: &Instance) -> Registration {
+        Registration {
+            name: inst.get_str("Name").unwrap_or(&inst.id).to_owned(),
+            service_type: inst.get_str("Type").unwrap_or("").to_owned(),
+            location: inst.get_str("Location").unwrap_or("").to_owned(),
+            description: inst.get_str("Description").unwrap_or("").to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg(name: &str, service_type: &str) -> Registration {
+        Registration {
+            name: name.into(),
+            service_type: service_type.into(),
+            location: format!("{name}@host"),
+            description: format!("{service_type} service"),
+        }
+    }
+
+    #[test]
+    fn register_lookup_deregister() {
+        let mut info = InformationService::new();
+        info.register(reg("broker-1", "brokerage")).unwrap();
+        assert_eq!(info.len(), 1);
+        let r = info.lookup("broker-1").unwrap();
+        assert_eq!(r.service_type, "brokerage");
+        info.deregister("broker-1").unwrap();
+        assert!(info.is_empty());
+        assert!(info.lookup("broker-1").is_none());
+        assert!(info.deregister("broker-1").is_err());
+    }
+
+    #[test]
+    fn find_by_type_returns_matching_in_name_order() {
+        let mut info = InformationService::new();
+        info.register(reg("broker-2", "brokerage")).unwrap();
+        info.register(reg("broker-1", "brokerage")).unwrap();
+        info.register(reg("planner-1", "planning")).unwrap();
+        let brokers = info.find_by_type("brokerage");
+        assert_eq!(brokers.len(), 2);
+        assert_eq!(brokers[0].name, "broker-1");
+        assert!(info.find_by_type("nonexistent").is_empty());
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let mut info = InformationService::new();
+        info.register(reg("svc", "planning")).unwrap();
+        info.register(reg("svc", "brokerage")).unwrap();
+        assert_eq!(info.len(), 1);
+        assert_eq!(info.lookup("svc").unwrap().service_type, "brokerage");
+    }
+
+    #[test]
+    fn all_lists_everything() {
+        let mut info = InformationService::new();
+        for i in 0..5 {
+            info.register(reg(&format!("s{i}"), "end-user")).unwrap();
+        }
+        assert_eq!(info.all().len(), 5);
+    }
+}

@@ -1,0 +1,357 @@
+//! The matchmaking service: "Matchmaking services allow individual users
+//! represented by their proxies (coordination services) to locate
+//! resources in a spot market, subject to a wide range of conditions"
+//! (§2).
+//!
+//! A [`MatchRequest`] expresses those conditions — soft deadline, budget,
+//! interconnect requirements, administrative domain, minimum reliability
+//! — and [`matchmake`] ranks the containers that satisfy all of them.
+
+use crate::error::{Result, ServiceError};
+use crate::world::GridWorld;
+use gridflow_grid::workload::estimate;
+use serde::{Deserialize, Serialize};
+
+/// Conditions on a resource match.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatchRequest {
+    /// The end-user service to place.
+    pub service: String,
+    /// Soft deadline on the execution duration (seconds).
+    pub deadline_s: Option<f64>,
+    /// Budget cap on the execution cost.
+    pub budget: Option<f64>,
+    /// Require an interconnect suitable for fine-grain parallelism.
+    pub require_fine_grain: bool,
+    /// Restrict to one administrative domain.
+    pub domain: Option<String>,
+    /// Minimum resource reliability.
+    pub min_reliability: f64,
+}
+
+impl MatchRequest {
+    /// An unconstrained request for the given service.
+    pub fn for_service(service: impl Into<String>) -> Self {
+        MatchRequest {
+            service: service.into(),
+            deadline_s: None,
+            budget: None,
+            require_fine_grain: false,
+            domain: None,
+            min_reliability: 0.0,
+        }
+    }
+}
+
+/// One ranked match.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedMatch {
+    /// Container that would run the service.
+    pub container: String,
+    /// Backing resource.
+    pub resource: String,
+    /// Predicted duration (seconds).
+    pub duration_s: f64,
+    /// Predicted cost.
+    pub cost: f64,
+    /// Resource reliability.
+    pub reliability: f64,
+}
+
+/// Rank the containers that can execute the request's service *and*
+/// satisfy every condition, fastest first.  Fails with
+/// [`ServiceError::Grid`] wrapping [`gridflow_grid::GridError::NoMatchingOffer`]
+/// when nothing qualifies.
+pub fn matchmake(world: &GridWorld, request: &MatchRequest) -> Result<Vec<RankedMatch>> {
+    let offering = world.offering(&request.service)?;
+    let mut matches = Vec::new();
+    for container in world
+        .topology
+        .containers
+        .iter()
+        .filter(|c| c.can_execute(&request.service))
+    {
+        let Some(resource) = world.topology.resource(&container.resource_id) else {
+            continue;
+        };
+        if request.require_fine_grain && !resource.hardware.suits_fine_grain() {
+            continue;
+        }
+        if let Some(domain) = &request.domain {
+            if &resource.domain != domain {
+                continue;
+            }
+        }
+        if resource.reliability < request.min_reliability {
+            continue;
+        }
+        let est = estimate(&offering.demand, resource);
+        if let Some(deadline) = request.deadline_s {
+            if est.duration_s > deadline {
+                continue;
+            }
+        }
+        if let Some(budget) = request.budget {
+            if est.cost > budget {
+                continue;
+            }
+        }
+        matches.push(RankedMatch {
+            container: container.id.clone(),
+            resource: resource.id.clone(),
+            duration_s: est.duration_s,
+            cost: est.cost,
+            reliability: resource.reliability,
+        });
+    }
+    if matches.is_empty() {
+        return Err(ServiceError::Grid(gridflow_grid::GridError::NoMatchingOffer(
+            format!("service `{}` under the given conditions", request.service),
+        )));
+    }
+    matches.sort_by(|a, b| {
+        a.duration_s
+            .partial_cmp(&b.duration_s)
+            .expect("durations are finite")
+            .then_with(|| a.container.cmp(&b.container))
+    });
+    Ok(matches)
+}
+
+/// Like [`matchmake`], but duration estimates prefer the brokerage
+/// service's *observed* history over the hardware model — §1: when a task
+/// has soft deadlines, "the search for a site with adequate resources …
+/// must be complemented by the ability to access history information
+/// about the past execution of the task, as well as hardware performance
+/// data".  Containers with recorded executions are judged by their
+/// observed mean duration; containers without history fall back to the
+/// model estimate.
+pub fn matchmake_with_history(
+    world: &GridWorld,
+    broker: &crate::brokerage::BrokerageService,
+    request: &MatchRequest,
+) -> Result<Vec<RankedMatch>> {
+    let mut matches = matchmake(
+        world,
+        &MatchRequest {
+            // Apply deadline after the duration substitution.
+            deadline_s: None,
+            ..request.clone()
+        },
+    )?;
+    for m in &mut matches {
+        let stats = broker.performance(&request.service, &m.container);
+        if stats.successes > 0 {
+            m.duration_s = stats.mean_duration_s;
+        }
+    }
+    if let Some(deadline) = request.deadline_s {
+        matches.retain(|m| m.duration_s <= deadline);
+    }
+    if matches.is_empty() {
+        return Err(ServiceError::Grid(gridflow_grid::GridError::NoMatchingOffer(
+            format!(
+                "service `{}` under the given conditions (history-informed)",
+                request.service
+            ),
+        )));
+    }
+    matches.sort_by(|a, b| {
+        a.duration_s
+            .partial_cmp(&b.duration_s)
+            .expect("durations are finite")
+            .then_with(|| a.container.cmp(&b.container))
+    });
+    Ok(matches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{OutputSpec, ServiceOffering};
+    use gridflow_grid::container::ApplicationContainer;
+    use gridflow_grid::resource::{Resource, ResourceKind};
+    use gridflow_grid::workload::TaskDemand;
+    use gridflow_grid::GridTopology;
+
+    /// A hand-built world: one supercomputer, one PC cluster, one flaky
+    /// workstation — all hosting service `X`.
+    fn world(fine_grain: bool) -> GridWorld {
+        let resources = vec![
+            Resource::new("sc", ResourceKind::Supercomputer)
+                .with_nodes(64)
+                .at("anl", "anl.gov")
+                .with_reliability(0.999)
+                .with_cost(2.0),
+            Resource::new("pc", ResourceKind::PcCluster)
+                .with_nodes(64)
+                .at("ucf", "ucf.edu")
+                .with_reliability(0.95)
+                .with_cost(0.5),
+            Resource::new("ws", ResourceKind::Workstation)
+                .at("dorm", "ucf.edu")
+                .with_reliability(0.6)
+                .with_cost(0.05),
+        ];
+        let containers = vec![
+            ApplicationContainer::new("ac-sc", "sc").hosting(["X"]),
+            ApplicationContainer::new("ac-pc", "pc").hosting(["X"]),
+            ApplicationContainer::new("ac-ws", "ws").hosting(["X"]),
+        ];
+        let mut w = GridWorld::new(GridTopology {
+            resources,
+            containers,
+        });
+        let demand = if fine_grain {
+            TaskDemand::fine("X", 500.0, 10.0)
+        } else {
+            TaskDemand::coarse("X", 500.0, 10.0)
+        };
+        w.offer(
+            ServiceOffering::new("X", Vec::<String>::new(), vec![OutputSpec::plain("Out")])
+                .with_demand(demand),
+        );
+        w
+    }
+
+    #[test]
+    fn unconstrained_request_ranks_all_by_duration() {
+        let w = world(false);
+        let matches = matchmake(&w, &MatchRequest::for_service("X")).unwrap();
+        assert_eq!(matches.len(), 3);
+        for pair in matches.windows(2) {
+            assert!(pair[0].duration_s <= pair[1].duration_s);
+        }
+        // Coarse-grain: the high-clock PC cluster wins.
+        assert_eq!(matches[0].container, "ac-pc");
+    }
+
+    #[test]
+    fn fine_grain_requirement_selects_the_supercomputer() {
+        let w = world(true);
+        let req = MatchRequest {
+            require_fine_grain: true,
+            ..MatchRequest::for_service("X")
+        };
+        let matches = matchmake(&w, &req).unwrap();
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].container, "ac-sc");
+    }
+
+    #[test]
+    fn domain_condition_filters() {
+        let w = world(false);
+        let req = MatchRequest {
+            domain: Some("ucf.edu".into()),
+            ..MatchRequest::for_service("X")
+        };
+        let matches = matchmake(&w, &req).unwrap();
+        assert_eq!(matches.len(), 2);
+        assert!(matches.iter().all(|m| m.resource != "sc"));
+    }
+
+    #[test]
+    fn reliability_condition_filters() {
+        let w = world(false);
+        let req = MatchRequest {
+            min_reliability: 0.9,
+            ..MatchRequest::for_service("X")
+        };
+        let matches = matchmake(&w, &req).unwrap();
+        assert_eq!(matches.len(), 2);
+        assert!(matches.iter().all(|m| m.reliability >= 0.9));
+    }
+
+    #[test]
+    fn deadline_and_budget_conditions() {
+        let w = world(false);
+        let all = matchmake(&w, &MatchRequest::for_service("X")).unwrap();
+        let fastest = all[0].duration_s;
+        // Deadline just above the fastest admits at least the fastest.
+        let req = MatchRequest {
+            deadline_s: Some(fastest * 1.01),
+            ..MatchRequest::for_service("X")
+        };
+        assert!(!matchmake(&w, &req).unwrap().is_empty());
+        // Impossible deadline matches nothing.
+        let req = MatchRequest {
+            deadline_s: Some(fastest * 0.01),
+            ..MatchRequest::for_service("X")
+        };
+        assert!(matchmake(&w, &req).is_err());
+        // Budget zero matches nothing.
+        let req = MatchRequest {
+            budget: Some(0.0),
+            ..MatchRequest::for_service("X")
+        };
+        assert!(matchmake(&w, &req).is_err());
+    }
+
+    #[test]
+    fn down_containers_are_excluded() {
+        let mut w = world(false);
+        w.set_container_up("ac-pc", false).unwrap();
+        let matches = matchmake(&w, &MatchRequest::for_service("X")).unwrap();
+        assert!(matches.iter().all(|m| m.container != "ac-pc"));
+    }
+
+    #[test]
+    fn history_overrides_the_model_for_deadlines() {
+        use crate::brokerage::BrokerageService;
+        use crate::world::ExecutionRecord;
+        let mut w = world(false);
+        // The model thinks the PC cluster is fastest; fabricate a history
+        // where it has been pathologically slow (hot-spot contention the
+        // model cannot see).
+        let model = matchmake(&w, &MatchRequest::for_service("X")).unwrap();
+        assert_eq!(model[0].container, "ac-pc");
+        let model_best = model[0].duration_s;
+        for _ in 0..3 {
+            w.history.push(ExecutionRecord {
+                service: "X".into(),
+                container: "ac-pc".into(),
+                resource: "pc".into(),
+                duration_s: model_best * 50.0,
+                cost: 1.0,
+                success: true,
+                at_s: 0.0,
+            });
+        }
+        let mut broker = BrokerageService::new();
+        broker.refresh(&w);
+        // A deadline the model would accept for ac-pc, but history rejects.
+        let request = MatchRequest {
+            deadline_s: Some(model_best * 10.0),
+            ..MatchRequest::for_service("X")
+        };
+        let informed = matchmake_with_history(&w, &broker, &request).unwrap();
+        assert!(
+            informed.iter().all(|m| m.container != "ac-pc"),
+            "history-informed matching must drop the historically slow host: {informed:?}"
+        );
+        // Without history the same request happily picks ac-pc.
+        let naive = matchmake(&w, &request).unwrap();
+        assert_eq!(naive[0].container, "ac-pc");
+    }
+
+    #[test]
+    fn history_informed_matching_errors_when_nothing_fits() {
+        use crate::brokerage::BrokerageService;
+        let w = world(false);
+        let broker = BrokerageService::new();
+        let request = MatchRequest {
+            deadline_s: Some(1e-9),
+            ..MatchRequest::for_service("X")
+        };
+        assert!(matchmake_with_history(&w, &broker, &request).is_err());
+    }
+
+    #[test]
+    fn unknown_service_errors() {
+        let w = world(false);
+        assert!(matches!(
+            matchmake(&w, &MatchRequest::for_service("nope")),
+            Err(ServiceError::UnknownOffering(_))
+        ));
+    }
+}

@@ -1,0 +1,148 @@
+//! The monitoring service: "Though the brokerage services make a best
+//! effort to maintain accurate information regarding the state of
+//! resources, such information may be obsolete.  Accurate information
+//! about the status of a resource may be obtained using monitoring
+//! services" (§2).
+//!
+//! Monitoring reads the live world; brokerage (see [`crate::brokerage`])
+//! serves a cached snapshot that can go stale — the contrast the paper
+//! draws.
+
+use crate::world::GridWorld;
+use serde::{Deserialize, Serialize};
+
+/// A live probe result for one container.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContainerStatus {
+    /// Container id.
+    pub container: String,
+    /// Backing resource id.
+    pub resource: String,
+    /// Is it up right now?
+    pub up: bool,
+    /// Services it hosts.
+    pub services: Vec<String>,
+    /// Lifetime completed executions.
+    pub completed: u64,
+    /// Lifetime failed executions.
+    pub failed: u64,
+}
+
+/// A live probe result for one resource.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceStatus {
+    /// Resource id.
+    pub resource: String,
+    /// Equivalence class (brokerage grouping).
+    pub class: String,
+    /// Nodes busy on the market.
+    pub load: u32,
+    /// Total nodes.
+    pub nodes: u32,
+}
+
+/// The monitoring service core (stateless: every call probes the live
+/// world).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MonitoringService;
+
+impl MonitoringService {
+    /// Probe one container.
+    pub fn probe_container(&self, world: &GridWorld, id: &str) -> Option<ContainerStatus> {
+        world.topology.container(id).map(|c| ContainerStatus {
+            container: c.id.clone(),
+            resource: c.resource_id.clone(),
+            up: c.up,
+            services: c.services.clone(),
+            completed: c.completed,
+            failed: c.failed,
+        })
+    }
+
+    /// Probe every container.
+    pub fn probe_all_containers(&self, world: &GridWorld) -> Vec<ContainerStatus> {
+        world
+            .topology
+            .containers
+            .iter()
+            .map(|c| self.probe_container(world, &c.id).expect("exists"))
+            .collect()
+    }
+
+    /// Probe one resource (market load included).
+    pub fn probe_resource(&self, world: &GridWorld, id: &str) -> Option<ResourceStatus> {
+        let r = world.topology.resource(id)?;
+        let load = world.market.offer(id).map(|o| o.load).unwrap_or(0);
+        Some(ResourceStatus {
+            resource: r.id.clone(),
+            class: r.equivalence_class(),
+            load,
+            nodes: r.nodes,
+        })
+    }
+
+    /// Fraction of containers currently up.
+    pub fn availability(&self, world: &GridWorld) -> f64 {
+        let total = world.topology.containers.len();
+        if total == 0 {
+            return 1.0;
+        }
+        let up = world.topology.containers.iter().filter(|c| c.up).count();
+        up as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridflow_grid::GridTopology;
+
+    fn world() -> GridWorld {
+        GridWorld::new(GridTopology::generate(5, &["S".into()], 1))
+    }
+
+    #[test]
+    fn probe_container_reports_live_state() {
+        let mut w = world();
+        let mon = MonitoringService;
+        let id = w.topology.containers[0].id.clone();
+        let before = mon.probe_container(&w, &id).unwrap();
+        assert!(before.up);
+        w.set_container_up(&id, false).unwrap();
+        let after = mon.probe_container(&w, &id).unwrap();
+        assert!(!after.up);
+        assert!(mon.probe_container(&w, "ghost").is_none());
+    }
+
+    #[test]
+    fn probe_all_and_availability() {
+        let mut w = world();
+        let mon = MonitoringService;
+        assert_eq!(mon.probe_all_containers(&w).len(), 5);
+        assert_eq!(mon.availability(&w), 1.0);
+        let id = w.topology.containers[0].id.clone();
+        w.set_container_up(&id, false).unwrap();
+        assert!((mon.availability(&w) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probe_resource_includes_market_load() {
+        let mut w = world();
+        let mon = MonitoringService;
+        let rid = w.topology.resources[0].id.clone();
+        let before = mon.probe_resource(&w, &rid).unwrap();
+        assert_eq!(before.load, 0);
+        let nodes = 1;
+        w.market
+            .acquire(nodes, f64::INFINITY, |o| o.resource.id == rid)
+            .unwrap();
+        let after = mon.probe_resource(&w, &rid).unwrap();
+        assert_eq!(after.load, nodes);
+    }
+
+    #[test]
+    fn empty_world_is_fully_available() {
+        let w = GridWorld::new(GridTopology::generate(0, &[], 1));
+        assert_eq!(MonitoringService.availability(&w), 1.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! The planning service core (§3.3): "The function of the planning
+//! service in our framework is to generate valid process descriptions,
+//! for the end users."
+//!
+//! A [`PlanRequest`] carries what the coordination service sends in
+//! Fig. 2 — "1) the set of the initial data available to the end user,
+//! 2) the goal of planning, and 3) other useful information" — plus, for
+//! re-planning (Fig. 3), the data already produced and the activities
+//! observed to be non-executable.
+
+use crate::error::{Result, ServiceError};
+use crate::world::GridWorld;
+use gridflow_plan::{canonicalize, tree_to_graph, PlanNode};
+use gridflow_planner::prelude::*;
+use gridflow_process::ProcessGraph;
+use serde::{Deserialize, Serialize};
+
+/// A planning (or re-planning) request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PlanRequest {
+    /// Classifications of the initially available data.
+    pub initial: Vec<String>,
+    /// Goal specifications.
+    pub goals: Vec<GoalSpec>,
+    /// Re-planning: classifications already produced by the aborted
+    /// enactment.
+    pub produced: Vec<String>,
+    /// Re-planning: service names to avoid.
+    pub excluded: Vec<String>,
+}
+
+/// A produced plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanResponse {
+    /// The winning plan tree (simplified and canonical).
+    pub tree: PlanNode,
+    /// The same plan lowered to activity/transition form, ready for
+    /// enactment.
+    pub graph: ProcessGraph,
+    /// Fitness of the raw GP winner.
+    pub fitness: Fitness,
+    /// Whether the plan is perfect (valid everywhere, all goals met in
+    /// simulation).  Imperfect plans are still returned — the
+    /// coordination service decides whether to enact them.
+    pub viable: bool,
+    /// Per-generation statistics of the underlying run.
+    pub history: Vec<GenerationStats>,
+}
+
+/// The planning service core.
+#[derive(Debug, Clone, Default)]
+pub struct PlanningService {
+    /// GP configuration used for every request.
+    pub config: GpConfig,
+}
+
+impl PlanningService {
+    /// A service with the given GP configuration.
+    pub fn new(config: GpConfig) -> Self {
+        PlanningService { config }
+    }
+
+    /// Handle one (re-)planning request against the world's service
+    /// catalog.
+    pub fn plan(&self, world: &GridWorld, request: &PlanRequest) -> Result<PlanResponse> {
+        let mut initial = request.initial.clone();
+        initial.extend(request.produced.iter().cloned());
+        let problem = world
+            .planning_problem(initial, request.goals.clone())
+            .without_activities(request.excluded.iter().map(String::as_str));
+        if problem.activities.is_empty() {
+            return Err(ServiceError::NoViablePlan(
+                "no activities remain after exclusions".into(),
+            ));
+        }
+        let result = GpPlanner::new(self.config, problem).run();
+        let viable = result.best_fitness.is_perfect();
+        // Export form: abstract (`true`-conditioned) loops unroll to the
+        // single pass the fitness simulation evaluated, then simplify and
+        // canonicalize.
+        let tree = result
+            .best
+            .unroll_abstract_iteratives()
+            .simplify()
+            .map(|t| canonicalize(&t))
+            .unwrap_or(PlanNode::Sequential(vec![]));
+        let graph = tree_to_graph("plan", &tree)?;
+        Ok(PlanResponse {
+            tree,
+            graph,
+            fitness: result.best_fitness,
+            viable,
+            history: result.history,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{OutputSpec, ServiceOffering};
+    use gridflow_grid::GridTopology;
+
+    fn world() -> GridWorld {
+        let names: Vec<String> = ["prep", "cook", "plate"].iter().map(|s| s.to_string()).collect();
+        let mut w = GridWorld::new(GridTopology::generate(4, &names, 5));
+        w.offer(ServiceOffering::new(
+            "prep",
+            ["Raw"],
+            vec![OutputSpec::plain("Prepped")],
+        ));
+        w.offer(ServiceOffering::new(
+            "cook",
+            ["Prepped"],
+            vec![OutputSpec::plain("Cooked")],
+        ));
+        w.offer(ServiceOffering::new(
+            "plate",
+            ["Cooked"],
+            vec![OutputSpec::plain("Plated")],
+        ));
+        w
+    }
+
+    fn planner() -> PlanningService {
+        PlanningService::new(GpConfig {
+            population_size: 80,
+            generations: 25,
+            seed: 3,
+            ..GpConfig::default()
+        })
+    }
+
+    fn request() -> PlanRequest {
+        PlanRequest {
+            initial: vec!["Raw".into()],
+            goals: vec![GoalSpec {
+                classification: "Plated".into(),
+                min_count: 1,
+            }],
+            produced: vec![],
+            excluded: vec![],
+        }
+    }
+
+    #[test]
+    fn plans_a_three_step_chain() {
+        let response = planner().plan(&world(), &request()).unwrap();
+        assert!(response.viable, "fitness {:?}", response.fitness);
+        let acts = response.tree.activities();
+        assert!(acts.contains(&"prep"));
+        assert!(acts.contains(&"cook"));
+        assert!(acts.contains(&"plate"));
+        response.graph.validate().unwrap();
+    }
+
+    #[test]
+    fn produced_data_is_credited() {
+        let mut req = request();
+        req.produced = vec!["Cooked".into()];
+        let response = planner().plan(&world(), &req).unwrap();
+        assert!(response.viable);
+        // `plate` alone suffices once `Cooked` exists; a minimal plan
+        // should not need all three services.
+        assert!(response.tree.size() <= 4, "tree: {:?}", response.tree);
+    }
+
+    #[test]
+    fn exclusions_are_honored() {
+        let mut req = request();
+        req.excluded = vec!["plate".into()];
+        let response = planner().plan(&world(), &req).unwrap();
+        assert!(!response.viable, "plating is the only path to Plated");
+        assert!(!response.tree.activities().contains(&"plate"));
+    }
+
+    #[test]
+    fn excluding_everything_is_an_error() {
+        let mut req = request();
+        req.excluded = vec!["prep".into(), "cook".into(), "plate".into()];
+        assert!(matches!(
+            planner().plan(&world(), &req),
+            Err(ServiceError::NoViablePlan(_))
+        ));
+    }
+
+    #[test]
+    fn response_graph_matches_tree() {
+        let response = planner().plan(&world(), &request()).unwrap();
+        let mut from_graph: Vec<String> = response
+            .graph
+            .end_user_activities()
+            .map(|a| a.service.clone().unwrap())
+            .collect();
+        let mut from_tree: Vec<String> = response
+            .tree
+            .activities()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        from_graph.sort();
+        from_tree.sort();
+        assert_eq!(from_graph, from_tree);
+    }
+}

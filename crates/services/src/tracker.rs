@@ -1,0 +1,267 @@
+//! Enactment → ontology mirroring.
+//!
+//! Fig. 13's instances exist so that "the coordination service \[can\]
+//! automate the execution": the task, its process description, its
+//! activities with `Status` / `Execution Location` / `Retry Count` /
+//! `Dispatched By` slots, and the data items produced.  This module
+//! builds exactly that record from an [`EnactmentReport`] — the populated
+//! ontology an information or storage service would archive after (or
+//! during) a run.
+
+use crate::coordination::EnactmentReport;
+use crate::error::Result;
+use gridflow_ontology::{schema, Instance, KnowledgeBase, Value};
+use gridflow_process::{CaseDescription, ProcessGraph};
+use std::collections::BTreeMap;
+
+/// Build the populated ontology describing one enactment.
+///
+/// * one `Task` instance (`task_id`), with status
+///   `Completed` / `Failed`, its data and result sets, and references to
+///   the process and case descriptions;
+/// * one `ProcessDescription` and one `CaseDescription` instance;
+/// * one `Activity` instance per graph activity, with `Status`
+///   (`Completed` / `Failed` / `Pending`), `Execution Location` (the
+///   container of the last successful run), `Retry Count` (failed
+///   attempts), and `Dispatched By`;
+/// * one `Transition` instance per graph transition;
+/// * one `Data` instance per item of the final data state.
+pub fn track_enactment(
+    task_id: &str,
+    graph: &ProcessGraph,
+    case: &CaseDescription,
+    report: &EnactmentReport,
+    dispatcher: &str,
+) -> Result<KnowledgeBase> {
+    let mut kb = schema::grid_ontology_shell();
+    kb.name = format!("enactment-{task_id}");
+
+    // --- Data items of the final state --------------------------------
+    for (id, item) in report.final_state.iter() {
+        let mut inst = Instance::new(id, schema::classes::DATA).with("Name", Value::str(id));
+        if let Some(classification) = item.classification() {
+            inst.set("Classification", Value::str(classification));
+        }
+        if let Some(value) = item.get("Value") {
+            inst.set("Value", value.clone());
+        }
+        if let Some(size) = item.get("Size") {
+            inst.set("Size", size.clone());
+        }
+        if case.initial_data.contains(id) {
+            inst.set("Creator", Value::str("User"));
+        }
+        kb.add_instance(inst)?;
+    }
+
+    // --- Activities ----------------------------------------------------
+    // Last successful container and failure counts per activity id.
+    let mut location: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut runs: BTreeMap<&str, usize> = BTreeMap::new();
+    for e in &report.executions {
+        location.insert(e.activity.as_str(), e.container.as_str());
+        *runs.entry(e.activity.as_str()).or_insert(0) += 1;
+    }
+    let mut retries: BTreeMap<&str, i64> = BTreeMap::new();
+    for (activity, _) in &report.failed_attempts {
+        *retries.entry(activity.as_str()).or_insert(0) += 1;
+    }
+    for a in graph.activities() {
+        let status = if runs.contains_key(a.id.as_str()) {
+            "Completed"
+        } else if retries.contains_key(a.id.as_str()) {
+            "Failed"
+        } else if a.kind.is_flow_control() {
+            "Flow"
+        } else {
+            "Pending"
+        };
+        let mut inst = Instance::new(a.id.clone(), schema::classes::ACTIVITY)
+            .with("ID", Value::str(a.id.clone()))
+            .with("Name", Value::str(a.id.clone()))
+            .with("Task ID", Value::str(task_id))
+            .with("Type", Value::str(a.kind.ontology_type()))
+            .with("Status", Value::str(status))
+            .with("Retry Count", Value::Int(*retries.get(a.id.as_str()).unwrap_or(&0)));
+        if let Some(service) = &a.service {
+            inst.set("Service Name", Value::str(service.clone()));
+        }
+        if let Some(container) = location.get(a.id.as_str()) {
+            inst.set("Execution Location", Value::str(*container));
+            inst.set("Dispatched By", Value::str(dispatcher));
+        }
+        kb.add_instance(inst)?;
+    }
+
+    // --- Transitions -----------------------------------------------------
+    for t in graph.transitions() {
+        kb.add_instance(
+            Instance::new(t.id.clone(), schema::classes::TRANSITION)
+                .with("ID", Value::str(t.id.clone()))
+                .with("Source Activity", Value::reference(t.source.clone()))
+                .with("Destination Activity", Value::reference(t.dest.clone())),
+        )?;
+    }
+
+    // --- Process / case description / task -------------------------------
+    let pd_id = format!("PD-{task_id}");
+    kb.add_instance(
+        Instance::new(pd_id.clone(), schema::classes::PROCESS_DESCRIPTION)
+            .with("Name", Value::str(graph.name.clone()))
+            .with(
+                "Activity Set",
+                Value::ref_list(graph.activities().iter().map(|a| a.id.clone())),
+            )
+            .with(
+                "Transition Set",
+                Value::ref_list(graph.transitions().iter().map(|t| t.id.clone())),
+            ),
+    )?;
+    let cd_id = format!("CD-{task_id}");
+    kb.add_instance(
+        Instance::new(cd_id.clone(), schema::classes::CASE_DESCRIPTION)
+            .with("Name", Value::str(case.name.clone()))
+            .with(
+                "Initial Data Set",
+                Value::ref_list(case.initial_data.ids().map(str::to_owned)),
+            )
+            .with(
+                "Constraint",
+                Value::str_list(
+                    case.constraints
+                        .iter()
+                        .map(|(name, cond)| format!("{name}: {cond}")),
+                ),
+            ),
+    )?;
+    kb.add_instance(
+        Instance::new(task_id, schema::classes::TASK)
+            .with("ID", Value::str(task_id))
+            .with("Name", Value::str(case.name.clone()))
+            .with(
+                "Status",
+                Value::str(if report.success { "Completed" } else { "Failed" }),
+            )
+            .with(
+                "Data Set",
+                Value::ref_list(case.initial_data.ids().map(str::to_owned)),
+            )
+            .with(
+                "Result Set",
+                Value::ref_list(
+                    case.result_set
+                        .iter()
+                        .filter(|id| report.final_state.contains(id))
+                        .cloned(),
+                ),
+            )
+            .with("Process Description", Value::reference(pd_id))
+            .with("Case Description", Value::reference(cd_id))
+            .with("Need Planning", Value::Bool(report.replans > 0)),
+    )?;
+    Ok(kb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coordination::Enactor;
+    use crate::world::{GridWorld, OutputSpec, ServiceOffering};
+    use gridflow_grid::container::ApplicationContainer;
+    use gridflow_grid::resource::{Resource, ResourceKind};
+    use gridflow_grid::GridTopology;
+    use gridflow_process::{lower::lower, parser::parse_process, Condition, DataItem};
+
+    fn setup() -> (GridWorld, ProcessGraph, CaseDescription) {
+        let resources = vec![
+            Resource::new("r1", ResourceKind::PcCluster).with_software(["step1", "step2"]),
+        ];
+        let containers =
+            vec![ApplicationContainer::new("ac-1", "r1").hosting(["step1", "step2"])];
+        let mut world = GridWorld::new(GridTopology {
+            resources,
+            containers,
+        });
+        world.offer(ServiceOffering::new(
+            "step1",
+            ["Seed"],
+            vec![OutputSpec::plain("Mid")],
+        ));
+        world.offer(ServiceOffering::new(
+            "step2",
+            ["Mid"],
+            vec![OutputSpec::plain("Done")],
+        ));
+        let graph = lower(
+            "two-step",
+            &parse_process("BEGIN step1; step2; END").unwrap(),
+        )
+        .unwrap();
+        let case = CaseDescription::new("two-step-case")
+            .with_data("D1", DataItem::classified("Seed"))
+            .with_goal("G1", Condition::True)
+            .with_constraint("ConsX", Condition::Exists("D1".into()))
+            .with_result("D101");
+        (world, graph, case)
+    }
+
+    #[test]
+    fn successful_enactment_produces_a_valid_record() {
+        let (mut world, graph, case) = setup();
+        let report = Enactor::default().enact(&mut world, &graph, &case);
+        assert!(report.success);
+        let kb = track_enactment("T9", &graph, &case, &report, "coordination-1").unwrap();
+        assert!(kb.validate_all().is_empty());
+        assert!(kb.dangling_refs().is_empty(), "{:?}", kb.dangling_refs());
+
+        let task = kb.instance("T9").unwrap();
+        assert_eq!(task.get_str("Status"), Some("Completed"));
+        assert_eq!(task.get("Need Planning"), Some(&Value::Bool(false)));
+
+        let a = kb.instance("step1").unwrap();
+        assert_eq!(a.get_str("Status"), Some("Completed"));
+        assert_eq!(a.get_str("Execution Location"), Some("ac-1"));
+        assert_eq!(a.get_str("Dispatched By"), Some("coordination-1"));
+        assert_eq!(a.get_int("Retry Count"), Some(0));
+
+        // Produced data appear with their classifications.
+        assert!(kb
+            .instances_of(schema::classes::DATA)
+            .any(|d| d.get_str("Classification") == Some("Done")));
+    }
+
+    #[test]
+    fn failed_enactment_records_failure_status_and_retries() {
+        let (mut world, graph, case) = setup();
+        world.set_container_up("ac-1", false).unwrap();
+        let report = Enactor::default().enact(&mut world, &graph, &case);
+        assert!(!report.success);
+        let kb = track_enactment("T10", &graph, &case, &report, "coordination-1").unwrap();
+        let task = kb.instance("T10").unwrap();
+        assert_eq!(task.get_str("Status"), Some("Failed"));
+        // step1 never ran (matchmaking found nothing), step2 pending.
+        let s1 = kb.instance("step1").unwrap();
+        assert_eq!(s1.get_str("Status"), Some("Pending"));
+        let s2 = kb.instance("step2").unwrap();
+        assert_eq!(s2.get_str("Status"), Some("Pending"));
+    }
+
+    #[test]
+    fn flow_control_activities_get_flow_status() {
+        let (mut world, graph, case) = setup();
+        let report = Enactor::default().enact(&mut world, &graph, &case);
+        let kb = track_enactment("T11", &graph, &case, &report, "c").unwrap();
+        let begin = kb.instance("BEGIN").unwrap();
+        assert_eq!(begin.get_str("Status"), Some("Flow"));
+    }
+
+    #[test]
+    fn result_set_lists_only_materialized_results() {
+        let (mut world, graph, case) = setup();
+        let report = Enactor::default().enact(&mut world, &graph, &case);
+        let kb = track_enactment("T12", &graph, &case, &report, "c").unwrap();
+        let task = kb.instance("T12").unwrap();
+        // The case asked for D101 as a result; it was produced.
+        assert_eq!(task.get_ref_list("Result Set"), vec!["D101"]);
+    }
+}

@@ -1,0 +1,500 @@
+//! The shared grid world: topology, market, service catalog, execution
+//! history, failure model, and a virtual clock.
+//!
+//! All core services observe (and some mutate) this state — the
+//! monitoring service probes container status, the brokerage service
+//! reads the (possibly stale) catalog and performance history, the
+//! coordination service executes activities against it, the matchmaking
+//! service ranks candidate resources from it.
+
+use crate::error::{Result, ServiceError};
+use gridflow_grid::failure::FailureModel;
+use gridflow_grid::workload::{estimate, TaskDemand};
+use gridflow_grid::{GridError, GridTopology, SpotMarket};
+use gridflow_planner::{ActivitySpec, GoalSpec, PlanningProblem};
+use gridflow_process::{DataItem, DataState};
+use gridflow_ontology::Value;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One output a service execution produces.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutputSpec {
+    /// Classification of the produced data item.
+    pub classification: String,
+    /// Fixed data id to (re)write (e.g. the case study's resolution file
+    /// `D10`); `None` produces a fresh `D<n>` id per execution.
+    pub data_id: Option<String>,
+    /// If set, the item carries a numeric `Value` property starting here…
+    pub value_start: Option<f64>,
+    /// …and each further execution *refines the existing item*: its
+    /// `Value` decreases by this step (iterative refinement — resolution
+    /// improves pass by pass).  The step is applied to the value found in
+    /// the data state, so refinement survives checkpoints and re-plans.
+    pub value_step: f64,
+}
+
+impl OutputSpec {
+    /// A plain output: fresh data item of the given classification.
+    pub fn plain(classification: impl Into<String>) -> Self {
+        OutputSpec {
+            classification: classification.into(),
+            data_id: None,
+            value_start: None,
+            value_step: 0.0,
+        }
+    }
+
+    /// A refinement output: a fixed data item whose `Value` starts at
+    /// `start` and decreases by `step` per execution.
+    pub fn refining(
+        classification: impl Into<String>,
+        data_id: impl Into<String>,
+        start: f64,
+        step: f64,
+    ) -> Self {
+        OutputSpec {
+            classification: classification.into(),
+            data_id: Some(data_id.into()),
+            value_start: Some(start),
+            value_step: step,
+        }
+    }
+}
+
+/// One end-user computing service offered on the grid (the `Service`
+/// ontology class: input/output conditions plus a computational profile).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceOffering {
+    /// Service name (e.g. `P3DR`).
+    pub name: String,
+    /// Required input classifications (multiset, like C1–C8 of Fig. 13).
+    pub inputs: Vec<String>,
+    /// Outputs produced per execution.
+    pub outputs: Vec<OutputSpec>,
+    /// Computational profile for the cost model.
+    pub demand: TaskDemand,
+}
+
+impl ServiceOffering {
+    /// A new offering with a coarse-grain default demand.
+    pub fn new<I, S>(name: impl Into<String>, inputs: I, outputs: Vec<OutputSpec>) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let name = name.into();
+        ServiceOffering {
+            demand: TaskDemand::coarse(name.clone(), 100.0, 10.0),
+            name,
+            inputs: inputs.into_iter().map(Into::into).collect(),
+            outputs,
+        }
+    }
+
+    /// Override the computational profile (builder style).
+    pub fn with_demand(mut self, demand: TaskDemand) -> Self {
+        self.demand = demand;
+        self
+    }
+
+    /// The planner-facing view of this offering.
+    pub fn activity_spec(&self) -> ActivitySpec {
+        ActivitySpec::new(
+            self.name.clone(),
+            self.inputs.clone(),
+            self.outputs
+                .iter()
+                .map(|o| o.classification.clone())
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+/// One historical execution (the brokerage service's "past performance
+/// data bases").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionRecord {
+    /// Service executed.
+    pub service: String,
+    /// Container it ran on.
+    pub container: String,
+    /// Resource backing the container.
+    pub resource: String,
+    /// Wall-clock duration in seconds (virtual).
+    pub duration_s: f64,
+    /// Market cost.
+    pub cost: f64,
+    /// Did it complete?
+    pub success: bool,
+    /// Virtual completion time (seconds since world start).
+    pub at_s: f64,
+}
+
+/// The shared world.
+#[derive(Debug)]
+pub struct GridWorld {
+    /// Sites and containers.
+    pub topology: GridTopology,
+    /// The spot market over the topology's resources.
+    pub market: SpotMarket,
+    /// The end-user service catalog.
+    pub offerings: BTreeMap<String, ServiceOffering>,
+    /// Stochastic failure model.
+    pub failure: FailureModel,
+    /// Execution history.
+    pub history: Vec<ExecutionRecord>,
+    /// Virtual clock in seconds.
+    pub clock_s: f64,
+    /// When a stochastic failure strikes, does the container stay down
+    /// (until recovered) or was it transient?
+    pub failures_are_persistent: bool,
+    data_counter: usize,
+}
+
+impl GridWorld {
+    /// Build a world over a topology with no offerings and no failures.
+    pub fn new(topology: GridTopology) -> Self {
+        let market = SpotMarket::new(topology.resources.iter().cloned());
+        GridWorld {
+            topology,
+            market,
+            offerings: BTreeMap::new(),
+            failure: FailureModel::none(),
+            history: Vec::new(),
+            clock_s: 0.0,
+            failures_are_persistent: true,
+            data_counter: 100,
+        }
+    }
+
+    /// Register a service offering.
+    pub fn offer(&mut self, offering: ServiceOffering) {
+        self.offerings.insert(offering.name.clone(), offering);
+    }
+
+    /// Look up an offering.
+    pub fn offering(&self, name: &str) -> Result<&ServiceOffering> {
+        self.offerings
+            .get(name)
+            .ok_or_else(|| ServiceError::UnknownOffering(name.to_owned()))
+    }
+
+    /// Ids of containers currently able to execute `service`.
+    pub fn executable_containers(&self, service: &str) -> Vec<String> {
+        self.topology
+            .containers
+            .iter()
+            .filter(|c| c.can_execute(service))
+            .map(|c| c.id.clone())
+            .collect()
+    }
+
+    /// Ids of all containers hosting `service`, up or down.
+    pub fn hosting_containers(&self, service: &str) -> Vec<String> {
+        self.topology
+            .containers_hosting(service)
+            .map(|c| c.id.clone())
+            .collect()
+    }
+
+    /// Take a container down / bring it back.
+    pub fn set_container_up(&mut self, container: &str, up: bool) -> Result<()> {
+        let c = self
+            .topology
+            .containers
+            .iter_mut()
+            .find(|c| c.id == container)
+            .ok_or_else(|| ServiceError::Grid(GridError::UnknownContainer(container.into())))?;
+        if up {
+            c.recover();
+        } else {
+            c.fail();
+        }
+        Ok(())
+    }
+
+    /// Execute `service` on `container`, advancing the virtual clock and
+    /// recording history.  On a stochastic failure the record is marked
+    /// unsuccessful and (if `failures_are_persistent`) the container goes
+    /// down.
+    pub fn execute_service(&mut self, service: &str, container_id: &str) -> Result<ExecutionRecord> {
+        let offering = self
+            .offerings
+            .get(service)
+            .ok_or_else(|| ServiceError::UnknownOffering(service.to_owned()))?
+            .clone();
+        let container = self
+            .topology
+            .containers
+            .iter_mut()
+            .find(|c| c.id == container_id)
+            .ok_or_else(|| {
+                ServiceError::Grid(GridError::UnknownContainer(container_id.to_owned()))
+            })?;
+        if !container.up {
+            return Err(ServiceError::Grid(GridError::ContainerDown(
+                container_id.to_owned(),
+            )));
+        }
+        if !container.hosts(service) {
+            return Err(ServiceError::Grid(GridError::ServiceNotHosted {
+                container: container_id.to_owned(),
+                service: service.to_owned(),
+            }));
+        }
+        let resource = self
+            .topology
+            .resources
+            .iter()
+            .find(|r| r.id == container.resource_id)
+            .cloned()
+            .ok_or_else(|| {
+                ServiceError::Grid(GridError::UnknownResource(container.resource_id.clone()))
+            })?;
+        let est = estimate(&offering.demand, &resource);
+        let failed = self.failure.execution_fails(resource.reliability);
+        if failed {
+            container.failed += 1;
+            if self.failures_are_persistent {
+                container.fail();
+            }
+        } else {
+            container.completed += 1;
+        }
+        self.clock_s += est.duration_s;
+        let record = ExecutionRecord {
+            service: service.to_owned(),
+            container: container_id.to_owned(),
+            resource: resource.id.clone(),
+            duration_s: est.duration_s,
+            cost: est.cost,
+            success: !failed,
+            at_s: self.clock_s,
+        };
+        self.history.push(record.clone());
+        if failed {
+            return Err(ServiceError::Grid(GridError::ContainerDown(
+                container_id.to_owned(),
+            )));
+        }
+        Ok(record)
+    }
+
+    /// Apply the outputs of a successful `service` execution to a data
+    /// state, returning the produced classifications.
+    pub fn apply_outputs(&mut self, service: &str, state: &mut DataState) -> Result<Vec<String>> {
+        let offering = self
+            .offerings
+            .get(service)
+            .ok_or_else(|| ServiceError::UnknownOffering(service.to_owned()))?
+            .clone();
+        let mut produced = Vec::new();
+        for output in &offering.outputs {
+            let id = match &output.data_id {
+                Some(fixed) => fixed.clone(),
+                None => loop {
+                    // Skip ids the state already holds: after a checkpoint
+                    // resume, a fresh world's counter restarts while the
+                    // restored state carries earlier fresh ids.
+                    self.data_counter += 1;
+                    let candidate = format!("D{}", self.data_counter);
+                    if !state.contains(&candidate) {
+                        break candidate;
+                    }
+                },
+            };
+            let mut item = DataItem::classified(output.classification.clone());
+            if let Some(start) = output.value_start {
+                // Refinement is a function of the data state (not world
+                // history): a fresh item starts at `start`; an existing
+                // one improves by `value_step`.
+                let next = match state.property(&id, "Value").and_then(Value::as_float) {
+                    Some(current) => current - output.value_step,
+                    None => start,
+                };
+                item.set("Value", Value::Float(next));
+            }
+            state.insert(id, item);
+            produced.push(output.classification.clone());
+        }
+        Ok(produced)
+    }
+
+    /// The planning problem `P = {S_init, G, T}` this world induces for a
+    /// given initial data set and goal list (`T` = the offering catalog).
+    pub fn planning_problem(
+        &self,
+        initial: Vec<String>,
+        goals: Vec<GoalSpec>,
+    ) -> PlanningProblem {
+        PlanningProblem {
+            initial,
+            goals,
+            activities: self.offerings.values().map(|o| o.activity_spec()).collect(),
+        }
+    }
+
+    /// Average historical duration of `service` executions (successful
+    /// only), if any history exists.
+    pub fn mean_service_duration(&self, service: &str) -> Option<f64> {
+        let durations: Vec<f64> = self
+            .history
+            .iter()
+            .filter(|r| r.service == service && r.success)
+            .map(|r| r.duration_s)
+            .collect();
+        if durations.is_empty() {
+            None
+        } else {
+            Some(durations.iter().sum::<f64>() / durations.len() as f64)
+        }
+    }
+}
+
+/// Thread-safe handle used by agent wrappers.
+pub type SharedWorld = Arc<RwLock<GridWorld>>;
+
+/// Wrap a world for concurrent use.
+pub fn share(world: GridWorld) -> SharedWorld {
+    Arc::new(RwLock::new(world))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service_names() -> Vec<String> {
+        vec!["POD".into(), "P3DR".into()]
+    }
+
+    fn world() -> GridWorld {
+        let topo = GridTopology::generate(6, &service_names(), 42);
+        let mut w = GridWorld::new(topo);
+        w.offer(ServiceOffering::new(
+            "POD",
+            ["POD-Parameter", "2D Image"],
+            vec![OutputSpec::plain("Orientation File")],
+        ));
+        w.offer(ServiceOffering::new(
+            "P3DR",
+            ["P3DR-Parameter", "2D Image", "Orientation File"],
+            vec![OutputSpec::plain("3D Model")],
+        ));
+        w
+    }
+
+    #[test]
+    fn offerings_register_and_resolve() {
+        let w = world();
+        assert!(w.offering("POD").is_ok());
+        assert!(matches!(
+            w.offering("PSF"),
+            Err(ServiceError::UnknownOffering(_))
+        ));
+    }
+
+    #[test]
+    fn executable_containers_reflect_hosting_and_status() {
+        let mut w = world();
+        let all = w.executable_containers("POD");
+        assert!(!all.is_empty());
+        let first = all[0].clone();
+        w.set_container_up(&first, false).unwrap();
+        let now = w.executable_containers("POD");
+        assert_eq!(now.len(), all.len() - 1);
+        assert_eq!(w.hosting_containers("POD").len(), all.len());
+        w.set_container_up(&first, true).unwrap();
+        assert_eq!(w.executable_containers("POD").len(), all.len());
+    }
+
+    #[test]
+    fn execute_service_advances_clock_and_history() {
+        let mut w = world();
+        let container = w.executable_containers("POD")[0].clone();
+        let record = w.execute_service("POD", &container).unwrap();
+        assert!(record.success);
+        assert!(record.duration_s > 0.0);
+        assert_eq!(w.history.len(), 1);
+        assert!((w.clock_s - record.duration_s).abs() < 1e-12);
+        assert_eq!(w.mean_service_duration("POD"), Some(record.duration_s));
+        assert_eq!(w.mean_service_duration("P3DR"), None);
+    }
+
+    #[test]
+    fn execute_on_down_container_fails() {
+        let mut w = world();
+        let container = w.executable_containers("POD")[0].clone();
+        w.set_container_up(&container, false).unwrap();
+        let err = w.execute_service("POD", &container).unwrap_err();
+        assert!(matches!(
+            err,
+            ServiceError::Grid(GridError::ContainerDown(_))
+        ));
+    }
+
+    #[test]
+    fn stochastic_failure_records_and_downs_container() {
+        let mut w = world();
+        w.failure = FailureModel::new(1, 1.0); // always fails
+        let container = w.executable_containers("POD")[0].clone();
+        let err = w.execute_service("POD", &container).unwrap_err();
+        assert!(matches!(err, ServiceError::Grid(_)));
+        assert_eq!(w.history.len(), 1);
+        assert!(!w.history[0].success);
+        assert!(!w.topology.container(&container).unwrap().up);
+    }
+
+    #[test]
+    fn transient_failures_leave_container_up() {
+        let mut w = world();
+        w.failure = FailureModel::new(1, 1.0);
+        w.failures_are_persistent = false;
+        let container = w.executable_containers("POD")[0].clone();
+        let _ = w.execute_service("POD", &container);
+        assert!(w.topology.container(&container).unwrap().up);
+    }
+
+    #[test]
+    fn apply_outputs_creates_fresh_and_fixed_items() {
+        let mut w = world();
+        w.offer(ServiceOffering::new(
+            "PSF",
+            ["3D Model"],
+            vec![OutputSpec::refining("Resolution File", "D10", 12.0, 3.0)],
+        ));
+        let mut state = DataState::new();
+        w.apply_outputs("POD", &mut state).unwrap();
+        assert_eq!(state.len(), 1);
+        let id = state.ids().next().unwrap().to_owned();
+        assert!(id.starts_with('D'));
+
+        // Refining output: fixed id, Value decreasing per execution.
+        w.apply_outputs("PSF", &mut state).unwrap();
+        assert_eq!(
+            state.property("D10", "Value"),
+            Some(&Value::Float(12.0))
+        );
+        w.apply_outputs("PSF", &mut state).unwrap();
+        assert_eq!(state.property("D10", "Value"), Some(&Value::Float(9.0)));
+        w.apply_outputs("PSF", &mut state).unwrap();
+        assert_eq!(state.property("D10", "Value"), Some(&Value::Float(6.0)));
+    }
+
+    #[test]
+    fn planning_problem_reflects_catalog() {
+        let w = world();
+        let p = w.planning_problem(
+            vec!["POD-Parameter".into(), "2D Image".into()],
+            vec![GoalSpec {
+                classification: "3D Model".into(),
+                min_count: 1,
+            }],
+        );
+        assert_eq!(p.activities.len(), 2);
+        assert!(p.activity("POD").is_some());
+        assert_eq!(p.initial.len(), 2);
+    }
+}

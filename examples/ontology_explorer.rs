@@ -1,0 +1,98 @@
+//! Exploring the metainformation layer: ontology shells, instance
+//! population, validation, queries, and persistence — the Fig. 12/13
+//! machinery the paper calls "the most difficult problem we encountered".
+//!
+//! ```sh
+//! cargo run --example ontology_explorer
+//! ```
+
+use gridflow::casestudy;
+use gridflow::prelude::*;
+use gridflow_ontology::schema;
+use gridflow_services::ontology_service::OntologyService;
+
+fn main() {
+    // --- The shell of Fig. 12 -----------------------------------------
+    let shell = schema::grid_ontology_shell();
+    println!("== Figure 12: the grid ontology shell ==");
+    for class in shell.classes() {
+        let slots = shell.effective_slots(&class.name).unwrap();
+        println!("  {:<20} {} slots", class.name, slots.len());
+    }
+
+    // --- The populated ontology of Fig. 13 -----------------------------
+    let kb = casestudy::ontology_instances();
+    println!("\n== Figure 13: populated for the 3DSD task ==");
+    for class in ["Task", "ProcessDescription", "CaseDescription", "Activity", "Transition", "Data", "Service"] {
+        println!("  {:<20} {} instance(s)", class, kb.instances_of(class).count());
+    }
+
+    // --- Queries, as the matchmaking/information services issue them ---
+    println!("\n== Queries ==");
+    let models = Query::cond(SlotCond::Eq(
+        "Classification".into(),
+        Value::str("3D Model"),
+    ))
+    .run(&kb, Some("Data"));
+    println!(
+        "  data classified `3D Model`: {:?}",
+        models.iter().map(|i| i.id.as_str()).collect::<Vec<_>>()
+    );
+    let end_user_activities = Query::cond(SlotCond::Eq("Type".into(), Value::str("End-user")))
+        .run(&kb, Some("Activity"));
+    println!(
+        "  end-user activities: {:?}",
+        end_user_activities
+            .iter()
+            .map(|i| i.get_str("Name").unwrap())
+            .collect::<Vec<_>>()
+    );
+    let big = Query::cond(SlotCond::Gt("Size".into(), Value::Int(1_000_000)))
+        .run(&kb, Some("Data"));
+    println!(
+        "  data larger than 1 MB: {:?}",
+        big.iter().map(|i| i.id.as_str()).collect::<Vec<_>>()
+    );
+
+    // --- Validation guards the metadata --------------------------------
+    println!("\n== Validation ==");
+    let mut corrupt = kb.clone();
+    corrupt
+        .instance_mut("D7")
+        .unwrap()
+        .set("Size", Value::Int(-1));
+    let errors = corrupt.validate_all();
+    println!("  after corrupting D7.Size: {} error(s)", errors.len());
+    println!("    {}", errors[0]);
+
+    // --- The ontology service: shells, user KBs, merging ---------------
+    println!("\n== Ontology service ==");
+    let mut service = OntologyService::with_grid_core();
+    service.publish(kb.clone());
+    let mut user_kb = service.get_shell("3DSD").unwrap();
+    user_kb.name = "user-hyu".into();
+    user_kb
+        .add_instance(
+            Instance::new("D13", "Data")
+                .with("Name", Value::str("atomic model"))
+                .with("Classification", Value::str("Atomic Model")),
+        )
+        .unwrap();
+    service.publish(user_kb.clone());
+    println!("  published ontologies: {:?}", service.names());
+    service.merge_into("3DSD", &user_kb).unwrap();
+    println!(
+        "  after merging user KB into 3DSD: {} instances",
+        service.get("3DSD").unwrap().instance_count()
+    );
+
+    // --- Persistence -----------------------------------------------------
+    let json = kb.to_json().unwrap();
+    let restored = KnowledgeBase::from_json(&json).unwrap();
+    println!(
+        "\nJSON round trip: {} bytes, equal = {}",
+        json.len(),
+        restored == kb
+    );
+    assert_eq!(restored, kb);
+}

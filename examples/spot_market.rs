@@ -1,0 +1,97 @@
+//! The spot market and matchmaking conditions of §1–2: hot-spot
+//! contention pricing, brokerage equivalence classes, prohibitive
+//! reservations, and condition-driven resource matching (fine-grain
+//! interconnects, domains, deadlines, budgets).
+//!
+//! ```sh
+//! cargo run --example spot_market
+//! ```
+
+use gridflow::prelude::*;
+use gridflow::casestudy;
+use gridflow_grid::market::ReservationPolicy;
+
+fn main() {
+    let world = casestudy::virtual_lab_world(6, 99);
+
+    // --- Brokerage equivalence classes --------------------------------
+    println!("== Brokerage equivalence classes ==");
+    let mut market = gridflow_grid::SpotMarket::new(world.topology.resources.iter().cloned());
+    for (class, offers) in market.equivalence_classes() {
+        println!(
+            "  {:<44} {} resource(s)",
+            class,
+            offers.len()
+        );
+    }
+
+    // --- Hot-spot contention ------------------------------------------
+    println!("\n== Hot-spot contention on the cheapest cluster ==");
+    let (first_choice, base_price) = market
+        .acquire(8, f64::INFINITY, |_| true)
+        .expect("capacity available");
+    println!("  first acquisition: {first_choice} at {base_price:.2}");
+    let mut last = (first_choice.clone(), base_price);
+    for round in 1..=4 {
+        match market.acquire(8, f64::INFINITY, |_| true) {
+            Ok((id, price)) => {
+                println!("  round {round}: {id} at {price:.2}");
+                last = (id, price);
+            }
+            Err(e) => {
+                println!("  round {round}: {e}");
+                break;
+            }
+        }
+    }
+    if last.0 == first_choice {
+        assert!(last.1 >= base_price, "contention must not lower prices");
+    }
+
+    // --- Prohibitive reservations --------------------------------------
+    println!("\n== Advance reservations (§1's pessimism) ==");
+    let spot = market.offer(&first_choice).unwrap().spot_price();
+    let quote = market.reservation_quote(&first_choice, 8).unwrap();
+    println!("  spot {spot:.2}/cpu-h vs reservation quote {quote:.2} (5× premium)");
+    market.reservation_policy = ReservationPolicy::Unsupported;
+    println!(
+        "  with reservations unsupported: {:?}",
+        market.reservation_quote(&first_choice, 8).unwrap_err().to_string()
+    );
+
+    // --- Condition-driven matchmaking ----------------------------------
+    println!("\n== Matchmaking for the fine-grain reconstruction code ==");
+    let unconstrained = matchmake(&world, &MatchRequest::for_service("P3DR")).unwrap();
+    println!("  unconstrained: {} candidates", unconstrained.len());
+    for m in unconstrained.iter().take(3) {
+        println!(
+            "    {:<24} {:>8.1}s  cost {:>7.2}  reliability {:.3}",
+            m.container, m.duration_s, m.cost, m.reliability
+        );
+    }
+    let strict = MatchRequest {
+        require_fine_grain: true,
+        min_reliability: 0.98,
+        ..MatchRequest::for_service("P3DR")
+    };
+    match matchmake(&world, &strict) {
+        Ok(matches) => {
+            println!(
+                "  fine-grain + reliability ≥ 0.98: {} candidate(s), best = {}",
+                matches.len(),
+                matches[0].container
+            );
+        }
+        Err(e) => println!("  fine-grain + reliability ≥ 0.98: {e}"),
+    }
+    let deadline = MatchRequest {
+        deadline_s: Some(unconstrained[0].duration_s * 1.05),
+        ..MatchRequest::for_service("P3DR")
+    };
+    let tight = matchmake(&world, &deadline).unwrap();
+    println!(
+        "  soft deadline at 1.05× the best duration: {} candidate(s)",
+        tight.len()
+    );
+    assert!(tight.len() <= unconstrained.len());
+}

@@ -1,0 +1,189 @@
+//! Cross-crate property tests: invariants that only hold when the
+//! representations (tree / AST / text / graph), the enactment machine,
+//! and the planner agree with each other.
+
+use gridflow::prelude::*;
+use gridflow_grid::container::ApplicationContainer;
+use gridflow_grid::resource::{Resource, ResourceKind};
+use gridflow_grid::GridTopology;
+use proptest::prelude::*;
+
+fn activity_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("alpha".to_owned()),
+        Just("beta".to_owned()),
+        Just("gamma".to_owned()),
+        Just("delta".to_owned()),
+    ]
+}
+
+/// Loop-free plan trees over a fixed 4-service vocabulary.
+fn loop_free_tree() -> impl Strategy<Value = PlanNode> {
+    let leaf = activity_name().prop_map(PlanNode::Terminal);
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(PlanNode::Sequential),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(PlanNode::Concurrent),
+            prop::collection::vec(inner, 2..4)
+                .prop_map(PlanNode::selective_unguarded),
+        ]
+    })
+}
+
+/// A world where every generated service is hosted and has no inputs, so
+/// every enactment step is executable.
+fn permissive_world() -> GridWorld {
+    let names = ["alpha", "beta", "gamma", "delta"];
+    let resources: Vec<Resource> = names
+        .iter()
+        .map(|n| {
+            Resource::new(format!("r-{n}"), ResourceKind::PcCluster)
+                .with_nodes(8)
+                .with_software([n.to_string()])
+        })
+        .collect();
+    let containers: Vec<ApplicationContainer> = names
+        .iter()
+        .map(|n| {
+            ApplicationContainer::new(format!("ac-{n}"), format!("r-{n}"))
+                .hosting([n.to_string()])
+        })
+        .collect();
+    let mut world = GridWorld::new(GridTopology {
+        resources,
+        containers,
+    });
+    for n in names {
+        world.offer(ServiceOffering::new(
+            n,
+            Vec::<String>::new(),
+            vec![OutputSpec::plain(format!("{n}-out"))],
+        ));
+    }
+    world
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any loop-free tree, lowered to a graph, enacts to completion on a
+    /// permissive world, and the number of executions never exceeds the
+    /// tree's terminals (selective branches execute once).
+    #[test]
+    fn random_plans_enact_to_completion(tree in loop_free_tree()) {
+        let graph = tree_to_graph("prop", &tree).unwrap();
+        let mut world = permissive_world();
+        let case = CaseDescription::new("prop")
+            .with_data("D1", DataItem::classified("seed"));
+        let report = Enactor::default().enact(&mut world, &graph, &case);
+        prop_assert!(report.success, "abort: {:?}", report.abort_reason);
+        prop_assert!(report.executions.len() <= tree.activities().len());
+        prop_assert!(report.failed_attempts.is_empty());
+        // World accounting matches the report.
+        let total: f64 = world.history.iter().map(|r| r.duration_s).sum();
+        prop_assert!((total - report.total_duration_s).abs() < 1e-6);
+    }
+
+    /// Text → AST → tree → graph → tree → AST → text is a fixed point
+    /// after one round (canonical form), for arbitrary loop-free trees.
+    #[test]
+    fn representation_pipeline_reaches_a_fixed_point(tree in loop_free_tree()) {
+        let text1 = printer::print(&tree_to_ast(&tree));
+        let ast1 = parse_process(&text1).unwrap();
+        let tree1 = ast_to_tree(&ast1);
+        let graph = tree_to_graph("prop", &tree1).unwrap();
+        let tree2 = graph_to_tree(&graph).unwrap();
+        prop_assert_eq!(&tree1, &tree2);
+        let text2 = printer::print(&tree_to_ast(&tree2));
+        prop_assert_eq!(text1, text2);
+    }
+
+    /// The simulation service's parallel makespan never exceeds the
+    /// serial enactor's total duration, and both execute the same count
+    /// on a deterministic (selective-free) tree.
+    #[test]
+    fn prediction_lower_bounds_serial_enactment(
+        branches in prop::collection::vec(
+            prop::collection::vec(activity_name().prop_map(PlanNode::Terminal), 1..3),
+            2..4
+        )
+    ) {
+        let tree = PlanNode::Sequential(vec![PlanNode::Concurrent(
+            branches.into_iter().map(PlanNode::Sequential).collect(),
+        )]);
+        let graph = tree_to_graph("prop", &tree).unwrap();
+        let world = permissive_world();
+        let case = CaseDescription::new("prop").with_data("D1", DataItem::classified("x"));
+        let prediction =
+            gridflow_services::simulation::predict(&world, &graph, &case, 10_000).unwrap();
+        let mut world2 = permissive_world();
+        let report = Enactor::default().enact(&mut world2, &graph, &case);
+        prop_assert!(report.success);
+        prop_assert_eq!(prediction.executions, report.executions.len());
+        prop_assert!(prediction.makespan_s <= report.total_duration_s + 1e-9);
+    }
+
+    /// Fitness evaluation agrees between a tree and its canonical form on
+    /// validity and goal components (size may legitimately differ).
+    #[test]
+    fn canonicalization_preserves_semantic_fitness(tree in loop_free_tree()) {
+        let problem = PlanningProblem::builder()
+            .initial(["seed"])
+            .goal("alpha-out", 1)
+            .activity(ActivitySpec::new("alpha", Vec::<String>::new(), ["alpha-out"]))
+            .activity(ActivitySpec::new("beta", Vec::<String>::new(), ["beta-out"]))
+            .activity(ActivitySpec::new("gamma", Vec::<String>::new(), ["gamma-out"]))
+            .activity(ActivitySpec::new("delta", Vec::<String>::new(), ["delta-out"]))
+            .build();
+        let canon = gridflow_plan::canonicalize(&tree);
+        let f1 = gridflow_planner::evaluate(&tree, &problem, 100, FitnessWeights::default(), 64);
+        let f2 = gridflow_planner::evaluate(&canon, &problem, 100, FitnessWeights::default(), 64);
+        prop_assert_eq!(f1.validity, f2.validity);
+        prop_assert_eq!(f1.goal, f2.goal);
+    }
+
+    /// Ontology round trip: any loop-free graph serialized into ontology
+    /// transition instances reconstructs the same edge set.
+    #[test]
+    fn graph_edges_survive_the_ontology(tree in loop_free_tree()) {
+        use gridflow_ontology::schema;
+        let graph = tree_to_graph("prop", &tree).unwrap();
+        let mut kb = schema::grid_ontology_shell();
+        for a in graph.activities() {
+            kb.add_instance(
+                Instance::new(a.id.clone(), schema::classes::ACTIVITY)
+                    .with("ID", Value::str(a.id.clone()))
+                    .with("Name", Value::str(a.id.clone()))
+                    .with("Type", Value::str(a.kind.ontology_type())),
+            ).unwrap();
+        }
+        for t in graph.transitions() {
+            kb.add_instance(
+                Instance::new(t.id.clone(), schema::classes::TRANSITION)
+                    .with("ID", Value::str(t.id.clone()))
+                    .with("Source Activity", Value::reference(t.source.clone()))
+                    .with("Destination Activity", Value::reference(t.dest.clone())),
+            ).unwrap();
+        }
+        prop_assert!(kb.validate_all().is_empty());
+        prop_assert!(kb.dangling_refs().is_empty());
+        // Reconstruct the edges from the KB and compare.
+        let mut edges_kb: Vec<(String, String)> = kb
+            .instances_of(schema::classes::TRANSITION)
+            .map(|t| {
+                (
+                    t.get_ref("Source Activity").unwrap().to_owned(),
+                    t.get_ref("Destination Activity").unwrap().to_owned(),
+                )
+            })
+            .collect();
+        let mut edges_graph: Vec<(String, String)> = graph
+            .transitions()
+            .iter()
+            .map(|t| (t.source.clone(), t.dest.clone()))
+            .collect();
+        edges_kb.sort();
+        edges_graph.sort();
+        prop_assert_eq!(edges_kb, edges_graph);
+    }
+}

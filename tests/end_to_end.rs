@@ -1,0 +1,158 @@
+//! End-to-end integration: the full §4/§5 pipeline — ontology, planning,
+//! conversion, enactment, prediction — across every crate.
+
+use gridflow::casestudy;
+use gridflow::experiments;
+use gridflow::prelude::*;
+use gridflow_services::simulation::predict;
+
+#[test]
+fn full_case_study_plan_and_enact() {
+    let mut lab = VirtualLab::new(0, 11);
+    let (plan, report) = lab.solve().expect("solve succeeds");
+    assert!(plan.viable);
+    assert!(report.success, "abort: {:?}", report.abort_reason);
+    // Resolution refined to the target.
+    let resolution = report
+        .final_state
+        .property("D12", "Value")
+        .and_then(|v| v.as_float())
+        .expect("resolution recorded");
+    assert!(resolution <= casestudy::TARGET_RESOLUTION);
+    // Accounting is self-consistent.
+    let sum: f64 = report.executions.iter().map(|e| e.duration_s).sum();
+    assert!((sum - report.total_duration_s).abs() < 1e-6);
+    assert!(report.total_cost > 0.0);
+}
+
+#[test]
+fn figure_10_enactment_matches_figure_11_simulation_structure() {
+    // Enact the hand-authored Fig. 10 and check it agrees with the
+    // Fig. 11 tree on activity multiplicity per iteration.
+    let mut lab = VirtualLab::new(0, 3);
+    let graph = lab.figure_10();
+    let report = lab.enact(&graph);
+    assert!(report.success, "abort: {:?}", report.abort_reason);
+
+    let iterations = report
+        .executions
+        .iter()
+        .filter(|e| e.service == "PSF")
+        .count();
+    let p3dr_runs = report
+        .executions
+        .iter()
+        .filter(|e| e.service == "P3DR")
+        .count();
+    let por_runs = report
+        .executions
+        .iter()
+        .filter(|e| e.service == "POR")
+        .count();
+    // Fig. 10: P3DR1 once + three P3DRs per loop pass; POR once per pass.
+    assert_eq!(p3dr_runs, 1 + 3 * iterations);
+    assert_eq!(por_runs, iterations);
+}
+
+#[test]
+fn prediction_agrees_with_enactment_on_work_but_exploits_parallelism() {
+    let lab = VirtualLab::new(0, 5);
+    let problem = casestudy::planning_problem();
+    let plan = PlanningService::new(GpConfig { seed: 21, ..GpConfig::default() })
+        .plan(
+            &lab.world,
+            &gridflow_services::planning::PlanRequest {
+                initial: problem.initial.clone(),
+                goals: problem.goals.clone(),
+                produced: vec![],
+                excluded: vec![],
+            },
+        )
+        .expect("plans");
+    assert!(plan.viable);
+    let case = casestudy::case_description();
+    let prediction = predict(&lab.world, &plan.graph, &case, 10_000).expect("predicts");
+    // Selective nodes (if any) execute one branch, so the prediction
+    // executes at most the tree's terminals, at least one.
+    assert!(prediction.executions >= 1);
+    assert!(prediction.executions <= plan.tree.activities().len());
+    assert!(prediction.makespan_s > 0.0);
+    // Enact on a fresh world and compare.
+    let mut world = casestudy::virtual_lab_world(0, 5);
+    let report = Enactor::default().enact(&mut world, &plan.graph, &CaseDescription::new("pred-check").with_data("D1", DataItem::classified("seed")));
+    // The enactor serializes, so its total duration is ≥ the predicted
+    // parallel makespan.
+    assert!(report.total_duration_s + 1e-9 >= prediction.makespan_s);
+}
+
+#[test]
+fn ontology_round_trips_the_whole_case_study() {
+    let kb = casestudy::ontology_instances();
+    let json = kb.to_json().expect("serializes");
+    let back = KnowledgeBase::from_json(&json).expect("deserializes");
+    assert_eq!(kb, back);
+    assert!(back.validate_all().is_empty());
+
+    // The process description stored in the ontology is consistent with
+    // the executable graph: same transition endpoints.
+    let graph = casestudy::process_description();
+    for t in graph.transitions() {
+        let inst = back.instance(&t.id).expect("transition instance");
+        assert!(inst.get_ref("Source Activity").is_some());
+        assert!(inst.get_ref("Destination Activity").is_some());
+    }
+}
+
+#[test]
+fn process_text_graph_tree_round_trip_on_figure_10() {
+    let graph = casestudy::process_description();
+    let ast = recover(&graph).expect("structured");
+    let text = printer::print(&ast);
+    let reparsed = parse_process(&text).expect("parses");
+    assert_eq!(reparsed, ast);
+    let tree = ast_to_tree(&ast);
+    assert_eq!(tree, casestudy::plan_tree());
+    let relowered = tree_to_graph("again", &tree).expect("lowers");
+    assert_eq!(
+        relowered.end_user_activities().count(),
+        graph.end_user_activities().count()
+    );
+}
+
+#[test]
+fn table2_shape_holds_at_reduced_scale() {
+    // The §5 shape: every run solves the problem (f_v = f_g = 1) with
+    // small plans, so the average fitness sits just below 1 by the size
+    // term only.
+    let config = GpConfig {
+        population_size: 120,
+        generations: 20,
+        seed: 400,
+        ..GpConfig::default()
+    };
+    let result = experiments::table2(config, 4);
+    assert!(result.avg_validity >= 0.99, "{result}");
+    assert!(result.avg_goal >= 0.99, "{result}");
+    assert!(result.avg_size <= 15.0, "{result}");
+    let expected = 0.2 * result.avg_validity + 0.5 * result.avg_goal
+        + 0.3 * (1.0 - result.avg_size / 40.0);
+    assert!((result.avg_fitness - expected).abs() < 1e-9, "{result}");
+}
+
+#[test]
+fn storage_archives_process_descriptions() {
+    use gridflow_services::storage::StorageService;
+    let mut storage = StorageService::new();
+    let graph = casestudy::process_description();
+    let v1 = storage.put("pd/3dsd", serde_json::to_value(&graph).unwrap());
+    assert_eq!(v1, 1);
+    // Re-plan produces a new version.
+    let lab = VirtualLab::new(0, 2);
+    let plan = lab.plan().expect("plans");
+    let v2 = storage.put("pd/3dsd", serde_json::to_value(&plan.graph).unwrap());
+    assert_eq!(v2, 2);
+    // The archive preserves the original.
+    let original: ProcessGraph =
+        serde_json::from_value(storage.get_version("pd/3dsd", 1).unwrap().body.clone()).unwrap();
+    assert_eq!(original, graph);
+}

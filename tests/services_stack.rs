@@ -1,0 +1,246 @@
+//! Integration of the agent layer: boot the full Fig. 1 stack over the
+//! virtual laboratory and drive the Fig. 2 / Fig. 3 message flows plus a
+//! complete solve through the coordination agent.
+
+use gridflow::casestudy;
+use gridflow::prelude::*;
+use gridflow_services::agents::GRIDFLOW_ONTOLOGY;
+use gridflow_services::planning::PlanRequest;
+use serde_json::json;
+use std::time::Duration;
+
+fn lab_stack(
+    seed: u64,
+) -> (
+    AgentRuntime,
+    gridflow_services::agents::StackHandles,
+    gridflow_services::world::SharedWorld,
+) {
+    let world = share(casestudy::virtual_lab_world(0, seed));
+    let mut rt = AgentRuntime::new();
+    let gp = GpConfig {
+        seed,
+        ..GpConfig::default()
+    };
+    let stack = boot_stack(
+        &mut rt,
+        world.clone(),
+        PlanningService::new(gp),
+        EnactmentConfig {
+            planning_goals: casestudy::planning_problem().goals,
+            gp,
+            ..EnactmentConfig::default()
+        },
+    )
+    .expect("stack boots");
+    (rt, stack, world)
+}
+
+fn case_request() -> PlanRequest {
+    let problem = casestudy::planning_problem();
+    PlanRequest {
+        initial: problem.initial,
+        goals: problem.goals,
+        produced: vec![],
+        excluded: vec![],
+    }
+}
+
+#[test]
+fn figure_1_stack_registers_all_core_services() {
+    let (mut rt, stack, _world) = lab_stack(1);
+    let reply = stack
+        .client
+        .request(
+            &stack.information,
+            GRIDFLOW_ONTOLOGY,
+            json!({"action": "list"}),
+            Duration::from_secs(10),
+        )
+        .expect("list replies");
+    let services = reply.content["services"].as_array().unwrap();
+    let types: Vec<&str> = services
+        .iter()
+        .filter_map(|s| s["service_type"].as_str())
+        .collect();
+    for expected in ["brokerage", "planning", "coordination"] {
+        assert!(types.contains(&expected), "missing {expected}");
+    }
+    assert!(
+        types.iter().filter(|t| **t == "application-container").count() >= 5,
+        "containers registered"
+    );
+    rt.shutdown();
+}
+
+#[test]
+fn figure_2_flow_plans_the_case_study() {
+    let (mut rt, stack, _world) = lab_stack(2);
+    let reply = stack
+        .client
+        .request(
+            &stack.coordination,
+            GRIDFLOW_ONTOLOGY,
+            json!({"action": "plan_request", "request": case_request()}),
+            Duration::from_secs(120),
+        )
+        .expect("plan arrives");
+    assert_eq!(reply.content["viable"], json!(true));
+    let text = reply.content["process_text"].as_str().unwrap();
+    for service in ["POD", "P3DR", "PSF"] {
+        assert!(text.contains(service), "plan text missing {service}: {text}");
+    }
+    rt.shutdown();
+}
+
+#[test]
+fn figure_3_flow_probes_and_excludes_dead_services() {
+    let (mut rt, stack, world) = lab_stack(3);
+    // POR dies everywhere.
+    {
+        let mut w = world.write();
+        for c in w.hosting_containers("POR") {
+            w.set_container_up(&c, false).unwrap();
+        }
+    }
+    let reply = stack
+        .client
+        .request(
+            &stack.planning,
+            GRIDFLOW_ONTOLOGY,
+            json!({
+                "action": "replan",
+                "request": case_request(),
+                "nonexecutable": ["POR", "PSF"],
+            }),
+            Duration::from_secs(120),
+        )
+        .expect("replan replies");
+    let excluded: Vec<String> =
+        serde_json::from_value(reply.content["excluded"].clone()).unwrap();
+    assert_eq!(excluded, vec!["POR".to_owned()], "only POR is dead");
+    // POR is not needed for the minimal plan, so the re-plan stays viable.
+    assert_eq!(reply.content["viable"], json!(true));
+    let trace: Vec<String> =
+        serde_json::from_value(reply.content["probe_trace"].clone()).unwrap();
+    assert!(trace.iter().any(|l| l.contains("not executable")));
+    assert!(trace.iter().any(|l| l.contains("executable")));
+    rt.shutdown();
+}
+
+#[test]
+fn coordination_agent_solves_end_to_end() {
+    let (mut rt, stack, _world) = lab_stack(4);
+    let case = casestudy::case_description();
+    let reply = stack
+        .client
+        .request(
+            &stack.coordination,
+            GRIDFLOW_ONTOLOGY,
+            json!({"action": "solve", "request": case_request(), "case": case}),
+            Duration::from_secs(180),
+        )
+        .expect("solve replies");
+    let report = &reply.content["report"];
+    // The GP plan (no refinement loop attached at the agent layer) runs
+    // each activity once; PSF writes the initial 12 Å resolution, which
+    // misses the ≤ 8 Å case goal — the agent reports that honestly.
+    assert!(report["executions"].as_array().unwrap().len() >= 4);
+    assert_eq!(reply.content["plan"]["viable"], json!(true));
+    rt.shutdown();
+}
+
+#[test]
+fn disconnected_user_submits_and_fetches_later() {
+    // §2: "Individual users may only be intermittently connected to the
+    // network."  Submit, receive an immediate acknowledgement, come back
+    // for the result, and find the report + ontology record archived.
+    let (mut rt, stack, _world) = lab_stack(6);
+    let graph = casestudy::process_description();
+    let case = casestudy::case_description();
+    let reply = stack
+        .client
+        .request(
+            &stack.coordination,
+            GRIDFLOW_ONTOLOGY,
+            json!({"action": "submit", "graph": graph, "case": case}),
+            Duration::from_secs(10),
+        )
+        .expect("submit acknowledged");
+    assert_eq!(reply.performative, gridflow::prelude::Performative::Agree);
+    let task_id = reply.content["task_id"].as_str().unwrap().to_owned();
+
+    // The user "reconnects": the fetch queues behind the running task and
+    // answers once it completes.
+    let reply = stack
+        .client
+        .request(
+            &stack.coordination,
+            GRIDFLOW_ONTOLOGY,
+            json!({"action": "fetch_result", "task_id": task_id}),
+            Duration::from_secs(120),
+        )
+        .expect("result fetched");
+    assert_eq!(reply.content["report"]["success"], json!(true));
+
+    // The storage agent archived both artifacts.
+    let reply = stack
+        .client
+        .request(
+            &stack.storage,
+            GRIDFLOW_ONTOLOGY,
+            json!({"action": "get", "key": format!("report/{task_id}")}),
+            Duration::from_secs(10),
+        )
+        .expect("report archived");
+    assert_eq!(reply.content["doc"]["body"]["success"], json!(true));
+    let reply = stack
+        .client
+        .request(
+            &stack.storage,
+            GRIDFLOW_ONTOLOGY,
+            json!({"action": "get", "key": format!("ontology/{task_id}")}),
+            Duration::from_secs(10),
+        )
+        .expect("ontology record archived");
+    let kb: gridflow::prelude::KnowledgeBase =
+        serde_json::from_value(reply.content["doc"]["body"].clone()).unwrap();
+    assert!(kb.validate_all().is_empty());
+    assert_eq!(
+        kb.instance(&task_id).unwrap().get_str("Status"),
+        Some("Completed")
+    );
+
+    // Unknown task ids are reported cleanly.
+    assert!(stack
+        .client
+        .request(
+            &stack.coordination,
+            GRIDFLOW_ONTOLOGY,
+            json!({"action": "fetch_result", "task_id": "task-999"}),
+            Duration::from_secs(10),
+        )
+        .is_err());
+    rt.shutdown();
+}
+
+#[test]
+fn enact_action_runs_figure_10_via_the_agent() {
+    let (mut rt, stack, _world) = lab_stack(5);
+    let graph = casestudy::process_description();
+    let case = casestudy::case_description();
+    let reply = stack
+        .client
+        .request(
+            &stack.coordination,
+            GRIDFLOW_ONTOLOGY,
+            json!({"action": "enact", "graph": graph, "case": case}),
+            Duration::from_secs(120),
+        )
+        .expect("enact replies");
+    let report = &reply.content["report"];
+    assert_eq!(report["success"], json!(true), "report: {report}");
+    let executions = report["executions"].as_array().unwrap();
+    assert_eq!(executions.len(), 17, "Fig. 10 with 3 PSF passes");
+    rt.shutdown();
+}
