@@ -8,6 +8,7 @@
 
 use crate::error::{AgentError, Result};
 use crate::message::AclMessage;
+use crate::transport::{Transport, TransportSlot};
 use crossbeam_channel::Sender;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
@@ -46,6 +47,7 @@ impl std::fmt::Debug for AgentInfo {
 #[derive(Debug, Default, Clone)]
 pub struct Directory {
     inner: Arc<RwLock<BTreeMap<String, AgentInfo>>>,
+    transport: TransportSlot,
 }
 
 impl Directory {
@@ -106,8 +108,38 @@ impl Directory {
         self.inner.read().is_empty()
     }
 
-    /// Route a message to its receiver's mailbox.
+    /// Install a [`Transport`] that intercepts every delivered message.
+    /// Replaces any previous transport.  Clones of this directory share
+    /// the installation.
+    pub fn set_transport(&self, transport: Arc<dyn Transport>) {
+        self.transport.set(transport);
+    }
+
+    /// Remove the installed transport; routing becomes direct again.
+    pub fn clear_transport(&self) {
+        self.transport.clear();
+    }
+
+    /// Route a message to its receiver's mailbox, passing it through the
+    /// installed [`Transport`] first (if any).  A transport may expand
+    /// one message into zero (drop — still `Ok`: a lost datagram, not an
+    /// addressing error) or several (duplicates, or the release of
+    /// previously delayed traffic); each surviving message is routed to
+    /// its own receiver.
     pub fn deliver(&self, msg: AclMessage) -> Result<()> {
+        match self.transport.get() {
+            None => self.route(msg),
+            Some(t) => {
+                for out in t.intercept(msg) {
+                    self.route(out)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Direct mailbox routing, bypassing any installed transport.
+    pub fn route(&self, msg: AclMessage) -> Result<()> {
         let info = self.lookup(&msg.receiver)?;
         info.mailbox
             .send(Control::Deliver(msg))
@@ -193,10 +225,88 @@ mod tests {
     fn deliver_to_unknown_fails() {
         let dir = Directory::new();
         let msg = AclMessage::new(Performative::Inform, "src", "ghost", "t", json!(1));
-        assert!(matches!(
-            dir.deliver(msg),
-            Err(AgentError::UnknownAgent(_))
-        ));
+        assert!(matches!(dir.deliver(msg), Err(AgentError::UnknownAgent(_))));
+    }
+
+    /// Drops every message whose content is the number 13, duplicates
+    /// messages whose content is 2, passes everything else through.
+    struct SuperstitiousTransport;
+
+    impl crate::transport::Transport for SuperstitiousTransport {
+        fn intercept(&self, msg: AclMessage) -> Vec<AclMessage> {
+            if msg.content == json!(13) {
+                vec![]
+            } else if msg.content == json!(2) {
+                vec![msg.clone(), msg]
+            } else {
+                vec![msg]
+            }
+        }
+    }
+
+    #[test]
+    fn transport_can_drop_and_duplicate() {
+        let dir = Directory::new();
+        let (a, rx) = info("target", "t");
+        dir.register(a).unwrap();
+        dir.set_transport(Arc::new(SuperstitiousTransport));
+        let send = |n: i64| {
+            dir.deliver(AclMessage::new(
+                Performative::Inform,
+                "src",
+                "target",
+                "t",
+                json!(n),
+            ))
+        };
+        // Dropped message: delivery still reports Ok.
+        send(13).unwrap();
+        assert!(rx.try_recv().is_err(), "dropped message must not arrive");
+        // Duplicated message arrives twice.
+        send(2).unwrap();
+        assert!(matches!(rx.try_recv().unwrap(), Control::Deliver(m) if m.content == json!(2)));
+        assert!(matches!(rx.try_recv().unwrap(), Control::Deliver(m) if m.content == json!(2)));
+        assert!(rx.try_recv().is_err());
+        // Clearing the transport restores direct delivery.
+        dir.clear_transport();
+        send(13).unwrap();
+        assert!(matches!(rx.try_recv().unwrap(), Control::Deliver(m) if m.content == json!(13)));
+    }
+
+    #[test]
+    fn transport_is_shared_across_directory_clones() {
+        let dir = Directory::new();
+        let clone = dir.clone();
+        let (a, rx) = info("target", "t");
+        dir.register(a).unwrap();
+        clone.set_transport(Arc::new(SuperstitiousTransport));
+        // Installed via the clone, observed via the original.
+        dir.deliver(AclMessage::new(
+            Performative::Inform,
+            "src",
+            "target",
+            "t",
+            json!(13),
+        ))
+        .unwrap();
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn route_bypasses_the_transport() {
+        let dir = Directory::new();
+        let (a, rx) = info("target", "t");
+        dir.register(a).unwrap();
+        dir.set_transport(Arc::new(SuperstitiousTransport));
+        dir.route(AclMessage::new(
+            Performative::Inform,
+            "src",
+            "target",
+            "t",
+            json!(13),
+        ))
+        .unwrap();
+        assert!(matches!(rx.try_recv().unwrap(), Control::Deliver(m) if m.content == json!(13)));
     }
 
     #[test]

@@ -26,8 +26,10 @@ pub mod directory;
 pub mod error;
 pub mod message;
 pub mod runtime;
+pub mod transport;
 
 pub use directory::{AgentInfo, Directory};
 pub use error::{AgentError, Result};
 pub use message::{AclMessage, Performative};
 pub use runtime::{Agent, AgentContext, AgentRuntime, RuntimeHandle};
+pub use transport::{Passthrough, Transport};

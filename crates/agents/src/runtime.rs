@@ -176,6 +176,14 @@ impl AgentRuntime {
         &self.directory
     }
 
+    /// Install a [`crate::Transport`] on the shared directory: every
+    /// message any agent sends through this runtime is intercepted.
+    /// Used by fault-injection harnesses; production stacks install
+    /// none.
+    pub fn set_transport(&self, transport: Arc<dyn crate::Transport>) {
+        self.directory.set_transport(transport);
+    }
+
     /// Spawn an agent on its own thread and register it.
     pub fn spawn<A: Agent>(&mut self, mut agent: A) -> Result<()> {
         let name = agent.name();
@@ -328,12 +336,7 @@ impl RuntimeHandle {
     }
 
     /// Wait for the reply correlated to message `id`.
-    pub fn wait_reply(
-        &self,
-        id: u64,
-        receiver: &str,
-        timeout: Duration,
-    ) -> Result<AclMessage> {
+    pub fn wait_reply(&self, id: u64, receiver: &str, timeout: Duration) -> Result<AclMessage> {
         if let Some(msg) = self.pending.lock().remove(&id) {
             return finish_reply(receiver, msg);
         }
@@ -553,7 +556,12 @@ mod tests {
         .unwrap();
         let client = rt.client("test").unwrap();
         let reply = client
-            .request("relay", "t", json!({"via": "relay"}), Duration::from_secs(2))
+            .request(
+                "relay",
+                "t",
+                json!({"via": "relay"}),
+                Duration::from_secs(2),
+            )
             .unwrap();
         assert_eq!(reply.content, json!({"via": "relay"}));
         rt.shutdown();
@@ -600,8 +608,14 @@ mod tests {
     #[test]
     fn stop_agent_removes_one_replica_only() {
         let mut rt = AgentRuntime::new();
-        rt.spawn(EchoAgent { name: "echo-1".into() }).unwrap();
-        rt.spawn(EchoAgent { name: "echo-2".into() }).unwrap();
+        rt.spawn(EchoAgent {
+            name: "echo-1".into(),
+        })
+        .unwrap();
+        rt.spawn(EchoAgent {
+            name: "echo-2".into(),
+        })
+        .unwrap();
         rt.stop_agent("echo-1").unwrap();
         assert_eq!(rt.directory().find_by_type("echo").len(), 1);
         // The survivor still answers.

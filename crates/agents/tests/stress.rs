@@ -2,7 +2,7 @@
 //! interleaving, multi-client contention, and chained synchronous
 //! conversations.
 
-use gridflow_agents::{Agent, AgentContext, AclMessage, AgentRuntime, Performative};
+use gridflow_agents::{AclMessage, Agent, AgentContext, AgentRuntime, Performative};
 use serde_json::json;
 use std::time::Duration;
 
@@ -42,13 +42,11 @@ impl Agent for Gateway {
         if msg.performative != Performative::Request {
             return;
         }
-        let target = msg.content["target"].as_str().unwrap_or("worker-0").to_owned();
-        match ctx.request_and_wait(
-            target,
-            "t",
-            msg.content.clone(),
-            Duration::from_secs(5),
-        ) {
+        let target = msg.content["target"]
+            .as_str()
+            .unwrap_or("worker-0")
+            .to_owned();
+        match ctx.request_and_wait(target, "t", msg.content.clone(), Duration::from_secs(5)) {
             Ok(reply) => {
                 let _ = ctx.reply(&msg, Performative::Inform, reply.content);
             }

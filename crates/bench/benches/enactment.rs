@@ -20,7 +20,9 @@ fn wide_world() -> GridWorld {
         })
         .collect();
     let containers: Vec<ApplicationContainer> = (0..4)
-        .map(|i| ApplicationContainer::new(format!("ac{i}"), format!("r{i}")).hosting(names.clone()))
+        .map(|i| {
+            ApplicationContainer::new(format!("ac{i}"), format!("r{i}")).hosting(names.clone())
+        })
         .collect();
     let mut world = GridWorld::new(GridTopology {
         resources,
@@ -38,7 +40,11 @@ fn wide_world() -> GridWorld {
 
 fn chain_graph(depth: usize) -> ProcessGraph {
     let body: String = (0..depth).map(|i| format!("s{}; ", i % 16)).collect();
-    lower("chain", &parse_process(&format!("BEGIN {body} END")).unwrap()).unwrap()
+    lower(
+        "chain",
+        &parse_process(&format!("BEGIN {body} END")).unwrap(),
+    )
+    .unwrap()
 }
 
 fn fork_graph(width: usize) -> ProcessGraph {
@@ -54,14 +60,18 @@ fn bench_enactment(c: &mut Criterion) {
 
     for depth in [4usize, 16, 64] {
         let graph = chain_graph(depth);
-        group.bench_with_input(BenchmarkId::new("chain_depth", depth), &graph, |b, graph| {
-            b.iter(|| {
-                let mut world = wide_world();
-                let report = Enactor::default().enact(&mut world, graph, &case);
-                assert!(report.success);
-                std::hint::black_box(report.executions.len())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("chain_depth", depth),
+            &graph,
+            |b, graph| {
+                b.iter(|| {
+                    let mut world = wide_world();
+                    let report = Enactor::default().enact(&mut world, graph, &case);
+                    assert!(report.success);
+                    std::hint::black_box(report.executions.len())
+                });
+            },
+        );
     }
     for width in [2usize, 8, 16] {
         let graph = fork_graph(width);

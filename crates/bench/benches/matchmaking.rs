@@ -21,7 +21,9 @@ fn bench_matchmaking(c: &mut Criterion) {
             |b, world| {
                 b.iter(|| {
                     std::hint::black_box(
-                        matchmake(world, &MatchRequest::for_service("P3DR")).unwrap().len(),
+                        matchmake(world, &MatchRequest::for_service("P3DR"))
+                            .unwrap()
+                            .len(),
                     )
                 })
             },
@@ -36,9 +38,7 @@ fn bench_matchmaking(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("all_conditions", sites),
             &world,
-            |b, world| {
-                b.iter(|| std::hint::black_box(matchmake(world, &strict).map(|m| m.len())))
-            },
+            |b, world| b.iter(|| std::hint::black_box(matchmake(world, &strict).map(|m| m.len()))),
         );
     }
     group.finish();
@@ -63,7 +63,8 @@ fn bench_market(c: &mut Criterion) {
     let world = world_of(100);
     c.bench_function("market/acquire_release", |b| {
         b.iter(|| {
-            let mut market = gridflow_grid::SpotMarket::new(world.topology.resources.iter().cloned());
+            let mut market =
+                gridflow_grid::SpotMarket::new(world.topology.resources.iter().cloned());
             let (id, price) = market.acquire(4, f64::INFINITY, |_| true).unwrap();
             market.release(&id, 4).unwrap();
             std::hint::black_box(price)

@@ -31,7 +31,11 @@ fn main() {
                 .iter()
                 .filter(|r| r.fitness.is_perfect())
                 .count();
-            let marker = if (pc, pm) == (0.7, 0.001) { "← Table 1" } else { "" };
+            let marker = if (pc, pm) == (0.7, 0.001) {
+                "← Table 1"
+            } else {
+                ""
+            };
             rows.push(vec![
                 format!("{pc}"),
                 format!("{pm}"),

@@ -50,7 +50,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["population", "solved", "", "avg fitness", "avg f_g", "avg size"],
+            &[
+                "population",
+                "solved",
+                "",
+                "avg fitness",
+                "avg f_g",
+                "avg size"
+            ],
             &rows
         )
     );

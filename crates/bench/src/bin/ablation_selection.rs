@@ -62,7 +62,11 @@ fn main() {
             .iter()
             .filter(|r| r.fitness.is_perfect())
             .count();
-        let marker = if elites == 0 { "← paper (§3.4.6)" } else { "" };
+        let marker = if elites == 0 {
+            "← paper (§3.4.6)"
+        } else {
+            ""
+        };
         rows.push(vec![
             format!("{elites}"),
             format!("{solved}/{runs}"),

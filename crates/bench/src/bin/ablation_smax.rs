@@ -18,16 +18,18 @@ fn main() {
     let runs = 10;
     let points = sweep(
         &problem,
-        [6usize, 8, 10, 15, 20, 40, 80, 120].into_iter().map(|smax| {
-            (
-                format!("{smax}"),
-                GpConfig {
-                    smax,
-                    init_max_size: smax.min(base.init_max_size),
-                    ..base
-                },
-            )
-        }),
+        [6usize, 8, 10, 15, 20, 40, 80, 120]
+            .into_iter()
+            .map(|smax| {
+                (
+                    format!("{smax}"),
+                    GpConfig {
+                        smax,
+                        init_max_size: smax.min(base.init_max_size),
+                        ..base
+                    },
+                )
+            }),
         runs,
     );
 
@@ -53,10 +55,7 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(
-            &["S_max", "solved", "", "avg fitness", "avg size"],
-            &rows
-        )
+        render_table(&["S_max", "solved", "", "avg fitness", "avg size"], &rows)
     );
     println!("expected shape: S_max < 5 cannot hold a valid plan; mid-range");
     println!("values solve consistently; very large caps still solve but");

@@ -47,7 +47,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["(w_v, w_g, w_r)", "mix", "solved", "avg f_v", "avg f_g", "avg size"],
+            &[
+                "(w_v, w_g, w_r)",
+                "mix",
+                "solved",
+                "avg f_v",
+                "avg f_g",
+                "avg size"
+            ],
             &rows
         )
     );

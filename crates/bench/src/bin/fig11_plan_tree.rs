@@ -38,7 +38,10 @@ fn main() {
     print_tree(&derived, 0);
 
     let reference = casestudy::plan_tree();
-    println!("\nmatches the hand-drawn Fig. 11 tree: {}", derived == reference);
+    println!(
+        "\nmatches the hand-drawn Fig. 11 tree: {}",
+        derived == reference
+    );
     println!(
         "size: {} nodes ({} terminals + {} controllers), depth {}",
         derived.size(),

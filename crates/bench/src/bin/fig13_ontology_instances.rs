@@ -18,7 +18,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["ID", "Name", "Owner", "Process Description", "Case Description"],
+            &[
+                "ID",
+                "Name",
+                "Owner",
+                "Process Description",
+                "Case Description"
+            ],
             &[vec![
                 t1.get_str("ID").unwrap().into(),
                 t1.get_str("Name").unwrap().into(),
@@ -33,10 +39,16 @@ fn main() {
     let pd = kb.instance("PD-3DSD").expect("pd");
     println!("ProcessDescription PD-3DSD:");
     println!("  Activity Set:   {:?}", pd.get_ref_list("Activity Set"));
-    println!("  Transition Set: {:?}\n", pd.get_ref_list("Transition Set"));
+    println!(
+        "  Transition Set: {:?}\n",
+        pd.get_ref_list("Transition Set")
+    );
     let cd = kb.instance("CD-3DSD").expect("cd");
     println!("CaseDescription CD-3DSD:");
-    println!("  Initial Data Set: {:?}", cd.get_ref_list("Initial Data Set"));
+    println!(
+        "  Initial Data Set: {:?}",
+        cd.get_ref_list("Initial Data Set")
+    );
     println!("  Goal:             {}", cd.get_str("Goal").unwrap());
     println!("  Result Set:       {:?}\n", cd.get_ref_list("Result Set"));
 
@@ -59,7 +71,15 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["ID", "Name", "Type", "Service", "Inputs", "Outputs", "Constraint"],
+            &[
+                "ID",
+                "Name",
+                "Type",
+                "Service",
+                "Inputs",
+                "Outputs",
+                "Constraint"
+            ],
             &rows
         )
     );
@@ -97,7 +117,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(&["Name", "Creator", "Size", "Classification", "Format"], &rows)
+        render_table(
+            &["Name", "Creator", "Size", "Classification", "Format"],
+            &rows
+        )
     );
 
     // --- Services ---------------------------------------------------------
@@ -113,5 +136,8 @@ fn main() {
     }
     println!("\nconstraint Cons1 (normalized to D12, see casestudy docs):");
     println!("  if ({}) then Merge else End", casestudy::cons1());
-    println!("\ntotal: {} instances, 0 validation errors, 0 dangling references", kb.instance_count());
+    println!(
+        "\ntotal: {} instances, 0 validation errors, 0 dangling references",
+        kb.instance_count()
+    );
 }

@@ -83,7 +83,10 @@ fn main() {
         .collect();
     println!(
         "{}",
-        render_table(&["container", "resource", "end-user services", "status"], &rows)
+        render_table(
+            &["container", "resource", "end-user services", "status"],
+            &rows
+        )
     );
     drop(world);
     rt.shutdown();

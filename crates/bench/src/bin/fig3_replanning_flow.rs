@@ -76,7 +76,13 @@ fn main() {
     let excluded: Vec<String> =
         serde_json::from_value(reply.content["excluded"].clone()).expect("excluded");
     println!("\nexcluded after probing: {excluded:?}");
-    println!("planning-1            → coordination   : 8. a new plan (viable = {})", reply.content["viable"]);
-    println!("\nthe new plan:\n\n{}", reply.content["process_text"].as_str().unwrap());
+    println!(
+        "planning-1            → coordination   : 8. a new plan (viable = {})",
+        reply.content["viable"]
+    );
+    println!(
+        "\nthe new plan:\n\n{}",
+        reply.content["process_text"].as_str().unwrap()
+    );
     rt.shutdown();
 }

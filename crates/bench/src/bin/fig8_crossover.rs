@@ -43,10 +43,7 @@ fn main() {
         PlanNode::selective_unguarded([t("B"), t("C")]),
         t("D"),
     ]);
-    let parent2 = PlanNode::Sequential(vec![
-        PlanNode::Concurrent(vec![t("E"), t("F")]),
-        t("G"),
-    ]);
+    let parent2 = PlanNode::Sequential(vec![PlanNode::Concurrent(vec![t("E"), t("F")]), t("G")]);
     println!("(a) parents:\n\nparent 1 (size {}):", parent1.size());
     print_tree(&parent1, 1);
     println!("\nparent 2 (size {}):", parent2.size());

@@ -65,6 +65,9 @@ fn main() {
     );
     print_tree(&mutated, 1);
     println!("\nthe Selective subtree was replaced by a randomly generated tree,");
-    println!("mirroring the figure; the size cap S_max = 40 was respected: {}", mutated.size() <= 40);
+    println!(
+        "mirroring the figure; the size cap S_max = 40 was respected: {}",
+        mutated.size() <= 40
+    );
     assert!(mutated.is_gp_valid());
 }

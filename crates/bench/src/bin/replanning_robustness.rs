@@ -64,7 +64,10 @@ fn main() {
         let (retry_replan, avg_replans) = run_policy(p, 3, true, trials, 3);
         rows.push(vec![
             format!("{p:.2}"),
-            format!("{no_retry}/{trials} {}", bar(no_retry as f64, trials as f64, 10)),
+            format!(
+                "{no_retry}/{trials} {}",
+                bar(no_retry as f64, trials as f64, 10)
+            ),
             format!("{retry}/{trials} {}", bar(retry as f64, trials as f64, 10)),
             format!(
                 "{retry_replan}/{trials} {} (avg {avg_replans:.1} replans)",

@@ -57,7 +57,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["|T|", "solved", "", "avg fitness", "avg size", "time (8 runs)"],
+            &[
+                "|T|",
+                "solved",
+                "",
+                "avg fitness",
+                "avg size",
+                "time (8 runs)"
+            ],
             &rows
         )
     );

@@ -7,5 +7,7 @@ use gridflow_bench::banner;
 fn main() {
     banner("Table 1: parameter settings");
     print!("{}", experiments::table1());
-    println!("\n(paper values: 200 / 20 / 0.7 / 0.001 / 40 / 0.2 / 0.5 — identical by construction)");
+    println!(
+        "\n(paper values: 200 / 20 / 0.7 / 0.001 / 40 / 0.2 / 0.5 — identical by construction)"
+    );
 }

@@ -65,7 +65,9 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 /// Render a one-line ASCII bar of `value` against `max`, `width` chars.
 pub fn bar(value: f64, max: f64, width: usize) -> String {
     let filled = if max > 0.0 {
-        ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize
+        ((value / max) * width as f64)
+            .round()
+            .clamp(0.0, width as f64) as usize
     } else {
         0
     };

@@ -74,7 +74,9 @@ fn read_source(args: &[String]) -> Result<String, String> {
     }
 }
 
-fn parse_and_lower(args: &[String]) -> Result<(gridflow_process::ProcessAst, ProcessGraph), String> {
+fn parse_and_lower(
+    args: &[String],
+) -> Result<(gridflow_process::ProcessAst, ProcessGraph), String> {
     let source = read_source(args)?;
     let ast = parse_process(&source).map_err(|e| e.with_position(&source))?;
     let graph = lower("cli", &ast).map_err(|e| e.to_string())?;

@@ -132,13 +132,19 @@ pub fn planning_problem() -> PlanningProblem {
             classification: RESOLUTION.into(),
             min_count: 1,
         }],
-        activities: offerings().iter().map(ServiceOffering::activity_spec).collect(),
+        activities: offerings()
+            .iter()
+            .map(ServiceOffering::activity_spec)
+            .collect(),
     }
 }
 
 /// The planner-facing activity specs (C1–C8 as classification multisets).
 pub fn activity_specs() -> Vec<ActivitySpec> {
-    offerings().iter().map(ServiceOffering::activity_spec).collect()
+    offerings()
+        .iter()
+        .map(ServiceOffering::activity_spec)
+        .collect()
 }
 
 /// Cons1, normalized to D12 (see the module docs): continue the
@@ -175,21 +181,21 @@ pub fn process_description() -> ProcessGraph {
     add(&mut g, ActivityDecl::flow("END", ActivityKind::End));
 
     let edges: [(&str, &str, Option<Condition>); 15] = [
-        ("BEGIN", "POD", None),     // TR1
-        ("POD", "P3DR1", None),     // TR2
-        ("P3DR1", "MERGE", None),   // TR3
-        ("MERGE", "POR", None),     // TR4
-        ("POR", "FORK", None),      // TR5
-        ("FORK", "P3DR2", None),    // TR6
-        ("FORK", "P3DR3", None),    // TR7
-        ("FORK", "P3DR4", None),    // TR8
-        ("P3DR2", "JOIN", None),    // TR9
-        ("P3DR3", "JOIN", None),    // TR10
-        ("P3DR4", "JOIN", None),    // TR11
-        ("JOIN", "PSF", None),      // TR12
-        ("PSF", "CHOICE", None),    // TR13
+        ("BEGIN", "POD", None),             // TR1
+        ("POD", "P3DR1", None),             // TR2
+        ("P3DR1", "MERGE", None),           // TR3
+        ("MERGE", "POR", None),             // TR4
+        ("POR", "FORK", None),              // TR5
+        ("FORK", "P3DR2", None),            // TR6
+        ("FORK", "P3DR3", None),            // TR7
+        ("FORK", "P3DR4", None),            // TR8
+        ("P3DR2", "JOIN", None),            // TR9
+        ("P3DR3", "JOIN", None),            // TR10
+        ("P3DR4", "JOIN", None),            // TR11
+        ("JOIN", "PSF", None),              // TR12
+        ("PSF", "CHOICE", None),            // TR13
         ("CHOICE", "MERGE", Some(cons1())), // TR14: refine further
-        ("CHOICE", "END", None),    // TR15: goal resolution reached
+        ("CHOICE", "END", None),            // TR15: goal resolution reached
     ];
     for (i, (src, dst, cond)) in edges.into_iter().enumerate() {
         g.add_transition_with_id(format!("TR{}", i + 1), src, dst, cond)
@@ -229,11 +235,26 @@ pub fn case_description() -> CaseDescription {
                 .with("Format", Value::str("Text"))
                 .with("Size", Value::Int(3_000)),
         )
-        .with_data("D2", DataItem::classified(P3DR_PARAMETER).with("Format", Value::str("Text")))
-        .with_data("D3", DataItem::classified(P3DR_PARAMETER).with("Format", Value::str("Text")))
-        .with_data("D4", DataItem::classified(P3DR_PARAMETER).with("Format", Value::str("Text")))
-        .with_data("D5", DataItem::classified(POR_PARAMETER).with("Format", Value::str("Text")))
-        .with_data("D6", DataItem::classified(PSF_PARAMETER).with("Format", Value::str("Text")))
+        .with_data(
+            "D2",
+            DataItem::classified(P3DR_PARAMETER).with("Format", Value::str("Text")),
+        )
+        .with_data(
+            "D3",
+            DataItem::classified(P3DR_PARAMETER).with("Format", Value::str("Text")),
+        )
+        .with_data(
+            "D4",
+            DataItem::classified(P3DR_PARAMETER).with("Format", Value::str("Text")),
+        )
+        .with_data(
+            "D5",
+            DataItem::classified(POR_PARAMETER).with("Format", Value::str("Text")),
+        )
+        .with_data(
+            "D6",
+            DataItem::classified(PSF_PARAMETER).with("Format", Value::str("Text")),
+        )
         .with_data(
             "D7",
             DataItem::classified(IMAGE_2D).with("Size", Value::Int(1_500_000_000)),
@@ -371,19 +392,123 @@ pub fn ontology_instances() -> KnowledgeBase {
         constraint: Option<&'static str>,
     }
     let activities = [
-        A { id: "A1", name: "BEGIN", kind: "Begin", service: None, inputs: &[], outputs: &[], constraint: None },
-        A { id: "A2", name: "POD", kind: "End-user", service: Some("POD"), inputs: &["D1", "D7"], outputs: &["D8"], constraint: None },
-        A { id: "A3", name: "P3DR1", kind: "End-user", service: Some("P3DR"), inputs: &["D2", "D7", "D8"], outputs: &["D9"], constraint: None },
-        A { id: "A4", name: "MERGE", kind: "Merge", service: None, inputs: &[], outputs: &[], constraint: None },
-        A { id: "A5", name: "POR", kind: "End-user", service: Some("POR"), inputs: &["D5", "D7", "D8", "D9"], outputs: &["D8"], constraint: None },
-        A { id: "A6", name: "FORK", kind: "Fork", service: None, inputs: &[], outputs: &[], constraint: None },
-        A { id: "A7", name: "P3DR2", kind: "End-user", service: Some("P3DR"), inputs: &["D3", "D7", "D8"], outputs: &["D10"], constraint: None },
-        A { id: "A8", name: "P3DR3", kind: "End-user", service: Some("P3DR"), inputs: &["D4", "D7", "D8"], outputs: &["D11"], constraint: None },
-        A { id: "A9", name: "P3DR4", kind: "End-user", service: Some("P3DR"), inputs: &["D2", "D7", "D8"], outputs: &["D9"], constraint: None },
-        A { id: "A10", name: "JOIN", kind: "Join", service: None, inputs: &[], outputs: &[], constraint: None },
-        A { id: "A11", name: "PSF", kind: "End-user", service: Some("PSF"), inputs: &["D6", "D10", "D11"], outputs: &["D12"], constraint: None },
-        A { id: "A12", name: "CHOICE", kind: "Choice", service: None, inputs: &[], outputs: &[], constraint: Some("Cons1") },
-        A { id: "A13", name: "END", kind: "End", service: None, inputs: &[], outputs: &[], constraint: None },
+        A {
+            id: "A1",
+            name: "BEGIN",
+            kind: "Begin",
+            service: None,
+            inputs: &[],
+            outputs: &[],
+            constraint: None,
+        },
+        A {
+            id: "A2",
+            name: "POD",
+            kind: "End-user",
+            service: Some("POD"),
+            inputs: &["D1", "D7"],
+            outputs: &["D8"],
+            constraint: None,
+        },
+        A {
+            id: "A3",
+            name: "P3DR1",
+            kind: "End-user",
+            service: Some("P3DR"),
+            inputs: &["D2", "D7", "D8"],
+            outputs: &["D9"],
+            constraint: None,
+        },
+        A {
+            id: "A4",
+            name: "MERGE",
+            kind: "Merge",
+            service: None,
+            inputs: &[],
+            outputs: &[],
+            constraint: None,
+        },
+        A {
+            id: "A5",
+            name: "POR",
+            kind: "End-user",
+            service: Some("POR"),
+            inputs: &["D5", "D7", "D8", "D9"],
+            outputs: &["D8"],
+            constraint: None,
+        },
+        A {
+            id: "A6",
+            name: "FORK",
+            kind: "Fork",
+            service: None,
+            inputs: &[],
+            outputs: &[],
+            constraint: None,
+        },
+        A {
+            id: "A7",
+            name: "P3DR2",
+            kind: "End-user",
+            service: Some("P3DR"),
+            inputs: &["D3", "D7", "D8"],
+            outputs: &["D10"],
+            constraint: None,
+        },
+        A {
+            id: "A8",
+            name: "P3DR3",
+            kind: "End-user",
+            service: Some("P3DR"),
+            inputs: &["D4", "D7", "D8"],
+            outputs: &["D11"],
+            constraint: None,
+        },
+        A {
+            id: "A9",
+            name: "P3DR4",
+            kind: "End-user",
+            service: Some("P3DR"),
+            inputs: &["D2", "D7", "D8"],
+            outputs: &["D9"],
+            constraint: None,
+        },
+        A {
+            id: "A10",
+            name: "JOIN",
+            kind: "Join",
+            service: None,
+            inputs: &[],
+            outputs: &[],
+            constraint: None,
+        },
+        A {
+            id: "A11",
+            name: "PSF",
+            kind: "End-user",
+            service: Some("PSF"),
+            inputs: &["D6", "D10", "D11"],
+            outputs: &["D12"],
+            constraint: None,
+        },
+        A {
+            id: "A12",
+            name: "CHOICE",
+            kind: "Choice",
+            service: None,
+            inputs: &[],
+            outputs: &[],
+            constraint: Some("Cons1"),
+        },
+        A {
+            id: "A13",
+            name: "END",
+            kind: "End",
+            service: None,
+            inputs: &[],
+            outputs: &[],
+            constraint: None,
+        },
     ];
     for a in &activities {
         let mut inst = Instance::new(a.id, c)
@@ -398,7 +523,10 @@ pub fn ontology_instances() -> KnowledgeBase {
             inst.set("Input Data Set", Value::ref_list(a.inputs.iter().copied()));
         }
         if !a.outputs.is_empty() {
-            inst.set("Output Data Set", Value::ref_list(a.outputs.iter().copied()));
+            inst.set(
+                "Output Data Set",
+                Value::ref_list(a.outputs.iter().copied()),
+            );
         }
         if let Some(cons) = a.constraint {
             inst.set("Constraint", Value::str(cons));
@@ -500,8 +628,14 @@ pub fn ontology_instances() -> KnowledgeBase {
                 Value::ref_list((1..=7).map(|i| format!("D{i}"))),
             )
             .with("Result Set", Value::ref_list(["D12"]))
-            .with("Goal", Value::str(format!("D12.Value <= {TARGET_RESOLUTION}")))
-            .with("Constraint", Value::str_list([format!("Cons1: {}", cons1())])),
+            .with(
+                "Goal",
+                Value::str(format!("D12.Value <= {TARGET_RESOLUTION}")),
+            )
+            .with(
+                "Constraint",
+                Value::str_list([format!("Cons1: {}", cons1())]),
+            ),
     )
     .expect("valid CD instance");
     kb.add_instance(
@@ -538,7 +672,10 @@ mod tests {
         assert_eq!(g.end_user_activities().count(), 7);
         // 6 flow-control activities.
         assert_eq!(
-            g.activities().iter().filter(|a| a.kind.is_flow_control()).count(),
+            g.activities()
+                .iter()
+                .filter(|a| a.kind.is_flow_control())
+                .count(),
             6
         );
     }
@@ -585,7 +722,13 @@ mod tests {
     #[test]
     fn figure_11_plan_is_perfect_under_the_fitness_of_section_3() {
         use gridflow_planner::{evaluate, FitnessWeights};
-        let f = evaluate(&plan_tree(), &planning_problem(), 40, FitnessWeights::default(), 64);
+        let f = evaluate(
+            &plan_tree(),
+            &planning_problem(),
+            40,
+            FitnessWeights::default(),
+            64,
+        );
         assert_eq!(f.validity, 1.0, "{f:?}");
         assert_eq!(f.goal, 1.0, "{f:?}");
         assert_eq!(f.size, 10);
@@ -639,7 +782,10 @@ mod tests {
     fn virtual_lab_scales_with_extra_sites() {
         let small = virtual_lab_world(0, 1);
         let big = virtual_lab_world(10, 1);
-        assert_eq!(big.topology.resources.len(), small.topology.resources.len() + 10);
+        assert_eq!(
+            big.topology.resources.len(),
+            small.topology.resources.len() + 10
+        );
         // Deterministic for a seed.
         let big2 = virtual_lab_world(10, 1);
         assert_eq!(big.topology, big2.topology);

@@ -77,7 +77,12 @@ impl fmt::Display for Table2Result {
             "Table 2. Experiment results collected from the best solutions of {} runs.",
             self.runs.len()
         )?;
-        writeln!(f, "{:<28} {:>8}", "Average Fitness", format_num(self.avg_fitness))?;
+        writeln!(
+            f,
+            "{:<28} {:>8}",
+            "Average Fitness",
+            format_num(self.avg_fitness)
+        )?;
         writeln!(
             f,
             "{:<28} {:>8}",
@@ -195,7 +200,10 @@ mod tests {
         );
         assert!(result.avg_validity > 0.99, "{result}");
         assert!(result.avg_size < 20.0, "{result}");
-        assert!(result.avg_fitness > 0.85 && result.avg_fitness < 1.0, "{result}");
+        assert!(
+            result.avg_fitness > 0.85 && result.avg_fitness < 1.0,
+            "{result}"
+        );
         let rendered = result.to_string();
         assert!(rendered.contains("Average Fitness"));
         assert!(rendered.contains("Average Size of solutions"));

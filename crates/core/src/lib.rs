@@ -50,8 +50,8 @@ pub mod prelude {
     };
     pub use gridflow_services::{
         agents::boot_stack, coordination::EnactmentConfig, coordination::Enactor,
-        matchmaking::matchmake, matchmaking::MatchRequest, planning::PlanningService,
-        world::share, EnactmentReport, GridWorld, OutputSpec, ServiceOffering,
+        matchmaking::matchmake, matchmaking::MatchRequest, planning::PlanningService, world::share,
+        EnactmentReport, GridWorld, OutputSpec, ServiceOffering,
     };
 }
 

@@ -116,7 +116,9 @@ mod tests {
     #[test]
     fn execute_happy_path_counts_completion() {
         let (mut ac, r) = setup();
-        let est = ac.execute(&TaskDemand::coarse("POD", 10.0, 1.0), &r).unwrap();
+        let est = ac
+            .execute(&TaskDemand::coarse("POD", 10.0, 1.0), &r)
+            .unwrap();
         assert!(est.duration_s > 0.0);
         assert_eq!(ac.completed, 1);
         assert_eq!(ac.failed, 0);
@@ -127,7 +129,9 @@ mod tests {
         let (mut ac, r) = setup();
         ac.fail();
         assert!(!ac.can_execute("POD"));
-        let err = ac.execute(&TaskDemand::coarse("POD", 10.0, 1.0), &r).unwrap_err();
+        let err = ac
+            .execute(&TaskDemand::coarse("POD", 10.0, 1.0), &r)
+            .unwrap_err();
         assert!(matches!(err, GridError::ContainerDown(_)));
         assert_eq!(ac.failed, 1);
         ac.recover();
@@ -137,7 +141,9 @@ mod tests {
     #[test]
     fn unhosted_service_rejected() {
         let (mut ac, r) = setup();
-        let err = ac.execute(&TaskDemand::coarse("PSF", 10.0, 1.0), &r).unwrap_err();
+        let err = ac
+            .execute(&TaskDemand::coarse("PSF", 10.0, 1.0), &r)
+            .unwrap_err();
         assert!(matches!(err, GridError::ServiceNotHosted { .. }));
     }
 

@@ -42,7 +42,10 @@ impl fmt::Display for GridError {
             Self::UnknownContainer(c) => write!(f, "unknown application container `{c}`"),
             Self::ContainerDown(c) => write!(f, "application container `{c}` is down"),
             Self::ServiceNotHosted { container, service } => {
-                write!(f, "container `{container}` does not host service `{service}`")
+                write!(
+                    f,
+                    "container `{container}` does not host service `{service}`"
+                )
             }
             Self::NoMatchingOffer(q) => write!(f, "no offer matches query: {q}"),
             Self::ReservationsUnsupported => {

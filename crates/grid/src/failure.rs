@@ -47,13 +47,16 @@ impl FailureModel {
     /// Draw one execution outcome on a resource with the given
     /// reliability: the effective failure probability is
     /// `1 − reliability·(1 − base)`.
+    ///
+    /// The draw counter and the generator advance even when the model
+    /// is disabled, so toggling `enabled` mid-run never shifts the
+    /// outcome stream of later draws — a disabled stretch consumes
+    /// exactly the randomness it would have when enabled.
     pub fn execution_fails(&mut self, resource_reliability: f64) -> bool {
-        if !self.enabled {
-            return false;
-        }
         self.draws += 1;
         let survive = resource_reliability.clamp(0.0, 1.0) * (1.0 - self.base_failure_prob);
-        self.rng.gen_range(0.0..1.0) >= survive
+        let fails = self.rng.gen_range(0.0..1.0) >= survive;
+        self.enabled && fails
     }
 
     /// Number of outcomes drawn so far.
@@ -78,7 +81,10 @@ impl FailureScript {
 
     /// Schedule `container` to be down for attempt `attempt`.
     pub fn fail_at(mut self, container: impl Into<String>, attempt: u64) -> Self {
-        self.downs.entry(container.into()).or_default().push(attempt);
+        self.downs
+            .entry(container.into())
+            .or_default()
+            .push(attempt);
         self
     }
 
@@ -109,7 +115,29 @@ mod tests {
     fn disabled_model_never_fails_even_on_flaky_resources() {
         let mut m = FailureModel::none();
         assert!((0..1000).all(|_| !m.execution_fails(0.01)));
-        assert_eq!(m.draws(), 0);
+        // Draws are counted even while disabled, keeping the stream
+        // position consistent with an enabled model.
+        assert_eq!(m.draws(), 1000);
+    }
+
+    #[test]
+    fn disabled_stretch_does_not_shift_the_stream() {
+        // Model A stays enabled; model B is disabled for the first 100
+        // draws.  Once B re-enables, both must produce identical
+        // outcomes draw-for-draw: the disabled stretch consumed the
+        // same randomness.
+        let mut a = FailureModel::new(21, 0.3);
+        let mut b = FailureModel::new(21, 0.3);
+        b.enabled = false;
+        for _ in 0..100 {
+            a.execution_fails(0.9);
+            assert!(!b.execution_fails(0.9));
+        }
+        b.enabled = true;
+        let oa: Vec<bool> = (0..500).map(|_| a.execution_fails(0.9)).collect();
+        let ob: Vec<bool> = (0..500).map(|_| b.execution_fails(0.9)).collect();
+        assert_eq!(oa, ob);
+        assert_eq!(a.draws(), b.draws());
     }
 
     #[test]

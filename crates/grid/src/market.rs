@@ -177,9 +177,7 @@ impl SpotMarket {
             .ok_or_else(|| GridError::UnknownResource(resource_id.to_owned()))?;
         match self.reservation_policy {
             ReservationPolicy::Unsupported => Err(GridError::ReservationsUnsupported),
-            ReservationPolicy::Premium(premium) => {
-                Ok(offer.spot_price() * nodes as f64 * premium)
-            }
+            ReservationPolicy::Premium(premium) => Ok(offer.spot_price() * nodes as f64 * premium),
         }
     }
 }

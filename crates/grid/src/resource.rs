@@ -190,7 +190,9 @@ mod tests {
     #[test]
     fn node_count_is_at_least_one() {
         assert_eq!(
-            Resource::new("x", ResourceKind::PcCluster).with_nodes(0).nodes,
+            Resource::new("x", ResourceKind::PcCluster)
+                .with_nodes(0)
+                .nodes,
             1
         );
     }

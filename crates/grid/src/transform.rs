@@ -118,7 +118,12 @@ impl TransformPlan {
 
     /// Total migration time: transformations + transfer over the
     /// bottleneck link between the endpoints' interconnects.
-    pub fn migration_time_s(&self, data_mb: f64, source: &HardwareSpec, dest: &HardwareSpec) -> f64 {
+    pub fn migration_time_s(
+        &self,
+        data_mb: f64,
+        source: &HardwareSpec,
+        dest: &HardwareSpec,
+    ) -> f64 {
         let bottleneck_mbps = source.bandwidth_mbps.min(dest.bandwidth_mbps).max(1e-9);
         let transfer = self.wire_size_mb(data_mb) * 8.0 / bottleneck_mbps;
         self.transform_time_s(data_mb) + transfer
@@ -168,7 +173,10 @@ mod tests {
     fn cross_domain_adds_encryption() {
         let plan = TransformPlan::for_migration(&pc("ucf.edu"), &pc("purdue.edu"));
         assert!(plan.steps.contains(&Transform::Encryption));
-        assert!(!plan.steps.contains(&Transform::ByteSwap), "same endianness");
+        assert!(
+            !plan.steps.contains(&Transform::ByteSwap),
+            "same endianness"
+        );
     }
 
     #[test]
@@ -219,11 +227,8 @@ mod tests {
             steps: vec![Transform::Compression],
         }
         .migration_time_s(data, &slow_src.hardware, &slow_dst.hardware);
-        let without = TransformPlan::default().migration_time_s(
-            data,
-            &slow_src.hardware,
-            &slow_dst.hardware,
-        );
+        let without =
+            TransformPlan::default().migration_time_s(data, &slow_src.hardware, &slow_dst.hardware);
         assert!(with < without, "compression must win on a 10 Mbit/s link");
 
         let fast_src = sc("a");
@@ -232,11 +237,8 @@ mod tests {
             steps: vec![Transform::Compression],
         }
         .migration_time_s(data, &fast_src.hardware, &fast_dst.hardware);
-        let without = TransformPlan::default().migration_time_s(
-            data,
-            &fast_src.hardware,
-            &fast_dst.hardware,
-        );
+        let without =
+            TransformPlan::default().migration_time_s(data, &fast_src.hardware, &fast_dst.hardware);
         assert!(with > without, "compression must lose on a 2 Gbit/s link");
     }
 
@@ -245,10 +247,7 @@ mod tests {
         let (plan, time) = estimate_migration(&pc("ucf.edu"), &sc("anl.gov"), 500.0);
         // Cross-domain + endianness mismatch; PC link is 100 Mbit/s (not
         // under the threshold), so no compression.
-        assert_eq!(
-            plan.steps,
-            vec![Transform::Encryption, Transform::ByteSwap]
-        );
+        assert_eq!(plan.steps, vec![Transform::Encryption, Transform::ByteSwap]);
         assert!(time > 0.0);
     }
 }

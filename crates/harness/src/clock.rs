@@ -1,0 +1,87 @@
+//! A shared virtual clock for deterministic simulation.
+//!
+//! Fault decisions must never depend on wall time: two runs of the same
+//! `(seed, workload)` pair would otherwise diverge on scheduling noise.
+//! The harness measures time in **ticks** — one tick per intercepted
+//! message — plus the virtual seconds the [`GridWorld`] clock already
+//! accumulates per service execution.  Both advance only in response to
+//! simulated events, so replays are exact.
+//!
+//! [`GridWorld`]: gridflow_services::world::GridWorld
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct ClockState {
+    ticks: u64,
+    seconds: f64,
+}
+
+/// A cloneable handle on the simulation's logical time.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    inner: Arc<Mutex<ClockState>>,
+}
+
+impl VirtualClock {
+    /// A clock at tick 0, second 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advance by one tick and return the tick just consumed (so the
+    /// first call returns 0 — ticks number events, not boundaries).
+    pub fn tick(&self) -> u64 {
+        let mut s = self.inner.lock();
+        let t = s.ticks;
+        s.ticks += 1;
+        t
+    }
+
+    /// Ticks consumed so far.
+    pub fn ticks(&self) -> u64 {
+        self.inner.lock().ticks
+    }
+
+    /// Advance the virtual-seconds component (mirrors world clock time
+    /// the runner accounts to the simulation).
+    pub fn advance_s(&self, dt: f64) {
+        self.inner.lock().seconds += dt.max(0.0);
+    }
+
+    /// Virtual seconds elapsed.
+    pub fn now_s(&self) -> f64 {
+        self.inner.lock().seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_number_events_from_zero() {
+        let c = VirtualClock::new();
+        assert_eq!(c.tick(), 0);
+        assert_eq!(c.tick(), 1);
+        assert_eq!(c.ticks(), 2);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let c = VirtualClock::new();
+        let d = c.clone();
+        c.tick();
+        d.advance_s(2.5);
+        assert_eq!(d.ticks(), 1);
+        assert!((c.now_s() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_advances_are_clamped() {
+        let c = VirtualClock::new();
+        c.advance_s(-1.0);
+        assert_eq!(c.now_s(), 0.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Seeded fault plans and the schedules they unfold into.
+//!
+//! A [`FaultPlan`] is the *entire* description of what goes wrong in a
+//! simulated run: message-level faults (drop/duplicate/delay), Bernoulli
+//! end-user activity failures (driving
+//! [`gridflow_grid::failure::FailureModel`]), scripted node loss, and a
+//! scripted coordinator crash.  Together with a workload it determines a
+//! run completely — replaying the same `(seed, FaultPlan, workload)`
+//! triple reproduces the same [`EnactmentReport`] byte for byte.
+//!
+//! [`EnactmentReport`]: gridflow_services::coordination::EnactmentReport
+
+use serde::{Deserialize, Serialize};
+
+/// What the fault-injecting transport decided for one intercepted
+/// message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultAction {
+    /// Delivered unchanged.
+    Deliver,
+    /// Swallowed: the receiver never sees it.
+    Drop,
+    /// Delivered twice.
+    Duplicate,
+    /// Held back, released at the given tick.
+    Delay {
+        /// Tick at which the held message re-enters the stream.
+        until_tick: u64,
+    },
+}
+
+/// One entry of a fault schedule: the decision taken at a tick for a
+/// message between two agents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Tick at which the message was intercepted.
+    pub tick: u64,
+    /// Sending agent.
+    pub sender: String,
+    /// Receiving agent.
+    pub receiver: String,
+    /// The decision.
+    pub action: FaultAction,
+}
+
+/// The unfolded decision log of a run — the evidence that two seeds
+/// produced different (or identical) fault behaviour.
+pub type FaultSchedule = Vec<FaultEvent>;
+
+/// A scripted node loss: take `container` down once the world has
+/// recorded `after_executions` execution attempts (0 = before the run
+/// starts).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeLoss {
+    /// Container to take down.
+    pub container: String,
+    /// History length at which the loss strikes.
+    pub after_executions: usize,
+}
+
+/// The complete, seeded description of everything that goes wrong in a
+/// run.  `Default` is the null plan: nothing fails.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Master seed: drives both the message-fault RNG and the activity
+    /// failure model.
+    pub seed: u64,
+    /// Per-message probability of a drop.
+    pub drop_prob: f64,
+    /// Per-message probability of a duplicate.
+    pub duplicate_prob: f64,
+    /// Per-message probability of a delay.
+    pub delay_prob: f64,
+    /// How many ticks a delayed message is held (also the reorder
+    /// window: messages sent in between overtake it).
+    pub delay_ticks: u64,
+    /// Bernoulli per-execution probability that an end-user activity
+    /// fails on its container.
+    pub activity_failure_prob: f64,
+    /// Does an activity failure take the container down persistently?
+    pub persistent_activity_failures: bool,
+    /// Scripted node losses.
+    pub node_loss: Vec<NodeLoss>,
+    /// Crash the coordinator after this many checkpoints have been
+    /// captured, forcing a [resume] from the last one.  `None` = never.
+    ///
+    /// [resume]: gridflow_services::coordination::Enactor::resume
+    pub crash_after_checkpoints: Option<usize>,
+    /// Agents whose traffic is exempt from message faults (sender or
+    /// receiver match), e.g. the information service during boot.
+    pub immune_agents: Vec<String>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            delay_prob: 0.0,
+            delay_ticks: 3,
+            activity_failure_prob: 0.0,
+            persistent_activity_failures: true,
+            node_loss: Vec::new(),
+            crash_after_checkpoints: None,
+            immune_agents: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The null plan under a given seed: nothing fails, but every
+    /// stochastic component is seeded so faults can be switched on
+    /// without changing anything else.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Builder: drop messages with probability `p`.
+    pub fn dropping(mut self, p: f64) -> Self {
+        self.drop_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder: duplicate messages with probability `p`.
+    pub fn duplicating(mut self, p: f64) -> Self {
+        self.duplicate_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder: delay messages with probability `p` for `ticks` ticks.
+    pub fn delaying(mut self, p: f64, ticks: u64) -> Self {
+        self.delay_prob = p.clamp(0.0, 1.0);
+        self.delay_ticks = ticks;
+        self
+    }
+
+    /// Builder: end-user activity executions fail with probability `p`.
+    pub fn failing_activities(mut self, p: f64) -> Self {
+        self.activity_failure_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder: activity failures are transient (the container stays up).
+    pub fn transient_failures(mut self) -> Self {
+        self.persistent_activity_failures = false;
+        self
+    }
+
+    /// Builder: script a node loss.
+    pub fn losing_node(mut self, container: impl Into<String>, after_executions: usize) -> Self {
+        self.node_loss.push(NodeLoss {
+            container: container.into(),
+            after_executions,
+        });
+        self
+    }
+
+    /// Builder: crash the coordinator after `n` checkpoints.
+    pub fn crashing_after(mut self, n: usize) -> Self {
+        self.crash_after_checkpoints = Some(n);
+        self
+    }
+
+    /// Builder: exempt an agent's traffic from message faults.
+    pub fn immunizing(mut self, agent: impl Into<String>) -> Self {
+        self.immune_agents.push(agent.into());
+        self
+    }
+
+    /// Does the plan inject any message-level faults at all?
+    pub fn perturbs_messages(&self) -> bool {
+        self.drop_prob > 0.0 || self.duplicate_prob > 0.0 || self.delay_prob > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_null() {
+        let p = FaultPlan::default();
+        assert!(!p.perturbs_messages());
+        assert_eq!(p.activity_failure_prob, 0.0);
+        assert!(p.node_loss.is_empty());
+        assert!(p.crash_after_checkpoints.is_none());
+    }
+
+    #[test]
+    fn builders_clamp_probabilities() {
+        let p = FaultPlan::seeded(7)
+            .dropping(1.5)
+            .duplicating(-0.2)
+            .delaying(0.3, 5)
+            .failing_activities(2.0);
+        assert_eq!(p.drop_prob, 1.0);
+        assert_eq!(p.duplicate_prob, 0.0);
+        assert_eq!(p.delay_prob, 0.3);
+        assert_eq!(p.delay_ticks, 5);
+        assert_eq!(p.activity_failure_prob, 1.0);
+        assert!(p.perturbs_messages());
+    }
+
+    #[test]
+    fn plans_round_trip_through_json() {
+        let p = FaultPlan::seeded(42)
+            .dropping(0.1)
+            .losing_node("ac-h2", 3)
+            .crashing_after(1)
+            .immunizing("information-1");
+        let json = serde_json::to_string(&p).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn schedules_round_trip_through_json() {
+        let schedule: FaultSchedule = vec![
+            FaultEvent {
+                tick: 0,
+                sender: "a".into(),
+                receiver: "b".into(),
+                action: FaultAction::Deliver,
+            },
+            FaultEvent {
+                tick: 1,
+                sender: "b".into(),
+                receiver: "a".into(),
+                action: FaultAction::Delay { until_tick: 4 },
+            },
+        ];
+        let json = serde_json::to_string(&schedule).unwrap();
+        let back: FaultSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, schedule);
+    }
+}

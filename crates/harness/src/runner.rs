@@ -1,0 +1,231 @@
+//! The scenario runner: unfolds a [`FaultPlan`] against a [`Workload`]
+//! through crash, recovery and resume, deterministically.
+//!
+//! A run proceeds in **phases**.  Phase 0 enacts the workload from the
+//! start; if the plan scripts a coordinator crash, everything past the
+//! chosen checkpoint is discarded — exactly what a crash loses — and the
+//! surviving checkpoint seeds phase 1 via [`Enactor::resume`] on a
+//! recovered world.  Phases repeat while the workflow keeps failing and
+//! resumable checkpoints remain, up to a resume budget.  Every phase is
+//! a pure function of `(plan, workload, phase index)`, so the whole
+//! outcome replays byte-identically.
+
+use crate::plan::FaultPlan;
+use crate::workload::Workload;
+use gridflow_services::coordination::{EnactmentCheckpoint, EnactmentReport, Enactor};
+use gridflow_services::world::GridWorld;
+use std::collections::BTreeMap;
+
+/// The record of one scenario run: one report per phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// Phase reports, in order (phase 0 first).
+    pub reports: Vec<EnactmentReport>,
+    /// How many resumes were performed (`reports.len() - 1`).
+    pub resumes: usize,
+    /// Did the final phase succeed?
+    pub completed: bool,
+    /// The latest resumable checkpoint across *all* phases (a resumed
+    /// phase that makes no progress captures none of its own, but the
+    /// one it resumed from is still good).
+    pub last_checkpoint: Option<EnactmentCheckpoint>,
+}
+
+impl ScenarioOutcome {
+    /// The last phase's report — the state of the task when the run
+    /// ended.
+    pub fn final_report(&self) -> &EnactmentReport {
+        self.reports.last().expect("a run has at least one phase")
+    }
+
+    /// The core conformance invariant: the task completed, **or** it
+    /// left a resumable checkpoint, **or** it performed no successful
+    /// activity at all (trivially restartable from scratch — nothing to
+    /// lose).
+    pub fn is_recoverable(&self) -> bool {
+        self.completed
+            || self.last_checkpoint.is_some()
+            || self.final_report().executions.is_empty()
+    }
+}
+
+/// Apply every scripted node loss whose threshold has been reached.
+fn apply_node_losses(world: &mut GridWorld, plan: &FaultPlan, executions_so_far: usize) {
+    for loss in &plan.node_loss {
+        if loss.after_executions <= executions_so_far {
+            // Unknown containers are a plan/workload mismatch; ignore
+            // rather than abort — the scenario still runs, just without
+            // that loss.
+            let _ = world.set_container_up(&loss.container, false);
+        }
+    }
+}
+
+/// What a crashed coordinator can still know: the accounting captured in
+/// the checkpoint, nothing after it.
+fn crashed_report(cp: &EnactmentCheckpoint) -> EnactmentReport {
+    EnactmentReport {
+        success: false,
+        executions: cp.executions.clone(),
+        failed_attempts: cp.failed_attempts.clone(),
+        replans: cp.replans,
+        final_state: cp.state.clone(),
+        total_duration_s: cp.total_duration_s,
+        total_cost: cp.total_cost,
+        produced: cp.produced.clone(),
+        abort_reason: Some("coordinator crashed after checkpoint".into()),
+        checkpoints: vec![cp.clone()],
+    }
+}
+
+/// Run a scenario with the default resume budget (4).
+pub fn run_scenario(plan: &FaultPlan, workload: &Workload) -> ScenarioOutcome {
+    run_scenario_with_budget(plan, workload, 4)
+}
+
+/// Run a scenario, resuming failed phases from their latest checkpoint
+/// up to `max_resumes` times.
+pub fn run_scenario_with_budget(
+    plan: &FaultPlan,
+    workload: &Workload,
+    max_resumes: usize,
+) -> ScenarioOutcome {
+    let enactor = Enactor::new(workload.config.clone());
+    let mut phase = 0usize;
+    let mut world = workload.fresh_world(plan, phase);
+    apply_node_losses(&mut world, plan, 0);
+    let mut current = enactor.enact(&mut world, &workload.graph, &workload.case);
+
+    // Scripted coordinator crash: the run past checkpoint `k` never
+    // happened.  Serialize→deserialize the checkpoint to model the trip
+    // through persistent storage a real restart would take.
+    if let Some(k) = plan.crash_after_checkpoints {
+        if let Some(cp) = current.checkpoints.get(k) {
+            let archived = serde_json::to_string(cp).expect("checkpoints serialize");
+            let restored: EnactmentCheckpoint =
+                serde_json::from_str(&archived).expect("checkpoints deserialize");
+            current = crashed_report(&restored);
+        }
+    }
+
+    let mut resume_cp = current.checkpoints.last().cloned();
+    let mut reports = vec![current];
+    let mut resumes = 0usize;
+
+    while !reports.last().expect("nonempty").success && resumes < max_resumes {
+        let Some(cp) = resume_cp.clone() else { break };
+        phase += 1;
+        resumes += 1;
+        let mut world = workload.fresh_world(plan, phase);
+        apply_node_losses(&mut world, plan, cp.executions.len());
+        let resumed = enactor.resume(&mut world, cp, &workload.case);
+        if let Some(newer) = resumed.checkpoints.last() {
+            resume_cp = Some(newer.clone());
+        }
+        reports.push(resumed);
+    }
+
+    ScenarioOutcome {
+        completed: reports.last().expect("nonempty").success,
+        resumes,
+        reports,
+        last_checkpoint: resume_cp,
+    }
+}
+
+/// Canonical byte representation of a report, for replay comparison.
+pub fn report_fingerprint(report: &EnactmentReport) -> String {
+    serde_json::to_string(report).expect("reports serialize")
+}
+
+/// Canonical byte representation of a whole outcome.
+pub fn outcome_fingerprint(outcome: &ScenarioOutcome) -> String {
+    let phases: Vec<String> = outcome.reports.iter().map(report_fingerprint).collect();
+    phases.join("\n")
+}
+
+/// How many times each activity id executed (a resumed report carries
+/// its checkpoint's execution prefix, so the *final* report counts the
+/// task's entire history).
+pub fn execution_counts(report: &EnactmentReport) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    for e in &report.executions {
+        *counts.entry(e.activity.clone()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Is `prefix`'s execution list a prefix of `full`'s?  (What "resume
+/// never re-executes completed work" looks like in the accounting.)
+pub fn is_execution_prefix(prefix: &EnactmentReport, full: &EnactmentReport) -> bool {
+    prefix.executions.len() <= full.executions.len()
+        && full.executions[..prefix.executions.len()] == prefix.executions[..]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::dinner_workload;
+
+    #[test]
+    fn null_plan_completes_in_one_phase() {
+        let outcome = run_scenario(&FaultPlan::default(), &dinner_workload());
+        assert!(outcome.completed);
+        assert_eq!(outcome.resumes, 0);
+        assert_eq!(outcome.reports.len(), 1);
+        assert!(outcome.is_recoverable());
+        let counts = execution_counts(outcome.final_report());
+        assert!(counts.values().all(|&c| c == 1), "counts: {counts:?}");
+    }
+
+    #[test]
+    fn scripted_crash_resumes_and_completes() {
+        let plan = FaultPlan::seeded(11).crashing_after(0); // crash after `prep`
+        let outcome = run_scenario(&plan, &dinner_workload());
+        assert!(
+            outcome.completed,
+            "final: {:?}",
+            outcome.final_report().abort_reason
+        );
+        assert_eq!(outcome.resumes, 1);
+        // Phase 0 is the crash stub: one execution, aborted.
+        assert_eq!(outcome.reports[0].executions.len(), 1);
+        assert!(!outcome.reports[0].success);
+        // The resumed phase extends — never repeats — the crashed prefix.
+        assert!(is_execution_prefix(
+            &outcome.reports[0],
+            &outcome.reports[1]
+        ));
+        let counts = execution_counts(outcome.final_report());
+        assert!(counts.values().all(|&c| c == 1), "counts: {counts:?}");
+    }
+
+    #[test]
+    fn total_node_loss_is_unrecoverable_but_reported() {
+        // Both `cook` hosts lost before the run, no replanning: the run
+        // must fail after `prep` yet stay resumable (checkpoint exists).
+        let plan = FaultPlan::seeded(3)
+            .losing_node("ac-h2", 0)
+            .losing_node("ac-h3", 0);
+        let outcome = run_scenario_with_budget(&plan, &dinner_workload(), 1);
+        assert!(!outcome.completed);
+        assert!(outcome.is_recoverable());
+        assert!(outcome
+            .final_report()
+            .abort_reason
+            .as_deref()
+            .unwrap_or("")
+            .contains("cook"));
+    }
+
+    #[test]
+    fn identical_plans_replay_byte_identically() {
+        let plan = FaultPlan::seeded(21)
+            .failing_activities(0.3)
+            .crashing_after(1);
+        let wl = dinner_workload();
+        let a = run_scenario(&plan, &wl);
+        let b = run_scenario(&plan, &wl);
+        assert_eq!(outcome_fingerprint(&a), outcome_fingerprint(&b));
+    }
+}

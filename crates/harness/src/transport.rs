@@ -1,0 +1,232 @@
+//! The fault-injecting [`Transport`]: drops, duplicates, delays and
+//! reorders messages according to a seeded [`FaultPlan`].
+//!
+//! Decisions are a pure function of `(plan.seed, intercept sequence)`:
+//! the transport owns a ChaCha stream and a [`VirtualClock`] tick
+//! counter, consumes exactly one draw per non-immune message, and keeps
+//! delayed messages in a tick-ordered hold queue.  Two runs that present
+//! the same message sequence therefore produce the same
+//! [`FaultSchedule`] — and two different seeds produce different ones.
+
+use crate::clock::VirtualClock;
+use crate::plan::{FaultAction, FaultEvent, FaultPlan, FaultSchedule};
+use gridflow_agents::{AclMessage, Transport};
+use parking_lot::Mutex;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+struct Inner {
+    rng: ChaCha8Rng,
+    /// Delayed messages, tagged with their release tick.
+    held: Vec<(u64, AclMessage)>,
+    schedule: FaultSchedule,
+}
+
+/// A deterministic fault-injecting message transport.
+pub struct FaultyTransport {
+    plan: FaultPlan,
+    clock: VirtualClock,
+    inner: Mutex<Inner>,
+}
+
+impl FaultyTransport {
+    /// A transport unfolding `plan`'s message faults, ticking `clock`.
+    pub fn new(plan: FaultPlan, clock: VirtualClock) -> Self {
+        let rng = ChaCha8Rng::seed_from_u64(plan.seed);
+        FaultyTransport {
+            plan,
+            clock,
+            inner: Mutex::new(Inner {
+                rng,
+                held: Vec::new(),
+                schedule: Vec::new(),
+            }),
+        }
+    }
+
+    /// The shared clock this transport ticks.
+    pub fn clock(&self) -> VirtualClock {
+        self.clock.clone()
+    }
+
+    /// The decision log so far (one entry per intercepted message).
+    pub fn schedule(&self) -> FaultSchedule {
+        self.inner.lock().schedule.clone()
+    }
+
+    /// Number of messages currently held back (delayed, not yet
+    /// released).
+    pub fn held_count(&self) -> usize {
+        self.inner.lock().held.len()
+    }
+
+    fn immune(&self, msg: &AclMessage) -> bool {
+        self.plan
+            .immune_agents
+            .iter()
+            .any(|a| *a == msg.sender || *a == msg.receiver)
+    }
+}
+
+impl Transport for FaultyTransport {
+    fn intercept(&self, msg: AclMessage) -> Vec<AclMessage> {
+        let mut inner = self.inner.lock();
+        let tick = self.clock.tick();
+
+        // Release any held messages whose time has come, in insertion
+        // order (stable for equal ticks), *before* the current message:
+        // they were sent earlier, the delay only let this one overtake
+        // them while it lasted.
+        let mut out = Vec::new();
+        let mut still_held = Vec::new();
+        for (release, held) in inner.held.drain(..) {
+            if release <= tick {
+                out.push(held);
+            } else {
+                still_held.push((release, held));
+            }
+        }
+        inner.held = still_held;
+
+        let action = if self.immune(&msg) || !self.plan.perturbs_messages() {
+            FaultAction::Deliver
+        } else {
+            // One draw per message keeps the decision stream aligned
+            // with the intercept sequence regardless of which fault
+            // kinds are enabled.
+            let r: f64 = inner.rng.gen_range(0.0..1.0);
+            if r < self.plan.drop_prob {
+                FaultAction::Drop
+            } else if r < self.plan.drop_prob + self.plan.duplicate_prob {
+                FaultAction::Duplicate
+            } else if r < self.plan.drop_prob + self.plan.duplicate_prob + self.plan.delay_prob {
+                FaultAction::Delay {
+                    until_tick: tick + self.plan.delay_ticks.max(1),
+                }
+            } else {
+                FaultAction::Deliver
+            }
+        };
+
+        inner.schedule.push(FaultEvent {
+            tick,
+            sender: msg.sender.clone(),
+            receiver: msg.receiver.clone(),
+            action: action.clone(),
+        });
+
+        match action {
+            FaultAction::Deliver => out.push(msg),
+            FaultAction::Drop => {}
+            FaultAction::Duplicate => {
+                out.push(msg.clone());
+                out.push(msg);
+            }
+            FaultAction::Delay { until_tick } => inner.held.push((until_tick, msg)),
+        }
+        out
+    }
+
+    fn drain(&self) -> Vec<AclMessage> {
+        let mut inner = self.inner.lock();
+        inner.held.drain(..).map(|(_, m)| m).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridflow_agents::Performative;
+    use serde_json::json;
+
+    fn msg(n: i64) -> AclMessage {
+        AclMessage::new(Performative::Inform, "alice", "bob", "t", json!(n))
+    }
+
+    fn run_sequence(plan: FaultPlan, n: i64) -> (FaultSchedule, Vec<serde_json::Value>) {
+        let t = FaultyTransport::new(plan, VirtualClock::new());
+        let mut delivered = Vec::new();
+        for i in 0..n {
+            for m in t.intercept(msg(i)) {
+                delivered.push(m.content);
+            }
+        }
+        for m in t.drain() {
+            delivered.push(m.content);
+        }
+        (t.schedule(), delivered)
+    }
+
+    #[test]
+    fn null_plan_is_identity() {
+        let (schedule, delivered) = run_sequence(FaultPlan::seeded(1), 10);
+        assert_eq!(delivered.len(), 10);
+        assert!(schedule.iter().all(|e| e.action == FaultAction::Deliver));
+        assert_eq!(schedule[3].tick, 3);
+        assert_eq!(schedule[3].sender, "alice");
+    }
+
+    #[test]
+    fn same_seed_same_schedule_and_deliveries() {
+        let plan = FaultPlan::seeded(9)
+            .dropping(0.3)
+            .duplicating(0.2)
+            .delaying(0.2, 2);
+        let (s1, d1) = run_sequence(plan.clone(), 200);
+        let (s2, d2) = run_sequence(plan, 200);
+        assert_eq!(s1, s2);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (s1, _) = run_sequence(FaultPlan::seeded(1).dropping(0.5), 100);
+        let (s2, _) = run_sequence(FaultPlan::seeded(2).dropping(0.5), 100);
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn drops_shrink_and_duplicates_grow_delivery() {
+        let (_, none) = run_sequence(FaultPlan::seeded(3).dropping(1.0), 50);
+        assert!(none.is_empty());
+        let (_, twice) = run_sequence(FaultPlan::seeded(3).duplicating(1.0), 50);
+        assert_eq!(twice.len(), 100);
+    }
+
+    #[test]
+    fn delays_reorder_but_conserve_messages() {
+        // Half the messages delayed 3 ticks: undelayed successors
+        // overtake them, so arrival order differs from send order —
+        // but nothing is lost or invented.  (Delaying *every* message
+        // equally preserves FIFO; reordering needs the mix.)
+        let (schedule, delivered) = run_sequence(FaultPlan::seeded(4).delaying(0.5, 3), 40);
+        assert_eq!(delivered.len(), 40);
+        let sent: Vec<serde_json::Value> = (0..40).map(|i| json!(i)).collect();
+        assert_ne!(delivered, sent, "delays must reorder");
+        let mut sorted = delivered.clone();
+        sorted.sort_by_key(|v| v.as_i64().unwrap());
+        assert_eq!(sorted, sent, "delays must not lose or invent messages");
+        assert!(schedule
+            .iter()
+            .any(|e| matches!(e.action, FaultAction::Delay { .. })));
+        assert!(schedule.iter().any(|e| e.action == FaultAction::Deliver));
+    }
+
+    #[test]
+    fn immune_agents_pass_untouched() {
+        let plan = FaultPlan::seeded(5).dropping(1.0).immunizing("bob");
+        let (schedule, delivered) = run_sequence(plan, 10);
+        assert_eq!(delivered.len(), 10);
+        assert!(schedule.iter().all(|e| e.action == FaultAction::Deliver));
+    }
+
+    #[test]
+    fn held_count_tracks_the_hold_queue() {
+        let t = FaultyTransport::new(FaultPlan::seeded(6).delaying(1.0, 50), VirtualClock::new());
+        let _ = t.intercept(msg(0));
+        let _ = t.intercept(msg(1));
+        assert_eq!(t.held_count(), 2);
+        assert_eq!(t.drain().len(), 2);
+        assert_eq!(t.held_count(), 0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Canonical workloads the harness drives faults against.
+//!
+//! A [`Workload`] bundles everything one enactment needs — a world
+//! builder (fresh state per run, so replays start identically), a
+//! process graph, a case description, and an enactment configuration.
+//! The `dinner` family mirrors the coordination-service test fixture:
+//! each service hosted on two dedicated containers, with `nuke` as an
+//! alternative cooker so replanning has somewhere to go.
+
+use crate::plan::FaultPlan;
+use gridflow_grid::container::ApplicationContainer;
+use gridflow_grid::failure::FailureModel;
+use gridflow_grid::resource::{Resource, ResourceKind};
+use gridflow_grid::GridTopology;
+use gridflow_planner::prelude::GpConfig;
+use gridflow_planner::GoalSpec;
+use gridflow_process::lower::lower;
+use gridflow_process::parser::parse_process;
+use gridflow_process::{CaseDescription, Condition, DataItem, ProcessGraph};
+use gridflow_services::coordination::EnactmentConfig;
+use gridflow_services::world::{GridWorld, OutputSpec, ServiceOffering};
+
+/// One fault-injection scenario's fixed inputs.
+#[derive(Clone)]
+pub struct Workload {
+    /// Scenario name (for logs and failure messages).
+    pub name: String,
+    /// The workflow to enact.
+    pub graph: ProcessGraph,
+    /// The case driving it.
+    pub case: CaseDescription,
+    /// Enactment configuration.
+    pub config: EnactmentConfig,
+    /// Builds a fresh world (all containers up, no failure model); a
+    /// plain `fn` so the workload stays `Clone` and runs can't smuggle
+    /// hidden state between phases.
+    pub world_builder: fn() -> GridWorld,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("graph", &self.graph.name)
+            .finish()
+    }
+}
+
+impl Workload {
+    /// A fresh world with this plan's failure model installed.  `phase`
+    /// distinguishes the initial run from post-crash resumes: the
+    /// Bernoulli stream is re-seeded per phase (deterministically), so a
+    /// recovered coordinator does not replay the exact failures that
+    /// killed it.
+    pub fn fresh_world(&self, plan: &FaultPlan, phase: usize) -> GridWorld {
+        let mut world = (self.world_builder)();
+        if plan.activity_failure_prob > 0.0 {
+            let phase_seed = plan.seed.wrapping_add(7919u64.wrapping_mul(phase as u64));
+            world.failure = FailureModel::new(phase_seed, plan.activity_failure_prob);
+            world.failures_are_persistent = plan.persistent_activity_failures;
+        }
+        world
+    }
+}
+
+/// The dinner topology: each of `prep`, `cook`, `nuke`, `plate` hosted
+/// on two dedicated containers (`ac-h0`…`ac-h7`), so failing one
+/// service's hosts never disables another service.
+pub fn dinner_topology() -> GridTopology {
+    let mut resources = Vec::new();
+    let mut containers = Vec::new();
+    let hosting: [(&str, &[&str]); 8] = [
+        ("h0", &["prep"]),
+        ("h1", &["prep"]),
+        ("h2", &["cook"]),
+        ("h3", &["cook"]),
+        ("h4", &["nuke"]),
+        ("h5", &["nuke"]),
+        ("h6", &["plate"]),
+        ("h7", &["plate"]),
+    ];
+    for (i, (name, services)) in hosting.iter().enumerate() {
+        resources.push(
+            Resource::new(*name, ResourceKind::PcCluster)
+                .with_nodes(4 + i as u32)
+                .with_software(services.iter().map(|s| s.to_string())),
+        );
+        containers.push(
+            ApplicationContainer::new(format!("ac-{name}"), *name)
+                .hosting(services.iter().map(|s| s.to_string())),
+        );
+    }
+    GridTopology {
+        resources,
+        containers,
+    }
+}
+
+/// The dinner world: `prep → cook|nuke → plate` over [`dinner_topology`].
+pub fn dinner_world() -> GridWorld {
+    let mut w = GridWorld::new(dinner_topology());
+    w.offer(ServiceOffering::new(
+        "prep",
+        ["Raw"],
+        vec![OutputSpec::plain("Prepped")],
+    ));
+    w.offer(ServiceOffering::new(
+        "cook",
+        ["Prepped"],
+        vec![OutputSpec::plain("Cooked")],
+    ));
+    w.offer(ServiceOffering::new(
+        "nuke",
+        ["Prepped"],
+        vec![OutputSpec::plain("Cooked")],
+    ));
+    w.offer(ServiceOffering::new(
+        "plate",
+        ["Cooked"],
+        vec![OutputSpec::plain("Plated")],
+    ));
+    w
+}
+
+/// Goal: some produced item is classified `Plated` (produced ids are
+/// fresh `D101`, `D102`, …, so the goal ranges over candidate ids).
+/// The range is wide because the agent-stack scenarios enact repeatedly
+/// on one *shared* world — each run (and each duplicated request)
+/// consumes three fresh ids, and the goal must still be reachable on
+/// the later runs.
+fn plated_exists() -> Condition {
+    (102..=220)
+        .map(|i| Condition::classified(format!("D{i}"), "Plated"))
+        .fold(Condition::classified("D101", "Plated"), Condition::or)
+}
+
+/// The dinner case: one `Raw` item, goal `Plated`.
+pub fn dinner_case() -> CaseDescription {
+    CaseDescription::new("dinner")
+        .with_data("D1", DataItem::classified("Raw"))
+        .with_goal("G1", plated_exists())
+}
+
+/// The linear dinner workflow `prep; cook; plate`.
+pub fn dinner_graph() -> ProcessGraph {
+    let ast = parse_process("BEGIN prep; cook; plate; END").expect("dinner source parses");
+    lower("dinner", &ast).expect("dinner graph lowers")
+}
+
+/// The baseline workload: linear dinner, checkpoint after every
+/// successful activity, no replanning.
+pub fn dinner_workload() -> Workload {
+    Workload {
+        name: "dinner".into(),
+        graph: dinner_graph(),
+        case: dinner_case(),
+        config: EnactmentConfig {
+            checkpoint_every: Some(1),
+            ..EnactmentConfig::default()
+        },
+        world_builder: dinner_world,
+    }
+}
+
+/// The replanning workload: same dinner, but activity failure on every
+/// candidate escalates to the GP planner (which can route `cook` →
+/// `nuke`).
+pub fn dinner_replan_workload(gp_seed: u64) -> Workload {
+    let mut w = dinner_workload();
+    w.name = "dinner+replan".into();
+    w.config = EnactmentConfig {
+        replan: true,
+        planning_goals: vec![GoalSpec {
+            classification: "Plated".into(),
+            min_count: 1,
+        }],
+        gp: GpConfig {
+            population_size: 80,
+            generations: 25,
+            seed: gp_seed,
+            ..GpConfig::default()
+        },
+        checkpoint_every: Some(1),
+        ..EnactmentConfig::default()
+    };
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridflow_services::coordination::Enactor;
+
+    #[test]
+    fn dinner_happy_path_succeeds() {
+        let wl = dinner_workload();
+        let mut world = wl.fresh_world(&FaultPlan::default(), 0);
+        let report = Enactor::new(wl.config.clone()).enact(&mut world, &wl.graph, &wl.case);
+        assert!(report.success, "abort: {:?}", report.abort_reason);
+        assert_eq!(report.executions.len(), 3);
+        assert_eq!(report.checkpoints.len(), 3);
+    }
+
+    #[test]
+    fn fresh_world_installs_the_plan_failure_model() {
+        let wl = dinner_workload();
+        let plan = FaultPlan::seeded(3)
+            .failing_activities(1.0)
+            .transient_failures();
+        let mut world = wl.fresh_world(&plan, 0);
+        assert!(!world.failures_are_persistent);
+        let c = world.executable_containers("prep")[0].clone();
+        assert!(world.execute_service("prep", &c).is_err());
+    }
+
+    #[test]
+    fn phases_reseed_the_failure_stream() {
+        let wl = dinner_workload();
+        let plan = FaultPlan::seeded(5).failing_activities(0.5);
+        let mut w0 = wl.fresh_world(&plan, 0);
+        let mut w1 = wl.fresh_world(&plan, 1);
+        let draws0: Vec<bool> = (0..64).map(|_| w0.failure.execution_fails(1.0)).collect();
+        let draws1: Vec<bool> = (0..64).map(|_| w1.failure.execution_fails(1.0)).collect();
+        assert_ne!(draws0, draws1, "phase reseed must shift the stream");
+    }
+
+    #[test]
+    fn topology_isolates_services_per_container_pair() {
+        let w = dinner_world();
+        for s in ["prep", "cook", "nuke", "plate"] {
+            assert_eq!(w.hosting_containers(s).len(), 2, "service {s}");
+        }
+    }
+}

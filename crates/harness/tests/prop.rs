@@ -1,0 +1,111 @@
+//! Property-based tests for the fault-injection harness.
+
+use gridflow_agents::{AclMessage, Performative, Transport};
+use gridflow_harness::workload::dinner_workload;
+use gridflow_harness::{
+    execution_counts, is_execution_prefix, outcome_fingerprint, run_scenario_with_budget,
+    FaultAction, FaultPlan, FaultyTransport, VirtualClock,
+};
+use proptest::prelude::*;
+use serde_json::json;
+
+fn fault_plan() -> impl Strategy<Value = FaultPlan> {
+    (any::<u64>(), 0.0f64..0.4, 0.0f64..0.4, 0.0f64..0.4, 1u64..6).prop_map(
+        |(seed, drop, dup, delay, ticks)| {
+            FaultPlan::seeded(seed)
+                .dropping(drop)
+                .duplicating(dup)
+                .delaying(delay, ticks)
+        },
+    )
+}
+
+fn drive(plan: &FaultPlan, n: usize) -> (FaultyTransport, Vec<AclMessage>) {
+    let t = FaultyTransport::new(plan.clone(), VirtualClock::new());
+    let mut delivered = Vec::new();
+    for i in 0..n {
+        let m = AclMessage::new(Performative::Inform, "a", "b", "t", json!(i as u64));
+        delivered.extend(t.intercept(m));
+    }
+    (t, delivered)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The transport's accounting balances: deliveries + duplicates −
+    /// drops − still-held == messages out, for any plan.
+    #[test]
+    fn transport_conserves_messages(plan in fault_plan(), n in 1usize..120) {
+        let (t, delivered) = drive(&plan, n);
+        let schedule = t.schedule();
+        prop_assert_eq!(schedule.len(), n, "one decision per message");
+        let mut expected = 0usize;
+        for e in &schedule {
+            match e.action {
+                FaultAction::Deliver => expected += 1,
+                FaultAction::Drop => {}
+                FaultAction::Duplicate => expected += 2,
+                FaultAction::Delay { .. } => expected += 1, // held or released
+            }
+        }
+        prop_assert_eq!(delivered.len() + t.held_count(), expected);
+        // Draining releases exactly the held remainder.
+        prop_assert_eq!(t.drain().len() + delivered.len(), expected);
+    }
+
+    /// Same plan, same message sequence ⇒ same schedule and deliveries.
+    #[test]
+    fn transport_is_deterministic(plan in fault_plan(), n in 1usize..120) {
+        let (t1, d1) = drive(&plan, n);
+        let (t2, d2) = drive(&plan, n);
+        prop_assert_eq!(t1.schedule(), t2.schedule());
+        let c1: Vec<_> = d1.iter().map(|m| m.content.clone()).collect();
+        let c2: Vec<_> = d2.iter().map(|m| m.content.clone()).collect();
+        prop_assert_eq!(c1, c2);
+    }
+
+    /// Scenario runs are recoverable and replayable for arbitrary seeds,
+    /// failure probabilities and crash points.
+    #[test]
+    fn scenarios_recover_and_replay(
+        seed in any::<u64>(),
+        fail_prob in 0.0f64..0.6,
+        crash_at in prop::option::of(0usize..3),
+    ) {
+        let mut plan = FaultPlan::seeded(seed).failing_activities(fail_prob);
+        if let Some(k) = crash_at {
+            plan = plan.crashing_after(k);
+        }
+        let wl = dinner_workload();
+        let outcome = run_scenario_with_budget(&plan, &wl, 3);
+        // 1. Complete-or-resumable, always.
+        prop_assert!(outcome.is_recoverable(),
+            "unrecoverable: {:?}", outcome.final_report().abort_reason);
+        // 2. Phases only ever extend the accounting.
+        for pair in outcome.reports.windows(2) {
+            prop_assert!(is_execution_prefix(&pair[0], &pair[1]));
+        }
+        // 3. The linear workflow never double-executes on completion.
+        if outcome.completed {
+            let counts = execution_counts(outcome.final_report());
+            prop_assert!(counts.values().all(|&c| c == 1), "{:?}", counts);
+        }
+        // 4. Byte-identical replay.
+        let again = run_scenario_with_budget(&plan, &wl, 3);
+        prop_assert_eq!(outcome_fingerprint(&outcome), outcome_fingerprint(&again));
+    }
+
+    /// Fault plans survive the storage round trip (a replayed scenario
+    /// can be reconstructed from an archived plan).
+    #[test]
+    fn fault_plans_round_trip(plan in fault_plan(), crash_at in prop::option::of(0usize..5)) {
+        let mut plan = plan.losing_node("ac-h2", 1).immunizing("information-1");
+        if let Some(k) = crash_at {
+            plan = plan.crashing_after(k);
+        }
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, plan);
+    }
+}

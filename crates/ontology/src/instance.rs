@@ -114,11 +114,12 @@ mod tests {
 
     #[test]
     fn ref_list_extracts_ids_in_order() {
-        let inst = Instance::new("PD", "ProcessDescription").with(
-            "Activity Set",
-            Value::ref_list(["BEGIN", "POD", "END"]),
+        let inst = Instance::new("PD", "ProcessDescription")
+            .with("Activity Set", Value::ref_list(["BEGIN", "POD", "END"]));
+        assert_eq!(
+            inst.get_ref_list("Activity Set"),
+            vec!["BEGIN", "POD", "END"]
         );
-        assert_eq!(inst.get_ref_list("Activity Set"), vec!["BEGIN", "POD", "END"]);
         assert!(inst.get_ref_list("Transition Set").is_empty());
     }
 
@@ -126,7 +127,11 @@ mod tests {
     fn mixed_list_skips_non_refs() {
         let inst = Instance::new("X", "C").with(
             "L",
-            Value::List(vec![Value::reference("a"), Value::Int(1), Value::reference("b")]),
+            Value::List(vec![
+                Value::reference("a"),
+                Value::Int(1),
+                Value::reference("b"),
+            ]),
         );
         assert_eq!(inst.get_ref_list("L"), vec!["a", "b"]);
     }

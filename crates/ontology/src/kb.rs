@@ -456,8 +456,7 @@ mod tests {
                 .with_slot(SlotDef::required("Name", ValueType::Str))
                 .with_slot(SlotDef::optional("Size", ValueType::Int).with_range(Some(0.0), None))
                 .with_slot(
-                    SlotDef::optional("Format", ValueType::Str)
-                        .with_default(Value::str("Text")),
+                    SlotDef::optional("Format", ValueType::Str).with_default(Value::str("Text")),
                 ),
         )
         .unwrap();
@@ -553,10 +552,8 @@ mod tests {
     #[test]
     fn derived_class_overrides_slot_by_name() {
         let mut kb = KnowledgeBase::new("t");
-        kb.add_class(
-            ClassDef::new("Base").with_slot(SlotDef::optional("Speed", ValueType::Int)),
-        )
-        .unwrap();
+        kb.add_class(ClassDef::new("Base").with_slot(SlotDef::optional("Speed", ValueType::Int)))
+            .unwrap();
         kb.add_class(
             ClassDef::new("Derived")
                 .with_parent("Base")
@@ -571,10 +568,9 @@ mod tests {
     #[test]
     fn abstract_class_cannot_be_instantiated() {
         let mut kb = KnowledgeBase::new("t");
-        kb.add_class(ClassDef::new("Abstract").abstract_class()).unwrap();
-        let err = kb
-            .add_instance(Instance::new("x", "Abstract"))
-            .unwrap_err();
+        kb.add_class(ClassDef::new("Abstract").abstract_class())
+            .unwrap();
+        let err = kb.add_instance(Instance::new("x", "Abstract")).unwrap_err();
         assert_eq!(err, OntologyError::AbstractClass("Abstract".into()));
     }
 
@@ -604,9 +600,7 @@ mod tests {
         kb.add_instance(Instance::new("r1", "Resource").with("Hardware", Value::reference("hw1")))
             .unwrap();
         let err = kb
-            .add_instance(
-                Instance::new("r2", "Resource").with("Hardware", Value::reference("sw1")),
-            )
+            .add_instance(Instance::new("r2", "Resource").with("Hardware", Value::reference("sw1")))
             .unwrap_err();
         assert!(matches!(err, OntologyError::FacetViolation { .. }));
     }

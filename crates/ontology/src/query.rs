@@ -47,9 +47,7 @@ impl SlotCond {
                 .map(|v| !v.loose_eq(operand))
                 .unwrap_or(true),
             SlotCond::Lt(slot, operand) => Self::cmp_is(instance, slot, operand, Ordering::Less),
-            SlotCond::Gt(slot, operand) => {
-                Self::cmp_is(instance, slot, operand, Ordering::Greater)
-            }
+            SlotCond::Gt(slot, operand) => Self::cmp_is(instance, slot, operand, Ordering::Greater),
             SlotCond::Le(slot, operand) => {
                 Self::cmp_is(instance, slot, operand, Ordering::Less)
                     || SlotCond::Eq(slot.clone(), operand.clone()).matches(instance)

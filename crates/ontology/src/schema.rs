@@ -204,7 +204,10 @@ pub fn grid_ontology_shell() -> KnowledgeBase {
             .with_slot(SlotDef::required("Name", ValueType::Str))
             .with_slot(SlotDef::optional("Location", ValueType::Str))
             .with_slot(SlotDef::reference_multi("Activity Set", classes::ACTIVITY))
-            .with_slot(SlotDef::reference_multi("Transition Set", classes::TRANSITION))
+            .with_slot(SlotDef::reference_multi(
+                "Transition Set",
+                classes::TRANSITION,
+            ))
             .with_slot(SlotDef::optional("Creator", ValueType::Str)),
     )
     .expect("fresh KB");
@@ -232,7 +235,10 @@ pub fn grid_ontology_shell() -> KnowledgeBase {
             .with_slot(SlotDef::optional("Status", ValueType::Str))
             .with_slot(SlotDef::reference_multi("Data Set", classes::DATA))
             .with_slot(SlotDef::reference_multi("Result Set", classes::DATA))
-            .with_slot(SlotDef::reference("Case Description", classes::CASE_DESCRIPTION))
+            .with_slot(SlotDef::reference(
+                "Case Description",
+                classes::CASE_DESCRIPTION,
+            ))
             .with_slot(SlotDef::reference(
                 "Process Description",
                 classes::PROCESS_DESCRIPTION,
@@ -302,7 +308,10 @@ mod tests {
             "Retry Count",
             "Dispatched By",
         ] {
-            assert!(slots.contains(&expected), "missing Activity slot {expected}");
+            assert!(
+                slots.contains(&expected),
+                "missing Activity slot {expected}"
+            );
         }
         assert_eq!(slots.len(), 18);
     }
@@ -357,9 +366,7 @@ mod tests {
     fn hardware_speed_must_be_non_negative() {
         let mut kb = grid_ontology_shell();
         let err = kb
-            .add_instance(
-                Instance::new("hw", classes::HARDWARE).with("Speed", Value::Float(-2.0)),
-            )
+            .add_instance(Instance::new("hw", classes::HARDWARE).with("Speed", Value::Float(-2.0)))
             .unwrap_err();
         assert!(matches!(
             err,

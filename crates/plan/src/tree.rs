@@ -44,12 +44,7 @@ impl PlanNode {
     /// initialization produces: "every internal node is instantiated with
     /// a controller node" with no conditions attached yet).
     pub fn selective_unguarded<I: IntoIterator<Item = PlanNode>>(children: I) -> Self {
-        PlanNode::Selective(
-            children
-                .into_iter()
-                .map(|c| (Condition::True, c))
-                .collect(),
-        )
+        PlanNode::Selective(children.into_iter().map(|c| (Condition::True, c)).collect())
     }
 
     /// Is this a controller (internal) node?
@@ -65,12 +60,7 @@ impl PlanNode {
 
     /// Maximum depth (a terminal has depth 1).
     pub fn depth(&self) -> usize {
-        1 + self
-            .children()
-            .iter()
-            .map(|c| c.depth())
-            .max()
-            .unwrap_or(0)
+        1 + self.children().iter().map(|c| c.depth()).max().unwrap_or(0)
     }
 
     /// Borrowed children, in order (guards dropped).
@@ -138,11 +128,7 @@ impl PlanNode {
     /// Visit every node (preorder), returning the number visited.
     pub fn visit(&self, f: &mut impl FnMut(&PlanNode)) -> usize {
         f(self);
-        1 + self
-            .children()
-            .iter()
-            .map(|c| c.visit(f))
-            .sum::<usize>()
+        1 + self.children().iter().map(|c| c.visit(f)).sum::<usize>()
     }
 
     /// Borrow the node at preorder index `idx` (0 = this node).
@@ -167,7 +153,11 @@ impl PlanNode {
     /// returning the subtree that was there.  Returns `None` (tree
     /// unchanged) if `idx` is out of range.
     pub fn replace_at(&mut self, idx: usize, replacement: PlanNode) -> Option<PlanNode> {
-        fn go(node: &mut PlanNode, idx: &mut usize, replacement: &mut Option<PlanNode>) -> Option<PlanNode> {
+        fn go(
+            node: &mut PlanNode,
+            idx: &mut usize,
+            replacement: &mut Option<PlanNode>,
+        ) -> Option<PlanNode> {
             if *idx == 0 {
                 let new = replacement.take().expect("single use");
                 return Some(std::mem::replace(node, new));
@@ -202,12 +192,12 @@ impl PlanNode {
     pub fn unroll_abstract_iteratives(&self) -> PlanNode {
         match self {
             PlanNode::Terminal(name) => PlanNode::Terminal(name.clone()),
-            PlanNode::Sequential(c) => PlanNode::Sequential(
-                c.iter().map(Self::unroll_abstract_iteratives).collect(),
-            ),
-            PlanNode::Concurrent(c) => PlanNode::Concurrent(
-                c.iter().map(Self::unroll_abstract_iteratives).collect(),
-            ),
+            PlanNode::Sequential(c) => {
+                PlanNode::Sequential(c.iter().map(Self::unroll_abstract_iteratives).collect())
+            }
+            PlanNode::Concurrent(c) => {
+                PlanNode::Concurrent(c.iter().map(Self::unroll_abstract_iteratives).collect())
+            }
             PlanNode::Selective(c) => PlanNode::Selective(
                 c.iter()
                     .map(|(g, n)| (g.clone(), n.unroll_abstract_iteratives()))
@@ -252,8 +242,7 @@ impl PlanNode {
                 }
             }
             PlanNode::Concurrent(children) => {
-                let out: Vec<PlanNode> =
-                    children.iter().filter_map(|c| c.simplify()).collect();
+                let out: Vec<PlanNode> = children.iter().filter_map(|c| c.simplify()).collect();
                 match out.len() {
                     0 => None,
                     1 => Some(out.into_iter().next().expect("len checked")),

@@ -1,6 +1,8 @@
 //! Property-based tests for plan-tree conversions.
 
-use gridflow_plan::{ast_to_tree, canonicalize, graph_to_tree, tree_to_ast, tree_to_graph, PlanNode};
+use gridflow_plan::{
+    ast_to_tree, canonicalize, graph_to_tree, tree_to_ast, tree_to_graph, PlanNode,
+};
 use gridflow_process::Condition;
 use proptest::prelude::*;
 
@@ -25,8 +27,7 @@ fn plan_node() -> impl Strategy<Value = PlanNode> {
         prop_oneof![
             prop::collection::vec(inner.clone(), 1..4).prop_map(PlanNode::Sequential),
             prop::collection::vec(inner.clone(), 2..4).prop_map(PlanNode::Concurrent),
-            prop::collection::vec((condition(), inner.clone()), 2..4)
-                .prop_map(PlanNode::Selective),
+            prop::collection::vec((condition(), inner.clone()), 2..4).prop_map(PlanNode::Selective),
             (condition(), prop::collection::vec(inner, 1..4))
                 .prop_map(|(cond, body)| PlanNode::Iterative { cond, body }),
         ]

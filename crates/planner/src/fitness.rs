@@ -84,9 +84,8 @@ pub fn evaluate(
     let goal = outcome.goal_fitness(problem);
     let size = tree.size();
     let representation = (1.0 - size as f64 / smax as f64).max(0.0);
-    let overall = weights.validity * validity
-        + weights.goal * goal
-        + weights.representation * representation;
+    let overall =
+        weights.validity * validity + weights.goal * goal + weights.representation * representation;
     Fitness {
         validity,
         goal,
@@ -130,7 +129,13 @@ mod tests {
             PlanNode::terminal("step1"),
             PlanNode::terminal("step2"),
         ]);
-        let f = evaluate(&tree, &problem(), 40, FitnessWeights::default(), DEFAULT_FLOW_CAP);
+        let f = evaluate(
+            &tree,
+            &problem(),
+            40,
+            FitnessWeights::default(),
+            DEFAULT_FLOW_CAP,
+        );
         assert_eq!(f.validity, 1.0);
         assert_eq!(f.goal, 1.0);
         assert_eq!(f.size, 3);
@@ -144,7 +149,13 @@ mod tests {
     #[test]
     fn oversize_tree_clamps_representation_to_zero() {
         let tree = PlanNode::Sequential(vec![PlanNode::terminal("step1"); 50]);
-        let f = evaluate(&tree, &problem(), 40, FitnessWeights::default(), DEFAULT_FLOW_CAP);
+        let f = evaluate(
+            &tree,
+            &problem(),
+            40,
+            FitnessWeights::default(),
+            DEFAULT_FLOW_CAP,
+        );
         assert_eq!(f.representation, 0.0);
         assert!(f.overall <= 0.7 + 1e-12);
     }
@@ -160,7 +171,13 @@ mod tests {
             ]),
         ];
         for tree in &trees {
-            let f = evaluate(tree, &problem(), 40, FitnessWeights::default(), DEFAULT_FLOW_CAP);
+            let f = evaluate(
+                tree,
+                &problem(),
+                40,
+                FitnessWeights::default(),
+                DEFAULT_FLOW_CAP,
+            );
             assert!(f.overall >= 0.0 && f.overall <= 1.0, "{f:?}");
             assert!(f.validity >= 0.0 && f.validity <= 1.0);
             assert!(f.goal >= 0.0 && f.goal <= 1.0);

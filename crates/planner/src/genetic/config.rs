@@ -129,13 +129,43 @@ mod tests {
     #[test]
     fn validation_rejects_bad_knobs() {
         let base = GpConfig::default();
-        assert!(GpConfig { population_size: 0, ..base }.validate().is_err());
-        assert!(GpConfig { crossover_rate: 1.5, ..base }.validate().is_err());
-        assert!(GpConfig { mutation_rate: -0.1, ..base }.validate().is_err());
+        assert!(GpConfig {
+            population_size: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(GpConfig {
+            crossover_rate: 1.5,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(GpConfig {
+            mutation_rate: -0.1,
+            ..base
+        }
+        .validate()
+        .is_err());
         assert!(GpConfig { smax: 1, ..base }.validate().is_err());
-        assert!(GpConfig { init_max_size: 41, ..base }.validate().is_err());
-        assert!(GpConfig { tournament_size: 0, ..base }.validate().is_err());
-        assert!(GpConfig { elitism: 200, ..base }.validate().is_err());
+        assert!(GpConfig {
+            init_max_size: 41,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(GpConfig {
+            tournament_size: 0,
+            ..base
+        }
+        .validate()
+        .is_err());
+        assert!(GpConfig {
+            elitism: 200,
+            ..base
+        }
+        .validate()
+        .is_err());
         assert!(GpConfig { elitism: 5, ..base }.validate().is_ok());
     }
 
@@ -143,7 +173,11 @@ mod tests {
     fn effective_threads_is_positive() {
         assert!(GpConfig::default().effective_threads() >= 1);
         assert_eq!(
-            GpConfig { threads: 3, ..GpConfig::default() }.effective_threads(),
+            GpConfig {
+                threads: 3,
+                ..GpConfig::default()
+            }
+            .effective_threads(),
             3
         );
     }

@@ -378,9 +378,7 @@ mod tests {
             );
         }
         // And the final answer equals the best ever seen.
-        assert!(
-            (result.best_fitness.overall - result.best_ever_fitness.overall).abs() < 1e-12
-        );
+        assert!((result.best_fitness.overall - result.best_ever_fitness.overall).abs() < 1e-12);
     }
 
     #[test]

@@ -41,12 +41,7 @@ pub fn random_tree<R: Rng>(rng: &mut R, size: usize, activities: &[String]) -> P
     match rng.gen_range(0..4u8) {
         0 => PlanNode::Sequential(children),
         1 => PlanNode::Concurrent(children),
-        2 => PlanNode::Selective(
-            children
-                .into_iter()
-                .map(|c| (Condition::True, c))
-                .collect(),
-        ),
+        2 => PlanNode::Selective(children.into_iter().map(|c| (Condition::True, c)).collect()),
         _ => PlanNode::Iterative {
             cond: Condition::True,
             body: children,
@@ -152,15 +147,17 @@ mod tests {
             totals.2 += c.2;
             totals.3 += c.3;
         }
-        assert!(totals.0 > 0 && totals.1 > 0 && totals.2 > 0 && totals.3 > 0,
-            "controller kinds missing: {totals:?}");
+        assert!(
+            totals.0 > 0 && totals.1 > 0 && totals.2 > 0 && totals.3 > 0,
+            "controller kinds missing: {totals:?}"
+        );
     }
 
     #[test]
     fn composition_sums_and_is_positive() {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         for _ in 0..100 {
-            let total = rng.gen_range(1..=30);
+            let total: usize = rng.gen_range(1..=30);
             let parts = rng.gen_range(1..=total.min(4));
             let comp = random_composition(&mut rng, total, parts);
             assert_eq!(comp.len(), parts);

@@ -45,9 +45,7 @@ pub fn replan(request: &ReplanRequest, config: GpConfig) -> ReplanOutcome {
     let mut restricted = request
         .problem
         .without_activities(request.excluded.iter().map(String::as_str));
-    restricted
-        .initial
-        .extend(request.produced.iter().cloned());
+    restricted.initial.extend(request.produced.iter().cloned());
     let result = GpPlanner::new(config, restricted.clone()).run();
     ReplanOutcome { result, restricted }
 }

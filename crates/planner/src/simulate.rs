@@ -103,7 +103,13 @@ pub fn simulate_capped(tree: &PlanNode, problem: &PlanningProblem, flow_cap: usi
         executed: 0,
     };
     let mut truncated = false;
-    let worlds = sim_node(tree, vec![initial], problem, flow_cap.max(1), &mut truncated);
+    let worlds = sim_node(
+        tree,
+        vec![initial],
+        problem,
+        flow_cap.max(1),
+        &mut truncated,
+    );
     let total_valid = worlds.iter().map(|w| w.valid).sum();
     let total_executed = worlds.iter().map(|w| w.executed).sum();
     SimOutcome {
@@ -161,8 +167,7 @@ fn sim_node(
                         *truncated = true;
                         break 'outer;
                     }
-                    let forked =
-                        sim_node(child, vec![w.clone()], problem, flow_cap, truncated);
+                    let forked = sim_node(child, vec![w.clone()], problem, flow_cap, truncated);
                     out.extend(forked);
                 }
             }
@@ -300,10 +305,8 @@ mod tests {
                 ["Resolution File"],
             ))
             .build();
-        let once = PlanNode::Sequential(vec![
-            PlanNode::terminal("P3DR"),
-            PlanNode::terminal("PSF"),
-        ]);
+        let once =
+            PlanNode::Sequential(vec![PlanNode::terminal("P3DR"), PlanNode::terminal("PSF")]);
         let out = simulate(&once, &problem);
         assert_eq!(out.total_valid, 1, "PSF must fail with one model");
         let twice = PlanNode::Sequential(vec![

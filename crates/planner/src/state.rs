@@ -96,9 +96,16 @@ mod tests {
 
     #[test]
     fn inputs_respect_multiplicity() {
-        let psf = ActivitySpec::new("PSF", ["PSF-Parameter", "3D Model", "3D Model"], ["Resolution File"]);
+        let psf = ActivitySpec::new(
+            "PSF",
+            ["PSF-Parameter", "3D Model", "3D Model"],
+            ["Resolution File"],
+        );
         let mut s = PlanningState::from_classifications(["PSF-Parameter", "3D Model"]);
-        assert!(!s.satisfies_inputs(&psf), "one 3D Model must not satisfy a two-model input");
+        assert!(
+            !s.satisfies_inputs(&psf),
+            "one 3D Model must not satisfy a two-model input"
+        );
         s.add("3D Model");
         assert!(s.satisfies_inputs(&psf));
     }

@@ -63,9 +63,7 @@ impl Stmt {
                     .map(Stmt::node_count)
                     .sum::<usize>()
             }
-            Stmt::Iterative { body, .. } => {
-                1 + body.iter().map(Stmt::node_count).sum::<usize>()
-            }
+            Stmt::Iterative { body, .. } => 1 + body.iter().map(Stmt::node_count).sum::<usize>(),
         }
     }
 
@@ -89,9 +87,7 @@ impl Stmt {
                     .max()
                     .unwrap_or(0)
             }
-            Stmt::Iterative { body, .. } => {
-                1 + body.iter().map(Stmt::depth).max().unwrap_or(0)
-            }
+            Stmt::Iterative { body, .. } => 1 + body.iter().map(Stmt::depth).max().unwrap_or(0),
         }
     }
 
@@ -201,10 +197,7 @@ mod tests {
         // Iterative > Concurrent > Activity = 3
         assert_eq!(ast.depth(), 3);
         assert_eq!(ProcessAst::default().depth(), 0);
-        assert_eq!(
-            ProcessAst::new(vec![Stmt::Activity("A".into())]).depth(),
-            1
-        );
+        assert_eq!(ProcessAst::new(vec![Stmt::Activity("A".into())]).depth(), 1);
     }
 
     #[test]

@@ -243,7 +243,8 @@ impl<'g> AtnMachine<'g> {
         };
         self.ready.remove(pos);
         self.running.insert(id.to_owned());
-        self.trace.push(EnactmentEvent::ActivityStarted(id.to_owned()));
+        self.trace
+            .push(EnactmentEvent::ActivityStarted(id.to_owned()));
         Ok(())
     }
 
@@ -283,9 +284,7 @@ impl<'g> AtnMachine<'g> {
             .activity(node)
             .ok_or_else(|| ProcessError::Enactment(format!("missing activity `{node}`")))?;
         match decl.kind {
-            ActivityKind::Begin => Err(ProcessError::Enactment(
-                "token arrived at Begin".into(),
-            )),
+            ActivityKind::Begin => Err(ProcessError::Enactment("token arrived at Begin".into())),
             ActivityKind::End => {
                 self.record_execution(node);
                 self.finished = true;
@@ -309,10 +308,7 @@ impl<'g> AtnMachine<'g> {
                 Ok(())
             }
             ActivityKind::Join => {
-                let arrivals = self
-                    .join_arrivals
-                    .entry(node.to_owned())
-                    .or_default();
+                let arrivals = self.join_arrivals.entry(node.to_owned()).or_default();
                 arrivals.insert(via.id.clone());
                 let expected: BTreeSet<String> = self
                     .graph
@@ -342,12 +338,7 @@ impl<'g> AtnMachine<'g> {
                     .graph
                     .outgoing(node)
                     .into_iter()
-                    .find(|t| {
-                        t.condition
-                            .as_ref()
-                            .map(|c| c.eval(state))
-                            .unwrap_or(true)
-                    })
+                    .find(|t| t.condition.as_ref().map(|c| c.eval(state)).unwrap_or(true))
                     .cloned();
                 match chosen {
                     Some(t) => {
@@ -395,7 +386,11 @@ mod tests {
             m.complete_activity(&id, &state).unwrap();
             order.push(id);
         }
-        assert!(m.is_finished(), "machine did not finish; status {:?}", m.status());
+        assert!(
+            m.is_finished(),
+            "machine did not finish; status {:?}",
+            m.status()
+        );
         order
     }
 
@@ -501,8 +496,12 @@ mod tests {
         m.run_activity("A", &s).unwrap();
         m.run_activity("B", &s).unwrap();
         let trace = m.trace();
-        assert!(trace.iter().any(|e| matches!(e, EnactmentEvent::ForkTriggered(_))));
-        assert!(trace.iter().any(|e| matches!(e, EnactmentEvent::JoinFired(_))));
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e, EnactmentEvent::ForkTriggered(_))));
+        assert!(trace
+            .iter()
+            .any(|e| matches!(e, EnactmentEvent::JoinFired(_))));
         assert!(matches!(trace.last(), Some(EnactmentEvent::Finished)));
     }
 

@@ -88,14 +88,15 @@ mod tests {
             .with_data("D1", DataItem::classified("POD-Parameter"))
             .with_data("D7", DataItem::classified("2D Image"))
             .with_goal("G1", Condition::classified("D12", "Resolution File"))
-            .with_goal(
-                "G2",
-                Condition::compare("D10", "Value", CompareOp::Le, 8.0),
-            )
+            .with_goal("G2", Condition::compare("D10", "Value", CompareOp::Le, 8.0))
             .with_constraint(
                 "Cons1",
-                Condition::classified("D10", "Resolution File")
-                    .and(Condition::compare("D10", "Value", CompareOp::Gt, 8i64)),
+                Condition::classified("D10", "Resolution File").and(Condition::compare(
+                    "D10",
+                    "Value",
+                    CompareOp::Gt,
+                    8i64,
+                )),
             )
             .with_result("D12")
     }

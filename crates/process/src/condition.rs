@@ -106,7 +106,12 @@ impl Condition {
     /// `<data>.Classification = <classification>` — the dominant atom in
     /// the paper's service signatures (C1–C8 of Fig. 13).
     pub fn classified(data: impl Into<String>, classification: impl Into<String>) -> Self {
-        Condition::compare(data, "Classification", CompareOp::Eq, Value::str(classification))
+        Condition::compare(
+            data,
+            "Classification",
+            CompareOp::Eq,
+            Value::str(classification),
+        )
     }
 
     /// Conjunction (builder style).
@@ -147,9 +152,7 @@ impl Condition {
                 op,
                 value,
             } => match state.property(data, property) {
-                Some(actual) => {
-                    op.holds(actual.partial_cmp_value(value), actual.loose_eq(value))
-                }
+                Some(actual) => op.holds(actual.partial_cmp_value(value), actual.loose_eq(value)),
                 None => false,
             },
             Condition::And(a, b) => a.eval(state) && b.eval(state),
@@ -396,7 +399,9 @@ mod tests {
             c.to_string(),
             "D10.Classification = \"Resolution File\" and D10.Value > 8"
         );
-        let nested = Condition::True.or(Condition::True).and(Condition::Exists("D".into()));
+        let nested = Condition::True
+            .or(Condition::True)
+            .and(Condition::Exists("D".into()));
         assert_eq!(nested.to_string(), "(true or true) and exists D");
         let negated = Condition::True.and(Condition::True).negate();
         assert_eq!(negated.to_string(), "not (true and true)");

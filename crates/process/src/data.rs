@@ -104,7 +104,10 @@ impl DataState {
 
     /// Set a property of an item, creating the item if needed.
     pub fn set_property(&mut self, id: &str, property: impl Into<String>, value: Value) {
-        self.items.entry(id.to_owned()).or_default().set(property, value);
+        self.items
+            .entry(id.to_owned())
+            .or_default()
+            .set(property, value);
     }
 
     /// Iterate over `(id, item)` pairs in id order.
@@ -206,7 +209,9 @@ mod tests {
 
     #[test]
     fn from_iterator() {
-        let state: DataState = vec![("D1".to_owned(), DataItem::new())].into_iter().collect();
+        let state: DataState = vec![("D1".to_owned(), DataItem::new())]
+            .into_iter()
+            .collect();
         assert_eq!(state.len(), 1);
     }
 }

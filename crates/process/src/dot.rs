@@ -18,7 +18,9 @@ pub fn to_dot(graph: &ProcessGraph) -> String {
         let (shape, style) = match a.kind {
             ActivityKind::Begin | ActivityKind::End => ("circle", ", style=bold"),
             ActivityKind::EndUser => ("box", ""),
-            ActivityKind::Fork | ActivityKind::Join => ("box", ", style=filled, fillcolor=gray85, height=0.2"),
+            ActivityKind::Fork | ActivityKind::Join => {
+                ("box", ", style=filled, fillcolor=gray85, height=0.2")
+            }
             ActivityKind::Choice | ActivityKind::Merge => ("diamond", ""),
         };
         let _ = writeln!(
@@ -75,7 +77,10 @@ mod tests {
 
     #[test]
     fn quotes_in_names_are_escaped() {
-        let ast = parse_process("BEGIN CHOICE { COND { D.X = \"a\" } { A; }, COND { true } { } } MERGE; END").unwrap();
+        let ast = parse_process(
+            "BEGIN CHOICE { COND { D.X = \"a\" } { A; }, COND { true } { } } MERGE; END",
+        )
+        .unwrap();
         let g = lower("d", &ast).unwrap();
         let dot = to_dot(&g);
         assert!(dot.contains("\\\"a\\\""));

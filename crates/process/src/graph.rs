@@ -231,7 +231,10 @@ impl ProcessGraph {
 
     /// Predecessor activity ids of `id`.
     pub fn predecessors(&self, id: &str) -> Vec<&str> {
-        self.incoming(id).iter().map(|t| t.source.as_str()).collect()
+        self.incoming(id)
+            .iter()
+            .map(|t| t.source.as_str())
+            .collect()
     }
 
     /// The unique successor of a single-successor activity.
@@ -248,7 +251,9 @@ impl ProcessGraph {
 
     /// The Begin activity, if present.
     pub fn begin(&self) -> Option<&ActivityDecl> {
-        self.activities.iter().find(|a| a.kind == ActivityKind::Begin)
+        self.activities
+            .iter()
+            .find(|a| a.kind == ActivityKind::Begin)
     }
 
     /// The End activity, if present.
@@ -455,7 +460,8 @@ mod tests {
         g.add_activity(ActivityDecl::end_user("A")).unwrap();
         g.add_activity(ActivityDecl::flow("END", ActivityKind::End))
             .unwrap();
-        g.add_transition("BEGIN", "A", Some(Condition::True)).unwrap();
+        g.add_transition("BEGIN", "A", Some(Condition::True))
+            .unwrap();
         g.add_transition("A", "END", None).unwrap();
         let err = g.validate().unwrap_err();
         assert!(err.to_string().contains("not a Choice"));

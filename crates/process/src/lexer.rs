@@ -155,34 +155,52 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
             _ => None,
         };
         if let Some(kind) = punct {
-            tokens.push(Token { offset: start, kind });
+            tokens.push(Token {
+                offset: start,
+                kind,
+            });
             i += 1;
             continue;
         }
         match c {
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { offset: start, kind: TokenKind::Le });
+                    tokens.push(Token {
+                        offset: start,
+                        kind: TokenKind::Le,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { offset: start, kind: TokenKind::Lt });
+                    tokens.push(Token {
+                        offset: start,
+                        kind: TokenKind::Lt,
+                    });
                     i += 1;
                 }
                 continue;
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { offset: start, kind: TokenKind::Ge });
+                    tokens.push(Token {
+                        offset: start,
+                        kind: TokenKind::Ge,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { offset: start, kind: TokenKind::Gt });
+                    tokens.push(Token {
+                        offset: start,
+                        kind: TokenKind::Gt,
+                    });
                     i += 1;
                 }
                 continue;
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { offset: start, kind: TokenKind::Ne });
+                    tokens.push(Token {
+                        offset: start,
+                        kind: TokenKind::Ne,
+                    });
                     i += 2;
                     continue;
                 }
@@ -236,7 +254,11 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
         }
         // Numbers (optionally signed).
         if c.is_ascii_digit()
-            || (c == '-' && bytes.get(i + 1).map(|b| b.is_ascii_digit()).unwrap_or(false))
+            || (c == '-'
+                && bytes
+                    .get(i + 1)
+                    .map(|b| b.is_ascii_digit())
+                    .unwrap_or(false))
         {
             let mut j = i + 1;
             let mut is_float = false;
@@ -246,7 +268,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
                     j += 1;
                 } else if d == '.'
                     && !is_float
-                    && bytes.get(j + 1).map(|b| b.is_ascii_digit()).unwrap_or(false)
+                    && bytes
+                        .get(j + 1)
+                        .map(|b| b.is_ascii_digit())
+                        .unwrap_or(false)
                 {
                     is_float = true;
                     j += 1;
@@ -266,7 +291,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
                     message: format!("invalid integer literal `{text}`"),
                 })?)
             };
-            tokens.push(Token { offset: start, kind });
+            tokens.push(Token {
+                offset: start,
+                kind,
+            });
             i = j;
             continue;
         }
@@ -299,7 +327,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
                 "false" => TokenKind::False,
                 _ => TokenKind::Ident(text.to_owned()),
             };
-            tokens.push(Token { offset: start, kind });
+            tokens.push(Token {
+                offset: start,
+                kind,
+            });
             i = j;
             continue;
         }

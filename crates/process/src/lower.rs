@@ -121,8 +121,7 @@ impl Lowering {
                 self.graph
                     .add_activity(ActivityDecl::flow(&merge, ActivityKind::Merge))?;
                 for (cond, branch) in branches {
-                    let last =
-                        self.lower_stmts(branch, choice.clone(), Some(cond.clone()))?;
+                    let last = self.lower_stmts(branch, choice.clone(), Some(cond.clone()))?;
                     // An empty branch means the Choice connects straight to
                     // the Merge; lower_stmts returned `choice` itself.
                     if last == choice {
@@ -165,7 +164,8 @@ mod tests {
     fn lower_src(src: &str) -> ProcessGraph {
         let ast = parse_process(src).unwrap();
         let g = lower("test", &ast).unwrap();
-        g.validate().unwrap_or_else(|e| panic!("invalid graph: {e}"));
+        g.validate()
+            .unwrap_or_else(|e| panic!("invalid graph: {e}"));
         g
     }
 
@@ -199,9 +199,8 @@ mod tests {
 
     #[test]
     fn choice_merge_shape_matches_figure_6() {
-        let g = lower_src(
-            "BEGIN CHOICE { COND { D.X = 1 } { A; }, COND { true } { B; } } MERGE; END",
-        );
+        let g =
+            lower_src("BEGIN CHOICE { COND { D.X = 1 } { A; }, COND { true } { B; } } MERGE; END");
         let choice = g
             .activities()
             .iter()

@@ -81,8 +81,7 @@ impl Ctx {
     /// Graphs here are small (tens of activities), so the quadratic
     /// fixpoint is fine.
     fn dominators(graph: &ProcessGraph) -> BTreeMap<String, BTreeSet<String>> {
-        let all: BTreeSet<String> =
-            graph.activities().iter().map(|a| a.id.clone()).collect();
+        let all: BTreeSet<String> = graph.activities().iter().map(|a| a.id.clone()).collect();
         let begin = graph.begin().expect("validated").id.clone();
         let mut dom: BTreeMap<String, BTreeSet<String>> = graph
             .activities()
@@ -169,10 +168,9 @@ impl<'g> Walker<'g> {
             if stop == Some(current.as_str()) {
                 return Ok((stmts, Terminal::ReachedStop));
             }
-            let decl = self
-                .graph
-                .activity(&current)
-                .ok_or_else(|| ProcessError::Unstructured(format!("missing activity `{current}`")))?;
+            let decl = self.graph.activity(&current).ok_or_else(|| {
+                ProcessError::Unstructured(format!("missing activity `{current}`"))
+            })?;
             match decl.kind {
                 ActivityKind::End => return Ok((stmts, Terminal::ReachedEnd)),
                 ActivityKind::Begin => {
@@ -186,10 +184,8 @@ impl<'g> Walker<'g> {
                     current = self.graph.sole_successor(&current)?.to_owned();
                 }
                 ActivityKind::Fork => {
-                    let join = self.find_convergence(
-                        self.graph.successors(&current)[0],
-                        ActivityKind::Join,
-                    )?;
+                    let join = self
+                        .find_convergence(self.graph.successors(&current)[0], ActivityKind::Join)?;
                     let mut branches = Vec::new();
                     for t in self.graph.outgoing(&current) {
                         let (branch, terminal) = self.walk(t.dest.clone(), Some(&join))?;
@@ -256,14 +252,11 @@ impl<'g> Walker<'g> {
                         .iter()
                         .find(|t| t.dest == current)
                         .expect("classified as loop choice");
-                    let exit = out
-                        .iter()
-                        .find(|t| t.dest != current)
-                        .ok_or_else(|| {
-                            ProcessError::Unstructured(format!(
-                                "loop-closing Choice `{choice}` has no exit transition"
-                            ))
-                        })?;
+                    let exit = out.iter().find(|t| t.dest != current).ok_or_else(|| {
+                        ProcessError::Unstructured(format!(
+                            "loop-closing Choice `{choice}` has no exit transition"
+                        ))
+                    })?;
                     let cond = back.condition.clone().unwrap_or(Condition::True);
                     stmts.push(Stmt::Iterative { cond, body });
                     current = exit.dest.clone();
@@ -279,11 +272,13 @@ impl<'g> Walker<'g> {
         let mut node = start.to_owned();
         loop {
             self.bump()?;
-            let decl = self.graph.activity(&node).ok_or_else(|| {
-                ProcessError::Unstructured(format!("missing activity `{node}`"))
-            })?;
+            let decl = self
+                .graph
+                .activity(&node)
+                .ok_or_else(|| ProcessError::Unstructured(format!("missing activity `{node}`")))?;
             match decl.kind {
-                k if k == target && !(k == ActivityKind::Merge && self.ctx.is_loop_header(&node)) =>
+                k if k == target
+                    && !(k == ActivityKind::Merge && self.ctx.is_loop_header(&node)) =>
                 {
                     return Ok(node)
                 }
@@ -291,10 +286,8 @@ impl<'g> Walker<'g> {
                     node = self.graph.sole_successor(&node)?.to_owned();
                 }
                 ActivityKind::Fork => {
-                    let join = self.find_convergence(
-                        self.graph.successors(&node)[0],
-                        ActivityKind::Join,
-                    )?;
+                    let join =
+                        self.find_convergence(self.graph.successors(&node)[0], ActivityKind::Join)?;
                     node = self.graph.sole_successor(&join)?.to_owned();
                 }
                 ActivityKind::Choice => {
@@ -303,10 +296,8 @@ impl<'g> Walker<'g> {
                             "loop-closing Choice `{node}` encountered while scanning for convergence"
                         )));
                     }
-                    let merge = self.find_convergence(
-                        self.graph.successors(&node)[0],
-                        ActivityKind::Merge,
-                    )?;
+                    let merge = self
+                        .find_convergence(self.graph.successors(&node)[0], ActivityKind::Merge)?;
                     node = self.graph.sole_successor(&merge)?.to_owned();
                 }
                 ActivityKind::Merge if self.ctx.is_loop_header(&node) => {
@@ -412,9 +403,7 @@ mod tests {
 
     #[test]
     fn fork_inside_fork_round_trips() {
-        round_trip(
-            "BEGIN FORK { { FORK { { A; }, { B; } } JOIN; }, { C; } } JOIN; END",
-        );
+        round_trip("BEGIN FORK { { FORK { { A; }, { B; } } JOIN; }, { C; } } JOIN; END");
     }
 
     #[test]
@@ -448,10 +437,7 @@ mod tests {
         // Structural validation itself may pass (END with 2 preds is
         // tolerated), but recovery must refuse.
         if g.validate().is_ok() {
-            assert!(matches!(
-                recover(&g),
-                Err(ProcessError::Unstructured(_))
-            ));
+            assert!(matches!(recover(&g), Err(ProcessError::Unstructured(_))));
         }
     }
 }

@@ -2,13 +2,13 @@
 //! print→parse and lower→recover round trips, ATN progress, and condition
 //! algebra.
 
+use gridflow_ontology::Value;
 use gridflow_process::condition::{CompareOp, Condition};
 use gridflow_process::data::{DataItem, DataState};
 use gridflow_process::lower::lower;
 use gridflow_process::parser::{parse_condition, parse_process};
 use gridflow_process::printer::print;
 use gridflow_process::{AtnMachine, ProcessAst, Stmt};
-use gridflow_ontology::Value;
 use proptest::prelude::*;
 
 // ---------------------------------------------------------------------
@@ -85,8 +85,7 @@ fn stmt() -> impl Strategy<Value = Stmt> {
         let body = prop::collection::vec(inner.clone(), 0..3);
         prop_oneof![
             prop::collection::vec(body.clone(), 2..4).prop_map(Stmt::Concurrent),
-            prop::collection::vec((condition(), body.clone()), 2..4)
-                .prop_map(Stmt::Selective),
+            prop::collection::vec((condition(), body.clone()), 2..4).prop_map(Stmt::Selective),
             (condition(), body).prop_map(|(cond, body)| Stmt::Iterative { cond, body }),
         ]
     })

@@ -12,7 +12,7 @@ use crate::scheduling;
 use crate::simulation;
 use crate::storage::StorageService;
 use crate::world::SharedWorld;
-use gridflow_agents::{Agent, AgentContext, AclMessage, Performative};
+use gridflow_agents::{AclMessage, Agent, AgentContext, Performative};
 use gridflow_ontology::KnowledgeBase;
 use gridflow_process::{CaseDescription, ProcessGraph};
 use serde_json::json;
@@ -47,11 +47,7 @@ impl Agent for MonitoringAgent {
                     Some(status) => {
                         let _ = ctx.reply(&msg, Performative::Inform, json!({"status": status}));
                     }
-                    None => reply_failure(
-                        ctx,
-                        &msg,
-                        &crate::ServiceError::NotFound(id.to_owned()),
-                    ),
+                    None => reply_failure(ctx, &msg, &crate::ServiceError::NotFound(id.to_owned())),
                 }
             }
             Ok("probe_resource") => {
@@ -60,11 +56,7 @@ impl Agent for MonitoringAgent {
                     Some(status) => {
                         let _ = ctx.reply(&msg, Performative::Inform, json!({"status": status}));
                     }
-                    None => reply_failure(
-                        ctx,
-                        &msg,
-                        &crate::ServiceError::NotFound(id.to_owned()),
-                    ),
+                    None => reply_failure(ctx, &msg, &crate::ServiceError::NotFound(id.to_owned())),
                 }
             }
             Ok("availability") => {
@@ -347,11 +339,11 @@ impl Agent for SimulationAgent {
         }
         match action_of(&msg).as_deref() {
             Ok("predict") => {
-                let graph: ProcessGraph =
-                    match serde_json::from_value(msg.content["graph"].clone()) {
-                        Ok(g) => g,
-                        Err(e) => return reply_failure(ctx, &msg, &e),
-                    };
+                let graph: ProcessGraph = match serde_json::from_value(msg.content["graph"].clone())
+                {
+                    Ok(g) => g,
+                    Err(e) => return reply_failure(ctx, &msg, &e),
+                };
                 let case: CaseDescription =
                     match serde_json::from_value(msg.content["case"].clone()) {
                         Ok(c) => c,

@@ -5,7 +5,7 @@
 use crate::agents::{action_of, reply_failure};
 use crate::brokerage::BrokerageService;
 use crate::world::SharedWorld;
-use gridflow_agents::{Agent, AgentContext, AclMessage, Performative};
+use gridflow_agents::{AclMessage, Agent, AgentContext, Performative};
 use serde_json::json;
 
 /// Wraps a [`BrokerageService`] over the shared world.
@@ -128,7 +128,10 @@ mod tests {
         assert!(!containers.is_empty());
 
         // Kill one container: the broker is stale until refreshed.
-        world.write().set_container_up(&containers[0], false).unwrap();
+        world
+            .write()
+            .set_container_up(&containers[0], false)
+            .unwrap();
         let reply = client
             .request(
                 "brokerage-1",

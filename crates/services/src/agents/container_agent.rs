@@ -5,7 +5,7 @@
 
 use crate::agents::{action_of, reply_failure};
 use crate::world::SharedWorld;
-use gridflow_agents::{Agent, AgentContext, AclMessage, Performative};
+use gridflow_agents::{AclMessage, Agent, AgentContext, Performative};
 use serde_json::json;
 
 /// Wraps one application container of the shared world.

@@ -15,7 +15,7 @@ use crate::agents::{action_of, reply_failure, CONVERSATION_TIMEOUT, GRIDFLOW_ONT
 use crate::coordination::{EnactmentConfig, Enactor};
 use crate::planning::PlanRequest;
 use crate::world::SharedWorld;
-use gridflow_agents::{Agent, AgentContext, AclMessage, Performative};
+use gridflow_agents::{AclMessage, Agent, AgentContext, Performative};
 use gridflow_process::{CaseDescription, ProcessGraph};
 use serde_json::json;
 
@@ -34,11 +34,7 @@ pub struct CoordinationAgent {
 
 impl CoordinationAgent {
     /// A fresh agent.
-    pub fn new(
-        agent_name: impl Into<String>,
-        config: EnactmentConfig,
-        world: SharedWorld,
-    ) -> Self {
+    pub fn new(agent_name: impl Into<String>, config: EnactmentConfig, world: SharedWorld) -> Self {
         CoordinationAgent {
             agent_name: agent_name.into(),
             config,
@@ -154,11 +150,11 @@ impl Agent for CoordinationAgent {
             }
             // Enact a supplied process description under a case.
             "enact" => {
-                let graph: ProcessGraph =
-                    match serde_json::from_value(msg.content["graph"].clone()) {
-                        Ok(g) => g,
-                        Err(e) => return reply_failure(ctx, &msg, &e),
-                    };
+                let graph: ProcessGraph = match serde_json::from_value(msg.content["graph"].clone())
+                {
+                    Ok(g) => g,
+                    Err(e) => return reply_failure(ctx, &msg, &e),
+                };
                 let case: CaseDescription =
                     match serde_json::from_value(msg.content["case"].clone()) {
                         Ok(c) => c,
@@ -170,11 +166,11 @@ impl Agent for CoordinationAgent {
             // Disconnected-user protocol: acknowledge, then run the task
             // while the user is away.
             "submit" => {
-                let graph: ProcessGraph =
-                    match serde_json::from_value(msg.content["graph"].clone()) {
-                        Ok(g) => g,
-                        Err(e) => return reply_failure(ctx, &msg, &e),
-                    };
+                let graph: ProcessGraph = match serde_json::from_value(msg.content["graph"].clone())
+                {
+                    Ok(g) => g,
+                    Err(e) => return reply_failure(ctx, &msg, &e),
+                };
                 let case: CaseDescription =
                     match serde_json::from_value(msg.content["case"].clone()) {
                         Ok(c) => c,
@@ -194,11 +190,7 @@ impl Agent for CoordinationAgent {
                 let task_id = msg.content["task_id"].as_str().unwrap_or("");
                 match self.completed.get(task_id) {
                     Some(report) => {
-                        let _ = ctx.reply(
-                            &msg,
-                            Performative::Inform,
-                            json!({ "report": report }),
-                        );
+                        let _ = ctx.reply(&msg, Performative::Inform, json!({ "report": report }));
                     }
                     None => reply_failure(
                         ctx,
@@ -231,11 +223,10 @@ impl Agent for CoordinationAgent {
                         &crate::ServiceError::NoViablePlan("planner found no perfect plan".into()),
                     );
                 }
-                let graph: ProcessGraph =
-                    match serde_json::from_value(plan_body["graph"].clone()) {
-                        Ok(g) => g,
-                        Err(e) => return reply_failure(ctx, &msg, &e),
-                    };
+                let graph: ProcessGraph = match serde_json::from_value(plan_body["graph"].clone()) {
+                    Ok(g) => g,
+                    Err(e) => return reply_failure(ctx, &msg, &e),
+                };
                 let report = self.enact(&graph, &case);
                 let _ = ctx.reply(
                     &msg,

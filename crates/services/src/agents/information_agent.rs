@@ -3,7 +3,7 @@
 
 use crate::agents::{action_of, reply_failure};
 use crate::information::{InformationService, Registration};
-use gridflow_agents::{Agent, AgentContext, AclMessage, Performative};
+use gridflow_agents::{AclMessage, Agent, AgentContext, Performative};
 use serde_json::json;
 
 /// Wraps an [`InformationService`].
@@ -69,27 +69,18 @@ impl Agent for InformationAgent {
             "find_by_type" => {
                 let service_type = msg.content["service_type"].as_str().unwrap_or("");
                 let found = self.service.find_by_type(service_type);
-                let _ = ctx.reply(
-                    &msg,
-                    Performative::Inform,
-                    json!({ "services": found }),
-                );
+                let _ = ctx.reply(&msg, Performative::Inform, json!({ "services": found }));
             }
             "lookup" => {
                 let name = msg.content["name"].as_str().unwrap_or("");
                 match self.service.lookup(name) {
                     Some(reg) => {
-                        let _ = ctx.reply(
-                            &msg,
-                            Performative::Inform,
-                            json!({ "registration": reg }),
-                        );
+                        let _ =
+                            ctx.reply(&msg, Performative::Inform, json!({ "registration": reg }));
                     }
-                    None => reply_failure(
-                        ctx,
-                        &msg,
-                        &crate::ServiceError::NotFound(name.to_owned()),
-                    ),
+                    None => {
+                        reply_failure(ctx, &msg, &crate::ServiceError::NotFound(name.to_owned()))
+                    }
                 }
             }
             "list" => {

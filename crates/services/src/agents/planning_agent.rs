@@ -12,7 +12,7 @@ use crate::agents::{action_of, reply_failure, CONVERSATION_TIMEOUT, GRIDFLOW_ONT
 use crate::information::Registration;
 use crate::planning::{PlanRequest, PlanningService};
 use crate::world::SharedWorld;
-use gridflow_agents::{Agent, AgentContext, AclMessage, Performative};
+use gridflow_agents::{AclMessage, Agent, AgentContext, Performative};
 use gridflow_process::printer;
 use serde_json::json;
 
@@ -74,13 +74,15 @@ impl PlanningAgent {
             json!({"action": "find_by_type", "service_type": "brokerage"}),
             CONVERSATION_TIMEOUT,
         )?;
-        let brokers: Vec<Registration> =
-            serde_json::from_value(reply.content["services"].clone())
-                .map_err(|e| crate::ServiceError::BadRequest(e.to_string()))?;
+        let brokers: Vec<Registration> = serde_json::from_value(reply.content["services"].clone())
+            .map_err(|e| crate::ServiceError::BadRequest(e.to_string()))?;
         let broker = brokers
             .first()
             .ok_or_else(|| crate::ServiceError::BadRequest("no brokerage service".into()))?;
-        trace.push(format!("information: brokerage service found: {}", broker.name));
+        trace.push(format!(
+            "information: brokerage service found: {}",
+            broker.name
+        ));
 
         let mut excluded = Vec::new();
         for service in suspects {
@@ -114,9 +116,7 @@ impl PlanningAgent {
                         break;
                     }
                     _ => {
-                        trace.push(format!(
-                            "container {container}: `{service}` not executable"
-                        ));
+                        trace.push(format!("container {container}: `{service}` not executable"));
                     }
                 }
             }
@@ -148,11 +148,11 @@ impl Agent for PlanningAgent {
         match action.as_str() {
             // Fig. 2: a plain planning request.
             "plan" => {
-                let request: PlanRequest = match serde_json::from_value(msg.content["request"].clone())
-                {
-                    Ok(r) => r,
-                    Err(e) => return reply_failure(ctx, &msg, &e),
-                };
+                let request: PlanRequest =
+                    match serde_json::from_value(msg.content["request"].clone()) {
+                        Ok(r) => r,
+                        Err(e) => return reply_failure(ctx, &msg, &e),
+                    };
                 match self.run_plan(&request) {
                     Ok(body) => {
                         let _ = ctx.reply(&msg, Performative::Inform, body);

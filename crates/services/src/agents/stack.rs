@@ -2,8 +2,8 @@
 
 use crate::agents::{
     AuthAgent, BrokerageAgent, ContainerAgent, CoordinationAgent, InformationAgent,
-    MonitoringAgent, OntologyAgent, PlanningAgent, SchedulingAgent, SimulationAgent,
-    StorageAgent, GRIDFLOW_ONTOLOGY,
+    MonitoringAgent, OntologyAgent, PlanningAgent, SchedulingAgent, SimulationAgent, StorageAgent,
+    GRIDFLOW_ONTOLOGY,
 };
 use crate::auth::AuthService;
 use crate::coordination::EnactmentConfig;
@@ -195,10 +195,7 @@ mod tests {
         )
         .unwrap();
         // Directory has 10 core agents + containers + the client.
-        assert_eq!(
-            rt.directory().len(),
-            10 + stack.containers.len() + 1
-        );
+        assert_eq!(rt.directory().len(), 10 + stack.containers.len() + 1);
         // The information service knows the registered services.
         let reply = stack
             .client

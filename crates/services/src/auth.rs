@@ -67,7 +67,10 @@ impl AuthService {
         S: Into<String>,
     {
         let name = name.into();
-        self.next_salt = self.next_salt.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.next_salt = self
+            .next_salt
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let salt = self.next_salt;
         self.principals.insert(
             name.clone(),

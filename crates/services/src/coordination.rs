@@ -243,8 +243,7 @@ impl Enactor {
                 if machine.is_finished() {
                     report.success = case.goals_met(&state);
                     if !report.success {
-                        report.abort_reason =
-                            Some("workflow finished but case goals unmet".into());
+                        report.abort_reason = Some("workflow finished but case goals unmet".into());
                     }
                     break 'plans;
                 }
@@ -330,9 +329,8 @@ impl Enactor {
                                 continue 'plans;
                             }
                             Ok(_) => {
-                                report.abort_reason = Some(
-                                    "re-planning produced no viable plan".into(),
-                                );
+                                report.abort_reason =
+                                    Some("re-planning produced no viable plan".into());
                                 break 'plans;
                             }
                             Err(e) => {
@@ -493,7 +491,10 @@ mod tests {
     fn case() -> CaseDescription {
         CaseDescription::new("dinner")
             .with_data("D1", DataItem::classified("Raw"))
-            .with_goal("G1", Condition::classified("D101", "Plated").or(plated_exists()))
+            .with_goal(
+                "G1",
+                Condition::classified("D101", "Plated").or(plated_exists()),
+            )
     }
 
     /// Goal: some produced item is classified Plated.  Data ids are
@@ -664,6 +665,142 @@ mod tests {
             .collect();
         assert_eq!(services, vec!["prep", "cook", "plate"]);
         // And reaches the same final data state as the full run.
+        assert_eq!(resumed.final_state, full.final_state);
+    }
+
+    #[test]
+    fn resume_mid_fork_round_trips_without_reexecution() {
+        // Checkpoint taken *inside* a FORK (one branch done, its sibling
+        // pending): the ATN snapshot must carry the fork marking through
+        // the storage round trip, and the resumed run must execute only
+        // the remaining branch and the join's continuation.
+        let ast =
+            parse_process("BEGIN prep; FORK { { cook; }, { nuke; } } JOIN; plate; END").unwrap();
+        let g = lower("forked", &ast).unwrap();
+        let config = EnactmentConfig {
+            checkpoint_every: Some(1),
+            ..EnactmentConfig::default()
+        };
+        let mut w1 = world(10);
+        let full = Enactor::new(config.clone()).enact(&mut w1, &g, &case());
+        assert!(full.success, "abort: {:?}", full.abort_reason);
+        assert_eq!(full.executions.len(), 4);
+
+        let mut w2 = world(10);
+        let interrupted = Enactor::new(config.clone()).enact(&mut w2, &g, &case());
+        // Checkpoint 1 sits after `prep` plus exactly one fork branch.
+        let cp = interrupted.checkpoints[1].clone();
+        assert_eq!(cp.executions.len(), 2);
+
+        // Round-trip through the storage service's representation.
+        let archived = serde_json::to_string(&cp).unwrap();
+        let restored: EnactmentCheckpoint = serde_json::from_str(&archived).unwrap();
+        assert_eq!(restored, cp);
+
+        let mut w3 = world(10);
+        let resumed = Enactor::new(config).resume(&mut w3, restored, &case());
+        assert!(resumed.success, "abort: {:?}", resumed.abort_reason);
+        // The checkpointed prefix is preserved verbatim…
+        assert_eq!(resumed.executions[..2], cp.executions[..]);
+        // …and every activity ran exactly once across crash and resume.
+        let services: Vec<&str> = resumed
+            .executions
+            .iter()
+            .map(|e| e.service.as_str())
+            .collect();
+        assert_eq!(services.len(), 4);
+        for s in ["prep", "cook", "nuke", "plate"] {
+            assert_eq!(
+                services.iter().filter(|x| **x == s).count(),
+                1,
+                "{s} must execute exactly once; got {services:?}"
+            );
+        }
+        assert_eq!(resumed.final_state, full.final_state);
+    }
+
+    /// A world whose `cook` refines a fixed tracker item `D10` on every
+    /// pass (besides producing a fresh `Cooked`): `Value` starts at 12
+    /// via `prep` and improves by 3 per `cook`, so a `D10.Value > 6`
+    /// loop condition falsifies after exactly two passes.
+    fn honing_world() -> GridWorld {
+        let mut w = GridWorld::new(dinner_topology());
+        w.offer(ServiceOffering::new(
+            "prep",
+            ["Raw"],
+            vec![OutputSpec::refining("Prepped", "D10", 12.0, 3.0)],
+        ));
+        w.offer(ServiceOffering::new(
+            "cook",
+            ["Prepped"],
+            vec![
+                OutputSpec::plain("Cooked"),
+                OutputSpec::refining("Prepped", "D10", 12.0, 3.0),
+            ],
+        ));
+        w.offer(ServiceOffering::new(
+            "plate",
+            ["Cooked"],
+            vec![OutputSpec::plain("Plated")],
+        ));
+        w
+    }
+
+    #[test]
+    fn resume_mid_iterative_round_trips_without_reexecution() {
+        // Checkpoint taken *inside* an ITERATIVE loop (one refinement
+        // pass done, the condition still true): the resumed run must
+        // continue the refinement from the checkpointed `Value`, not
+        // restart the loop — completed iterations never re-execute.
+        let ast =
+            parse_process("BEGIN prep; ITERATIVE { COND { D10.Value > 6 } } { cook; }; plate; END")
+                .unwrap();
+        let g = lower("honed", &ast).unwrap();
+        let config = EnactmentConfig {
+            checkpoint_every: Some(1),
+            ..EnactmentConfig::default()
+        };
+        let mut w1 = honing_world();
+        let full = Enactor::new(config.clone()).enact(&mut w1, &g, &case());
+        assert!(full.success, "abort: {:?}", full.abort_reason);
+        let full_services: Vec<&str> = full.executions.iter().map(|e| e.service.as_str()).collect();
+        assert_eq!(full_services, vec!["prep", "cook", "cook", "plate"]);
+
+        let mut w2 = honing_world();
+        let interrupted = Enactor::new(config.clone()).enact(&mut w2, &g, &case());
+        // Checkpoint 1: after the loop's first pass, `D10.Value` is 9 and
+        // the loop condition is still true — a genuinely mid-loop state.
+        let cp = interrupted.checkpoints[1].clone();
+        assert_eq!(cp.executions.len(), 2);
+        assert_eq!(
+            cp.state.property("D10", "Value").and_then(|v| v.as_float()),
+            Some(9.0)
+        );
+
+        let archived = serde_json::to_string(&cp).unwrap();
+        let restored: EnactmentCheckpoint = serde_json::from_str(&archived).unwrap();
+        assert_eq!(restored, cp);
+
+        let mut w3 = honing_world();
+        let resumed = Enactor::new(config).resume(&mut w3, restored, &case());
+        assert!(resumed.success, "abort: {:?}", resumed.abort_reason);
+        assert_eq!(resumed.executions[..2], cp.executions[..]);
+        let services: Vec<&str> = resumed
+            .executions
+            .iter()
+            .map(|e| e.service.as_str())
+            .collect();
+        // One further pass only: two `cook`s total, never three — the
+        // completed first iteration is not repeated.
+        assert_eq!(services, full_services);
+        assert_eq!(
+            resumed
+                .final_state
+                .property("D10", "Value")
+                .and_then(|v| v.as_float()),
+            Some(6.0),
+            "refinement must continue from the checkpointed value"
+        );
         assert_eq!(resumed.final_state, full.final_state);
     }
 

@@ -96,8 +96,7 @@ mod tests {
     fn conversions_and_display() {
         let e: ServiceError = gridflow_grid::GridError::ContainerDown("ac".into()).into();
         assert!(e.to_string().contains("ac"));
-        let e: ServiceError =
-            gridflow_process::ProcessError::Enactment("boom".into()).into();
+        let e: ServiceError = gridflow_process::ProcessError::Enactment("boom".into()).into();
         assert!(e.to_string().contains("boom"));
         assert!(ServiceError::ActivityFailed {
             activity: "P3DR1".into(),

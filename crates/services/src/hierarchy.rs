@@ -75,7 +75,11 @@ impl InformationHierarchy {
 
     /// All registrations of `service_type` in `zone` and every zone
     /// beneath it (scoped search).
-    pub fn find_by_type_scoped(&self, zone: &str, service_type: &str) -> Vec<(Registration, String)> {
+    pub fn find_by_type_scoped(
+        &self,
+        zone: &str,
+        service_type: &str,
+    ) -> Vec<(Registration, String)> {
         let prefix = format!("{zone}.");
         self.zones
             .iter()
@@ -123,7 +127,8 @@ mod tests {
         h.add_zone("grid.ucf.biology").unwrap();
         h.add_zone("grid.purdue").unwrap();
         h.register("grid", reg("root-broker", "brokerage")).unwrap();
-        h.register("grid.ucf", reg("ucf-broker", "brokerage")).unwrap();
+        h.register("grid.ucf", reg("ucf-broker", "brokerage"))
+            .unwrap();
         h.register("grid.ucf.biology", reg("p3dr-svc", "end-user"))
             .unwrap();
         h.register("grid.purdue", reg("purdue-broker", "brokerage"))

@@ -45,11 +45,14 @@ impl InformationService {
         // Re-registration replaces the previous record.
         let _ = self.kb.remove_instance(&reg.name);
         self.kb.add_instance(
-            Instance::new(reg.name.clone(), gridflow_ontology::schema::classes::SERVICE)
-                .with("Name", Value::str(reg.name.clone()))
-                .with("Type", Value::str(reg.service_type))
-                .with("Location", Value::str(reg.location))
-                .with("Description", Value::str(reg.description)),
+            Instance::new(
+                reg.name.clone(),
+                gridflow_ontology::schema::classes::SERVICE,
+            )
+            .with("Name", Value::str(reg.name.clone()))
+            .with("Type", Value::str(reg.service_type))
+            .with("Location", Value::str(reg.location))
+            .with("Description", Value::str(reg.description)),
         )?;
         Ok(())
     }

@@ -105,9 +105,12 @@ pub fn matchmake(world: &GridWorld, request: &MatchRequest) -> Result<Vec<Ranked
         });
     }
     if matches.is_empty() {
-        return Err(ServiceError::Grid(gridflow_grid::GridError::NoMatchingOffer(
-            format!("service `{}` under the given conditions", request.service),
-        )));
+        return Err(ServiceError::Grid(
+            gridflow_grid::GridError::NoMatchingOffer(format!(
+                "service `{}` under the given conditions",
+                request.service
+            )),
+        ));
     }
     matches.sort_by(|a, b| {
         a.duration_s
@@ -149,12 +152,12 @@ pub fn matchmake_with_history(
         matches.retain(|m| m.duration_s <= deadline);
     }
     if matches.is_empty() {
-        return Err(ServiceError::Grid(gridflow_grid::GridError::NoMatchingOffer(
-            format!(
+        return Err(ServiceError::Grid(
+            gridflow_grid::GridError::NoMatchingOffer(format!(
                 "service `{}` under the given conditions (history-informed)",
                 request.service
-            ),
-        )));
+            )),
+        ));
     }
     matches.sort_by(|a, b| {
         a.duration_s

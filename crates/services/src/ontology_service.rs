@@ -94,9 +94,7 @@ mod tests {
         let mut populated = svc.get("grid-core").unwrap().clone();
         populated.name = "user-1".into();
         populated
-            .add_instance(
-                Instance::new("D1", "Data").with("Name", Value::str("projections")),
-            )
+            .add_instance(Instance::new("D1", "Data").with("Name", Value::str("projections")))
             .unwrap();
         svc.publish(populated);
         assert_eq!(svc.get("user-1").unwrap().instance_count(), 1);
@@ -107,10 +105,7 @@ mod tests {
     #[test]
     fn missing_ontology_is_not_found() {
         let svc = OntologyService::new();
-        assert!(matches!(
-            svc.get("nope"),
-            Err(ServiceError::NotFound(_))
-        ));
+        assert!(matches!(svc.get("nope"), Err(ServiceError::NotFound(_))));
     }
 
     #[test]

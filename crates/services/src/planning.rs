@@ -102,7 +102,10 @@ mod tests {
     use gridflow_grid::GridTopology;
 
     fn world() -> GridWorld {
-        let names: Vec<String> = ["prep", "cook", "plate"].iter().map(|s| s.to_string()).collect();
+        let names: Vec<String> = ["prep", "cook", "plate"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let mut w = GridWorld::new(GridTopology::generate(4, &names, 5));
         w.offer(ServiceOffering::new(
             "prep",

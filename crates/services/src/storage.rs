@@ -107,10 +107,7 @@ mod tests {
         assert_eq!(s.put("pd/3dsd", json!({"v": 1})), 1);
         assert_eq!(s.put("pd/3dsd", json!({"v": 2})), 2);
         assert_eq!(s.get("pd/3dsd").unwrap().body, json!({"v": 2}));
-        assert_eq!(
-            s.get_version("pd/3dsd", 1).unwrap().body,
-            json!({"v": 1})
-        );
+        assert_eq!(s.get_version("pd/3dsd", 1).unwrap().body, json!({"v": 1}));
         assert_eq!(s.version_count("pd/3dsd"), 2);
         assert_eq!(s.version_count("nope"), 0);
     }

@@ -82,7 +82,10 @@ pub fn track_enactment(
             .with("Task ID", Value::str(task_id))
             .with("Type", Value::str(a.kind.ontology_type()))
             .with("Status", Value::str(status))
-            .with("Retry Count", Value::Int(*retries.get(a.id.as_str()).unwrap_or(&0)));
+            .with(
+                "Retry Count",
+                Value::Int(*retries.get(a.id.as_str()).unwrap_or(&0)),
+            );
         if let Some(service) = &a.service {
             inst.set("Service Name", Value::str(service.clone()));
         }
@@ -140,7 +143,11 @@ pub fn track_enactment(
             .with("Name", Value::str(case.name.clone()))
             .with(
                 "Status",
-                Value::str(if report.success { "Completed" } else { "Failed" }),
+                Value::str(if report.success {
+                    "Completed"
+                } else {
+                    "Failed"
+                }),
             )
             .with(
                 "Data Set",
@@ -173,11 +180,9 @@ mod tests {
     use gridflow_process::{lower::lower, parser::parse_process, Condition, DataItem};
 
     fn setup() -> (GridWorld, ProcessGraph, CaseDescription) {
-        let resources = vec![
-            Resource::new("r1", ResourceKind::PcCluster).with_software(["step1", "step2"]),
-        ];
-        let containers =
-            vec![ApplicationContainer::new("ac-1", "r1").hosting(["step1", "step2"])];
+        let resources =
+            vec![Resource::new("r1", ResourceKind::PcCluster).with_software(["step1", "step2"])];
+        let containers = vec![ApplicationContainer::new("ac-1", "r1").hosting(["step1", "step2"])];
         let mut world = GridWorld::new(GridTopology {
             resources,
             containers,

@@ -11,9 +11,9 @@ use crate::error::{Result, ServiceError};
 use gridflow_grid::failure::FailureModel;
 use gridflow_grid::workload::{estimate, TaskDemand};
 use gridflow_grid::{GridError, GridTopology, SpotMarket};
+use gridflow_ontology::Value;
 use gridflow_planner::{ActivitySpec, GoalSpec, PlanningProblem};
 use gridflow_process::{DataItem, DataState};
-use gridflow_ontology::Value;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -220,7 +220,11 @@ impl GridWorld {
     /// recording history.  On a stochastic failure the record is marked
     /// unsuccessful and (if `failures_are_persistent`) the container goes
     /// down.
-    pub fn execute_service(&mut self, service: &str, container_id: &str) -> Result<ExecutionRecord> {
+    pub fn execute_service(
+        &mut self,
+        service: &str,
+        container_id: &str,
+    ) -> Result<ExecutionRecord> {
         let offering = self
             .offerings
             .get(service)
@@ -325,11 +329,7 @@ impl GridWorld {
 
     /// The planning problem `P = {S_init, G, T}` this world induces for a
     /// given initial data set and goal list (`T` = the offering catalog).
-    pub fn planning_problem(
-        &self,
-        initial: Vec<String>,
-        goals: Vec<GoalSpec>,
-    ) -> PlanningProblem {
+    pub fn planning_problem(&self, initial: Vec<String>, goals: Vec<GoalSpec>) -> PlanningProblem {
         PlanningProblem {
             initial,
             goals,
@@ -473,10 +473,7 @@ mod tests {
 
         // Refining output: fixed id, Value decreasing per execution.
         w.apply_outputs("PSF", &mut state).unwrap();
-        assert_eq!(
-            state.property("D10", "Value"),
-            Some(&Value::Float(12.0))
-        );
+        assert_eq!(state.property("D10", "Value"), Some(&Value::Float(12.0)));
         w.apply_outputs("PSF", &mut state).unwrap();
         assert_eq!(state.property("D10", "Value"), Some(&Value::Float(9.0)));
         w.apply_outputs("PSF", &mut state).unwrap();

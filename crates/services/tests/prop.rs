@@ -4,12 +4,12 @@
 use gridflow_grid::container::ApplicationContainer;
 use gridflow_grid::resource::{Resource, ResourceKind};
 use gridflow_grid::GridTopology;
+use gridflow_process::{lower::lower, parser::parse_process, CaseDescription, DataItem};
 use gridflow_services::coordination::{EnactmentConfig, Enactor};
 use gridflow_services::scheduling::schedule;
 use gridflow_services::storage::StorageService;
 use gridflow_services::tracker::track_enactment;
 use gridflow_services::world::{GridWorld, OutputSpec, ServiceOffering};
-use gridflow_process::{lower::lower, parser::parse_process, CaseDescription, DataItem};
 use proptest::prelude::*;
 use serde_json::json;
 
@@ -23,7 +23,9 @@ fn uniform_world(n_resources: usize, services: &[String]) -> GridWorld {
         })
         .collect();
     let containers: Vec<ApplicationContainer> = (0..n_resources)
-        .map(|i| ApplicationContainer::new(format!("ac{i}"), format!("r{i}")).hosting(services.to_vec()))
+        .map(|i| {
+            ApplicationContainer::new(format!("ac{i}"), format!("r{i}")).hosting(services.to_vec())
+        })
         .collect();
     let mut world = GridWorld::new(GridTopology {
         resources,
@@ -31,12 +33,16 @@ fn uniform_world(n_resources: usize, services: &[String]) -> GridWorld {
     });
     for (i, s) in services.iter().enumerate() {
         world.offer(
-            ServiceOffering::new(s.clone(), Vec::<String>::new(), vec![OutputSpec::plain("out")])
-                .with_demand(gridflow_grid::TaskDemand::coarse(
-                    s.clone(),
-                    50.0 * (i + 1) as f64,
-                    1.0,
-                )),
+            ServiceOffering::new(
+                s.clone(),
+                Vec::<String>::new(),
+                vec![OutputSpec::plain("out")],
+            )
+            .with_demand(gridflow_grid::TaskDemand::coarse(
+                s.clone(),
+                50.0 * (i + 1) as f64,
+                1.0,
+            )),
         );
     }
     world

@@ -58,7 +58,10 @@ fn main() {
         .property("D12", "Value")
         .and_then(|v| v.as_float())
         .unwrap();
-    println!("final resolution: {resolution:.1} Å (target ≤ {})", casestudy::TARGET_RESOLUTION);
+    println!(
+        "final resolution: {resolution:.1} Å (target ≤ {})",
+        casestudy::TARGET_RESOLUTION
+    );
 
     // The resumed run converges to the same final data state as the
     // uninterrupted one.

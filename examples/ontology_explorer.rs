@@ -23,8 +23,20 @@ fn main() {
     // --- The populated ontology of Fig. 13 -----------------------------
     let kb = casestudy::ontology_instances();
     println!("\n== Figure 13: populated for the 3DSD task ==");
-    for class in ["Task", "ProcessDescription", "CaseDescription", "Activity", "Transition", "Data", "Service"] {
-        println!("  {:<20} {} instance(s)", class, kb.instances_of(class).count());
+    for class in [
+        "Task",
+        "ProcessDescription",
+        "CaseDescription",
+        "Activity",
+        "Transition",
+        "Data",
+        "Service",
+    ] {
+        println!(
+            "  {:<20} {} instance(s)",
+            class,
+            kb.instances_of(class).count()
+        );
     }
 
     // --- Queries, as the matchmaking/information services issue them ---
@@ -38,8 +50,8 @@ fn main() {
         "  data classified `3D Model`: {:?}",
         models.iter().map(|i| i.id.as_str()).collect::<Vec<_>>()
     );
-    let end_user_activities = Query::cond(SlotCond::Eq("Type".into(), Value::str("End-user")))
-        .run(&kb, Some("Activity"));
+    let end_user_activities =
+        Query::cond(SlotCond::Eq("Type".into(), Value::str("End-user"))).run(&kb, Some("Activity"));
     println!(
         "  end-user activities: {:?}",
         end_user_activities
@@ -47,8 +59,8 @@ fn main() {
             .map(|i| i.get_str("Name").unwrap())
             .collect::<Vec<_>>()
     );
-    let big = Query::cond(SlotCond::Gt("Size".into(), Value::Int(1_000_000)))
-        .run(&kb, Some("Data"));
+    let big =
+        Query::cond(SlotCond::Gt("Size".into(), Value::Int(1_000_000))).run(&kb, Some("Data"));
     println!(
         "  data larger than 1 MB: {:?}",
         big.iter().map(|i| i.id.as_str()).collect::<Vec<_>>()

@@ -30,7 +30,10 @@ fn main() {
         "fitness: overall {:.3} (validity {:.2}, goal {:.2}, size {})",
         plan.fitness.overall, plan.fitness.validity, plan.fitness.goal, plan.fitness.size
     );
-    println!("\nprocess description:\n{}", printer::print(&tree_to_ast(&plan.tree)));
+    println!(
+        "\nprocess description:\n{}",
+        printer::print(&tree_to_ast(&plan.tree))
+    );
 
     // Plan + enact, with the case description's refinement loop attached.
     let (_, report) = lab.solve().expect("solve succeeds");

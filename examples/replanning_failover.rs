@@ -67,23 +67,27 @@ fn main() {
 
     // Both express sites die before enactment (hot-spot outage).
     for container in world.hosting_containers("express") {
-        world.set_container_up(&container, false).expect("known container");
+        world
+            .set_container_up(&container, false)
+            .expect("known container");
         println!("✗ container {container} went down");
     }
 
     let goal_ids: Vec<String> = (101..=120).map(|i| format!("D{i}")).collect();
-    let delivered_somewhere = goal_ids
-        .iter()
-        .skip(1)
-        .fold(Condition::classified(goal_ids[0].clone(), "Delivered"), |acc, id| {
-            acc.or(Condition::classified(id.clone(), "Delivered"))
-        });
+    let delivered_somewhere = goal_ids.iter().skip(1).fold(
+        Condition::classified(goal_ids[0].clone(), "Delivered"),
+        |acc, id| acc.or(Condition::classified(id.clone(), "Delivered")),
+    );
     let case = CaseDescription::new("delivery-run")
         .with_data("D1", DataItem::classified("Package"))
         .with_goal("G1", delivered_somewhere);
 
     // Without re-planning: the enactment aborts.
-    let report = Enactor::default().enact(&mut world.clone_for_simulation_with_failures(), &graph, &case);
+    let report = Enactor::default().enact(
+        &mut world.clone_for_simulation_with_failures(),
+        &graph,
+        &case,
+    );
     println!(
         "\nwithout re-planning: success={} abort={:?}",
         report.success, report.abort_reason

@@ -7,8 +7,8 @@
 //! cargo run --example spot_market
 //! ```
 
-use gridflow::prelude::*;
 use gridflow::casestudy;
+use gridflow::prelude::*;
 use gridflow_grid::market::ReservationPolicy;
 
 fn main() {
@@ -18,11 +18,7 @@ fn main() {
     println!("== Brokerage equivalence classes ==");
     let mut market = gridflow_grid::SpotMarket::new(world.topology.resources.iter().cloned());
     for (class, offers) in market.equivalence_classes() {
-        println!(
-            "  {:<44} {} resource(s)",
-            class,
-            offers.len()
-        );
+        println!("  {:<44} {} resource(s)", class, offers.len());
     }
 
     // --- Hot-spot contention ------------------------------------------
@@ -56,7 +52,10 @@ fn main() {
     market.reservation_policy = ReservationPolicy::Unsupported;
     println!(
         "  with reservations unsupported: {:?}",
-        market.reservation_quote(&first_choice, 8).unwrap_err().to_string()
+        market
+            .reservation_quote(&first_choice, 8)
+            .unwrap_err()
+            .to_string()
     );
 
     // --- Condition-driven matchmaking ----------------------------------

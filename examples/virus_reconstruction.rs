@@ -6,8 +6,8 @@
 //! cargo run --example virus_reconstruction
 //! ```
 
-use gridflow::prelude::*;
 use gridflow::casestudy;
+use gridflow::prelude::*;
 use gridflow_process::dot;
 
 fn main() {

@@ -24,8 +24,7 @@ fn loop_free_tree() -> impl Strategy<Value = PlanNode> {
         prop_oneof![
             prop::collection::vec(inner.clone(), 1..4).prop_map(PlanNode::Sequential),
             prop::collection::vec(inner.clone(), 2..4).prop_map(PlanNode::Concurrent),
-            prop::collection::vec(inner, 2..4)
-                .prop_map(PlanNode::selective_unguarded),
+            prop::collection::vec(inner, 2..4).prop_map(PlanNode::selective_unguarded),
         ]
     })
 }
@@ -45,8 +44,7 @@ fn permissive_world() -> GridWorld {
     let containers: Vec<ApplicationContainer> = names
         .iter()
         .map(|n| {
-            ApplicationContainer::new(format!("ac-{n}"), format!("r-{n}"))
-                .hosting([n.to_string()])
+            ApplicationContainer::new(format!("ac-{n}"), format!("r-{n}")).hosting([n.to_string()])
         })
         .collect();
     let mut world = GridWorld::new(GridTopology {

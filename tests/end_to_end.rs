@@ -58,17 +58,20 @@ fn figure_10_enactment_matches_figure_11_simulation_structure() {
 fn prediction_agrees_with_enactment_on_work_but_exploits_parallelism() {
     let lab = VirtualLab::new(0, 5);
     let problem = casestudy::planning_problem();
-    let plan = PlanningService::new(GpConfig { seed: 21, ..GpConfig::default() })
-        .plan(
-            &lab.world,
-            &gridflow_services::planning::PlanRequest {
-                initial: problem.initial.clone(),
-                goals: problem.goals.clone(),
-                produced: vec![],
-                excluded: vec![],
-            },
-        )
-        .expect("plans");
+    let plan = PlanningService::new(GpConfig {
+        seed: 21,
+        ..GpConfig::default()
+    })
+    .plan(
+        &lab.world,
+        &gridflow_services::planning::PlanRequest {
+            initial: problem.initial.clone(),
+            goals: problem.goals.clone(),
+            produced: vec![],
+            excluded: vec![],
+        },
+    )
+    .expect("plans");
     assert!(plan.viable);
     let case = casestudy::case_description();
     let prediction = predict(&lab.world, &plan.graph, &case, 10_000).expect("predicts");
@@ -79,7 +82,11 @@ fn prediction_agrees_with_enactment_on_work_but_exploits_parallelism() {
     assert!(prediction.makespan_s > 0.0);
     // Enact on a fresh world and compare.
     let mut world = casestudy::virtual_lab_world(0, 5);
-    let report = Enactor::default().enact(&mut world, &plan.graph, &CaseDescription::new("pred-check").with_data("D1", DataItem::classified("seed")));
+    let report = Enactor::default().enact(
+        &mut world,
+        &plan.graph,
+        &CaseDescription::new("pred-check").with_data("D1", DataItem::classified("seed")),
+    );
     // The enactor serializes, so its total duration is ≥ the predicted
     // parallel makespan.
     assert!(report.total_duration_s + 1e-9 >= prediction.makespan_s);
@@ -134,8 +141,8 @@ fn table2_shape_holds_at_reduced_scale() {
     assert!(result.avg_validity >= 0.99, "{result}");
     assert!(result.avg_goal >= 0.99, "{result}");
     assert!(result.avg_size <= 15.0, "{result}");
-    let expected = 0.2 * result.avg_validity + 0.5 * result.avg_goal
-        + 0.3 * (1.0 - result.avg_size / 40.0);
+    let expected =
+        0.2 * result.avg_validity + 0.5 * result.avg_goal + 0.3 * (1.0 - result.avg_size / 40.0);
     assert!((result.avg_fitness - expected).abs() < 1e-9, "{result}");
 }
 

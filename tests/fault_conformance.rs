@@ -1,0 +1,340 @@
+//! The fault-injection conformance suite (hosted by `gridflow-harness`).
+//!
+//! Asserts the deterministic-simulation contract across the stack:
+//!
+//! 1. every enacted case either completes or produces a resumable
+//!    checkpoint (or did nothing at all);
+//! 2. no activity is double-executed after a resume;
+//! 3. replanning converges after node loss;
+//! 4. identical seeds yield byte-identical [`EnactmentReport`]s, and
+//!    differing seeds yield different fault schedules;
+//! 5. the booted agent stack survives message faults and agent crashes
+//!    (degrading to timeouts, never to wrong answers).
+//!
+//! [`EnactmentReport`]: gridflow_services::coordination::EnactmentReport
+
+use gridflow_agents::{AclMessage, AgentError, AgentRuntime, Performative, Transport};
+use gridflow_harness::workload::{dinner_replan_workload, dinner_workload};
+use gridflow_harness::{
+    execution_counts, is_execution_prefix, outcome_fingerprint, report_fingerprint, run_scenario,
+    run_scenario_with_budget, FaultPlan, FaultyTransport, VirtualClock,
+};
+use gridflow_planner::prelude::GpConfig;
+use gridflow_services::agents::{boot_stack, GRIDFLOW_ONTOLOGY};
+use gridflow_services::coordination::EnactmentConfig;
+use gridflow_services::planning::PlanningService;
+use gridflow_services::world::share;
+use serde_json::json;
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------------------------------------------------------------- 1 & 2
+
+#[test]
+fn every_case_completes_or_leaves_a_resumable_checkpoint() {
+    // Sweep seeds under persistent Bernoulli activity failures plus a
+    // scripted coordinator crash: whatever happens, the task must end
+    // completed, resumable, or untouched.
+    for seed in 0..16 {
+        let plan = FaultPlan::seeded(seed)
+            .failing_activities(0.25)
+            .crashing_after(0);
+        let outcome = run_scenario(&plan, &dinner_workload());
+        assert!(
+            outcome.is_recoverable(),
+            "seed {seed} unrecoverable: {:?}",
+            outcome.final_report().abort_reason
+        );
+    }
+}
+
+#[test]
+fn no_activity_is_double_executed_after_resume() {
+    // The dinner workflow is loop-free, so across any number of crash /
+    // resume phases each activity may execute at most once; and each
+    // phase's accounting must extend (never rewrite) the previous one.
+    let mut crashed_at_least_once = false;
+    for seed in 0..16 {
+        let plan = FaultPlan::seeded(seed)
+            .failing_activities(0.2)
+            .crashing_after(1);
+        let outcome = run_scenario(&plan, &dinner_workload());
+        for pair in outcome.reports.windows(2) {
+            assert!(
+                is_execution_prefix(&pair[0], &pair[1]),
+                "seed {seed}: resume rewrote completed work"
+            );
+        }
+        if outcome.resumes > 0 {
+            crashed_at_least_once = true;
+        }
+        if outcome.completed {
+            let counts = execution_counts(outcome.final_report());
+            assert!(
+                counts.values().all(|&c| c == 1),
+                "seed {seed}: double execution: {counts:?}"
+            );
+        }
+    }
+    assert!(crashed_at_least_once, "sweep never exercised a resume");
+}
+
+// -------------------------------------------------------------------- 3
+
+#[test]
+fn replanning_converges_after_node_loss() {
+    // Both `cook` hosts are lost before the run.  With replanning on,
+    // the planner must route around the loss via `nuke` and the task
+    // must still complete.
+    let plan = FaultPlan::seeded(1)
+        .losing_node("ac-h2", 0)
+        .losing_node("ac-h3", 0);
+    let outcome = run_scenario(&plan, &dinner_replan_workload(11));
+    assert!(
+        outcome.completed,
+        "abort: {:?}",
+        outcome.final_report().abort_reason
+    );
+    let report = outcome.final_report();
+    assert!(report.replans >= 1, "no replanning happened");
+    assert!(
+        report.executions.iter().any(|e| e.service == "nuke"),
+        "expected the alternative cooker; executions: {:?}",
+        report.executions
+    );
+}
+
+// -------------------------------------------------------------------- 4
+
+#[test]
+fn identical_seeds_yield_byte_identical_reports() {
+    for seed in [0, 7, 42] {
+        let plan = FaultPlan::seeded(seed)
+            .failing_activities(0.3)
+            .crashing_after(0);
+        let wl = dinner_workload();
+        let a = run_scenario(&plan, &wl);
+        let b = run_scenario(&plan, &wl);
+        assert_eq!(
+            outcome_fingerprint(&a),
+            outcome_fingerprint(&b),
+            "seed {seed} did not replay byte-identically"
+        );
+        assert_eq!(
+            report_fingerprint(a.final_report()),
+            report_fingerprint(b.final_report())
+        );
+    }
+}
+
+#[test]
+fn differing_seeds_yield_different_fault_schedules() {
+    // Drive the same message sequence through transports seeded
+    // differently: the decision logs must diverge.
+    let sequence: Vec<AclMessage> = (0..128)
+        .map(|i| AclMessage::new(Performative::Inform, "a", "b", "t", json!(i)))
+        .collect();
+    let mut schedules = Vec::new();
+    for seed in [1u64, 2, 3] {
+        let t = FaultyTransport::new(
+            FaultPlan::seeded(seed)
+                .dropping(0.2)
+                .duplicating(0.2)
+                .delaying(0.2, 2),
+            VirtualClock::new(),
+        );
+        for m in &sequence {
+            let _ = t.intercept(m.clone());
+        }
+        schedules.push(t.schedule());
+    }
+    assert_ne!(schedules[0], schedules[1]);
+    assert_ne!(schedules[1], schedules[2]);
+    // And differing seeds also shake the enactment itself.
+    let wl = dinner_workload();
+    let r1 = run_scenario(&FaultPlan::seeded(100).failing_activities(0.5), &wl);
+    let r2 = run_scenario(&FaultPlan::seeded(101).failing_activities(0.5), &wl);
+    assert_ne!(
+        outcome_fingerprint(&r1),
+        outcome_fingerprint(&r2),
+        "different seeds produced identical outcomes under heavy failure"
+    );
+}
+
+// -------------------------------------------------------------------- 5
+
+fn booted_stack(
+    rt: &mut AgentRuntime,
+) -> (
+    gridflow_services::agents::StackHandles,
+    gridflow_process::ProcessGraph,
+    gridflow_process::CaseDescription,
+) {
+    let wl = dinner_workload();
+    let world = share(wl.fresh_world(&FaultPlan::default(), 0));
+    let gp = GpConfig {
+        population_size: 60,
+        generations: 20,
+        seed: 2,
+        ..GpConfig::default()
+    };
+    let stack = boot_stack(
+        rt,
+        world,
+        PlanningService::new(gp),
+        EnactmentConfig::default(),
+    )
+    .expect("stack boots");
+    (stack, wl.graph, wl.case)
+}
+
+#[test]
+fn stack_survives_message_faults_and_recovers_when_they_stop() {
+    let mut rt = AgentRuntime::new();
+    let (stack, graph, case) = booted_stack(&mut rt);
+
+    // Install a lossy transport *after* boot (registration traffic is
+    // not the subject under test): drops, duplicates and delays.
+    let plan = FaultPlan::seeded(5)
+        .dropping(0.1)
+        .duplicating(0.3)
+        .delaying(0.2, 2);
+    let transport = Arc::new(FaultyTransport::new(plan, VirtualClock::new()));
+    rt.set_transport(transport.clone());
+
+    let enact = json!({"action": "enact", "graph": graph, "case": case});
+    for _ in 0..4 {
+        match stack.client.request(
+            &stack.coordination,
+            GRIDFLOW_ONTOLOGY,
+            enact.clone(),
+            Duration::from_secs(5),
+        ) {
+            // Degraded, never wrong: a reply that does arrive carries a
+            // correct report.
+            Ok(reply) => {
+                assert_eq!(reply.content["report"]["success"], json!(true));
+            }
+            // Dropped request or reply → timeout.  Acceptable under loss.
+            Err(AgentError::Timeout { .. }) => {}
+            Err(other) => panic!("unexpected failure under message faults: {other}"),
+        }
+    }
+    assert!(!transport.schedule().is_empty(), "transport saw no traffic");
+
+    // Faults stop → the stack must answer again.
+    rt.directory().clear_transport();
+    let reply = stack
+        .client
+        .request(
+            &stack.coordination,
+            GRIDFLOW_ONTOLOGY,
+            enact,
+            Duration::from_secs(10),
+        )
+        .expect("stack must recover once faults stop");
+    assert_eq!(reply.content["report"]["success"], json!(true));
+    rt.shutdown();
+}
+
+#[test]
+fn crashed_coordination_agent_fails_over_to_a_replica() {
+    let mut rt = AgentRuntime::new();
+    let (stack, graph, case) = booted_stack(&mut rt);
+
+    // Spawn a replica, crash the primary, and verify the replica picks
+    // up enactments (the §2 replication story).
+    let wl = dinner_workload();
+    let world2 = share(wl.fresh_world(&FaultPlan::default(), 0));
+    rt.spawn(gridflow_services::agents::CoordinationAgent::new(
+        "coordination-2",
+        EnactmentConfig::default(),
+        world2,
+    ))
+    .expect("replica spawns");
+    rt.stop_agent(&stack.coordination).expect("primary stops");
+
+    // The crashed primary is gone from the directory…
+    let enact = json!({"action": "enact", "graph": graph, "case": case});
+    assert!(matches!(
+        stack.client.request(
+            &stack.coordination,
+            GRIDFLOW_ONTOLOGY,
+            enact.clone(),
+            Duration::from_secs(2),
+        ),
+        Err(AgentError::UnknownAgent(_))
+    ));
+    // …and the replica answers in its stead.
+    let reply = stack
+        .client
+        .request("coordination-2", "gridflow", enact, Duration::from_secs(10))
+        .expect("replica must answer");
+    assert_eq!(reply.content["report"]["success"], json!(true));
+    rt.shutdown();
+}
+
+#[test]
+fn duplicated_requests_do_not_corrupt_reply_correlation() {
+    // Every message delivered twice: the client must still correlate
+    // exactly one reply per request and the reports must be correct.
+    struct DuplicateEverything;
+    impl Transport for DuplicateEverything {
+        fn intercept(&self, msg: AclMessage) -> Vec<AclMessage> {
+            vec![msg.clone(), msg]
+        }
+    }
+    let mut rt = AgentRuntime::new();
+    let (stack, graph, case) = booted_stack(&mut rt);
+    rt.set_transport(Arc::new(DuplicateEverything));
+    for _ in 0..3 {
+        let reply = stack
+            .client
+            .request(
+                &stack.coordination,
+                GRIDFLOW_ONTOLOGY,
+                json!({"action": "enact", "graph": graph, "case": case}),
+                Duration::from_secs(10),
+            )
+            .expect("duplication must not break request/reply");
+        assert_eq!(reply.content["report"]["success"], json!(true));
+    }
+    rt.shutdown();
+}
+
+// ------------------------------------------------- resume bookkeeping
+
+#[test]
+fn scripted_crash_resumes_without_repeating_work_under_load() {
+    // Crash after every checkpoint index in turn; the final execution
+    // list must always be the exact linear schedule.
+    for crash_at in 0..3 {
+        let plan = FaultPlan::seeded(9).crashing_after(crash_at);
+        let outcome = run_scenario(&plan, &dinner_workload());
+        assert!(outcome.completed, "crash_at {crash_at}");
+        let services: Vec<&str> = outcome
+            .final_report()
+            .executions
+            .iter()
+            .map(|e| e.service.as_str())
+            .collect();
+        assert_eq!(
+            services,
+            vec!["prep", "cook", "plate"],
+            "crash_at {crash_at}"
+        );
+    }
+}
+
+#[test]
+fn resume_budget_bounds_the_phase_count() {
+    // Certain failure (every execution fails, persistently): the runner
+    // must stop at the budget, not loop.
+    let plan = FaultPlan::seeded(2).failing_activities(1.0);
+    let outcome = run_scenario_with_budget(&plan, &dinner_workload(), 3);
+    assert!(!outcome.completed);
+    assert!(outcome.resumes <= 3);
+    assert!(outcome.reports.len() <= 4);
+    // Nothing ever succeeded → trivially restartable.
+    assert!(outcome.is_recoverable());
+}

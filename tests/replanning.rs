@@ -83,7 +83,10 @@ fn replanning_routes_around_a_replaceable_service() {
         vec![OutputSpec::plain("3D Model")],
     ));
     // Host it on the UCF clusters.
-    for (resource, container) in [("ucf-cluster-1", "ac-ucf-cluster-1"), ("ucf-cluster-2", "ac-ucf-cluster-2")] {
+    for (resource, container) in [
+        ("ucf-cluster-1", "ac-ucf-cluster-1"),
+        ("ucf-cluster-2", "ac-ucf-cluster-2"),
+    ] {
         world
             .topology
             .resources

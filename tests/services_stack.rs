@@ -67,7 +67,11 @@ fn figure_1_stack_registers_all_core_services() {
         assert!(types.contains(&expected), "missing {expected}");
     }
     assert!(
-        types.iter().filter(|t| **t == "application-container").count() >= 5,
+        types
+            .iter()
+            .filter(|t| **t == "application-container")
+            .count()
+            >= 5,
         "containers registered"
     );
     rt.shutdown();
@@ -88,7 +92,10 @@ fn figure_2_flow_plans_the_case_study() {
     assert_eq!(reply.content["viable"], json!(true));
     let text = reply.content["process_text"].as_str().unwrap();
     for service in ["POD", "P3DR", "PSF"] {
-        assert!(text.contains(service), "plan text missing {service}: {text}");
+        assert!(
+            text.contains(service),
+            "plan text missing {service}: {text}"
+        );
     }
     rt.shutdown();
 }
@@ -116,13 +123,11 @@ fn figure_3_flow_probes_and_excludes_dead_services() {
             Duration::from_secs(120),
         )
         .expect("replan replies");
-    let excluded: Vec<String> =
-        serde_json::from_value(reply.content["excluded"].clone()).unwrap();
+    let excluded: Vec<String> = serde_json::from_value(reply.content["excluded"].clone()).unwrap();
     assert_eq!(excluded, vec!["POR".to_owned()], "only POR is dead");
     // POR is not needed for the minimal plan, so the re-plan stays viable.
     assert_eq!(reply.content["viable"], json!(true));
-    let trace: Vec<String> =
-        serde_json::from_value(reply.content["probe_trace"].clone()).unwrap();
+    let trace: Vec<String> = serde_json::from_value(reply.content["probe_trace"].clone()).unwrap();
     assert!(trace.iter().any(|l| l.contains("not executable")));
     assert!(trace.iter().any(|l| l.contains("executable")));
     rt.shutdown();

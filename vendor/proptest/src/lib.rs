@@ -1,0 +1,658 @@
+//! Offline stand-in for `proptest`: deterministic property-based
+//! testing covering the strategy vocabulary the workspace uses —
+//! ranges, regex-ish string patterns, `Just`, `any`, tuples,
+//! `prop_map`, `prop_recursive`, `prop_oneof!`, and
+//! `prop::collection::{vec, btree_set}` — driven by the `proptest!`
+//! macro with `ProptestConfig::with_cases`.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! seed instead, which reproduces it exactly under the deterministic
+//! ChaCha stream), and `proptest-regressions` files are not consulted.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+use std::rc::Rc;
+
+use rand::{Rng, SeedableRng};
+
+/// The deterministic generator handed to strategies.
+pub type TestRng = rand_chacha::ChaCha8Rng;
+
+/// Outcome carrier for a single property-test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's preconditions were not met (`prop_assume!`); the
+    /// case is discarded without counting against the budget.
+    Reject(String),
+    /// A property assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Build a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A source of values of one type.
+pub trait Strategy: 'static {
+    /// The value type this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> Sampler<Self::Value>
+    where
+        Self: Sized,
+    {
+        let s = self;
+        Sampler::new(move |rng| s.sample(rng))
+    }
+
+    /// Transform produced values.
+    fn prop_map<U, F>(self, f: F) -> Sampler<U>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        let s = self;
+        Sampler::new(move |rng| f(s.sample(rng)))
+    }
+
+    /// Build a recursive strategy: `recurse` receives a strategy for
+    /// sub-values and returns the composite case.  Nesting is bounded
+    /// by `depth`; `_desired_size`/`_expected_branch` are accepted for
+    /// upstream signature compatibility.
+    fn prop_recursive<F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> Sampler<Self::Value>
+    where
+        Self: Sized,
+        F: Fn(Sampler<Self::Value>) -> Sampler<Self::Value> + 'static,
+    {
+        let leaf = self.boxed();
+        let mut level = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(level);
+            let leaf_arm = leaf.clone();
+            // Lean toward leaves so expected size stays small even at
+            // full nesting depth.
+            level = Sampler::new(move |rng| {
+                if rng.gen_bool(0.5) {
+                    leaf_arm.sample(rng)
+                } else {
+                    deeper.sample(rng)
+                }
+            });
+        }
+        level
+    }
+}
+
+/// Type-erased strategy: a shared sampling closure.
+pub struct Sampler<T> {
+    f: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Sampler<T> {
+    /// Wrap a sampling closure.
+    pub fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        Sampler { f: Rc::new(f) }
+    }
+}
+
+impl<T> Clone for Sampler<T> {
+    fn clone(&self) -> Self {
+        Sampler { f: self.f.clone() }
+    }
+}
+
+impl<T: 'static> Strategy for Sampler<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(rng)
+    }
+}
+
+/// Uniform choice among equally-weighted alternatives
+/// (the engine behind `prop_oneof!`).
+pub fn union<T: 'static>(arms: Vec<Sampler<T>>) -> Sampler<T> {
+    assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+    Sampler::new(move |rng| {
+        let i = rng.gen_range(0..arms.len());
+        arms[i].sample(rng)
+    })
+}
+
+/// Always produce a clone of one value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical full-range strategy (`any::<T>()`).
+pub trait Arbitrary: Sized + 'static {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rand::RngCore::next_u64(rng) as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rand::RngCore::next_u32(rng) & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, moderate magnitude: ample for property inputs
+        // without dragging NaN/Inf handling into every test.
+        rng.gen_range(-1.0e12..1.0e12)
+    }
+}
+
+/// The canonical strategy for `T` — `any::<u64>()` etc.
+pub fn any<T: Arbitrary>() -> Sampler<T> {
+    Sampler::new(|rng| T::arbitrary(rng))
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// `&str` literals act as regex-ish string strategies: literal chars,
+/// `[...]` classes (ranges and literals; trailing `-` literal), `.`
+/// (any printable ASCII), and `{n}`/`{m,n}` quantifiers on the
+/// preceding atom.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        sample_pattern(self, rng)
+    }
+}
+
+/// One pattern atom: a drawable character set plus repetition bounds.
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_class(chars: &[char], i: &mut usize) -> Vec<char> {
+    // `chars[*i]` is the char after '['.
+    let mut set = Vec::new();
+    while *i < chars.len() && chars[*i] != ']' {
+        let c = chars[*i];
+        if chars.get(*i + 1) == Some(&'-') && *i + 2 < chars.len() && chars[*i + 2] != ']' {
+            let hi = chars[*i + 2];
+            assert!(c <= hi, "bad range {c}-{hi} in pattern class");
+            for ch in c..=hi {
+                set.push(ch);
+            }
+            *i += 3;
+        } else {
+            set.push(c);
+            *i += 1;
+        }
+    }
+    assert!(*i < chars.len(), "unterminated [class] in pattern");
+    *i += 1; // past ']'
+    set
+}
+
+fn parse_quantifier(chars: &[char], i: &mut usize) -> (usize, usize) {
+    if chars.get(*i) != Some(&'{') {
+        return (1, 1);
+    }
+    *i += 1;
+    let mut first = String::new();
+    while chars.get(*i).is_some_and(|c| c.is_ascii_digit()) {
+        first.push(chars[*i]);
+        *i += 1;
+    }
+    let min: usize = first.parse().expect("bad {quantifier} in pattern");
+    let max = if chars.get(*i) == Some(&',') {
+        *i += 1;
+        let mut second = String::new();
+        while chars.get(*i).is_some_and(|c| c.is_ascii_digit()) {
+            second.push(chars[*i]);
+            *i += 1;
+        }
+        second.parse().expect("bad {m,n} quantifier in pattern")
+    } else {
+        min
+    };
+    assert_eq!(chars.get(*i), Some(&'}'), "unterminated quantifier");
+    *i += 1;
+    (min, max)
+}
+
+fn parse_atoms(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '[' => {
+                i += 1;
+                parse_class(&chars, &mut i)
+            }
+            '.' => {
+                i += 1;
+                (' '..='~').collect()
+            }
+            '\\' => {
+                i += 1;
+                let c = chars.get(i).copied().expect("dangling escape");
+                i += 1;
+                vec![c]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (min, max) = parse_quantifier(&chars, &mut i);
+        atoms.push(Atom {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse_atoms(pattern) {
+        let n = rng.gen_range(atom.min..=atom.max);
+        for _ in 0..n {
+            out.push(atom.chars[rng.gen_range(0..atom.chars.len())]);
+        }
+    }
+    out
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!(
+    (A 0, B 1),
+    (A 0, B 1, C 2),
+    (A 0, B 1, C 2, D 3),
+    (A 0, B 1, C 2, D 3, E 4),
+    (A 0, B 1, C 2, D 3, E 4, F 5),
+);
+
+/// Collection strategies (`prop::collection::...`).
+pub mod collection {
+    use super::*;
+
+    /// Element-count specifier: an exact `usize` or a `Range<usize>`.
+    pub trait SizeRange: Clone + 'static {
+        /// Pick a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+        /// Largest admissible length.
+        fn upper(&self) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+        fn upper(&self) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+        fn upper(&self) -> usize {
+            self.end.saturating_sub(1)
+        }
+    }
+
+    /// `Vec` of independently sampled elements.
+    pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> Sampler<Vec<S::Value>>
+    where
+        S::Value: 'static,
+    {
+        Sampler::new(move |rng| {
+            let n = size.pick(rng);
+            (0..n).map(|_| element.sample(rng)).collect()
+        })
+    }
+
+    /// `BTreeSet` of sampled elements; duplicates are retried a
+    /// bounded number of times, so the set may come up short of the
+    /// picked size when the element domain is narrow.
+    pub fn btree_set<S: Strategy>(element: S, size: impl SizeRange) -> Sampler<BTreeSet<S::Value>>
+    where
+        S::Value: Ord + 'static,
+    {
+        Sampler::new(move |rng| {
+            let target = size.pick(rng);
+            let mut set = BTreeSet::new();
+            let mut tries = 0usize;
+            while set.len() < target && tries < target * 20 + 50 {
+                set.insert(element.sample(rng));
+                tries += 1;
+            }
+            set
+        })
+    }
+}
+
+/// `Option` strategies (`prop::option::...`).
+pub mod option {
+    use super::*;
+
+    /// Sample `None` about a quarter of the time, `Some(inner)`
+    /// otherwise (upstream's default weighting).
+    pub fn of<S: Strategy>(inner: S) -> Sampler<Option<S::Value>>
+    where
+        S::Value: 'static,
+    {
+        Sampler::new(move |rng| {
+            if rng.gen_range(0..4u8) == 0 {
+                None
+            } else {
+                Some(inner.sample(rng))
+            }
+        })
+    }
+}
+
+/// What the `proptest!` prelude imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Sampler, Strategy, TestCaseError,
+    };
+
+    /// `prop::...` namespace (upstream exposes the crate root here).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+/// Stable per-property base seed: FNV-1a of the test path, overridable
+/// through `PROPTEST_SEED` for replay.
+pub fn base_seed(name: &str) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(v) = s.parse() {
+            return v;
+        }
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drive one property through `config.cases` accepted cases.
+pub fn run_property(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let base = base_seed(name);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let mut attempt = 0u64;
+    while accepted < config.cases {
+        let seed = base.wrapping_add(attempt);
+        attempt += 1;
+        let mut rng = TestRng::seed_from_u64(seed);
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.cases * 10 + 100,
+                    "property `{name}`: too many rejected cases ({rejected})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "property `{name}` failed at case #{accepted} \
+                 (reproduce with PROPTEST_SEED={base}): {msg}"
+            ),
+        }
+    }
+}
+
+/// Define property tests.  Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (@impl $cfg:expr;) => {};
+    (@impl $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            $(let $arg = $strat;)*
+            #[allow(unused_variables, unused_mut)]
+            let mut __case = |__rng: &mut $crate::TestRng|
+                -> ::std::result::Result<(), $crate::TestCaseError> {
+                $(let $arg = $crate::Strategy::sample(&$arg, __rng);)*
+                $body
+                ::std::result::Result::Ok(())
+            };
+            $crate::run_property(&__config, concat!(module_path!(), "::", stringify!($name)), __case);
+        }
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Uniform choice among strategies producing one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::union(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Property assertion; failure aborts only the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l == *__r, $($fmt)*);
+    }};
+}
+
+/// Inequality assertion for property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __l
+        );
+    }};
+}
+
+/// Discard the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pattern_strategies_match_shape() {
+        let mut rng = crate::TestRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let s = crate::Strategy::sample(&"D[0-9]{1,3}", &mut rng);
+            assert!(s.starts_with('D') && s.len() >= 2 && s.len() <= 4, "{s}");
+            assert!(s[1..].chars().all(|c| c.is_ascii_digit()), "{s}");
+            let t = crate::Strategy::sample(&"[A-Z][a-z0-9]{0,4}", &mut rng);
+            assert!(t.chars().next().unwrap().is_ascii_uppercase(), "{t}");
+            assert!(t.len() <= 5, "{t}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_collections(n in 1usize..5, xs in prop::collection::vec(0i64..10, 1..12)) {
+            prop_assert!((1..5).contains(&n));
+            prop_assert!(!xs.is_empty() && xs.len() < 12);
+            prop_assert!(xs.iter().all(|&x| (0..10).contains(&x)));
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![
+            Just(String::from("fixed")),
+            "[a-z]{1,6}".prop_map(|s| s),
+            (0u64..10, 0u64..10).prop_map(|(a, b)| format!("{a}{b}")),
+        ]) {
+            prop_assert!(!v.is_empty());
+        }
+
+        #[test]
+        fn recursion_is_bounded(depth in nested()) {
+            prop_assert!(depth <= 3, "depth {depth}");
+        }
+
+        #[test]
+        fn assume_discards(x in 0i64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    /// Recursive strategy measuring its own nesting depth.
+    fn nested() -> Sampler<u32> {
+        Just(0u32)
+            .boxed()
+            .prop_recursive(3, 16, 2, |inner| inner.prop_map(|d| d + 1))
+    }
+}

@@ -1,0 +1,173 @@
+//! Offline stand-in for `rand_chacha`: a genuine ChaCha keystream
+//! generator (8/12/20-round variants) behind the vendored `rand`
+//! traits.  The word stream is not bit-compatible with the upstream
+//! crate, but it is a real ChaCha permutation: high-quality,
+//! platform-independent, and byte-identical for identical seeds — the
+//! property the deterministic-simulation harness depends on.
+
+use rand::{RngCore, SeedableRng};
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Core ChaCha block function with a configurable round count.
+fn chacha_block(key: &[u32; 8], counter: u64, rounds: u32) -> [u32; 16] {
+    let mut state: [u32; 16] = [
+        0x6170_7865,
+        0x3320_646e,
+        0x7962_2d32,
+        0x6b20_6574,
+        key[0],
+        key[1],
+        key[2],
+        key[3],
+        key[4],
+        key[5],
+        key[6],
+        key[7],
+        counter as u32,
+        (counter >> 32) as u32,
+        0,
+        0,
+    ];
+    let initial = state;
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (s, i) in state.iter_mut().zip(initial.iter()) {
+        *s = s.wrapping_add(*i);
+    }
+    state
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:literal) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            block: [u32; 16],
+            /// Next unconsumed word in `block` (16 = exhausted).
+            index: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                self.block = chacha_block(&self.key, self.counter, $rounds);
+                self.counter = self.counter.wrapping_add(1);
+                self.index = 0;
+            }
+
+            #[inline]
+            fn next_word(&mut self) -> u32 {
+                if self.index >= 16 {
+                    self.refill();
+                }
+                let w = self.block[self.index];
+                self.index += 1;
+                w
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                self.next_word()
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_word() as u64;
+                let hi = self.next_word() as u64;
+                lo | (hi << 32)
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut key = [0u32; 8];
+                for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                    *k = u32::from_le_bytes(chunk.try_into().unwrap());
+                }
+                $name {
+                    key,
+                    counter: 0,
+                    block: [0; 16],
+                    index: 16,
+                }
+            }
+        }
+
+        impl PartialEq for $name {
+            fn eq(&self, other: &Self) -> bool {
+                self.key == other.key && self.counter == other.counter && self.index == other.index
+            }
+        }
+        impl Eq for $name {}
+    };
+}
+
+chacha_rng!(ChaCha8Rng, 8, "ChaCha with 8 rounds.");
+chacha_rng!(ChaCha12Rng, 12, "ChaCha with 12 rounds.");
+chacha_rng!(ChaCha20Rng, 20, "ChaCha with 20 rounds.");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(17);
+        let mut b = ChaCha8Rng::seed_from_u64(17);
+        let va: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+        let mut c = ChaCha8Rng::seed_from_u64(18);
+        let vc: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn clone_resumes_identically() {
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..7 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        let va: Vec<u32> = (0..40).map(|_| a.next_u32()).collect();
+        let vb: Vec<u32> = (0..40).map(|_| b.next_u32()).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn uniformish_distribution() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut buckets = [0usize; 10];
+        for _ in 0..10_000 {
+            buckets[rng.gen_range(0..10usize)] += 1;
+        }
+        for b in buckets {
+            assert!((800..1200).contains(&b), "bucket {b}");
+        }
+    }
+}

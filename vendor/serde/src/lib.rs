@@ -1,0 +1,446 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal serialization framework under the same crate name.
+//! Instead of serde's visitor-based data model, everything serializes
+//! through a JSON [`Value`] tree (defined in [`json_value`] and
+//! re-exported by the vendored `serde_json`).  The public surface is the
+//! subset the GridFlow crates use: the [`Serialize`] / [`Deserialize`]
+//! traits, `de::DeserializeOwned`, and the derive macros re-exported
+//! from `serde_derive`.
+
+pub mod json_value;
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+
+pub use json_value::{Map, Number, Value};
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization/deserialization error: a message, as in `serde_json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error from any displayable message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be converted into the JSON data model.
+pub trait Serialize {
+    /// Serialize `self` into a [`Value`].
+    fn to_json_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from the JSON data model.
+pub trait Deserialize: Sized {
+    /// Deserialize from a [`Value`].
+    fn from_json_value(v: &Value) -> Result<Self, Error>;
+
+    /// Value to use when a struct field is absent (only `Option` has
+    /// one); mirrors serde's implicit-`None` behaviour for options.
+    #[doc(hidden)]
+    fn __missing_field_fallback() -> Option<Self> {
+        None
+    }
+}
+
+/// `serde::de`: the owned-deserialization marker trait.
+pub mod de {
+    /// Marker for types deserializable without borrowing the input; in
+    /// this vendored model every [`Deserialize`](crate::Deserialize) is.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+/// `serde::ser`, for path compatibility.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+// ---------------------------------------------------------------------
+// Derive-macro support helpers (referenced by generated code).
+// ---------------------------------------------------------------------
+
+/// Look up a struct field during deserialization.
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(
+    obj: &Map,
+    name: &'static str,
+    ty: &'static str,
+) -> Result<T, Error> {
+    match obj.get(name) {
+        Some(v) => T::from_json_value(v)
+            .map_err(|e| Error::custom(format!("field `{name}` of `{ty}`: {e}"))),
+        None => T::__missing_field_fallback()
+            .ok_or_else(|| Error::custom(format!("missing field `{name}` of `{ty}`"))),
+    }
+}
+
+/// Extract the tuple-variant payload list for an externally tagged enum.
+#[doc(hidden)]
+pub fn __tuple_variant<'v>(
+    v: &'v Value,
+    ty: &'static str,
+    variant: &'static str,
+    arity: usize,
+) -> Result<&'v [Value], Error> {
+    match v {
+        Value::Array(items) if items.len() == arity => Ok(items),
+        other => Err(Error::custom(format!(
+            "variant `{ty}::{variant}` expects {arity} elements, got {other:?}"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+macro_rules! signed_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(format!("expected integer, got {v:?}")))?;
+                <$t>::try_from(n).map_err(|_| Error::custom(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+signed_impl!(i8, i16, i32, i64, isize);
+
+macro_rules! unsigned_impl {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Number(Number::from_u64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(format!("expected unsigned integer, got {v:?}")))?;
+                <$t>::try_from(n).map_err(|_| Error::custom(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+unsigned_impl!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self))
+    }
+}
+impl Deserialize for f64 {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, got {v:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::Number(Number::from_f64(*self as f64))
+    }
+}
+impl Deserialize for f32 {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        Ok(f64::from_json_value(v)? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::custom(format!("expected bool, got {v:?}")))
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| Error::custom(format!("expected char, got {v:?}")))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom(format!("expected single char, got {s:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::custom(format!("expected string, got {v:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for () {
+    fn to_json_value(&self) -> Value {
+        Value::Null
+    }
+}
+impl Deserialize for () {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(Error::custom(format!("expected null, got {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Forwarding / container impls
+// ---------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        T::from_json_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+    fn __missing_field_fallback() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_json_value).collect(),
+            other => Err(Error::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        Vec::<T>::from_json_value(v).map(VecDeque::from)
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        Vec::<T>::from_json_value(v).map(|items| items.into_iter().collect())
+    }
+}
+
+impl<T: Serialize + std::hash::Hash + Eq> Serialize for HashSet<T> {
+    fn to_json_value(&self) -> Value {
+        // Sort the rendering for determinism across runs.
+        let mut items: Vec<Value> = self.iter().map(Serialize::to_json_value).collect();
+        items.sort_by(json_value::value_order);
+        Value::Array(items)
+    }
+}
+impl<T: Deserialize + std::hash::Hash + Eq> Deserialize for HashSet<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        Vec::<T>::from_json_value(v).map(|items| items.into_iter().collect())
+    }
+}
+
+/// Map keys representable as JSON object keys.
+pub trait MapKey: Sized {
+    /// Render the key as an object key.
+    fn to_map_key(&self) -> String;
+    /// Parse the key back from an object key.
+    fn from_map_key(s: &str) -> Result<Self, Error>;
+}
+
+impl MapKey for String {
+    fn to_map_key(&self) -> String {
+        self.clone()
+    }
+    fn from_map_key(s: &str) -> Result<Self, Error> {
+        Ok(s.to_owned())
+    }
+}
+
+macro_rules! int_map_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_map_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_map_key(s: &str) -> Result<Self, Error> {
+                s.parse()
+                    .map_err(|_| Error::custom(format!("invalid integer map key {s:?}")))
+            }
+        }
+    )*};
+}
+int_map_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_map_key(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(obj) => obj
+                .iter()
+                .map(|(k, v)| Ok((K::from_map_key(k)?, V::from_json_value(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl<K: MapKey + std::hash::Hash + Eq, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        // BTreeMap intermediate: deterministic key order.
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_map_key(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+impl<K: MapKey + std::hash::Hash + Eq, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(obj) => obj
+                .iter()
+                .map(|(k, v)| Ok((K::from_map_key(k)?, V::from_json_value(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! tuple_impl {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json_value(v: &Value) -> Result<Self, Error> {
+                const ARITY: usize = [$($idx),+].len();
+                match v {
+                    Value::Array(items) if items.len() == ARITY => {
+                        Ok(($($name::from_json_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::custom(format!(
+                        "expected {ARITY}-tuple, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+tuple_impl! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

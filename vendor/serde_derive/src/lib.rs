@@ -1,0 +1,495 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls for the vendored `serde`
+//! crate's JSON-value data model.  The input grammar is the subset the
+//! GridFlow crates use: structs with named fields (possibly generic),
+//! unit structs, and enums whose variants are unit, tuple, or struct
+//! shaped.  Field attributes (`#[serde(...)]`) are not supported — the
+//! codebase uses none.  Parsing is done directly over the proc-macro
+//! token stream (no `syn`/`quote` available offline); generated code is
+//! assembled as text and reparsed.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------
+
+enum Shape {
+    /// Named-field struct (field names in order).
+    Struct(Vec<String>),
+    /// Tuple struct (arity).
+    TupleStruct(usize),
+    /// Unit struct.
+    UnitStruct,
+    /// Enum: `(variant name, variant shape)`.
+    Enum(Vec<(String, VariantShape)>),
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    /// Type parameter names, e.g. `["E"]` for `Event<E>`.
+    type_params: Vec<String>,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, got {other}"),
+    };
+    i += 1;
+
+    let type_params = parse_generics(&tokens, &mut i);
+
+    // Skip a `where` clause if present (none expected in this codebase).
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Brace || g.delimiter() == Delimiter::Parenthesis =>
+            {
+                break
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => i += 1,
+        }
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            _ => Shape::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, got {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+
+    Item {
+        name,
+        type_params,
+        shape,
+    }
+}
+
+/// Advance past leading attributes (`#[...]`) and a visibility marker.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // `#`
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1; // `[...]`
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `(crate)` etc.
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Parse `<...>` after the type name, returning type-parameter names.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    if !matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return params;
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut at_param_start = true;
+    let mut in_bounds = false;
+    while *i < tokens.len() && depth > 0 {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                at_param_start = true;
+                in_bounds = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => in_bounds = true,
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                // Lifetime start: the following ident is not a type param.
+                *i += 1;
+                at_param_start = false;
+            }
+            TokenTree::Ident(id) if depth == 1 && at_param_start && !in_bounds => {
+                let s = id.to_string();
+                if s != "const" {
+                    params.push(s);
+                }
+                at_param_start = false;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+    params
+}
+
+/// Field names of a named-field body (struct or struct variant).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                fields.push(id.to_string());
+                i += 1;
+                // `:` then the type, up to a top-level comma.
+                assert!(
+                    matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+                    "expected `:` after field `{}`",
+                    fields.last().unwrap()
+                );
+                i += 1;
+                let mut angle = 0isize;
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                            i += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            None => break,
+            other => panic!("unexpected token in fields: {other:?}"),
+        }
+    }
+    fields
+}
+
+/// Arity of a parenthesised field list (tuple struct / tuple variant).
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle = 0isize;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        trailing_comma = false;
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+/// Variants of an enum body.
+fn parse_variants(stream: TokenStream) -> Vec<(String, VariantShape)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the separator.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push((name, shape));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+/// `impl<...> Trait for Name<...>` header pieces for a bounded trait.
+fn impl_header(item: &Item, bound: &str) -> (String, String) {
+    if item.type_params.is_empty() {
+        (String::new(), item.name.clone())
+    } else {
+        let params = item
+            .type_params
+            .iter()
+            .map(|p| format!("{p}: {bound}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let args = item.type_params.join(", ");
+        (format!("<{params}>"), format!("{}<{}>", item.name, args))
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (generics, ty) = impl_header(item, "::serde::Serialize");
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut s = String::from("let mut __m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__m.insert(\"{f}\".to_string(), ::serde::Serialize::to_json_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(__m)");
+            s
+        }
+        Shape::TupleStruct(0) | Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_json_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_json_value(&self.{k})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Array(vec![{items}])")
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for (v, shape) in variants {
+                match shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(\"{v}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds = (0..*n)
+                            .map(|k| format!("__f{k}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_json_value(__f0)".to_string()
+                        } else {
+                            let items = (0..*n)
+                                .map(|k| format!("::serde::Serialize::to_json_value(__f{k})"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!("::serde::Value::Array(vec![{items}])")
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => {{\n\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert(\"{v}\".to_string(), {inner});\n\
+                             ::serde::Value::Object(__m)\n\
+                             }},\n"
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = String::from("let mut __inner = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__inner.insert(\"{f}\".to_string(), ::serde::Serialize::to_json_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                             {inner}\
+                             let mut __m = ::serde::Map::new();\n\
+                             __m.insert(\"{v}\".to_string(), ::serde::Value::Object(__inner));\n\
+                             ::serde::Value::Object(__m)\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{generics} ::serde::Serialize for {ty} {{\n\
+         fn to_json_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (generics, ty) = impl_header(item, "::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut s = format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::Error::custom(\
+                 format!(\"expected object for struct {name}, got {{__v:?}}\")))?;\n\
+                 ::core::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: ::serde::__field(__obj, \"{f}\", \"{name}\")?,\n"
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::TupleStruct(0) | Shape::UnitStruct => {
+            format!("{{ let _ = __v; ::core::result::Result::Ok({name}) }}")
+        }
+        Shape::TupleStruct(1) => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::from_json_value(__v)?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_json_value(&__items[{k}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let __items = ::serde::__tuple_variant(__v, \"{name}\", \"{name}\", {n})?;\n\
+                 ::core::result::Result::Ok({name}({items}))"
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for (v, shape) in variants {
+                match shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{v}\" => return ::core::result::Result::Ok({name}::{v}),\n"
+                        ));
+                        // Also accept the `{"Variant": null}` form.
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => ::core::result::Result::Ok({name}::{v}),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{v}\" => ::core::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_json_value(__inner)?)),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let items = (0..*n)
+                            .map(|k| {
+                                format!("::serde::Deserialize::from_json_value(&__items[{k}])?")
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let __items = ::serde::__tuple_variant(__inner, \"{name}\", \"{v}\", {n})?;\n\
+                             ::core::result::Result::Ok({name}::{v}({items}))\n\
+                             }},\n"
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut init = String::new();
+                        for f in fields {
+                            init.push_str(&format!(
+                                "{f}: ::serde::__field(__o, \"{f}\", \"{name}::{v}\")?,\n"
+                            ));
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             let __o = __inner.as_object().ok_or_else(|| ::serde::Error::custom(\
+                             format!(\"expected object for variant {name}::{v}, got {{__inner:?}}\")))?;\n\
+                             ::core::result::Result::Ok({name}::{v} {{\n{init}}})\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::core::option::Option::Some(__s) = __v.as_str() {{\n\
+                 match __s {{\n{unit_arms}\
+                 __other => return ::core::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown unit variant `{{__other}}` of {name}\"))),\n}}\n}}\n\
+                 let __obj = __v.as_object().ok_or_else(|| ::serde::Error::custom(\
+                 format!(\"expected variant of {name}, got {{__v:?}}\")))?;\n\
+                 let (__k, __inner) = match __obj.iter().next() {{\n\
+                 ::core::option::Option::Some(kv) if __obj.len() == 1 => kv,\n\
+                 _ => return ::core::result::Result::Err(::serde::Error::custom(\
+                 \"expected single-key variant object for {name}\")),\n}};\n\
+                 match __k.as_str() {{\n{data_arms}\
+                 __other => ::core::result::Result::Err(::serde::Error::custom(\
+                 format!(\"unknown variant `{{__other}}` of {name}\"))),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{generics} ::serde::Deserialize for {ty} {{\n\
+         fn from_json_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n\
+         }}\n"
+    )
+}

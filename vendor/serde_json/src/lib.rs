@@ -1,0 +1,241 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Re-exports the JSON value model from the vendored `serde` crate and
+//! provides the familiar entry points: [`json!`], [`to_string`],
+//! [`to_string_pretty`], [`from_str`], [`to_value`], [`from_value`].
+//! Floats print via Rust's shortest-round-trip formatting, so values
+//! survive `to_string` → `from_str` exactly (the `float_roundtrip`
+//! behaviour of the real crate).
+
+pub use serde::json_value::{Map, Number, Value};
+pub use serde::Error;
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_json_value().to_string())
+}
+
+/// Serialize to a pretty-printed JSON string (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let v = value.to_json_value();
+    let mut out = String::new();
+    serde::json_value::write_pretty_public(&mut out, &v, 0);
+    Ok(out)
+}
+
+/// Serialize to a [`Value`].
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value> {
+    Ok(value.to_json_value())
+}
+
+/// Deserialize from a [`Value`].
+pub fn from_value<T: serde::de::DeserializeOwned>(value: Value) -> Result<T> {
+    T::from_json_value(&value)
+}
+
+/// Parse a JSON document into any deserializable type.
+pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T> {
+    let v = serde::json_value::parse(s)?;
+    T::from_json_value(&v)
+}
+
+/// Build a [`Value`] from JSON-like syntax, interpolating expressions.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => {
+        $crate::json_internal!($($tt)+)
+    };
+}
+
+/// Implementation muncher for [`json!`] (mirrors serde_json's).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    //////////////////////////////////////////////////////////////////
+    // Array munching: accumulate elements into [$($elems,)*].
+    //////////////////////////////////////////////////////////////////
+
+    (@array [$($elems:expr,)*]) => {
+        vec![$($elems,)*]
+    };
+    (@array [$($elems:expr),*]) => {
+        vec![$($elems),*]
+    };
+    // Next element is `null`/`true`/`false`/array/object literal.
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($array:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($array)*])] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($map)*})] $($rest)*)
+    };
+    // Next element is an expression followed by a comma.
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    // Last element, no trailing comma.
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last)])
+    };
+    // Comma after the most recent element.
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    //////////////////////////////////////////////////////////////////
+    // Object munching: (object) (key-tokens) (value-tokens-left).
+    //////////////////////////////////////////////////////////////////
+
+    // Done.
+    (@object $object:ident () () ()) => {};
+    // Insert the current entry, then move on.
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    // Current entry followed by unexpected token (error path: let it fail).
+    (@object $object:ident [$($key:tt)+] ($value:expr) $unexpected:tt $($rest:tt)*) => {
+        $crate::json_unexpected!($unexpected);
+    };
+    // Insert the last entry.
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+    };
+    // Value is `null`/`true`/`false`/array/object literal.
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(null)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(true)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(false)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: [$($array:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!([$($array)*])) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!({$($map)*})) $($rest)*);
+    };
+    // Value is an expression followed by a comma.
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)) , $($rest)*);
+    };
+    // Value is the last expression.
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)));
+    };
+    // Missing value (error paths).
+    (@object $object:ident ($($key:tt)+) (:) $copy:tt) => {
+        $crate::json_internal!();
+    };
+    (@object $object:ident ($($key:tt)+) () $copy:tt) => {
+        $crate::json_internal!();
+    };
+    // Key munching: found the colon — not yet, keep shifting key tokens.
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) ($($rest)*));
+    };
+    (@object $object:ident ($($key:tt)*) () $copy:tt) => {};
+
+    //////////////////////////////////////////////////////////////////
+    // Entry points.
+    //////////////////////////////////////////////////////////////////
+
+    (null) => {
+        $crate::Value::Null
+    };
+    (true) => {
+        $crate::Value::Bool(true)
+    };
+    (false) => {
+        $crate::Value::Bool(false)
+    };
+    ([]) => {
+        $crate::Value::Array(vec![])
+    };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+    ({}) => {
+        $crate::Value::Object($crate::Map::new())
+    };
+    ({ $($tt:tt)+ }) => {
+        {
+            let mut object = $crate::Map::new();
+            $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+            $crate::Value::Object(object)
+        }
+    };
+    // Any other expression: serialize through the data model.
+    ($other:expr) => {
+        $crate::value_of(&$other)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_unexpected {
+    () => {};
+}
+
+/// Convert any serializable value into a [`Value`] (used by [`json!`]).
+#[doc(hidden)]
+pub fn value_of<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_json_value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_documents() {
+        let n = 3u64;
+        let v = json!({
+            "a": 1,
+            "b": [true, null, "x", n],
+            "c": {"nested": {"k": format!("v{}", n)}},
+        });
+        assert_eq!(v["a"].as_u64(), Some(1));
+        assert_eq!(v["b"].as_array().unwrap().len(), 4);
+        assert_eq!(v["c"]["nested"]["k"].as_str(), Some("v3"));
+    }
+
+    #[test]
+    fn round_trip_compact() {
+        let v = json!({"s": "he\"llo\n", "f": 1.5, "i": -2, "u": 18446744073709551615u64});
+        let text = v.to_string();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn float_round_trip_exact() {
+        for f in [259717646520.72122f64, 0.1, 1.0e-300, -3.5, 1e15 + 1.0] {
+            let text = to_string(&f).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back, f, "{text}");
+        }
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let v = json!({"a": [1, 2], "b": {"c": "d"}});
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains('\n'));
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+}
