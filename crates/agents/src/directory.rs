@@ -10,6 +10,7 @@ use crate::error::{AgentError, Result};
 use crate::message::AclMessage;
 use crate::transport::{Transport, TransportSlot};
 use crossbeam_channel::Sender;
+use gridflow_telemetry::{TraceEvent, TraceSink, TraceSlot};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -48,6 +49,7 @@ impl std::fmt::Debug for AgentInfo {
 pub struct Directory {
     inner: Arc<RwLock<BTreeMap<String, AgentInfo>>>,
     transport: TransportSlot,
+    trace: TraceSlot,
 }
 
 impl Directory {
@@ -120,6 +122,19 @@ impl Directory {
         self.transport.clear();
     }
 
+    /// Install a [`TraceSink`] that observes every delivery: a
+    /// `MessageSent` event as a message enters [`Directory::deliver`]
+    /// and a `MessageDelivered` event per message that reaches a
+    /// mailbox.  Clones of this directory share the installation.
+    pub fn set_trace_sink(&self, sink: Arc<dyn TraceSink>) {
+        self.trace.set(sink);
+    }
+
+    /// Remove the installed trace sink.
+    pub fn clear_trace_sink(&self) {
+        self.trace.clear();
+    }
+
     /// Route a message to its receiver's mailbox, passing it through the
     /// installed [`Transport`] first (if any).  A transport may expand
     /// one message into zero (drop — still `Ok`: a lost datagram, not an
@@ -127,6 +142,16 @@ impl Directory {
     /// previously delayed traffic); each surviving message is routed to
     /// its own receiver.
     pub fn deliver(&self, msg: AclMessage) -> Result<()> {
+        self.trace.emit(
+            "directory",
+            TraceEvent::MessageSent {
+                id: msg.id,
+                performative: msg.performative.to_string(),
+                sender: msg.sender.clone(),
+                receiver: msg.receiver.clone(),
+                in_reply_to: msg.in_reply_to,
+            },
+        );
         match self.transport.get() {
             None => self.route(msg),
             Some(t) => {
@@ -141,9 +166,13 @@ impl Directory {
     /// Direct mailbox routing, bypassing any installed transport.
     pub fn route(&self, msg: AclMessage) -> Result<()> {
         let info = self.lookup(&msg.receiver)?;
+        let (id, receiver) = (msg.id, msg.receiver.clone());
         info.mailbox
             .send(Control::Deliver(msg))
-            .map_err(|_| AgentError::MailboxClosed(info.name.clone()))
+            .map_err(|_| AgentError::MailboxClosed(info.name.clone()))?;
+        self.trace
+            .emit("directory", TraceEvent::MessageDelivered { id, receiver });
+        Ok(())
     }
 }
 
@@ -307,6 +336,76 @@ mod tests {
         ))
         .unwrap();
         assert!(matches!(rx.try_recv().unwrap(), Control::Deliver(m) if m.content == json!(13)));
+    }
+
+    #[test]
+    fn trace_sink_sees_sent_and_delivered_with_correlation() {
+        use gridflow_telemetry::{TraceEvent, TraceLog};
+        let dir = Directory::new();
+        let (a, rx) = info("target", "t");
+        let (b, _src_rx) = info("src", "t");
+        dir.register(a).unwrap();
+        dir.register(b).unwrap();
+        let log = TraceLog::new();
+        dir.set_trace_sink(Arc::new(log.clone()));
+
+        let req = AclMessage::new(Performative::Request, "src", "target", "t", json!(1));
+        let reply = req.reply(Performative::Inform, json!(2));
+        dir.deliver(req.clone()).unwrap();
+        dir.deliver(reply.clone()).unwrap();
+        let _ = rx.try_recv();
+        let _ = rx.try_recv();
+
+        let recs = log.records();
+        assert_eq!(recs.len(), 4, "sent+delivered per message");
+        match &recs[0].event {
+            TraceEvent::MessageSent {
+                id, in_reply_to, ..
+            } => {
+                assert_eq!(*id, req.id);
+                assert_eq!(*in_reply_to, None);
+            }
+            other => panic!("expected MessageSent, got {other:?}"),
+        }
+        match &recs[2].event {
+            TraceEvent::MessageSent { in_reply_to, .. } => {
+                assert_eq!(*in_reply_to, Some(req.id), "reply correlates to request");
+            }
+            other => panic!("expected MessageSent, got {other:?}"),
+        }
+        assert!(matches!(
+            &recs[1].event,
+            TraceEvent::MessageDelivered { id, .. } if *id == req.id
+        ));
+
+        // Clearing the sink stops recording; delivery is unaffected.
+        dir.clear_trace_sink();
+        dir.deliver(AclMessage::new(Performative::Inform, "a", "target", "t", json!(3)))
+            .unwrap();
+        assert_eq!(log.len(), 4);
+    }
+
+    #[test]
+    fn dropped_messages_are_sent_but_not_delivered_in_the_trace() {
+        use gridflow_telemetry::{TraceEvent, TraceLog};
+        let dir = Directory::new();
+        let (a, _rx) = info("target", "t");
+        dir.register(a).unwrap();
+        dir.set_transport(Arc::new(SuperstitiousTransport));
+        let log = TraceLog::new();
+        dir.set_trace_sink(Arc::new(log.clone()));
+
+        dir.deliver(AclMessage::new(
+            Performative::Inform,
+            "src",
+            "target",
+            "t",
+            json!(13), // dropped by the transport
+        ))
+        .unwrap();
+        let recs = log.records();
+        assert_eq!(recs.len(), 1);
+        assert!(matches!(recs[0].event, TraceEvent::MessageSent { .. }));
     }
 
     #[test]

@@ -184,6 +184,13 @@ impl AgentRuntime {
         self.directory.set_transport(transport);
     }
 
+    /// Install a trace sink on the shared directory: every message any
+    /// agent sends through this runtime is recorded (sent + delivered
+    /// events with correlation ids).
+    pub fn set_trace_sink(&self, sink: Arc<dyn gridflow_telemetry::TraceSink>) {
+        self.directory.set_trace_sink(sink);
+    }
+
     /// Spawn an agent on its own thread and register it.
     pub fn spawn<A: Agent>(&mut self, mut agent: A) -> Result<()> {
         let name = agent.name();

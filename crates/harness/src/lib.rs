@@ -28,6 +28,12 @@
 //! [`EnactmentReport`]s ([`report_fingerprint`]) while different seeds
 //! produce different fault schedules ([`FaultyTransport::schedule`]).
 //!
+//! Every layer also mirrors what it does into the telemetry crate:
+//! [`run_scenario_traced`] returns a [`TraceLog`] whose JSONL dump is
+//! itself byte-identical across replays, and [`TraceQuery`] turns that
+//! log into conformance assertions (no double dispatch, drops resolved,
+//! happens-before).
+//!
 //! ```
 //! use gridflow_harness::{run_scenario, outcome_fingerprint, FaultPlan};
 //! use gridflow_harness::workload::dinner_workload;
@@ -55,7 +61,15 @@ pub use clock::VirtualClock;
 pub use plan::{FaultAction, FaultEvent, FaultPlan, FaultSchedule, NodeLoss};
 pub use runner::{
     execution_counts, is_execution_prefix, outcome_fingerprint, report_fingerprint, run_scenario,
-    run_scenario_with_budget, ScenarioOutcome,
+    run_scenario_traced, run_scenario_with_budget, run_scenario_with_budget_traced,
+    ScenarioOutcome,
 };
 pub use transport::FaultyTransport;
 pub use workload::Workload;
+
+// The telemetry surface tests lean on, re-exported so harness consumers
+// need only one crate in scope.
+pub use gridflow_telemetry::{
+    MetricsRegistry, TraceEvent, TraceHandle, TraceLog, TraceQuery, TraceRecord, TraceSink,
+    TraceViolation,
+};

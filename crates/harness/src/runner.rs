@@ -10,11 +10,14 @@
 //! a pure function of `(plan, workload, phase index)`, so the whole
 //! outcome replays byte-identically.
 
+use crate::clock::VirtualClock;
 use crate::plan::FaultPlan;
 use crate::workload::Workload;
 use gridflow_services::coordination::{EnactmentCheckpoint, EnactmentReport, Enactor};
 use gridflow_services::world::GridWorld;
+use gridflow_telemetry::{TraceEvent, TraceHandle, TraceLog};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// The record of one scenario run: one report per phase.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,13 +53,34 @@ impl ScenarioOutcome {
 }
 
 /// Apply every scripted node loss whose threshold has been reached.
-fn apply_node_losses(world: &mut GridWorld, plan: &FaultPlan, executions_so_far: usize) {
+fn apply_node_losses(
+    world: &mut GridWorld,
+    plan: &FaultPlan,
+    executions_so_far: usize,
+    trace: &TraceHandle,
+) {
     for loss in &plan.node_loss {
         if loss.after_executions <= executions_so_far {
             // Unknown containers are a plan/workload mismatch; ignore
             // rather than abort — the scenario still runs, just without
-            // that loss.
+            // that loss.  Trace only transitions actually applied to an
+            // up container, so each phase records its own effective
+            // losses exactly once.
+            let was_up = world
+                .topology
+                .container(&loss.container)
+                .map(|c| c.up)
+                .unwrap_or(false);
             let _ = world.set_container_up(&loss.container, false);
+            if was_up {
+                trace.emit(
+                    "runner",
+                    TraceEvent::NodeLost {
+                        container: loss.container.clone(),
+                        after_executions: loss.after_executions,
+                    },
+                );
+            }
         }
     }
 }
@@ -90,10 +114,36 @@ pub fn run_scenario_with_budget(
     workload: &Workload,
     max_resumes: usize,
 ) -> ScenarioOutcome {
-    let enactor = Enactor::new(workload.config.clone());
+    run_scenario_with_budget_traced(plan, workload, max_resumes, TraceHandle::none())
+}
+
+/// Run a scenario with the default resume budget, recording the full
+/// event trace into a fresh [`TraceLog`] stamped by a [`VirtualClock`]
+/// (so `at_s` accumulates simulated execution seconds).
+///
+/// The scenario path is single-threaded and every input is seeded, so
+/// two runs of the same `(plan, workload)` return logs whose
+/// [`TraceLog::to_jsonl`] dumps are byte-identical.
+pub fn run_scenario_traced(plan: &FaultPlan, workload: &Workload) -> (ScenarioOutcome, TraceLog) {
+    let log = TraceLog::with_clock(Arc::new(VirtualClock::new()));
+    let outcome =
+        run_scenario_with_budget_traced(plan, workload, 4, TraceHandle::from(log.clone()));
+    (outcome, log)
+}
+
+/// Run a scenario, mirroring phases, faults, crashes and resumes into
+/// `trace` alongside the events the [`Enactor`] emits itself.
+pub fn run_scenario_with_budget_traced(
+    plan: &FaultPlan,
+    workload: &Workload,
+    max_resumes: usize,
+    trace: TraceHandle,
+) -> ScenarioOutcome {
+    let enactor = Enactor::new(workload.config.clone()).with_trace_handle(trace.clone());
     let mut phase = 0usize;
     let mut world = workload.fresh_world(plan, phase);
-    apply_node_losses(&mut world, plan, 0);
+    trace.emit("runner", TraceEvent::PhaseStarted { phase });
+    apply_node_losses(&mut world, plan, 0, &trace);
     let mut current = enactor.enact(&mut world, &workload.graph, &workload.case);
 
     // Scripted coordinator crash: the run past checkpoint `k` never
@@ -104,6 +154,12 @@ pub fn run_scenario_with_budget(
             let archived = serde_json::to_string(cp).expect("checkpoints serialize");
             let restored: EnactmentCheckpoint =
                 serde_json::from_str(&archived).expect("checkpoints deserialize");
+            trace.emit(
+                "runner",
+                TraceEvent::CoordinatorCrashed {
+                    after_checkpoints: k,
+                },
+            );
             current = crashed_report(&restored);
         }
     }
@@ -117,7 +173,15 @@ pub fn run_scenario_with_budget(
         phase += 1;
         resumes += 1;
         let mut world = workload.fresh_world(plan, phase);
-        apply_node_losses(&mut world, plan, cp.executions.len());
+        trace.emit("runner", TraceEvent::PhaseStarted { phase });
+        trace.emit(
+            "runner",
+            TraceEvent::ResumeStarted {
+                phase,
+                completed_executions: cp.executions.len(),
+            },
+        );
+        apply_node_losses(&mut world, plan, cp.executions.len(), &trace);
         let resumed = enactor.resume(&mut world, cp, &workload.case);
         if let Some(newer) = resumed.checkpoints.last() {
             resume_cp = Some(newer.clone());

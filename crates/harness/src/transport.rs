@@ -11,9 +11,11 @@
 use crate::clock::VirtualClock;
 use crate::plan::{FaultAction, FaultEvent, FaultPlan, FaultSchedule};
 use gridflow_agents::{AclMessage, Transport};
+use gridflow_telemetry::{TraceEvent, TraceSink, TraceSlot};
 use parking_lot::Mutex;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 
 struct Inner {
     rng: ChaCha8Rng,
@@ -26,6 +28,7 @@ struct Inner {
 pub struct FaultyTransport {
     plan: FaultPlan,
     clock: VirtualClock,
+    trace: TraceSlot,
     inner: Mutex<Inner>,
 }
 
@@ -36,12 +39,25 @@ impl FaultyTransport {
         FaultyTransport {
             plan,
             clock,
+            trace: TraceSlot::new(),
             inner: Mutex::new(Inner {
                 rng,
                 held: Vec::new(),
                 schedule: Vec::new(),
             }),
         }
+    }
+
+    /// Mirror every fault decision (drop/duplicate/delay/release) into
+    /// `sink` as typed events, source `"transport"`.
+    pub fn with_trace(self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace.set(sink);
+        self
+    }
+
+    /// Install a trace sink after construction.
+    pub fn set_trace_sink(&self, sink: Arc<dyn TraceSink>) {
+        self.trace.set(sink);
     }
 
     /// The shared clock this transport ticks.
@@ -81,6 +97,13 @@ impl Transport for FaultyTransport {
         let mut still_held = Vec::new();
         for (release, held) in inner.held.drain(..) {
             if release <= tick {
+                self.trace.emit(
+                    "transport",
+                    TraceEvent::MessageReleased {
+                        id: held.id,
+                        receiver: held.receiver.clone(),
+                    },
+                );
                 out.push(held);
             } else {
                 still_held.push((release, held));
@@ -114,6 +137,37 @@ impl Transport for FaultyTransport {
             receiver: msg.receiver.clone(),
             action: action.clone(),
         });
+
+        if self.trace.is_installed() {
+            match &action {
+                FaultAction::Deliver => {}
+                FaultAction::Drop => self.trace.emit(
+                    "transport",
+                    TraceEvent::MessageDropped {
+                        id: msg.id,
+                        sender: msg.sender.clone(),
+                        receiver: msg.receiver.clone(),
+                    },
+                ),
+                FaultAction::Duplicate => self.trace.emit(
+                    "transport",
+                    TraceEvent::MessageDuplicated {
+                        id: msg.id,
+                        sender: msg.sender.clone(),
+                        receiver: msg.receiver.clone(),
+                    },
+                ),
+                FaultAction::Delay { until_tick } => self.trace.emit(
+                    "transport",
+                    TraceEvent::MessageDelayed {
+                        id: msg.id,
+                        sender: msg.sender.clone(),
+                        receiver: msg.receiver.clone(),
+                        until_tick: *until_tick,
+                    },
+                ),
+            }
+        }
 
         match action {
             FaultAction::Deliver => out.push(msg),
@@ -218,6 +272,52 @@ mod tests {
         let (schedule, delivered) = run_sequence(plan, 10);
         assert_eq!(delivered.len(), 10);
         assert!(schedule.iter().all(|e| e.action == FaultAction::Deliver));
+    }
+
+    #[test]
+    fn trace_mirrors_fault_decisions() {
+        use gridflow_telemetry::{TraceEvent, TraceLog};
+        let log = TraceLog::new();
+        let plan = FaultPlan::seeded(9)
+            .dropping(0.3)
+            .duplicating(0.2)
+            .delaying(0.2, 2);
+        let t = FaultyTransport::new(plan, VirtualClock::new()).with_trace(Arc::new(log.clone()));
+        for i in 0..200 {
+            let _ = t.intercept(msg(i));
+        }
+        let schedule = t.schedule();
+        let count = |f: &dyn Fn(&FaultAction) -> bool| schedule.iter().filter(|e| f(&e.action)).count();
+        let traced = |l: &str| {
+            log.records()
+                .iter()
+                .filter(|r| r.event.label() == l)
+                .count()
+        };
+        assert_eq!(traced("message.dropped"), count(&|a| *a == FaultAction::Drop));
+        assert_eq!(
+            traced("message.duplicated"),
+            count(&|a| *a == FaultAction::Duplicate)
+        );
+        assert_eq!(
+            traced("message.delayed"),
+            count(&|a| matches!(a, FaultAction::Delay { .. }))
+        );
+        assert!(traced("message.dropped") > 0, "plan should drop something");
+        // Released messages carry the id of a previously delayed one.
+        let delayed_ids: Vec<u64> = log
+            .records()
+            .iter()
+            .filter_map(|r| match &r.event {
+                TraceEvent::MessageDelayed { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        for r in log.records() {
+            if let TraceEvent::MessageReleased { id, .. } = &r.event {
+                assert!(delayed_ids.contains(id));
+            }
+        }
     }
 
     #[test]

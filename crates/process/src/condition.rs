@@ -380,6 +380,68 @@ mod tests {
     }
 
     #[test]
+    fn missing_property_is_false_for_every_operator_leniently() {
+        // The item exists but lacks the property: no operator — not even
+        // `!=` — may claim the comparison holds.
+        let s = DataState::new().with("D", DataItem::new().with("Other", Value::Int(1)));
+        for op in [
+            CompareOp::Lt,
+            CompareOp::Gt,
+            CompareOp::Eq,
+            CompareOp::Ne,
+            CompareOp::Le,
+            CompareOp::Ge,
+        ] {
+            let c = Condition::compare("D", "X", op, 5i64);
+            assert!(!c.eval(&s), "{op} held on a missing property");
+            // Strict evaluation names the property, not the item.
+            match c.eval_strict(&s) {
+                Err(ProcessError::UnknownData(msg)) => {
+                    assert!(msg.contains("D.X"), "unhelpful error: {msg}")
+                }
+                other => panic!("expected UnknownData, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn lt_le_boundary_at_equal_values() {
+        let s = DataState::new().with("D", DataItem::new().with("X", Value::Int(8)));
+        let check = |op, rhs: i64| Condition::compare("D", "X", op, rhs).eval(&s);
+        assert!(!check(CompareOp::Lt, 8), "< is strict");
+        assert!(check(CompareOp::Le, 8), "<= admits equality");
+        assert!(!check(CompareOp::Gt, 8), "> is strict");
+        assert!(check(CompareOp::Ge, 8), ">= admits equality");
+        // The boundary also holds across the int/float divide.
+        let f = |op, rhs: f64| Condition::compare("D", "X", op, rhs).eval(&s);
+        assert!(!f(CompareOp::Lt, 8.0));
+        assert!(f(CompareOp::Le, 8.0));
+    }
+
+    #[test]
+    fn type_mismatched_ordering_fails_closed() {
+        // A bool is neither equal nor ordered against a number: `!=` is
+        // the only comparison that may hold, and `<=`/`>=` must not leak
+        // through their equality half.
+        let s = DataState::new().with("D", DataItem::new().with("X", Value::Bool(true)));
+        let check = |op| Condition::compare("D", "X", op, 1i64).eval(&s);
+        assert!(!check(CompareOp::Lt));
+        assert!(!check(CompareOp::Gt));
+        assert!(!check(CompareOp::Eq));
+        assert!(!check(CompareOp::Le));
+        assert!(!check(CompareOp::Ge));
+        assert!(check(CompareOp::Ne));
+        // Strict evaluation agrees: the property exists, so a mismatch
+        // is a (false) answer, not an error.
+        assert_eq!(
+            Condition::compare("D", "X", CompareOp::Le, 1i64)
+                .eval_strict(&s)
+                .unwrap(),
+            false
+        );
+    }
+
+    #[test]
     fn referenced_data_is_sorted_and_deduped() {
         let c = Condition::classified("D2", "x")
             .and(Condition::classified("D1", "y"))

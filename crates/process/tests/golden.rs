@@ -1,0 +1,153 @@
+//! Golden tests for the process-description language: exact concrete
+//! syntax for the dinner workflow and a Fig.-10-style nested process.
+//!
+//! Where the property tests (`prop.rs`) say *print→parse is the
+//! identity*, these pin down *what the printed text actually is*, so an
+//! accidental grammar or printer change shows up as a readable diff
+//! rather than a distant round-trip failure.
+
+use gridflow_process::condition::{CompareOp, Condition};
+use gridflow_process::lower::lower;
+use gridflow_process::parser::parse_process;
+use gridflow_process::printer::print;
+use gridflow_process::{ProcessAst, Stmt};
+
+const DINNER_GOLDEN: &str = "\
+BEGIN
+  prep;
+  cook;
+  plate;
+END
+";
+
+#[test]
+fn dinner_process_prints_to_its_golden_form() {
+    let ast = ProcessAst::new(vec![
+        Stmt::Activity("prep".into()),
+        Stmt::Activity("cook".into()),
+        Stmt::Activity("plate".into()),
+    ]);
+    assert_eq!(print(&ast), DINNER_GOLDEN);
+}
+
+#[test]
+fn dinner_golden_parses_back_to_the_same_ast() {
+    let ast = parse_process(DINNER_GOLDEN).expect("golden parses");
+    assert_eq!(ast.activities(), vec!["prep", "cook", "plate"]);
+    assert_eq!(print(&ast), DINNER_GOLDEN, "golden is a fixpoint");
+    // The terse one-line spelling the harness workload uses normalizes
+    // to the same AST.
+    let terse = parse_process("BEGIN prep; cook; plate; END").expect("terse parses");
+    assert_eq!(terse, ast);
+}
+
+#[test]
+fn dinner_golden_lowers_to_a_valid_graph() {
+    let ast = parse_process(DINNER_GOLDEN).unwrap();
+    let graph = lower("dinner", &ast).expect("lowers");
+    graph.validate().expect("valid");
+    let services: Vec<String> = graph
+        .end_user_activities()
+        .map(|a| a.service.clone().unwrap())
+        .collect();
+    assert_eq!(services, vec!["prep", "cook", "plate"]);
+}
+
+/// A Fig.-10-style process: data acquisition, then an iterative
+/// refinement containing a concurrent reconstruction fork and a
+/// selective surface-fitting choice.
+fn reconstruction_ast() -> ProcessAst {
+    ProcessAst::new(vec![
+        Stmt::Activity("POD".into()),
+        Stmt::Iterative {
+            cond: Condition::compare("D10", "Value", CompareOp::Gt, 8i64),
+            body: vec![
+                Stmt::Activity("POR".into()),
+                Stmt::Concurrent(vec![
+                    vec![Stmt::Activity("P3DR1".into())],
+                    vec![
+                        Stmt::Activity("P3DR2".into()),
+                        Stmt::Activity("P3DR3".into()),
+                    ],
+                ]),
+                Stmt::Selective(vec![
+                    (
+                        Condition::classified("D9", "3D Model"),
+                        vec![Stmt::Activity("PSF".into())],
+                    ),
+                    (Condition::True, vec![]),
+                ]),
+            ],
+        },
+    ])
+}
+
+const RECONSTRUCTION_GOLDEN: &str = r#"BEGIN
+  POD;
+  ITERATIVE { COND { D10.Value > 8 } } {
+    POR;
+    FORK {
+      {
+        P3DR1;
+      },
+      {
+        P3DR2;
+        P3DR3;
+      }
+    } JOIN;
+    CHOICE {
+      COND { D9.Classification = "3D Model" } {
+        PSF;
+      },
+      COND { true } {
+      }
+    } MERGE;
+  };
+END
+"#;
+
+#[test]
+fn reconstruction_process_prints_to_its_golden_form() {
+    assert_eq!(print(&reconstruction_ast()), RECONSTRUCTION_GOLDEN);
+}
+
+#[test]
+fn reconstruction_golden_round_trips_through_parse_and_lower() {
+    let ast = parse_process(RECONSTRUCTION_GOLDEN).expect("golden parses");
+    assert_eq!(ast, reconstruction_ast());
+    assert_eq!(print(&ast), RECONSTRUCTION_GOLDEN, "golden is a fixpoint");
+    let graph = lower("fig10", &ast).expect("lowers");
+    graph.validate().expect("valid");
+    let back = gridflow_process::recover::recover(&graph).expect("recovers");
+    assert_eq!(back, ast);
+}
+
+#[test]
+fn condition_atoms_print_to_their_golden_forms() {
+    // The paper's Cons1, plus each extension the grammar adds.
+    let cases: Vec<(Condition, &str)> = vec![
+        (
+            Condition::classified("D10", "Resolution File").and(Condition::compare(
+                "D10",
+                "Value",
+                CompareOp::Gt,
+                8i64,
+            )),
+            "D10.Classification = \"Resolution File\" and D10.Value > 8",
+        ),
+        (Condition::Exists("D7".into()), "exists D7"),
+        (
+            Condition::compare("D1", "Size", CompareOp::Le, 100i64).negate(),
+            "not D1.Size <= 100",
+        ),
+        (
+            Condition::True.or(Condition::compare("D2", "Value", CompareOp::Ne, 0i64)),
+            "true or D2.Value != 0",
+        ),
+    ];
+    for (cond, golden) in cases {
+        assert_eq!(cond.to_string(), golden);
+        let back = gridflow_process::parser::parse_condition(golden).expect("golden parses");
+        assert_eq!(back, cond);
+    }
+}

@@ -19,7 +19,10 @@ use gridflow_planner::GoalSpec;
 use gridflow_process::{
     ActivityKind, AtnMachine, AtnSnapshot, CaseDescription, DataState, ProcessGraph,
 };
+use gridflow_telemetry::{TraceEvent, TraceHandle, TraceSink};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Configuration of an enactment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -146,12 +149,32 @@ pub struct EnactmentReport {
 pub struct Enactor {
     /// Configuration.
     pub config: EnactmentConfig,
+    /// Optional trace sink: dispatch/completion/failure, flow-control
+    /// transitions, checkpoints, and re-planning as typed events.
+    trace: TraceHandle,
 }
 
 impl Enactor {
     /// An enactor with the given configuration.
     pub fn new(config: EnactmentConfig) -> Self {
-        Enactor { config }
+        Enactor {
+            config,
+            trace: TraceHandle::none(),
+        }
+    }
+
+    /// Record every enactment event into `sink`.
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = TraceHandle::new(sink);
+        self
+    }
+
+    /// Record every enactment event through an existing handle
+    /// (possibly empty — useful for threading one handle through a
+    /// whole stack).
+    pub fn with_trace_handle(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Enact `graph` under `case` against `world`.
@@ -199,6 +222,7 @@ impl Enactor {
         let mut current_graph = graph.clone();
         let mut excluded: Vec<String> = Vec::new();
         let mut pending_snapshot: Option<AtnSnapshot> = None;
+        let resumed = resume_from.is_some();
         if let Some(cp) = resume_from {
             state = cp.state;
             report.executions = cp.executions;
@@ -210,14 +234,31 @@ impl Enactor {
             excluded = cp.excluded;
             pending_snapshot = Some(cp.snapshot);
         }
-        let planning = PlanningService::new(self.config.gp);
+        self.trace.emit(
+            "enactor",
+            TraceEvent::EnactmentStarted {
+                workflow: current_graph.name.clone(),
+                resumed,
+            },
+        );
+        let planning = PlanningService::new(self.config.gp).with_trace_handle(self.trace.clone());
         let initial_classifications = initial_classifications(case);
         let mut since_checkpoint = 0usize;
 
         'plans: loop {
+            // Flow-transition baseline: ATN execution counts for the
+            // non-end-user nodes, so each increment after an activity
+            // step surfaces as a `TransitionFired` event.
+            let mut flow_base: BTreeMap<String, usize> = BTreeMap::new();
             let mut machine = match pending_snapshot.take() {
                 Some(snapshot) => match AtnMachine::restore(&current_graph, snapshot) {
-                    Ok(m) => m,
+                    Ok(m) => {
+                        // Transitions fired before the crash were already
+                        // reported by the pre-crash coordinator: start
+                        // the baseline at the restored counts.
+                        flow_base = flow_counts(&current_graph, &m);
+                        m
+                    }
                     Err(e) => {
                         report.abort_reason = Some(format!("checkpoint restore failed: {e}"));
                         break 'plans;
@@ -235,6 +276,7 @@ impl Enactor {
                         report.abort_reason = Some(format!("start failed: {e}"));
                         break 'plans;
                     }
+                    self.emit_transitions(&current_graph, &m, &mut flow_base);
                     m
                 }
             };
@@ -275,6 +317,7 @@ impl Enactor {
                             report.abort_reason = Some(format!("machine error: {e}"));
                             break 'plans;
                         }
+                        self.emit_transitions(&current_graph, &machine, &mut flow_base);
                         since_checkpoint += 1;
                         if let Some(every) = self.config.checkpoint_every {
                             if since_checkpoint >= every.max(1) {
@@ -291,6 +334,13 @@ impl Enactor {
                                     total_duration_s: report.total_duration_s,
                                     total_cost: report.total_cost,
                                 });
+                                self.trace.emit(
+                                    "enactor",
+                                    TraceEvent::CheckpointCaptured {
+                                        index: report.checkpoints.len() - 1,
+                                        executions: report.executions.len(),
+                                    },
+                                );
                             }
                         }
                     }
@@ -310,6 +360,15 @@ impl Enactor {
                         if !excluded.contains(&service) {
                             excluded.push(service.clone());
                         }
+                        self.trace.emit(
+                            "enactor",
+                            TraceEvent::ReplanTriggered {
+                                activity: activity_id.clone(),
+                                service: service.clone(),
+                                excluded: excluded.clone(),
+                                round: report.replans,
+                            },
+                        );
                         let request = PlanRequest {
                             initial: initial_classifications.clone(),
                             goals: self.config.planning_goals.clone(),
@@ -318,6 +377,10 @@ impl Enactor {
                         };
                         match planning.plan(world, &request) {
                             Ok(response) if response.viable => {
+                                self.trace.emit(
+                                    "enactor",
+                                    TraceEvent::ReplanInstalled { viable: true },
+                                );
                                 current_graph = match self.refinement_wrap(case, &response) {
                                     Ok(g) => g,
                                     Err(e) => {
@@ -329,6 +392,10 @@ impl Enactor {
                                 continue 'plans;
                             }
                             Ok(_) => {
+                                self.trace.emit(
+                                    "enactor",
+                                    TraceEvent::ReplanInstalled { viable: false },
+                                );
                                 report.abort_reason =
                                     Some("re-planning produced no viable plan".into());
                                 break 'plans;
@@ -344,7 +411,47 @@ impl Enactor {
         }
 
         report.final_state = state;
+        self.trace.emit(
+            "enactor",
+            TraceEvent::EnactmentFinished {
+                success: report.success,
+                abort_reason: report.abort_reason.clone(),
+            },
+        );
         report
+    }
+
+    /// Emit a `TransitionFired` event for every flow-control node whose
+    /// ATN execution count grew past `base`, then advance `base`.
+    fn emit_transitions(
+        &self,
+        graph: &ProcessGraph,
+        machine: &AtnMachine,
+        base: &mut BTreeMap<String, usize>,
+    ) {
+        if !self.trace.is_installed() {
+            return;
+        }
+        for a in graph
+            .activities()
+            .iter()
+            .filter(|a| a.kind != ActivityKind::EndUser)
+        {
+            let n = machine.executions(&a.id);
+            let prev = base.get(&a.id).copied().unwrap_or(0);
+            for _ in prev..n {
+                self.trace.emit(
+                    "enactor",
+                    TraceEvent::TransitionFired {
+                        kind: kind_label(a.kind).to_owned(),
+                        node: a.id.clone(),
+                    },
+                );
+            }
+            if n != prev {
+                base.insert(a.id.clone(), n);
+            }
+        }
     }
 
     /// Apply the configured refinement constraint to a fresh plan (see
@@ -382,7 +489,20 @@ impl Enactor {
         report: &mut EnactmentReport,
     ) -> Result<()> {
         let candidates = matchmake(world, &MatchRequest::for_service(service))?;
-        for candidate in candidates.iter().take(self.config.max_candidates.max(1)) {
+        for (attempt, candidate) in candidates
+            .iter()
+            .take(self.config.max_candidates.max(1))
+            .enumerate()
+        {
+            self.trace.emit(
+                "enactor",
+                TraceEvent::ActivityDispatched {
+                    activity: activity_id.to_owned(),
+                    service: service.to_owned(),
+                    container: candidate.container.clone(),
+                    attempt,
+                },
+            );
             match world.execute_service(service, &candidate.container) {
                 Ok(record) => {
                     let produced = world.apply_outputs(service, state)?;
@@ -396,12 +516,35 @@ impl Enactor {
                         duration_s: record.duration_s,
                         cost: record.cost,
                     });
+                    // Advance the trace's virtual clock by the simulated
+                    // execution time, so `at_s` reads as cumulative
+                    // virtual seconds.
+                    self.trace.advance_s(record.duration_s);
+                    self.trace.emit(
+                        "enactor",
+                        TraceEvent::ActivityCompleted {
+                            activity: activity_id.to_owned(),
+                            service: service.to_owned(),
+                            container: candidate.container.clone(),
+                            duration_s: record.duration_s,
+                            cost: record.cost,
+                        },
+                    );
                     return Ok(());
                 }
                 Err(_) => {
                     report
                         .failed_attempts
                         .push((activity_id.to_owned(), candidate.container.clone()));
+                    self.trace.emit(
+                        "enactor",
+                        TraceEvent::ActivityFailed {
+                            activity: activity_id.to_owned(),
+                            service: service.to_owned(),
+                            container: candidate.container.clone(),
+                            attempt,
+                        },
+                    );
                 }
             }
         }
@@ -409,6 +552,29 @@ impl Enactor {
             activity: activity_id.to_owned(),
             service: service.to_owned(),
         })
+    }
+}
+
+/// Current ATN execution counts for a graph's flow-control nodes.
+fn flow_counts(graph: &ProcessGraph, machine: &AtnMachine) -> BTreeMap<String, usize> {
+    graph
+        .activities()
+        .iter()
+        .filter(|a| a.kind != ActivityKind::EndUser)
+        .map(|a| (a.id.clone(), machine.executions(&a.id)))
+        .collect()
+}
+
+/// Stable label for a flow-control node kind in trace events.
+fn kind_label(kind: ActivityKind) -> &'static str {
+    match kind {
+        ActivityKind::Begin => "Begin",
+        ActivityKind::End => "End",
+        ActivityKind::EndUser => "EndUser",
+        ActivityKind::Fork => "Fork",
+        ActivityKind::Join => "Join",
+        ActivityKind::Choice => "Choice",
+        ActivityKind::Merge => "Merge",
     }
 }
 

@@ -350,6 +350,49 @@ mod tests {
     }
 
     #[test]
+    fn empty_topology_degrades_to_no_matching_offer() {
+        // A world with the offering registered but no grid behind it:
+        // matchmaking must answer with its usual error, not panic.
+        let mut w = GridWorld::new(GridTopology {
+            resources: vec![],
+            containers: vec![],
+        });
+        w.offer(ServiceOffering::new(
+            "X",
+            Vec::<String>::new(),
+            vec![OutputSpec::plain("Out")],
+        ));
+        assert!(matches!(
+            matchmake(&w, &MatchRequest::for_service("X")),
+            Err(ServiceError::Grid(
+                gridflow_grid::GridError::NoMatchingOffer(_)
+            ))
+        ));
+        let broker = crate::brokerage::BrokerageService::new();
+        assert!(matchmake_with_history(&w, &broker, &MatchRequest::for_service("X")).is_err());
+    }
+
+    #[test]
+    fn all_nodes_down_degrades_to_no_matching_offer() {
+        let mut w = world(false);
+        for id in ["ac-sc", "ac-pc", "ac-ws"] {
+            w.set_container_up(id, false).unwrap();
+        }
+        assert!(matches!(
+            matchmake(&w, &MatchRequest::for_service("X")),
+            Err(ServiceError::Grid(
+                gridflow_grid::GridError::NoMatchingOffer(_)
+            ))
+        ));
+        // Back up, matches flow again — the outage was not sticky.
+        w.set_container_up("ac-pc", true).unwrap();
+        assert_eq!(
+            matchmake(&w, &MatchRequest::for_service("X")).unwrap().len(),
+            1
+        );
+    }
+
+    #[test]
     fn unknown_service_errors() {
         let w = world(false);
         assert!(matches!(

@@ -9,6 +9,7 @@
 //! draws.
 
 use crate::world::GridWorld;
+use gridflow_telemetry::{MetricsRegistry, TraceRecord};
 use serde::{Deserialize, Serialize};
 
 /// A live probe result for one container.
@@ -90,6 +91,32 @@ impl MonitoringService {
         let up = world.topology.containers.iter().filter(|c| c.up).count();
         up as f64 / total as f64
     }
+
+    /// Fold an execution trace into counters and virtual-time latency
+    /// histograms.  The registry inherits the trace's determinism:
+    /// identical seeds → identical metrics.
+    pub fn metrics_from_trace(&self, records: &[TraceRecord]) -> MetricsRegistry {
+        MetricsRegistry::from_trace(records)
+    }
+
+    /// A live-state + execution-history summary: the availability probe
+    /// (what is up *now*) alongside the metrics of what *happened* — the
+    /// paper's monitoring/information-service pairing in one view.
+    pub fn summary(&self, world: &GridWorld, records: &[TraceRecord]) -> MonitoringSummary {
+        MonitoringSummary {
+            availability: self.availability(world),
+            metrics: self.metrics_from_trace(records),
+        }
+    }
+}
+
+/// Live availability plus trace-derived metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonitoringSummary {
+    /// Fraction of containers currently up.
+    pub availability: f64,
+    /// Counters and latency histograms folded from the trace.
+    pub metrics: MetricsRegistry,
 }
 
 #[cfg(test)]
@@ -144,5 +171,49 @@ mod tests {
     fn empty_world_is_fully_available() {
         let w = GridWorld::new(GridTopology::generate(0, &[], 1));
         assert_eq!(MonitoringService.availability(&w), 1.0);
+    }
+
+    #[test]
+    fn availability_tracks_partial_outages_down_to_zero_and_back() {
+        let mut w = world();
+        let mon = MonitoringService;
+        let ids: Vec<String> = w.topology.containers.iter().map(|c| c.id.clone()).collect();
+        // Take the containers down one by one: availability steps through
+        // every fraction, never panicking mid-outage.
+        for (downed, id) in ids.iter().enumerate() {
+            w.set_container_up(id, false).unwrap();
+            let expected = (ids.len() - downed - 1) as f64 / ids.len() as f64;
+            assert!((mon.availability(&w) - expected).abs() < 1e-12);
+        }
+        assert_eq!(mon.availability(&w), 0.0);
+        // Probes keep working during the blackout…
+        assert!(mon
+            .probe_all_containers(&w)
+            .iter()
+            .all(|c| !c.up));
+        // …and recovery is symmetric.
+        w.set_container_up(&ids[0], true).unwrap();
+        assert!((mon.availability(&w) - 1.0 / ids.len() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_pairs_degraded_availability_with_trace_metrics() {
+        use gridflow_telemetry::TraceEvent;
+        let mut w = world();
+        let id = w.topology.containers[0].id.clone();
+        w.set_container_up(&id, false).unwrap();
+        let records = vec![TraceRecord {
+            seq: 0,
+            tick: 0,
+            at_s: 0.0,
+            source: "runner".into(),
+            event: TraceEvent::NodeLost {
+                container: id,
+                after_executions: 0,
+            },
+        }];
+        let summary = MonitoringService.summary(&w, &records);
+        assert!((summary.availability - 0.8).abs() < 1e-12);
+        assert_eq!(summary.metrics.counter("fault.node_lost"), 1);
     }
 }

@@ -13,7 +13,9 @@ use crate::world::GridWorld;
 use gridflow_plan::{canonicalize, tree_to_graph, PlanNode};
 use gridflow_planner::prelude::*;
 use gridflow_process::ProcessGraph;
+use gridflow_telemetry::{TraceEvent, TraceHandle, TraceSink};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A planning (or re-planning) request.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
@@ -52,12 +54,29 @@ pub struct PlanResponse {
 pub struct PlanningService {
     /// GP configuration used for every request.
     pub config: GpConfig,
+    /// Optional trace sink: per-generation GP statistics as events.
+    trace: TraceHandle,
 }
 
 impl PlanningService {
     /// A service with the given GP configuration.
     pub fn new(config: GpConfig) -> Self {
-        PlanningService { config }
+        PlanningService {
+            config,
+            trace: TraceHandle::none(),
+        }
+    }
+
+    /// Record a `PlanGeneration` event per GP generation into `sink`.
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = TraceHandle::new(sink);
+        self
+    }
+
+    /// Record through an existing (possibly empty) handle.
+    pub fn with_trace_handle(mut self, trace: TraceHandle) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Handle one (re-)planning request against the world's service
@@ -74,6 +93,19 @@ impl PlanningService {
             ));
         }
         let result = GpPlanner::new(self.config, problem).run();
+        if self.trace.is_installed() {
+            for g in &result.history {
+                self.trace.emit(
+                    "planner",
+                    TraceEvent::PlanGeneration {
+                        generation: g.generation,
+                        best_overall: g.best.overall,
+                        mean_overall: g.mean_overall,
+                        mean_size: g.mean_size,
+                    },
+                );
+            }
+        }
         let viable = result.best_fitness.is_perfect();
         // Export form: abstract (`true`-conditioned) loops unroll to the
         // single pass the fitness simulation evaluated, then simplify and

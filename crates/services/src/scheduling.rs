@@ -267,6 +267,40 @@ mod tests {
     }
 
     #[test]
+    fn empty_topology_skips_every_job_without_panicking() {
+        let mut w = GridWorld::new(GridTopology {
+            resources: vec![],
+            containers: vec![],
+        });
+        w.offer(
+            ServiceOffering::new("A", Vec::<String>::new(), vec![OutputSpec::plain("x")])
+                .with_demand(TaskDemand::coarse("A", 100.0, 1.0)),
+        );
+        let jobs: Vec<String> = vec!["A".into(), "A".into()];
+        let (sched, skipped) = schedule(&w, &jobs).unwrap();
+        assert!(sched.placements.is_empty());
+        assert_eq!(sched.makespan_s, 0.0);
+        assert_eq!(skipped, jobs);
+    }
+
+    #[test]
+    fn scheduling_plans_capacity_independently_of_container_liveness() {
+        // Scheduling answers "what is the optimal placement over the
+        // software a site has installed" — a capacity-planning question.
+        // Container liveness is the monitoring service's concern, so a
+        // full outage must not panic or change the schedule shape.
+        let mut w = world();
+        for id in ["ac-fast", "ac-slow"] {
+            w.set_container_up(id, false).unwrap();
+        }
+        let jobs: Vec<String> = ["A", "B", "C"].iter().map(|s| s.to_string()).collect();
+        let (sched, skipped) = schedule(&w, &jobs).unwrap();
+        assert!(skipped.is_empty());
+        assert_eq!(sched.placements.len(), 3);
+        assert!(sched.makespan_s.is_finite());
+    }
+
+    #[test]
     fn empty_job_list_gives_empty_schedule() {
         let w = world();
         let (sched, skipped) = schedule(&w, &[]).unwrap();

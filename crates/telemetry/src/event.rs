@@ -1,0 +1,378 @@
+//! The typed event vocabulary of the telemetry layer.
+//!
+//! One [`TraceEvent`] describes one thing that *happened* somewhere in
+//! the stack — a message routed (or dropped), an activity dispatched, a
+//! flow-control transition fired, a checkpoint captured, a fault
+//! injected.  Events carry only simulation-derived data (virtual
+//! durations, seeded decisions), never wall-clock readings, so a
+//! serialized log replays byte-identically.
+
+use serde::{Deserialize, Serialize};
+
+/// One thing that happened during a run.
+///
+/// Grouped by emitting layer: the agent substrate (`Message*`,
+/// `Request*`), the coordination enactor (`Enactment*`, `Activity*`,
+/// `TransitionFired`, `CheckpointCaptured`, `Replan*`), the planning
+/// service (`PlanGeneration`), and the scenario runner (`PhaseStarted`,
+/// `NodeLost`, `CoordinatorCrashed`, `ResumeStarted`).
+///
+/// Serializes externally tagged — `{"MessageSent": {...}}` — the
+/// vendored serde's (and serde's default) enum representation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    // ------------------------------------------------ agent substrate
+    /// A message entered the directory's delivery path.
+    MessageSent {
+        /// Message id (correlation anchor).
+        id: u64,
+        /// FIPA performative, rendered (`"request"`, `"inform"`, …).
+        performative: String,
+        /// Sending agent.
+        sender: String,
+        /// Receiving agent.
+        receiver: String,
+        /// For replies: the id of the message being answered.
+        in_reply_to: Option<u64>,
+    },
+    /// A message reached its receiver's mailbox.
+    MessageDelivered {
+        /// Message id.
+        id: u64,
+        /// Receiving agent.
+        receiver: String,
+    },
+    /// The fault-injecting transport swallowed a message.
+    MessageDropped {
+        /// Message id.
+        id: u64,
+        /// Sending agent.
+        sender: String,
+        /// Receiving agent.
+        receiver: String,
+    },
+    /// The fault-injecting transport delivered a message twice.
+    MessageDuplicated {
+        /// Message id.
+        id: u64,
+        /// Sending agent.
+        sender: String,
+        /// Receiving agent.
+        receiver: String,
+    },
+    /// The fault-injecting transport held a message back.
+    MessageDelayed {
+        /// Message id.
+        id: u64,
+        /// Sending agent.
+        sender: String,
+        /// Receiving agent.
+        receiver: String,
+        /// Tick at which the message re-enters the stream.
+        until_tick: u64,
+    },
+    /// A previously delayed message re-entered the delivery stream.
+    MessageReleased {
+        /// Message id.
+        id: u64,
+        /// Receiving agent.
+        receiver: String,
+    },
+    /// A synchronous request timed out (recorded by the driver that
+    /// observed the timeout — cause sits next to effect in the log).
+    RequestTimedOut {
+        /// The agent that failed to answer in time.
+        agent: String,
+    },
+    /// A synchronous request was answered.
+    RequestAnswered {
+        /// The answering agent.
+        agent: String,
+        /// Did the reply carry a correct result (driver-checked)?
+        correct: bool,
+    },
+
+    // ------------------------------------------------ enactment
+    /// An enactment began.
+    EnactmentStarted {
+        /// Workflow (process graph) name.
+        workflow: String,
+        /// Was this a resume from a checkpoint?
+        resumed: bool,
+    },
+    /// An activity was handed to a container for execution (one event
+    /// per candidate attempt).
+    ActivityDispatched {
+        /// Activity id in the process graph.
+        activity: String,
+        /// Service executed.
+        service: String,
+        /// Candidate container.
+        container: String,
+        /// Attempt index within this execution (0 = first candidate).
+        attempt: usize,
+    },
+    /// An activity execution succeeded.
+    ActivityCompleted {
+        /// Activity id.
+        activity: String,
+        /// Service executed.
+        service: String,
+        /// Container it ran on.
+        container: String,
+        /// Virtual duration (seconds).
+        duration_s: f64,
+        /// Market cost.
+        cost: f64,
+    },
+    /// An activity execution failed on a container (the enactor retries
+    /// the next candidate, so a `Failed` followed by a `Dispatched` for
+    /// the same activity *is* the retry).
+    ActivityFailed {
+        /// Activity id.
+        activity: String,
+        /// Service executed.
+        service: String,
+        /// Container that failed.
+        container: String,
+        /// Attempt index within this execution.
+        attempt: usize,
+    },
+    /// A flow-control node of the ATN fired (Begin, End, Fork, Join,
+    /// Choice, Merge — ITERATIVE loops lower to Choice/Merge pairs, so
+    /// loop iterations show as repeated Merge/Choice firings).
+    TransitionFired {
+        /// Node kind (`"Fork"`, `"Join"`, `"Choice"`, `"Merge"`,
+        /// `"Begin"`, `"End"`).
+        kind: String,
+        /// Node id in the process graph.
+        node: String,
+    },
+    /// A resumable checkpoint was captured.
+    CheckpointCaptured {
+        /// Index of the checkpoint within this report (0-based).
+        index: usize,
+        /// Successful executions covered by the checkpoint.
+        executions: usize,
+    },
+    /// An enactment resumed from a checkpoint.
+    ResumeStarted {
+        /// Phase index (1 = first resume).
+        phase: usize,
+        /// Executions already completed before the resume.
+        completed_executions: usize,
+    },
+    /// Every candidate failed for an activity and the enactor escalated
+    /// to the planning service.
+    ReplanTriggered {
+        /// Activity whose failure triggered the escalation.
+        activity: String,
+        /// Its service.
+        service: String,
+        /// Services excluded from the new plan.
+        excluded: Vec<String>,
+        /// Re-planning round (1-based).
+        round: usize,
+    },
+    /// The re-planned graph was installed (or rejected).
+    ReplanInstalled {
+        /// Was the fresh plan viable (perfect fitness)?
+        viable: bool,
+    },
+    /// One GP generation completed inside the planning service.
+    PlanGeneration {
+        /// Generation index (0-based).
+        generation: usize,
+        /// Overall fitness of the generation's best individual.
+        best_overall: f64,
+        /// Mean overall fitness of the population.
+        mean_overall: f64,
+        /// Mean plan-tree size of the population.
+        mean_size: f64,
+    },
+    /// An enactment ended.
+    EnactmentFinished {
+        /// Did the workflow reach End with all case goals met?
+        success: bool,
+        /// Why it aborted, if it did.
+        abort_reason: Option<String>,
+    },
+
+    // ------------------------------------------------ scenario runner
+    /// A scenario phase began (phase 0 = initial run, ≥1 = resumes).
+    PhaseStarted {
+        /// Phase index.
+        phase: usize,
+    },
+    /// A scripted node loss struck.
+    NodeLost {
+        /// Container taken down.
+        container: String,
+        /// Execution-history length at which the loss fired.
+        after_executions: usize,
+    },
+    /// The scripted coordinator crash was applied: everything past the
+    /// chosen checkpoint is discarded.
+    CoordinatorCrashed {
+        /// The checkpoint index the run was cut at.
+        after_checkpoints: usize,
+    },
+    /// Free-form driver annotation (kept out of invariant checks).
+    Custom {
+        /// Short machine-matchable label.
+        label: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl TraceEvent {
+    /// The activity id this event concerns, if any.
+    pub fn activity(&self) -> Option<&str> {
+        match self {
+            TraceEvent::ActivityDispatched { activity, .. }
+            | TraceEvent::ActivityCompleted { activity, .. }
+            | TraceEvent::ActivityFailed { activity, .. }
+            | TraceEvent::ReplanTriggered { activity, .. } => Some(activity),
+            _ => None,
+        }
+    }
+
+    /// The message id this event concerns, if any.
+    pub fn message_id(&self) -> Option<u64> {
+        match self {
+            TraceEvent::MessageSent { id, .. }
+            | TraceEvent::MessageDelivered { id, .. }
+            | TraceEvent::MessageDropped { id, .. }
+            | TraceEvent::MessageDuplicated { id, .. }
+            | TraceEvent::MessageDelayed { id, .. }
+            | TraceEvent::MessageReleased { id, .. } => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// A short stable label for the event kind (used as a metrics key
+    /// component and in compact renderings).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TraceEvent::MessageSent { .. } => "message.sent",
+            TraceEvent::MessageDelivered { .. } => "message.delivered",
+            TraceEvent::MessageDropped { .. } => "message.dropped",
+            TraceEvent::MessageDuplicated { .. } => "message.duplicated",
+            TraceEvent::MessageDelayed { .. } => "message.delayed",
+            TraceEvent::MessageReleased { .. } => "message.released",
+            TraceEvent::RequestTimedOut { .. } => "request.timeout",
+            TraceEvent::RequestAnswered { .. } => "request.answered",
+            TraceEvent::EnactmentStarted { .. } => "enactment.started",
+            TraceEvent::ActivityDispatched { .. } => "activity.dispatched",
+            TraceEvent::ActivityCompleted { .. } => "activity.completed",
+            TraceEvent::ActivityFailed { .. } => "activity.failed",
+            TraceEvent::TransitionFired { .. } => "transition.fired",
+            TraceEvent::CheckpointCaptured { .. } => "checkpoint.captured",
+            TraceEvent::ResumeStarted { .. } => "resume.started",
+            TraceEvent::ReplanTriggered { .. } => "replan.triggered",
+            TraceEvent::ReplanInstalled { .. } => "replan.installed",
+            TraceEvent::PlanGeneration { .. } => "plan.generation",
+            TraceEvent::EnactmentFinished { .. } => "enactment.finished",
+            TraceEvent::PhaseStarted { .. } => "phase.started",
+            TraceEvent::NodeLost { .. } => "fault.node_lost",
+            TraceEvent::CoordinatorCrashed { .. } => "fault.crash",
+            TraceEvent::Custom { .. } => "custom",
+        }
+    }
+
+    /// Is this one of the fault-injection events (`MessageDropped`,
+    /// `MessageDuplicated`, `MessageDelayed`, `NodeLost`,
+    /// `CoordinatorCrashed`)?
+    pub fn is_fault(&self) -> bool {
+        matches!(
+            self,
+            TraceEvent::MessageDropped { .. }
+                | TraceEvent::MessageDuplicated { .. }
+                | TraceEvent::MessageDelayed { .. }
+                | TraceEvent::NodeLost { .. }
+                | TraceEvent::CoordinatorCrashed { .. }
+        )
+    }
+}
+
+/// One record of a trace: an event plus its deterministic coordinates —
+/// a per-log sequence number and the virtual-clock reading at emission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Position in the log (0-based, assigned by the sink).
+    pub seq: u64,
+    /// Virtual-clock tick at emission (one tick per intercepted
+    /// message; 0 when no message traffic drives the clock).
+    pub tick: u64,
+    /// Virtual seconds at emission (advanced by simulated execution
+    /// time, never wall time).
+    pub at_s: f64,
+    /// Emitting component (`"enactor"`, `"transport"`, `"runner"`,
+    /// `"directory"`, `"planner"`, `"client"`, …).
+    pub source: String,
+    /// The event itself.
+    pub event: TraceEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable_and_unique_per_variant() {
+        let a = TraceEvent::MessageDropped {
+            id: 1,
+            sender: "a".into(),
+            receiver: "b".into(),
+        };
+        let b = TraceEvent::ActivityCompleted {
+            activity: "A1".into(),
+            service: "cook".into(),
+            container: "ac-h2".into(),
+            duration_s: 1.0,
+            cost: 2.0,
+        };
+        assert_eq!(a.label(), "message.dropped");
+        assert_eq!(b.label(), "activity.completed");
+        assert!(a.is_fault());
+        assert!(!b.is_fault());
+    }
+
+    #[test]
+    fn activity_and_message_accessors() {
+        let e = TraceEvent::ActivityFailed {
+            activity: "A1".into(),
+            service: "cook".into(),
+            container: "c".into(),
+            attempt: 0,
+        };
+        assert_eq!(e.activity(), Some("A1"));
+        assert_eq!(e.message_id(), None);
+        let m = TraceEvent::MessageDelayed {
+            id: 9,
+            sender: "a".into(),
+            receiver: "b".into(),
+            until_tick: 12,
+        };
+        assert_eq!(m.message_id(), Some(9));
+        assert_eq!(m.activity(), None);
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let r = TraceRecord {
+            seq: 3,
+            tick: 7,
+            at_s: 1.25,
+            source: "enactor".into(),
+            event: TraceEvent::CheckpointCaptured {
+                index: 0,
+                executions: 1,
+            },
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: TraceRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,526 @@
+//! Querying and asserting over traces.
+//!
+//! [`TraceQuery`] turns a recorded trace into checkable execution
+//! invariants: *no activity was dispatched again after completing*,
+//! *every dropped message was followed by a timeout or retry (never a
+//! wrong answer)*, *A happened before B*, *an activity was retried
+//! exactly N times*.  Checks return [`TraceViolation`] values; the
+//! `assert_*` wrappers panic with the violation rendered, for direct
+//! use in tests.
+
+use crate::event::{TraceEvent, TraceRecord};
+use std::collections::BTreeMap;
+use std::ops::Range;
+
+/// A falsified trace invariant, carrying enough context to debug it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceViolation {
+    /// An activity saw a dispatch after it had already completed.
+    DoubleDispatch {
+        /// The offending activity.
+        activity: String,
+        /// Sequence number of the completion.
+        completed_seq: u64,
+        /// Sequence number of the later dispatch.
+        redispatched_seq: u64,
+    },
+    /// A dropped message was never resolved by a timeout, a retry, or a
+    /// correct answer.
+    UnresolvedDrop {
+        /// The dropped message id.
+        message_id: u64,
+        /// Sequence number of the drop.
+        dropped_seq: u64,
+    },
+    /// A request was answered incorrectly (wrong answers under faults
+    /// are never acceptable; only timeouts are).
+    WrongAnswer {
+        /// The answering agent.
+        agent: String,
+        /// Sequence number of the bad answer.
+        seq: u64,
+    },
+    /// The expected ordering `first` before `second` did not hold.
+    OrderViolated {
+        /// Description of the event expected first.
+        first: String,
+        /// Description of the event expected second.
+        second: String,
+    },
+    /// An activity's retry count differed from the expectation.
+    RetryCountMismatch {
+        /// The activity checked.
+        activity: String,
+        /// Retries expected.
+        expected: usize,
+        /// Retries observed.
+        observed: usize,
+    },
+    /// A span endpoint was missing (activity never dispatched or never
+    /// completed).
+    MissingSpan {
+        /// The activity whose span was requested.
+        activity: String,
+    },
+}
+
+impl std::fmt::Display for TraceViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceViolation::DoubleDispatch {
+                activity,
+                completed_seq,
+                redispatched_seq,
+            } => write!(
+                f,
+                "activity '{activity}' completed at seq {completed_seq} but was \
+                 dispatched again at seq {redispatched_seq}"
+            ),
+            TraceViolation::UnresolvedDrop {
+                message_id,
+                dropped_seq,
+            } => write!(
+                f,
+                "message {message_id} dropped at seq {dropped_seq} with no later \
+                 timeout, retry, or answer"
+            ),
+            TraceViolation::WrongAnswer { agent, seq } => {
+                write!(f, "agent '{agent}' returned a wrong answer at seq {seq}")
+            }
+            TraceViolation::OrderViolated { first, second } => {
+                write!(f, "expected {first} before {second}, trace disagrees")
+            }
+            TraceViolation::RetryCountMismatch {
+                activity,
+                expected,
+                observed,
+            } => write!(
+                f,
+                "activity '{activity}': expected {expected} retries, observed {observed}"
+            ),
+            TraceViolation::MissingSpan { activity } => {
+                write!(f, "activity '{activity}' has no complete dispatch→completion span")
+            }
+        }
+    }
+}
+
+/// A read-only view over a trace with invariant checks.
+#[derive(Debug, Clone)]
+pub struct TraceQuery {
+    records: Vec<TraceRecord>,
+}
+
+impl TraceQuery {
+    /// Build a query over a snapshot of records (emission order).
+    pub fn new(records: Vec<TraceRecord>) -> Self {
+        TraceQuery { records }
+    }
+
+    /// The underlying records.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records whose event satisfies `pred`, in order.
+    pub fn filter<'a>(
+        &'a self,
+        mut pred: impl FnMut(&TraceEvent) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a TraceRecord> + 'a {
+        self.records.iter().filter(move |r| pred(&r.event))
+    }
+
+    /// Sequence number of the first record matching `pred`.
+    pub fn first_seq(&self, mut pred: impl FnMut(&TraceEvent) -> bool) -> Option<u64> {
+        self.records.iter().find(|r| pred(&r.event)).map(|r| r.seq)
+    }
+
+    /// Count of records matching `pred`.
+    pub fn count(&self, mut pred: impl FnMut(&TraceEvent) -> bool) -> usize {
+        self.records.iter().filter(|r| pred(&r.event)).count()
+    }
+
+    /// The `seq` span of one activity: first dispatch to first
+    /// completion (half-open, so `span.contains(&seq)` covers every
+    /// event strictly between them plus the dispatch itself).
+    pub fn span(&self, activity: &str) -> Result<Range<u64>, TraceViolation> {
+        let start = self.first_seq(|e| {
+            matches!(e, TraceEvent::ActivityDispatched { activity: a, .. } if a == activity)
+        });
+        let end = self.first_seq(|e| {
+            matches!(e, TraceEvent::ActivityCompleted { activity: a, .. } if a == activity)
+        });
+        match (start, end) {
+            (Some(s), Some(e)) if s <= e => Ok(s..e + 1),
+            _ => Err(TraceViolation::MissingSpan {
+                activity: activity.to_string(),
+            }),
+        }
+    }
+
+    /// Check: no activity is dispatched again after it completed.
+    ///
+    /// This is the crash/resume double-execution invariant in trace
+    /// form — a resumed coordinator must pick up *after* the last
+    /// checkpoint, never re-run work that already succeeded.  A
+    /// `ResumeStarted` or `ReplanTriggered` event does **not** reset
+    /// the check: completion is final.  The one exception is a
+    /// `CoordinatorCrashed` event: completions recorded *after* the
+    /// checkpoint the crash cut back to were lost with the coordinator
+    /// (never durably recorded), so re-dispatching that work on resume
+    /// is exactly what recovery is supposed to do.
+    pub fn check_no_double_dispatch(&self) -> Result<(), TraceViolation> {
+        let mut completed: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut checkpoint_seqs: BTreeMap<usize, u64> = BTreeMap::new();
+        for r in &self.records {
+            match &r.event {
+                TraceEvent::ActivityCompleted { activity, .. } => {
+                    completed.entry(activity).or_insert(r.seq);
+                }
+                TraceEvent::CheckpointCaptured { index, .. } => {
+                    checkpoint_seqs.entry(*index).or_insert(r.seq);
+                }
+                TraceEvent::CoordinatorCrashed { after_checkpoints } => {
+                    let cut = checkpoint_seqs
+                        .get(after_checkpoints)
+                        .copied()
+                        .unwrap_or(0);
+                    completed.retain(|_, seq| *seq <= cut);
+                }
+                TraceEvent::ActivityDispatched { activity, .. } => {
+                    if let Some(&done) = completed.get(activity.as_str()) {
+                        return Err(TraceViolation::DoubleDispatch {
+                            activity: activity.clone(),
+                            completed_seq: done,
+                            redispatched_seq: r.seq,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Check: every `MessageDropped` is *resolved* — followed (later in
+    /// the trace) by a `RequestTimedOut`, another `MessageSent` (a
+    /// retry), or a correct `RequestAnswered`; and no `RequestAnswered`
+    /// anywhere carries `correct: false`.  Drops may cost time, never
+    /// correctness.
+    pub fn check_drops_resolved(&self) -> Result<(), TraceViolation> {
+        for r in &self.records {
+            if let TraceEvent::RequestAnswered { agent, correct } = &r.event {
+                if !correct {
+                    return Err(TraceViolation::WrongAnswer {
+                        agent: agent.clone(),
+                        seq: r.seq,
+                    });
+                }
+            }
+        }
+        for (i, r) in self.records.iter().enumerate() {
+            if let TraceEvent::MessageDropped { id, .. } = &r.event {
+                let resolved = self.records[i + 1..].iter().any(|later| {
+                    matches!(
+                        later.event,
+                        TraceEvent::RequestTimedOut { .. }
+                            | TraceEvent::MessageSent { .. }
+                            | TraceEvent::RequestAnswered { correct: true, .. }
+                    )
+                });
+                if !resolved {
+                    return Err(TraceViolation::UnresolvedDrop {
+                        message_id: *id,
+                        dropped_seq: r.seq,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Check: the first record matching `first` precedes the first
+    /// record matching `second`.  `first_desc`/`second_desc` label the
+    /// violation.
+    pub fn check_happens_before(
+        &self,
+        first_desc: &str,
+        first: impl FnMut(&TraceEvent) -> bool,
+        second_desc: &str,
+        second: impl FnMut(&TraceEvent) -> bool,
+    ) -> Result<(), TraceViolation> {
+        let violated = || TraceViolation::OrderViolated {
+            first: first_desc.to_string(),
+            second: second_desc.to_string(),
+        };
+        let a = self.first_seq(first).ok_or_else(violated)?;
+        let b = self.first_seq(second).ok_or_else(violated)?;
+        if a < b {
+            Ok(())
+        } else {
+            Err(violated())
+        }
+    }
+
+    /// Observed retry count for an activity: the number of
+    /// `ActivityFailed` events it accumulated (each failure is followed
+    /// by a dispatch of the next candidate or a replan).
+    pub fn retry_count(&self, activity: &str) -> usize {
+        self.count(
+            |e| matches!(e, TraceEvent::ActivityFailed { activity: a, .. } if a == activity),
+        )
+    }
+
+    /// Check: `activity` was retried exactly `expected` times.
+    pub fn check_retry_count(
+        &self,
+        activity: &str,
+        expected: usize,
+    ) -> Result<(), TraceViolation> {
+        let observed = self.retry_count(activity);
+        if observed == expected {
+            Ok(())
+        } else {
+            Err(TraceViolation::RetryCountMismatch {
+                activity: activity.to_string(),
+                expected,
+                observed,
+            })
+        }
+    }
+
+    /// Panic if [`TraceQuery::check_no_double_dispatch`] fails.
+    pub fn assert_no_double_dispatch(&self) {
+        if let Err(v) = self.check_no_double_dispatch() {
+            panic!("trace violation: {v}");
+        }
+    }
+
+    /// Panic if [`TraceQuery::check_drops_resolved`] fails.
+    pub fn assert_drops_resolved(&self) {
+        if let Err(v) = self.check_drops_resolved() {
+            panic!("trace violation: {v}");
+        }
+    }
+
+    /// Panic if [`TraceQuery::check_happens_before`] fails.
+    pub fn assert_happens_before(
+        &self,
+        first_desc: &str,
+        first: impl FnMut(&TraceEvent) -> bool,
+        second_desc: &str,
+        second: impl FnMut(&TraceEvent) -> bool,
+    ) {
+        if let Err(v) = self.check_happens_before(first_desc, first, second_desc, second) {
+            panic!("trace violation: {v}");
+        }
+    }
+
+    /// Panic if [`TraceQuery::check_retry_count`] fails.
+    pub fn assert_retry_count(&self, activity: &str, expected: usize) {
+        if let Err(v) = self.check_retry_count(activity, expected) {
+            panic!("trace violation: {v}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            seq,
+            tick: 0,
+            at_s: 0.0,
+            source: "test".into(),
+            event,
+        }
+    }
+
+    fn dispatched(activity: &str) -> TraceEvent {
+        TraceEvent::ActivityDispatched {
+            activity: activity.into(),
+            service: "svc".into(),
+            container: "c".into(),
+            attempt: 0,
+        }
+    }
+
+    fn completed(activity: &str) -> TraceEvent {
+        TraceEvent::ActivityCompleted {
+            activity: activity.into(),
+            service: "svc".into(),
+            container: "c".into(),
+            duration_s: 1.0,
+            cost: 1.0,
+        }
+    }
+
+    fn failed(activity: &str, attempt: usize) -> TraceEvent {
+        TraceEvent::ActivityFailed {
+            activity: activity.into(),
+            service: "svc".into(),
+            container: "c".into(),
+            attempt,
+        }
+    }
+
+    #[test]
+    fn span_covers_dispatch_to_completion() {
+        let q = TraceQuery::new(vec![
+            rec(0, dispatched("A1")),
+            rec(1, failed("A1", 0)),
+            rec(2, completed("A1")),
+        ]);
+        assert_eq!(q.span("A1").unwrap(), 0..3);
+        assert!(matches!(
+            q.span("A2"),
+            Err(TraceViolation::MissingSpan { .. })
+        ));
+    }
+
+    #[test]
+    fn double_dispatch_is_caught() {
+        let ok = TraceQuery::new(vec![
+            rec(0, dispatched("A1")),
+            rec(1, failed("A1", 0)),
+            rec(2, dispatched("A1")), // retry before completion: fine
+            rec(3, completed("A1")),
+        ]);
+        ok.assert_no_double_dispatch();
+
+        let bad = TraceQuery::new(vec![
+            rec(0, dispatched("A1")),
+            rec(1, completed("A1")),
+            rec(2, dispatched("A1")), // after completion: double dispatch
+        ]);
+        match bad.check_no_double_dispatch() {
+            Err(TraceViolation::DoubleDispatch {
+                activity,
+                completed_seq,
+                redispatched_seq,
+            }) => {
+                assert_eq!(activity, "A1");
+                assert_eq!((completed_seq, redispatched_seq), (1, 2));
+            }
+            other => panic!("expected DoubleDispatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crash_forgives_only_post_checkpoint_completions() {
+        let checkpoint = |index| TraceEvent::CheckpointCaptured {
+            index,
+            executions: index + 1,
+        };
+        let crash = TraceEvent::CoordinatorCrashed {
+            after_checkpoints: 0,
+        };
+        // A2 completed after checkpoint 0 and was lost with the crash:
+        // re-dispatching it is recovery, not a violation.
+        let recovered = TraceQuery::new(vec![
+            rec(0, completed("A1")),
+            rec(1, checkpoint(0)),
+            rec(2, completed("A2")),
+            rec(3, checkpoint(1)),
+            rec(4, crash.clone()),
+            rec(5, dispatched("A2")),
+        ]);
+        recovered.assert_no_double_dispatch();
+        // A1 was checkpointed before the crash: re-dispatching it after
+        // resume is still a double dispatch.
+        let bad = TraceQuery::new(vec![
+            rec(0, completed("A1")),
+            rec(1, checkpoint(0)),
+            rec(2, crash),
+            rec(3, dispatched("A1")),
+        ]);
+        assert!(matches!(
+            bad.check_no_double_dispatch(),
+            Err(TraceViolation::DoubleDispatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unresolved_drop_and_wrong_answer_are_caught() {
+        let dropped = TraceEvent::MessageDropped {
+            id: 5,
+            sender: "a".into(),
+            receiver: "b".into(),
+        };
+        let unresolved = TraceQuery::new(vec![rec(0, dropped.clone())]);
+        assert!(matches!(
+            unresolved.check_drops_resolved(),
+            Err(TraceViolation::UnresolvedDrop { message_id: 5, .. })
+        ));
+
+        let resolved = TraceQuery::new(vec![
+            rec(0, dropped),
+            rec(1, TraceEvent::RequestTimedOut { agent: "b".into() }),
+        ]);
+        resolved.assert_drops_resolved();
+
+        let wrong = TraceQuery::new(vec![rec(
+            0,
+            TraceEvent::RequestAnswered {
+                agent: "b".into(),
+                correct: false,
+            },
+        )]);
+        assert!(matches!(
+            wrong.check_drops_resolved(),
+            Err(TraceViolation::WrongAnswer { .. })
+        ));
+    }
+
+    #[test]
+    fn happens_before_orders_first_matches() {
+        let q = TraceQuery::new(vec![rec(0, dispatched("A1")), rec(1, completed("A1"))]);
+        q.assert_happens_before(
+            "dispatch",
+            |e| matches!(e, TraceEvent::ActivityDispatched { .. }),
+            "completion",
+            |e| matches!(e, TraceEvent::ActivityCompleted { .. }),
+        );
+        assert!(q
+            .check_happens_before(
+                "completion",
+                |e| matches!(e, TraceEvent::ActivityCompleted { .. }),
+                "dispatch",
+                |e| matches!(e, TraceEvent::ActivityDispatched { .. }),
+            )
+            .is_err());
+        // Missing events also violate the ordering.
+        assert!(q
+            .check_happens_before(
+                "dispatch",
+                |e| matches!(e, TraceEvent::ActivityDispatched { .. }),
+                "replan",
+                |e| matches!(e, TraceEvent::ReplanTriggered { .. }),
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn retry_count_counts_failures() {
+        let q = TraceQuery::new(vec![
+            rec(0, dispatched("A1")),
+            rec(1, failed("A1", 0)),
+            rec(2, dispatched("A1")),
+            rec(3, failed("A1", 1)),
+            rec(4, dispatched("A1")),
+            rec(5, completed("A1")),
+        ]);
+        assert_eq!(q.retry_count("A1"), 2);
+        q.assert_retry_count("A1", 2);
+        assert!(matches!(
+            q.check_retry_count("A1", 1),
+            Err(TraceViolation::RetryCountMismatch {
+                expected: 1,
+                observed: 2,
+                ..
+            })
+        ));
+    }
+}

@@ -1,0 +1,366 @@
+//! Sinks: where trace events go.
+//!
+//! [`TraceSink`] is the one-method surface instrumented components talk
+//! to.  The canonical implementation is [`TraceLog`] — an ordered
+//! in-memory log stamped from a [`TraceClock`] (virtual time only), with
+//! JSONL serialization and a byte-stable fingerprint for replay
+//! equality checks.  [`TraceHandle`] is the `Option<Arc<dyn TraceSink>>`
+//! newtype components embed so their `Debug`/`Clone`/`Default` derives
+//! survive.
+
+use crate::event::{TraceEvent, TraceRecord};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A source of deterministic timestamps: a virtual-clock reading
+/// `(tick, seconds)`.  Implemented by the harness's `VirtualClock`;
+/// [`FrozenClock`] (always zero) is the default for logs that only care
+/// about ordering.
+pub trait TraceClock: Send + Sync {
+    /// Current virtual reading: `(tick, seconds)`.  Must not consult
+    /// wall time.
+    fn now(&self) -> (u64, f64);
+    /// Advance virtual seconds by `dt` (clamped at zero).  Default:
+    /// no-op, for clocks that are read-only from the log's side.
+    fn advance_s(&self, dt: f64) {
+        let _ = dt;
+    }
+}
+
+/// A clock pinned at `(0, 0.0)` — every record stamps tick 0, second 0,
+/// and ordering comes solely from `seq`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FrozenClock;
+
+impl TraceClock for FrozenClock {
+    fn now(&self) -> (u64, f64) {
+        (0, 0.0)
+    }
+}
+
+/// Where instrumented components report events.
+///
+/// Implementations must be cheap and infallible: emitting telemetry can
+/// never perturb the run being observed.
+pub trait TraceSink: Send + Sync {
+    /// Record that `event` happened inside `source`.
+    fn emit(&self, source: &str, event: TraceEvent);
+    /// Advance the sink's notion of virtual seconds (forwarded to the
+    /// underlying clock, if any).  Default: no-op.
+    fn advance_s(&self, dt: f64) {
+        let _ = dt;
+    }
+}
+
+/// A sink that discards everything (useful to keep instrumentation
+/// paths exercised without retaining data).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn emit(&self, _source: &str, _event: TraceEvent) {}
+}
+
+#[derive(Default)]
+struct LogState {
+    next_seq: u64,
+    records: Vec<TraceRecord>,
+}
+
+/// The canonical sink: an ordered, append-only, in-memory event log.
+///
+/// Records are stamped with a per-log sequence number and the current
+/// [`TraceClock`] reading at emission.  Clone shares the log (it is an
+/// `Arc` inside), so one `TraceLog` can be handed to the enactor, the
+/// transport, and the runner and all three append to the same ordered
+/// stream.
+#[derive(Clone)]
+pub struct TraceLog {
+    state: Arc<Mutex<LogState>>,
+    clock: Arc<dyn TraceClock>,
+}
+
+impl Default for TraceLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for TraceLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceLog")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl TraceLog {
+    /// An empty log stamped from a [`FrozenClock`] (ordering only).
+    pub fn new() -> Self {
+        Self::with_clock(Arc::new(FrozenClock))
+    }
+
+    /// An empty log stamped from `clock` — pass the scenario's
+    /// `VirtualClock` so records carry meaningful virtual timestamps.
+    pub fn with_clock(clock: Arc<dyn TraceClock>) -> Self {
+        TraceLog {
+            state: Arc::new(Mutex::new(LogState::default())),
+            clock,
+        }
+    }
+
+    /// Number of records so far.
+    pub fn len(&self) -> usize {
+        self.state.lock().records.len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of all records in emission order.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.state.lock().records.clone()
+    }
+
+    /// Drop all records and reset the sequence counter (the clock is
+    /// left untouched).
+    pub fn clear(&self) {
+        let mut st = self.state.lock();
+        st.records.clear();
+        st.next_seq = 0;
+    }
+
+    /// Serialize the log as JSON Lines — one record per line, in
+    /// emission order.  Two runs with identical seeds produce
+    /// byte-identical output (all timestamps are virtual).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in self.state.lock().records.iter() {
+            out.push_str(&serde_json::to_string(r).expect("trace records serialize"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a JSONL dump back into records (inverse of
+    /// [`TraceLog::to_jsonl`]).
+    pub fn from_jsonl(jsonl: &str) -> Result<Vec<TraceRecord>, serde_json::Error> {
+        jsonl
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(serde_json::from_str)
+            .collect()
+    }
+
+    /// A byte-stable fingerprint of the whole log (currently the JSONL
+    /// dump itself) — compare fingerprints of two seeded runs to assert
+    /// replay determinism.
+    pub fn fingerprint(&self) -> String {
+        self.to_jsonl()
+    }
+}
+
+impl TraceSink for TraceLog {
+    fn emit(&self, source: &str, event: TraceEvent) {
+        let (tick, at_s) = self.clock.now();
+        let mut st = self.state.lock();
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.records.push(TraceRecord {
+            seq,
+            tick,
+            at_s,
+            source: source.to_string(),
+            event,
+        });
+    }
+
+    fn advance_s(&self, dt: f64) {
+        self.clock.advance_s(dt);
+    }
+}
+
+/// An optional, shareable sink slot.
+///
+/// Components embed a `TraceHandle` instead of an
+/// `Option<Arc<dyn TraceSink>>` so their `Debug`, `Clone`, and
+/// `Default` derives keep working; emission through an empty handle is
+/// a no-op.
+#[derive(Clone, Default)]
+pub struct TraceHandle {
+    sink: Option<Arc<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceHandle")
+            .field("installed", &self.sink.is_some())
+            .finish()
+    }
+}
+
+impl TraceHandle {
+    /// An empty handle (emissions are no-ops).
+    pub fn none() -> Self {
+        TraceHandle::default()
+    }
+
+    /// A handle wrapping `sink`.
+    pub fn new(sink: Arc<dyn TraceSink>) -> Self {
+        TraceHandle { sink: Some(sink) }
+    }
+
+    /// Is a sink installed?
+    pub fn is_installed(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Emit `event` from `source` if a sink is installed.
+    pub fn emit(&self, source: &str, event: TraceEvent) {
+        if let Some(sink) = &self.sink {
+            sink.emit(source, event);
+        }
+    }
+
+    /// Forward a virtual-seconds advance to the sink, if installed.
+    pub fn advance_s(&self, dt: f64) {
+        if let Some(sink) = &self.sink {
+            sink.advance_s(dt);
+        }
+    }
+}
+
+impl From<Arc<dyn TraceSink>> for TraceHandle {
+    fn from(sink: Arc<dyn TraceSink>) -> Self {
+        TraceHandle::new(sink)
+    }
+}
+
+impl From<TraceLog> for TraceHandle {
+    fn from(log: TraceLog) -> Self {
+        TraceHandle::new(Arc::new(log))
+    }
+}
+
+/// A shared, swappable sink slot: install or clear a sink *after*
+/// construction, with the installation visible to every clone (the
+/// directory's transport-slot pattern applied to tracing).
+#[derive(Clone, Default)]
+pub struct TraceSlot {
+    inner: Arc<parking_lot::RwLock<Option<Arc<dyn TraceSink>>>>,
+}
+
+impl TraceSlot {
+    /// An empty slot (no sink installed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a sink, replacing any previous one.
+    pub fn set(&self, sink: Arc<dyn TraceSink>) {
+        *self.inner.write() = Some(sink);
+    }
+
+    /// Remove the installed sink (emission becomes a no-op).
+    pub fn clear(&self) {
+        *self.inner.write() = None;
+    }
+
+    /// The currently installed sink, if any.
+    pub fn get(&self) -> Option<Arc<dyn TraceSink>> {
+        self.inner.read().clone()
+    }
+
+    /// Is a sink installed?
+    pub fn is_installed(&self) -> bool {
+        self.inner.read().is_some()
+    }
+
+    /// Emit `event` from `source` if a sink is installed.
+    pub fn emit(&self, source: &str, event: TraceEvent) {
+        if let Some(sink) = self.get() {
+            sink.emit(source, event);
+        }
+    }
+}
+
+impl std::fmt::Debug for TraceSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSlot")
+            .field("installed", &self.is_installed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(id: u64) -> TraceEvent {
+        TraceEvent::MessageSent {
+            id,
+            performative: "request".into(),
+            sender: "a".into(),
+            receiver: "b".into(),
+            in_reply_to: None,
+        }
+    }
+
+    #[test]
+    fn log_orders_and_sequences_records() {
+        let log = TraceLog::new();
+        log.emit("x", msg(1));
+        log.emit("y", msg(2));
+        let recs = log.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!((recs[0].seq, recs[1].seq), (0, 1));
+        assert_eq!(recs[0].source, "x");
+        assert_eq!(recs[0].event.message_id(), Some(1));
+    }
+
+    #[test]
+    fn jsonl_round_trips_and_fingerprints_match() {
+        let log = TraceLog::new();
+        log.emit("t", msg(7));
+        log.emit("t", TraceEvent::Custom {
+            label: "note".into(),
+            detail: "hello".into(),
+        });
+        let dump = log.to_jsonl();
+        assert_eq!(dump.lines().count(), 2);
+        let back = TraceLog::from_jsonl(&dump).unwrap();
+        assert_eq!(back, log.records());
+        assert_eq!(log.fingerprint(), dump);
+    }
+
+    #[test]
+    fn clones_share_the_log() {
+        let log = TraceLog::new();
+        let other = log.clone();
+        other.emit("t", msg(1));
+        assert_eq!(log.len(), 1);
+        log.clear();
+        assert!(other.is_empty());
+    }
+
+    #[test]
+    fn empty_handle_is_a_noop_and_debug_shows_installed() {
+        let h = TraceHandle::none();
+        h.emit("t", msg(1));
+        h.advance_s(5.0);
+        assert!(!h.is_installed());
+        assert_eq!(format!("{h:?}"), "TraceHandle { installed: false }");
+        let h = TraceHandle::from(TraceLog::new());
+        assert!(h.is_installed());
+    }
+
+    #[test]
+    fn frozen_clock_stamps_zero() {
+        let log = TraceLog::new();
+        log.emit("t", msg(1));
+        let r = &log.records()[0];
+        assert_eq!((r.tick, r.at_s), (0, 0.0));
+    }
+}

@@ -17,7 +17,8 @@ use gridflow_agents::{AclMessage, AgentError, AgentRuntime, Performative, Transp
 use gridflow_harness::workload::{dinner_replan_workload, dinner_workload};
 use gridflow_harness::{
     execution_counts, is_execution_prefix, outcome_fingerprint, report_fingerprint, run_scenario,
-    run_scenario_with_budget, FaultPlan, FaultyTransport, VirtualClock,
+    run_scenario_traced, run_scenario_with_budget, FaultPlan, FaultyTransport, TraceQuery,
+    VirtualClock,
 };
 use gridflow_planner::prelude::GpConfig;
 use gridflow_services::agents::{boot_stack, GRIDFLOW_ONTOLOGY};
@@ -323,6 +324,37 @@ fn scripted_crash_resumes_without_repeating_work_under_load() {
             vec!["prep", "cook", "plate"],
             "crash_at {crash_at}"
         );
+    }
+}
+
+#[test]
+fn every_report_invariant_also_holds_in_trace_form() {
+    // The report-level invariants above have trace-level twins: sweep
+    // crashing plans and assert them off the event log instead of the
+    // final accounting (see telemetry_conformance.rs for the full
+    // trace suite).
+    for seed in 0..8 {
+        let plan = FaultPlan::seeded(seed)
+            .failing_activities(0.2)
+            .crashing_after(0);
+        let (outcome, log) = run_scenario_traced(&plan, &dinner_workload());
+        let q = TraceQuery::new(log.records());
+        q.assert_no_double_dispatch();
+        // Every execution the final report accounts for has a matching
+        // completion in the trace.  (The trace may hold *more*: work the
+        // scripted crash discarded really did run before being lost.)
+        for e in &outcome.final_report().executions {
+            let activity = e.activity.clone();
+            assert!(
+                q.count(|ev| matches!(
+                    ev,
+                    gridflow_harness::TraceEvent::ActivityCompleted { activity: a, .. }
+                        if *a == activity
+                )) >= 1,
+                "seed {seed}: execution of {} not traced",
+                e.activity
+            );
+        }
     }
 }
 
