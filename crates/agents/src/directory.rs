@@ -380,8 +380,14 @@ mod tests {
 
         // Clearing the sink stops recording; delivery is unaffected.
         dir.clear_trace_sink();
-        dir.deliver(AclMessage::new(Performative::Inform, "a", "target", "t", json!(3)))
-            .unwrap();
+        dir.deliver(AclMessage::new(
+            Performative::Inform,
+            "a",
+            "target",
+            "t",
+            json!(3),
+        ))
+        .unwrap();
         assert_eq!(log.len(), 4);
     }
 

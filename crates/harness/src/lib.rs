@@ -58,7 +58,7 @@ pub mod transport;
 pub mod workload;
 
 pub use clock::VirtualClock;
-pub use plan::{FaultAction, FaultEvent, FaultPlan, FaultSchedule, NodeLoss};
+pub use plan::{FaultAction, FaultEvent, FaultPlan, FaultSchedule, NodeLoss, Slowdown};
 pub use runner::{
     execution_counts, is_execution_prefix, outcome_fingerprint, report_fingerprint, run_scenario,
     run_scenario_traced, run_scenario_with_budget, run_scenario_with_budget_traced,
@@ -72,4 +72,10 @@ pub use workload::Workload;
 pub use gridflow_telemetry::{
     MetricsRegistry, TraceEvent, TraceHandle, TraceLog, TraceQuery, TraceRecord, TraceSink,
     TraceViolation,
+};
+
+// The recovery surface the fault scenarios configure, re-exported for
+// the same reason.
+pub use gridflow_recovery::{
+    BreakerConfig, BreakerState, LeaseConfig, RecoveryPolicy, RetryPolicy,
 };

@@ -58,6 +58,18 @@ pub struct NodeLoss {
     pub after_executions: usize,
 }
 
+/// A scripted slowdown: multiply `container`'s execution durations by
+/// `factor` for the whole run.  Executions still *succeed* — they just
+/// take `factor`× as long, the degradation mode that activity leases
+/// (not failure counters) exist to catch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Slowdown {
+    /// Container whose executions stretch.
+    pub container: String,
+    /// Duration multiplier (≥ 0; cost is unaffected).
+    pub factor: f64,
+}
+
 /// The complete, seeded description of everything that goes wrong in a
 /// run.  `Default` is the null plan: nothing fails.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -81,6 +93,9 @@ pub struct FaultPlan {
     pub persistent_activity_failures: bool,
     /// Scripted node losses.
     pub node_loss: Vec<NodeLoss>,
+    /// Scripted per-container slowdowns (installed into the world before
+    /// the run).
+    pub slow_containers: Vec<Slowdown>,
     /// Crash the coordinator after this many checkpoints have been
     /// captured, forcing a [resume] from the last one.  `None` = never.
     ///
@@ -102,6 +117,7 @@ impl Default for FaultPlan {
             activity_failure_prob: 0.0,
             persistent_activity_failures: true,
             node_loss: Vec::new(),
+            slow_containers: Vec::new(),
             crash_after_checkpoints: None,
             immune_agents: Vec::new(),
         }
@@ -159,6 +175,15 @@ impl FaultPlan {
         self
     }
 
+    /// Builder: stretch a container's execution durations by `factor`.
+    pub fn slowing_container(mut self, container: impl Into<String>, factor: f64) -> Self {
+        self.slow_containers.push(Slowdown {
+            container: container.into(),
+            factor,
+        });
+        self
+    }
+
     /// Builder: crash the coordinator after `n` checkpoints.
     pub fn crashing_after(mut self, n: usize) -> Self {
         self.crash_after_checkpoints = Some(n);
@@ -210,6 +235,7 @@ mod tests {
         let p = FaultPlan::seeded(42)
             .dropping(0.1)
             .losing_node("ac-h2", 3)
+            .slowing_container("ac-h1", 50.0)
             .crashing_after(1)
             .immunizing("information-1");
         let json = serde_json::to_string(&p).unwrap();

@@ -287,14 +287,18 @@ mod tests {
             let _ = t.intercept(msg(i));
         }
         let schedule = t.schedule();
-        let count = |f: &dyn Fn(&FaultAction) -> bool| schedule.iter().filter(|e| f(&e.action)).count();
+        let count =
+            |f: &dyn Fn(&FaultAction) -> bool| schedule.iter().filter(|e| f(&e.action)).count();
         let traced = |l: &str| {
             log.records()
                 .iter()
                 .filter(|r| r.event.label() == l)
                 .count()
         };
-        assert_eq!(traced("message.dropped"), count(&|a| *a == FaultAction::Drop));
+        assert_eq!(
+            traced("message.dropped"),
+            count(&|a| *a == FaultAction::Drop)
+        );
         assert_eq!(
             traced("message.duplicated"),
             count(&|a| *a == FaultAction::Duplicate)

@@ -17,6 +17,7 @@ use gridflow_planner::GoalSpec;
 use gridflow_process::lower::lower;
 use gridflow_process::parser::parse_process;
 use gridflow_process::{CaseDescription, Condition, DataItem, ProcessGraph};
+use gridflow_recovery::RecoveryPolicy;
 use gridflow_services::coordination::EnactmentConfig;
 use gridflow_services::world::{GridWorld, OutputSpec, ServiceOffering};
 
@@ -59,7 +60,17 @@ impl Workload {
             world.failure = FailureModel::new(phase_seed, plan.activity_failure_prob);
             world.failures_are_persistent = plan.persistent_activity_failures;
         }
+        for s in &plan.slow_containers {
+            world.set_slowdown(&s.container, s.factor);
+        }
         world
+    }
+
+    /// The same workload with the given recovery policy installed in the
+    /// enactment configuration.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.config.recovery = recovery;
+        self
     }
 }
 
@@ -186,6 +197,17 @@ pub fn dinner_replan_workload(gp_seed: u64) -> Workload {
     w
 }
 
+/// The recovery workload: the baseline dinner under the standard
+/// escalation ladder (retries with backoff, 60-tick leases, circuit
+/// breakers) — the configuration the `recovery_failover` acceptance
+/// scenario drives.
+pub fn dinner_recovery_workload() -> Workload {
+    let mut w = dinner_workload();
+    w.name = "dinner+recovery".into();
+    w.config.recovery = RecoveryPolicy::standard();
+    w
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +244,35 @@ mod tests {
         let draws0: Vec<bool> = (0..64).map(|_| w0.failure.execution_fails(1.0)).collect();
         let draws1: Vec<bool> = (0..64).map(|_| w1.failure.execution_fails(1.0)).collect();
         assert_ne!(draws0, draws1, "phase reseed must shift the stream");
+    }
+
+    #[test]
+    fn fresh_world_installs_scripted_slowdowns() {
+        let wl = dinner_workload();
+        let plan = FaultPlan::seeded(9).slowing_container("ac-h1", 50.0);
+        let world = wl.fresh_world(&plan, 0);
+        assert_eq!(world.slowdowns.get("ac-h1"), Some(&50.0));
+        assert!(!world.slowdowns.contains_key("ac-h0"));
+    }
+
+    #[test]
+    fn recovery_workload_survives_a_slow_container_where_baseline_stalls() {
+        // One slow `prep` host, no other faults.  The baseline trusts
+        // the slow success and pays the stretched duration; the recovery
+        // workload leases it out and fails over to the healthy host.
+        let plan = FaultPlan::seeded(1).slowing_container("ac-h1", 50.0);
+        let base = dinner_workload();
+        let mut w = base.fresh_world(&plan, 0);
+        let slow = Enactor::new(base.config.clone()).enact(&mut w, &base.graph, &base.case);
+        assert!(slow.success);
+        assert_eq!(slow.executions[0].container, "ac-h1");
+
+        let rec = dinner_recovery_workload();
+        let mut w = rec.fresh_world(&plan, 0);
+        let report = Enactor::new(rec.config.clone()).enact(&mut w, &rec.graph, &rec.case);
+        assert!(report.success, "abort: {:?}", report.abort_reason);
+        assert_eq!(report.executions[0].container, "ac-h0");
+        assert!(report.failed_attempts.iter().all(|(_, c)| c == "ac-h1"));
     }
 
     #[test]

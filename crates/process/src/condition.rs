@@ -433,12 +433,9 @@ mod tests {
         assert!(check(CompareOp::Ne));
         // Strict evaluation agrees: the property exists, so a mismatch
         // is a (false) answer, not an error.
-        assert_eq!(
-            Condition::compare("D", "X", CompareOp::Le, 1i64)
-                .eval_strict(&s)
-                .unwrap(),
-            false
-        );
+        assert!(!Condition::compare("D", "X", CompareOp::Le, 1i64)
+            .eval_strict(&s)
+            .unwrap());
     }
 
     #[test]

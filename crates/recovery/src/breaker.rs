@@ -1,0 +1,222 @@
+//! Per-container circuit breakers: closed → open → half-open.
+//!
+//! A breaker watches one container's execution outcomes (and monitoring
+//! probes).  Too many consecutive failures trip it *open*: the
+//! container is quarantined from matchmaking for a cooldown measured in
+//! virtual ticks.  Once the cooldown elapses the breaker admits exactly
+//! one *probe* execution (half-open); a success re-closes it, a failure
+//! re-opens it for another cooldown.
+
+use serde::{Deserialize, Serialize};
+
+/// Tuning for one container's breaker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: usize,
+    /// Cooldown ticks an open breaker waits before going half-open.
+    pub open_ticks: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            open_ticks: 120,
+        }
+    }
+}
+
+/// The breaker state machine's states.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BreakerState {
+    /// Healthy: executions flow freely.
+    Closed,
+    /// Tripped: the container is quarantined until `until_tick`.
+    Open {
+        /// First tick at which the breaker may go half-open.
+        until_tick: u64,
+    },
+    /// Cooldown served: one probe execution is admitted.
+    HalfOpen,
+}
+
+/// What can a caller do with this container right now?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Breaker closed (or absent): dispatch freely.
+    Allow,
+    /// Breaker half-open: dispatch one probe attempt only.
+    Probe,
+    /// Breaker open: excluded from candidate lists.
+    Reject,
+}
+
+/// A state transition worth announcing on the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BreakerSignal {
+    /// Closed/half-open → open.
+    Opened {
+        /// Consecutive failures at the moment of tripping.
+        consecutive_failures: usize,
+        /// Tick at which the cooldown ends.
+        until_tick: u64,
+    },
+    /// Open → half-open (cooldown served).
+    HalfOpened,
+    /// Half-open → closed (probe succeeded).
+    Closed,
+}
+
+/// One container's breaker: state plus failure bookkeeping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BreakerRecord {
+    /// Current state.
+    pub state: BreakerState,
+    /// Consecutive failures observed since the last success.
+    pub consecutive_failures: usize,
+    /// Lifetime count of open transitions (diagnostics).
+    pub times_opened: usize,
+}
+
+impl Default for BreakerRecord {
+    fn default() -> Self {
+        BreakerRecord {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            times_opened: 0,
+        }
+    }
+}
+
+impl BreakerRecord {
+    /// Feed a failure observed at `now_tick`.  Returns the transition,
+    /// if one fired.
+    pub fn on_failure(&mut self, cfg: &BreakerConfig, now_tick: u64) -> Option<BreakerSignal> {
+        self.consecutive_failures += 1;
+        match self.state {
+            BreakerState::Closed if self.consecutive_failures >= cfg.failure_threshold => {
+                Some(self.trip(cfg, now_tick))
+            }
+            // A failed half-open probe re-opens for a fresh cooldown.
+            BreakerState::HalfOpen => Some(self.trip(cfg, now_tick)),
+            _ => None,
+        }
+    }
+
+    /// Feed a success.  Returns `Closed` when a half-open probe
+    /// re-closes the breaker.
+    pub fn on_success(&mut self) -> Option<BreakerSignal> {
+        self.consecutive_failures = 0;
+        match self.state {
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Closed;
+                Some(BreakerSignal::Closed)
+            }
+            _ => None,
+        }
+    }
+
+    /// May the container take an execution at `now_tick`?  An open
+    /// breaker whose cooldown has elapsed transitions to half-open here
+    /// (and says so in the returned signal).
+    pub fn admit(&mut self, now_tick: u64) -> (Admission, Option<BreakerSignal>) {
+        match self.state {
+            BreakerState::Closed => (Admission::Allow, None),
+            BreakerState::HalfOpen => (Admission::Probe, None),
+            BreakerState::Open { until_tick } if now_tick >= until_tick => {
+                self.state = BreakerState::HalfOpen;
+                (Admission::Probe, Some(BreakerSignal::HalfOpened))
+            }
+            BreakerState::Open { .. } => (Admission::Reject, None),
+        }
+    }
+
+    fn trip(&mut self, cfg: &BreakerConfig, now_tick: u64) -> BreakerSignal {
+        let until_tick = now_tick.saturating_add(cfg.open_ticks);
+        self.state = BreakerState::Open { until_tick };
+        self.times_opened += 1;
+        BreakerSignal::Opened {
+            consecutive_failures: self.consecutive_failures,
+            until_tick,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 2,
+            open_ticks: 10,
+        }
+    }
+
+    #[test]
+    fn trips_open_at_threshold_and_serves_cooldown() {
+        let mut b = BreakerRecord::default();
+        assert_eq!(b.on_failure(&cfg(), 5), None);
+        let sig = b.on_failure(&cfg(), 6).expect("second failure trips");
+        assert_eq!(
+            sig,
+            BreakerSignal::Opened {
+                consecutive_failures: 2,
+                until_tick: 16
+            }
+        );
+        // Quarantined during the cooldown…
+        assert_eq!(b.admit(10), (Admission::Reject, None));
+        // …half-open once it elapses.
+        assert_eq!(
+            b.admit(16),
+            (Admission::Probe, Some(BreakerSignal::HalfOpened))
+        );
+        assert_eq!(b.state, BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn half_open_probe_success_closes_failure_reopens() {
+        let mut ok = BreakerRecord {
+            state: BreakerState::HalfOpen,
+            consecutive_failures: 2,
+            times_opened: 1,
+        };
+        assert_eq!(ok.on_success(), Some(BreakerSignal::Closed));
+        assert_eq!(ok.state, BreakerState::Closed);
+        assert_eq!(ok.consecutive_failures, 0);
+
+        let mut bad = BreakerRecord {
+            state: BreakerState::HalfOpen,
+            consecutive_failures: 2,
+            times_opened: 1,
+        };
+        let sig = bad.on_failure(&cfg(), 20).expect("probe failure reopens");
+        assert!(matches!(sig, BreakerSignal::Opened { until_tick: 30, .. }));
+        assert_eq!(bad.times_opened, 2);
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_counter() {
+        let mut b = BreakerRecord::default();
+        b.on_failure(&cfg(), 0);
+        assert_eq!(b.on_success(), None);
+        assert_eq!(b.consecutive_failures, 0);
+        // Needs a full threshold run again to trip.
+        assert_eq!(b.on_failure(&cfg(), 1), None);
+        assert!(b.on_failure(&cfg(), 2).is_some());
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let b = BreakerRecord {
+            state: BreakerState::Open { until_tick: 42 },
+            consecutive_failures: 3,
+            times_opened: 1,
+        };
+        let json = serde_json::to_string(&b).unwrap();
+        let back: BreakerRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, b);
+    }
+}

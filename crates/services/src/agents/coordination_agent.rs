@@ -11,7 +11,7 @@
 //! and Fig.-13-style ontology record — with the persistent-storage
 //! service when one is registered.
 
-use crate::agents::{action_of, reply_failure, CONVERSATION_TIMEOUT, GRIDFLOW_ONTOLOGY};
+use crate::agents::{action_of, reply_failure, DEFAULT_CONVERSATION_TIMEOUT, GRIDFLOW_ONTOLOGY};
 use crate::coordination::{EnactmentConfig, Enactor};
 use crate::planning::PlanRequest;
 use crate::world::SharedWorld;
@@ -27,21 +27,31 @@ pub struct CoordinationAgent {
     pub config: EnactmentConfig,
     /// The shared world.
     pub world: SharedWorld,
+    /// Timeout for the agent's synchronous conversations (planning
+    /// relays, storage archival).
+    pub conversation_timeout: std::time::Duration,
     /// Reports of submitted (disconnected-user) tasks, by task id.
     completed: std::collections::BTreeMap<String, crate::coordination::EnactmentReport>,
     submit_counter: u64,
 }
 
 impl CoordinationAgent {
-    /// A fresh agent.
+    /// A fresh agent with the default conversation timeout.
     pub fn new(agent_name: impl Into<String>, config: EnactmentConfig, world: SharedWorld) -> Self {
         CoordinationAgent {
             agent_name: agent_name.into(),
             config,
             world,
+            conversation_timeout: DEFAULT_CONVERSATION_TIMEOUT,
             completed: std::collections::BTreeMap::new(),
             submit_counter: 0,
         }
+    }
+
+    /// Override the timeout for this agent's synchronous conversations.
+    pub fn with_conversation_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.conversation_timeout = timeout;
+        self
     }
 
     /// Archive a finished task's report and its ontology record with the
@@ -67,7 +77,7 @@ impl CoordinationAgent {
             storage.name.clone(),
             GRIDFLOW_ONTOLOGY,
             json!({"action": "put", "key": format!("report/{task_id}"), "body": report}),
-            CONVERSATION_TIMEOUT,
+            self.conversation_timeout,
         );
         if let Ok(kb) =
             crate::tracker::track_enactment(task_id, graph, case, report, &self.agent_name)
@@ -76,7 +86,7 @@ impl CoordinationAgent {
                 storage.name,
                 GRIDFLOW_ONTOLOGY,
                 json!({"action": "put", "key": format!("ontology/{task_id}"), "body": kb}),
-                CONVERSATION_TIMEOUT,
+                self.conversation_timeout,
             );
         }
     }
@@ -101,7 +111,7 @@ impl CoordinationAgent {
             planner,
             GRIDFLOW_ONTOLOGY,
             json!({"action": "plan", "request": request}),
-            CONVERSATION_TIMEOUT,
+            self.conversation_timeout,
         )?;
         Ok(reply.content)
     }

@@ -33,8 +33,11 @@ pub use stack::{boot_stack, StackHandles};
 /// The shared ontology tag for all GridFlow protocols.
 pub const GRIDFLOW_ONTOLOGY: &str = "gridflow";
 
-/// Default timeout for synchronous inter-agent conversations.
-pub const CONVERSATION_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
+/// Default timeout for synchronous inter-agent conversations.  Agents
+/// take this at construction; override it per agent with
+/// `with_conversation_timeout` (e.g. shorter under virtual-clock tests,
+/// longer for slow planners).
+pub const DEFAULT_CONVERSATION_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(30);
 
 /// Extract the `action` field of a request, or a [`crate::ServiceError::BadRequest`].
 pub(crate) fn action_of(msg: &gridflow_agents::AclMessage) -> crate::Result<String> {

@@ -8,7 +8,7 @@
 //! excludes the activities with no executable container before running
 //! the GP planner.
 
-use crate::agents::{action_of, reply_failure, CONVERSATION_TIMEOUT, GRIDFLOW_ONTOLOGY};
+use crate::agents::{action_of, reply_failure, DEFAULT_CONVERSATION_TIMEOUT, GRIDFLOW_ONTOLOGY};
 use crate::information::Registration;
 use crate::planning::{PlanRequest, PlanningService};
 use crate::world::SharedWorld;
@@ -24,10 +24,13 @@ pub struct PlanningAgent {
     pub service: PlanningService,
     /// The shared world (read for the service catalog).
     pub world: SharedWorld,
+    /// Timeout for the agent's synchronous conversations (the Fig. 3
+    /// information/brokerage/container probe).
+    pub conversation_timeout: std::time::Duration,
 }
 
 impl PlanningAgent {
-    /// A fresh agent.
+    /// A fresh agent with the default conversation timeout.
     pub fn new(
         agent_name: impl Into<String>,
         service: PlanningService,
@@ -37,7 +40,14 @@ impl PlanningAgent {
             agent_name: agent_name.into(),
             service,
             world,
+            conversation_timeout: DEFAULT_CONVERSATION_TIMEOUT,
         }
+    }
+
+    /// Override the timeout for this agent's synchronous conversations.
+    pub fn with_conversation_timeout(mut self, timeout: std::time::Duration) -> Self {
+        self.conversation_timeout = timeout;
+        self
     }
 
     fn run_plan(&self, request: &PlanRequest) -> crate::Result<serde_json::Value> {
@@ -72,7 +82,7 @@ impl PlanningAgent {
             info.name.clone(),
             GRIDFLOW_ONTOLOGY,
             json!({"action": "find_by_type", "service_type": "brokerage"}),
-            CONVERSATION_TIMEOUT,
+            self.conversation_timeout,
         )?;
         let brokers: Vec<Registration> = serde_json::from_value(reply.content["services"].clone())
             .map_err(|e| crate::ServiceError::BadRequest(e.to_string()))?;
@@ -91,7 +101,7 @@ impl PlanningAgent {
                 broker.location.clone(),
                 GRIDFLOW_ONTOLOGY,
                 json!({"action": "candidates", "service": service}),
-                CONVERSATION_TIMEOUT,
+                self.conversation_timeout,
             )?;
             let candidates: Vec<String> =
                 serde_json::from_value(reply.content["containers"].clone())
@@ -107,7 +117,7 @@ impl PlanningAgent {
                     container.clone(),
                     GRIDFLOW_ONTOLOGY,
                     json!({"action": "can_execute", "service": service}),
-                    CONVERSATION_TIMEOUT,
+                    self.conversation_timeout,
                 );
                 match probe {
                     Ok(reply) if reply.content["executable"] == json!(true) => {

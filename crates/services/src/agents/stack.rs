@@ -184,6 +184,20 @@ mod tests {
     }
 
     #[test]
+    fn conversation_timeout_defaults_and_overrides_per_agent() {
+        use crate::agents::DEFAULT_CONVERSATION_TIMEOUT;
+        let world = shared();
+        let coord =
+            CoordinationAgent::new("coordination-1", EnactmentConfig::default(), world.clone());
+        assert_eq!(coord.conversation_timeout, DEFAULT_CONVERSATION_TIMEOUT);
+        let coord = coord.with_conversation_timeout(Duration::from_millis(250));
+        assert_eq!(coord.conversation_timeout, Duration::from_millis(250));
+        let planner = PlanningAgent::new("planning-1", PlanningService::new(gp()), world)
+            .with_conversation_timeout(Duration::from_secs(120));
+        assert_eq!(planner.conversation_timeout, Duration::from_secs(120));
+    }
+
+    #[test]
     fn stack_boots_and_registers_everything() {
         let world = shared();
         let mut rt = AgentRuntime::new();

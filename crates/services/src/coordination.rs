@@ -11,7 +11,8 @@
 //! through the planning service, exactly the escalation of §3.3.
 
 use crate::error::{Result, ServiceError};
-use crate::matchmaking::{matchmake, MatchRequest};
+use crate::matchmaking::{matchmake, matchmake_admitted, MatchRequest, RankedMatch};
+use crate::monitoring::MonitoringService;
 use crate::planning::{PlanRequest, PlanningService};
 use crate::world::GridWorld;
 use gridflow_planner::prelude::GpConfig;
@@ -19,10 +20,16 @@ use gridflow_planner::GoalSpec;
 use gridflow_process::{
     ActivityKind, AtnMachine, AtnSnapshot, CaseDescription, DataState, ProcessGraph,
 };
+use gridflow_recovery::{Admission, RecoveryManager, RecoveryPolicy, RecoveryState};
 use gridflow_telemetry::{TraceEvent, TraceHandle, TraceSink};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// The checkpoint schema version this coordinator writes (and the
+/// newest it can resume).  Bump on any change to
+/// [`EnactmentCheckpoint`]'s meaning.
+pub const CHECKPOINT_VERSION: u32 = 1;
 
 /// Configuration of an enactment.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -51,6 +58,12 @@ pub struct EnactmentConfig {
     /// successful activity executions (§1: long-lasting tasks "require
     /// checkpointing").  `None` disables checkpointing.
     pub checkpoint_every: Option<usize>,
+    /// The failure policy the enactor escalates through: retry with
+    /// backoff → failover to the next candidate → breaker quarantine →
+    /// re-plan.  The default is [`RecoveryPolicy::disabled`], which
+    /// reproduces the legacy one-shot candidate loop (and its traces)
+    /// exactly.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for EnactmentConfig {
@@ -68,6 +81,7 @@ impl Default for EnactmentConfig {
             max_loop_iterations: 64,
             wrap_replans_with_constraint: None,
             checkpoint_every: None,
+            recovery: RecoveryPolicy::disabled(),
         }
     }
 }
@@ -93,6 +107,10 @@ pub struct ActivityExecution {
 /// different coordination service can pick the task up after a crash.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EnactmentCheckpoint {
+    /// Schema version the writing coordinator used (see
+    /// [`CHECKPOINT_VERSION`]).  Resume refuses versions newer than it
+    /// understands rather than silently misreading them.
+    pub version: u32,
     /// The process graph in force when the checkpoint was taken (the
     /// original, or a re-planned replacement).
     pub graph: ProcessGraph,
@@ -115,6 +133,23 @@ pub struct EnactmentCheckpoint {
     pub total_duration_s: f64,
     /// Cost so far.
     pub total_cost: f64,
+    /// Recovery-layer state at checkpoint time: breaker states, attempt
+    /// counters, pending backoff deadlines.  Resuming restores it, so a
+    /// quarantine survives a coordinator crash.
+    pub recovery: RecoveryState,
+}
+
+impl EnactmentCheckpoint {
+    /// Refuse checkpoints written by a newer coordinator.
+    pub fn validate(&self) -> Result<()> {
+        if self.version > CHECKPOINT_VERSION {
+            return Err(ServiceError::UnsupportedCheckpoint {
+                found: self.version,
+                supported: CHECKPOINT_VERSION,
+            });
+        }
+        Ok(())
+    }
 }
 
 /// The record of one enactment.
@@ -195,6 +230,35 @@ impl Enactor {
         checkpoint: EnactmentCheckpoint,
         case: &CaseDescription,
     ) -> EnactmentReport {
+        if let Err(e) = checkpoint.validate() {
+            let abort_reason = Some(e.to_string());
+            self.trace.emit(
+                "enactor",
+                TraceEvent::EnactmentStarted {
+                    workflow: checkpoint.graph.name.clone(),
+                    resumed: true,
+                },
+            );
+            self.trace.emit(
+                "enactor",
+                TraceEvent::EnactmentFinished {
+                    success: false,
+                    abort_reason: abort_reason.clone(),
+                },
+            );
+            return EnactmentReport {
+                success: false,
+                executions: Vec::new(),
+                failed_attempts: Vec::new(),
+                replans: 0,
+                final_state: case.initial_data.clone(),
+                total_duration_s: 0.0,
+                total_cost: 0.0,
+                produced: Vec::new(),
+                abort_reason,
+                checkpoints: Vec::new(),
+            };
+        }
         let graph = checkpoint.graph.clone();
         self.enact_internal(world, &graph, case, Some(checkpoint))
     }
@@ -223,6 +287,16 @@ impl Enactor {
         let mut excluded: Vec<String> = Vec::new();
         let mut pending_snapshot: Option<AtnSnapshot> = None;
         let resumed = resume_from.is_some();
+        let mut recovery = match &resume_from {
+            Some(cp) => RecoveryManager::restore(
+                self.config.recovery.clone(),
+                cp.recovery.clone(),
+                self.trace.clone(),
+            ),
+            None => {
+                RecoveryManager::with_trace_handle(self.config.recovery.clone(), self.trace.clone())
+            }
+        };
         if let Some(cp) = resume_from {
             state = cp.state;
             report.executions = cp.executions;
@@ -311,7 +385,20 @@ impl Enactor {
                     .and_then(|a| a.service.clone())
                     .unwrap_or_else(|| activity_id.clone());
 
-                match self.run_activity(world, &service, &activity_id, &mut state, &mut report) {
+                // Monitoring feedback: let live probes open/half-open the
+                // circuit breakers before matchmaking sees the candidates.
+                if recovery.enabled() {
+                    MonitoringService.feed_recovery(world, &mut recovery);
+                }
+
+                match self.run_activity(
+                    world,
+                    &service,
+                    &activity_id,
+                    &mut state,
+                    &mut report,
+                    &mut recovery,
+                ) {
                     Ok(()) => {
                         if let Err(e) = machine.run_activity(&activity_id, &state) {
                             report.abort_reason = Some(format!("machine error: {e}"));
@@ -323,6 +410,7 @@ impl Enactor {
                             if since_checkpoint >= every.max(1) {
                                 since_checkpoint = 0;
                                 report.checkpoints.push(EnactmentCheckpoint {
+                                    version: CHECKPOINT_VERSION,
                                     graph: current_graph.clone(),
                                     snapshot: machine.snapshot(),
                                     state: state.clone(),
@@ -333,6 +421,7 @@ impl Enactor {
                                     produced: report.produced.clone(),
                                     total_duration_s: report.total_duration_s,
                                     total_cost: report.total_cost,
+                                    recovery: recovery.snapshot(),
                                 });
                                 self.trace.emit(
                                     "enactor",
@@ -377,10 +466,8 @@ impl Enactor {
                         };
                         match planning.plan(world, &request) {
                             Ok(response) if response.viable => {
-                                self.trace.emit(
-                                    "enactor",
-                                    TraceEvent::ReplanInstalled { viable: true },
-                                );
+                                self.trace
+                                    .emit("enactor", TraceEvent::ReplanInstalled { viable: true });
                                 current_graph = match self.refinement_wrap(case, &response) {
                                     Ok(g) => g,
                                     Err(e) => {
@@ -392,10 +479,8 @@ impl Enactor {
                                 continue 'plans;
                             }
                             Ok(_) => {
-                                self.trace.emit(
-                                    "enactor",
-                                    TraceEvent::ReplanInstalled { viable: false },
-                                );
+                                self.trace
+                                    .emit("enactor", TraceEvent::ReplanInstalled { viable: false });
                                 report.abort_reason =
                                     Some("re-planning produced no viable plan".into());
                                 break 'plans;
@@ -478,8 +563,14 @@ impl Enactor {
         }
     }
 
-    /// Try to execute one activity on up to `max_candidates` containers,
-    /// applying outputs on success.
+    /// Try to execute one activity, applying outputs on success.
+    ///
+    /// With recovery disabled this is the classic candidate loop: one
+    /// dispatch per ranked container, first success wins.  With recovery
+    /// enabled the escalation ladder runs instead: retry-with-backoff on
+    /// each admitted candidate, failover to the next candidate, breaker
+    /// quarantine of repeat offenders, and finally (an `Err` here) the
+    /// caller's re-planning escalation.
     fn run_activity(
         &self,
         world: &mut GridWorld,
@@ -487,7 +578,11 @@ impl Enactor {
         activity_id: &str,
         state: &mut DataState,
         report: &mut EnactmentReport,
+        recovery: &mut RecoveryManager,
     ) -> Result<()> {
+        if recovery.enabled() {
+            return self.run_activity_ladder(world, service, activity_id, state, report, recovery);
+        }
         let candidates = matchmake(world, &MatchRequest::for_service(service))?;
         for (attempt, candidate) in candidates
             .iter()
@@ -505,31 +600,15 @@ impl Enactor {
             );
             match world.execute_service(service, &candidate.container) {
                 Ok(record) => {
-                    let produced = world.apply_outputs(service, state)?;
-                    report.produced.extend(produced);
-                    report.total_duration_s += record.duration_s;
-                    report.total_cost += record.cost;
-                    report.executions.push(ActivityExecution {
-                        activity: activity_id.to_owned(),
-                        service: service.to_owned(),
-                        container: candidate.container.clone(),
-                        duration_s: record.duration_s,
-                        cost: record.cost,
-                    });
-                    // Advance the trace's virtual clock by the simulated
-                    // execution time, so `at_s` reads as cumulative
-                    // virtual seconds.
-                    self.trace.advance_s(record.duration_s);
-                    self.trace.emit(
-                        "enactor",
-                        TraceEvent::ActivityCompleted {
-                            activity: activity_id.to_owned(),
-                            service: service.to_owned(),
-                            container: candidate.container.clone(),
-                            duration_s: record.duration_s,
-                            cost: record.cost,
-                        },
-                    );
+                    self.apply_success(
+                        world,
+                        service,
+                        activity_id,
+                        candidate,
+                        &record,
+                        state,
+                        report,
+                    )?;
                     return Ok(());
                 }
                 Err(_) => {
@@ -552,6 +631,168 @@ impl Enactor {
             activity: activity_id.to_owned(),
             service: service.to_owned(),
         })
+    }
+
+    /// The recovery escalation ladder: for each admitted candidate, up to
+    /// `RetryPolicy::max_attempts` tries with seeded backoff between
+    /// them; a candidate whose breaker opens mid-ladder is abandoned
+    /// (failover); a candidate admitted half-open gets exactly one probe
+    /// try.  An execution that outlives its lease counts as a failure
+    /// even though the world completed it — slow is the failure mode
+    /// leases exist to catch.
+    fn run_activity_ladder(
+        &self,
+        world: &mut GridWorld,
+        service: &str,
+        activity_id: &str,
+        state: &mut DataState,
+        report: &mut EnactmentReport,
+        recovery: &mut RecoveryManager,
+    ) -> Result<()> {
+        let candidates = matchmake_admitted(world, &MatchRequest::for_service(service), recovery)?;
+        let mut attempt = 0usize;
+        for candidate in candidates.iter().take(self.config.max_candidates.max(1)) {
+            let mut local_try = 0usize;
+            loop {
+                let admission = recovery.admit(&candidate.container);
+                if admission == Admission::Reject {
+                    // The breaker opened mid-ladder: fail over.
+                    break;
+                }
+                if local_try > 0 {
+                    // Backoff before the retry, in deterministic virtual
+                    // ticks drawn from the seeded policy.
+                    recovery.schedule_retry(
+                        activity_id,
+                        service,
+                        &candidate.container,
+                        attempt,
+                        local_try,
+                    );
+                    recovery.await_retry(activity_id);
+                }
+                recovery.note_attempt(activity_id);
+                let lease = recovery.grant_lease(activity_id, &candidate.container);
+                self.trace.emit(
+                    "enactor",
+                    TraceEvent::ActivityDispatched {
+                        activity: activity_id.to_owned(),
+                        service: service.to_owned(),
+                        container: candidate.container.clone(),
+                        attempt,
+                    },
+                );
+                attempt += 1;
+                local_try += 1;
+                match world.execute_service(service, &candidate.container) {
+                    Ok(record) => {
+                        let took = recovery.note_execution_seconds(record.duration_s);
+                        let lease_broken = lease.is_some()
+                            && recovery.lease_expired(activity_id, &candidate.container, took);
+                        if lease_broken {
+                            // The work finished, but past its deadline:
+                            // the coordinator already gave up on it.  The
+                            // time and cost were still spent.
+                            report.total_duration_s += record.duration_s;
+                            report.total_cost += record.cost;
+                            self.trace.advance_s(record.duration_s);
+                            recovery.record_failure(&candidate.container);
+                            report
+                                .failed_attempts
+                                .push((activity_id.to_owned(), candidate.container.clone()));
+                            self.trace.emit(
+                                "enactor",
+                                TraceEvent::ActivityFailed {
+                                    activity: activity_id.to_owned(),
+                                    service: service.to_owned(),
+                                    container: candidate.container.clone(),
+                                    attempt: attempt - 1,
+                                },
+                            );
+                        } else {
+                            recovery.record_success(&candidate.container);
+                            self.apply_success(
+                                world,
+                                service,
+                                activity_id,
+                                candidate,
+                                &record,
+                                state,
+                                report,
+                            )?;
+                            return Ok(());
+                        }
+                    }
+                    Err(_) => {
+                        recovery.tick(1);
+                        recovery.record_failure(&candidate.container);
+                        report
+                            .failed_attempts
+                            .push((activity_id.to_owned(), candidate.container.clone()));
+                        self.trace.emit(
+                            "enactor",
+                            TraceEvent::ActivityFailed {
+                                activity: activity_id.to_owned(),
+                                service: service.to_owned(),
+                                container: candidate.container.clone(),
+                                attempt: attempt - 1,
+                            },
+                        );
+                    }
+                }
+                // A half-open probe gets exactly one try; otherwise the
+                // retry budget bounds the ladder rung.
+                if admission == Admission::Probe
+                    || local_try >= recovery.policy().retry.max_attempts.max(1)
+                {
+                    break;
+                }
+            }
+        }
+        Err(ServiceError::ActivityFailed {
+            activity: activity_id.to_owned(),
+            service: service.to_owned(),
+        })
+    }
+
+    /// Shared success bookkeeping: apply outputs, accrue totals, record
+    /// the execution, advance the virtual clock, emit `ActivityCompleted`.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_success(
+        &self,
+        world: &mut GridWorld,
+        service: &str,
+        activity_id: &str,
+        candidate: &RankedMatch,
+        record: &crate::ExecutionRecord,
+        state: &mut DataState,
+        report: &mut EnactmentReport,
+    ) -> Result<()> {
+        let produced = world.apply_outputs(service, state)?;
+        report.produced.extend(produced);
+        report.total_duration_s += record.duration_s;
+        report.total_cost += record.cost;
+        report.executions.push(ActivityExecution {
+            activity: activity_id.to_owned(),
+            service: service.to_owned(),
+            container: candidate.container.clone(),
+            duration_s: record.duration_s,
+            cost: record.cost,
+        });
+        // Advance the trace's virtual clock by the simulated execution
+        // time, so `at_s` reads as cumulative virtual seconds.
+        self.trace.advance_s(record.duration_s);
+        self.trace.emit(
+            "enactor",
+            TraceEvent::ActivityCompleted {
+                activity: activity_id.to_owned(),
+                service: service.to_owned(),
+                container: candidate.container.clone(),
+                duration_s: record.duration_s,
+                cost: record.cost,
+            },
+        );
+        Ok(())
     }
 }
 
@@ -968,6 +1209,187 @@ mod tests {
             "refinement must continue from the checkpointed value"
         );
         assert_eq!(resumed.final_state, full.final_state);
+    }
+
+    #[test]
+    fn resume_mid_choice_round_trips_without_reexecution() {
+        // Checkpoint taken *inside* a CHOICE branch (its first activity
+        // done, its second pending): the snapshot must pin the branch
+        // decision through the storage round trip — the resumed run
+        // finishes that branch and never consults the guards again.
+        let ast = parse_process(
+            "BEGIN prep; CHOICE { COND { D1.Classification = \"Raw\" } { cook; nuke; }, \
+             COND { true } { nuke; } } MERGE; plate; END",
+        )
+        .unwrap();
+        let g = lower("choosy", &ast).unwrap();
+        let config = EnactmentConfig {
+            checkpoint_every: Some(1),
+            ..EnactmentConfig::default()
+        };
+        let mut w1 = world(12);
+        let full = Enactor::new(config.clone()).enact(&mut w1, &g, &case());
+        assert!(full.success, "abort: {:?}", full.abort_reason);
+        let full_services: Vec<&str> = full.executions.iter().map(|e| e.service.as_str()).collect();
+        assert_eq!(full_services, vec!["prep", "cook", "nuke", "plate"]);
+
+        let mut w2 = world(12);
+        let interrupted = Enactor::new(config.clone()).enact(&mut w2, &g, &case());
+        // Checkpoint 1 sits after `prep` and the taken branch's `cook` —
+        // genuinely mid-branch.
+        let cp = interrupted.checkpoints[1].clone();
+        assert_eq!(cp.executions.len(), 2);
+        assert_eq!(cp.executions[1].service, "cook");
+
+        let archived = serde_json::to_string(&cp).unwrap();
+        let restored: EnactmentCheckpoint = serde_json::from_str(&archived).unwrap();
+        assert_eq!(restored, cp);
+
+        let mut w3 = world(12);
+        let resumed = Enactor::new(config).resume(&mut w3, restored, &case());
+        assert!(resumed.success, "abort: {:?}", resumed.abort_reason);
+        assert_eq!(resumed.executions[..2], cp.executions[..]);
+        let services: Vec<&str> = resumed
+            .executions
+            .iter()
+            .map(|e| e.service.as_str())
+            .collect();
+        // The taken branch is finished — the untaken branch's lone `nuke`
+        // never runs a second time and `cook` is not repeated.
+        assert_eq!(services, full_services);
+        assert_eq!(resumed.final_state, full.final_state);
+    }
+
+    #[test]
+    fn checkpoint_version_round_trips_and_future_versions_are_refused() {
+        let mut w = world(13);
+        let config = EnactmentConfig {
+            checkpoint_every: Some(1),
+            ..EnactmentConfig::default()
+        };
+        let report = Enactor::new(config.clone()).enact(&mut w, &graph(), &case());
+        let cp = report.checkpoints[0].clone();
+        assert_eq!(cp.version, CHECKPOINT_VERSION);
+        // The version survives the storage round trip.
+        let json = serde_json::to_string(&cp).unwrap();
+        let back: EnactmentCheckpoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.version, CHECKPOINT_VERSION);
+        assert_eq!(back, cp);
+        // A checkpoint from a future coordinator is refused up front: no
+        // activity runs, and the reason names both versions.
+        let mut future = cp;
+        future.version = CHECKPOINT_VERSION + 1;
+        let mut w2 = world(13);
+        let resumed = Enactor::new(config).resume(&mut w2, future, &case());
+        assert!(!resumed.success);
+        assert!(resumed.executions.is_empty());
+        let reason = resumed.abort_reason.as_deref().unwrap();
+        assert!(
+            reason.contains("refusing to resume")
+                && reason.contains(&(CHECKPOINT_VERSION + 1).to_string()),
+            "unhelpful refusal: {reason}"
+        );
+    }
+
+    #[test]
+    fn recovery_ladder_survives_a_slow_container_via_lease_and_breaker() {
+        use gridflow_recovery::BreakerState;
+        use gridflow_telemetry::{TraceLog, TraceQuery};
+        // The top-ranked `prep` host (ac-h1, more nodes → faster) goes
+        // slow: executions still "succeed" in the world but outlive the
+        // 60-tick lease.  The ladder must burn its retries, trip the
+        // breaker, fail over to ac-h0 and complete — the scenario the
+        // legacy loop cannot survive, because it trusts the slow success.
+        let mut w = world(14);
+        w.set_slowdown("ac-h1", 50.0);
+        let config = EnactmentConfig {
+            recovery: RecoveryPolicy::standard(),
+            checkpoint_every: Some(1),
+            ..EnactmentConfig::default()
+        };
+        let log = TraceLog::new();
+        let report = Enactor::new(config)
+            .with_trace_handle(TraceHandle::from(log.clone()))
+            .enact(&mut w, &graph(), &case());
+        assert!(report.success, "abort: {:?}", report.abort_reason);
+        // `prep` ultimately ran on the healthy host.
+        let prep = &report.executions[0];
+        assert_eq!(
+            (prep.service.as_str(), prep.container.as_str()),
+            ("prep", "ac-h0")
+        );
+        // Three lease-expired attempts on ac-h1 were recorded as failures
+        // even though the world executed them.
+        assert_eq!(
+            report
+                .failed_attempts
+                .iter()
+                .filter(|(_, c)| c == "ac-h1")
+                .count(),
+            3
+        );
+        let q = TraceQuery::new(log.records());
+        assert_eq!(q.lease_expiry_count("prep"), 3);
+        // Retries 2 and 3 each waited a scheduled backoff first.
+        assert_eq!(q.retry_schedule_count("prep"), 2);
+        assert!(q.count(|e| matches!(e, TraceEvent::LeaseGranted { .. })) >= 3);
+        assert_eq!(
+            q.count(
+                |e| matches!(e, TraceEvent::BreakerOpened { container, .. } if container == "ac-h1")
+            ),
+            1
+        );
+        q.assert_breaker_discipline();
+        q.assert_no_dispatch_while_open();
+        // The checkpoint carries the quarantine.
+        let cp = report.checkpoints.last().unwrap();
+        let rec = cp.recovery.breakers.get("ac-h1").expect("breaker record");
+        assert!(matches!(rec.state, BreakerState::Open { .. }));
+        assert_eq!(rec.times_opened, 1);
+    }
+
+    #[test]
+    fn resume_preserves_recovery_state_across_the_checkpoint() {
+        use gridflow_recovery::BreakerState;
+        // Trip ac-h1's breaker during `prep`, crash after the first
+        // checkpoint, and resume: the restored run must still consider
+        // ac-h1 quarantined (its breaker record — state, failure count,
+        // times opened — survives the storage round trip verbatim).
+        let config = EnactmentConfig {
+            recovery: RecoveryPolicy::standard(),
+            checkpoint_every: Some(1),
+            ..EnactmentConfig::default()
+        };
+        let mut w1 = world(15);
+        w1.set_slowdown("ac-h1", 50.0);
+        let interrupted = Enactor::new(config.clone()).enact(&mut w1, &graph(), &case());
+        assert!(interrupted.success);
+        let cp = interrupted.checkpoints[0].clone(); // after `prep`
+        assert!(matches!(
+            cp.recovery.breakers.get("ac-h1").unwrap().state,
+            BreakerState::Open { .. }
+        ));
+        assert!(cp.recovery.now_tick > 0);
+
+        let archived = serde_json::to_string(&cp).unwrap();
+        let restored: EnactmentCheckpoint = serde_json::from_str(&archived).unwrap();
+        assert_eq!(restored.recovery, cp.recovery);
+
+        let mut w2 = world(15);
+        w2.set_slowdown("ac-h1", 50.0);
+        let resumed = Enactor::new(config).resume(&mut w2, restored, &case());
+        assert!(resumed.success, "abort: {:?}", resumed.abort_reason);
+        // The resumed run checkpoints again after `cook`; ac-h1's record
+        // is still there, untouched by the crash.
+        let later = &resumed.checkpoints[0];
+        let rec = later
+            .recovery
+            .breakers
+            .get("ac-h1")
+            .expect("quarantine survived resume");
+        assert_eq!(rec.times_opened, 1);
+        // And the clock kept counting from the checkpointed tick.
+        assert!(later.recovery.now_tick >= cp.recovery.now_tick);
     }
 
     #[test]

@@ -38,6 +38,14 @@ pub enum ServiceError {
     NotFound(String),
     /// Malformed request payload at the agent protocol layer.
     BadRequest(String),
+    /// A checkpoint was written by a newer coordinator than this one:
+    /// resuming it could silently misinterpret state, so we refuse.
+    UnsupportedCheckpoint {
+        /// Version found in the checkpoint.
+        found: u32,
+        /// Highest version this coordinator understands.
+        supported: u32,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -58,6 +66,11 @@ impl fmt::Display for ServiceError {
             Self::AuthDenied(msg) => write!(f, "authentication denied: {msg}"),
             Self::NotFound(key) => write!(f, "not found: `{key}`"),
             Self::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            Self::UnsupportedCheckpoint { found, supported } => write!(
+                f,
+                "checkpoint version {found} is newer than the supported version \
+                 {supported}; refusing to resume"
+            ),
         }
     }
 }
@@ -104,5 +117,11 @@ mod tests {
         }
         .to_string()
         .contains("P3DR1"));
+        let msg = ServiceError::UnsupportedCheckpoint {
+            found: 9,
+            supported: 1,
+        }
+        .to_string();
+        assert!(msg.contains("version 9") && msg.contains("refusing to resume"));
     }
 }

@@ -121,6 +121,26 @@ pub fn matchmake(world: &GridWorld, request: &MatchRequest) -> Result<Vec<Ranked
     Ok(matches)
 }
 
+/// Like [`matchmake`], but containers whose circuit breaker is open are
+/// excluded from the candidate list — a quarantined container is
+/// invisible to placement until its half-open probe readmits it.  An
+/// open breaker whose cooldown has elapsed transitions to half-open
+/// during this filter (and is admitted as a probe candidate), so the
+/// call takes the recovery manager mutably.  Unlike [`matchmake`], an
+/// all-quarantined result is `Ok(vec![])` rather than an error: the
+/// enactor treats it as "every candidate failed" and escalates.
+pub fn matchmake_admitted(
+    world: &GridWorld,
+    request: &MatchRequest,
+    recovery: &mut gridflow_recovery::RecoveryManager,
+) -> Result<Vec<RankedMatch>> {
+    let ranked = matchmake(world, request)?;
+    Ok(ranked
+        .into_iter()
+        .filter(|m| recovery.is_admitted(&m.container))
+        .collect())
+}
+
 /// Like [`matchmake`], but duration estimates prefer the brokerage
 /// service's *observed* history over the hardware model — §1: when a task
 /// has soft deadlines, "the search for a site with adequate resources …
@@ -387,8 +407,44 @@ mod tests {
         // Back up, matches flow again — the outage was not sticky.
         w.set_container_up("ac-pc", true).unwrap();
         assert_eq!(
-            matchmake(&w, &MatchRequest::for_service("X")).unwrap().len(),
+            matchmake(&w, &MatchRequest::for_service("X"))
+                .unwrap()
+                .len(),
             1
+        );
+    }
+
+    #[test]
+    fn quarantined_containers_are_filtered_from_matches() {
+        use gridflow_recovery::{Admission, RecoveryManager, RecoveryPolicy};
+        let w = world(false);
+        let mut recovery = RecoveryManager::new(RecoveryPolicy::standard());
+        // Trip ac-pc's breaker (threshold 3 under the standard policy).
+        for _ in 0..3 {
+            recovery.record_failure("ac-pc");
+        }
+        let admitted =
+            matchmake_admitted(&w, &MatchRequest::for_service("X"), &mut recovery).unwrap();
+        assert_eq!(admitted.len(), 2);
+        assert!(admitted.iter().all(|m| m.container != "ac-pc"));
+        // Serve the cooldown: the filter itself moves the breaker to
+        // half-open and readmits the container as a probe candidate.
+        recovery.tick(1_000);
+        let readmitted =
+            matchmake_admitted(&w, &MatchRequest::for_service("X"), &mut recovery).unwrap();
+        assert_eq!(readmitted.len(), 3);
+        assert_eq!(recovery.admit("ac-pc"), Admission::Probe);
+        // Quarantining everything yields an empty (not error) result.
+        let mut all_out = RecoveryManager::new(RecoveryPolicy::standard());
+        for c in ["ac-sc", "ac-pc", "ac-ws"] {
+            for _ in 0..3 {
+                all_out.record_failure(c);
+            }
+        }
+        assert!(
+            matchmake_admitted(&w, &MatchRequest::for_service("X"), &mut all_out)
+                .unwrap()
+                .is_empty()
         );
     }
 

@@ -92,6 +92,26 @@ impl MonitoringService {
         up as f64 / total as f64
     }
 
+    /// Probe every container and feed the up/down results into the
+    /// recovery layer's circuit breakers — the paper's monitoring
+    /// feedback driving rescheduling.  Down containers accrue breaker
+    /// failures (quarantining them without wasting dispatches); open
+    /// breakers whose cooldown has elapsed take the probe as their
+    /// half-open trial, so a healthy container is readmitted here.
+    /// Returns the number of containers probed.
+    pub fn feed_recovery(
+        &self,
+        world: &GridWorld,
+        recovery: &mut gridflow_recovery::RecoveryManager,
+    ) -> usize {
+        let statuses = self.probe_all_containers(world);
+        let fed = statuses.len();
+        for status in statuses {
+            recovery.note_probe(&status.container, status.up);
+        }
+        fed
+    }
+
     /// Fold an execution trace into counters and virtual-time latency
     /// histograms.  The registry inherits the trace's determinism:
     /// identical seeds → identical metrics.
@@ -187,13 +207,39 @@ mod tests {
         }
         assert_eq!(mon.availability(&w), 0.0);
         // Probes keep working during the blackout…
-        assert!(mon
-            .probe_all_containers(&w)
-            .iter()
-            .all(|c| !c.up));
+        assert!(mon.probe_all_containers(&w).iter().all(|c| !c.up));
         // …and recovery is symmetric.
         w.set_container_up(&ids[0], true).unwrap();
         assert!((mon.availability(&w) - 1.0 / ids.len() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probes_feed_breakers_down_to_quarantine_and_back_to_closed() {
+        use gridflow_recovery::{Admission, BreakerConfig, RecoveryManager, RecoveryPolicy};
+        let mut w = world();
+        let mon = MonitoringService;
+        let mut recovery = RecoveryManager::new(RecoveryPolicy {
+            breaker: Some(BreakerConfig {
+                failure_threshold: 2,
+                open_ticks: 5,
+            }),
+            ..RecoveryPolicy::standard()
+        });
+        let id = w.topology.containers[0].id.clone();
+        // Healthy world: probes leave the breakers untouched.
+        assert_eq!(mon.feed_recovery(&w, &mut recovery), 5);
+        assert!(recovery.quarantined().is_empty());
+        // A downed container accrues probe failures until quarantined.
+        w.set_container_up(&id, false).unwrap();
+        mon.feed_recovery(&w, &mut recovery);
+        mon.feed_recovery(&w, &mut recovery);
+        assert_eq!(recovery.admit(&id), Admission::Reject);
+        // It recovers; once the cooldown elapses, the next probe is the
+        // half-open trial and readmits it.
+        w.set_container_up(&id, true).unwrap();
+        recovery.tick(5);
+        mon.feed_recovery(&w, &mut recovery);
+        assert_eq!(recovery.admit(&id), Admission::Allow);
     }
 
     #[test]

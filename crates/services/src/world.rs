@@ -151,6 +151,11 @@ pub struct GridWorld {
     /// When a stochastic failure strikes, does the container stay down
     /// (until recovered) or was it transient?
     pub failures_are_persistent: bool,
+    /// Per-container duration multipliers (> 1.0 = degraded): executions
+    /// still *succeed* but take longer — the failure mode activity
+    /// leases exist to catch.  Cost is unchanged (you pay for nodes, not
+    /// for their sluggishness).
+    pub slowdowns: BTreeMap<String, f64>,
     data_counter: usize,
 }
 
@@ -166,8 +171,15 @@ impl GridWorld {
             history: Vec::new(),
             clock_s: 0.0,
             failures_are_persistent: true,
+            slowdowns: BTreeMap::new(),
             data_counter: 100,
         }
+    }
+
+    /// Degrade (or restore, with `factor <= 1.0`) a container: its
+    /// executions take `factor ×` the estimated duration.
+    pub fn set_slowdown(&mut self, container: &str, factor: f64) {
+        self.slowdowns.insert(container.to_owned(), factor.max(0.0));
     }
 
     /// Register a service offering.
@@ -259,6 +271,8 @@ impl GridWorld {
                 ServiceError::Grid(GridError::UnknownResource(container.resource_id.clone()))
             })?;
         let est = estimate(&offering.demand, &resource);
+        let slowdown = self.slowdowns.get(container_id).copied().unwrap_or(1.0);
+        let duration_s = est.duration_s * slowdown;
         let failed = self.failure.execution_fails(resource.reliability);
         if failed {
             container.failed += 1;
@@ -268,12 +282,12 @@ impl GridWorld {
         } else {
             container.completed += 1;
         }
-        self.clock_s += est.duration_s;
+        self.clock_s += duration_s;
         let record = ExecutionRecord {
             service: service.to_owned(),
             container: container_id.to_owned(),
             resource: resource.id.clone(),
-            duration_s: est.duration_s,
+            duration_s,
             cost: est.cost,
             success: !failed,
             at_s: self.clock_s,
@@ -421,6 +435,26 @@ mod tests {
         assert!((w.clock_s - record.duration_s).abs() < 1e-12);
         assert_eq!(w.mean_service_duration("POD"), Some(record.duration_s));
         assert_eq!(w.mean_service_duration("P3DR"), None);
+    }
+
+    #[test]
+    fn slowdown_stretches_duration_but_not_cost() {
+        let mut w = world();
+        let container = w.executable_containers("POD")[0].clone();
+        let baseline = w.execute_service("POD", &container).unwrap();
+        w.set_slowdown(&container, 50.0);
+        let slowed = w.execute_service("POD", &container).unwrap();
+        assert!(slowed.success, "slow is degraded, not down");
+        assert!((slowed.duration_s - baseline.duration_s * 50.0).abs() < 1e-9);
+        assert_eq!(slowed.cost, baseline.cost);
+        // Other containers are unaffected.
+        let other = w
+            .executable_containers("POD")
+            .into_iter()
+            .find(|c| *c != container)
+            .expect("second candidate");
+        let normal = w.execute_service("POD", &other).unwrap();
+        assert!(normal.duration_s < slowed.duration_s);
     }
 
     #[test]

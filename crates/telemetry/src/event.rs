@@ -138,6 +138,68 @@ pub enum TraceEvent {
         /// Attempt index within this execution.
         attempt: usize,
     },
+    // ------------------------------------------------ recovery layer
+    /// The recovery layer scheduled a backoff retry on the same
+    /// candidate (the wait elapses on the virtual clock, never wall
+    /// time).
+    RetryScheduled {
+        /// Activity id.
+        activity: String,
+        /// Service executed.
+        service: String,
+        /// Candidate container being retried.
+        container: String,
+        /// Attempt index the retry will carry.
+        attempt: usize,
+        /// Backoff length, in virtual ticks.
+        backoff_ticks: u64,
+        /// Recovery-clock tick at which the retry dispatches.
+        resume_tick: u64,
+    },
+    /// A dispatched execution was granted a tick-deadline lease.
+    LeaseGranted {
+        /// Activity id.
+        activity: String,
+        /// Container executing it.
+        container: String,
+        /// Lease length, in virtual ticks.
+        lease_ticks: u64,
+        /// Recovery-clock tick at which the lease expires.
+        deadline_tick: u64,
+    },
+    /// An execution outlived its lease: its result is discarded and the
+    /// attempt counts as a failure.
+    LeaseExpired {
+        /// Activity id.
+        activity: String,
+        /// Container that overran.
+        container: String,
+        /// Lease length that was granted, in virtual ticks.
+        lease_ticks: u64,
+        /// Ticks the execution actually took.
+        took_ticks: u64,
+    },
+    /// A container's circuit breaker tripped open: the container is
+    /// quarantined from matchmaking until its cooldown elapses.
+    BreakerOpened {
+        /// Quarantined container.
+        container: String,
+        /// Consecutive failures that tripped it.
+        consecutive_failures: usize,
+        /// Recovery-clock tick at which the cooldown ends.
+        until_tick: u64,
+    },
+    /// An open breaker served its cooldown and now admits one probe.
+    BreakerHalfOpen {
+        /// Probing container.
+        container: String,
+    },
+    /// A half-open probe succeeded: the container is readmitted.
+    BreakerClosed {
+        /// Readmitted container.
+        container: String,
+    },
+
     /// A flow-control node of the ATN fired (Begin, End, Fork, Join,
     /// Choice, Merge — ITERATIVE loops lower to Choice/Merge pairs, so
     /// loop iterations show as repeated Merge/Choice firings).
@@ -233,6 +295,9 @@ impl TraceEvent {
             TraceEvent::ActivityDispatched { activity, .. }
             | TraceEvent::ActivityCompleted { activity, .. }
             | TraceEvent::ActivityFailed { activity, .. }
+            | TraceEvent::RetryScheduled { activity, .. }
+            | TraceEvent::LeaseGranted { activity, .. }
+            | TraceEvent::LeaseExpired { activity, .. }
             | TraceEvent::ReplanTriggered { activity, .. } => Some(activity),
             _ => None,
         }
@@ -267,6 +332,12 @@ impl TraceEvent {
             TraceEvent::ActivityDispatched { .. } => "activity.dispatched",
             TraceEvent::ActivityCompleted { .. } => "activity.completed",
             TraceEvent::ActivityFailed { .. } => "activity.failed",
+            TraceEvent::RetryScheduled { .. } => "retry.scheduled",
+            TraceEvent::LeaseGranted { .. } => "lease.granted",
+            TraceEvent::LeaseExpired { .. } => "lease.expired",
+            TraceEvent::BreakerOpened { .. } => "breaker.opened",
+            TraceEvent::BreakerHalfOpen { .. } => "breaker.half_open",
+            TraceEvent::BreakerClosed { .. } => "breaker.closed",
             TraceEvent::TransitionFired { .. } => "transition.fired",
             TraceEvent::CheckpointCaptured { .. } => "checkpoint.captured",
             TraceEvent::ResumeStarted { .. } => "resume.started",
@@ -357,6 +428,50 @@ mod tests {
         };
         assert_eq!(m.message_id(), Some(9));
         assert_eq!(m.activity(), None);
+    }
+
+    #[test]
+    fn recovery_events_have_labels_and_activity_accessors() {
+        let r = TraceEvent::RetryScheduled {
+            activity: "A2".into(),
+            service: "cook".into(),
+            container: "ac-h2".into(),
+            attempt: 1,
+            backoff_ticks: 4,
+            resume_tick: 9,
+        };
+        assert_eq!(r.label(), "retry.scheduled");
+        assert_eq!(r.activity(), Some("A2"));
+        assert!(!r.is_fault());
+        let l = TraceEvent::LeaseExpired {
+            activity: "A2".into(),
+            container: "ac-h2".into(),
+            lease_ticks: 30,
+            took_ticks: 150,
+        };
+        assert_eq!(l.label(), "lease.expired");
+        assert_eq!(l.activity(), Some("A2"));
+        let b = TraceEvent::BreakerOpened {
+            container: "ac-h2".into(),
+            consecutive_failures: 3,
+            until_tick: 200,
+        };
+        assert_eq!(b.label(), "breaker.opened");
+        assert_eq!(b.activity(), None);
+        assert_eq!(
+            TraceEvent::BreakerHalfOpen {
+                container: "c".into()
+            }
+            .label(),
+            "breaker.half_open"
+        );
+        assert_eq!(
+            TraceEvent::BreakerClosed {
+                container: "c".into()
+            }
+            .label(),
+            "breaker.closed"
+        );
     }
 
     #[test]

@@ -85,7 +85,9 @@ impl MetricsRegistry {
             m.count(r.event.label());
             match &r.event {
                 TraceEvent::ActivityCompleted {
-                    service, duration_s, ..
+                    service,
+                    duration_s,
+                    ..
                 } => {
                     m.count(&format!("service.{service}.completed"));
                     m.histograms

@@ -62,6 +62,28 @@ pub enum TraceViolation {
         /// The activity whose span was requested.
         activity: String,
     },
+    /// A container's breaker events form an illegal state-machine walk
+    /// (e.g. `breaker.closed` without a preceding `breaker.half_open`).
+    IllegalBreakerTransition {
+        /// The container whose breaker misbehaved.
+        container: String,
+        /// State implied by the previous event (`"closed"` initially).
+        from: String,
+        /// State the offending event moved to.
+        to: String,
+        /// Sequence number of the offending event.
+        seq: u64,
+    },
+    /// An activity was dispatched to a container while its breaker was
+    /// open (quarantined containers must be excluded from matchmaking).
+    DispatchWhileOpen {
+        /// The quarantined container.
+        container: String,
+        /// Sequence number of the `breaker.opened` event.
+        opened_seq: u64,
+        /// Sequence number of the offending dispatch.
+        dispatched_seq: u64,
+    },
 }
 
 impl std::fmt::Display for TraceViolation {
@@ -99,8 +121,30 @@ impl std::fmt::Display for TraceViolation {
                 "activity '{activity}': expected {expected} retries, observed {observed}"
             ),
             TraceViolation::MissingSpan { activity } => {
-                write!(f, "activity '{activity}' has no complete dispatch→completion span")
+                write!(
+                    f,
+                    "activity '{activity}' has no complete dispatch→completion span"
+                )
             }
+            TraceViolation::IllegalBreakerTransition {
+                container,
+                from,
+                to,
+                seq,
+            } => write!(
+                f,
+                "container '{container}': illegal breaker transition {from} → {to} \
+                 at seq {seq}"
+            ),
+            TraceViolation::DispatchWhileOpen {
+                container,
+                opened_seq,
+                dispatched_seq,
+            } => write!(
+                f,
+                "container '{container}' breaker opened at seq {opened_seq} but took \
+                 a dispatch at seq {dispatched_seq} before being readmitted"
+            ),
         }
     }
 }
@@ -144,12 +188,12 @@ impl TraceQuery {
     /// completion (half-open, so `span.contains(&seq)` covers every
     /// event strictly between them plus the dispatch itself).
     pub fn span(&self, activity: &str) -> Result<Range<u64>, TraceViolation> {
-        let start = self.first_seq(|e| {
-            matches!(e, TraceEvent::ActivityDispatched { activity: a, .. } if a == activity)
-        });
-        let end = self.first_seq(|e| {
-            matches!(e, TraceEvent::ActivityCompleted { activity: a, .. } if a == activity)
-        });
+        let start = self.first_seq(
+            |e| matches!(e, TraceEvent::ActivityDispatched { activity: a, .. } if a == activity),
+        );
+        let end = self.first_seq(
+            |e| matches!(e, TraceEvent::ActivityCompleted { activity: a, .. } if a == activity),
+        );
         match (start, end) {
             (Some(s), Some(e)) if s <= e => Ok(s..e + 1),
             _ => Err(TraceViolation::MissingSpan {
@@ -181,10 +225,7 @@ impl TraceQuery {
                     checkpoint_seqs.entry(*index).or_insert(r.seq);
                 }
                 TraceEvent::CoordinatorCrashed { after_checkpoints } => {
-                    let cut = checkpoint_seqs
-                        .get(after_checkpoints)
-                        .copied()
-                        .unwrap_or(0);
+                    let cut = checkpoint_seqs.get(after_checkpoints).copied().unwrap_or(0);
                     completed.retain(|_, seq| *seq <= cut);
                 }
                 TraceEvent::ActivityDispatched { activity, .. } => {
@@ -266,17 +307,11 @@ impl TraceQuery {
     /// `ActivityFailed` events it accumulated (each failure is followed
     /// by a dispatch of the next candidate or a replan).
     pub fn retry_count(&self, activity: &str) -> usize {
-        self.count(
-            |e| matches!(e, TraceEvent::ActivityFailed { activity: a, .. } if a == activity),
-        )
+        self.count(|e| matches!(e, TraceEvent::ActivityFailed { activity: a, .. } if a == activity))
     }
 
     /// Check: `activity` was retried exactly `expected` times.
-    pub fn check_retry_count(
-        &self,
-        activity: &str,
-        expected: usize,
-    ) -> Result<(), TraceViolation> {
+    pub fn check_retry_count(&self, activity: &str, expected: usize) -> Result<(), TraceViolation> {
         let observed = self.retry_count(activity);
         if observed == expected {
             Ok(())
@@ -287,6 +322,123 @@ impl TraceQuery {
                 observed,
             })
         }
+    }
+
+    /// Observed backoff-retry count for an activity: the number of
+    /// `retry.scheduled` events the recovery layer emitted for it.
+    pub fn retry_schedule_count(&self, activity: &str) -> usize {
+        self.count(|e| matches!(e, TraceEvent::RetryScheduled { activity: a, .. } if a == activity))
+    }
+
+    /// Observed lease expiries for an activity.
+    pub fn lease_expiry_count(&self, activity: &str) -> usize {
+        self.count(|e| matches!(e, TraceEvent::LeaseExpired { activity: a, .. } if a == activity))
+    }
+
+    /// Check: every container's breaker events walk the state machine
+    /// legally — `opened` only from closed or half-open, `half_open`
+    /// only from open, `closed` only from half-open.  Phase boundaries
+    /// (`CoordinatorCrashed`, `ResumeStarted`, a later `PhaseStarted`)
+    /// reset the tracking: the resumed coordinator restores breaker
+    /// state from a checkpoint taken *before* the events the trace has
+    /// already shown, so post-boundary transitions start from a state
+    /// the trace cannot see.
+    pub fn check_breaker_discipline(&self) -> Result<(), TraceViolation> {
+        // State implied by the last event seen per container;
+        // "unknown" after a phase boundary, "closed" before any event.
+        let mut states: BTreeMap<String, &'static str> = BTreeMap::new();
+        let mut crashed = false;
+        let mut started = false;
+        for r in &self.records {
+            let (container, to) = match &r.event {
+                TraceEvent::CoordinatorCrashed { .. } | TraceEvent::ResumeStarted { .. } => {
+                    states.clear();
+                    crashed = true;
+                    continue;
+                }
+                TraceEvent::PhaseStarted { .. } => {
+                    // The first phase starts from pristine (closed)
+                    // breakers; later phases resume from a checkpoint.
+                    if started {
+                        states.clear();
+                        crashed = true;
+                    }
+                    started = true;
+                    continue;
+                }
+                TraceEvent::BreakerOpened { container, .. } => (container, "open"),
+                TraceEvent::BreakerHalfOpen { container } => (container, "half_open"),
+                TraceEvent::BreakerClosed { container } => (container, "closed"),
+                _ => continue,
+            };
+            let from = states.get(container).copied().unwrap_or(if crashed {
+                "unknown"
+            } else {
+                "closed"
+            });
+            let legal = match (from, to) {
+                // After a crash the restored state is invisible to the
+                // trace: accept any first transition per container.
+                ("unknown", _) => true,
+                ("closed", "open") | ("half_open", "open") => true,
+                ("open", "half_open") => true,
+                ("half_open", "closed") => true,
+                _ => false,
+            };
+            if !legal {
+                return Err(TraceViolation::IllegalBreakerTransition {
+                    container: container.clone(),
+                    from: from.to_string(),
+                    to: to.to_string(),
+                    seq: r.seq,
+                });
+            }
+            states.insert(container.clone(), to);
+        }
+        Ok(())
+    }
+
+    /// Check: no activity is dispatched to a container between its
+    /// `breaker.opened` and the next `breaker.half_open`/`closed` —
+    /// quarantine means quarantine.  Tracking resets at phase
+    /// boundaries (`CoordinatorCrashed`, `ResumeStarted`, a later
+    /// `PhaseStarted`): a resumed coordinator restores breaker state
+    /// from a checkpoint taken before the open the trace showed, so a
+    /// post-boundary dispatch is legal.
+    pub fn check_no_dispatch_while_open(&self) -> Result<(), TraceViolation> {
+        let mut open: BTreeMap<String, u64> = BTreeMap::new();
+        let mut started = false;
+        for r in &self.records {
+            match &r.event {
+                TraceEvent::BreakerOpened { container, .. } => {
+                    open.insert(container.clone(), r.seq);
+                }
+                TraceEvent::BreakerHalfOpen { container }
+                | TraceEvent::BreakerClosed { container } => {
+                    open.remove(container);
+                }
+                TraceEvent::CoordinatorCrashed { .. } | TraceEvent::ResumeStarted { .. } => {
+                    open.clear()
+                }
+                TraceEvent::PhaseStarted { .. } => {
+                    if started {
+                        open.clear();
+                    }
+                    started = true;
+                }
+                TraceEvent::ActivityDispatched { container, .. } => {
+                    if let Some(&opened_seq) = open.get(container) {
+                        return Err(TraceViolation::DispatchWhileOpen {
+                            container: container.clone(),
+                            opened_seq,
+                            dispatched_seq: r.seq,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
     }
 
     /// Panic if [`TraceQuery::check_no_double_dispatch`] fails.
@@ -319,6 +471,20 @@ impl TraceQuery {
     /// Panic if [`TraceQuery::check_retry_count`] fails.
     pub fn assert_retry_count(&self, activity: &str, expected: usize) {
         if let Err(v) = self.check_retry_count(activity, expected) {
+            panic!("trace violation: {v}");
+        }
+    }
+
+    /// Panic if [`TraceQuery::check_breaker_discipline`] fails.
+    pub fn assert_breaker_discipline(&self) {
+        if let Err(v) = self.check_breaker_discipline() {
+            panic!("trace violation: {v}");
+        }
+    }
+
+    /// Panic if [`TraceQuery::check_no_dispatch_while_open`] fails.
+    pub fn assert_no_dispatch_while_open(&self) {
+        if let Err(v) = self.check_no_dispatch_while_open() {
             panic!("trace violation: {v}");
         }
     }
@@ -500,6 +666,146 @@ mod tests {
                 |e| matches!(e, TraceEvent::ReplanTriggered { .. }),
             )
             .is_err());
+    }
+
+    fn opened(container: &str) -> TraceEvent {
+        TraceEvent::BreakerOpened {
+            container: container.into(),
+            consecutive_failures: 3,
+            until_tick: 100,
+        }
+    }
+
+    fn half_open(container: &str) -> TraceEvent {
+        TraceEvent::BreakerHalfOpen {
+            container: container.into(),
+        }
+    }
+
+    fn closed(container: &str) -> TraceEvent {
+        TraceEvent::BreakerClosed {
+            container: container.into(),
+        }
+    }
+
+    fn dispatched_on(activity: &str, container: &str) -> TraceEvent {
+        TraceEvent::ActivityDispatched {
+            activity: activity.into(),
+            service: "svc".into(),
+            container: container.into(),
+            attempt: 0,
+        }
+    }
+
+    #[test]
+    fn breaker_discipline_accepts_legal_walks() {
+        let q = TraceQuery::new(vec![
+            rec(0, opened("c1")),
+            rec(1, half_open("c1")),
+            rec(2, opened("c1")), // failed probe reopens
+            rec(3, half_open("c1")),
+            rec(4, closed("c1")),
+            rec(5, opened("c2")), // independent containers
+        ]);
+        q.assert_breaker_discipline();
+    }
+
+    #[test]
+    fn breaker_discipline_rejects_skipped_states() {
+        // closed straight from open (no half-open probe) is illegal.
+        let bad = TraceQuery::new(vec![rec(0, opened("c1")), rec(1, closed("c1"))]);
+        match bad.check_breaker_discipline() {
+            Err(TraceViolation::IllegalBreakerTransition {
+                container,
+                from,
+                to,
+                seq,
+            }) => {
+                assert_eq!(
+                    (container.as_str(), from.as_str(), to.as_str()),
+                    ("c1", "open", "closed")
+                );
+                assert_eq!(seq, 1);
+            }
+            other => panic!("expected IllegalBreakerTransition, got {other:?}"),
+        }
+        // half_open without a preceding open is illegal too…
+        let bad = TraceQuery::new(vec![rec(0, half_open("c1"))]);
+        assert!(bad.check_breaker_discipline().is_err());
+        // …unless a crash wiped the trace-visible state first.
+        let crashed = TraceQuery::new(vec![
+            rec(
+                0,
+                TraceEvent::CoordinatorCrashed {
+                    after_checkpoints: 0,
+                },
+            ),
+            rec(1, half_open("c1")),
+        ]);
+        crashed.assert_breaker_discipline();
+    }
+
+    #[test]
+    fn dispatch_while_open_is_caught_and_cleared_by_readmission() {
+        let bad = TraceQuery::new(vec![
+            rec(0, opened("c1")),
+            rec(1, dispatched_on("A1", "c1")),
+        ]);
+        assert!(matches!(
+            bad.check_no_dispatch_while_open(),
+            Err(TraceViolation::DispatchWhileOpen {
+                opened_seq: 0,
+                dispatched_seq: 1,
+                ..
+            })
+        ));
+        let ok = TraceQuery::new(vec![
+            rec(0, opened("c1")),
+            rec(1, dispatched_on("A1", "c2")), // other containers unaffected
+            rec(2, half_open("c1")),
+            rec(3, dispatched_on("A1", "c1")), // probe after readmission
+        ]);
+        ok.assert_no_dispatch_while_open();
+    }
+
+    #[test]
+    fn retry_schedule_and_lease_expiry_counts() {
+        let q = TraceQuery::new(vec![
+            rec(
+                0,
+                TraceEvent::RetryScheduled {
+                    activity: "A1".into(),
+                    service: "svc".into(),
+                    container: "c1".into(),
+                    attempt: 1,
+                    backoff_ticks: 2,
+                    resume_tick: 5,
+                },
+            ),
+            rec(
+                1,
+                TraceEvent::LeaseExpired {
+                    activity: "A1".into(),
+                    container: "c1".into(),
+                    lease_ticks: 30,
+                    took_ticks: 90,
+                },
+            ),
+            rec(
+                2,
+                TraceEvent::RetryScheduled {
+                    activity: "A1".into(),
+                    service: "svc".into(),
+                    container: "c1".into(),
+                    attempt: 2,
+                    backoff_ticks: 4,
+                    resume_tick: 99,
+                },
+            ),
+        ]);
+        assert_eq!(q.retry_schedule_count("A1"), 2);
+        assert_eq!(q.retry_schedule_count("A2"), 0);
+        assert_eq!(q.lease_expiry_count("A1"), 1);
     }
 
     #[test]

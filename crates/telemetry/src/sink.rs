@@ -324,10 +324,13 @@ mod tests {
     fn jsonl_round_trips_and_fingerprints_match() {
         let log = TraceLog::new();
         log.emit("t", msg(7));
-        log.emit("t", TraceEvent::Custom {
-            label: "note".into(),
-            detail: "hello".into(),
-        });
+        log.emit(
+            "t",
+            TraceEvent::Custom {
+                label: "note".into(),
+                detail: "hello".into(),
+            },
+        );
         let dump = log.to_jsonl();
         assert_eq!(dump.lines().count(), 2);
         let back = TraceLog::from_jsonl(&dump).unwrap();

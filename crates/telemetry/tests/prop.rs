@@ -10,21 +10,32 @@ fn name() -> impl Strategy<Value = String> {
 
 fn event() -> impl Strategy<Value = TraceEvent> {
     prop_oneof![
-        (any::<u64>(), name(), name(), name(), any::<bool>(), any::<u64>()).prop_map(
-            |(id, performative, sender, receiver, has_reply, reply_id)| TraceEvent::MessageSent {
+        (
+            any::<u64>(),
+            name(),
+            name(),
+            name(),
+            any::<bool>(),
+            any::<u64>()
+        )
+            .prop_map(
+                |(id, performative, sender, receiver, has_reply, reply_id)| {
+                    TraceEvent::MessageSent {
+                        id,
+                        performative,
+                        sender,
+                        receiver,
+                        in_reply_to: has_reply.then_some(reply_id),
+                    }
+                }
+            ),
+        (any::<u64>(), name(), name()).prop_map(|(id, sender, receiver)| {
+            TraceEvent::MessageDropped {
                 id,
-                performative,
                 sender,
                 receiver,
-                in_reply_to: has_reply.then_some(reply_id),
             }
-        ),
-        (any::<u64>(), name(), name())
-            .prop_map(|(id, sender, receiver)| TraceEvent::MessageDropped {
-                id,
-                sender,
-                receiver
-            }),
+        }),
         (any::<u64>(), name(), name(), any::<u64>()).prop_map(
             |(id, sender, receiver, until_tick)| TraceEvent::MessageDelayed {
                 id,
@@ -33,14 +44,14 @@ fn event() -> impl Strategy<Value = TraceEvent> {
                 until_tick,
             }
         ),
-        (name(), name(), name(), 0usize..8).prop_map(
-            |(activity, service, container, attempt)| TraceEvent::ActivityDispatched {
+        (name(), name(), name(), 0usize..8).prop_map(|(activity, service, container, attempt)| {
+            TraceEvent::ActivityDispatched {
                 activity,
                 service,
                 container,
                 attempt,
             }
-        ),
+        }),
         (name(), name(), name(), 0.0f64..1.0e4, 0.0f64..1.0e4).prop_map(
             |(activity, service, container, duration_s, cost)| TraceEvent::ActivityCompleted {
                 activity,
@@ -54,14 +65,20 @@ fn event() -> impl Strategy<Value = TraceEvent> {
         (0usize..16, 0usize..16).prop_map(|(index, executions)| {
             TraceEvent::CheckpointCaptured { index, executions }
         }),
-        (name(), name(), prop::collection::vec(name(), 0..3), 1usize..4).prop_map(
-            |(activity, service, excluded, round)| TraceEvent::ReplanTriggered {
-                activity,
-                service,
-                excluded,
-                round,
-            }
-        ),
+        (
+            name(),
+            name(),
+            prop::collection::vec(name(), 0..3),
+            1usize..4
+        )
+            .prop_map(
+                |(activity, service, excluded, round)| TraceEvent::ReplanTriggered {
+                    activity,
+                    service,
+                    excluded,
+                    round,
+                }
+            ),
         (any::<bool>(), any::<bool>()).prop_map(|(success, has_reason)| {
             TraceEvent::EnactmentFinished {
                 success,

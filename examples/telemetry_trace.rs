@@ -32,10 +32,7 @@ fn main() {
     // --- Replay: identical seeds ⇒ byte-identical event logs -----------
     let (_, replay) = run_scenario_traced(&plan, &workload);
     assert_eq!(log.to_jsonl(), replay.to_jsonl());
-    println!(
-        "replay JSONL identical ✓ ({} bytes)",
-        log.to_jsonl().len()
-    );
+    println!("replay JSONL identical ✓ ({} bytes)", log.to_jsonl().len());
 
     // --- A window into the log -----------------------------------------
     println!("\nfirst events:");

@@ -20,7 +20,9 @@
 //!    enactment report's own accounting.
 
 use gridflow_agents::{AgentError, AgentRuntime};
-use gridflow_harness::workload::{dinner_replan_workload, dinner_workload};
+use gridflow_harness::workload::{
+    dinner_recovery_workload, dinner_replan_workload, dinner_workload,
+};
 use gridflow_harness::{
     outcome_fingerprint, run_scenario, run_scenario_traced, run_scenario_with_budget_traced,
     FaultPlan, FaultyTransport, MetricsRegistry, TraceEvent, TraceHandle, TraceLog, TraceQuery,
@@ -225,8 +227,7 @@ fn retry_counts_match_the_report_accounting() {
     let plan = FaultPlan::seeded(4).failing_activities(0.35);
     let wl = dinner_workload();
     let log = TraceLog::new();
-    let outcome =
-        run_scenario_with_budget_traced(&plan, &wl, 0, TraceHandle::from(log.clone()));
+    let outcome = run_scenario_with_budget_traced(&plan, &wl, 0, TraceHandle::from(log.clone()));
     let report = outcome.final_report();
     let q = query(&log);
     for activity in dispatched_activities(&q) {
@@ -304,6 +305,56 @@ fn replanning_emits_generations_and_causally_ordered_replan_events() {
         "viable plan installed",
         |e| matches!(e, TraceEvent::ReplanInstalled { viable: true }),
     );
+    q.assert_no_double_dispatch();
+}
+
+#[test]
+fn recovery_events_satisfy_breaker_and_lease_discipline() {
+    // One slow `prep` host, no other faults: the escalation ladder
+    // leases out all three tries on the slow container, opens its
+    // breaker, and fails over — and the trace must show exactly that.
+    let plan = FaultPlan::seeded(3).slowing_container("ac-h1", 50.0);
+    let (outcome, log) = run_scenario_traced(&plan, &dinner_recovery_workload());
+    assert!(outcome.completed);
+    let q = query(&log);
+
+    // Three leases granted and expired on the slow host, with a retry
+    // scheduled between consecutive tries.
+    assert_eq!(q.lease_expiry_count("prep"), 3);
+    assert_eq!(q.retry_schedule_count("prep"), 2);
+    assert!(q.count(|e| matches!(e, TraceEvent::LeaseGranted { .. })) >= 4);
+
+    // The breaker opens exactly once, for the slow container only.
+    assert_eq!(
+        q.count(|e| matches!(
+            e,
+            TraceEvent::BreakerOpened { container, .. } if container == "ac-h1"
+        )),
+        1
+    );
+    assert_eq!(
+        q.count(|e| matches!(e, TraceEvent::BreakerOpened { .. })),
+        1
+    );
+
+    // Causality: the first lease expiry precedes the breaker opening,
+    // which precedes the successful finish on the healthy host.
+    q.assert_happens_before(
+        "first lease expiry",
+        |e| matches!(e, TraceEvent::LeaseExpired { .. }),
+        "breaker opens",
+        |e| matches!(e, TraceEvent::BreakerOpened { .. }),
+    );
+    q.assert_happens_before(
+        "breaker opens",
+        |e| matches!(e, TraceEvent::BreakerOpened { .. }),
+        "successful finish",
+        |e| matches!(e, TraceEvent::EnactmentFinished { success: true, .. }),
+    );
+
+    // And the quarantine invariants hold on the whole trace.
+    q.assert_breaker_discipline();
+    q.assert_no_dispatch_while_open();
     q.assert_no_double_dispatch();
 }
 
