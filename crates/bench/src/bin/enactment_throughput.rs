@@ -1,0 +1,129 @@
+//! **Engine throughput — concurrent multi-case enactment.**
+//!
+//! Drive fleets of N ∈ {1, 8, 64, 512} dinner cases through the
+//! `gridflow-engine` scheduler over one shared world and report
+//! cases/sec (wall clock) plus the p50/p99 virtual-tick makespan per
+//! case.  Results land in `BENCH_enactment.json` in the working
+//! directory.
+//!
+//! ```sh
+//! cargo run --release --bin enactment_throughput
+//! cargo run --release --bin enactment_throughput -- --max-cases 64   # CI smoke
+//! ```
+
+use gridflow_bench::{banner, render_table};
+use gridflow_engine::{CaseScheduler, CaseSpec, EngineConfig};
+use gridflow_harness::workload::{dinner_case_for_fleet, dinner_workload};
+use gridflow_harness::FaultPlan;
+use serde_json::json;
+use std::time::Instant;
+
+const FLEET_SIZES: [usize; 4] = [1, 8, 64, 512];
+
+fn percentile_ticks(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (pct / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let max_cases = args
+        .iter()
+        .position(|a| a == "--max-cases")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(usize::MAX);
+
+    banner("engine throughput: concurrent multi-case enactment");
+    let wl = dinner_workload();
+    let plan = FaultPlan::default();
+
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for &fleet in FLEET_SIZES.iter().filter(|&&n| n <= max_cases) {
+        let mut scheduler = CaseScheduler::new(EngineConfig {
+            max_in_flight: 64,
+            ..EngineConfig::default()
+        });
+        // The shared world's fresh-id counter is fleet-global, so the
+        // goal range must be sized to the fleet.
+        let case = dinner_case_for_fleet(fleet);
+        for i in 0..fleet {
+            scheduler.submit(CaseSpec {
+                label: format!("dinner-{i}"),
+                graph: wl.graph.clone(),
+                case: case.clone(),
+                config: wl.config.clone(),
+            });
+        }
+        let mut world = wl.fresh_world(&plan, 0);
+        let start = Instant::now();
+        let outcome = scheduler.run(&mut world);
+        let wall = start.elapsed();
+
+        let mut makespans: Vec<u64> = outcome.cases.iter().map(|c| c.makespan_ticks()).collect();
+        makespans.sort_unstable();
+        let p50 = percentile_ticks(&makespans, 50.0);
+        let p99 = percentile_ticks(&makespans, 99.0);
+        let blocked: u64 = outcome.cases.iter().map(|c| c.blocked_ticks).sum();
+        let secs = wall.as_secs_f64().max(1e-9);
+        let cases_per_sec = fleet as f64 / secs;
+        assert!(
+            outcome.all_succeeded(),
+            "fleet of {fleet} did not fully succeed"
+        );
+
+        rows.push(vec![
+            fleet.to_string(),
+            outcome.ticks.to_string(),
+            format!("{:.1}", wall.as_secs_f64() * 1e3),
+            format!("{cases_per_sec:.0}"),
+            p50.to_string(),
+            p99.to_string(),
+            blocked.to_string(),
+        ]);
+        results.push(json!({
+            "cases": fleet,
+            "ticks": outcome.ticks,
+            "wall_ms": wall.as_secs_f64() * 1e3,
+            "cases_per_sec": cases_per_sec,
+            "p50_makespan_ticks": p50,
+            "p99_makespan_ticks": p99,
+            "blocked_ticks_total": blocked,
+            "all_succeeded": true,
+        }));
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &[
+                "cases",
+                "ticks",
+                "wall ms",
+                "cases/s",
+                "p50 makespan",
+                "p99 makespan",
+                "blocked ticks",
+            ],
+            &rows,
+        )
+    );
+
+    let report = json!({
+        "bench": "enactment_throughput",
+        "workload": wl.name,
+        "engine": {"workers": 1, "max_in_flight": 64, "enforce_reservations": true},
+        "results": results,
+    });
+    let path = "BENCH_enactment.json";
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&report).expect("serializes"),
+    )
+    .expect("write BENCH_enactment.json");
+    println!("wrote {path}");
+}

@@ -41,7 +41,7 @@ fn run_policy(
             },
             ..EnactmentConfig::default()
         };
-        let report = Enactor::new(config).enact(
+        let report = Enactor::builder().config(config).build().enact(
             &mut world,
             &casestudy::process_description(),
             &casestudy::case_description(),

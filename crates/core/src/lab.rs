@@ -65,7 +65,10 @@ impl VirtualLab {
     /// Enact a process description under the CD-3DSD case.
     pub fn enact(&mut self, graph: &ProcessGraph) -> EnactmentReport {
         let case = self.case();
-        Enactor::new(self.enactment.clone()).enact(&mut self.world, graph, &case)
+        Enactor::builder()
+            .config(self.enactment.clone())
+            .build()
+            .enact(&mut self.world, graph, &case)
     }
 
     /// Plan, then enact the result (the coordination service's `solve`).

@@ -1,0 +1,30 @@
+//! Concurrent multi-case enactment for the GridFlow stack.
+//!
+//! The paper's coordination services "act as proxies for the end-user"
+//! — plural: a grid hosts many end-users at once, so many cases enact
+//! concurrently over the *same* containers, competing for the same
+//! capacity.  The seed repo's [`gridflow_services::Enactor`] drives one
+//! case to completion; this crate adds the missing layer above it.
+//!
+//! [`CaseScheduler`] interleaves N resumable
+//! [`gridflow_services::CaseFiber`]s over one shared
+//! [`gridflow_services::GridWorld`] in discrete *virtual ticks*.  Each
+//! tick every live case advances by at most one activity; tick-scoped
+//! container reservations arbitrate contention (a case that finds every
+//! candidate reserved is *blocked*, not failed, and retries next tick);
+//! admission control re-uses the matchmaking service to refuse cases no
+//! live container can serve.
+//!
+//! Determinism is the design constraint, not an afterthought: the
+//! scheduler is logically single-threaded, cases step in a canonical
+//! rotated order that is a pure function of the tick, and the
+//! [`EngineConfig::workers`] knob only changes how the already-ordered
+//! step list is chunked.  A given seed therefore produces a
+//! byte-identical merged JSONL trace regardless of worker count — the
+//! invariant the engine conformance suite pins.
+
+#![warn(missing_docs)]
+
+pub mod scheduler;
+
+pub use scheduler::{CaseOutcome, CaseScheduler, CaseSpec, EngineConfig, EngineOutcome};

@@ -1,0 +1,380 @@
+//! The tick scheduler: admission, rotation-fair stepping, tick-scoped
+//! reservations, and per-case scoped tracing.
+
+use gridflow_process::{ActivityKind, CaseDescription, ProcessGraph};
+use gridflow_services::matchmaking::{matchmake, MatchRequest};
+use gridflow_services::{CaseFiber, EnactmentConfig, EnactmentReport, FiberStatus, GridWorld};
+use gridflow_telemetry::{ScopedSink, TraceEvent, TraceHandle, TraceSink};
+use std::sync::Arc;
+
+/// Scheduler knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// How many workers the per-tick step list is chunked across.
+    ///
+    /// Stepping is logically single-threaded and the chunking is
+    /// order-preserving, so this knob **cannot** change the merged
+    /// trace: a seed yields byte-identical JSONL for any worker count.
+    pub workers: usize,
+    /// Cases enacting at once; the rest wait in the admission queue.
+    pub max_in_flight: usize,
+    /// Turn on the world's tick-scoped reservation protocol for the
+    /// run, so concurrent cases contend for container capacity instead
+    /// of double-booking it.  The world's previous setting is restored
+    /// when the run ends.
+    pub enforce_reservations: bool,
+    /// Abort every still-running case once this many ticks have
+    /// elapsed — the engine's defense against a live-locked schedule.
+    pub max_ticks: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 1,
+            max_in_flight: 16,
+            enforce_reservations: true,
+            max_ticks: 100_000,
+        }
+    }
+}
+
+/// One case submitted to the scheduler.
+#[derive(Debug, Clone)]
+pub struct CaseSpec {
+    /// Unique name for the case; tags its trace events and reservation
+    /// holds.  Submitting two cases with one label makes their
+    /// reservation holds indistinguishable — keep labels unique.
+    pub label: String,
+    /// The workflow to enact.
+    pub graph: ProcessGraph,
+    /// The case description (initial data, goals, constraints).
+    pub case: CaseDescription,
+    /// Per-case enactment configuration (recovery ladder included).
+    pub config: EnactmentConfig,
+}
+
+/// What became of one submitted case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseOutcome {
+    /// The case's label, as submitted.
+    pub label: String,
+    /// The sealed enactment report.
+    pub report: EnactmentReport,
+    /// Tick at which the case was admitted; `None` if admission
+    /// refused it (no live container could serve it).
+    pub admitted_tick: Option<u64>,
+    /// Tick at which the case finished (or was refused/aborted).
+    pub finished_tick: u64,
+    /// Ticks the case spent blocked on reserved-away containers.
+    pub blocked_ticks: u64,
+}
+
+impl CaseOutcome {
+    /// Virtual-tick makespan: admission to finish, inclusive of the
+    /// finishing tick.  Zero for refused cases.
+    pub fn makespan_ticks(&self) -> u64 {
+        match self.admitted_tick {
+            Some(t) => self.finished_tick.saturating_sub(t) + 1,
+            None => 0,
+        }
+    }
+}
+
+/// The whole run's result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineOutcome {
+    /// One outcome per submitted case, in submission order.
+    pub cases: Vec<CaseOutcome>,
+    /// Ticks the schedule took overall.
+    pub ticks: u64,
+}
+
+impl EngineOutcome {
+    /// Did every admitted case succeed?
+    pub fn all_succeeded(&self) -> bool {
+        self.cases.iter().all(|c| c.report.success)
+    }
+}
+
+/// A fiber the scheduler is driving, with its accounting.
+struct Slot {
+    index: usize,
+    fiber: CaseFiber,
+    admitted_tick: u64,
+    blocked_ticks: u64,
+}
+
+/// The multi-case enactment engine.
+///
+/// Submit cases with [`CaseScheduler::submit`], then [`run`] them to
+/// completion over a shared world.  Admission is FIFO in submission
+/// order; each tick admits waiting cases up to
+/// [`EngineConfig::max_in_flight`], steps every live case once in a
+/// rotated canonical order (rotation index = tick mod live cases, so no
+/// case monopolizes first pick of the tick's capacity), then releases
+/// all tick-scoped reservations.
+///
+/// [`run`]: CaseScheduler::run
+pub struct CaseScheduler {
+    config: EngineConfig,
+    trace: TraceHandle,
+    sink: Option<Arc<dyn TraceSink>>,
+    pending: Vec<CaseSpec>,
+}
+
+impl std::fmt::Debug for CaseScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CaseScheduler")
+            .field("config", &self.config)
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+impl CaseScheduler {
+    /// An empty scheduler (no tracing).
+    pub fn new(config: EngineConfig) -> Self {
+        CaseScheduler {
+            config,
+            trace: TraceHandle::none(),
+            sink: None,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Record the run into `sink`.  Engine events carry source
+    /// `engine`; each case's enactor events are prefixed
+    /// `case:<label>/`, so one merged log holds every case's story and
+    /// [`gridflow_telemetry::TraceQuery`] can check cross-case
+    /// invariants such as no-double-booking.
+    pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = TraceHandle::from(sink.clone());
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Queue a case for admission.  Order of submission is the FIFO
+    /// admission order and the canonical base order for stepping.
+    pub fn submit(&mut self, spec: CaseSpec) {
+        self.pending.push(spec);
+    }
+
+    /// Enact every submitted case to completion.
+    pub fn run(&mut self, world: &mut GridWorld) -> EngineOutcome {
+        self.run_with(world, |_, _| {})
+    }
+
+    /// Like [`run`](CaseScheduler::run), with a hook called at the top
+    /// of every tick (after `TickStarted`, before admission) — the seam
+    /// the harness uses to inject mid-schedule faults such as node
+    /// loss.
+    pub fn run_with(
+        &mut self,
+        world: &mut GridWorld,
+        mut on_tick: impl FnMut(u64, &mut GridWorld),
+    ) -> EngineOutcome {
+        let reservations_before = world.reservations_enabled();
+        world.enable_reservations(self.config.enforce_reservations);
+
+        let specs = std::mem::take(&mut self.pending);
+        let mut waiting: std::collections::VecDeque<(usize, CaseSpec)> =
+            specs.into_iter().enumerate().collect();
+        let mut live: Vec<Slot> = Vec::new();
+        let mut finished: Vec<(usize, CaseOutcome)> = Vec::new();
+        let mut tick: u64 = 0;
+
+        loop {
+            self.trace.emit("engine", TraceEvent::TickStarted { tick });
+            on_tick(tick, world);
+
+            // FIFO admission, gated on matchmaking: a case none of the
+            // live containers can serve is refused outright instead of
+            // failing activity-by-activity later.
+            while live.len() < self.config.max_in_flight.max(1) {
+                let Some((index, spec)) = waiting.pop_front() else {
+                    break;
+                };
+                match self.admission_gap(world, &spec.graph) {
+                    None => {
+                        self.trace.emit(
+                            "engine",
+                            TraceEvent::CaseAdmitted {
+                                case: spec.label.clone(),
+                                tick,
+                            },
+                        );
+                        let fiber = self.spawn_fiber(&spec);
+                        live.push(Slot {
+                            index,
+                            fiber,
+                            admitted_tick: tick,
+                            blocked_ticks: 0,
+                        });
+                    }
+                    Some(reason) => {
+                        self.trace.emit(
+                            "engine",
+                            TraceEvent::CaseRejected {
+                                case: spec.label.clone(),
+                                reason: reason.clone(),
+                            },
+                        );
+                        let mut fiber = self.spawn_fiber(&spec);
+                        fiber.abort(format!("admission refused: {reason}"));
+                        finished.push((
+                            index,
+                            CaseOutcome {
+                                label: spec.label.clone(),
+                                report: fiber.into_report(),
+                                admitted_tick: None,
+                                finished_tick: tick,
+                                blocked_ticks: 0,
+                            },
+                        ));
+                    }
+                }
+            }
+
+            if live.is_empty() && waiting.is_empty() {
+                break;
+            }
+
+            // Step every live case once, in canonical order rotated by
+            // the tick so first pick of the tick's capacity circulates.
+            // `workers` only chunks this already-ordered list — the
+            // chunking is order-preserving, so the merged trace cannot
+            // depend on it.
+            let n = live.len();
+            let rotation = (tick as usize) % n.max(1);
+            let order: Vec<usize> = (0..n).map(|i| (i + rotation) % n).collect();
+            let chunk = n.div_ceil(self.config.workers.max(1));
+            let mut done: Vec<usize> = Vec::new();
+            for worker_share in order.chunks(chunk.max(1)) {
+                for &slot_idx in worker_share {
+                    let slot = &mut live[slot_idx];
+                    match slot.fiber.step(world) {
+                        FiberStatus::Progressed => {}
+                        FiberStatus::Blocked { .. } => slot.blocked_ticks += 1,
+                        FiberStatus::Finished => done.push(slot_idx),
+                    }
+                }
+            }
+
+            // Retire finished cases (highest slot first so removals
+            // don't shift pending indices).
+            done.sort_unstable();
+            for &slot_idx in done.iter().rev() {
+                let slot = live.remove(slot_idx);
+                self.trace.emit(
+                    "engine",
+                    TraceEvent::CaseCompleted {
+                        case: slot.fiber.label().to_owned(),
+                        success: slot.fiber.report().success,
+                    },
+                );
+                finished.push((
+                    slot.index,
+                    CaseOutcome {
+                        label: slot.fiber.label().to_owned(),
+                        report: slot.fiber.into_report(),
+                        admitted_tick: Some(slot.admitted_tick),
+                        finished_tick: tick,
+                        blocked_ticks: slot.blocked_ticks,
+                    },
+                ));
+            }
+
+            // Reservations are tick-scoped: release every hold, in
+            // deterministic (container, holder) order.
+            for (container, holders) in world.drain_reservations() {
+                for case in holders {
+                    self.trace.emit(
+                        "engine",
+                        TraceEvent::SlotReleased {
+                            case,
+                            container: container.clone(),
+                        },
+                    );
+                }
+            }
+
+            tick += 1;
+            if tick >= self.config.max_ticks {
+                for mut slot in live.drain(..) {
+                    slot.fiber.abort(format!(
+                        "engine tick budget exhausted after {} ticks",
+                        self.config.max_ticks
+                    ));
+                    self.trace.emit(
+                        "engine",
+                        TraceEvent::CaseCompleted {
+                            case: slot.fiber.label().to_owned(),
+                            success: false,
+                        },
+                    );
+                    finished.push((
+                        slot.index,
+                        CaseOutcome {
+                            label: slot.fiber.label().to_owned(),
+                            report: slot.fiber.into_report(),
+                            admitted_tick: Some(slot.admitted_tick),
+                            finished_tick: tick,
+                            blocked_ticks: slot.blocked_ticks,
+                        },
+                    ));
+                }
+                waiting.clear();
+                break;
+            }
+        }
+
+        world.enable_reservations(reservations_before);
+        finished.sort_by_key(|(index, _)| *index);
+        EngineOutcome {
+            cases: finished.into_iter().map(|(_, c)| c).collect(),
+            ticks: tick.max(1),
+        }
+    }
+
+    /// `None` when matchmaking can place every end-user service of
+    /// `graph` on a live container; otherwise the first gap found.
+    fn admission_gap(&self, world: &GridWorld, graph: &ProcessGraph) -> Option<String> {
+        for a in graph
+            .activities()
+            .iter()
+            .filter(|a| a.kind == ActivityKind::EndUser)
+        {
+            let service = a.service.clone().unwrap_or_else(|| a.id.clone());
+            match matchmake(world, &MatchRequest::for_service(&service)) {
+                Ok(candidates) if !candidates.is_empty() => {}
+                Ok(_) => {
+                    return Some(format!(
+                        "no live candidate container for service `{service}`"
+                    ))
+                }
+                Err(e) => return Some(e.to_string()),
+            }
+        }
+        None
+    }
+
+    /// A fiber whose trace events are scoped `case:<label>/…` in the
+    /// merged log (no-op when the scheduler is untraced).
+    fn spawn_fiber(&self, spec: &CaseSpec) -> CaseFiber {
+        let trace = match &self.sink {
+            Some(sink) => TraceHandle::from(Arc::new(ScopedSink::new(
+                format!("case:{}", spec.label),
+                sink.clone(),
+            )) as Arc<dyn TraceSink>),
+            None => TraceHandle::none(),
+        };
+        CaseFiber::new(
+            spec.config.clone(),
+            trace,
+            &spec.graph,
+            &spec.case,
+            spec.label.clone(),
+        )
+    }
+}

@@ -29,10 +29,12 @@
 //! produce different fault schedules ([`FaultyTransport::schedule`]).
 //!
 //! Every layer also mirrors what it does into the telemetry crate:
-//! [`run_scenario_traced`] returns a [`TraceLog`] whose JSONL dump is
+//! [`Scenario::traced`] returns a [`TraceLog`] whose JSONL dump is
 //! itself byte-identical across replays, and [`TraceQuery`] turns that
 //! log into conformance assertions (no double dispatch, drops resolved,
-//! happens-before).
+//! happens-before).  [`multi::MultiCaseScenario`] lifts the same
+//! machinery to N concurrent cases driven by the
+//! `gridflow-engine` scheduler over one shared world.
 //!
 //! ```
 //! use gridflow_harness::{run_scenario, outcome_fingerprint, FaultPlan};
@@ -52,20 +54,23 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod multi;
 pub mod plan;
 pub mod runner;
 pub mod transport;
 pub mod workload;
 
 pub use clock::VirtualClock;
+pub use multi::MultiCaseScenario;
 pub use plan::{FaultAction, FaultEvent, FaultPlan, FaultSchedule, NodeLoss, Slowdown};
 pub use runner::{
     execution_counts, is_execution_prefix, outcome_fingerprint, report_fingerprint, run_scenario,
-    run_scenario_traced, run_scenario_with_budget, run_scenario_with_budget_traced,
-    ScenarioOutcome,
+    Scenario, ScenarioOutcome,
 };
+#[allow(deprecated)]
+pub use runner::{run_scenario_traced, run_scenario_with_budget, run_scenario_with_budget_traced};
 pub use transport::FaultyTransport;
-pub use workload::Workload;
+pub use workload::{dinner_workload, Workload};
 
 // The telemetry surface tests lean on, re-exported so harness consumers
 // need only one crate in scope.

@@ -1,0 +1,186 @@
+//! Multi-case scenarios: N concurrent enactments of one workload over
+//! one shared world, driven by the `gridflow-engine` scheduler under a
+//! seeded [`FaultPlan`].
+//!
+//! This is the engine's half of the determinism bargain: the fault plan
+//! scripts *what* goes wrong (node losses keyed to the shared world's
+//! execution count, Bernoulli activity failures from the world seed)
+//! and the scheduler fixes *when* each case may act, so the merged
+//! trace of the whole fleet is a pure function of `(plan, workload,
+//! case count)` — and provably independent of the worker count.
+
+use crate::clock::VirtualClock;
+use crate::plan::FaultPlan;
+use crate::workload::Workload;
+use gridflow_engine::{CaseOutcome, CaseScheduler, CaseSpec, EngineConfig, EngineOutcome};
+use gridflow_telemetry::{TraceEvent, TraceHandle, TraceLog, TraceSink};
+use std::sync::Arc;
+
+/// The record of one multi-case run.
+#[derive(Debug, Clone)]
+pub struct MultiCaseOutcome {
+    /// The engine's verdict: one [`CaseOutcome`] per case, in
+    /// submission order, plus the tick count.
+    pub engine: EngineOutcome,
+    /// The merged event log (engine events under source `engine`, each
+    /// case's under `case:<label>/…`), when tracing was requested.
+    pub trace: Option<TraceLog>,
+}
+
+impl MultiCaseOutcome {
+    /// One case's outcome by label.
+    pub fn case(&self, label: &str) -> Option<&CaseOutcome> {
+        self.engine.cases.iter().find(|c| c.label == label)
+    }
+}
+
+/// N concurrent copies of a workload's case, enacted over one shared
+/// world built from the workload's fault plan.
+///
+/// Case `i` is labelled `<workload name>-<i>`; labels are the
+/// scheduler's canonical order, its reservation-hold owners, and the
+/// per-case trace scopes.
+#[derive(Debug, Clone)]
+pub struct MultiCaseScenario<'a> {
+    plan: &'a FaultPlan,
+    workload: &'a Workload,
+    cases: usize,
+    config: EngineConfig,
+    traced: bool,
+}
+
+impl<'a> MultiCaseScenario<'a> {
+    /// `cases` concurrent copies of `workload` under `plan`, with the
+    /// default [`EngineConfig`] and no tracing.
+    pub fn new(plan: &'a FaultPlan, workload: &'a Workload, cases: usize) -> Self {
+        MultiCaseScenario {
+            plan,
+            workload,
+            cases,
+            config: EngineConfig::default(),
+            traced: false,
+        }
+    }
+
+    /// Chunk each tick's step list across `workers` (cannot change the
+    /// merged trace — that invariance is the point).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Cap concurrently-enacting cases; the rest queue for admission.
+    pub fn max_in_flight(mut self, cap: usize) -> Self {
+        self.config.max_in_flight = cap;
+        self
+    }
+
+    /// Replace the whole engine configuration.
+    pub fn engine_config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Record the merged run into a fresh [`TraceLog`] stamped by a
+    /// [`VirtualClock`], returned in [`MultiCaseOutcome::trace`].
+    pub fn traced(mut self) -> Self {
+        self.traced = true;
+        self
+    }
+
+    /// Drive every case to completion.
+    ///
+    /// Scripted node losses fire at the top of the tick on which the
+    /// shared world's execution count reaches their threshold — a loss
+    /// at `after_executions: k` lands between cases, never inside one
+    /// activity, exactly as the single-case runner stages it between
+    /// enactment steps.
+    pub fn run(self) -> MultiCaseOutcome {
+        let log = self
+            .traced
+            .then(|| TraceLog::with_clock(Arc::new(VirtualClock::new())));
+        let mut scheduler = CaseScheduler::new(self.config);
+        let runner_trace = match &log {
+            Some(log) => {
+                scheduler = scheduler.trace(Arc::new(log.clone()) as Arc<dyn TraceSink>);
+                TraceHandle::from(log.clone())
+            }
+            None => TraceHandle::none(),
+        };
+        for i in 0..self.cases {
+            scheduler.submit(CaseSpec {
+                label: format!("{}-{i}", self.workload.name),
+                graph: self.workload.graph.clone(),
+                case: self.workload.case.clone(),
+                config: self.workload.config.clone(),
+            });
+        }
+        let mut world = self.workload.fresh_world(self.plan, 0);
+        let plan = self.plan;
+        let engine = scheduler.run_with(&mut world, |_tick, world| {
+            for loss in &plan.node_loss {
+                if loss.after_executions <= world.history.len() {
+                    let was_up = world
+                        .topology
+                        .container(&loss.container)
+                        .map(|c| c.up)
+                        .unwrap_or(false);
+                    let _ = world.set_container_up(&loss.container, false);
+                    if was_up {
+                        runner_trace.emit(
+                            "runner",
+                            TraceEvent::NodeLost {
+                                container: loss.container.clone(),
+                                after_executions: loss.after_executions,
+                            },
+                        );
+                    }
+                }
+            }
+        });
+        MultiCaseOutcome { engine, trace: log }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::dinner_workload;
+
+    #[test]
+    fn a_fleet_of_clean_cases_all_succeed() {
+        let outcome = MultiCaseScenario::new(&FaultPlan::default(), &dinner_workload(), 3).run();
+        assert_eq!(outcome.engine.cases.len(), 3);
+        assert!(outcome.engine.all_succeeded());
+        // Labels are unique and ordered.
+        let labels: Vec<&str> = outcome
+            .engine
+            .cases
+            .iter()
+            .map(|c| c.label.as_str())
+            .collect();
+        assert_eq!(labels, ["dinner-0", "dinner-1", "dinner-2"]);
+        // Interleaving three cases cannot take fewer ticks than the
+        // longest single case.
+        assert!(outcome.engine.ticks >= 4, "ticks: {}", outcome.engine.ticks);
+    }
+
+    #[test]
+    fn traced_fleets_tag_every_case_event_with_its_scope() {
+        let outcome = MultiCaseScenario::new(&FaultPlan::default(), &dinner_workload(), 2)
+            .traced()
+            .run();
+        let log = outcome.trace.expect("traced run keeps its log");
+        let records = log.records();
+        assert!(records
+            .iter()
+            .any(|r| r.source.starts_with("case:dinner-0/")));
+        assert!(records
+            .iter()
+            .any(|r| r.source.starts_with("case:dinner-1/")));
+        // Engine events are unscoped.
+        assert!(records
+            .iter()
+            .any(|r| r.source == "engine" && r.event.label() == "engine.tick"));
+    }
+}

@@ -13,6 +13,7 @@
 use crate::clock::VirtualClock;
 use crate::plan::FaultPlan;
 use crate::workload::Workload;
+use gridflow_recovery::RecoveryPolicy;
 use gridflow_services::coordination::{EnactmentCheckpoint, EnactmentReport, Enactor};
 use gridflow_services::world::GridWorld;
 use gridflow_telemetry::{TraceEvent, TraceHandle, TraceLog};
@@ -20,7 +21,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// The record of one scenario run: one report per phase.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ScenarioOutcome {
     /// Phase reports, in order (phase 0 first).
     pub reports: Vec<EnactmentReport>,
@@ -32,6 +33,22 @@ pub struct ScenarioOutcome {
     /// phase that makes no progress captures none of its own, but the
     /// one it resumed from is still good).
     pub last_checkpoint: Option<EnactmentCheckpoint>,
+    /// The run's event log, when the scenario asked for one with
+    /// [`Scenario::traced`].  `None` for untraced runs and for runs
+    /// recording into an external handle the caller already holds.
+    pub trace: Option<TraceLog>,
+}
+
+// The trace is a recording *of* the outcome, not part of it: two runs
+// are equal when their phase accounting agrees, whether or not either
+// kept a log.  (This is also what keeps `traced()` a pure observer.)
+impl PartialEq for ScenarioOutcome {
+    fn eq(&self, other: &Self) -> bool {
+        self.reports == other.reports
+            && self.resumes == other.resumes
+            && self.completed == other.completed
+            && self.last_checkpoint == other.last_checkpoint
+    }
 }
 
 impl ScenarioOutcome {
@@ -102,44 +119,167 @@ fn crashed_report(cp: &EnactmentCheckpoint) -> EnactmentReport {
     }
 }
 
+/// How a [`Scenario`] records its run.
+#[derive(Debug, Clone)]
+enum TraceChoice {
+    /// No recording (the default).
+    Off,
+    /// Record into a fresh [`TraceLog`] returned in
+    /// [`ScenarioOutcome::trace`].
+    Fresh,
+    /// Record into a handle the caller already holds.
+    External(TraceHandle),
+}
+
+/// One fault-injection scenario, options and all — the single front
+/// door that used to be four `run_scenario*` free functions.
+///
+/// ```no_run
+/// # use gridflow_harness::{FaultPlan, Scenario, dinner_workload};
+/// let plan = FaultPlan::seeded(11).crashing_after(0);
+/// let outcome = Scenario::new(&plan, &dinner_workload())
+///     .budget(2)
+///     .traced()
+///     .run();
+/// assert!(outcome.completed);
+/// let log = outcome.trace.as_ref().unwrap();
+/// # let _ = log;
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scenario<'a> {
+    plan: &'a FaultPlan,
+    workload: &'a Workload,
+    max_resumes: usize,
+    trace: TraceChoice,
+    recovery: Option<RecoveryPolicy>,
+}
+
+impl<'a> Scenario<'a> {
+    /// A scenario with the default resume budget (4) and no tracing.
+    pub fn new(plan: &'a FaultPlan, workload: &'a Workload) -> Self {
+        Scenario {
+            plan,
+            workload,
+            max_resumes: 4,
+            trace: TraceChoice::Off,
+            recovery: None,
+        }
+    }
+
+    /// Resume failed phases from their latest checkpoint up to
+    /// `max_resumes` times.
+    pub fn budget(mut self, max_resumes: usize) -> Self {
+        self.max_resumes = max_resumes;
+        self
+    }
+
+    /// Record the run into a fresh [`TraceLog`] stamped by a
+    /// [`VirtualClock`] (so `at_s` accumulates simulated execution
+    /// seconds), returned in [`ScenarioOutcome::trace`].
+    ///
+    /// The scenario path is single-threaded and every input is seeded,
+    /// so two runs of the same `(plan, workload)` return logs whose
+    /// [`TraceLog::to_jsonl`] dumps are byte-identical.
+    pub fn traced(mut self) -> Self {
+        self.trace = TraceChoice::Fresh;
+        self
+    }
+
+    /// Record the run into a handle the caller already holds (e.g. a
+    /// [`TraceLog`] shared with other instrumentation).  The outcome's
+    /// `trace` field stays `None` — the caller has the log.
+    pub fn trace_handle(mut self, trace: TraceHandle) -> Self {
+        self.trace = TraceChoice::External(trace);
+        self
+    }
+
+    /// Override the workload's recovery policy for this run.
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
+        self
+    }
+
+    /// Unfold the scenario: phases, faults, crashes and resumes, all
+    /// mirrored into the trace alongside the events the [`Enactor`]
+    /// emits itself.
+    pub fn run(self) -> ScenarioOutcome {
+        let (handle, log) = match self.trace {
+            TraceChoice::Off => (TraceHandle::none(), None),
+            TraceChoice::Fresh => {
+                let log = TraceLog::with_clock(Arc::new(VirtualClock::new()));
+                (TraceHandle::from(log.clone()), Some(log))
+            }
+            TraceChoice::External(handle) => (handle, None),
+        };
+        let workload = match self.recovery {
+            Some(policy) => self.workload.clone().with_recovery(policy),
+            None => self.workload.clone(),
+        };
+        let mut outcome = run_impl(self.plan, &workload, self.max_resumes, handle);
+        outcome.trace = log;
+        outcome
+    }
+}
+
 /// Run a scenario with the default resume budget (4).
+///
+/// Shorthand for `Scenario::new(plan, workload).run()`; reach for
+/// [`Scenario`] when you need options.
 pub fn run_scenario(plan: &FaultPlan, workload: &Workload) -> ScenarioOutcome {
-    run_scenario_with_budget(plan, workload, 4)
+    Scenario::new(plan, workload).run()
 }
 
 /// Run a scenario, resuming failed phases from their latest checkpoint
 /// up to `max_resumes` times.
+#[deprecated(since = "0.5.0", note = "use `Scenario::new(..).budget(..).run()`")]
 pub fn run_scenario_with_budget(
     plan: &FaultPlan,
     workload: &Workload,
     max_resumes: usize,
 ) -> ScenarioOutcome {
-    run_scenario_with_budget_traced(plan, workload, max_resumes, TraceHandle::none())
+    Scenario::new(plan, workload).budget(max_resumes).run()
 }
 
 /// Run a scenario with the default resume budget, recording the full
-/// event trace into a fresh [`TraceLog`] stamped by a [`VirtualClock`]
-/// (so `at_s` accumulates simulated execution seconds).
-///
-/// The scenario path is single-threaded and every input is seeded, so
-/// two runs of the same `(plan, workload)` return logs whose
-/// [`TraceLog::to_jsonl`] dumps are byte-identical.
+/// event trace into a fresh [`TraceLog`].
+#[deprecated(
+    since = "0.5.0",
+    note = "use `Scenario::new(..).traced().run()` and read `outcome.trace`"
+)]
 pub fn run_scenario_traced(plan: &FaultPlan, workload: &Workload) -> (ScenarioOutcome, TraceLog) {
-    let log = TraceLog::with_clock(Arc::new(VirtualClock::new()));
-    let outcome =
-        run_scenario_with_budget_traced(plan, workload, 4, TraceHandle::from(log.clone()));
+    let mut outcome = Scenario::new(plan, workload).traced().run();
+    let log = outcome.trace.take().expect("traced run keeps its log");
     (outcome, log)
 }
 
 /// Run a scenario, mirroring phases, faults, crashes and resumes into
 /// `trace` alongside the events the [`Enactor`] emits itself.
+#[deprecated(
+    since = "0.5.0",
+    note = "use `Scenario::new(..).budget(..).trace_handle(..).run()`"
+)]
 pub fn run_scenario_with_budget_traced(
     plan: &FaultPlan,
     workload: &Workload,
     max_resumes: usize,
     trace: TraceHandle,
 ) -> ScenarioOutcome {
-    let enactor = Enactor::new(workload.config.clone()).with_trace_handle(trace.clone());
+    Scenario::new(plan, workload)
+        .budget(max_resumes)
+        .trace_handle(trace)
+        .run()
+}
+
+fn run_impl(
+    plan: &FaultPlan,
+    workload: &Workload,
+    max_resumes: usize,
+    trace: TraceHandle,
+) -> ScenarioOutcome {
+    let enactor = Enactor::builder()
+        .config(workload.config.clone())
+        .trace_handle(trace.clone())
+        .build();
     let mut phase = 0usize;
     let mut world = workload.fresh_world(plan, phase);
     trace.emit("runner", TraceEvent::PhaseStarted { phase });
@@ -194,6 +334,7 @@ pub fn run_scenario_with_budget_traced(
         resumes,
         reports,
         last_checkpoint: resume_cp,
+        trace: None,
     }
 }
 
@@ -271,7 +412,7 @@ mod tests {
         let plan = FaultPlan::seeded(3)
             .losing_node("ac-h2", 0)
             .losing_node("ac-h3", 0);
-        let outcome = run_scenario_with_budget(&plan, &dinner_workload(), 1);
+        let outcome = Scenario::new(&plan, &dinner_workload()).budget(1).run();
         assert!(!outcome.completed);
         assert!(outcome.is_recoverable());
         assert!(outcome

@@ -139,10 +139,14 @@ pub fn dinner_world() -> GridWorld {
 /// on one *shared* world — each run (and each duplicated request)
 /// consumes three fresh ids, and the goal must still be reachable on
 /// the later runs.
-fn plated_exists() -> Condition {
-    (102..=220)
+fn plated_exists_up_to(last_id: usize) -> Condition {
+    (102..=last_id)
         .map(|i| Condition::classified(format!("D{i}"), "Plated"))
         .fold(Condition::classified("D101", "Plated"), Condition::or)
+}
+
+fn plated_exists() -> Condition {
+    plated_exists_up_to(220)
 }
 
 /// The dinner case: one `Raw` item, goal `Plated`.
@@ -150,6 +154,17 @@ pub fn dinner_case() -> CaseDescription {
     CaseDescription::new("dinner")
         .with_data("D1", DataItem::classified("Raw"))
         .with_goal("G1", plated_exists())
+}
+
+/// A dinner case whose goal range is sized for a fleet of `fleet`
+/// concurrent cases on one shared world.  The world's fresh-id counter
+/// is global, so a fleet of N consumes ~3·N produced ids; the default
+/// [`dinner_case`] goal only ranges up to `D220` and would spuriously
+/// fail for fleets past ~40 cases.
+pub fn dinner_case_for_fleet(fleet: usize) -> CaseDescription {
+    CaseDescription::new("dinner")
+        .with_data("D1", DataItem::classified("Raw"))
+        .with_goal("G1", plated_exists_up_to(100 + 3 * fleet.max(40)))
 }
 
 /// The linear dinner workflow `prep; cook; plate`.
@@ -217,7 +232,10 @@ mod tests {
     fn dinner_happy_path_succeeds() {
         let wl = dinner_workload();
         let mut world = wl.fresh_world(&FaultPlan::default(), 0);
-        let report = Enactor::new(wl.config.clone()).enact(&mut world, &wl.graph, &wl.case);
+        let report = Enactor::builder()
+            .config(wl.config.clone())
+            .build()
+            .enact(&mut world, &wl.graph, &wl.case);
         assert!(report.success, "abort: {:?}", report.abort_reason);
         assert_eq!(report.executions.len(), 3);
         assert_eq!(report.checkpoints.len(), 3);
@@ -263,13 +281,19 @@ mod tests {
         let plan = FaultPlan::seeded(1).slowing_container("ac-h1", 50.0);
         let base = dinner_workload();
         let mut w = base.fresh_world(&plan, 0);
-        let slow = Enactor::new(base.config.clone()).enact(&mut w, &base.graph, &base.case);
+        let slow = Enactor::builder()
+            .config(base.config.clone())
+            .build()
+            .enact(&mut w, &base.graph, &base.case);
         assert!(slow.success);
         assert_eq!(slow.executions[0].container, "ac-h1");
 
         let rec = dinner_recovery_workload();
         let mut w = rec.fresh_world(&plan, 0);
-        let report = Enactor::new(rec.config.clone()).enact(&mut w, &rec.graph, &rec.case);
+        let report = Enactor::builder()
+            .config(rec.config.clone())
+            .build()
+            .enact(&mut w, &rec.graph, &rec.case);
         assert!(report.success, "abort: {:?}", report.abort_reason);
         assert_eq!(report.executions[0].container, "ac-h0");
         assert!(report.failed_attempts.iter().all(|(_, c)| c == "ac-h1"));

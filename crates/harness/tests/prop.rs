@@ -3,8 +3,8 @@
 use gridflow_agents::{AclMessage, Performative, Transport};
 use gridflow_harness::workload::dinner_workload;
 use gridflow_harness::{
-    execution_counts, is_execution_prefix, outcome_fingerprint, run_scenario_with_budget,
-    FaultAction, FaultPlan, FaultyTransport, VirtualClock,
+    execution_counts, is_execution_prefix, outcome_fingerprint, FaultAction, FaultPlan,
+    FaultyTransport, Scenario, VirtualClock,
 };
 use proptest::prelude::*;
 use serde_json::json;
@@ -78,7 +78,7 @@ proptest! {
             plan = plan.crashing_after(k);
         }
         let wl = dinner_workload();
-        let outcome = run_scenario_with_budget(&plan, &wl, 3);
+        let outcome = Scenario::new(&plan, &wl).budget(3).run();
         // 1. Complete-or-resumable, always.
         prop_assert!(outcome.is_recoverable(),
             "unrecoverable: {:?}", outcome.final_report().abort_reason);
@@ -92,7 +92,7 @@ proptest! {
             prop_assert!(counts.values().all(|&c| c == 1), "{:?}", counts);
         }
         // 4. Byte-identical replay.
-        let again = run_scenario_with_budget(&plan, &wl, 3);
+        let again = Scenario::new(&plan, &wl).budget(3).run();
         prop_assert_eq!(outcome_fingerprint(&outcome), outcome_fingerprint(&again));
     }
 

@@ -122,7 +122,10 @@ impl CoordinationAgent {
         case: &CaseDescription,
     ) -> crate::coordination::EnactmentReport {
         let mut world = self.world.write();
-        Enactor::new(self.config.clone()).enact(&mut world, graph, case)
+        Enactor::builder()
+            .config(self.config.clone())
+            .build()
+            .enact(&mut world, graph, case)
     }
 }
 

@@ -140,15 +140,43 @@ pub struct EnactmentCheckpoint {
 }
 
 impl EnactmentCheckpoint {
-    /// Refuse checkpoints written by a newer coordinator.
+    /// Validate the checkpoint before resuming from it.
+    ///
+    /// Collects *every* violation instead of bailing on the first, so a
+    /// single refusal message is enough to diagnose a corrupt
+    /// checkpoint fully; the violations are joined in the
+    /// [`ServiceError::InvalidCheckpoint`] it returns.
     pub fn validate(&self) -> Result<()> {
+        let mut violations = Vec::new();
         if self.version > CHECKPOINT_VERSION {
-            return Err(ServiceError::UnsupportedCheckpoint {
-                found: self.version,
-                supported: CHECKPOINT_VERSION,
-            });
+            violations.push(
+                ServiceError::UnsupportedCheckpoint {
+                    found: self.version,
+                    supported: CHECKPOINT_VERSION,
+                }
+                .to_string(),
+            );
         }
-        Ok(())
+        if self.total_duration_s < 0.0 {
+            violations.push(format!(
+                "total_duration_s is negative ({})",
+                self.total_duration_s
+            ));
+        }
+        if self.total_cost < 0.0 {
+            violations.push(format!("total_cost is negative ({})", self.total_cost));
+        }
+        if self.replans > 0 && self.excluded.is_empty() {
+            violations.push(format!(
+                "{} replan(s) recorded but no services were excluded",
+                self.replans
+            ));
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(ServiceError::InvalidCheckpoint { violations })
+        }
     }
 }
 
@@ -189,17 +217,24 @@ pub struct Enactor {
     trace: TraceHandle,
 }
 
-impl Enactor {
-    /// An enactor with the given configuration.
-    pub fn new(config: EnactmentConfig) -> Self {
-        Enactor {
-            config,
-            trace: TraceHandle::none(),
-        }
+/// Builder for [`Enactor`]: configuration, trace wiring, and recovery
+/// policy in one fluent chain —
+/// `Enactor::builder().config(cfg).trace(sink).recovery(policy).build()`.
+#[derive(Debug, Clone, Default)]
+pub struct EnactorBuilder {
+    config: EnactmentConfig,
+    trace: TraceHandle,
+}
+
+impl EnactorBuilder {
+    /// Replace the whole enactment configuration.
+    pub fn config(mut self, config: EnactmentConfig) -> Self {
+        self.config = config;
+        self
     }
 
     /// Record every enactment event into `sink`.
-    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+    pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
         self.trace = TraceHandle::new(sink);
         self
     }
@@ -207,19 +242,95 @@ impl Enactor {
     /// Record every enactment event through an existing handle
     /// (possibly empty — useful for threading one handle through a
     /// whole stack).
-    pub fn with_trace_handle(mut self, trace: TraceHandle) -> Self {
+    pub fn trace_handle(mut self, trace: TraceHandle) -> Self {
         self.trace = trace;
         self
     }
 
-    /// Enact `graph` under `case` against `world`.
+    /// Install a recovery policy (shorthand for setting
+    /// [`EnactmentConfig::recovery`] on the configuration).
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
+        self.config.recovery = policy;
+        self
+    }
+
+    /// Capture a checkpoint after every `every` successful executions
+    /// (shorthand for [`EnactmentConfig::checkpoint_every`]).
+    pub fn checkpoint_every(mut self, every: usize) -> Self {
+        self.config.checkpoint_every = Some(every);
+        self
+    }
+
+    /// Finish the chain.
+    pub fn build(self) -> Enactor {
+        Enactor {
+            config: self.config,
+            trace: self.trace,
+        }
+    }
+}
+
+impl Enactor {
+    /// Start building an enactor (the consolidated construction
+    /// surface; the older `new`/`with_trace`/`with_trace_handle` trio
+    /// delegates here).
+    pub fn builder() -> EnactorBuilder {
+        EnactorBuilder::default()
+    }
+
+    /// An enactor with the given configuration.
+    #[deprecated(since = "0.5.0", note = "use `Enactor::builder().config(..).build()`")]
+    pub fn new(config: EnactmentConfig) -> Self {
+        Enactor::builder().config(config).build()
+    }
+
+    /// Record every enactment event into `sink`.
+    #[deprecated(since = "0.5.0", note = "use `Enactor::builder().trace(..)`")]
+    pub fn with_trace(self, sink: Arc<dyn TraceSink>) -> Self {
+        Enactor::builder().config(self.config).trace(sink).build()
+    }
+
+    /// Record every enactment event through an existing handle.
+    #[deprecated(since = "0.5.0", note = "use `Enactor::builder().trace_handle(..)`")]
+    pub fn with_trace_handle(self, trace: TraceHandle) -> Self {
+        Enactor::builder()
+            .config(self.config)
+            .trace_handle(trace)
+            .build()
+    }
+
+    /// Enact `graph` under `case` against `world`, driving a
+    /// [`CaseFiber`] to completion.
     pub fn enact(
         &self,
         world: &mut GridWorld,
         graph: &ProcessGraph,
         case: &CaseDescription,
     ) -> EnactmentReport {
-        self.enact_internal(world, graph, case, None)
+        let fiber = CaseFiber::new(
+            self.config.clone(),
+            self.trace.clone(),
+            graph,
+            case,
+            graph.name.clone(),
+        );
+        self.drive(world, fiber)
+    }
+
+    /// Step `fiber` until it finishes.  Single-case driving releases
+    /// reservation holds after every step (the fiber is its own tick),
+    /// so an enabled reservation protocol can never deadlock one case
+    /// against itself; with the protocol off (the default) the drain is
+    /// a no-op and traces are byte-identical to the pre-fiber enactor.
+    fn drive(&self, world: &mut GridWorld, mut fiber: CaseFiber) -> EnactmentReport {
+        loop {
+            let status = fiber.step(world);
+            world.drain_reservations();
+            if matches!(status, FiberStatus::Finished) {
+                break;
+            }
+        }
+        fiber.into_report()
     }
 
     /// Resume an enactment from a checkpoint (same case, possibly a
@@ -246,56 +357,137 @@ impl Enactor {
                     abort_reason: abort_reason.clone(),
                 },
             );
-            return EnactmentReport {
-                success: false,
-                executions: Vec::new(),
-                failed_attempts: Vec::new(),
-                replans: 0,
-                final_state: case.initial_data.clone(),
-                total_duration_s: 0.0,
-                total_cost: 0.0,
-                produced: Vec::new(),
-                abort_reason,
-                checkpoints: Vec::new(),
-            };
+            let mut report = empty_report(case);
+            report.abort_reason = abort_reason;
+            return report;
         }
-        let graph = checkpoint.graph.clone();
-        self.enact_internal(world, &graph, case, Some(checkpoint))
+        let fiber =
+            CaseFiber::from_checkpoint(self.config.clone(), self.trace.clone(), checkpoint, case);
+        self.drive(world, fiber)
     }
+}
 
-    fn enact_internal(
-        &self,
-        world: &mut GridWorld,
+/// How far one [`CaseFiber::step`] call moved the case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FiberStatus {
+    /// The fiber made progress: it executed one activity, installed a
+    /// re-planned graph, or rebuilt its machine.
+    Progressed,
+    /// Every candidate container the case matched was already reserved
+    /// by another case this tick.  Nothing failed — busy is not broken
+    /// — and the case retries on the next tick.
+    Blocked {
+        /// The service the case was trying to dispatch.
+        service: String,
+    },
+    /// The enactment reached a terminal state; the report is final.
+    Finished,
+}
+
+/// What one activity attempt inside a step came to (the `Err` of the
+/// surrounding `Result` still means *every candidate failed* — the
+/// re-planning escalation).
+enum ActivityOutcome {
+    /// The activity executed and its outputs were applied.
+    Completed,
+    /// No candidate was even dispatched: every matched container was
+    /// already reserved by another case this tick.
+    Blocked,
+}
+
+/// A resumable, single-step enactment — the coroutine the enactor's
+/// old internal loop was unrolled into.
+///
+/// One [`CaseFiber::step`] executes at most one activity (or installs
+/// one re-planned graph) and reports how far it got, so a scheduler can
+/// interleave many fibers over one shared [`GridWorld`].  Because the
+/// ATN machine borrows its graph, the fiber persists an [`AtnSnapshot`]
+/// between steps and rebuilds the machine each step; restore preserves
+/// execution counts, so flow-transition accounting and loop bounds
+/// carry across steps unchanged and a fiber-driven single case traces
+/// byte-identically to the pre-fiber enactor.
+pub struct CaseFiber {
+    config: EnactmentConfig,
+    trace: TraceHandle,
+    case: CaseDescription,
+    label: String,
+    planning: PlanningService,
+    initial_classifications: Vec<String>,
+    current_graph: ProcessGraph,
+    snapshot: Option<AtnSnapshot>,
+    /// On first restore after a checkpoint resume, seed `flow_base`
+    /// from the restored counts (pre-crash transitions were already
+    /// reported by the pre-crash coordinator).
+    prime_flow_base: bool,
+    /// Flow-transition baseline: ATN execution counts for the
+    /// non-end-user nodes, so each increment after an activity step
+    /// surfaces as a `TransitionFired` event.
+    flow_base: BTreeMap<String, usize>,
+    state: DataState,
+    report: EnactmentReport,
+    excluded: Vec<String>,
+    recovery: RecoveryManager,
+    since_checkpoint: usize,
+    done: bool,
+}
+
+impl std::fmt::Debug for CaseFiber {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CaseFiber")
+            .field("label", &self.label)
+            .field("graph", &self.current_graph.name)
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
+impl CaseFiber {
+    /// A fiber for a fresh enactment of `graph` under `case`.  `label`
+    /// names the case in engine traces and reservation holds; emits
+    /// `EnactmentStarted` immediately.
+    pub fn new(
+        config: EnactmentConfig,
+        trace: TraceHandle,
         graph: &ProcessGraph,
         case: &CaseDescription,
+        label: impl Into<String>,
+    ) -> Self {
+        Self::build(config, trace, graph.clone(), case, label.into(), None)
+    }
+
+    /// A fiber resuming from a checkpoint the caller has already
+    /// [`EnactmentCheckpoint::validate`]d.
+    pub fn from_checkpoint(
+        config: EnactmentConfig,
+        trace: TraceHandle,
+        checkpoint: EnactmentCheckpoint,
+        case: &CaseDescription,
+    ) -> Self {
+        let graph = checkpoint.graph.clone();
+        let label = graph.name.clone();
+        Self::build(config, trace, graph, case, label, Some(checkpoint))
+    }
+
+    fn build(
+        config: EnactmentConfig,
+        trace: TraceHandle,
+        graph: ProcessGraph,
+        case: &CaseDescription,
+        label: String,
         resume_from: Option<EnactmentCheckpoint>,
-    ) -> EnactmentReport {
-        let mut report = EnactmentReport {
-            success: false,
-            executions: Vec::new(),
-            failed_attempts: Vec::new(),
-            replans: 0,
-            final_state: case.initial_data.clone(),
-            total_duration_s: 0.0,
-            total_cost: 0.0,
-            produced: Vec::new(),
-            abort_reason: None,
-            checkpoints: Vec::new(),
-        };
+    ) -> Self {
+        let mut report = empty_report(case);
         let mut state = case.initial_data.clone();
-        let mut current_graph = graph.clone();
         let mut excluded: Vec<String> = Vec::new();
-        let mut pending_snapshot: Option<AtnSnapshot> = None;
+        let mut snapshot: Option<AtnSnapshot> = None;
         let resumed = resume_from.is_some();
-        let mut recovery = match &resume_from {
+        let recovery = match &resume_from {
             Some(cp) => RecoveryManager::restore(
-                self.config.recovery.clone(),
+                config.recovery.clone(),
                 cp.recovery.clone(),
-                self.trace.clone(),
+                trace.clone(),
             ),
-            None => {
-                RecoveryManager::with_trace_handle(self.config.recovery.clone(), self.trace.clone())
-            }
+            None => RecoveryManager::with_trace_handle(config.recovery.clone(), trace.clone()),
         };
         if let Some(cp) = resume_from {
             state = cp.state;
@@ -306,214 +498,273 @@ impl Enactor {
             report.total_duration_s = cp.total_duration_s;
             report.total_cost = cp.total_cost;
             excluded = cp.excluded;
-            pending_snapshot = Some(cp.snapshot);
+            snapshot = Some(cp.snapshot);
         }
-        self.trace.emit(
+        trace.emit(
             "enactor",
             TraceEvent::EnactmentStarted {
-                workflow: current_graph.name.clone(),
+                workflow: graph.name.clone(),
                 resumed,
             },
         );
-        let planning = PlanningService::new(self.config.gp).with_trace_handle(self.trace.clone());
+        let planning = PlanningService::new(config.gp).with_trace_handle(trace.clone());
         let initial_classifications = initial_classifications(case);
-        let mut since_checkpoint = 0usize;
+        CaseFiber {
+            config,
+            trace,
+            case: case.clone(),
+            label,
+            planning,
+            initial_classifications,
+            current_graph: graph,
+            prime_flow_base: snapshot.is_some(),
+            snapshot,
+            flow_base: BTreeMap::new(),
+            state,
+            report,
+            excluded,
+            recovery,
+            since_checkpoint: 0,
+            done: false,
+        }
+    }
 
-        'plans: loop {
-            // Flow-transition baseline: ATN execution counts for the
-            // non-end-user nodes, so each increment after an activity
-            // step surfaces as a `TransitionFired` event.
-            let mut flow_base: BTreeMap<String, usize> = BTreeMap::new();
-            let mut machine = match pending_snapshot.take() {
-                Some(snapshot) => match AtnMachine::restore(&current_graph, snapshot) {
-                    Ok(m) => {
-                        // Transitions fired before the crash were already
-                        // reported by the pre-crash coordinator: start
-                        // the baseline at the restored counts.
-                        flow_base = flow_counts(&current_graph, &m);
-                        m
+    /// The case label this fiber reserves and traces under.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Has the enactment reached a terminal state?
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// The report so far (final once [`CaseFiber::is_done`]).
+    pub fn report(&self) -> &EnactmentReport {
+        &self.report
+    }
+
+    /// Consume the fiber, yielding its report.  A fiber that never
+    /// finished is aborted first so the report is always sealed (and
+    /// `EnactmentFinished` is always emitted).
+    pub fn into_report(mut self) -> EnactmentReport {
+        if !self.done {
+            self.abort("fiber dropped before completion");
+        }
+        self.report
+    }
+
+    /// Abort the enactment from outside (e.g. a scheduler exhausting
+    /// its tick budget): seals the report with `reason` and emits
+    /// `EnactmentFinished`.  No-op once finished.
+    pub fn abort(&mut self, reason: impl Into<String>) {
+        if self.done {
+            return;
+        }
+        self.report.abort_reason = Some(reason.into());
+        self.finish();
+    }
+
+    /// Advance the enactment by at most one activity execution (or one
+    /// re-planning round).  Terminal steps emit `EnactmentFinished` and
+    /// seal the report; further calls return [`FiberStatus::Finished`]
+    /// without side effects.
+    pub fn step(&mut self, world: &mut GridWorld) -> FiberStatus {
+        if self.done {
+            return FiberStatus::Finished;
+        }
+        let graph = self.current_graph.clone();
+        let mut machine = match self.snapshot.take() {
+            Some(snapshot) => match AtnMachine::restore(&graph, snapshot) {
+                Ok(m) => {
+                    if self.prime_flow_base {
+                        self.flow_base = flow_counts(&graph, &m);
+                        self.prime_flow_base = false;
                     }
-                    Err(e) => {
-                        report.abort_reason = Some(format!("checkpoint restore failed: {e}"));
-                        break 'plans;
-                    }
-                },
-                None => {
-                    let mut m = match AtnMachine::new(&current_graph) {
-                        Ok(m) => m,
-                        Err(e) => {
-                            report.abort_reason = Some(format!("invalid process graph: {e}"));
-                            break 'plans;
-                        }
-                    };
-                    if let Err(e) = m.start(&state) {
-                        report.abort_reason = Some(format!("start failed: {e}"));
-                        break 'plans;
-                    }
-                    self.emit_transitions(&current_graph, &m, &mut flow_base);
                     m
                 }
-            };
-
-            loop {
-                if machine.is_finished() {
-                    report.success = case.goals_met(&state);
-                    if !report.success {
-                        report.abort_reason = Some("workflow finished but case goals unmet".into());
+                Err(e) => {
+                    return self.finish_aborted(format!("checkpoint restore failed: {e}"));
+                }
+            },
+            None => {
+                self.flow_base.clear();
+                let mut m = match AtnMachine::new(&graph) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        return self.finish_aborted(format!("invalid process graph: {e}"));
                     }
-                    break 'plans;
-                }
-                // Loop-bound defense.
-                if let Some(merge) = current_graph
-                    .activities()
-                    .iter()
-                    .filter(|a| a.kind == ActivityKind::Merge)
-                    .find(|a| machine.executions(&a.id) > self.config.max_loop_iterations)
-                {
-                    report.abort_reason = Some(format!(
-                        "loop at `{}` exceeded {} iterations",
-                        merge.id, self.config.max_loop_iterations
-                    ));
-                    break 'plans;
-                }
-                let Some(activity_id) = machine.ready().first().cloned() else {
-                    report.abort_reason = Some("workflow stuck: no ready activities".into());
-                    break 'plans;
                 };
-                let service = current_graph
-                    .activity(&activity_id)
-                    .and_then(|a| a.service.clone())
-                    .unwrap_or_else(|| activity_id.clone());
-
-                // Monitoring feedback: let live probes open/half-open the
-                // circuit breakers before matchmaking sees the candidates.
-                if recovery.enabled() {
-                    MonitoringService.feed_recovery(world, &mut recovery);
+                if let Err(e) = m.start(&self.state) {
+                    return self.finish_aborted(format!("start failed: {e}"));
                 }
+                self.emit_transitions(&graph, &m);
+                m
+            }
+        };
 
-                match self.run_activity(
-                    world,
-                    &service,
-                    &activity_id,
-                    &mut state,
-                    &mut report,
-                    &mut recovery,
-                ) {
-                    Ok(()) => {
-                        if let Err(e) = machine.run_activity(&activity_id, &state) {
-                            report.abort_reason = Some(format!("machine error: {e}"));
-                            break 'plans;
+        if machine.is_finished() {
+            self.report.success = self.case.goals_met(&self.state);
+            if !self.report.success {
+                self.report.abort_reason = Some("workflow finished but case goals unmet".into());
+            }
+            return self.finish();
+        }
+        // Loop-bound defense.
+        if let Some(merge) = graph
+            .activities()
+            .iter()
+            .filter(|a| a.kind == ActivityKind::Merge)
+            .find(|a| machine.executions(&a.id) > self.config.max_loop_iterations)
+        {
+            return self.finish_aborted(format!(
+                "loop at `{}` exceeded {} iterations",
+                merge.id, self.config.max_loop_iterations
+            ));
+        }
+        let Some(activity_id) = machine.ready().first().cloned() else {
+            return self.finish_aborted("workflow stuck: no ready activities".to_string());
+        };
+        let service = graph
+            .activity(&activity_id)
+            .and_then(|a| a.service.clone())
+            .unwrap_or_else(|| activity_id.clone());
+
+        // Monitoring feedback: let live probes open/half-open the
+        // circuit breakers before matchmaking sees the candidates.
+        if self.recovery.enabled() {
+            MonitoringService.feed_recovery(world, &mut self.recovery);
+        }
+
+        match self.run_activity(world, &service, &activity_id) {
+            Ok(ActivityOutcome::Blocked) => {
+                self.snapshot = Some(machine.snapshot());
+                self.trace.emit(
+                    "enactor",
+                    TraceEvent::CaseBlocked {
+                        case: self.label.clone(),
+                        service: service.clone(),
+                    },
+                );
+                FiberStatus::Blocked { service }
+            }
+            Ok(ActivityOutcome::Completed) => {
+                if let Err(e) = machine.run_activity(&activity_id, &self.state) {
+                    return self.finish_aborted(format!("machine error: {e}"));
+                }
+                self.emit_transitions(&graph, &machine);
+                self.since_checkpoint += 1;
+                if let Some(every) = self.config.checkpoint_every {
+                    if self.since_checkpoint >= every.max(1) {
+                        self.since_checkpoint = 0;
+                        self.capture_checkpoint(&graph, &machine);
+                    }
+                }
+                self.snapshot = Some(machine.snapshot());
+                FiberStatus::Progressed
+            }
+            Err(_) => {
+                // Every candidate failed → escalate.
+                if !self.config.replan || self.report.replans >= self.config.max_replans {
+                    return self.finish_aborted(
+                        ServiceError::ActivityFailed {
+                            activity: activity_id.clone(),
+                            service: service.clone(),
                         }
-                        self.emit_transitions(&current_graph, &machine, &mut flow_base);
-                        since_checkpoint += 1;
-                        if let Some(every) = self.config.checkpoint_every {
-                            if since_checkpoint >= every.max(1) {
-                                since_checkpoint = 0;
-                                report.checkpoints.push(EnactmentCheckpoint {
-                                    version: CHECKPOINT_VERSION,
-                                    graph: current_graph.clone(),
-                                    snapshot: machine.snapshot(),
-                                    state: state.clone(),
-                                    executions: report.executions.clone(),
-                                    failed_attempts: report.failed_attempts.clone(),
-                                    replans: report.replans,
-                                    excluded: excluded.clone(),
-                                    produced: report.produced.clone(),
-                                    total_duration_s: report.total_duration_s,
-                                    total_cost: report.total_cost,
-                                    recovery: recovery.snapshot(),
-                                });
-                                self.trace.emit(
-                                    "enactor",
-                                    TraceEvent::CheckpointCaptured {
-                                        index: report.checkpoints.len() - 1,
-                                        executions: report.executions.len(),
-                                    },
-                                );
+                        .to_string(),
+                    );
+                }
+                self.report.replans += 1;
+                if !self.excluded.contains(&service) {
+                    self.excluded.push(service.clone());
+                }
+                self.trace.emit(
+                    "enactor",
+                    TraceEvent::ReplanTriggered {
+                        activity: activity_id.clone(),
+                        service: service.clone(),
+                        excluded: self.excluded.clone(),
+                        round: self.report.replans,
+                    },
+                );
+                let request = PlanRequest {
+                    initial: self.initial_classifications.clone(),
+                    goals: self.config.planning_goals.clone(),
+                    produced: self.report.produced.clone(),
+                    excluded: self.excluded.clone(),
+                };
+                match self.planning.plan(world, &request) {
+                    Ok(response) if response.viable => {
+                        self.trace
+                            .emit("enactor", TraceEvent::ReplanInstalled { viable: true });
+                        match self.refinement_wrap(&response) {
+                            Ok(g) => {
+                                // The next step builds a fresh machine
+                                // over the re-planned graph.
+                                self.current_graph = g;
+                                self.snapshot = None;
+                                FiberStatus::Progressed
                             }
+                            Err(e) => self.finish_aborted(format!("re-plan wrapping failed: {e}")),
                         }
                     }
-                    Err(_) => {
-                        // Every candidate failed → escalate.
-                        if !self.config.replan || report.replans >= self.config.max_replans {
-                            report.abort_reason = Some(
-                                ServiceError::ActivityFailed {
-                                    activity: activity_id.clone(),
-                                    service: service.clone(),
-                                }
-                                .to_string(),
-                            );
-                            break 'plans;
-                        }
-                        report.replans += 1;
-                        if !excluded.contains(&service) {
-                            excluded.push(service.clone());
-                        }
-                        self.trace.emit(
-                            "enactor",
-                            TraceEvent::ReplanTriggered {
-                                activity: activity_id.clone(),
-                                service: service.clone(),
-                                excluded: excluded.clone(),
-                                round: report.replans,
-                            },
-                        );
-                        let request = PlanRequest {
-                            initial: initial_classifications.clone(),
-                            goals: self.config.planning_goals.clone(),
-                            produced: report.produced.clone(),
-                            excluded: excluded.clone(),
-                        };
-                        match planning.plan(world, &request) {
-                            Ok(response) if response.viable => {
-                                self.trace
-                                    .emit("enactor", TraceEvent::ReplanInstalled { viable: true });
-                                current_graph = match self.refinement_wrap(case, &response) {
-                                    Ok(g) => g,
-                                    Err(e) => {
-                                        report.abort_reason =
-                                            Some(format!("re-plan wrapping failed: {e}"));
-                                        break 'plans;
-                                    }
-                                };
-                                continue 'plans;
-                            }
-                            Ok(_) => {
-                                self.trace
-                                    .emit("enactor", TraceEvent::ReplanInstalled { viable: false });
-                                report.abort_reason =
-                                    Some("re-planning produced no viable plan".into());
-                                break 'plans;
-                            }
-                            Err(e) => {
-                                report.abort_reason = Some(format!("re-planning failed: {e}"));
-                                break 'plans;
-                            }
-                        }
+                    Ok(_) => {
+                        self.trace
+                            .emit("enactor", TraceEvent::ReplanInstalled { viable: false });
+                        self.finish_aborted("re-planning produced no viable plan".to_string())
                     }
+                    Err(e) => self.finish_aborted(format!("re-planning failed: {e}")),
                 }
             }
         }
+    }
 
-        report.final_state = state;
+    fn finish_aborted(&mut self, reason: String) -> FiberStatus {
+        self.report.abort_reason = Some(reason);
+        self.finish()
+    }
+
+    /// Seal the report and emit `EnactmentFinished`.
+    fn finish(&mut self) -> FiberStatus {
+        self.done = true;
+        self.report.final_state = self.state.clone();
         self.trace.emit(
             "enactor",
             TraceEvent::EnactmentFinished {
-                success: report.success,
-                abort_reason: report.abort_reason.clone(),
+                success: self.report.success,
+                abort_reason: self.report.abort_reason.clone(),
             },
         );
-        report
+        FiberStatus::Finished
+    }
+
+    fn capture_checkpoint(&mut self, graph: &ProcessGraph, machine: &AtnMachine) {
+        self.report.checkpoints.push(EnactmentCheckpoint {
+            version: CHECKPOINT_VERSION,
+            graph: graph.clone(),
+            snapshot: machine.snapshot(),
+            state: self.state.clone(),
+            executions: self.report.executions.clone(),
+            failed_attempts: self.report.failed_attempts.clone(),
+            replans: self.report.replans,
+            excluded: self.excluded.clone(),
+            produced: self.report.produced.clone(),
+            total_duration_s: self.report.total_duration_s,
+            total_cost: self.report.total_cost,
+            recovery: self.recovery.snapshot(),
+        });
+        self.trace.emit(
+            "enactor",
+            TraceEvent::CheckpointCaptured {
+                index: self.report.checkpoints.len() - 1,
+                executions: self.report.executions.len(),
+            },
+        );
     }
 
     /// Emit a `TransitionFired` event for every flow-control node whose
-    /// ATN execution count grew past `base`, then advance `base`.
-    fn emit_transitions(
-        &self,
-        graph: &ProcessGraph,
-        machine: &AtnMachine,
-        base: &mut BTreeMap<String, usize>,
-    ) {
+    /// ATN execution count grew past the baseline, then advance it.
+    fn emit_transitions(&mut self, graph: &ProcessGraph, machine: &AtnMachine) {
         if !self.trace.is_installed() {
             return;
         }
@@ -523,7 +774,7 @@ impl Enactor {
             .filter(|a| a.kind != ActivityKind::EndUser)
         {
             let n = machine.executions(&a.id);
-            let prev = base.get(&a.id).copied().unwrap_or(0);
+            let prev = self.flow_base.get(&a.id).copied().unwrap_or(0);
             for _ in prev..n {
                 self.trace.emit(
                     "enactor",
@@ -534,23 +785,19 @@ impl Enactor {
                 );
             }
             if n != prev {
-                base.insert(a.id.clone(), n);
+                self.flow_base.insert(a.id.clone(), n);
             }
         }
     }
 
     /// Apply the configured refinement constraint to a fresh plan (see
     /// [`EnactmentConfig::wrap_replans_with_constraint`]).
-    fn refinement_wrap(
-        &self,
-        case: &CaseDescription,
-        response: &crate::planning::PlanResponse,
-    ) -> Result<ProcessGraph> {
+    fn refinement_wrap(&self, response: &crate::planning::PlanResponse) -> Result<ProcessGraph> {
         let cond = self
             .config
             .wrap_replans_with_constraint
             .as_ref()
-            .and_then(|name| case.constraints.get(name));
+            .and_then(|name| self.case.constraints.get(name));
         match cond {
             Some(cond) => {
                 let wrapped = gridflow_plan::PlanNode::Iterative {
@@ -563,6 +810,27 @@ impl Enactor {
         }
     }
 
+    /// Reserve a tick slot on `container` under the world's reservation
+    /// protocol.  Always succeeds (and emits nothing) while the
+    /// protocol is off, keeping single-case traces byte-identical.
+    fn reserve(&mut self, world: &mut GridWorld, container: &str) -> bool {
+        if !world.reservations_enabled() {
+            return true;
+        }
+        if world.try_reserve(&self.label, container) {
+            self.trace.emit(
+                "enactor",
+                TraceEvent::SlotReserved {
+                    case: self.label.clone(),
+                    container: container.to_owned(),
+                },
+            );
+            true
+        } else {
+            false
+        }
+    }
+
     /// Try to execute one activity, applying outputs on success.
     ///
     /// With recovery disabled this is the classic candidate loop: one
@@ -570,25 +838,32 @@ impl Enactor {
     /// enabled the escalation ladder runs instead: retry-with-backoff on
     /// each admitted candidate, failover to the next candidate, breaker
     /// quarantine of repeat offenders, and finally (an `Err` here) the
-    /// caller's re-planning escalation.
+    /// caller's re-planning escalation.  Candidates whose reservation
+    /// fails are skipped without dispatching; if *no* candidate could be
+    /// dispatched and at least one was reserved away, the outcome is
+    /// [`ActivityOutcome::Blocked`] — contention is not failure.
     fn run_activity(
-        &self,
+        &mut self,
         world: &mut GridWorld,
         service: &str,
         activity_id: &str,
-        state: &mut DataState,
-        report: &mut EnactmentReport,
-        recovery: &mut RecoveryManager,
-    ) -> Result<()> {
-        if recovery.enabled() {
-            return self.run_activity_ladder(world, service, activity_id, state, report, recovery);
+    ) -> Result<ActivityOutcome> {
+        if self.recovery.enabled() {
+            return self.run_activity_ladder(world, service, activity_id);
         }
         let candidates = matchmake(world, &MatchRequest::for_service(service))?;
+        let mut blocked = false;
+        let mut dispatched = false;
         for (attempt, candidate) in candidates
             .iter()
             .take(self.config.max_candidates.max(1))
             .enumerate()
         {
+            if !self.reserve(world, &candidate.container) {
+                blocked = true;
+                continue;
+            }
+            dispatched = true;
             self.trace.emit(
                 "enactor",
                 TraceEvent::ActivityDispatched {
@@ -600,19 +875,11 @@ impl Enactor {
             );
             match world.execute_service(service, &candidate.container) {
                 Ok(record) => {
-                    self.apply_success(
-                        world,
-                        service,
-                        activity_id,
-                        candidate,
-                        &record,
-                        state,
-                        report,
-                    )?;
-                    return Ok(());
+                    self.apply_success(world, service, activity_id, candidate, &record)?;
+                    return Ok(ActivityOutcome::Completed);
                 }
                 Err(_) => {
-                    report
+                    self.report
                         .failed_attempts
                         .push((activity_id.to_owned(), candidate.container.clone()));
                     self.trace.emit(
@@ -626,6 +893,9 @@ impl Enactor {
                     );
                 }
             }
+        }
+        if blocked && !dispatched {
+            return Ok(ActivityOutcome::Blocked);
         }
         Err(ServiceError::ActivityFailed {
             activity: activity_id.to_owned(),
@@ -641,20 +911,27 @@ impl Enactor {
     /// even though the world completed it — slow is the failure mode
     /// leases exist to catch.
     fn run_activity_ladder(
-        &self,
+        &mut self,
         world: &mut GridWorld,
         service: &str,
         activity_id: &str,
-        state: &mut DataState,
-        report: &mut EnactmentReport,
-        recovery: &mut RecoveryManager,
-    ) -> Result<()> {
-        let candidates = matchmake_admitted(world, &MatchRequest::for_service(service), recovery)?;
+    ) -> Result<ActivityOutcome> {
+        let candidates = matchmake_admitted(
+            world,
+            &MatchRequest::for_service(service),
+            &mut self.recovery,
+        )?;
         let mut attempt = 0usize;
+        let mut blocked = false;
+        let mut dispatched = false;
         for candidate in candidates.iter().take(self.config.max_candidates.max(1)) {
+            if !self.reserve(world, &candidate.container) {
+                blocked = true;
+                continue;
+            }
             let mut local_try = 0usize;
             loop {
-                let admission = recovery.admit(&candidate.container);
+                let admission = self.recovery.admit(&candidate.container);
                 if admission == Admission::Reject {
                     // The breaker opened mid-ladder: fail over.
                     break;
@@ -662,17 +939,18 @@ impl Enactor {
                 if local_try > 0 {
                     // Backoff before the retry, in deterministic virtual
                     // ticks drawn from the seeded policy.
-                    recovery.schedule_retry(
+                    self.recovery.schedule_retry(
                         activity_id,
                         service,
                         &candidate.container,
                         attempt,
                         local_try,
                     );
-                    recovery.await_retry(activity_id);
+                    self.recovery.await_retry(activity_id);
                 }
-                recovery.note_attempt(activity_id);
-                let lease = recovery.grant_lease(activity_id, &candidate.container);
+                self.recovery.note_attempt(activity_id);
+                let lease = self.recovery.grant_lease(activity_id, &candidate.container);
+                dispatched = true;
                 self.trace.emit(
                     "enactor",
                     TraceEvent::ActivityDispatched {
@@ -686,18 +964,20 @@ impl Enactor {
                 local_try += 1;
                 match world.execute_service(service, &candidate.container) {
                     Ok(record) => {
-                        let took = recovery.note_execution_seconds(record.duration_s);
+                        let took = self.recovery.note_execution_seconds(record.duration_s);
                         let lease_broken = lease.is_some()
-                            && recovery.lease_expired(activity_id, &candidate.container, took);
+                            && self
+                                .recovery
+                                .lease_expired(activity_id, &candidate.container, took);
                         if lease_broken {
                             // The work finished, but past its deadline:
                             // the coordinator already gave up on it.  The
                             // time and cost were still spent.
-                            report.total_duration_s += record.duration_s;
-                            report.total_cost += record.cost;
+                            self.report.total_duration_s += record.duration_s;
+                            self.report.total_cost += record.cost;
                             self.trace.advance_s(record.duration_s);
-                            recovery.record_failure(&candidate.container);
-                            report
+                            self.recovery.record_failure(&candidate.container);
+                            self.report
                                 .failed_attempts
                                 .push((activity_id.to_owned(), candidate.container.clone()));
                             self.trace.emit(
@@ -710,23 +990,15 @@ impl Enactor {
                                 },
                             );
                         } else {
-                            recovery.record_success(&candidate.container);
-                            self.apply_success(
-                                world,
-                                service,
-                                activity_id,
-                                candidate,
-                                &record,
-                                state,
-                                report,
-                            )?;
-                            return Ok(());
+                            self.recovery.record_success(&candidate.container);
+                            self.apply_success(world, service, activity_id, candidate, &record)?;
+                            return Ok(ActivityOutcome::Completed);
                         }
                     }
                     Err(_) => {
-                        recovery.tick(1);
-                        recovery.record_failure(&candidate.container);
-                        report
+                        self.recovery.tick(1);
+                        self.recovery.record_failure(&candidate.container);
+                        self.report
                             .failed_attempts
                             .push((activity_id.to_owned(), candidate.container.clone()));
                         self.trace.emit(
@@ -743,11 +1015,14 @@ impl Enactor {
                 // A half-open probe gets exactly one try; otherwise the
                 // retry budget bounds the ladder rung.
                 if admission == Admission::Probe
-                    || local_try >= recovery.policy().retry.max_attempts.max(1)
+                    || local_try >= self.recovery.policy().retry.max_attempts.max(1)
                 {
                     break;
                 }
             }
+        }
+        if blocked && !dispatched {
+            return Ok(ActivityOutcome::Blocked);
         }
         Err(ServiceError::ActivityFailed {
             activity: activity_id.to_owned(),
@@ -757,22 +1032,19 @@ impl Enactor {
 
     /// Shared success bookkeeping: apply outputs, accrue totals, record
     /// the execution, advance the virtual clock, emit `ActivityCompleted`.
-    #[allow(clippy::too_many_arguments)]
     fn apply_success(
-        &self,
+        &mut self,
         world: &mut GridWorld,
         service: &str,
         activity_id: &str,
         candidate: &RankedMatch,
         record: &crate::ExecutionRecord,
-        state: &mut DataState,
-        report: &mut EnactmentReport,
     ) -> Result<()> {
-        let produced = world.apply_outputs(service, state)?;
-        report.produced.extend(produced);
-        report.total_duration_s += record.duration_s;
-        report.total_cost += record.cost;
-        report.executions.push(ActivityExecution {
+        let produced = world.apply_outputs(service, &mut self.state)?;
+        self.report.produced.extend(produced);
+        self.report.total_duration_s += record.duration_s;
+        self.report.total_cost += record.cost;
+        self.report.executions.push(ActivityExecution {
             activity: activity_id.to_owned(),
             service: service.to_owned(),
             container: candidate.container.clone(),
@@ -793,6 +1065,22 @@ impl Enactor {
             },
         );
         Ok(())
+    }
+}
+
+/// A blank report carrying the case's initial data as `final_state`.
+fn empty_report(case: &CaseDescription) -> EnactmentReport {
+    EnactmentReport {
+        success: false,
+        executions: Vec::new(),
+        failed_attempts: Vec::new(),
+        replans: 0,
+        final_state: case.initial_data.clone(),
+        total_duration_s: 0.0,
+        total_cost: 0.0,
+        produced: Vec::new(),
+        abort_reason: None,
+        checkpoints: Vec::new(),
     }
 }
 
@@ -974,7 +1262,10 @@ mod tests {
             },
             ..EnactmentConfig::default()
         };
-        let report = Enactor::new(config).enact(&mut w, &graph(), &case());
+        let report = Enactor::builder()
+            .config(config)
+            .build()
+            .enact(&mut w, &graph(), &case());
         assert!(report.success, "abort: {:?}", report.abort_reason);
         assert!(report.replans >= 1);
         assert!(
@@ -997,7 +1288,10 @@ mod tests {
             max_loop_iterations: 5,
             ..EnactmentConfig::default()
         };
-        let report = Enactor::new(config).enact(&mut w, &g, &case());
+        let report = Enactor::builder()
+            .config(config)
+            .build()
+            .enact(&mut w, &g, &case());
         assert!(!report.success);
         assert!(report
             .abort_reason
@@ -1033,7 +1327,10 @@ mod tests {
             checkpoint_every: Some(1),
             ..EnactmentConfig::default()
         };
-        let report = Enactor::new(config).enact(&mut w, &graph(), &case());
+        let report = Enactor::builder()
+            .config(config)
+            .build()
+            .enact(&mut w, &graph(), &case());
         assert!(report.success);
         // Three activities → three checkpoints (one per execution).
         assert_eq!(report.checkpoints.len(), 3);
@@ -1055,14 +1352,26 @@ mod tests {
             ..EnactmentConfig::default()
         };
         let mut w1 = world(8);
-        let full = Enactor::new(config.clone()).enact(&mut w1, &graph(), &case());
+        let full =
+            Enactor::builder()
+                .config(config.clone())
+                .build()
+                .enact(&mut w1, &graph(), &case());
         assert!(full.success);
 
         let mut w2 = world(8);
-        let interrupted = Enactor::new(config.clone()).enact(&mut w2, &graph(), &case());
+        let interrupted =
+            Enactor::builder()
+                .config(config.clone())
+                .build()
+                .enact(&mut w2, &graph(), &case());
         let checkpoint = interrupted.checkpoints[0].clone(); // after `prep`
         let mut w3 = world(8);
-        let resumed = Enactor::new(config).resume(&mut w3, checkpoint, &case());
+        let resumed =
+            Enactor::builder()
+                .config(config)
+                .build()
+                .resume(&mut w3, checkpoint, &case());
         assert!(resumed.success, "abort: {:?}", resumed.abort_reason);
         // The resumed run finishes the remaining activities only.
         let services: Vec<&str> = resumed
@@ -1089,12 +1398,19 @@ mod tests {
             ..EnactmentConfig::default()
         };
         let mut w1 = world(10);
-        let full = Enactor::new(config.clone()).enact(&mut w1, &g, &case());
+        let full = Enactor::builder()
+            .config(config.clone())
+            .build()
+            .enact(&mut w1, &g, &case());
         assert!(full.success, "abort: {:?}", full.abort_reason);
         assert_eq!(full.executions.len(), 4);
 
         let mut w2 = world(10);
-        let interrupted = Enactor::new(config.clone()).enact(&mut w2, &g, &case());
+        let interrupted =
+            Enactor::builder()
+                .config(config.clone())
+                .build()
+                .enact(&mut w2, &g, &case());
         // Checkpoint 1 sits after `prep` plus exactly one fork branch.
         let cp = interrupted.checkpoints[1].clone();
         assert_eq!(cp.executions.len(), 2);
@@ -1105,7 +1421,10 @@ mod tests {
         assert_eq!(restored, cp);
 
         let mut w3 = world(10);
-        let resumed = Enactor::new(config).resume(&mut w3, restored, &case());
+        let resumed = Enactor::builder()
+            .config(config)
+            .build()
+            .resume(&mut w3, restored, &case());
         assert!(resumed.success, "abort: {:?}", resumed.abort_reason);
         // The checkpointed prefix is preserved verbatim…
         assert_eq!(resumed.executions[..2], cp.executions[..]);
@@ -1168,13 +1487,20 @@ mod tests {
             ..EnactmentConfig::default()
         };
         let mut w1 = honing_world();
-        let full = Enactor::new(config.clone()).enact(&mut w1, &g, &case());
+        let full = Enactor::builder()
+            .config(config.clone())
+            .build()
+            .enact(&mut w1, &g, &case());
         assert!(full.success, "abort: {:?}", full.abort_reason);
         let full_services: Vec<&str> = full.executions.iter().map(|e| e.service.as_str()).collect();
         assert_eq!(full_services, vec!["prep", "cook", "cook", "plate"]);
 
         let mut w2 = honing_world();
-        let interrupted = Enactor::new(config.clone()).enact(&mut w2, &g, &case());
+        let interrupted =
+            Enactor::builder()
+                .config(config.clone())
+                .build()
+                .enact(&mut w2, &g, &case());
         // Checkpoint 1: after the loop's first pass, `D10.Value` is 9 and
         // the loop condition is still true — a genuinely mid-loop state.
         let cp = interrupted.checkpoints[1].clone();
@@ -1189,7 +1515,10 @@ mod tests {
         assert_eq!(restored, cp);
 
         let mut w3 = honing_world();
-        let resumed = Enactor::new(config).resume(&mut w3, restored, &case());
+        let resumed = Enactor::builder()
+            .config(config)
+            .build()
+            .resume(&mut w3, restored, &case());
         assert!(resumed.success, "abort: {:?}", resumed.abort_reason);
         assert_eq!(resumed.executions[..2], cp.executions[..]);
         let services: Vec<&str> = resumed
@@ -1228,13 +1557,20 @@ mod tests {
             ..EnactmentConfig::default()
         };
         let mut w1 = world(12);
-        let full = Enactor::new(config.clone()).enact(&mut w1, &g, &case());
+        let full = Enactor::builder()
+            .config(config.clone())
+            .build()
+            .enact(&mut w1, &g, &case());
         assert!(full.success, "abort: {:?}", full.abort_reason);
         let full_services: Vec<&str> = full.executions.iter().map(|e| e.service.as_str()).collect();
         assert_eq!(full_services, vec!["prep", "cook", "nuke", "plate"]);
 
         let mut w2 = world(12);
-        let interrupted = Enactor::new(config.clone()).enact(&mut w2, &g, &case());
+        let interrupted =
+            Enactor::builder()
+                .config(config.clone())
+                .build()
+                .enact(&mut w2, &g, &case());
         // Checkpoint 1 sits after `prep` and the taken branch's `cook` —
         // genuinely mid-branch.
         let cp = interrupted.checkpoints[1].clone();
@@ -1246,7 +1582,10 @@ mod tests {
         assert_eq!(restored, cp);
 
         let mut w3 = world(12);
-        let resumed = Enactor::new(config).resume(&mut w3, restored, &case());
+        let resumed = Enactor::builder()
+            .config(config)
+            .build()
+            .resume(&mut w3, restored, &case());
         assert!(resumed.success, "abort: {:?}", resumed.abort_reason);
         assert_eq!(resumed.executions[..2], cp.executions[..]);
         let services: Vec<&str> = resumed
@@ -1267,7 +1606,11 @@ mod tests {
             checkpoint_every: Some(1),
             ..EnactmentConfig::default()
         };
-        let report = Enactor::new(config.clone()).enact(&mut w, &graph(), &case());
+        let report =
+            Enactor::builder()
+                .config(config.clone())
+                .build()
+                .enact(&mut w, &graph(), &case());
         let cp = report.checkpoints[0].clone();
         assert_eq!(cp.version, CHECKPOINT_VERSION);
         // The version survives the storage round trip.
@@ -1280,7 +1623,10 @@ mod tests {
         let mut future = cp;
         future.version = CHECKPOINT_VERSION + 1;
         let mut w2 = world(13);
-        let resumed = Enactor::new(config).resume(&mut w2, future, &case());
+        let resumed = Enactor::builder()
+            .config(config)
+            .build()
+            .resume(&mut w2, future, &case());
         assert!(!resumed.success);
         assert!(resumed.executions.is_empty());
         let reason = resumed.abort_reason.as_deref().unwrap();
@@ -1289,6 +1635,35 @@ mod tests {
                 && reason.contains(&(CHECKPOINT_VERSION + 1).to_string()),
             "unhelpful refusal: {reason}"
         );
+    }
+
+    #[test]
+    fn checkpoint_validation_reports_every_violation_at_once() {
+        let mut w = world(13);
+        let config = EnactmentConfig {
+            checkpoint_every: Some(1),
+            ..EnactmentConfig::default()
+        };
+        let report = Enactor::builder()
+            .config(config)
+            .build()
+            .enact(&mut w, &graph(), &case());
+        let mut cp = report.checkpoints[0].clone();
+        // Corrupt two independent fields: validation must name both in
+        // one refusal, not bail at the first.
+        cp.version = CHECKPOINT_VERSION + 1;
+        cp.total_cost = -1.0;
+        let msg = cp.validate().unwrap_err().to_string();
+        assert!(
+            msg.contains("refusing to resume")
+                && msg.contains(&(CHECKPOINT_VERSION + 1).to_string()),
+            "missing version violation: {msg}"
+        );
+        assert!(
+            msg.contains("total_cost is negative"),
+            "missing cost violation: {msg}"
+        );
+        assert!(msg.starts_with("invalid checkpoint:"), "{msg}");
     }
 
     #[test]
@@ -1308,8 +1683,10 @@ mod tests {
             ..EnactmentConfig::default()
         };
         let log = TraceLog::new();
-        let report = Enactor::new(config)
-            .with_trace_handle(TraceHandle::from(log.clone()))
+        let report = Enactor::builder()
+            .config(config)
+            .trace_handle(TraceHandle::from(log.clone()))
+            .build()
             .enact(&mut w, &graph(), &case());
         assert!(report.success, "abort: {:?}", report.abort_reason);
         // `prep` ultimately ran on the healthy host.
@@ -1362,7 +1739,11 @@ mod tests {
         };
         let mut w1 = world(15);
         w1.set_slowdown("ac-h1", 50.0);
-        let interrupted = Enactor::new(config.clone()).enact(&mut w1, &graph(), &case());
+        let interrupted =
+            Enactor::builder()
+                .config(config.clone())
+                .build()
+                .enact(&mut w1, &graph(), &case());
         assert!(interrupted.success);
         let cp = interrupted.checkpoints[0].clone(); // after `prep`
         assert!(matches!(
@@ -1377,7 +1758,10 @@ mod tests {
 
         let mut w2 = world(15);
         w2.set_slowdown("ac-h1", 50.0);
-        let resumed = Enactor::new(config).resume(&mut w2, restored, &case());
+        let resumed = Enactor::builder()
+            .config(config)
+            .build()
+            .resume(&mut w2, restored, &case());
         assert!(resumed.success, "abort: {:?}", resumed.abort_reason);
         // The resumed run checkpoints again after `cook`; ac-h1's record
         // is still there, untouched by the crash.
@@ -1399,11 +1783,19 @@ mod tests {
             checkpoint_every: Some(1),
             ..EnactmentConfig::default()
         };
-        let report = Enactor::new(config.clone()).enact(&mut w, &graph(), &case());
+        let report =
+            Enactor::builder()
+                .config(config.clone())
+                .build()
+                .enact(&mut w, &graph(), &case());
         let mut checkpoint = report.checkpoints[0].clone();
         checkpoint.graph = gridflow_process::ProcessGraph::new("empty");
         let mut w2 = world(9);
-        let resumed = Enactor::new(config).resume(&mut w2, checkpoint, &case());
+        let resumed =
+            Enactor::builder()
+                .config(config)
+                .build()
+                .resume(&mut w2, checkpoint, &case());
         assert!(!resumed.success);
         assert!(resumed
             .abort_reason

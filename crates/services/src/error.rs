@@ -46,6 +46,13 @@ pub enum ServiceError {
         /// Highest version this coordinator understands.
         supported: u32,
     },
+    /// A checkpoint failed validation.  Every violation found is listed
+    /// — validation never bails on the first problem, so one refusal
+    /// message is enough to diagnose a corrupt checkpoint fully.
+    InvalidCheckpoint {
+        /// All violations, in field order.
+        violations: Vec<String>,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -71,6 +78,9 @@ impl fmt::Display for ServiceError {
                 "checkpoint version {found} is newer than the supported version \
                  {supported}; refusing to resume"
             ),
+            Self::InvalidCheckpoint { violations } => {
+                write!(f, "invalid checkpoint: {}", violations.join("; "))
+            }
         }
     }
 }
@@ -123,5 +133,10 @@ mod tests {
         }
         .to_string();
         assert!(msg.contains("version 9") && msg.contains("refusing to resume"));
+        let msg = ServiceError::InvalidCheckpoint {
+            violations: vec!["first problem".into(), "second problem".into()],
+        }
+        .to_string();
+        assert!(msg.contains("first problem; second problem"), "{msg}");
     }
 }

@@ -39,6 +39,9 @@ pub mod storage;
 pub mod tracker;
 pub mod world;
 
-pub use coordination::{EnactmentCheckpoint, EnactmentConfig, EnactmentReport, Enactor};
+pub use coordination::{
+    CaseFiber, EnactmentCheckpoint, EnactmentConfig, EnactmentReport, Enactor, EnactorBuilder,
+    FiberStatus,
+};
 pub use error::{Result, ServiceError};
 pub use world::{ExecutionRecord, GridWorld, OutputSpec, ServiceOffering, SharedWorld};

@@ -157,6 +157,13 @@ pub struct GridWorld {
     /// for their sluggishness).
     pub slowdowns: BTreeMap<String, f64>,
     data_counter: usize,
+    /// Is the tick-scoped reservation protocol active?  Off by default:
+    /// single-case enactment paths behave (and trace) exactly as before.
+    reservations_enabled: bool,
+    /// Per-container slot capacities; containers not listed have one slot.
+    capacities: BTreeMap<String, usize>,
+    /// Live reservations: container → case labels holding a slot.
+    holds: BTreeMap<String, Vec<String>>,
 }
 
 impl GridWorld {
@@ -173,7 +180,79 @@ impl GridWorld {
             failures_are_persistent: true,
             slowdowns: BTreeMap::new(),
             data_counter: 100,
+            reservations_enabled: false,
+            capacities: BTreeMap::new(),
+            holds: BTreeMap::new(),
         }
+    }
+
+    // ------------------------------------------------ slot reservations
+    //
+    // Tick-scoped container reservations back the multi-case engine's
+    // fair-contention guarantee: within one scheduler tick, each
+    // container admits at most `capacity_of` concurrent case holds.
+    // The protocol is opt-in (`enable_reservations`) so every
+    // single-case path keeps its byte-identical legacy behavior.
+
+    /// Turn the reservation protocol on or off.  While off,
+    /// [`GridWorld::try_reserve`] always succeeds without recording a
+    /// hold.
+    pub fn enable_reservations(&mut self, enabled: bool) {
+        self.reservations_enabled = enabled;
+        if !enabled {
+            self.holds.clear();
+        }
+    }
+
+    /// Is the reservation protocol active?
+    pub fn reservations_enabled(&self) -> bool {
+        self.reservations_enabled
+    }
+
+    /// Override a container's slot capacity (default: one slot).
+    pub fn set_capacity(&mut self, container: &str, slots: usize) {
+        self.capacities.insert(container.to_owned(), slots);
+    }
+
+    /// A container's slot capacity (1 unless overridden).
+    pub fn capacity_of(&self, container: &str) -> usize {
+        self.capacities.get(container).copied().unwrap_or(1)
+    }
+
+    /// The declared capacity overrides (for trace assertions).
+    pub fn capacities(&self) -> &BTreeMap<String, usize> {
+        &self.capacities
+    }
+
+    /// Try to reserve one slot on `container` for `case`.  Returns
+    /// `true` (and records the hold) when a slot is free, `false` when
+    /// the container is fully booked this tick.  Always `true` while
+    /// the protocol is disabled.
+    pub fn try_reserve(&mut self, case: &str, container: &str) -> bool {
+        if !self.reservations_enabled {
+            return true;
+        }
+        let capacity = self.capacity_of(container);
+        let holders = self.holds.entry(container.to_owned()).or_default();
+        if holders.len() >= capacity {
+            return false;
+        }
+        holders.push(case.to_owned());
+        true
+    }
+
+    /// Number of slots currently held on `container`.
+    pub fn reserved_count(&self, container: &str) -> usize {
+        self.holds.get(container).map_or(0, Vec::len)
+    }
+
+    /// Release every hold, returning `container → holders` in
+    /// deterministic (BTreeMap) order — the engine calls this at each
+    /// tick boundary and emits one `slot.released` event per hold.
+    pub fn drain_reservations(&mut self) -> BTreeMap<String, Vec<String>> {
+        let mut drained = std::mem::take(&mut self.holds);
+        drained.retain(|_, holders| !holders.is_empty());
+        drained
     }
 
     /// Degrade (or restore, with `factor <= 1.0`) a container: its
@@ -512,6 +591,41 @@ mod tests {
         assert_eq!(state.property("D10", "Value"), Some(&Value::Float(9.0)));
         w.apply_outputs("PSF", &mut state).unwrap();
         assert_eq!(state.property("D10", "Value"), Some(&Value::Float(6.0)));
+    }
+
+    #[test]
+    fn reservations_are_opt_in_and_enforce_capacity() {
+        let mut w = world();
+        // Disabled (the default): everything "reserves", nothing is held.
+        assert!(!w.reservations_enabled());
+        assert!(w.try_reserve("case-0", "c1"));
+        assert!(w.try_reserve("case-1", "c1"));
+        assert_eq!(w.reserved_count("c1"), 0);
+
+        w.enable_reservations(true);
+        assert!(w.try_reserve("case-0", "c1"));
+        assert!(!w.try_reserve("case-1", "c1"), "default capacity is 1");
+        assert_eq!(w.reserved_count("c1"), 1);
+
+        w.set_capacity("c2", 2);
+        assert_eq!(w.capacity_of("c2"), 2);
+        assert_eq!(w.capacity_of("c1"), 1);
+        assert!(w.try_reserve("case-0", "c2"));
+        assert!(w.try_reserve("case-1", "c2"));
+        assert!(!w.try_reserve("case-2", "c2"));
+
+        let drained = w.drain_reservations();
+        assert_eq!(drained["c1"], vec!["case-0".to_string()]);
+        assert_eq!(
+            drained["c2"],
+            vec!["case-0".to_string(), "case-1".to_string()]
+        );
+        assert_eq!(w.reserved_count("c1"), 0);
+        assert!(w.try_reserve("case-1", "c1"), "slots free after drain");
+
+        // Turning the protocol off clears any live holds.
+        w.enable_reservations(false);
+        assert_eq!(w.reserved_count("c1"), 0);
     }
 
     #[test]

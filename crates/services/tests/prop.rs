@@ -123,13 +123,13 @@ proptest! {
             ..EnactmentConfig::default()
         };
         let mut world = uniform_world(3, &services);
-        let full = Enactor::new(config.clone()).enact(&mut world, &graph, &case);
+        let full = Enactor::builder().config(config.clone()).build().enact(&mut world, &graph, &case);
         prop_assert!(full.success);
         prop_assert_eq!(full.checkpoints.len(), picks.len());
         for checkpoint in &full.checkpoints {
             let mut fresh = uniform_world(3, &services);
             let resumed =
-                Enactor::new(config.clone()).resume(&mut fresh, checkpoint.clone(), &case);
+                Enactor::builder().config(config.clone()).build().resume(&mut fresh, checkpoint.clone(), &case);
             prop_assert!(resumed.success, "abort: {:?}", resumed.abort_reason);
             prop_assert_eq!(&resumed.final_state, &full.final_state);
             prop_assert_eq!(resumed.executions.len(), full.executions.len());

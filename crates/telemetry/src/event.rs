@@ -286,6 +286,57 @@ pub enum TraceEvent {
         /// Human-readable detail.
         detail: String,
     },
+
+    // ------------------------------------------------ multi-case engine
+    /// The case scheduler began a new virtual tick.
+    TickStarted {
+        /// Scheduler tick index (0-based).
+        tick: u64,
+    },
+    /// Admission control accepted a case into the running set.
+    CaseAdmitted {
+        /// The case's label in the scheduler.
+        case: String,
+        /// Tick at which it was admitted.
+        tick: u64,
+    },
+    /// Admission control rejected a case outright (it never runs).
+    CaseRejected {
+        /// The case's label in the scheduler.
+        case: String,
+        /// Why admission refused it.
+        reason: String,
+    },
+    /// A case could not make progress this tick because every candidate
+    /// container it matched was already reserved (busy ≠ broken: no
+    /// failure is recorded, the case retries next tick).
+    CaseBlocked {
+        /// The blocked case's label.
+        case: String,
+        /// The service it was trying to dispatch.
+        service: String,
+    },
+    /// A case left the running set with a final report.
+    CaseCompleted {
+        /// The case's label in the scheduler.
+        case: String,
+        /// Did its enactment succeed?
+        success: bool,
+    },
+    /// A case reserved a container slot for the current tick.
+    SlotReserved {
+        /// The reserving case's label.
+        case: String,
+        /// The reserved container.
+        container: String,
+    },
+    /// A tick-scoped container reservation was released.
+    SlotReleased {
+        /// The case that held the slot.
+        case: String,
+        /// The released container.
+        container: String,
+    },
 }
 
 impl TraceEvent {
@@ -299,6 +350,19 @@ impl TraceEvent {
             | TraceEvent::LeaseGranted { activity, .. }
             | TraceEvent::LeaseExpired { activity, .. }
             | TraceEvent::ReplanTriggered { activity, .. } => Some(activity),
+            _ => None,
+        }
+    }
+
+    /// The scheduler case label this event concerns, if any.
+    pub fn case_label(&self) -> Option<&str> {
+        match self {
+            TraceEvent::CaseAdmitted { case, .. }
+            | TraceEvent::CaseRejected { case, .. }
+            | TraceEvent::CaseBlocked { case, .. }
+            | TraceEvent::CaseCompleted { case, .. }
+            | TraceEvent::SlotReserved { case, .. }
+            | TraceEvent::SlotReleased { case, .. } => Some(case),
             _ => None,
         }
     }
@@ -349,6 +413,13 @@ impl TraceEvent {
             TraceEvent::NodeLost { .. } => "fault.node_lost",
             TraceEvent::CoordinatorCrashed { .. } => "fault.crash",
             TraceEvent::Custom { .. } => "custom",
+            TraceEvent::TickStarted { .. } => "engine.tick",
+            TraceEvent::CaseAdmitted { .. } => "case.admitted",
+            TraceEvent::CaseRejected { .. } => "case.rejected",
+            TraceEvent::CaseBlocked { .. } => "case.blocked",
+            TraceEvent::CaseCompleted { .. } => "case.completed",
+            TraceEvent::SlotReserved { .. } => "slot.reserved",
+            TraceEvent::SlotReleased { .. } => "slot.released",
         }
     }
 
@@ -472,6 +543,36 @@ mod tests {
             .label(),
             "breaker.closed"
         );
+    }
+
+    #[test]
+    fn engine_events_have_labels_and_case_accessors() {
+        let t = TraceEvent::TickStarted { tick: 3 };
+        assert_eq!(t.label(), "engine.tick");
+        assert_eq!(t.case_label(), None);
+        assert!(!t.is_fault());
+        let r = TraceEvent::SlotReserved {
+            case: "case-1".into(),
+            container: "ac-h2".into(),
+        };
+        assert_eq!(r.label(), "slot.reserved");
+        assert_eq!(r.case_label(), Some("case-1"));
+        let b = TraceEvent::CaseBlocked {
+            case: "case-1".into(),
+            service: "cook".into(),
+        };
+        assert_eq!(b.label(), "case.blocked");
+        assert_eq!(b.case_label(), Some("case-1"));
+        let c = TraceEvent::CaseCompleted {
+            case: "case-0".into(),
+            success: true,
+        };
+        assert_eq!(c.label(), "case.completed");
+        // Engine events round-trip through the externally tagged JSON
+        // representation like every other variant.
+        let json = serde_json::to_string(&r).unwrap();
+        let back: TraceEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
     }
 
     #[test]

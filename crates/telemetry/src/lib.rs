@@ -41,4 +41,6 @@ pub mod sink;
 pub use event::{TraceEvent, TraceRecord};
 pub use metrics::{Histogram, MetricsRegistry, LATENCY_BUCKETS_S};
 pub use query::{TraceQuery, TraceViolation};
-pub use sink::{FrozenClock, NullSink, TraceClock, TraceHandle, TraceLog, TraceSink, TraceSlot};
+pub use sink::{
+    FrozenClock, NullSink, ScopedSink, TraceClock, TraceHandle, TraceLog, TraceSink, TraceSlot,
+};

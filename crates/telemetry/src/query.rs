@@ -84,6 +84,18 @@ pub enum TraceViolation {
         /// Sequence number of the offending dispatch.
         dispatched_seq: u64,
     },
+    /// More cases held reservations on a container than it has slots —
+    /// the multi-case fair-contention invariant in trace form.
+    DoubleBooking {
+        /// The over-booked container.
+        container: String,
+        /// Cases holding a reservation at the moment of the violation.
+        holders: Vec<String>,
+        /// The container's slot capacity.
+        capacity: usize,
+        /// Sequence number of the over-booking reservation.
+        seq: u64,
+    },
 }
 
 impl std::fmt::Display for TraceViolation {
@@ -144,6 +156,17 @@ impl std::fmt::Display for TraceViolation {
                 f,
                 "container '{container}' breaker opened at seq {opened_seq} but took \
                  a dispatch at seq {dispatched_seq} before being readmitted"
+            ),
+            TraceViolation::DoubleBooking {
+                container,
+                holders,
+                capacity,
+                seq,
+            } => write!(
+                f,
+                "container '{container}' ({capacity} slot(s)) held by [{}] at seq {seq} \
+                 — double booking",
+                holders.join(", ")
             ),
         }
     }
@@ -441,6 +464,44 @@ impl TraceQuery {
         Ok(())
     }
 
+    /// Check: at no point in the trace do more cases hold a reservation
+    /// on a container than the container has slots.  `capacities` maps
+    /// container names to their slot counts; containers not listed
+    /// default to a single slot.  Walks `slot.reserved`/`slot.released`
+    /// events, maintaining the live holder set per container.
+    pub fn check_no_double_booking(
+        &self,
+        capacities: &BTreeMap<String, usize>,
+    ) -> Result<(), TraceViolation> {
+        let mut holds: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for r in &self.records {
+            match &r.event {
+                TraceEvent::SlotReserved { case, container } => {
+                    let holders = holds.entry(container).or_default();
+                    holders.push(case);
+                    let capacity = capacities.get(container.as_str()).copied().unwrap_or(1);
+                    if holders.len() > capacity {
+                        return Err(TraceViolation::DoubleBooking {
+                            container: container.clone(),
+                            holders: holders.iter().map(|h| h.to_string()).collect(),
+                            capacity,
+                            seq: r.seq,
+                        });
+                    }
+                }
+                TraceEvent::SlotReleased { case, container } => {
+                    if let Some(holders) = holds.get_mut(container.as_str()) {
+                        if let Some(pos) = holders.iter().position(|h| *h == case) {
+                            holders.remove(pos);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
     /// Panic if [`TraceQuery::check_no_double_dispatch`] fails.
     pub fn assert_no_double_dispatch(&self) {
         if let Err(v) = self.check_no_double_dispatch() {
@@ -485,6 +546,13 @@ impl TraceQuery {
     /// Panic if [`TraceQuery::check_no_dispatch_while_open`] fails.
     pub fn assert_no_dispatch_while_open(&self) {
         if let Err(v) = self.check_no_dispatch_while_open() {
+            panic!("trace violation: {v}");
+        }
+    }
+
+    /// Panic if [`TraceQuery::check_no_double_booking`] fails.
+    pub fn assert_no_double_booking(&self, capacities: &BTreeMap<String, usize>) {
+        if let Err(v) = self.check_no_double_booking(capacities) {
             panic!("trace violation: {v}");
         }
     }
@@ -806,6 +874,60 @@ mod tests {
         assert_eq!(q.retry_schedule_count("A1"), 2);
         assert_eq!(q.retry_schedule_count("A2"), 0);
         assert_eq!(q.lease_expiry_count("A1"), 1);
+    }
+
+    fn reserved(case: &str, container: &str) -> TraceEvent {
+        TraceEvent::SlotReserved {
+            case: case.into(),
+            container: container.into(),
+        }
+    }
+
+    fn released(case: &str, container: &str) -> TraceEvent {
+        TraceEvent::SlotReleased {
+            case: case.into(),
+            container: container.into(),
+        }
+    }
+
+    #[test]
+    fn double_booking_is_caught_against_capacities() {
+        // One slot on c1 (the default): serialized holds are fine…
+        let ok = TraceQuery::new(vec![
+            rec(0, reserved("case-0", "c1")),
+            rec(1, released("case-0", "c1")),
+            rec(2, reserved("case-1", "c1")),
+            rec(3, released("case-1", "c1")),
+        ]);
+        ok.assert_no_double_booking(&BTreeMap::new());
+
+        // …but two live holders on a single-slot container are not.
+        let bad = TraceQuery::new(vec![
+            rec(0, reserved("case-0", "c1")),
+            rec(1, reserved("case-1", "c1")),
+        ]);
+        match bad.check_no_double_booking(&BTreeMap::new()) {
+            Err(TraceViolation::DoubleBooking {
+                container,
+                holders,
+                capacity,
+                seq,
+            }) => {
+                assert_eq!(container, "c1");
+                assert_eq!(holders, vec!["case-0".to_string(), "case-1".to_string()]);
+                assert_eq!((capacity, seq), (1, 1));
+            }
+            other => panic!("expected DoubleBooking, got {other:?}"),
+        }
+
+        // A declared two-slot container admits both holders.
+        let caps = BTreeMap::from([("c1".to_string(), 2)]);
+        bad.assert_no_double_booking(&caps);
+        let msg = bad
+            .check_no_double_booking(&BTreeMap::new())
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("double booking"), "{msg}");
     }
 
     #[test]

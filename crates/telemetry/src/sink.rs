@@ -244,6 +244,51 @@ impl From<TraceLog> for TraceHandle {
     }
 }
 
+/// A sink adapter that prefixes every emission's `source` with a fixed
+/// scope — `"case:dinner-3"` plus an inner source `"enactor"` records as
+/// `"case:dinner-3/enactor"`.  The multi-case engine wraps one scoped
+/// sink per case around the shared log, so a merged trace stays
+/// attributable per case without threading case ids through every
+/// instrumented component.
+pub struct ScopedSink {
+    scope: String,
+    inner: Arc<dyn TraceSink>,
+}
+
+impl ScopedSink {
+    /// Wrap `inner` so every emission's source is prefixed with
+    /// `"{scope}/"`.
+    pub fn new(scope: impl Into<String>, inner: Arc<dyn TraceSink>) -> Self {
+        ScopedSink {
+            scope: scope.into(),
+            inner,
+        }
+    }
+
+    /// The scope prefix this sink applies.
+    pub fn scope(&self) -> &str {
+        &self.scope
+    }
+}
+
+impl std::fmt::Debug for ScopedSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScopedSink")
+            .field("scope", &self.scope)
+            .finish()
+    }
+}
+
+impl TraceSink for ScopedSink {
+    fn emit(&self, source: &str, event: TraceEvent) {
+        self.inner.emit(&format!("{}/{source}", self.scope), event);
+    }
+
+    fn advance_s(&self, dt: f64) {
+        self.inner.advance_s(dt);
+    }
+}
+
 /// A shared, swappable sink slot: install or clear a sink *after*
 /// construction, with the installation visible to every clone (the
 /// directory's transport-slot pattern applied to tracing).
@@ -357,6 +402,20 @@ mod tests {
         assert_eq!(format!("{h:?}"), "TraceHandle { installed: false }");
         let h = TraceHandle::from(TraceLog::new());
         assert!(h.is_installed());
+    }
+
+    #[test]
+    fn scoped_sink_prefixes_sources_and_forwards_advances() {
+        let log = TraceLog::new();
+        let scoped = ScopedSink::new("case:dinner-3", Arc::new(log.clone()));
+        assert_eq!(scoped.scope(), "case:dinner-3");
+        scoped.emit("enactor", msg(1));
+        let recs = log.records();
+        assert_eq!(recs[0].source, "case:dinner-3/enactor");
+        assert_eq!(
+            format!("{scoped:?}"),
+            r#"ScopedSink { scope: "case:dinner-3" }"#
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ fn main() {
 
     // --- First coordinator: runs, checkpointing as it goes -------------
     let mut world = casestudy::virtual_lab_world(0, 11);
-    let report = Enactor::new(config.clone()).enact(&mut world, &graph, &case);
+    let report = Enactor::builder()
+        .config(config.clone())
+        .build()
+        .enact(&mut world, &graph, &case);
     assert!(report.success);
     println!(
         "first run: {} executions, {} checkpoints captured",
@@ -46,7 +49,11 @@ fn main() {
     let doc = storage.get("checkpoint/3DSD").unwrap();
     let restored: EnactmentCheckpoint = serde_json::from_value(doc.body.clone()).unwrap();
     let mut fresh_world = casestudy::virtual_lab_world(0, 11);
-    let resumed = Enactor::new(config).resume(&mut fresh_world, restored, &case);
+    let resumed =
+        Enactor::builder()
+            .config(config)
+            .build()
+            .resume(&mut fresh_world, restored, &case);
     assert!(resumed.success, "abort: {:?}", resumed.abort_reason);
     println!(
         "resumed run: {} total executions ({} new after the checkpoint)",

@@ -9,9 +9,7 @@
 //! ```
 
 use gridflow_harness::workload::{dinner_recovery_workload, dinner_workload};
-use gridflow_harness::{
-    run_scenario_traced, run_scenario_with_budget, FaultPlan, TraceEvent, TraceQuery,
-};
+use gridflow_harness::{FaultPlan, Scenario, TraceEvent, TraceQuery};
 
 fn main() {
     let seed: u64 = std::env::args()
@@ -29,7 +27,7 @@ fn main() {
     println!("plan: {}", serde_json::to_string(&plan).unwrap());
 
     // --- Recovery disabled: one phase, no ladder ----------------------
-    let legacy = run_scenario_with_budget(&plan, &dinner_workload(), 0);
+    let legacy = Scenario::new(&plan, &dinner_workload()).budget(0).run();
     println!(
         "no recovery:  completed={} ({} failed attempts)",
         legacy.completed,
@@ -38,7 +36,8 @@ fn main() {
 
     // --- The standard escalation ladder -------------------------------
     let wl = dinner_recovery_workload();
-    let (outcome, log) = run_scenario_traced(&plan, &wl);
+    let outcome = Scenario::new(&plan, &wl).traced().run();
+    let log = outcome.trace.clone().expect("traced run keeps its log");
     let report = outcome.final_report();
     println!(
         "with ladder:  completed={} after {} resume(s); containers: {:?}",
@@ -76,7 +75,11 @@ fn main() {
     println!("trace invariants hold ✓");
 
     // Same (plan, workload) ⇒ byte-identical event log.
-    let (_, replay) = run_scenario_traced(&plan, &wl);
+    let replay = Scenario::new(&plan, &wl)
+        .traced()
+        .run()
+        .trace
+        .expect("traced run keeps its log");
     assert_eq!(log.to_jsonl(), replay.to_jsonl());
     println!(
         "replay event log identical ✓ ({} records)",

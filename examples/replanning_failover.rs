@@ -110,7 +110,10 @@ fn main() {
         },
         ..EnactmentConfig::default()
     };
-    let report = Enactor::new(config).enact(&mut world, &graph, &case);
+    let report = Enactor::builder()
+        .config(config)
+        .build()
+        .enact(&mut world, &graph, &case);
     println!(
         "with re-planning:    success={} replans={} route={:?}",
         report.success,

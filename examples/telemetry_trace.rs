@@ -8,7 +8,7 @@
 //! ```
 
 use gridflow_harness::workload::dinner_workload;
-use gridflow_harness::{run_scenario_traced, FaultPlan, MetricsRegistry, TraceQuery};
+use gridflow_harness::{FaultPlan, MetricsRegistry, Scenario, TraceQuery};
 
 fn main() {
     let seed: u64 = std::env::args()
@@ -21,7 +21,8 @@ fn main() {
         .failing_activities(0.25)
         .crashing_after(0);
     let workload = dinner_workload();
-    let (outcome, log) = run_scenario_traced(&plan, &workload);
+    let outcome = Scenario::new(&plan, &workload).traced().run();
+    let log = outcome.trace.clone().expect("traced run keeps its log");
     println!(
         "seed {seed}: completed={} after {} resume(s); {} events traced",
         outcome.completed,
@@ -30,7 +31,11 @@ fn main() {
     );
 
     // --- Replay: identical seeds ⇒ byte-identical event logs -----------
-    let (_, replay) = run_scenario_traced(&plan, &workload);
+    let replay = Scenario::new(&plan, &workload)
+        .traced()
+        .run()
+        .trace
+        .expect("traced run keeps its log");
     assert_eq!(log.to_jsonl(), replay.to_jsonl());
     println!("replay JSONL identical ✓ ({} bytes)", log.to_jsonl().len());
 

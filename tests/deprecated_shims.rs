@@ -1,0 +1,116 @@
+//! The 0.5.0 API consolidation keeps the old entry points alive as
+//! `#[deprecated]` shims.  This suite is the compatibility contract:
+//! every shim still compiles, and each one produces *exactly* what its
+//! builder/`Scenario` replacement produces — so downstream code can
+//! migrate on its own schedule.
+
+#![allow(deprecated)]
+
+use gridflow_harness::workload::dinner_workload;
+use gridflow_harness::{
+    outcome_fingerprint, run_scenario_traced, run_scenario_with_budget,
+    run_scenario_with_budget_traced, FaultPlan, Scenario, TraceHandle, TraceLog,
+};
+use gridflow_services::Enactor;
+use std::sync::Arc;
+
+#[test]
+fn enactor_new_matches_the_builder() {
+    let wl = dinner_workload();
+    let plan = FaultPlan::seeded(19).failing_activities(0.3);
+    let mut w1 = wl.fresh_world(&plan, 0);
+    let mut w2 = wl.fresh_world(&plan, 0);
+    let old = Enactor::new(wl.config.clone()).enact(&mut w1, &wl.graph, &wl.case);
+    let new = Enactor::builder()
+        .config(wl.config.clone())
+        .build()
+        .enact(&mut w2, &wl.graph, &wl.case);
+    assert_eq!(old, new);
+}
+
+#[test]
+fn with_trace_handle_matches_the_builder_and_traces_identically() {
+    let wl = dinner_workload();
+    let log_old = TraceLog::new();
+    let log_new = TraceLog::new();
+    let mut w1 = wl.fresh_world(&FaultPlan::default(), 0);
+    let mut w2 = wl.fresh_world(&FaultPlan::default(), 0);
+    let old = Enactor::new(wl.config.clone())
+        .with_trace_handle(TraceHandle::from(log_old.clone()))
+        .enact(&mut w1, &wl.graph, &wl.case);
+    let new = Enactor::builder()
+        .config(wl.config.clone())
+        .trace_handle(TraceHandle::from(log_new.clone()))
+        .build()
+        .enact(&mut w2, &wl.graph, &wl.case);
+    assert_eq!(old, new);
+    assert_eq!(log_old.to_jsonl(), log_new.to_jsonl());
+    assert!(!log_old.to_jsonl().is_empty());
+}
+
+#[test]
+fn with_trace_matches_the_builder_sink_option() {
+    let wl = dinner_workload();
+    let log_old = TraceLog::new();
+    let log_new = TraceLog::new();
+    let mut w1 = wl.fresh_world(&FaultPlan::default(), 0);
+    let mut w2 = wl.fresh_world(&FaultPlan::default(), 0);
+    let old = Enactor::new(wl.config.clone())
+        .with_trace(Arc::new(log_old.clone()))
+        .enact(&mut w1, &wl.graph, &wl.case);
+    let new = Enactor::builder()
+        .config(wl.config.clone())
+        .trace(Arc::new(log_new.clone()))
+        .build()
+        .enact(&mut w2, &wl.graph, &wl.case);
+    assert_eq!(old, new);
+    assert_eq!(log_old.to_jsonl(), log_new.to_jsonl());
+}
+
+#[test]
+fn run_scenario_with_budget_matches_scenario_budget() {
+    let plan = FaultPlan::seeded(11).crashing_after(0);
+    let wl = dinner_workload();
+    let old = run_scenario_with_budget(&plan, &wl, 2);
+    let new = Scenario::new(&plan, &wl).budget(2).run();
+    assert_eq!(outcome_fingerprint(&old), outcome_fingerprint(&new));
+    assert_eq!(old, new);
+}
+
+#[test]
+fn run_scenario_traced_matches_scenario_traced() {
+    let plan = FaultPlan::seeded(21)
+        .failing_activities(0.3)
+        .crashing_after(1);
+    let wl = dinner_workload();
+    let (old_outcome, old_log) = run_scenario_traced(&plan, &wl);
+    let new_outcome = Scenario::new(&plan, &wl).traced().run();
+    let new_log = new_outcome
+        .trace
+        .as_ref()
+        .expect("traced run keeps its log");
+    assert_eq!(old_log.to_jsonl(), new_log.to_jsonl());
+    assert_eq!(
+        outcome_fingerprint(&old_outcome),
+        outcome_fingerprint(&new_outcome)
+    );
+}
+
+#[test]
+fn run_scenario_with_budget_traced_matches_scenario_trace_handle() {
+    let plan = FaultPlan::seeded(3)
+        .losing_node("ac-h2", 0)
+        .losing_node("ac-h3", 0);
+    let wl = dinner_workload();
+    let log_old = TraceLog::new();
+    let log_new = TraceLog::new();
+    let old = run_scenario_with_budget_traced(&plan, &wl, 1, TraceHandle::from(log_old.clone()));
+    let new = Scenario::new(&plan, &wl)
+        .budget(1)
+        .trace_handle(TraceHandle::from(log_new.clone()))
+        .run();
+    assert_eq!(old, new);
+    assert_eq!(log_old.to_jsonl(), log_new.to_jsonl());
+    // The external-handle path leaves the outcome's own log empty.
+    assert!(new.trace.is_none());
+}

@@ -19,8 +19,7 @@ use gridflow_harness::workload::{
 };
 use gridflow_harness::{
     execution_counts, is_execution_prefix, outcome_fingerprint, report_fingerprint, run_scenario,
-    run_scenario_traced, run_scenario_with_budget, FaultPlan, FaultyTransport, TraceQuery,
-    VirtualClock,
+    FaultPlan, FaultyTransport, Scenario, TraceQuery, VirtualClock,
 };
 use gridflow_planner::prelude::GpConfig;
 use gridflow_services::agents::{boot_stack, GRIDFLOW_ONTOLOGY};
@@ -339,7 +338,8 @@ fn every_report_invariant_also_holds_in_trace_form() {
         let plan = FaultPlan::seeded(seed)
             .failing_activities(0.2)
             .crashing_after(0);
-        let (outcome, log) = run_scenario_traced(&plan, &dinner_workload());
+        let outcome = Scenario::new(&plan, &dinner_workload()).traced().run();
+        let log = outcome.trace.clone().expect("traced run keeps its log");
         let q = TraceQuery::new(log.records());
         q.assert_no_double_dispatch();
         // Every execution the final report accounts for has a matching
@@ -383,11 +383,16 @@ fn recovery_ladder_turns_failing_scenarios_into_completions() {
     let mut saw_lease_expiry = false;
     for seed in 0..32 {
         let plan = degraded_plan(seed);
-        let legacy = run_scenario_with_budget(&plan, &dinner_workload(), 0);
+        let legacy = Scenario::new(&plan, &dinner_workload()).budget(0).run();
 
         let wl = dinner_recovery_workload();
-        let (recovered, log_a) = run_scenario_traced(&plan, &wl);
-        let (_, log_b) = run_scenario_traced(&plan, &wl);
+        let recovered = Scenario::new(&plan, &wl).traced().run();
+        let log_a = recovered.trace.clone().expect("traced run keeps its log");
+        let log_b = Scenario::new(&plan, &wl)
+            .traced()
+            .run()
+            .trace
+            .expect("traced run keeps its log");
         let jsonl = log_a.to_jsonl();
         assert_eq!(
             jsonl,
@@ -431,8 +436,10 @@ fn nightly_recovery_seed_sweep() {
     for seed in 0..32 {
         let plan = degraded_plan(seed);
         let wl = dinner_recovery_workload();
-        let (a, log_a) = run_scenario_traced(&plan, &wl);
-        let (b, log_b) = run_scenario_traced(&plan, &wl);
+        let a = Scenario::new(&plan, &wl).traced().run();
+        let log_a = a.trace.clone().expect("traced run keeps its log");
+        let b = Scenario::new(&plan, &wl).traced().run();
+        let log_b = b.trace.clone().expect("traced run keeps its log");
         assert_eq!(
             outcome_fingerprint(&a),
             outcome_fingerprint(&b),
@@ -455,7 +462,7 @@ fn resume_budget_bounds_the_phase_count() {
     // Certain failure (every execution fails, persistently): the runner
     // must stop at the budget, not loop.
     let plan = FaultPlan::seeded(2).failing_activities(1.0);
-    let outcome = run_scenario_with_budget(&plan, &dinner_workload(), 3);
+    let outcome = Scenario::new(&plan, &dinner_workload()).budget(3).run();
     assert!(!outcome.completed);
     assert!(outcome.resumes <= 3);
     assert!(outcome.reports.len() <= 4);

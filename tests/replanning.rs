@@ -62,7 +62,10 @@ fn replanning_cannot_save_an_irreplaceable_service() {
     }
     let graph = casestudy::process_description();
     let case = casestudy::case_description();
-    let report = Enactor::new(enactment_config(3)).enact(&mut world, &graph, &case);
+    let report = Enactor::builder()
+        .config(enactment_config(3))
+        .build()
+        .enact(&mut world, &graph, &case);
     assert!(!report.success);
     assert!(report.replans >= 1, "re-planning was attempted");
     assert!(report
@@ -109,7 +112,10 @@ fn replanning_routes_around_a_replaceable_service() {
     }
     let graph = casestudy::process_description();
     let case = casestudy::case_description();
-    let report = Enactor::new(enactment_config(4)).enact(&mut world, &graph, &case);
+    let report = Enactor::builder()
+        .config(enactment_config(4))
+        .build()
+        .enact(&mut world, &graph, &case);
     assert!(report.success, "abort: {:?}", report.abort_reason);
     assert!(report.replans >= 1);
     assert!(report.executions.iter().any(|e| e.service == "P3DR-GPU"));
@@ -143,7 +149,7 @@ fn stochastic_failures_degrade_success_without_retries() {
                 max_candidates: retries,
                 ..EnactmentConfig::default()
             };
-            let report = Enactor::new(config).enact(
+            let report = Enactor::builder().config(config).build().enact(
                 &mut world,
                 &casestudy::process_description(),
                 &casestudy::case_description(),

@@ -24,9 +24,8 @@ use gridflow_harness::workload::{
     dinner_recovery_workload, dinner_replan_workload, dinner_workload,
 };
 use gridflow_harness::{
-    outcome_fingerprint, run_scenario, run_scenario_traced, run_scenario_with_budget_traced,
-    FaultPlan, FaultyTransport, MetricsRegistry, TraceEvent, TraceHandle, TraceLog, TraceQuery,
-    TraceSink, VirtualClock,
+    outcome_fingerprint, run_scenario, FaultPlan, FaultyTransport, MetricsRegistry, Scenario,
+    TraceEvent, TraceHandle, TraceLog, TraceQuery, TraceSink, VirtualClock,
 };
 use gridflow_planner::prelude::GpConfig;
 use gridflow_services::agents::{boot_stack, GRIDFLOW_ONTOLOGY};
@@ -59,7 +58,10 @@ fn dispatched_activities(q: &TraceQuery) -> Vec<String> {
 
 #[test]
 fn clean_run_emits_a_coherent_span_structure() {
-    let (outcome, log) = run_scenario_traced(&FaultPlan::default(), &dinner_workload());
+    let outcome = Scenario::new(&FaultPlan::default(), &dinner_workload())
+        .traced()
+        .run();
+    let log = outcome.trace.clone().expect("traced run keeps its log");
     assert!(outcome.completed);
     let q = query(&log);
 
@@ -125,8 +127,16 @@ fn identical_seeds_produce_byte_identical_event_logs() {
             .failing_activities(0.25)
             .crashing_after(0);
         let wl = dinner_workload();
-        let (_, log_a) = run_scenario_traced(&plan, &wl);
-        let (_, log_b) = run_scenario_traced(&plan, &wl);
+        let log_a = Scenario::new(&plan, &wl)
+            .traced()
+            .run()
+            .trace
+            .expect("traced run keeps its log");
+        let log_b = Scenario::new(&plan, &wl)
+            .traced()
+            .run()
+            .trace
+            .expect("traced run keeps its log");
         assert!(!log_a.is_empty());
         assert_eq!(
             log_a.to_jsonl(),
@@ -143,8 +153,16 @@ fn identical_seeds_produce_byte_identical_event_logs() {
 #[test]
 fn differing_seeds_produce_differing_event_logs() {
     let wl = dinner_workload();
-    let (_, a) = run_scenario_traced(&FaultPlan::seeded(100).failing_activities(0.5), &wl);
-    let (_, b) = run_scenario_traced(&FaultPlan::seeded(101).failing_activities(0.5), &wl);
+    let a = Scenario::new(&FaultPlan::seeded(100).failing_activities(0.5), &wl)
+        .traced()
+        .run()
+        .trace
+        .expect("traced run keeps its log");
+    let b = Scenario::new(&FaultPlan::seeded(101).failing_activities(0.5), &wl)
+        .traced()
+        .run()
+        .trace
+        .expect("traced run keeps its log");
     assert_ne!(a.to_jsonl(), b.to_jsonl());
 }
 
@@ -157,7 +175,8 @@ fn tracing_does_not_perturb_the_run() {
         .crashing_after(1);
     let wl = dinner_workload();
     let untraced = run_scenario(&plan, &wl);
-    let (traced, _) = run_scenario_traced(&plan, &wl);
+    let traced = Scenario::new(&plan, &wl).traced().run();
+    let _ = traced.trace.clone().expect("traced run keeps its log");
     assert_eq!(outcome_fingerprint(&untraced), outcome_fingerprint(&traced));
 }
 
@@ -170,7 +189,8 @@ fn crash_resume_traces_never_double_dispatch() {
         let plan = FaultPlan::seeded(seed)
             .failing_activities(0.2)
             .crashing_after(1);
-        let (outcome, log) = run_scenario_traced(&plan, &dinner_workload());
+        let outcome = Scenario::new(&plan, &dinner_workload()).traced().run();
+        let log = outcome.trace.clone().expect("traced run keeps its log");
         let q = query(&log);
         q.assert_no_double_dispatch();
         if outcome.resumes > 0 {
@@ -197,7 +217,8 @@ fn resume_trace_reports_the_completed_prefix() {
     // must announce exactly one completed execution, and the phase
     // structure must match the report list.
     let plan = FaultPlan::seeded(11).crashing_after(0);
-    let (outcome, log) = run_scenario_traced(&plan, &dinner_workload());
+    let outcome = Scenario::new(&plan, &dinner_workload()).traced().run();
+    let log = outcome.trace.clone().expect("traced run keeps its log");
     assert!(outcome.completed);
     assert_eq!(outcome.resumes, 1);
     let q = query(&log);
@@ -227,7 +248,10 @@ fn retry_counts_match_the_report_accounting() {
     let plan = FaultPlan::seeded(4).failing_activities(0.35);
     let wl = dinner_workload();
     let log = TraceLog::new();
-    let outcome = run_scenario_with_budget_traced(&plan, &wl, 0, TraceHandle::from(log.clone()));
+    let outcome = Scenario::new(&plan, &wl)
+        .budget(0)
+        .trace_handle(TraceHandle::from(log.clone()))
+        .run();
     let report = outcome.final_report();
     let q = query(&log);
     for activity in dispatched_activities(&q) {
@@ -254,12 +278,10 @@ fn node_loss_and_abort_appear_in_the_trace() {
         .losing_node("ac-h2", 0)
         .losing_node("ac-h3", 0);
     let log = TraceLog::new();
-    let outcome = run_scenario_with_budget_traced(
-        &plan,
-        &dinner_workload(),
-        1,
-        TraceHandle::from(log.clone()),
-    );
+    let outcome = Scenario::new(&plan, &dinner_workload())
+        .budget(1)
+        .trace_handle(TraceHandle::from(log.clone()))
+        .run();
     assert!(!outcome.completed);
     let q = query(&log);
     assert!(q.count(|e| matches!(e, TraceEvent::NodeLost { .. })) >= 2);
@@ -285,7 +307,10 @@ fn replanning_emits_generations_and_causally_ordered_replan_events() {
     let plan = FaultPlan::seeded(1)
         .losing_node("ac-h2", 0)
         .losing_node("ac-h3", 0);
-    let (outcome, log) = run_scenario_traced(&plan, &dinner_replan_workload(11));
+    let outcome = Scenario::new(&plan, &dinner_replan_workload(11))
+        .traced()
+        .run();
+    let log = outcome.trace.clone().expect("traced run keeps its log");
     assert!(outcome.completed);
     assert!(outcome.final_report().replans >= 1);
     let q = query(&log);
@@ -314,7 +339,10 @@ fn recovery_events_satisfy_breaker_and_lease_discipline() {
     // leases out all three tries on the slow container, opens its
     // breaker, and fails over — and the trace must show exactly that.
     let plan = FaultPlan::seeded(3).slowing_container("ac-h1", 50.0);
-    let (outcome, log) = run_scenario_traced(&plan, &dinner_recovery_workload());
+    let outcome = Scenario::new(&plan, &dinner_recovery_workload())
+        .traced()
+        .run();
+    let log = outcome.trace.clone().expect("traced run keeps its log");
     assert!(outcome.completed);
     let q = query(&log);
 
@@ -362,7 +390,10 @@ fn recovery_events_satisfy_breaker_and_lease_discipline() {
 
 #[test]
 fn metrics_registry_agrees_with_the_trace_and_the_report() {
-    let (outcome, log) = run_scenario_traced(&FaultPlan::default(), &dinner_workload());
+    let outcome = Scenario::new(&FaultPlan::default(), &dinner_workload())
+        .traced()
+        .run();
+    let log = outcome.trace.clone().expect("traced run keeps its log");
     let report = outcome.final_report();
     let records = log.records();
     let m = MetricsRegistry::from_trace(&records);
