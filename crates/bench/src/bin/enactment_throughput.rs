@@ -1,15 +1,21 @@
 //! **Engine throughput — concurrent multi-case enactment.**
 //!
-//! Drive fleets of N ∈ {1, 8, 64, 512} dinner cases through the
-//! `gridflow-engine` scheduler over one shared world and report
-//! cases/sec (wall clock) plus the p50/p99 virtual-tick makespan per
-//! case.  Results land in `BENCH_enactment.json` in the working
-//! directory.
+//! Drive fleets of N ∈ {1, 8, 64, 512, 2048} dinner cases through the
+//! `gridflow-engine` scheduler over one shared world, at worker counts
+//! 1 and 8, and report cases/sec (wall clock) plus the p50/p99
+//! virtual-tick makespan per case and the fleet's total blocked ticks.
+//! Results land in `BENCH_enactment.json` in the working directory.
 //!
 //! ```sh
 //! cargo run --release --bin enactment_throughput
 //! cargo run --release --bin enactment_throughput -- --max-cases 64   # CI smoke
+//! cargo run --release --bin enactment_throughput -- --guard          # + regression gate
 //! ```
+//!
+//! `--guard` reads the committed `BENCH_enactment.json` *before*
+//! overwriting it and exits non-zero if the headline point (N=512,
+//! workers=1) regressed more than 20% in cases/sec against it — the CI
+//! seam that keeps the event core's throughput claim honest.
 
 use gridflow_bench::{banner, render_table};
 use gridflow_engine::{CaseScheduler, CaseSpec, EngineConfig};
@@ -18,7 +24,12 @@ use gridflow_harness::FaultPlan;
 use serde_json::json;
 use std::time::Instant;
 
-const FLEET_SIZES: [usize; 4] = [1, 8, 64, 512];
+const FLEET_SIZES: [usize; 5] = [1, 8, 64, 512, 2048];
+const WORKER_COUNTS: [usize; 2] = [1, 8];
+/// The regression gate's reference point and tolerance.
+const GUARD_CASES: u64 = 512;
+const GUARD_WORKERS: u64 = 1;
+const GUARD_FLOOR: f64 = 0.8;
 
 fn percentile_ticks(sorted: &[u64], pct: f64) -> u64 {
     if sorted.is_empty() {
@@ -26,6 +37,21 @@ fn percentile_ticks(sorted: &[u64], pct: f64) -> u64 {
     }
     let rank = (pct / 100.0 * (sorted.len() - 1) as f64).round() as usize;
     sorted[rank.min(sorted.len() - 1)]
+}
+
+/// The committed baseline cases/sec for the guard point, if the report
+/// on disk has one.  Legacy reports carried no per-result worker count;
+/// they were all measured at workers=1.
+fn baseline_cases_per_sec(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let report: serde_json::Value = serde_json::from_str(&text).ok()?;
+    report.get("results")?.as_array()?.iter().find_map(|r| {
+        let cases = r.get("cases")?.as_u64()?;
+        let workers = r.get("workers").and_then(|w| w.as_u64()).unwrap_or(1);
+        (cases == GUARD_CASES && workers == GUARD_WORKERS)
+            .then(|| r.get("cases_per_sec")?.as_f64())
+            .flatten()
+    })
 }
 
 fn main() {
@@ -36,6 +62,10 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(usize::MAX);
+    let guard = args.iter().any(|a| a == "--guard");
+
+    let path = "BENCH_enactment.json";
+    let baseline = guard.then(|| baseline_cases_per_sec(path)).flatten();
 
     banner("engine throughput: concurrent multi-case enactment");
     let wl = dinner_workload();
@@ -43,58 +73,73 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut results = Vec::new();
+    let mut guard_measured: Option<f64> = None;
     for &fleet in FLEET_SIZES.iter().filter(|&&n| n <= max_cases) {
-        let mut scheduler = CaseScheduler::new(EngineConfig {
-            max_in_flight: 64,
-            ..EngineConfig::default()
-        });
-        // The shared world's fresh-id counter is fleet-global, so the
-        // goal range must be sized to the fleet.
-        let case = dinner_case_for_fleet(fleet);
-        for i in 0..fleet {
-            scheduler.submit(CaseSpec {
-                label: format!("dinner-{i}"),
-                graph: wl.graph.clone(),
-                case: case.clone(),
-                config: wl.config.clone(),
+        for &workers in &WORKER_COUNTS {
+            let mut scheduler = CaseScheduler::new(EngineConfig {
+                workers,
+                max_in_flight: 64,
+                ..EngineConfig::default()
             });
+            // The shared world's fresh-id counter is fleet-global, so
+            // the goal range must be sized to the fleet.
+            let case = std::sync::Arc::new(dinner_case_for_fleet(fleet));
+            for i in 0..fleet {
+                scheduler.submit(CaseSpec {
+                    label: format!("dinner-{i}"),
+                    graph: wl.graph.clone(),
+                    case: case.clone(),
+                    config: wl.config.clone(),
+                });
+            }
+            let mut world = wl.fresh_world(&plan, 0);
+            let start = Instant::now();
+            let outcome = scheduler.run(&mut world);
+            let wall = start.elapsed();
+
+            // Percentiles over cases that actually ran; a refusal has
+            // no makespan and must not be counted as an instant one.
+            let mut makespans: Vec<u64> = outcome
+                .cases
+                .iter()
+                .filter_map(|c| c.admitted_makespan_ticks())
+                .collect();
+            makespans.sort_unstable();
+            let p50 = percentile_ticks(&makespans, 50.0);
+            let p99 = percentile_ticks(&makespans, 99.0);
+            let blocked: u64 = outcome.cases.iter().map(|c| c.blocked_ticks).sum();
+            let secs = wall.as_secs_f64().max(1e-9);
+            let cases_per_sec = fleet as f64 / secs;
+            assert!(
+                outcome.all_succeeded(),
+                "fleet of {fleet} (workers={workers}) did not fully succeed"
+            );
+            if fleet as u64 == GUARD_CASES && workers as u64 == GUARD_WORKERS {
+                guard_measured = Some(cases_per_sec);
+            }
+
+            rows.push(vec![
+                fleet.to_string(),
+                workers.to_string(),
+                outcome.ticks.to_string(),
+                format!("{:.1}", wall.as_secs_f64() * 1e3),
+                format!("{cases_per_sec:.0}"),
+                p50.to_string(),
+                p99.to_string(),
+                blocked.to_string(),
+            ]);
+            results.push(json!({
+                "cases": fleet,
+                "workers": workers,
+                "ticks": outcome.ticks,
+                "wall_ms": wall.as_secs_f64() * 1e3,
+                "cases_per_sec": cases_per_sec,
+                "p50_makespan_ticks": p50,
+                "p99_makespan_ticks": p99,
+                "blocked_ticks_total": blocked,
+                "all_succeeded": true,
+            }));
         }
-        let mut world = wl.fresh_world(&plan, 0);
-        let start = Instant::now();
-        let outcome = scheduler.run(&mut world);
-        let wall = start.elapsed();
-
-        let mut makespans: Vec<u64> = outcome.cases.iter().map(|c| c.makespan_ticks()).collect();
-        makespans.sort_unstable();
-        let p50 = percentile_ticks(&makespans, 50.0);
-        let p99 = percentile_ticks(&makespans, 99.0);
-        let blocked: u64 = outcome.cases.iter().map(|c| c.blocked_ticks).sum();
-        let secs = wall.as_secs_f64().max(1e-9);
-        let cases_per_sec = fleet as f64 / secs;
-        assert!(
-            outcome.all_succeeded(),
-            "fleet of {fleet} did not fully succeed"
-        );
-
-        rows.push(vec![
-            fleet.to_string(),
-            outcome.ticks.to_string(),
-            format!("{:.1}", wall.as_secs_f64() * 1e3),
-            format!("{cases_per_sec:.0}"),
-            p50.to_string(),
-            p99.to_string(),
-            blocked.to_string(),
-        ]);
-        results.push(json!({
-            "cases": fleet,
-            "ticks": outcome.ticks,
-            "wall_ms": wall.as_secs_f64() * 1e3,
-            "cases_per_sec": cases_per_sec,
-            "p50_makespan_ticks": p50,
-            "p99_makespan_ticks": p99,
-            "blocked_ticks_total": blocked,
-            "all_succeeded": true,
-        }));
     }
 
     println!(
@@ -102,6 +147,7 @@ fn main() {
         render_table(
             &[
                 "cases",
+                "workers",
                 "ticks",
                 "wall ms",
                 "cases/s",
@@ -116,14 +162,34 @@ fn main() {
     let report = json!({
         "bench": "enactment_throughput",
         "workload": wl.name,
-        "engine": {"workers": 1, "max_in_flight": 64, "enforce_reservations": true},
+        "engine": {"max_in_flight": 64, "enforce_reservations": true},
         "results": results,
     });
-    let path = "BENCH_enactment.json";
     std::fs::write(
         path,
         serde_json::to_string_pretty(&report).expect("serializes"),
     )
     .expect("write BENCH_enactment.json");
     println!("wrote {path}");
+
+    if guard {
+        let Some(measured) = guard_measured else {
+            eprintln!("guard: no N={GUARD_CASES} workers={GUARD_WORKERS} point was measured (--max-cases too low?)");
+            std::process::exit(1);
+        };
+        match baseline {
+            Some(base) => {
+                let floor = base * GUARD_FLOOR;
+                println!(
+                    "guard: N={GUARD_CASES} workers={GUARD_WORKERS}: {measured:.0} cases/s \
+                     vs committed baseline {base:.0} (floor {floor:.0})"
+                );
+                if measured < floor {
+                    eprintln!("guard: throughput regressed more than 20% — failing");
+                    std::process::exit(1);
+                }
+            }
+            None => println!("guard: no committed baseline for the guard point; recording only"),
+        }
+    }
 }

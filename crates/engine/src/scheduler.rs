@@ -26,6 +26,15 @@ pub struct EngineConfig {
     /// Abort every still-running case once this many ticks have
     /// elapsed — the engine's defense against a live-locked schedule.
     pub max_ticks: u64,
+    /// Run the legacy scan core instead of the event-driven core.
+    ///
+    /// The scan core re-derives every fiber's situation from scratch
+    /// each tick; the event core (the default) classifies fibers into a
+    /// ready queue and capacity wait-sets and lets blocked fibers
+    /// re-check contention cheaply.  Both cores emit byte-identical
+    /// merged traces — the scan core exists as the differential oracle
+    /// the equivalence suite compares against, not as a feature.
+    pub scan_core: bool,
 }
 
 impl Default for EngineConfig {
@@ -35,6 +44,7 @@ impl Default for EngineConfig {
             max_in_flight: 16,
             enforce_reservations: true,
             max_ticks: 100_000,
+            scan_core: false,
         }
     }
 }
@@ -49,7 +59,12 @@ pub struct CaseSpec {
     /// The workflow to enact.
     pub graph: ProcessGraph,
     /// The case description (initial data, goals, constraints).
-    pub case: CaseDescription,
+    ///
+    /// Shared, so a fleet of specs stamped from one workload holds one
+    /// description between them and spawning a fiber never deep-copies
+    /// the case's condition trees (`my_case.into()` converts an owned
+    /// description).
+    pub case: Arc<CaseDescription>,
     /// Per-case enactment configuration (recovery ladder included).
     pub config: EnactmentConfig,
 }
@@ -72,12 +87,24 @@ pub struct CaseOutcome {
 
 impl CaseOutcome {
     /// Virtual-tick makespan: admission to finish, inclusive of the
-    /// finishing tick.  Zero for refused cases.
+    /// finishing tick.
+    ///
+    /// **Refused cases return 0**, which is *not* a makespan — a
+    /// refused case never ran.  Aggregations (percentiles, means) that
+    /// feed zeros in would silently report refusals as instant
+    /// completions; use [`CaseOutcome::admitted_makespan_ticks`] and
+    /// filter its `None`s instead.
     pub fn makespan_ticks(&self) -> u64 {
-        match self.admitted_tick {
-            Some(t) => self.finished_tick.saturating_sub(t) + 1,
-            None => 0,
-        }
+        self.admitted_makespan_ticks().unwrap_or(0)
+    }
+
+    /// Virtual-tick makespan for cases that actually ran: admission to
+    /// finish, inclusive of the finishing tick.  `None` when admission
+    /// refused the case — the variant aggregations should filter out
+    /// rather than count as zero.
+    pub fn admitted_makespan_ticks(&self) -> Option<u64> {
+        self.admitted_tick
+            .map(|t| self.finished_tick.saturating_sub(t) + 1)
     }
 }
 
@@ -103,6 +130,28 @@ struct Slot {
     fiber: CaseFiber,
     admitted_tick: u64,
     blocked_ticks: u64,
+}
+
+/// A live fiber's scheduling state in the event core.
+enum WaitState {
+    /// In the ready queue: stepped this tick.
+    Ready,
+    /// Parked on reserved-away capacity until one of its blockers frees
+    /// a slot or the world's matchmaking generation changes (its
+    /// candidate ranking may then differ).  Under tick-scoped
+    /// reservations every hold drains at each tick boundary, so
+    /// capacity waiters wake every tick by construction — the wait
+    /// set's value is that a woken blocked fiber re-checks contention
+    /// in O(candidates) instead of re-deriving its whole step.  An
+    /// empty blocker set (recovery-ladder blocks, whose candidate list
+    /// is not cacheable) always wakes.
+    Capacity { blockers: Vec<String> },
+}
+
+/// A [`Slot`] plus its event-core scheduling state.
+struct EventSlot {
+    slot: Slot,
+    wait: WaitState,
 }
 
 /// The multi-case enactment engine.
@@ -169,7 +218,27 @@ impl CaseScheduler {
     /// of every tick (after `TickStarted`, before admission) — the seam
     /// the harness uses to inject mid-schedule faults such as node
     /// loss.
+    ///
+    /// Dispatches to the event-driven core, or to the legacy scan core
+    /// when [`EngineConfig::scan_core`] is set.  The two cores emit
+    /// byte-identical merged traces for every `(seed, workload, case
+    /// count)` — the differential equivalence suite pins that down.
     pub fn run_with(
+        &mut self,
+        world: &mut GridWorld,
+        on_tick: impl FnMut(u64, &mut GridWorld),
+    ) -> EngineOutcome {
+        if self.config.scan_core {
+            self.run_scan(world, on_tick)
+        } else {
+            self.run_event(world, on_tick)
+        }
+    }
+
+    /// The legacy scan core: every tick re-derives every fiber's
+    /// situation from scratch.  Kept verbatim as the differential
+    /// oracle for the event core — do not "improve" it.
+    fn run_scan(
         &mut self,
         world: &mut GridWorld,
         mut on_tick: impl FnMut(u64, &mut GridWorld),
@@ -337,6 +406,224 @@ impl CaseScheduler {
         }
     }
 
+    /// The event-driven core: live fibers are classified into a ready
+    /// queue and capacity wait-sets.  A blocked fiber parks on the set
+    /// of containers it found reserved away; the tick boundary's
+    /// reservation drain is the wake signal.  Because reservations are
+    /// tick-scoped, every blocker's hold drains every tick, so capacity
+    /// waiters always wake — the trace stays byte-identical to the scan
+    /// core's (one `CaseBlocked` per blocked tick) while the woken
+    /// fiber's re-step is a cheap contention re-check instead of a full
+    /// plan/matchmake re-derivation.
+    fn run_event(
+        &mut self,
+        world: &mut GridWorld,
+        mut on_tick: impl FnMut(u64, &mut GridWorld),
+    ) -> EngineOutcome {
+        let reservations_before = world.reservations_enabled();
+        world.enable_reservations(self.config.enforce_reservations);
+
+        let specs = std::mem::take(&mut self.pending);
+        let mut waiting: std::collections::VecDeque<(usize, CaseSpec)> =
+            specs.into_iter().enumerate().collect();
+        let mut live: Vec<EventSlot> = Vec::new();
+        let mut finished: Vec<(usize, CaseOutcome)> = Vec::new();
+        let mut tick: u64 = 0;
+        // Containers whose tick-scoped holds drained at the previous
+        // tick boundary — the wake signal for capacity waiters.
+        let mut freed: Vec<String> = Vec::new();
+        let mut last_generation = world.generation();
+
+        loop {
+            self.trace.emit("engine", TraceEvent::TickStarted { tick });
+            on_tick(tick, world);
+
+            // FIFO admission, identical to the scan core; fresh
+            // admissions enter the ready queue.
+            while live.len() < self.config.max_in_flight.max(1) {
+                let Some((index, spec)) = waiting.pop_front() else {
+                    break;
+                };
+                match self.admission_gap(world, &spec.graph) {
+                    None => {
+                        self.trace.emit(
+                            "engine",
+                            TraceEvent::CaseAdmitted {
+                                case: spec.label.clone(),
+                                tick,
+                            },
+                        );
+                        let fiber = self.spawn_fiber(&spec);
+                        live.push(EventSlot {
+                            slot: Slot {
+                                index,
+                                fiber,
+                                admitted_tick: tick,
+                                blocked_ticks: 0,
+                            },
+                            wait: WaitState::Ready,
+                        });
+                    }
+                    Some(reason) => {
+                        self.trace.emit(
+                            "engine",
+                            TraceEvent::CaseRejected {
+                                case: spec.label.clone(),
+                                reason: reason.clone(),
+                            },
+                        );
+                        let mut fiber = self.spawn_fiber(&spec);
+                        fiber.abort(format!("admission refused: {reason}"));
+                        finished.push((
+                            index,
+                            CaseOutcome {
+                                label: spec.label.clone(),
+                                report: fiber.into_report(),
+                                admitted_tick: None,
+                                finished_tick: tick,
+                                blocked_ticks: 0,
+                            },
+                        ));
+                    }
+                }
+            }
+
+            if live.is_empty() && waiting.is_empty() {
+                break;
+            }
+
+            // Wake phase: move capacity waiters whose blockers freed a
+            // slot (or whose candidate ranking may have changed) back to
+            // the ready queue.
+            let generation = world.generation();
+            for entry in &mut live {
+                let wake = match &entry.wait {
+                    WaitState::Ready => true,
+                    WaitState::Capacity { blockers } => {
+                        blockers.is_empty()
+                            || generation != last_generation
+                            || blockers.iter().any(|b| freed.contains(b))
+                    }
+                };
+                if wake {
+                    entry.wait = WaitState::Ready;
+                }
+            }
+
+            // Step the ready queue in the canonical order rotated by the
+            // tick over the *full* live list, so rotation fairness (and
+            // hence the trace) is independent of who happens to be
+            // parked.  Worker chunking is order-preserving, as in the
+            // scan core.
+            let n = live.len();
+            let rotation = (tick as usize) % n.max(1);
+            let order: Vec<usize> = (0..n)
+                .map(|i| (i + rotation) % n)
+                .filter(|&i| matches!(live[i].wait, WaitState::Ready))
+                .collect();
+            let chunk = order.len().div_ceil(self.config.workers.max(1));
+            let mut done: Vec<usize> = Vec::new();
+            for worker_share in order.chunks(chunk.max(1)) {
+                for &slot_idx in worker_share {
+                    let entry = &mut live[slot_idx];
+                    match entry.slot.fiber.step(world) {
+                        FiberStatus::Progressed => entry.wait = WaitState::Ready,
+                        FiberStatus::Blocked { .. } => {
+                            entry.slot.blocked_ticks += 1;
+                            entry.wait = WaitState::Capacity {
+                                blockers: entry
+                                    .slot
+                                    .fiber
+                                    .blocked_on()
+                                    .map(<[String]>::to_vec)
+                                    .unwrap_or_default(),
+                            };
+                        }
+                        FiberStatus::Finished => done.push(slot_idx),
+                    }
+                }
+            }
+
+            // Retire finished cases (highest slot first so removals
+            // don't shift pending indices).
+            done.sort_unstable();
+            for &slot_idx in done.iter().rev() {
+                let slot = live.remove(slot_idx).slot;
+                self.trace.emit(
+                    "engine",
+                    TraceEvent::CaseCompleted {
+                        case: slot.fiber.label().to_owned(),
+                        success: slot.fiber.report().success,
+                    },
+                );
+                finished.push((
+                    slot.index,
+                    CaseOutcome {
+                        label: slot.fiber.label().to_owned(),
+                        report: slot.fiber.into_report(),
+                        admitted_tick: Some(slot.admitted_tick),
+                        finished_tick: tick,
+                        blocked_ticks: slot.blocked_ticks,
+                    },
+                ));
+            }
+
+            // Drain the tick's reservations and remember which
+            // containers freed capacity — next tick's wake signal.
+            freed.clear();
+            for (container, holders) in world.drain_reservations() {
+                for case in holders {
+                    self.trace.emit(
+                        "engine",
+                        TraceEvent::SlotReleased {
+                            case,
+                            container: container.clone(),
+                        },
+                    );
+                }
+                freed.push(container);
+            }
+            last_generation = world.generation();
+
+            tick += 1;
+            if tick >= self.config.max_ticks {
+                for entry in live.drain(..) {
+                    let mut slot = entry.slot;
+                    slot.fiber.abort(format!(
+                        "engine tick budget exhausted after {} ticks",
+                        self.config.max_ticks
+                    ));
+                    self.trace.emit(
+                        "engine",
+                        TraceEvent::CaseCompleted {
+                            case: slot.fiber.label().to_owned(),
+                            success: false,
+                        },
+                    );
+                    finished.push((
+                        slot.index,
+                        CaseOutcome {
+                            label: slot.fiber.label().to_owned(),
+                            report: slot.fiber.into_report(),
+                            admitted_tick: Some(slot.admitted_tick),
+                            finished_tick: tick,
+                            blocked_ticks: slot.blocked_ticks,
+                        },
+                    ));
+                }
+                waiting.clear();
+                break;
+            }
+        }
+
+        world.enable_reservations(reservations_before);
+        finished.sort_by_key(|(index, _)| *index);
+        EngineOutcome {
+            cases: finished.into_iter().map(|(_, c)| c).collect(),
+            ticks: tick.max(1),
+        }
+    }
+
     /// `None` when matchmaking can place every end-user service of
     /// `graph` on a live container; otherwise the first gap found.
     fn admission_gap(&self, world: &GridWorld, graph: &ProcessGraph) -> Option<String> {
@@ -373,7 +660,7 @@ impl CaseScheduler {
             spec.config.clone(),
             trace,
             &spec.graph,
-            &spec.case,
+            spec.case.clone(),
             spec.label.clone(),
         )
     }

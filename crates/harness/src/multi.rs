@@ -81,6 +81,13 @@ impl<'a> MultiCaseScenario<'a> {
         self
     }
 
+    /// Run on the legacy scan core instead of the event core — the
+    /// differential equivalence suite's oracle switch.
+    pub fn scan_core(mut self) -> Self {
+        self.config.scan_core = true;
+        self
+    }
+
     /// Record the merged run into a fresh [`TraceLog`] stamped by a
     /// [`VirtualClock`], returned in [`MultiCaseOutcome::trace`].
     pub fn traced(mut self) -> Self {
@@ -107,11 +114,12 @@ impl<'a> MultiCaseScenario<'a> {
             }
             None => TraceHandle::none(),
         };
+        let case = Arc::new(self.workload.case.clone());
         for i in 0..self.cases {
             scheduler.submit(CaseSpec {
                 label: format!("{}-{i}", self.workload.name),
                 graph: self.workload.graph.clone(),
-                case: self.workload.case.clone(),
+                case: case.clone(),
                 config: self.workload.config.clone(),
             });
         }

@@ -23,13 +23,22 @@
 //! decision is announced on the telemetry trace (`retry.scheduled`,
 //! `lease.granted`/`lease.expired`, `breaker.opened`/`half_open`/
 //! `closed`), making the whole ladder assertable per seed.
+//!
+//! All three deadline kinds register into a shared virtual-time
+//! [`TimerWheel`] (ticks, stable FIFO within a tick), so "what is due
+//! by tick T?" is a range pop instead of a scan; the wheel is
+//! runtime-only and rebuilt from [`RecoveryState`] on restore.
 
 #![warn(missing_docs)]
 
 mod breaker;
 mod manager;
 mod policy;
+mod wheel;
 
 pub use breaker::{Admission, BreakerConfig, BreakerRecord, BreakerSignal, BreakerState};
-pub use manager::{LeaseConfig, PendingBackoff, RecoveryManager, RecoveryPolicy, RecoveryState};
+pub use manager::{
+    Deadline, LeaseConfig, PendingBackoff, RecoveryManager, RecoveryPolicy, RecoveryState,
+};
 pub use policy::RetryPolicy;
+pub use wheel::{Fired, TimerId, TimerWheel};

@@ -15,6 +15,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::breaker::{Admission, BreakerConfig, BreakerRecord, BreakerSignal, BreakerState};
 use crate::policy::RetryPolicy;
+use crate::wheel::{TimerId, TimerWheel};
 
 /// Trace source tag for everything the recovery layer emits.
 const SOURCE: &str = "recovery";
@@ -109,22 +110,56 @@ pub struct RecoveryState {
     pub pending_backoffs: Vec<PendingBackoff>,
 }
 
+/// One future deadline registered on the recovery layer's
+/// [`TimerWheel`] — every kind of virtual-time wait the ladder tracks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Deadline {
+    /// A scheduled backoff retry (mirrors one
+    /// [`RecoveryState::pending_backoffs`] entry).
+    Retry(PendingBackoff),
+    /// An outstanding activity lease granted at dispatch.
+    Lease {
+        /// Leased activity.
+        activity: String,
+        /// Container executing it.
+        container: String,
+        /// The allowance that was granted, in ticks.
+        lease_ticks: u64,
+    },
+    /// An open breaker's cooldown end: the tick at which the container
+    /// may take its half-open probe.
+    BreakerProbe {
+        /// The quarantined container.
+        container: String,
+    },
+}
+
 /// Drives retries, leases, and breakers for one enactment.
+///
+/// All three deadline kinds — retry backoffs, activity leases, breaker
+/// half-open probes — register into one virtual-time [`TimerWheel`]
+/// instead of being rediscovered by scans of their owning collections.
+/// The wheel is runtime-only structure: the serialized
+/// [`RecoveryState`] schema is unchanged (pending backoffs still
+/// serialize as the insertion-ordered `Vec`), and
+/// [`RecoveryManager::restore`] rebuilds the wheel from it.
 #[derive(Debug, Clone)]
 pub struct RecoveryManager {
     policy: RecoveryPolicy,
     state: RecoveryState,
     trace: TraceHandle,
+    /// Virtual-time deadline registry (see [`Deadline`]).
+    wheel: TimerWheel<Deadline>,
+    /// Live lease entries: `(activity, container)` → wheel handle.
+    active_leases: BTreeMap<(String, String), TimerId>,
+    /// Open-breaker cooldown entries: container → wheel handle.
+    breaker_probes: BTreeMap<String, TimerId>,
 }
 
 impl RecoveryManager {
     /// A fresh manager (no trace sink).
     pub fn new(policy: RecoveryPolicy) -> Self {
-        RecoveryManager {
-            policy,
-            state: RecoveryState::default(),
-            trace: TraceHandle::none(),
-        }
+        Self::with_trace_handle(policy, TraceHandle::none())
     }
 
     /// A fresh manager announcing its decisions on `trace`.
@@ -133,15 +168,41 @@ impl RecoveryManager {
             policy,
             state: RecoveryState::default(),
             trace,
+            wheel: TimerWheel::new(),
+            active_leases: BTreeMap::new(),
+            breaker_probes: BTreeMap::new(),
         }
     }
 
     /// Rebuild a manager from checkpointed state (crash/resume path).
+    /// The timer wheel is runtime-only, so it is reconstructed here:
+    /// pending backoffs re-register in their checkpointed order
+    /// (preserving FIFO ties) and every still-open breaker re-registers
+    /// its cooldown probe.
     pub fn restore(policy: RecoveryPolicy, state: RecoveryState, trace: TraceHandle) -> Self {
+        let mut wheel = TimerWheel::new();
+        for pending in &state.pending_backoffs {
+            wheel.schedule(pending.resume_tick, Deadline::Retry(pending.clone()));
+        }
+        let mut breaker_probes = BTreeMap::new();
+        for (container, record) in &state.breakers {
+            if let BreakerState::Open { until_tick } = record.state {
+                let id = wheel.schedule(
+                    until_tick,
+                    Deadline::BreakerProbe {
+                        container: container.clone(),
+                    },
+                );
+                breaker_probes.insert(container.clone(), id);
+            }
+        }
         RecoveryManager {
             policy,
             state,
             trace,
+            wheel,
+            active_leases: BTreeMap::new(),
+            breaker_probes,
         }
     }
 
@@ -168,6 +229,19 @@ impl RecoveryManager {
     /// Current recovery-clock reading.
     pub fn now_tick(&self) -> u64 {
         self.state.now_tick
+    }
+
+    /// The earliest registered deadline (backoff, lease, or breaker
+    /// cooldown), if any — the next recovery tick at which something
+    /// is due.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.wheel.next_deadline()
+    }
+
+    /// Every registered deadline in firing order (ascending tick, FIFO
+    /// within a tick).
+    pub fn deadlines(&self) -> impl Iterator<Item = (u64, &Deadline)> {
+        self.wheel.iter()
     }
 
     /// Convert virtual execution seconds to recovery ticks (1 tick per
@@ -241,16 +315,33 @@ impl RecoveryManager {
     // ---------------------------------------------------------- leases
 
     /// Grant a lease for a dispatch, if leases are configured.
-    /// Announces `lease.granted` and returns the allowance in ticks.
+    /// Announces `lease.granted`, registers the deadline on the wheel,
+    /// and returns the allowance in ticks.
     pub fn grant_lease(&mut self, activity: &str, container: &str) -> Option<u64> {
         let lease_ticks = self.policy.lease.as_ref()?.lease_ticks;
+        let deadline_tick = self.state.now_tick.saturating_add(lease_ticks);
+        let key = (activity.to_string(), container.to_string());
+        // A re-grant (retry on the same candidate) supersedes any
+        // still-registered lease for the pair.
+        if let Some(stale) = self.active_leases.remove(&key) {
+            self.wheel.cancel(stale);
+        }
+        let id = self.wheel.schedule(
+            deadline_tick,
+            Deadline::Lease {
+                activity: activity.to_string(),
+                container: container.to_string(),
+                lease_ticks,
+            },
+        );
+        self.active_leases.insert(key, id);
         self.trace.emit(
             SOURCE,
             TraceEvent::LeaseGranted {
                 activity: activity.to_string(),
                 container: container.to_string(),
                 lease_ticks,
-                deadline_tick: self.state.now_tick.saturating_add(lease_ticks),
+                deadline_tick,
             },
         );
         Some(lease_ticks)
@@ -259,7 +350,18 @@ impl RecoveryManager {
     /// Did an execution that took `took_ticks` overrun its lease?  If
     /// so, announces `lease.expired` and returns `true` (the caller
     /// must treat the attempt as failed and discard its outputs).
+    ///
+    /// The verdict is an *overrun check against the granted allowance*
+    /// (`took_ticks > lease_ticks`), deliberately independent of the
+    /// wheel's absolute deadline: the caller settles an execution whose
+    /// duration it already knows, whether or not the recovery clock has
+    /// been advanced past the grant.  Either way the lease is settled
+    /// and its wheel entry retired.
     pub fn lease_expired(&mut self, activity: &str, container: &str, took_ticks: u64) -> bool {
+        let key = (activity.to_string(), container.to_string());
+        if let Some(id) = self.active_leases.remove(&key) {
+            self.wheel.cancel(id);
+        }
         let Some(lease) = self.policy.lease.as_ref() else {
             return false;
         };
@@ -283,6 +385,7 @@ impl RecoveryManager {
 
     /// Feed a successful execution outcome into the breaker.
     pub fn record_success(&mut self, container: &str) {
+        self.settle_leases_on(container);
         if self.policy.breaker.is_none() {
             return;
         }
@@ -295,6 +398,7 @@ impl RecoveryManager {
     /// Feed a failed execution outcome (or expired lease) into the
     /// breaker; may trip it open (`breaker.opened`).
     pub fn record_failure(&mut self, container: &str) {
+        self.settle_leases_on(container);
         let Some(cfg) = self.policy.breaker.clone() else {
             return;
         };
@@ -364,13 +468,16 @@ impl RecoveryManager {
     ) -> u64 {
         let backoff_ticks = self.policy.retry.backoff_ticks(activity, retry);
         let resume_tick = self.state.now_tick.saturating_add(backoff_ticks);
-        self.state.pending_backoffs.push(PendingBackoff {
+        let pending = PendingBackoff {
             activity: activity.to_string(),
             service: service.to_string(),
             container: container.to_string(),
             attempt,
             resume_tick,
-        });
+        };
+        self.wheel
+            .schedule(resume_tick, Deadline::Retry(pending.clone()));
+        self.state.pending_backoffs.push(pending);
         self.trace.emit(
             SOURCE,
             TraceEvent::RetryScheduled {
@@ -386,25 +493,63 @@ impl RecoveryManager {
     }
 
     /// Elapse every pending backoff for `activity`: the recovery clock
-    /// jumps to the latest deadline and the entries are consumed.
+    /// jumps to the latest deadline and the entries are consumed — both
+    /// from the wheel (which yields them in firing order) and from the
+    /// serialized mirror in [`RecoveryState::pending_backoffs`].
     pub fn await_retry(&mut self, activity: &str) {
-        let latest = self
-            .state
-            .pending_backoffs
-            .iter()
-            .filter(|p| p.activity == activity)
-            .map(|p| p.resume_tick)
-            .max();
-        if let Some(t) = latest {
-            self.state.now_tick = self.state.now_tick.max(t);
+        let fired = self
+            .wheel
+            .extract(|d| matches!(d, Deadline::Retry(p) if p.activity == activity));
+        if let Some(latest) = fired.last().map(|f| f.deadline) {
+            self.state.now_tick = self.state.now_tick.max(latest);
             self.state
                 .pending_backoffs
                 .retain(|p| p.activity != activity);
         }
     }
 
+    /// Retire any still-registered lease entries for `container`: an
+    /// execution outcome has arrived, so the lease is no longer a
+    /// pending deadline (the failed-dispatch path never consults
+    /// [`RecoveryManager::lease_expired`], which otherwise settles it).
+    fn settle_leases_on(&mut self, container: &str) {
+        let settled: Vec<(String, String)> = self
+            .active_leases
+            .keys()
+            .filter(|(_, c)| c == container)
+            .cloned()
+            .collect();
+        for key in settled {
+            if let Some(id) = self.active_leases.remove(&key) {
+                self.wheel.cancel(id);
+            }
+        }
+    }
+
     fn emit_signal(&mut self, container: &str, signal: Option<BreakerSignal>) {
         let Some(signal) = signal else { return };
+        // Maintain the cooldown-probe registry: an opened breaker's
+        // `until_tick` is a future deadline; any transition out of open
+        // (half-open, closed) retires it.
+        match &signal {
+            BreakerSignal::Opened { until_tick, .. } => {
+                if let Some(stale) = self.breaker_probes.remove(container) {
+                    self.wheel.cancel(stale);
+                }
+                let id = self.wheel.schedule(
+                    *until_tick,
+                    Deadline::BreakerProbe {
+                        container: container.to_string(),
+                    },
+                );
+                self.breaker_probes.insert(container.to_string(), id);
+            }
+            BreakerSignal::HalfOpened | BreakerSignal::Closed => {
+                if let Some(id) = self.breaker_probes.remove(container) {
+                    self.wheel.cancel(id);
+                }
+            }
+        }
         let event = match signal {
             BreakerSignal::Opened {
                 consecutive_failures,
@@ -510,6 +655,55 @@ mod tests {
         m.await_retry("A1");
         assert_eq!(m.now_tick(), 6);
         assert!(m.state().pending_backoffs.is_empty());
+    }
+
+    #[test]
+    fn wheel_tracks_backoffs_leases_and_breaker_cooldowns() {
+        let mut m = RecoveryManager::new(policy());
+        assert_eq!(m.next_deadline(), None);
+        // A granted lease registers its absolute deadline.
+        m.grant_lease("A1", "c1");
+        assert_eq!(m.next_deadline(), Some(5));
+        // A scheduled retry registers its resume tick.
+        let resume = m.schedule_retry("A1", "cook", "c1", 1, 1);
+        assert_eq!(resume, 2);
+        assert_eq!(m.next_deadline(), Some(2));
+        // Settling the execution retires the lease; draining the
+        // backoff empties the wheel.
+        assert!(m.lease_expired("A1", "c1", 6));
+        m.await_retry("A1");
+        assert_eq!(m.next_deadline(), None);
+        // Tripping a breaker registers its cooldown end...
+        m.record_failure("c1");
+        m.record_failure("c1");
+        let until = m.state().now_tick + 10;
+        assert_eq!(m.next_deadline(), Some(until));
+        // ...and the half-open transition retires it.
+        m.tick(10);
+        m.note_probe("c1", true);
+        assert_eq!(m.next_deadline(), None);
+    }
+
+    #[test]
+    fn failed_dispatch_settles_the_lease_without_an_expiry_check() {
+        let mut m = RecoveryManager::new(policy());
+        m.grant_lease("A1", "c1");
+        assert_eq!(m.deadlines().count(), 1);
+        // The Err path never calls lease_expired; the outcome report
+        // itself must retire the registered deadline.
+        m.record_failure("c1");
+        assert_eq!(m.deadlines().count(), 0);
+    }
+
+    #[test]
+    fn restore_rebuilds_the_wheel_from_checkpointed_state() {
+        let mut m = RecoveryManager::new(policy());
+        m.record_failure("c1");
+        m.record_failure("c1"); // breaker opens, cooldown ends at 10
+        m.schedule_retry("A1", "cook", "c2", 1, 1); // resume at 2
+        let restored = RecoveryManager::restore(policy(), m.snapshot(), TraceHandle::none());
+        let rebuilt: Vec<u64> = restored.deadlines().map(|(t, _)| t).collect();
+        assert_eq!(rebuilt, vec![2, 10]);
     }
 
     #[test]

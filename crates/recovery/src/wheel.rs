@@ -1,0 +1,223 @@
+//! A virtual-time timer wheel: deadlines keyed by tick, stable FIFO
+//! within a tick.
+//!
+//! The recovery layer tracks three kinds of future deadlines — retry
+//! backoffs, activity leases, and breaker half-open probes.  Before this
+//! wheel existed each was found by scanning its owning collection per
+//! decision; the wheel gives all three one registration surface with
+//! O(log n) schedule/cancel and deadline-ordered firing, while keeping
+//! the ordering guarantees deterministic replay depends on:
+//!
+//! * entries fire in ascending deadline order;
+//! * entries sharing a deadline fire in the order they were scheduled
+//!   (stable FIFO — the scheduling sequence number breaks ties);
+//! * firing is driven by the caller's virtual clock, never wall time.
+//!
+//! Firing a wheel tick-by-tick is therefore observationally identical
+//! to the legacy per-tick scan over an insertion-ordered list, which is
+//! exactly what the property tests in this module pin down.
+
+use std::collections::BTreeMap;
+
+/// Handle to a scheduled entry, usable to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(u64);
+
+/// One fired entry: the deadline it was scheduled for plus its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fired<T> {
+    /// The entry's handle (already removed from the wheel).
+    pub id: TimerId,
+    /// The virtual tick the entry was scheduled to fire at.
+    pub deadline: u64,
+    /// The caller's payload.
+    pub payload: T,
+}
+
+/// A deterministic virtual-time timer wheel.
+///
+/// Slots are keyed by absolute virtual tick; each slot holds its
+/// entries in scheduling order, so [`TimerWheel::fire_due`] yields
+/// `(deadline, scheduling sequence)`-ordered results — ascending
+/// deadlines, FIFO within a deadline.
+#[derive(Debug, Clone, Default)]
+pub struct TimerWheel<T> {
+    /// deadline tick → entries in scheduling order.
+    slots: BTreeMap<u64, Vec<(u64, T)>>,
+    /// live entry id → its deadline (cancel support).
+    deadlines: BTreeMap<u64, u64>,
+    next_seq: u64,
+}
+
+impl<T> TimerWheel<T> {
+    /// An empty wheel.
+    pub fn new() -> Self {
+        TimerWheel {
+            slots: BTreeMap::new(),
+            deadlines: BTreeMap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Number of live (scheduled, unfired, uncancelled) entries.
+    pub fn len(&self) -> usize {
+        self.deadlines.len()
+    }
+
+    /// Is the wheel empty?
+    pub fn is_empty(&self) -> bool {
+        self.deadlines.is_empty()
+    }
+
+    /// The earliest live deadline, if any — the next virtual tick at
+    /// which anything would fire.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.slots.keys().next().copied()
+    }
+
+    /// Schedule `payload` to fire at virtual tick `deadline`.  Entries
+    /// scheduled for the same tick fire in scheduling order.
+    pub fn schedule(&mut self, deadline: u64, payload: T) -> TimerId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.slots.entry(deadline).or_default().push((seq, payload));
+        self.deadlines.insert(seq, deadline);
+        TimerId(seq)
+    }
+
+    /// Remove a scheduled entry, returning its payload if it was still
+    /// live.
+    pub fn cancel(&mut self, id: TimerId) -> Option<T> {
+        let deadline = self.deadlines.remove(&id.0)?;
+        let slot = self.slots.get_mut(&deadline)?;
+        let pos = slot.iter().position(|(seq, _)| *seq == id.0)?;
+        let (_, payload) = slot.remove(pos);
+        if slot.is_empty() {
+            self.slots.remove(&deadline);
+        }
+        Some(payload)
+    }
+
+    /// Fire every entry whose deadline is `<= now`, in ascending
+    /// `(deadline, scheduling order)` — byte-for-byte the order a
+    /// tick-by-tick scan of an insertion-ordered list would produce.
+    pub fn fire_due(&mut self, now: u64) -> Vec<Fired<T>> {
+        let mut fired = Vec::new();
+        let due: Vec<u64> = self
+            .slots
+            .range(..=now)
+            .map(|(deadline, _)| *deadline)
+            .collect();
+        for deadline in due {
+            let entries = self.slots.remove(&deadline).unwrap_or_default();
+            for (seq, payload) in entries {
+                self.deadlines.remove(&seq);
+                fired.push(Fired {
+                    id: TimerId(seq),
+                    deadline,
+                    payload,
+                });
+            }
+        }
+        fired
+    }
+
+    /// Remove (and return, in firing order) every entry matching
+    /// `pred`, regardless of deadline — the selective-consumption path
+    /// `await_retry` uses to elapse one activity's backoffs without
+    /// disturbing anything else on the wheel.
+    pub fn extract(&mut self, mut pred: impl FnMut(&T) -> bool) -> Vec<Fired<T>> {
+        let mut fired = Vec::new();
+        let mut emptied = Vec::new();
+        for (&deadline, slot) in self.slots.iter_mut() {
+            let mut kept = Vec::with_capacity(slot.len());
+            for (seq, payload) in slot.drain(..) {
+                if pred(&payload) {
+                    self.deadlines.remove(&seq);
+                    fired.push(Fired {
+                        id: TimerId(seq),
+                        deadline,
+                        payload,
+                    });
+                } else {
+                    kept.push((seq, payload));
+                }
+            }
+            *slot = kept;
+            if slot.is_empty() {
+                emptied.push(deadline);
+            }
+        }
+        for deadline in emptied {
+            self.slots.remove(&deadline);
+        }
+        fired
+    }
+
+    /// Iterate the live entries in firing order (ascending deadline,
+    /// FIFO within a deadline) without consuming them.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.slots
+            .iter()
+            .flat_map(|(deadline, slot)| slot.iter().map(move |(_, payload)| (*deadline, payload)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_deadline_order_with_fifo_ties() {
+        let mut w = TimerWheel::new();
+        w.schedule(5, "a");
+        w.schedule(3, "b");
+        w.schedule(5, "c");
+        w.schedule(3, "d");
+        assert_eq!(w.next_deadline(), Some(3));
+        let fired: Vec<_> = w.fire_due(5).into_iter().map(|f| f.payload).collect();
+        assert_eq!(fired, vec!["b", "d", "a", "c"]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn fire_due_leaves_future_entries() {
+        let mut w = TimerWheel::new();
+        w.schedule(2, 'x');
+        w.schedule(9, 'y');
+        let fired = w.fire_due(4);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].payload, 'x');
+        assert_eq!(fired[0].deadline, 2);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.next_deadline(), Some(9));
+    }
+
+    #[test]
+    fn cancel_removes_exactly_one_entry() {
+        let mut w = TimerWheel::new();
+        let a = w.schedule(4, "a");
+        w.schedule(4, "b");
+        assert_eq!(w.cancel(a), Some("a"));
+        assert_eq!(w.cancel(a), None, "double-cancel is a no-op");
+        let fired: Vec<_> = w.fire_due(4).into_iter().map(|f| f.payload).collect();
+        assert_eq!(fired, vec!["b"]);
+    }
+
+    #[test]
+    fn extract_consumes_matching_entries_in_firing_order() {
+        let mut w = TimerWheel::new();
+        w.schedule(7, ("A1", 0));
+        w.schedule(2, ("A2", 1));
+        w.schedule(7, ("A1", 2));
+        w.schedule(1, ("A1", 3));
+        let fired: Vec<_> = w
+            .extract(|(activity, _)| *activity == "A1")
+            .into_iter()
+            .map(|f| (f.deadline, f.payload.1))
+            .collect();
+        assert_eq!(fired, vec![(1, 3), (7, 0), (7, 2)]);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.iter().collect::<Vec<_>>(), vec![(2, &("A2", 1))]);
+    }
+}

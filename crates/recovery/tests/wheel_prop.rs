@@ -1,0 +1,174 @@
+//! Property tests pinning the [`TimerWheel`] to the behaviour it
+//! replaced: a per-tick scan over an insertion-ordered deadline list.
+//!
+//! The recovery layer used to discover due deadlines by scanning its
+//! owning collections tick by tick; the wheel must fire the exact same
+//! entries in the exact same order — ascending deadline, insertion
+//! order within a tick — for arbitrary interleavings of retry, lease,
+//! and breaker-probe deadlines, including same-tick ties.
+
+use gridflow_recovery::TimerWheel;
+use proptest::prelude::*;
+
+/// The three kinds of deadline the recovery manager registers,
+/// modelled as plain data so ordering bugs can't hide behind payload
+/// structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Kind {
+    Retry { activity: String },
+    Lease { activity: String, container: String },
+    BreakerProbe { container: String },
+}
+
+fn kind() -> impl Strategy<Value = Kind> {
+    let activity = prop_oneof![Just("A1"), Just("A2"), Just("A3")].prop_map(str::to_string);
+    let container = prop_oneof![Just("c1"), Just("c2")].prop_map(str::to_string);
+    prop_oneof![
+        activity
+            .clone()
+            .prop_map(|activity| Kind::Retry { activity }),
+        (activity, container.clone()).prop_map(|(activity, container)| Kind::Lease {
+            activity,
+            container
+        }),
+        container.prop_map(|container| Kind::BreakerProbe { container }),
+    ]
+}
+
+/// A schedule: insertion-ordered `(deadline, payload)` pairs with a
+/// deliberately small tick range so same-tick ties are common.
+fn schedule() -> impl Strategy<Value = Vec<(u64, Kind)>> {
+    prop::collection::vec((0u64..12, kind()), 0..24)
+}
+
+/// The legacy model: walk ticks `0..=horizon`, and at each tick scan
+/// the insertion-ordered list for entries now due, firing them in list
+/// order.
+fn scan_fire_order(entries: &[(u64, Kind)], horizon: u64) -> Vec<(u64, Kind)> {
+    let mut fired = Vec::new();
+    let mut live: Vec<(u64, Kind)> = entries.to_vec();
+    for now in 0..=horizon {
+        let mut kept = Vec::with_capacity(live.len());
+        for (deadline, payload) in live {
+            if deadline <= now {
+                fired.push((deadline, payload));
+            } else {
+                kept.push((deadline, payload));
+            }
+        }
+        live = kept;
+    }
+    fired
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Driving the wheel tick by tick fires exactly what the legacy
+    /// per-tick scan fired, in the same order.
+    #[test]
+    fn tick_by_tick_firing_matches_per_tick_scan(entries in schedule()) {
+        let horizon = entries.iter().map(|(d, _)| *d).max().unwrap_or(0);
+        let mut wheel = TimerWheel::new();
+        for (deadline, payload) in &entries {
+            wheel.schedule(*deadline, payload.clone());
+        }
+        let mut fired = Vec::new();
+        for now in 0..=horizon {
+            fired.extend(
+                wheel
+                    .fire_due(now)
+                    .into_iter()
+                    .map(|f| (f.deadline, f.payload)),
+            );
+        }
+        prop_assert!(wheel.is_empty());
+        prop_assert_eq!(fired, scan_fire_order(&entries, horizon));
+    }
+
+    /// Jumping the clock straight to the horizon fires the same
+    /// sequence as ticking through every intermediate tick — firing
+    /// order depends only on `(deadline, scheduling order)`, never on
+    /// how the clock advanced.
+    #[test]
+    fn single_jump_equals_concatenated_ticks(entries in schedule()) {
+        let horizon = entries.iter().map(|(d, _)| *d).max().unwrap_or(0);
+        let mut wheel = TimerWheel::new();
+        for (deadline, payload) in &entries {
+            wheel.schedule(*deadline, payload.clone());
+        }
+        let jumped: Vec<_> = wheel
+            .fire_due(horizon)
+            .into_iter()
+            .map(|f| (f.deadline, f.payload))
+            .collect();
+        prop_assert_eq!(jumped, scan_fire_order(&entries, horizon));
+    }
+
+    /// `extract` (the `await_retry` path) pulls exactly the matching
+    /// entries, in firing order, and leaves the rest untouched — the
+    /// same split the legacy `filter`/`retain` pair produced.
+    #[test]
+    fn extract_splits_like_filter_and_retain(entries in schedule()) {
+        let horizon = entries.iter().map(|(d, _)| *d).max().unwrap_or(0);
+        let matches = |k: &Kind| matches!(k, Kind::Retry { activity } if activity == "A1");
+        let mut wheel = TimerWheel::new();
+        for (deadline, payload) in &entries {
+            wheel.schedule(*deadline, payload.clone());
+        }
+        let extracted: Vec<_> = wheel
+            .extract(|k| matches(k))
+            .into_iter()
+            .map(|f| (f.deadline, f.payload))
+            .collect();
+        let expected_extracted: Vec<(u64, Kind)> = scan_fire_order(&entries, horizon)
+            .into_iter()
+            .filter(|(_, k)| matches(k))
+            .collect();
+        prop_assert_eq!(extracted, expected_extracted);
+        let remaining: Vec<_> = wheel
+            .fire_due(horizon)
+            .into_iter()
+            .map(|f| (f.deadline, f.payload))
+            .collect();
+        let expected_remaining: Vec<(u64, Kind)> = scan_fire_order(&entries, horizon)
+            .into_iter()
+            .filter(|(_, k)| !matches(k))
+            .collect();
+        prop_assert_eq!(remaining, expected_remaining);
+    }
+
+    /// Cancelling an arbitrary subset of entries removes exactly those
+    /// entries from the firing sequence, preserving the order of the
+    /// survivors.
+    #[test]
+    fn cancel_removes_exactly_the_cancelled_entries(
+        entries in schedule(),
+        mask in prop::collection::vec(any::<bool>(), 24),
+    ) {
+        let horizon = entries.iter().map(|(d, _)| *d).max().unwrap_or(0);
+        let mut wheel = TimerWheel::new();
+        let ids: Vec<_> = entries
+            .iter()
+            .map(|(deadline, payload)| wheel.schedule(*deadline, payload.clone()))
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            if mask[i] {
+                let cancelled = wheel.cancel(*id);
+                prop_assert_eq!(cancelled.as_ref(), Some(&entries[i].1));
+            }
+        }
+        let fired: Vec<_> = wheel
+            .fire_due(horizon)
+            .into_iter()
+            .map(|f| (f.deadline, f.payload))
+            .collect();
+        let survivors: Vec<(u64, Kind)> = entries
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !mask[*i])
+            .map(|(_, e)| e.clone())
+            .collect();
+        prop_assert_eq!(fired, scan_fire_order(&survivors, horizon));
+    }
+}

@@ -311,7 +311,7 @@ impl Enactor {
             self.config.clone(),
             self.trace.clone(),
             graph,
-            case,
+            case.clone(),
             graph.name.clone(),
         );
         self.drive(world, fiber)
@@ -361,8 +361,12 @@ impl Enactor {
             report.abort_reason = abort_reason;
             return report;
         }
-        let fiber =
-            CaseFiber::from_checkpoint(self.config.clone(), self.trace.clone(), checkpoint, case);
+        let fiber = CaseFiber::from_checkpoint(
+            self.config.clone(),
+            self.trace.clone(),
+            checkpoint,
+            case.clone(),
+        );
         self.drive(world, fiber)
     }
 }
@@ -392,7 +396,40 @@ enum ActivityOutcome {
     Completed,
     /// No candidate was even dispatched: every matched container was
     /// already reserved by another case this tick.
-    Blocked,
+    Blocked {
+        /// The candidate containers that were all reserved away, in
+        /// rank order — the contention set a blocked re-step checks
+        /// cheaply before re-ranking.  Empty when the recovery ladder
+        /// was active (its admission filter mutates breaker state, so
+        /// its candidate list cannot be cached).
+        taken: Vec<String>,
+    },
+}
+
+/// Cached context from a step that returned [`FiberStatus::Blocked`].
+///
+/// While a fiber is blocked on reserved-away capacity nothing about its
+/// own state changes — the ATN snapshot, data state, and graph are
+/// exactly as the blocking step left them.  The next step can therefore
+/// skip the graph clone, machine rebuild, finished/loop checks, and
+/// ready-set scan (they are deterministic functions of unchanged
+/// state), and — when the candidate ranking provably could not have
+/// changed — the matchmake itself.  Every observable emission is
+/// preserved: a still-blocked re-step produces exactly the one
+/// `CaseBlocked` event the full path would.
+struct PendingDispatch {
+    /// The ready activity the blocking step chose.
+    activity_id: String,
+    /// The service it resolves to.
+    service: String,
+    /// [`GridWorld::generation`] at the blocking step: candidate
+    /// rankings are only reused while the generation is unchanged.
+    generation: u64,
+    /// The reserved-away candidate set, in rank order.  `None` when the
+    /// recovery ladder is enabled — its monitoring feed and admission
+    /// filter mutate breaker state (and may emit trace events) every
+    /// step, so a blocked re-step must re-run the full dispatch path.
+    taken: Option<Vec<String>>,
 }
 
 /// A resumable, single-step enactment — the coroutine the enactor's
@@ -409,7 +446,11 @@ enum ActivityOutcome {
 pub struct CaseFiber {
     config: EnactmentConfig,
     trace: TraceHandle,
-    case: CaseDescription,
+    /// Shared, not owned: a fleet of fibers enacting one workload holds
+    /// one description between them, so spawning and retiring a fiber
+    /// never deep-copies the case's goal/constraint condition trees
+    /// (which scale with the fleet in capacity benchmarks).
+    case: Arc<CaseDescription>,
     label: String,
     planning: PlanningService,
     initial_classifications: Vec<String>,
@@ -429,6 +470,9 @@ pub struct CaseFiber {
     recovery: RecoveryManager,
     since_checkpoint: usize,
     done: bool,
+    /// Set while the fiber is blocked on capacity: the dispatch to
+    /// re-try without re-deriving it (see [`PendingDispatch`]).
+    pending: Option<PendingDispatch>,
 }
 
 impl std::fmt::Debug for CaseFiber {
@@ -445,14 +489,25 @@ impl CaseFiber {
     /// A fiber for a fresh enactment of `graph` under `case`.  `label`
     /// names the case in engine traces and reservation holds; emits
     /// `EnactmentStarted` immediately.
+    /// The case may be passed owned (`CaseDescription`) or shared
+    /// (`Arc<CaseDescription>`); schedulers spawning a fleet over one
+    /// workload should share, so each spawn is a pointer bump instead
+    /// of a deep copy of the case's condition trees.
     pub fn new(
         config: EnactmentConfig,
         trace: TraceHandle,
         graph: &ProcessGraph,
-        case: &CaseDescription,
+        case: impl Into<Arc<CaseDescription>>,
         label: impl Into<String>,
     ) -> Self {
-        Self::build(config, trace, graph.clone(), case, label.into(), None)
+        Self::build(
+            config,
+            trace,
+            graph.clone(),
+            case.into(),
+            label.into(),
+            None,
+        )
     }
 
     /// A fiber resuming from a checkpoint the caller has already
@@ -461,22 +516,22 @@ impl CaseFiber {
         config: EnactmentConfig,
         trace: TraceHandle,
         checkpoint: EnactmentCheckpoint,
-        case: &CaseDescription,
+        case: impl Into<Arc<CaseDescription>>,
     ) -> Self {
         let graph = checkpoint.graph.clone();
         let label = graph.name.clone();
-        Self::build(config, trace, graph, case, label, Some(checkpoint))
+        Self::build(config, trace, graph, case.into(), label, Some(checkpoint))
     }
 
     fn build(
         config: EnactmentConfig,
         trace: TraceHandle,
         graph: ProcessGraph,
-        case: &CaseDescription,
+        case: Arc<CaseDescription>,
         label: String,
         resume_from: Option<EnactmentCheckpoint>,
     ) -> Self {
-        let mut report = empty_report(case);
+        let mut report = empty_report(&case);
         let mut state = case.initial_data.clone();
         let mut excluded: Vec<String> = Vec::new();
         let mut snapshot: Option<AtnSnapshot> = None;
@@ -508,11 +563,11 @@ impl CaseFiber {
             },
         );
         let planning = PlanningService::new(config.gp).with_trace_handle(trace.clone());
-        let initial_classifications = initial_classifications(case);
+        let initial_classifications = initial_classifications(&case);
         CaseFiber {
             config,
             trace,
-            case: case.clone(),
+            case,
             label,
             planning,
             initial_classifications,
@@ -526,6 +581,7 @@ impl CaseFiber {
             recovery,
             since_checkpoint: 0,
             done: false,
+            pending: None,
         }
     }
 
@@ -572,6 +628,13 @@ impl CaseFiber {
     pub fn step(&mut self, world: &mut GridWorld) -> FiberStatus {
         if self.done {
             return FiberStatus::Finished;
+        }
+        // Blocked fast path: nothing about the fiber changed since the
+        // step that blocked, so the expensive re-derivation (graph
+        // clone, machine rebuild, ready-set scan — and sometimes the
+        // matchmake) is skipped.  Emissions are identical either way.
+        if let Some(pending) = self.pending.take() {
+            return self.step_resume(world, pending);
         }
         let graph = self.current_graph.clone();
         let mut machine = match self.snapshot.take() {
@@ -637,8 +700,36 @@ impl CaseFiber {
         }
 
         match self.run_activity(world, &service, &activity_id) {
-            Ok(ActivityOutcome::Blocked) => {
+            Ok(ActivityOutcome::Blocked { taken }) => {
                 self.snapshot = Some(machine.snapshot());
+                self.note_blocked(world, activity_id, service, taken)
+            }
+            Ok(ActivityOutcome::Completed) => {
+                self.advance_machine(&graph, &mut machine, &activity_id)
+            }
+            Err(_) => self.escalate_replan(world, &activity_id, &service),
+        }
+    }
+
+    /// Resume a fiber whose previous step reported
+    /// [`FiberStatus::Blocked`].  The fiber's own state (graph,
+    /// snapshot, data) is untouched since that step, so its
+    /// finished/loop-bound/ready conclusions still hold and the step
+    /// goes straight to the dispatch; the machine is rebuilt only when
+    /// the dispatch actually completes and the ATN must advance.
+    fn step_resume(&mut self, world: &mut GridWorld, pending: PendingDispatch) -> FiberStatus {
+        // Contention-only fast path: while the world's matchmaking
+        // generation is unchanged the blocking step's candidate ranking
+        // still stands, and if every ranked candidate is still fully
+        // booked the outcome is another block — one `CaseBlocked`
+        // event, nothing else, exactly like the full path.
+        if let Some(taken) = &pending.taken {
+            if world.reservations_enabled()
+                && world.generation() == pending.generation
+                && !taken.is_empty()
+                && taken.iter().all(|c| world.free_slots(c) == 0)
+            {
+                let service = pending.service.clone();
                 self.trace.emit(
                     "enactor",
                     TraceEvent::CaseBlocked {
@@ -646,76 +737,157 @@ impl CaseFiber {
                         service: service.clone(),
                     },
                 );
-                FiberStatus::Blocked { service }
+                self.pending = Some(pending);
+                return FiberStatus::Blocked { service };
+            }
+        }
+        let PendingDispatch {
+            activity_id,
+            service,
+            ..
+        } = pending;
+        // Monitoring feedback, exactly as the full path runs it before
+        // matchmaking sees the candidates.
+        if self.recovery.enabled() {
+            MonitoringService.feed_recovery(world, &mut self.recovery);
+        }
+        match self.run_activity(world, &service, &activity_id) {
+            Ok(ActivityOutcome::Blocked { taken }) => {
+                // The snapshot is already in place from the step that
+                // first blocked.
+                self.note_blocked(world, activity_id, service, taken)
             }
             Ok(ActivityOutcome::Completed) => {
-                if let Err(e) = machine.run_activity(&activity_id, &self.state) {
-                    return self.finish_aborted(format!("machine error: {e}"));
-                }
-                self.emit_transitions(&graph, &machine);
-                self.since_checkpoint += 1;
-                if let Some(every) = self.config.checkpoint_every {
-                    if self.since_checkpoint >= every.max(1) {
-                        self.since_checkpoint = 0;
-                        self.capture_checkpoint(&graph, &machine);
-                    }
-                }
-                self.snapshot = Some(machine.snapshot());
-                FiberStatus::Progressed
-            }
-            Err(_) => {
-                // Every candidate failed → escalate.
-                if !self.config.replan || self.report.replans >= self.config.max_replans {
-                    return self.finish_aborted(
-                        ServiceError::ActivityFailed {
-                            activity: activity_id.clone(),
-                            service: service.clone(),
-                        }
-                        .to_string(),
-                    );
-                }
-                self.report.replans += 1;
-                if !self.excluded.contains(&service) {
-                    self.excluded.push(service.clone());
-                }
-                self.trace.emit(
-                    "enactor",
-                    TraceEvent::ReplanTriggered {
-                        activity: activity_id.clone(),
-                        service: service.clone(),
-                        excluded: self.excluded.clone(),
-                        round: self.report.replans,
-                    },
-                );
-                let request = PlanRequest {
-                    initial: self.initial_classifications.clone(),
-                    goals: self.config.planning_goals.clone(),
-                    produced: self.report.produced.clone(),
-                    excluded: self.excluded.clone(),
+                let graph = self.current_graph.clone();
+                let Some(snapshot) = self.snapshot.take() else {
+                    return self.finish_aborted("blocked fiber lost its snapshot".to_string());
                 };
-                match self.planning.plan(world, &request) {
-                    Ok(response) if response.viable => {
-                        self.trace
-                            .emit("enactor", TraceEvent::ReplanInstalled { viable: true });
-                        match self.refinement_wrap(&response) {
-                            Ok(g) => {
-                                // The next step builds a fresh machine
-                                // over the re-planned graph.
-                                self.current_graph = g;
-                                self.snapshot = None;
-                                FiberStatus::Progressed
-                            }
-                            Err(e) => self.finish_aborted(format!("re-plan wrapping failed: {e}")),
-                        }
+                let mut machine = match AtnMachine::restore(&graph, snapshot) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        return self.finish_aborted(format!("checkpoint restore failed: {e}"));
                     }
-                    Ok(_) => {
-                        self.trace
-                            .emit("enactor", TraceEvent::ReplanInstalled { viable: false });
-                        self.finish_aborted("re-planning produced no viable plan".to_string())
+                };
+                self.advance_machine(&graph, &mut machine, &activity_id)
+            }
+            Err(_) => self.escalate_replan(world, &activity_id, &service),
+        }
+    }
+
+    /// The containers this fiber is blocked on (rank order), if its
+    /// last step blocked on reserved-away capacity with a cacheable
+    /// candidate set.  The scheduler's wait-set bookkeeping reads this.
+    pub fn blocked_on(&self) -> Option<&[String]> {
+        self.pending.as_ref().and_then(|p| p.taken.as_deref())
+    }
+
+    /// Record a capacity block: cache the dispatch context for the next
+    /// step's fast path, announce `CaseBlocked`, and report
+    /// [`FiberStatus::Blocked`].
+    fn note_blocked(
+        &mut self,
+        world: &GridWorld,
+        activity_id: String,
+        service: String,
+        taken: Vec<String>,
+    ) -> FiberStatus {
+        self.pending = Some(PendingDispatch {
+            activity_id,
+            service: service.clone(),
+            generation: world.generation(),
+            taken: (!self.recovery.enabled()).then_some(taken),
+        });
+        self.trace.emit(
+            "enactor",
+            TraceEvent::CaseBlocked {
+                case: self.label.clone(),
+                service: service.clone(),
+            },
+        );
+        FiberStatus::Blocked { service }
+    }
+
+    /// Advance the ATN past a completed activity: fire the machine,
+    /// surface flow transitions, honor the checkpoint cadence, and
+    /// persist the snapshot for the next step.
+    fn advance_machine(
+        &mut self,
+        graph: &ProcessGraph,
+        machine: &mut AtnMachine,
+        activity_id: &str,
+    ) -> FiberStatus {
+        if let Err(e) = machine.run_activity(activity_id, &self.state) {
+            return self.finish_aborted(format!("machine error: {e}"));
+        }
+        self.emit_transitions(graph, machine);
+        self.since_checkpoint += 1;
+        if let Some(every) = self.config.checkpoint_every {
+            if self.since_checkpoint >= every.max(1) {
+                self.since_checkpoint = 0;
+                self.capture_checkpoint(graph, machine);
+            }
+        }
+        self.snapshot = Some(machine.snapshot());
+        FiberStatus::Progressed
+    }
+
+    /// Every candidate failed → escalate to re-planning (or abort when
+    /// re-planning is off or exhausted).
+    fn escalate_replan(
+        &mut self,
+        world: &mut GridWorld,
+        activity_id: &str,
+        service: &str,
+    ) -> FiberStatus {
+        if !self.config.replan || self.report.replans >= self.config.max_replans {
+            return self.finish_aborted(
+                ServiceError::ActivityFailed {
+                    activity: activity_id.to_owned(),
+                    service: service.to_owned(),
+                }
+                .to_string(),
+            );
+        }
+        self.report.replans += 1;
+        if !self.excluded.iter().any(|e| e == service) {
+            self.excluded.push(service.to_owned());
+        }
+        self.trace.emit(
+            "enactor",
+            TraceEvent::ReplanTriggered {
+                activity: activity_id.to_owned(),
+                service: service.to_owned(),
+                excluded: self.excluded.clone(),
+                round: self.report.replans,
+            },
+        );
+        let request = PlanRequest {
+            initial: self.initial_classifications.clone(),
+            goals: self.config.planning_goals.clone(),
+            produced: self.report.produced.clone(),
+            excluded: self.excluded.clone(),
+        };
+        match self.planning.plan(world, &request) {
+            Ok(response) if response.viable => {
+                self.trace
+                    .emit("enactor", TraceEvent::ReplanInstalled { viable: true });
+                match self.refinement_wrap(&response) {
+                    Ok(g) => {
+                        // The next step builds a fresh machine over the
+                        // re-planned graph.
+                        self.current_graph = g;
+                        self.snapshot = None;
+                        FiberStatus::Progressed
                     }
-                    Err(e) => self.finish_aborted(format!("re-planning failed: {e}")),
+                    Err(e) => self.finish_aborted(format!("re-plan wrapping failed: {e}")),
                 }
             }
+            Ok(_) => {
+                self.trace
+                    .emit("enactor", TraceEvent::ReplanInstalled { viable: false });
+                self.finish_aborted("re-planning produced no viable plan".to_string())
+            }
+            Err(e) => self.finish_aborted(format!("re-planning failed: {e}")),
         }
     }
 
@@ -854,6 +1026,7 @@ impl CaseFiber {
         let candidates = matchmake(world, &MatchRequest::for_service(service))?;
         let mut blocked = false;
         let mut dispatched = false;
+        let mut taken: Vec<String> = Vec::new();
         for (attempt, candidate) in candidates
             .iter()
             .take(self.config.max_candidates.max(1))
@@ -861,6 +1034,7 @@ impl CaseFiber {
         {
             if !self.reserve(world, &candidate.container) {
                 blocked = true;
+                taken.push(candidate.container.clone());
                 continue;
             }
             dispatched = true;
@@ -895,7 +1069,7 @@ impl CaseFiber {
             }
         }
         if blocked && !dispatched {
-            return Ok(ActivityOutcome::Blocked);
+            return Ok(ActivityOutcome::Blocked { taken });
         }
         Err(ServiceError::ActivityFailed {
             activity: activity_id.to_owned(),
@@ -1022,7 +1196,9 @@ impl CaseFiber {
             }
         }
         if blocked && !dispatched {
-            return Ok(ActivityOutcome::Blocked);
+            // The ladder's candidate set passed through the admission
+            // filter, which mutates breaker state — not cacheable.
+            return Ok(ActivityOutcome::Blocked { taken: Vec::new() });
         }
         Err(ServiceError::ActivityFailed {
             activity: activity_id.to_owned(),

@@ -8,9 +8,10 @@
 //! — and [`matchmake`] ranks the containers that satisfy all of them.
 
 use crate::error::{Result, ServiceError};
-use crate::world::GridWorld;
+use crate::world::{GridWorld, ServiceOffering};
 use gridflow_grid::workload::estimate;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// Conditions on a resource match.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -58,12 +59,169 @@ pub struct RankedMatch {
     pub reliability: f64,
 }
 
-/// Rank the containers that can execute the request's service *and*
-/// satisfy every condition, fastest first.  Fails with
-/// [`ServiceError::Grid`] wrapping [`gridflow_grid::GridError::NoMatchingOffer`]
-/// when nothing qualifies.
-pub fn matchmake(world: &GridWorld, request: &MatchRequest) -> Result<Vec<RankedMatch>> {
-    let offering = world.offering(&request.service)?;
+/// One precomputed candidate for a service: everything about the
+/// `(container, resource)` pair that does not change between
+/// matchmaking-visible world mutations.  Liveness (`up`) is the one
+/// dynamic fact, re-checked against the topology at query time via the
+/// recorded container position.
+#[derive(Debug, Clone)]
+struct IndexEntry {
+    /// Candidate container id.
+    container: String,
+    /// Its position in `topology.containers` (verified at query time).
+    container_pos: usize,
+    /// Backing resource id.
+    resource: String,
+    /// Model-estimated duration for the service on this resource.
+    duration_s: f64,
+    /// Model-estimated cost.
+    cost: f64,
+    /// Resource reliability.
+    reliability: f64,
+    /// Does the interconnect suit fine-grain parallelism?
+    fine_grain: bool,
+    /// Administrative domain.
+    domain: String,
+}
+
+/// Precomputed per-service candidate rankings, keyed to a
+/// [`GridWorld::generation`].
+///
+/// Built lazily by [`matchmake`] and cached on the world; a generation
+/// mismatch (container flip, catalog change) invalidates it wholesale.
+/// Entries are pre-sorted by matchmaking's ranking key `(duration,
+/// container id)`, so a query is a filtered copy instead of a full
+/// container scan, resource lookup, estimate, and sort per call.
+#[derive(Debug)]
+pub struct MatchIndex {
+    /// The world generation this index reflects.
+    generation: u64,
+    /// service name → ranked candidate entries (hosting containers,
+    /// up or not — liveness is checked at query time).
+    by_service: BTreeMap<String, Vec<IndexEntry>>,
+}
+
+impl MatchIndex {
+    /// Build the index for the world's current catalog and topology.
+    pub fn build(world: &GridWorld) -> Self {
+        let resources: BTreeMap<&str, &gridflow_grid::resource::Resource> = world
+            .topology
+            .resources
+            .iter()
+            .map(|r| (r.id.as_str(), r))
+            .collect();
+        let mut by_service = BTreeMap::new();
+        for (name, offering) in &world.offerings {
+            let mut entries = Vec::new();
+            for (container_pos, container) in world.topology.containers.iter().enumerate() {
+                if !container.hosts(name) {
+                    continue;
+                }
+                let Some(resource) = resources.get(container.resource_id.as_str()) else {
+                    continue;
+                };
+                let est = estimate(&offering.demand, resource);
+                entries.push(IndexEntry {
+                    container: container.id.clone(),
+                    container_pos,
+                    resource: resource.id.clone(),
+                    duration_s: est.duration_s,
+                    cost: est.cost,
+                    reliability: resource.reliability,
+                    fine_grain: resource.hardware.suits_fine_grain(),
+                    domain: resource.domain.clone(),
+                });
+            }
+            entries.sort_by(|a, b| {
+                a.duration_s
+                    .partial_cmp(&b.duration_s)
+                    .expect("durations are finite")
+                    .then_with(|| a.container.cmp(&b.container))
+            });
+            by_service.insert(name.clone(), entries);
+        }
+        MatchIndex {
+            generation: world.generation(),
+            by_service,
+        }
+    }
+
+    /// The generation this index was built at.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+/// Answer `request` from the world's cached [`MatchIndex`],
+/// (re)building it on generation mismatch.  Returns `None` — falling
+/// back to the scan path — when the index turns out to be stale in a
+/// way the generation could not see (pub topology fields mutated
+/// without [`GridWorld::bump_generation`]); the cache is dropped so the
+/// next call rebuilds.
+fn indexed_matches(world: &GridWorld, request: &MatchRequest) -> Option<Vec<RankedMatch>> {
+    let mut cache = world.match_index.lock();
+    let stale = cache
+        .as_ref()
+        .is_none_or(|idx| idx.generation != world.generation());
+    if stale {
+        *cache = Some(MatchIndex::build(world));
+    }
+    let index = cache.as_ref().expect("cache populated above");
+    let entries = index.by_service.get(&request.service)?;
+    let mut matches = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let Some(container) = world.topology.containers.get(entry.container_pos) else {
+            *cache = None;
+            return None;
+        };
+        if container.id != entry.container {
+            *cache = None;
+            return None;
+        }
+        if !container.up {
+            continue;
+        }
+        if request.require_fine_grain && !entry.fine_grain {
+            continue;
+        }
+        if let Some(domain) = &request.domain {
+            if &entry.domain != domain {
+                continue;
+            }
+        }
+        if entry.reliability < request.min_reliability {
+            continue;
+        }
+        if let Some(deadline) = request.deadline_s {
+            if entry.duration_s > deadline {
+                continue;
+            }
+        }
+        if let Some(budget) = request.budget {
+            if entry.cost > budget {
+                continue;
+            }
+        }
+        matches.push(RankedMatch {
+            container: entry.container.clone(),
+            resource: entry.resource.clone(),
+            duration_s: entry.duration_s,
+            cost: entry.cost,
+            reliability: entry.reliability,
+        });
+    }
+    Some(matches)
+}
+
+/// The pre-index matchmaking path: scan every container, look up its
+/// resource, estimate, filter, sort.  Kept verbatim as the fallback
+/// when the index cannot be trusted — and as the oracle the index
+/// equivalence tests compare against.
+fn scan_matches(
+    world: &GridWorld,
+    offering: &ServiceOffering,
+    request: &MatchRequest,
+) -> Vec<RankedMatch> {
     let mut matches = Vec::new();
     for container in world
         .topology
@@ -104,6 +262,31 @@ pub fn matchmake(world: &GridWorld, request: &MatchRequest) -> Result<Vec<Ranked
             reliability: resource.reliability,
         });
     }
+    matches.sort_by(|a, b| {
+        a.duration_s
+            .partial_cmp(&b.duration_s)
+            .expect("durations are finite")
+            .then_with(|| a.container.cmp(&b.container))
+    });
+    matches
+}
+
+/// Rank the containers that can execute the request's service *and*
+/// satisfy every condition, fastest first.  Fails with
+/// [`ServiceError::Grid`] wrapping [`gridflow_grid::GridError::NoMatchingOffer`]
+/// when nothing qualifies.
+///
+/// Served from the world's cached [`MatchIndex`] (rebuilt on
+/// [`GridWorld::generation`] mismatch); the legacy full scan remains as
+/// the fallback and produces identical rankings — both orderings are
+/// `(estimated duration, container id)`, which is total, so the two
+/// paths cannot disagree.
+pub fn matchmake(world: &GridWorld, request: &MatchRequest) -> Result<Vec<RankedMatch>> {
+    let offering = world.offering(&request.service)?;
+    let matches = match indexed_matches(world, request) {
+        Some(matches) => matches,
+        None => scan_matches(world, offering, request),
+    };
     if matches.is_empty() {
         return Err(ServiceError::Grid(
             gridflow_grid::GridError::NoMatchingOffer(format!(
@@ -112,12 +295,6 @@ pub fn matchmake(world: &GridWorld, request: &MatchRequest) -> Result<Vec<Ranked
             )),
         ));
     }
-    matches.sort_by(|a, b| {
-        a.duration_s
-            .partial_cmp(&b.duration_s)
-            .expect("durations are finite")
-            .then_with(|| a.container.cmp(&b.container))
-    });
     Ok(matches)
 }
 
@@ -445,6 +622,86 @@ mod tests {
             matchmake_admitted(&w, &MatchRequest::for_service("X"), &mut all_out)
                 .unwrap()
                 .is_empty()
+        );
+    }
+
+    #[test]
+    fn indexed_path_matches_the_scan_oracle_across_mutations() {
+        let mut w = world(false);
+        let requests = [
+            MatchRequest::for_service("X"),
+            MatchRequest {
+                require_fine_grain: true,
+                ..MatchRequest::for_service("X")
+            },
+            MatchRequest {
+                domain: Some("ucf.edu".into()),
+                min_reliability: 0.9,
+                ..MatchRequest::for_service("X")
+            },
+            MatchRequest {
+                budget: Some(1.0e9),
+                deadline_s: Some(1.0e9),
+                ..MatchRequest::for_service("X")
+            },
+        ];
+        let assert_agree = |w: &GridWorld| {
+            for request in &requests {
+                let offering = w.offering(&request.service).unwrap();
+                let indexed = indexed_matches(w, request).expect("index path answers");
+                let scanned = scan_matches(w, offering, request);
+                assert_eq!(indexed, scanned, "request {request:?}");
+            }
+        };
+        assert_agree(&w);
+        // Container flips bump the generation; the rebuilt index must
+        // track them exactly.
+        w.set_container_up("ac-pc", false).unwrap();
+        assert_agree(&w);
+        w.set_container_up("ac-pc", true).unwrap();
+        assert_agree(&w);
+        // Catalog changes too (the new offering re-ranks nothing for
+        // `X` but forces a rebuild).
+        w.offer(
+            ServiceOffering::new("Y", Vec::<String>::new(), vec![OutputSpec::plain("Out")])
+                .with_demand(TaskDemand::coarse("Y", 5.0, 1.0)),
+        );
+        assert_agree(&w);
+    }
+
+    #[test]
+    fn index_rebuilds_on_generation_bump_not_per_call() {
+        let w = world(false);
+        let _ = matchmake(&w, &MatchRequest::for_service("X")).unwrap();
+        let gen_after_first = w.match_index.lock().as_ref().unwrap().generation();
+        let _ = matchmake(&w, &MatchRequest::for_service("X")).unwrap();
+        assert_eq!(
+            w.match_index.lock().as_ref().unwrap().generation(),
+            gen_after_first,
+            "a second query at the same generation reuses the cache"
+        );
+        assert_eq!(gen_after_first, w.generation());
+    }
+
+    #[test]
+    fn untracked_topology_mutation_falls_back_to_the_scan() {
+        let mut w = world(false);
+        let before = matchmake(&w, &MatchRequest::for_service("X")).unwrap();
+        assert_eq!(before.len(), 3);
+        // Remove a container behind the generation counter's back: the
+        // index's position check must notice and the scan must answer.
+        w.topology.containers.retain(|c| c.id != "ac-pc");
+        let after = matchmake(&w, &MatchRequest::for_service("X")).unwrap();
+        assert_eq!(after.len(), 2);
+        assert!(after.iter().all(|m| m.container != "ac-pc"));
+        // The poisoned cache was dropped; the next call rebuilds a
+        // fresh index that agrees with the scan again.
+        let offering = w.offering("X").unwrap();
+        let indexed =
+            indexed_matches(&w, &MatchRequest::for_service("X")).expect("rebuilt index answers");
+        assert_eq!(
+            indexed,
+            scan_matches(&w, offering, &MatchRequest::for_service("X"))
         );
     }
 

@@ -8,12 +8,14 @@
 //! service ranks candidate resources from it.
 
 use crate::error::{Result, ServiceError};
+use crate::matchmaking::MatchIndex;
 use gridflow_grid::failure::FailureModel;
 use gridflow_grid::workload::{estimate, TaskDemand};
 use gridflow_grid::{GridError, GridTopology, SpotMarket};
 use gridflow_ontology::Value;
 use gridflow_planner::{ActivitySpec, GoalSpec, PlanningProblem};
 use gridflow_process::{DataItem, DataState};
+use parking_lot::Mutex;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -164,6 +166,14 @@ pub struct GridWorld {
     capacities: BTreeMap<String, usize>,
     /// Live reservations: container → case labels holding a slot.
     holds: BTreeMap<String, Vec<String>>,
+    /// Monotone counter bumped on every matchmaking-visible mutation
+    /// (container up/down flips, catalog changes).  Cached candidate
+    /// rankings and fiber dispatch plans key their validity to it.
+    generation: u64,
+    /// Lazily (re)built candidate index for [`crate::matchmaking`];
+    /// invalidated by generation mismatch.  Interior mutability keeps
+    /// `matchmake(&GridWorld, …)`'s signature unchanged.
+    pub(crate) match_index: Mutex<Option<MatchIndex>>,
 }
 
 impl GridWorld {
@@ -183,7 +193,26 @@ impl GridWorld {
             reservations_enabled: false,
             capacities: BTreeMap::new(),
             holds: BTreeMap::new(),
+            generation: 0,
+            match_index: Mutex::new(None),
         }
+    }
+
+    /// The world's matchmaking generation: a monotone counter bumped by
+    /// every mutation a [`crate::matchmaking::matchmake`] call could
+    /// observe (container up/down flips, catalog changes).  Consumers
+    /// caching candidate rankings compare generations to decide whether
+    /// their cache is still valid.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Record a matchmaking-visible mutation.  The world's own methods
+    /// call this automatically; call it yourself after mutating the pub
+    /// `topology`/`offerings` fields directly, so cached candidate
+    /// rankings notice the change.
+    pub fn bump_generation(&mut self) {
+        self.generation += 1;
     }
 
     // ------------------------------------------------ slot reservations
@@ -246,6 +275,14 @@ impl GridWorld {
         self.holds.get(container).map_or(0, Vec::len)
     }
 
+    /// Slots still free on `container` this tick (capacity minus live
+    /// holds) — the O(log n) admission check the scheduler's fast path
+    /// uses instead of re-ranking candidates.
+    pub fn free_slots(&self, container: &str) -> usize {
+        self.capacity_of(container)
+            .saturating_sub(self.reserved_count(container))
+    }
+
     /// Release every hold, returning `container → holders` in
     /// deterministic (BTreeMap) order — the engine calls this at each
     /// tick boundary and emits one `slot.released` event per hold.
@@ -264,6 +301,7 @@ impl GridWorld {
     /// Register a service offering.
     pub fn offer(&mut self, offering: ServiceOffering) {
         self.offerings.insert(offering.name.clone(), offering);
+        self.bump_generation();
     }
 
     /// Look up an offering.
@@ -299,10 +337,14 @@ impl GridWorld {
             .iter_mut()
             .find(|c| c.id == container)
             .ok_or_else(|| ServiceError::Grid(GridError::UnknownContainer(container.into())))?;
+        let flipped = c.up != up;
         if up {
             c.recover();
         } else {
             c.fail();
+        }
+        if flipped {
+            self.bump_generation();
         }
         Ok(())
     }
@@ -353,13 +395,18 @@ impl GridWorld {
         let slowdown = self.slowdowns.get(container_id).copied().unwrap_or(1.0);
         let duration_s = est.duration_s * slowdown;
         let failed = self.failure.execution_fails(resource.reliability);
+        let mut went_down = false;
         if failed {
             container.failed += 1;
             if self.failures_are_persistent {
+                went_down = container.up;
                 container.fail();
             }
         } else {
             container.completed += 1;
+        }
+        if went_down {
+            self.bump_generation();
         }
         self.clock_s += duration_s;
         let record = ExecutionRecord {

@@ -8,6 +8,136 @@
 //! serialized log replays byte-identically.
 
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// An interned trace-source label (`"enactor"`, `"case:dinner-3/enactor"`,
+/// …).
+///
+/// A merged multi-case trace repeats the same handful of source strings
+/// hundreds of thousands of times; storing each record's source as an
+/// owned `String` made every emission allocate.  `Label` wraps an
+/// `Arc<str>` so the sink can intern each distinct source once and stamp
+/// records with a reference-counted clone — no allocation on the hot
+/// emit path.
+///
+/// The type is string-shaped everywhere it matters: it derefs to `str`,
+/// compares against `&str`/`String`, displays as the bare string, and
+/// serializes as a plain JSON string — so JSONL dumps are byte-identical
+/// to the previous `String` representation.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(Arc<str>);
+
+impl Label {
+    /// Intern `s` as a label (one allocation; clones are free).
+    pub fn new(s: &str) -> Self {
+        Label(Arc::from(s))
+    }
+
+    /// The label's text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::ops::Deref for Label {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Label {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::borrow::Borrow<str> for Label {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Label {
+    fn from(s: &str) -> Self {
+        Label::new(s)
+    }
+}
+
+impl From<String> for Label {
+    fn from(s: String) -> Self {
+        Label(Arc::from(s))
+    }
+}
+
+impl From<&String> for Label {
+    fn from(s: &String) -> Self {
+        Label::new(s)
+    }
+}
+
+impl PartialEq<str> for Label {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Label {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for Label {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<Label> for str {
+    fn eq(&self, other: &Label) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<Label> for &str {
+    fn eq(&self, other: &Label) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl PartialEq<Label> for String {
+    fn eq(&self, other: &Label) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl std::fmt::Display for Label {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::fmt::Debug for Label {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&*self.0, f)
+    }
+}
+
+impl Serialize for Label {
+    fn to_json_value(&self) -> serde::Value {
+        serde::Value::String(self.0.to_string())
+    }
+}
+
+impl Deserialize for Label {
+    fn from_json_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        v.as_str()
+            .map(Label::new)
+            .ok_or_else(|| serde::Error::custom(format!("expected string label, got {v:?}")))
+    }
+}
 
 /// One thing that happened during a run.
 ///
@@ -451,8 +581,9 @@ pub struct TraceRecord {
     /// time, never wall time).
     pub at_s: f64,
     /// Emitting component (`"enactor"`, `"transport"`, `"runner"`,
-    /// `"directory"`, `"planner"`, `"client"`, …).
-    pub source: String,
+    /// `"directory"`, `"planner"`, `"client"`, …), interned — see
+    /// [`Label`].
+    pub source: Label,
     /// The event itself.
     pub event: TraceEvent,
 }

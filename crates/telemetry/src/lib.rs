@@ -38,7 +38,7 @@ pub mod metrics;
 pub mod query;
 pub mod sink;
 
-pub use event::{TraceEvent, TraceRecord};
+pub use event::{Label, TraceEvent, TraceRecord};
 pub use metrics::{Histogram, MetricsRegistry, LATENCY_BUCKETS_S};
 pub use query::{TraceQuery, TraceViolation};
 pub use sink::{

@@ -8,8 +8,9 @@
 //! newtype components embed so their `Debug`/`Clone`/`Default` derives
 //! survive.
 
-use crate::event::{TraceEvent, TraceRecord};
+use crate::event::{Label, TraceEvent, TraceRecord};
 use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A source of deterministic timestamps: a virtual-clock reading
@@ -65,6 +66,21 @@ impl TraceSink for NullSink {
 struct LogState {
     next_seq: u64,
     records: Vec<TraceRecord>,
+    /// Source-label intern table: each distinct source string is
+    /// allocated once; every further emission from it stamps its record
+    /// with a reference-counted clone.
+    sources: BTreeMap<Label, ()>,
+}
+
+impl LogState {
+    fn intern(&mut self, source: &str) -> Label {
+        if let Some((label, ())) = self.sources.get_key_value(source) {
+            return label.clone();
+        }
+        let label = Label::new(source);
+        self.sources.insert(label.clone(), ());
+        label
+    }
 }
 
 /// The canonical sink: an ordered, append-only, in-memory event log.
@@ -124,8 +140,8 @@ impl TraceLog {
         self.state.lock().records.clone()
     }
 
-    /// Drop all records and reset the sequence counter (the clock is
-    /// left untouched).
+    /// Drop all records and reset the sequence counter (the clock and
+    /// the source intern table are left untouched).
     pub fn clear(&self) {
         let mut st = self.state.lock();
         st.records.clear();
@@ -168,11 +184,12 @@ impl TraceSink for TraceLog {
         let mut st = self.state.lock();
         let seq = st.next_seq;
         st.next_seq += 1;
+        let source = st.intern(source);
         st.records.push(TraceRecord {
             seq,
             tick,
             at_s,
-            source: source.to_string(),
+            source,
             event,
         });
     }
@@ -250,9 +267,15 @@ impl From<TraceLog> for TraceHandle {
 /// sink per case around the shared log, so a merged trace stays
 /// attributable per case without threading case ids through every
 /// instrumented component.
+///
+/// Composed `"{scope}/{source}"` labels are cached per inner source, so
+/// the steady-state emit path formats each distinct source once instead
+/// of allocating a fresh prefix string per event.
 pub struct ScopedSink {
     scope: String,
     inner: Arc<dyn TraceSink>,
+    /// inner source → composed `"{scope}/{source}"` label.
+    composed: Mutex<BTreeMap<String, String>>,
 }
 
 impl ScopedSink {
@@ -262,6 +285,7 @@ impl ScopedSink {
         ScopedSink {
             scope: scope.into(),
             inner,
+            composed: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -281,7 +305,14 @@ impl std::fmt::Debug for ScopedSink {
 
 impl TraceSink for ScopedSink {
     fn emit(&self, source: &str, event: TraceEvent) {
-        self.inner.emit(&format!("{}/{source}", self.scope), event);
+        let mut composed = self.composed.lock();
+        if let Some(full) = composed.get(source) {
+            self.inner.emit(full, event);
+            return;
+        }
+        let full = format!("{}/{source}", self.scope);
+        self.inner.emit(&full, event);
+        composed.insert(source.to_owned(), full);
     }
 
     fn advance_s(&self, dt: f64) {
@@ -416,6 +447,44 @@ mod tests {
             format!("{scoped:?}"),
             r#"ScopedSink { scope: "case:dinner-3" }"#
         );
+    }
+
+    #[test]
+    fn sources_are_interned_and_labels_stay_string_shaped() {
+        let log = TraceLog::new();
+        log.emit("enactor", msg(1));
+        log.emit("enactor", msg(2));
+        log.emit("engine", msg(3));
+        let recs = log.records();
+        // Repeated sources share one interned allocation.
+        assert!(std::ptr::eq(
+            recs[0].source.as_str().as_ptr(),
+            recs[1].source.as_str().as_ptr()
+        ));
+        assert_eq!(recs[0].source, recs[1].source);
+        // The label compares and derefs like a string…
+        assert_eq!(recs[0].source, "enactor");
+        assert!(recs[2].source.starts_with("eng"));
+        assert_eq!(recs[2].source.as_str(), "engine");
+        // …and serializes as a plain JSON string, byte-identical to the
+        // old `String` representation.
+        let json = serde_json::to_string(&recs[0]).unwrap();
+        assert!(json.contains(r#""source":"enactor""#), "{json}");
+        let back: TraceRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, recs[0]);
+    }
+
+    #[test]
+    fn scoped_sink_caches_composed_labels() {
+        let log = TraceLog::new();
+        let scoped = ScopedSink::new("case:x", Arc::new(log.clone()));
+        scoped.emit("enactor", msg(1));
+        scoped.emit("enactor", msg(2));
+        scoped.emit("recovery", msg(3));
+        let recs = log.records();
+        assert_eq!(recs[0].source, "case:x/enactor");
+        assert_eq!(recs[1].source, "case:x/enactor");
+        assert_eq!(recs[2].source, "case:x/recovery");
     }
 
     #[test]

@@ -94,7 +94,7 @@ fn record() -> impl Strategy<Value = TraceRecord> {
             seq,
             tick,
             at_s,
-            source,
+            source: source.into(),
             event,
         },
     )

@@ -144,6 +144,36 @@ fn unservable_cases_are_refused_at_admission_with_a_reason() {
 }
 
 #[test]
+fn refused_cases_have_no_makespan_and_admitted_cases_do() {
+    // One admissible case alongside the refusal scenario from above:
+    // `makespan_ticks` returns 0 for refusals (documented footgun);
+    // `admitted_makespan_ticks` is the honest accessor — `None` for a
+    // case that never ran, inclusive tick span for one that did.
+    let wl = dinner_workload();
+
+    let refused = MultiCaseScenario::new(
+        &FaultPlan::seeded(3)
+            .losing_node("ac-h2", 0)
+            .losing_node("ac-h3", 0),
+        &wl,
+        1,
+    )
+    .run();
+    let case = &refused.engine.cases[0];
+    assert_eq!(case.admitted_tick, None);
+    assert_eq!(case.admitted_makespan_ticks(), None);
+    assert_eq!(case.makespan_ticks(), 0);
+
+    let ran = MultiCaseScenario::new(&FaultPlan::default(), &wl, 1).run();
+    let case = &ran.engine.cases[0];
+    let admitted = case.admitted_tick.expect("clean case admits");
+    let span = case.finished_tick - admitted + 1;
+    assert_eq!(case.admitted_makespan_ticks(), Some(span));
+    assert_eq!(case.makespan_ticks(), span);
+    assert!(span >= 1);
+}
+
+#[test]
 fn mid_schedule_node_loss_fails_over_without_failing_the_fleet() {
     // `cook` loses one of its two hosts once the fleet has executed a
     // few activities; the survivors absorb the load.
@@ -179,7 +209,7 @@ fn tick_budget_aborts_stragglers_instead_of_hanging() {
         scheduler.submit(CaseSpec {
             label: format!("budget-{i}"),
             graph: wl.graph.clone(),
-            case: wl.case.clone(),
+            case: wl.case.clone().into(),
             config: wl.config.clone(),
         });
     }

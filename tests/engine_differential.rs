@@ -1,0 +1,141 @@
+//! Differential equivalence suite: the event-driven scheduler core
+//! against the legacy scan core.
+//!
+//! [`EngineConfig::scan_core`] keeps the old every-tick-rederive loop
+//! alive solely as an oracle.  For every `(seed, workload, fleet
+//! shape)` the two cores must produce **byte-identical** merged JSONL
+//! traces — same events, same order, same payloads — because the event
+//! core is an execution-strategy change, not a semantics change.  Any
+//! divergence here is a bug in the event core's wake/ready bookkeeping
+//! or in the fiber's cached-dispatch fast path.
+//!
+//! [`EngineConfig::scan_core`]: gridflow_engine::EngineConfig::scan_core
+
+use gridflow_harness::workload::{dinner_recovery_workload, dinner_workload, Workload};
+use gridflow_harness::{FaultPlan, MultiCaseScenario};
+
+fn jsonl(plan: &FaultPlan, wl: &Workload, cases: usize, in_flight: usize, scan: bool) -> String {
+    let mut scenario = MultiCaseScenario::new(plan, wl, cases)
+        .max_in_flight(in_flight)
+        .traced();
+    if scan {
+        scenario = scenario.scan_core();
+    }
+    scenario.run().trace.expect("traced").to_jsonl()
+}
+
+fn assert_cores_agree(plan: &FaultPlan, wl: &Workload, cases: usize, in_flight: usize, what: &str) {
+    let event = jsonl(plan, wl, cases, in_flight, false);
+    let scan = jsonl(plan, wl, cases, in_flight, true);
+    assert!(!event.is_empty(), "{what}: empty trace");
+    assert_eq!(event, scan, "cores diverged on {what}");
+}
+
+/// The headline sweep: 32 seeds of flaky fleets with a queueing
+/// admission cap, so every seed exercises late admission, failed
+/// attempts, failovers, and capacity contention.
+#[test]
+fn thirty_two_seeds_of_flaky_fleets_trace_identically_on_both_cores() {
+    let wl = dinner_workload();
+    for seed in 0..32u64 {
+        let plan = FaultPlan::seeded(seed).failing_activities(0.2);
+        assert_cores_agree(&plan, &wl, 5, 3, &format!("flaky fleet, seed {seed}"));
+    }
+}
+
+/// Clean fleets: no faults at all, pure capacity interleaving.
+#[test]
+fn clean_fleets_trace_identically_on_both_cores() {
+    let wl = dinner_workload();
+    for cases in [1, 2, 4, 8] {
+        assert_cores_agree(
+            &FaultPlan::default(),
+            &wl,
+            cases,
+            4,
+            &format!("clean fleet of {cases}"),
+        );
+    }
+}
+
+/// Sustained contention: one `prep` host is lost up front, so the whole
+/// fleet funnels through the survivor and spends ticks blocked — the
+/// exact path where the event core's capacity wait-sets and the fiber's
+/// cached-dispatch re-check replace the scan core's full re-derivation.
+#[test]
+fn contended_fleets_trace_identically_on_both_cores() {
+    let wl = dinner_workload();
+    for seed in [5, 23, 41] {
+        let plan = FaultPlan::seeded(seed).losing_node("ac-h1", 0);
+        assert_cores_agree(&plan, &wl, 4, 4, &format!("contended fleet, seed {seed}"));
+    }
+}
+
+/// Mid-schedule node loss: the world's topology mutates while cases are
+/// parked, which must invalidate any cached dispatch (the generation
+/// check) without perturbing the trace.
+#[test]
+fn mid_schedule_node_loss_traces_identically_on_both_cores() {
+    let wl = dinner_workload();
+    for seed in [7, 11, 29] {
+        let plan = FaultPlan::seeded(seed)
+            .failing_activities(0.1)
+            .losing_node("ac-h2", 3);
+        assert_cores_agree(&plan, &wl, 3, 3, &format!("node loss, seed {seed}"));
+    }
+}
+
+/// The recovery ladder (retry/lease/breaker) runs inside the fiber's
+/// full dispatch path on every step — recovery-enabled fibers must
+/// never take the cached fast path, and the ladder's emissions must
+/// land in the same ticks on both cores.
+#[test]
+fn recovery_ladder_fleets_trace_identically_on_both_cores() {
+    let wl = dinner_recovery_workload();
+    for seed in [2, 13, 31] {
+        let plan = FaultPlan::seeded(seed)
+            .failing_activities(0.3)
+            .transient_failures();
+        assert_cores_agree(&plan, &wl, 3, 2, &format!("recovery ladder, seed {seed}"));
+    }
+}
+
+/// Admission refusals: with every `cook` host down the whole fleet is
+/// refused at the front door; both cores must emit the same rejection
+/// events and seal the same reports.
+#[test]
+fn refused_fleets_trace_identically_on_both_cores() {
+    let wl = dinner_workload();
+    let plan = FaultPlan::seeded(3)
+        .losing_node("ac-h2", 0)
+        .losing_node("ac-h3", 0);
+    assert_cores_agree(&plan, &wl, 3, 2, "refused fleet");
+}
+
+/// Worker-count invariance holds on the scan core (pinned since the
+/// engine landed) — and therefore on the event core too, transitively
+/// through the core-equivalence sweep above.  Pin the composition
+/// anyway: event core at 8 workers == scan core at 1 worker.
+#[test]
+fn worker_counts_and_cores_compose_without_perturbing_the_trace() {
+    let wl = dinner_workload();
+    let plan = FaultPlan::seeded(17).failing_activities(0.2);
+    let event_w8 = MultiCaseScenario::new(&plan, &wl, 5)
+        .max_in_flight(3)
+        .workers(8)
+        .traced()
+        .run()
+        .trace
+        .expect("traced")
+        .to_jsonl();
+    let scan_w1 = MultiCaseScenario::new(&plan, &wl, 5)
+        .max_in_flight(3)
+        .workers(1)
+        .scan_core()
+        .traced()
+        .run()
+        .trace
+        .expect("traced")
+        .to_jsonl();
+    assert_eq!(event_w8, scan_w1, "event@8 workers diverged from scan@1");
+}
