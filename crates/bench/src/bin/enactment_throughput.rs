@@ -6,10 +6,18 @@
 //! virtual-tick makespan per case and the fleet's total blocked ticks.
 //! Results land in `BENCH_enactment.json` in the working directory.
 //!
+//! A second sweep drives the **workload × policy matrix**: the dinner
+//! fixture, two generated taxonomy shapes (wide fan-out, choice-dense),
+//! and the paper's virus-reconstruction case study, each under every
+//! admission policy (FIFO, priority, fair-share, EDF).  Matrix cells
+//! land in the same report under `"matrix"`; the legacy `"results"`
+//! array keeps its schema (and the N=512/FIFO guard cell) untouched.
+//!
 //! ```sh
 //! cargo run --release --bin enactment_throughput
 //! cargo run --release --bin enactment_throughput -- --max-cases 64   # CI smoke
 //! cargo run --release --bin enactment_throughput -- --guard          # + regression gate
+//! cargo run --release --bin enactment_throughput -- --matrix-cases 8 # shrink the matrix
 //! ```
 //!
 //! `--guard` reads the committed `BENCH_enactment.json` *before*
@@ -18,9 +26,12 @@
 //! seam that keeps the event core's throughput claim honest.
 
 use gridflow_bench::{banner, render_table};
-use gridflow_engine::{CaseScheduler, CaseSpec, EngineConfig};
-use gridflow_harness::workload::{dinner_case_for_fleet, dinner_workload};
-use gridflow_harness::FaultPlan;
+use gridflow_engine::{CaseHints, CaseScheduler, CaseSpec, EngineConfig, PolicySpec};
+use gridflow_harness::workload::{
+    dinner_case_for_fleet, dinner_workload, virus_reconstruction_workload, GraphShape, Workload,
+    WorkloadGen,
+};
+use gridflow_harness::{FaultPlan, MultiCaseScenario};
 use serde_json::json;
 use std::time::Instant;
 
@@ -30,6 +41,52 @@ const WORKER_COUNTS: [usize; 2] = [1, 8];
 const GUARD_CASES: u64 = 512;
 const GUARD_WORKERS: u64 = 1;
 const GUARD_FLOOR: f64 = 0.8;
+/// Default fleet size per workload × policy matrix cell.
+const MATRIX_CASES: usize = 32;
+
+/// Staggered hints so every non-FIFO policy visibly reorders the
+/// fleet: alternating tenants, three priority classes, deadlines
+/// running against submission order.
+fn matrix_hints(i: usize) -> CaseHints {
+    CaseHints {
+        priority: (i % 3) as i64,
+        tenant: Some(if i.is_multiple_of(2) {
+            "a".into()
+        } else {
+            "b".into()
+        }),
+        deadline_tick: Some(1_000 - (i as u64 % 100) * 10),
+    }
+}
+
+/// The matrix's workload axis, each sized for a fleet of `fleet`
+/// concurrent cases over one shared world.
+fn matrix_workloads(fleet: usize) -> Vec<(&'static str, Workload)> {
+    let mut dinner = dinner_workload();
+    dinner.case = dinner_case_for_fleet(fleet);
+    vec![
+        ("dinner", dinner),
+        (
+            "generated-wide",
+            WorkloadGen::new(7)
+                .shape(GraphShape::FanOutJoin)
+                .width(3)
+                .depth(2)
+                .fleet(fleet)
+                .build(),
+        ),
+        (
+            "generated-choice",
+            WorkloadGen::new(7)
+                .shape(GraphShape::ChoiceDense)
+                .width(3)
+                .depth(2)
+                .fleet(fleet)
+                .build(),
+        ),
+        ("virus", virus_reconstruction_workload()),
+    ]
+}
 
 fn percentile_ticks(sorted: &[u64], pct: f64) -> u64 {
     if sorted.is_empty() {
@@ -63,6 +120,12 @@ fn main() {
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(usize::MAX);
     let guard = args.iter().any(|a| a == "--guard");
+    let matrix_cases = args
+        .iter()
+        .position(|a| a == "--matrix-cases")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(MATRIX_CASES);
 
     let path = "BENCH_enactment.json";
     let baseline = guard.then(|| baseline_cases_per_sec(path)).flatten();
@@ -90,6 +153,7 @@ fn main() {
                     graph: wl.graph.clone(),
                     case: case.clone(),
                     config: wl.config.clone(),
+                    hints: Default::default(),
                 });
             }
             let mut world = wl.fresh_world(&plan, 0);
@@ -159,11 +223,80 @@ fn main() {
         )
     );
 
+    banner("workload x policy admission matrix");
+    let mut matrix_rows = Vec::new();
+    let mut matrix = Vec::new();
+    for (name, wl) in matrix_workloads(matrix_cases) {
+        for policy in PolicySpec::ALL {
+            let start = Instant::now();
+            let outcome = MultiCaseScenario::new(&plan, &wl, matrix_cases)
+                .max_in_flight(64)
+                .policy(policy)
+                .case_hints(matrix_hints)
+                .run()
+                .engine;
+            let wall = start.elapsed();
+            assert!(
+                outcome.all_succeeded(),
+                "matrix cell {name}/{} did not fully succeed",
+                policy.name()
+            );
+            let mut makespans: Vec<u64> = outcome
+                .cases
+                .iter()
+                .filter_map(|c| c.admitted_makespan_ticks())
+                .collect();
+            makespans.sort_unstable();
+            let p50 = percentile_ticks(&makespans, 50.0);
+            let p99 = percentile_ticks(&makespans, 99.0);
+            let cases_per_sec = matrix_cases as f64 / wall.as_secs_f64().max(1e-9);
+            matrix_rows.push(vec![
+                name.to_string(),
+                policy.name().to_string(),
+                matrix_cases.to_string(),
+                outcome.ticks.to_string(),
+                format!("{:.1}", wall.as_secs_f64() * 1e3),
+                format!("{cases_per_sec:.0}"),
+                p50.to_string(),
+                p99.to_string(),
+            ]);
+            matrix.push(json!({
+                "workload": name,
+                "policy": policy.name(),
+                "cases": matrix_cases,
+                "workers": 1,
+                "ticks": outcome.ticks,
+                "wall_ms": wall.as_secs_f64() * 1e3,
+                "cases_per_sec": cases_per_sec,
+                "p50_makespan_ticks": p50,
+                "p99_makespan_ticks": p99,
+                "all_succeeded": true,
+            }));
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "workload",
+                "policy",
+                "cases",
+                "ticks",
+                "wall ms",
+                "cases/s",
+                "p50 makespan",
+                "p99 makespan",
+            ],
+            &matrix_rows,
+        )
+    );
+
     let report = json!({
         "bench": "enactment_throughput",
         "workload": wl.name,
         "engine": {"max_in_flight": 64, "enforce_reservations": true},
         "results": results,
+        "matrix": matrix,
     });
     std::fs::write(
         path,

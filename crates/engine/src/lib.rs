@@ -25,6 +25,11 @@
 
 #![warn(missing_docs)]
 
+pub mod policy;
 pub mod scheduler;
 
+pub use policy::{
+    Admission, AdmissionPolicy, CaseHints, Deadline, FairShare, Fifo, PolicySpec, Priority,
+    WaitingCase,
+};
 pub use scheduler::{CaseOutcome, CaseScheduler, CaseSpec, EngineConfig, EngineOutcome};

@@ -1,10 +1,12 @@
 //! The tick scheduler: admission, rotation-fair stepping, tick-scoped
 //! reservations, and per-case scoped tracing.
 
+use crate::policy::{AdmissionPolicy, CaseHints, PolicySpec, WaitingCase};
 use gridflow_process::{ActivityKind, CaseDescription, ProcessGraph};
 use gridflow_services::matchmaking::{matchmake, MatchRequest};
 use gridflow_services::{CaseFiber, EnactmentConfig, EnactmentReport, FiberStatus, GridWorld};
 use gridflow_telemetry::{ScopedSink, TraceEvent, TraceHandle, TraceSink};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Scheduler knobs.
@@ -35,6 +37,11 @@ pub struct EngineConfig {
     /// merged traces — the scan core exists as the differential oracle
     /// the equivalence suite compares against, not as a feature.
     pub scan_core: bool,
+    /// Which admission policy orders the waiting queue.  The default,
+    /// [`PolicySpec::Fifo`], is byte-identical to the pre-policy
+    /// engine; non-FIFO policies reorder admission only and stamp each
+    /// `case.admitted` event with a `reason`.
+    pub policy: PolicySpec,
 }
 
 impl Default for EngineConfig {
@@ -45,6 +52,7 @@ impl Default for EngineConfig {
             enforce_reservations: true,
             max_ticks: 100_000,
             scan_core: false,
+            policy: PolicySpec::Fifo,
         }
     }
 }
@@ -67,6 +75,9 @@ pub struct CaseSpec {
     pub case: Arc<CaseDescription>,
     /// Per-case enactment configuration (recovery ladder included).
     pub config: EnactmentConfig,
+    /// Scheduling hints the admission policy reads (priority, tenant,
+    /// deadline).  Ignored by FIFO; defaults to neutral values.
+    pub hints: CaseHints,
 }
 
 /// What became of one submitted case.
@@ -157,12 +168,12 @@ struct EventSlot {
 /// The multi-case enactment engine.
 ///
 /// Submit cases with [`CaseScheduler::submit`], then [`run`] them to
-/// completion over a shared world.  Admission is FIFO in submission
-/// order; each tick admits waiting cases up to
-/// [`EngineConfig::max_in_flight`], steps every live case once in a
-/// rotated canonical order (rotation index = tick mod live cases, so no
-/// case monopolizes first pick of the tick's capacity), then releases
-/// all tick-scoped reservations.
+/// completion over a shared world.  Admission order is set by
+/// [`EngineConfig::policy`] (FIFO in submission order by default); each
+/// tick admits waiting cases up to [`EngineConfig::max_in_flight`],
+/// steps every live case once in a rotated canonical order (rotation
+/// index = tick mod live cases, so no case monopolizes first pick of
+/// the tick's capacity), then releases all tick-scoped reservations.
 ///
 /// [`run`]: CaseScheduler::run
 pub struct CaseScheduler {
@@ -203,8 +214,9 @@ impl CaseScheduler {
         self
     }
 
-    /// Queue a case for admission.  Order of submission is the FIFO
-    /// admission order and the canonical base order for stepping.
+    /// Queue a case for admission.  Order of submission is the default
+    /// (FIFO) admission order, every policy's tie-breaker, and the
+    /// canonical base order for stepping.
     pub fn submit(&mut self, spec: CaseSpec) {
         self.pending.push(spec);
     }
@@ -247,21 +259,22 @@ impl CaseScheduler {
         world.enable_reservations(self.config.enforce_reservations);
 
         let specs = std::mem::take(&mut self.pending);
-        let mut waiting: std::collections::VecDeque<(usize, CaseSpec)> =
-            specs.into_iter().enumerate().collect();
+        let mut waiting: VecDeque<(usize, CaseSpec)> = specs.into_iter().enumerate().collect();
         let mut live: Vec<Slot> = Vec::new();
         let mut finished: Vec<(usize, CaseOutcome)> = Vec::new();
         let mut tick: u64 = 0;
+        let mut policy = self.config.policy.build();
 
         loop {
             self.trace.emit("engine", TraceEvent::TickStarted { tick });
             on_tick(tick, world);
 
-            // FIFO admission, gated on matchmaking: a case none of the
-            // live containers can serve is refused outright instead of
-            // failing activity-by-activity later.
+            // Policy-ordered admission, gated on matchmaking: a case
+            // none of the live containers can serve is refused outright
+            // instead of failing activity-by-activity later.
             while live.len() < self.config.max_in_flight.max(1) {
-                let Some((index, spec)) = waiting.pop_front() else {
+                let Some((index, spec, why)) = Self::pick_next(policy.as_mut(), &mut waiting, tick)
+                else {
                     break;
                 };
                 match self.admission_gap(world, &spec.graph) {
@@ -271,8 +284,14 @@ impl CaseScheduler {
                             TraceEvent::CaseAdmitted {
                                 case: spec.label.clone(),
                                 tick,
+                                reason: why,
                             },
                         );
+                        policy.admitted(&WaitingCase {
+                            submitted: index,
+                            label: &spec.label,
+                            hints: &spec.hints,
+                        });
                         let fiber = self.spawn_fiber(&spec);
                         live.push(Slot {
                             index,
@@ -424,11 +443,11 @@ impl CaseScheduler {
         world.enable_reservations(self.config.enforce_reservations);
 
         let specs = std::mem::take(&mut self.pending);
-        let mut waiting: std::collections::VecDeque<(usize, CaseSpec)> =
-            specs.into_iter().enumerate().collect();
+        let mut waiting: VecDeque<(usize, CaseSpec)> = specs.into_iter().enumerate().collect();
         let mut live: Vec<EventSlot> = Vec::new();
         let mut finished: Vec<(usize, CaseOutcome)> = Vec::new();
         let mut tick: u64 = 0;
+        let mut policy = self.config.policy.build();
         // Containers whose tick-scoped holds drained at the previous
         // tick boundary — the wake signal for capacity waiters.
         let mut freed: Vec<String> = Vec::new();
@@ -438,10 +457,11 @@ impl CaseScheduler {
             self.trace.emit("engine", TraceEvent::TickStarted { tick });
             on_tick(tick, world);
 
-            // FIFO admission, identical to the scan core; fresh
-            // admissions enter the ready queue.
+            // Policy-ordered admission, identical to the scan core;
+            // fresh admissions enter the ready queue.
             while live.len() < self.config.max_in_flight.max(1) {
-                let Some((index, spec)) = waiting.pop_front() else {
+                let Some((index, spec, why)) = Self::pick_next(policy.as_mut(), &mut waiting, tick)
+                else {
                     break;
                 };
                 match self.admission_gap(world, &spec.graph) {
@@ -451,8 +471,14 @@ impl CaseScheduler {
                             TraceEvent::CaseAdmitted {
                                 case: spec.label.clone(),
                                 tick,
+                                reason: why,
                             },
                         );
+                        policy.admitted(&WaitingCase {
+                            submitted: index,
+                            label: &spec.label,
+                            hints: &spec.hints,
+                        });
                         let fiber = self.spawn_fiber(&spec);
                         live.push(EventSlot {
                             slot: Slot {
@@ -622,6 +648,31 @@ impl CaseScheduler {
             cases: finished.into_iter().map(|(_, c)| c).collect(),
             ticks: tick.max(1),
         }
+    }
+
+    /// The admission policy's next pick, removed from the waiting queue
+    /// and returned with its admission reason.  `None` ends admission
+    /// for the tick (queue empty, or the policy declined).
+    fn pick_next(
+        policy: &mut dyn AdmissionPolicy,
+        waiting: &mut VecDeque<(usize, CaseSpec)>,
+        tick: u64,
+    ) -> Option<(usize, CaseSpec, Option<String>)> {
+        let admission = {
+            let view: Vec<WaitingCase<'_>> = waiting
+                .iter()
+                .map(|(index, spec)| WaitingCase {
+                    submitted: *index,
+                    label: &spec.label,
+                    hints: &spec.hints,
+                })
+                .collect();
+            policy.next(&view, tick)?
+        };
+        let (index, spec) = waiting
+            .remove(admission.pos)
+            .expect("policy picked an out-of-range waiting position");
+        Some((index, spec, admission.reason))
     }
 
     /// `None` when matchmaking can place every end-user service of

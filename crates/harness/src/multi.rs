@@ -12,7 +12,9 @@
 use crate::clock::VirtualClock;
 use crate::plan::FaultPlan;
 use crate::workload::Workload;
-use gridflow_engine::{CaseOutcome, CaseScheduler, CaseSpec, EngineConfig, EngineOutcome};
+use gridflow_engine::{
+    CaseHints, CaseOutcome, CaseScheduler, CaseSpec, EngineConfig, EngineOutcome, PolicySpec,
+};
 use gridflow_telemetry::{TraceEvent, TraceHandle, TraceLog, TraceSink};
 use std::sync::Arc;
 
@@ -47,6 +49,7 @@ pub struct MultiCaseScenario<'a> {
     cases: usize,
     config: EngineConfig,
     traced: bool,
+    hints_fn: Option<fn(usize) -> CaseHints>,
 }
 
 impl<'a> MultiCaseScenario<'a> {
@@ -59,6 +62,7 @@ impl<'a> MultiCaseScenario<'a> {
             cases,
             config: EngineConfig::default(),
             traced: false,
+            hints_fn: None,
         }
     }
 
@@ -85,6 +89,20 @@ impl<'a> MultiCaseScenario<'a> {
     /// differential equivalence suite's oracle switch.
     pub fn scan_core(mut self) -> Self {
         self.config.scan_core = true;
+        self
+    }
+
+    /// Admit cases under `policy` instead of the FIFO default.
+    pub fn policy(mut self, policy: PolicySpec) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Derive each case's scheduling hints from its fleet index
+    /// (case `i` gets `hints(i)`).  Without this every case carries
+    /// neutral [`CaseHints`], which makes every policy degrade to FIFO.
+    pub fn case_hints(mut self, hints: fn(usize) -> CaseHints) -> Self {
+        self.hints_fn = Some(hints);
         self
     }
 
@@ -121,6 +139,7 @@ impl<'a> MultiCaseScenario<'a> {
                 graph: self.workload.graph.clone(),
                 case: case.clone(),
                 config: self.workload.config.clone(),
+                hints: self.hints_fn.map(|f| f(i)).unwrap_or_default(),
             });
         }
         let mut world = self.workload.fresh_world(self.plan, 0);

@@ -3,9 +3,18 @@
 //! A [`Workload`] bundles everything one enactment needs — a world
 //! builder (fresh state per run, so replays start identically), a
 //! process graph, a case description, and an enactment configuration.
-//! The `dinner` family mirrors the coordination-service test fixture:
-//! each service hosted on two dedicated containers, with `nuke` as an
-//! alternative cooker so replanning has somewhere to go.
+//! Three families live here:
+//!
+//! * the hand-built `dinner` family (this module), mirroring the
+//!   coordination-service test fixture: each service hosted on two
+//!   dedicated containers, with `nuke` as an alternative cooker so
+//!   replanning has somewhere to go;
+//! * the seeded generator ([`gen::WorkloadGen`]), which stamps out
+//!   workloads along the Yu & Buyya taxonomy axes — graph shape, width,
+//!   depth, duration profile, capacity heterogeneity;
+//! * the paper's §4 case study ([`virus::virus_reconstruction_workload`]),
+//!   the Figs. 10–13 virus-reconstruction workflow as an engine
+//!   workload.
 
 use crate::plan::FaultPlan;
 use gridflow_grid::container::ApplicationContainer;
@@ -20,6 +29,47 @@ use gridflow_process::{CaseDescription, Condition, DataItem, ProcessGraph};
 use gridflow_recovery::RecoveryPolicy;
 use gridflow_services::coordination::EnactmentConfig;
 use gridflow_services::world::{GridWorld, OutputSpec, ServiceOffering};
+use std::sync::Arc;
+
+pub mod gen;
+pub mod virus;
+
+pub use gen::{DurationProfile, GraphShape, WorkloadGen};
+pub use virus::virus_reconstruction_workload;
+
+/// Builds a fresh [`GridWorld`] per run, so replays start identically.
+///
+/// Wraps either a plain `fn` (the hand-built workloads) or a captured
+/// closure (generated workloads, whose topology and capacity profile
+/// are derived from a seed at build time).  Cloning shares the builder;
+/// every [`WorldBuilder::build`] call still returns an independent
+/// world, so runs can't smuggle state between phases.
+#[derive(Clone)]
+pub struct WorldBuilder(Arc<dyn Fn() -> GridWorld + Send + Sync>);
+
+impl WorldBuilder {
+    /// Wrap a capturing builder closure.
+    pub fn new(f: impl Fn() -> GridWorld + Send + Sync + 'static) -> Self {
+        WorldBuilder(Arc::new(f))
+    }
+
+    /// Build a fresh world.
+    pub fn build(&self) -> GridWorld {
+        (self.0)()
+    }
+}
+
+impl From<fn() -> GridWorld> for WorldBuilder {
+    fn from(f: fn() -> GridWorld) -> Self {
+        WorldBuilder(Arc::new(f))
+    }
+}
+
+impl std::fmt::Debug for WorldBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("WorldBuilder(..)")
+    }
+}
 
 /// One fault-injection scenario's fixed inputs.
 #[derive(Clone)]
@@ -32,10 +82,8 @@ pub struct Workload {
     pub case: CaseDescription,
     /// Enactment configuration.
     pub config: EnactmentConfig,
-    /// Builds a fresh world (all containers up, no failure model); a
-    /// plain `fn` so the workload stays `Clone` and runs can't smuggle
-    /// hidden state between phases.
-    pub world_builder: fn() -> GridWorld,
+    /// Builds a fresh world (all containers up, no failure model).
+    pub world_builder: WorldBuilder,
 }
 
 impl std::fmt::Debug for Workload {
@@ -54,7 +102,7 @@ impl Workload {
     /// recovered coordinator does not replay the exact failures that
     /// killed it.
     pub fn fresh_world(&self, plan: &FaultPlan, phase: usize) -> GridWorld {
-        let mut world = (self.world_builder)();
+        let mut world = self.world_builder.build();
         if plan.activity_failure_prob > 0.0 {
             let phase_seed = plan.seed.wrapping_add(7919u64.wrapping_mul(phase as u64));
             world.failure = FailureModel::new(phase_seed, plan.activity_failure_prob);
@@ -71,6 +119,102 @@ impl Workload {
     pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
         self.config.recovery = recovery;
         self
+    }
+
+    /// A structural fingerprint of the workload: graph, case, and the
+    /// built world's topology, catalog, and capacity overrides, all
+    /// rendered deterministically.  Two workloads with equal
+    /// fingerprints enact identically under equal plans — the
+    /// seed-determinism tests compare these byte-for-byte.
+    pub fn fingerprint(&self) -> String {
+        let world = self.world_builder.build();
+        let mut containers: Vec<String> = world
+            .topology
+            .containers
+            .iter()
+            .map(|c| {
+                format!(
+                    "{}@{} hosting {:?} capacity {}",
+                    c.id,
+                    c.resource_id,
+                    c.services,
+                    world.capacity_of(&c.id)
+                )
+            })
+            .collect();
+        containers.sort();
+        let mut offerings: Vec<String> =
+            world.offerings.values().map(|o| format!("{o:?}")).collect();
+        offerings.sort();
+        format!(
+            "name: {}\ngraph: {:?}\ncase: {:?}\ncontainers: {containers:#?}\nofferings: {offerings:#?}\n",
+            self.name, self.graph, self.case
+        )
+    }
+}
+
+/// The shared goal-id allocator: sizes an "an item with classification
+/// `X` exists" goal to a fleet of concurrent cases on one shared world.
+///
+/// The world's fresh-id counter is global and starts at
+/// [`GoalIdAllocator::BASE`]; every produced item takes the next id
+/// (`D101`, `D102`, …), so a fleet of N cases each producing
+/// `ids_per_case` fresh items consumes ids up to
+/// `BASE + ids_per_case * N` — and a case's goal must range over all of
+/// them, because which ids land in which case depends on the
+/// interleaving.  Both the dinner family and the generated workloads
+/// size their goals through this one allocator, so the id-range
+/// arithmetic cannot drift between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GoalIdAllocator {
+    ids_per_case: usize,
+    min_fleet: usize,
+}
+
+impl GoalIdAllocator {
+    /// The world's fresh-id counter starts here; the first produced
+    /// item is `D101`.
+    pub const BASE: usize = 100;
+
+    /// An allocator for cases that produce `ids_per_case` fresh data
+    /// items each, sized for at least [`Self::default_min_fleet`]
+    /// concurrent cases (agent-stack scenarios enact repeatedly on one
+    /// shared world, so even a single case's goal must stay reachable
+    /// on later runs).
+    pub fn new(ids_per_case: usize) -> Self {
+        GoalIdAllocator {
+            ids_per_case: ids_per_case.max(1),
+            min_fleet: Self::default_min_fleet(),
+        }
+    }
+
+    /// The default fleet floor (40 — the historical dinner goal range
+    /// `D101..=D220` at three ids per case).
+    pub const fn default_min_fleet() -> usize {
+        40
+    }
+
+    /// Same allocator with a different fleet floor.
+    pub fn with_min_fleet(mut self, min_fleet: usize) -> Self {
+        self.min_fleet = min_fleet.max(1);
+        self
+    }
+
+    /// The last data id a fleet of `fleet` cases can produce.
+    pub fn last_id(&self, fleet: usize) -> usize {
+        Self::BASE + self.ids_per_case * fleet.max(self.min_fleet)
+    }
+
+    /// Goal condition: *some* produced item (`D101` up to
+    /// [`last_id`](Self::last_id)) is classified `classification`.
+    pub fn exists_goal(&self, classification: &str, fleet: usize) -> Condition {
+        let first = Self::BASE + 1;
+        (first + 1..=self.last_id(fleet))
+            .map(|i| Condition::classified(format!("D{i}"), classification))
+            .fold(
+                Condition::classified(format!("D{first}"), classification),
+                Condition::or,
+            )
     }
 }
 
@@ -133,38 +277,30 @@ pub fn dinner_world() -> GridWorld {
     w
 }
 
-/// Goal: some produced item is classified `Plated` (produced ids are
-/// fresh `D101`, `D102`, …, so the goal ranges over candidate ids).
-/// The range is wide because the agent-stack scenarios enact repeatedly
-/// on one *shared* world — each run (and each duplicated request)
-/// consumes three fresh ids, and the goal must still be reachable on
-/// the later runs.
-fn plated_exists_up_to(last_id: usize) -> Condition {
-    (102..=last_id)
-        .map(|i| Condition::classified(format!("D{i}"), "Plated"))
-        .fold(Condition::classified("D101", "Plated"), Condition::or)
+/// The dinner goal-id allocator: three fresh items per case (`prep`,
+/// `cook`, `plate` each produce one), default fleet floor, so a single
+/// case's goal ranges over the historical `D101..=D220`.
+fn dinner_goal_ids() -> GoalIdAllocator {
+    GoalIdAllocator::new(3)
 }
 
-fn plated_exists() -> Condition {
-    plated_exists_up_to(220)
-}
-
-/// The dinner case: one `Raw` item, goal `Plated`.
+/// The dinner case: one `Raw` item, goal `Plated`.  Equivalent to
+/// [`dinner_case_for_fleet`]`(1)` — the goal range is wide because the
+/// agent-stack scenarios enact repeatedly on one *shared* world, and
+/// the goal must still be reachable on the later runs.
 pub fn dinner_case() -> CaseDescription {
-    CaseDescription::new("dinner")
-        .with_data("D1", DataItem::classified("Raw"))
-        .with_goal("G1", plated_exists())
+    dinner_case_for_fleet(1)
 }
 
 /// A dinner case whose goal range is sized for a fleet of `fleet`
 /// concurrent cases on one shared world.  The world's fresh-id counter
-/// is global, so a fleet of N consumes ~3·N produced ids; the default
-/// [`dinner_case`] goal only ranges up to `D220` and would spuriously
-/// fail for fleets past ~40 cases.
+/// is global, so a fleet of N consumes ~3·N produced ids; the
+/// [`GoalIdAllocator`] sizes the goal's id range accordingly (with the
+/// default floor, fleets up to 40 share the `D101..=D220` range).
 pub fn dinner_case_for_fleet(fleet: usize) -> CaseDescription {
     CaseDescription::new("dinner")
         .with_data("D1", DataItem::classified("Raw"))
-        .with_goal("G1", plated_exists_up_to(100 + 3 * fleet.max(40)))
+        .with_goal("G1", dinner_goal_ids().exists_goal("Plated", fleet))
 }
 
 /// The linear dinner workflow `prep; cook; plate`.
@@ -184,7 +320,7 @@ pub fn dinner_workload() -> Workload {
             checkpoint_every: Some(1),
             ..EnactmentConfig::default()
         },
-        world_builder: dinner_world,
+        world_builder: WorldBuilder::new(dinner_world),
     }
 }
 

@@ -429,6 +429,12 @@ pub enum TraceEvent {
         case: String,
         /// Tick at which it was admitted.
         tick: u64,
+        /// Why the admission policy picked this case now (e.g.
+        /// `"priority=3"`), when a non-FIFO policy is active.  `None`
+        /// under FIFO, and omitted from the serialized event so legacy
+        /// FIFO traces stay byte-identical.
+        #[serde(skip_serializing_if = "Option::is_none")]
+        reason: Option<String>,
     },
     /// Admission control rejected a case outright (it never runs).
     CaseRejected {

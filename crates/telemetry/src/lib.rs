@@ -40,7 +40,7 @@ pub mod sink;
 
 pub use event::{Label, TraceEvent, TraceRecord};
 pub use metrics::{Histogram, MetricsRegistry, LATENCY_BUCKETS_S};
-pub use query::{TraceQuery, TraceViolation};
+pub use query::{AdmissionRecord, TraceQuery, TraceViolation};
 pub use sink::{
     FrozenClock, NullSink, ScopedSink, TraceClock, TraceHandle, TraceLog, TraceSink, TraceSlot,
 };

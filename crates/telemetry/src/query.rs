@@ -84,6 +84,19 @@ pub enum TraceViolation {
         /// Sequence number of the offending dispatch.
         dispatched_seq: u64,
     },
+    /// Two same-tick admissions came out of order for the active
+    /// admission policy (e.g. a lower-priority case ahead of a waiting
+    /// higher-priority one, or a later deadline ahead of an earlier).
+    AdmissionOrderViolated {
+        /// Case admitted first.
+        earlier: String,
+        /// Case admitted after it, which the policy owed first pick.
+        later: String,
+        /// The tick both admissions landed on.
+        tick: u64,
+        /// What the policy ordering said (rendered comparison).
+        detail: String,
+    },
     /// More cases held reservations on a container than it has slots —
     /// the multi-case fair-contention invariant in trace form.
     DoubleBooking {
@@ -157,6 +170,16 @@ impl std::fmt::Display for TraceViolation {
                 "container '{container}' breaker opened at seq {opened_seq} but took \
                  a dispatch at seq {dispatched_seq} before being readmitted"
             ),
+            TraceViolation::AdmissionOrderViolated {
+                earlier,
+                later,
+                tick,
+                detail,
+            } => write!(
+                f,
+                "tick {tick}: case '{earlier}' was admitted ahead of '{later}' \
+                 against the admission policy ({detail})"
+            ),
             TraceViolation::DoubleBooking {
                 container,
                 holders,
@@ -170,6 +193,20 @@ impl std::fmt::Display for TraceViolation {
             ),
         }
     }
+}
+
+/// One `case.admitted` event flattened for policy-discipline checks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionRecord {
+    /// Sequence number of the admission event.
+    pub seq: u64,
+    /// The admitted case's label.
+    pub case: String,
+    /// Scheduler tick the admission landed on.
+    pub tick: u64,
+    /// The policy's admission reason, when a non-FIFO policy stamped
+    /// one.
+    pub reason: Option<String>,
 }
 
 /// A read-only view over a trace with invariant checks.
@@ -464,6 +501,95 @@ impl TraceQuery {
         Ok(())
     }
 
+    /// Every `case.admitted` event in trace order, flattened.
+    pub fn admissions(&self) -> Vec<AdmissionRecord> {
+        self.records
+            .iter()
+            .filter_map(|r| match &r.event {
+                TraceEvent::CaseAdmitted { case, tick, reason } => Some(AdmissionRecord {
+                    seq: r.seq,
+                    case: case.clone(),
+                    tick: *tick,
+                    reason: reason.clone(),
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Case labels in admission order — the policy's observable output.
+    pub fn admission_sequence(&self) -> Vec<String> {
+        self.admissions().into_iter().map(|a| a.case).collect()
+    }
+
+    /// Check: admissions landing on one tick come out in non-increasing
+    /// priority — a lower-priority case is never admitted ahead of a
+    /// higher-priority one waiting at the same tick.  `priorities` maps
+    /// case labels to their submitted priority; unlisted cases default
+    /// to 0.  (When every case is submitted up front and none is
+    /// refused, same-tick discipline extends to the whole sequence,
+    /// since the whole queue is visible to the policy at every pick.)
+    pub fn check_admission_priority(
+        &self,
+        priorities: &BTreeMap<String, i64>,
+    ) -> Result<(), TraceViolation> {
+        self.check_admission_order(|a| {
+            let p = priorities.get(&a.case).copied().unwrap_or(0);
+            // Negate so "later must not sort strictly smaller" means
+            // "later must not have strictly higher priority".
+            (-p, format!("priority={p}"))
+        })
+    }
+
+    /// Check: admissions landing on one tick come out in earliest-
+    /// deadline-first order.  `deadlines` maps case labels to their
+    /// deadline tick; unlisted cases have no deadline and sort last.
+    pub fn check_admission_deadlines(
+        &self,
+        deadlines: &BTreeMap<String, u64>,
+    ) -> Result<(), TraceViolation> {
+        self.check_admission_order(|a| {
+            let d = deadlines.get(&a.case).copied();
+            (
+                d.unwrap_or(u64::MAX),
+                match d {
+                    Some(d) => format!("deadline={d}"),
+                    None => "deadline=none".to_string(),
+                },
+            )
+        })
+    }
+
+    /// Shared walk for the policy-discipline checks: `key` extracts a
+    /// sort key (smaller admits first) and its rendering; any same-tick
+    /// pair admitted in strictly descending-urgency order violates.
+    fn check_admission_order<K: Ord>(
+        &self,
+        mut key: impl FnMut(&AdmissionRecord) -> (K, String),
+    ) -> Result<(), TraceViolation> {
+        let admissions = self.admissions();
+        for pair in admissions.windows(2) {
+            let (earlier, later) = (&pair[0], &pair[1]);
+            if earlier.tick != later.tick {
+                continue;
+            }
+            let (ek, edesc) = key(earlier);
+            let (lk, ldesc) = key(later);
+            if lk < ek {
+                return Err(TraceViolation::AdmissionOrderViolated {
+                    earlier: earlier.case.clone(),
+                    later: later.case.clone(),
+                    tick: earlier.tick,
+                    detail: format!(
+                        "'{}' has {}, '{}' has {}",
+                        earlier.case, edesc, later.case, ldesc
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Check: at no point in the trace do more cases hold a reservation
     /// on a container than the container has slots.  `capacities` maps
     /// container names to their slot counts; containers not listed
@@ -553,6 +679,20 @@ impl TraceQuery {
     /// Panic if [`TraceQuery::check_no_double_booking`] fails.
     pub fn assert_no_double_booking(&self, capacities: &BTreeMap<String, usize>) {
         if let Err(v) = self.check_no_double_booking(capacities) {
+            panic!("trace violation: {v}");
+        }
+    }
+
+    /// Panic if [`TraceQuery::check_admission_priority`] fails.
+    pub fn assert_admission_priority(&self, priorities: &BTreeMap<String, i64>) {
+        if let Err(v) = self.check_admission_priority(priorities) {
+            panic!("trace violation: {v}");
+        }
+    }
+
+    /// Panic if [`TraceQuery::check_admission_deadlines`] fails.
+    pub fn assert_admission_deadlines(&self, deadlines: &BTreeMap<String, u64>) {
+        if let Err(v) = self.check_admission_deadlines(deadlines) {
             panic!("trace violation: {v}");
         }
     }
@@ -928,6 +1068,79 @@ mod tests {
             .unwrap_err()
             .to_string();
         assert!(msg.contains("double booking"), "{msg}");
+    }
+
+    fn admitted(case: &str, tick: u64, reason: Option<&str>) -> TraceEvent {
+        TraceEvent::CaseAdmitted {
+            case: case.into(),
+            tick,
+            reason: reason.map(str::to_string),
+        }
+    }
+
+    #[test]
+    fn admissions_flatten_in_trace_order() {
+        let q = TraceQuery::new(vec![
+            rec(0, admitted("a", 0, None)),
+            rec(1, dispatched("A1")),
+            rec(2, admitted("b", 1, Some("priority=3"))),
+        ]);
+        let adm = q.admissions();
+        assert_eq!(adm.len(), 2);
+        assert_eq!(adm[0].case, "a");
+        assert_eq!(adm[0].reason, None);
+        assert_eq!(adm[1].tick, 1);
+        assert_eq!(adm[1].reason.as_deref(), Some("priority=3"));
+        assert_eq!(q.admission_sequence(), vec!["a".to_string(), "b".into()]);
+    }
+
+    #[test]
+    fn admission_priority_discipline_is_same_tick_only() {
+        let priorities = BTreeMap::from([("hi".to_string(), 5i64), ("lo".to_string(), 1)]);
+        // Same tick, high first: fine.
+        let ok = TraceQuery::new(vec![
+            rec(0, admitted("hi", 0, None)),
+            rec(1, admitted("lo", 0, None)),
+        ]);
+        ok.assert_admission_priority(&priorities);
+        // Same tick, low first: violation.
+        let bad = TraceQuery::new(vec![
+            rec(0, admitted("lo", 0, None)),
+            rec(1, admitted("hi", 0, None)),
+        ]);
+        match bad.check_admission_priority(&priorities) {
+            Err(TraceViolation::AdmissionOrderViolated { earlier, later, .. }) => {
+                assert_eq!((earlier.as_str(), later.as_str()), ("lo", "hi"));
+            }
+            other => panic!("expected AdmissionOrderViolated, got {other:?}"),
+        }
+        // Different ticks: a late-arriving high-priority case admitting
+        // after an earlier low one is legal (it wasn't waiting yet).
+        let staggered = TraceQuery::new(vec![
+            rec(0, admitted("lo", 0, None)),
+            rec(1, admitted("hi", 1, None)),
+        ]);
+        staggered.assert_admission_priority(&priorities);
+    }
+
+    #[test]
+    fn admission_deadline_discipline_is_edf_with_none_last() {
+        let deadlines = BTreeMap::from([("soon".to_string(), 10u64), ("late".to_string(), 90)]);
+        let ok = TraceQuery::new(vec![
+            rec(0, admitted("soon", 0, None)),
+            rec(1, admitted("late", 0, None)),
+            rec(2, admitted("never", 0, None)), // no deadline sorts last
+        ]);
+        ok.assert_admission_deadlines(&deadlines);
+        let bad = TraceQuery::new(vec![
+            rec(0, admitted("never", 0, None)),
+            rec(1, admitted("soon", 0, None)),
+        ]);
+        let msg = bad
+            .check_admission_deadlines(&deadlines)
+            .unwrap_err()
+            .to_string();
+        assert!(msg.contains("against the admission policy"), "{msg}");
     }
 
     #[test]

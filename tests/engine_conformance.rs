@@ -211,6 +211,7 @@ fn tick_budget_aborts_stragglers_instead_of_hanging() {
             graph: wl.graph.clone(),
             case: wl.case.clone().into(),
             config: wl.config.clone(),
+            hints: Default::default(),
         });
     }
     let mut world = wl.fresh_world(&FaultPlan::default(), 0);

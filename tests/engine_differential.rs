@@ -11,8 +11,11 @@
 //!
 //! [`EngineConfig::scan_core`]: gridflow_engine::EngineConfig::scan_core
 
-use gridflow_harness::workload::{dinner_recovery_workload, dinner_workload, Workload};
+use gridflow_harness::workload::{
+    dinner_recovery_workload, dinner_workload, DurationProfile, GraphShape, Workload, WorkloadGen,
+};
 use gridflow_harness::{FaultPlan, MultiCaseScenario};
+use proptest::prelude::*;
 
 fn jsonl(plan: &FaultPlan, wl: &Workload, cases: usize, in_flight: usize, scan: bool) -> String {
     let mut scenario = MultiCaseScenario::new(plan, wl, cases)
@@ -138,4 +141,62 @@ fn worker_counts_and_cores_compose_without_perturbing_the_trace() {
         .expect("traced")
         .to_jsonl();
     assert_eq!(event_w8, scan_w1, "event@8 workers diverged from scan@1");
+}
+
+/// Strategy over the generator's taxonomy knobs, kept small enough
+/// that each sampled workload enacts in milliseconds.
+fn workload_gen() -> impl Strategy<Value = WorkloadGen> {
+    (
+        any::<u64>(),
+        prop_oneof![
+            Just(GraphShape::Linear),
+            Just(GraphShape::FanOutJoin),
+            Just(GraphShape::ChoiceDense),
+            Just(GraphShape::Iterative),
+        ],
+        2usize..4,
+        1usize..4,
+        prop_oneof![
+            Just(DurationProfile::DataStaged),
+            Just(DurationProfile::ComputeBound),
+        ],
+        prop_oneof![Just(false), Just(true)],
+    )
+        .prop_map(|(seed, shape, width, depth, duration, hetero)| {
+            WorkloadGen::new(seed)
+                .shape(shape)
+                .width(width)
+                .depth(depth)
+                .duration(duration)
+                .heterogeneous_capacity(hetero)
+                .fleet(3)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The generator-driven sweep: for any sampled (seed, shape, width,
+    /// depth, duration, capacity profile), the event core and the scan
+    /// oracle must produce byte-identical merged JSONL — and the event
+    /// core must be worker-count invariant across 1 and 8 workers.
+    #[test]
+    fn generated_workloads_trace_identically_on_both_cores(gen in workload_gen()) {
+        let wl = gen.build();
+        let plan = FaultPlan::default();
+        let mut traces = Vec::new();
+        for (workers, scan) in [(1, false), (1, true), (8, false)] {
+            let mut scenario = MultiCaseScenario::new(&plan, &wl, 3)
+                .max_in_flight(2)
+                .workers(workers)
+                .traced();
+            if scan {
+                scenario = scenario.scan_core();
+            }
+            traces.push(scenario.run().trace.expect("traced").to_jsonl());
+        }
+        prop_assert!(!traces[0].is_empty(), "{}: empty trace", wl.name);
+        prop_assert_eq!(&traces[0], &traces[1], "event vs scan diverged on {}", wl.name);
+        prop_assert_eq!(&traces[0], &traces[2], "workers 1 vs 8 diverged on {}", wl.name);
+    }
 }

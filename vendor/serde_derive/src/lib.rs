@@ -4,15 +4,20 @@
 //! crate's JSON-value data model.  The input grammar is the subset the
 //! GridFlow crates use: structs with named fields (possibly generic),
 //! unit structs, and enums whose variants are unit, tuple, or struct
-//! shaped.  Field attributes (`#[serde(...)]`) are not supported — the
-//! codebase uses none.  Parsing is done directly over the proc-macro
-//! token stream (no `syn`/`quote` available offline); generated code is
+//! shaped.  One field attribute is honored:
+//! `#[serde(skip_serializing_if = "Option::is_none")]` omits the field
+//! from the serialized object when its value serializes to `null`
+//! (deserialization already treats a missing `Option` field as `None`
+//! via `__missing_field_fallback`, so the round trip is lossless).
+//! Other `#[serde(...)]` attributes are not supported — the codebase
+//! uses none.  Parsing is done directly over the proc-macro token
+//! stream (no `syn`/`quote` available offline); generated code is
 //! assembled as text and reparsed.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Derive `serde::Serialize`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_serialize(&item)
@@ -21,7 +26,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derive `serde::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     gen_deserialize(&item)
@@ -34,8 +39,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 // ---------------------------------------------------------------------
 
 enum Shape {
-    /// Named-field struct (field names in order).
-    Struct(Vec<String>),
+    /// Named-field struct (fields in order).
+    Struct(Vec<Field>),
     /// Tuple struct (arity).
     TupleStruct(usize),
     /// Unit struct.
@@ -47,7 +52,15 @@ enum Shape {
 enum VariantShape {
     Unit,
     Tuple(usize),
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
+}
+
+/// One named field plus the serialization options read off its attributes.
+struct Field {
+    name: String,
+    /// `#[serde(skip_serializing_if = "...")]` was present: omit the
+    /// field from the object when its value serializes to `null`.
+    skip_if_none: bool,
 }
 
 struct Item {
@@ -142,6 +155,38 @@ fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
     }
 }
 
+/// Advance past a field's attributes and visibility like
+/// [`skip_attrs_and_vis`], but report whether any attribute carried a
+/// `serde(skip_serializing_if = ...)` option.
+fn field_attrs_skip_if_none(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip_if_none = false;
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // `#`
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        let body = g.stream().to_string();
+                        if body.starts_with("serde") && body.contains("skip_serializing_if") {
+                            skip_if_none = true;
+                        }
+                        *i += 1; // `[...]`
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `(crate)` etc.
+                }
+            }
+            _ => break,
+        }
+    }
+    skip_if_none
+}
+
 /// Parse `<...>` after the type name, returning type-parameter names.
 fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
     let mut params = Vec::new();
@@ -180,22 +225,26 @@ fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
     params
 }
 
-/// Field names of a named-field body (struct or struct variant).
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// Fields of a named-field body (struct or struct variant), with any
+/// recognized `#[serde(...)]` options applied.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
-    let mut fields = Vec::new();
+    let mut fields: Vec<Field> = Vec::new();
     let mut i = 0usize;
     while i < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut i);
+        let skip_if_none = field_attrs_skip_if_none(&tokens, &mut i);
         match tokens.get(i) {
             Some(TokenTree::Ident(id)) => {
-                fields.push(id.to_string());
+                fields.push(Field {
+                    name: id.to_string(),
+                    skip_if_none,
+                });
                 i += 1;
                 // `:` then the type, up to a top-level comma.
                 assert!(
                     matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
                     "expected `:` after field `{}`",
-                    fields.last().unwrap()
+                    fields.last().unwrap().name
                 );
                 i += 1;
                 let mut angle = 0isize;
@@ -303,6 +352,25 @@ fn impl_header(item: &Item, bound: &str) -> (String, String) {
     }
 }
 
+/// Generated statement inserting one field into map `map`, honoring
+/// `skip_if_none`: a flagged field whose value serializes to `null` is
+/// left out of the object entirely (real-serde
+/// `skip_serializing_if = "Option::is_none"` semantics).
+fn field_insert(map: &str, f: &Field, expr: &str) -> String {
+    let name = &f.name;
+    if f.skip_if_none {
+        format!(
+            "{{ let __fv = ::serde::Serialize::to_json_value({expr});\n\
+             if !matches!(__fv, ::serde::Value::Null) {{\n\
+             {map}.insert(\"{name}\".to_string(), __fv);\n}} }}\n"
+        )
+    } else {
+        format!(
+            "{map}.insert(\"{name}\".to_string(), ::serde::Serialize::to_json_value({expr}));\n"
+        )
+    }
+}
+
 fn gen_serialize(item: &Item) -> String {
     let (generics, ty) = impl_header(item, "::serde::Serialize");
     let name = &item.name;
@@ -310,9 +378,7 @@ fn gen_serialize(item: &Item) -> String {
         Shape::Struct(fields) => {
             let mut s = String::from("let mut __m = ::serde::Map::new();\n");
             for f in fields {
-                s.push_str(&format!(
-                    "__m.insert(\"{f}\".to_string(), ::serde::Serialize::to_json_value(&self.{f}));\n"
-                ));
+                s.push_str(&field_insert("__m", f, &format!("&self.{}", f.name)));
             }
             s.push_str("::serde::Value::Object(__m)");
             s
@@ -356,12 +422,14 @@ fn gen_serialize(item: &Item) -> String {
                         ));
                     }
                     VariantShape::Struct(fields) => {
-                        let binds = fields.join(", ");
+                        let binds = fields
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let mut inner = String::from("let mut __inner = ::serde::Map::new();\n");
                         for f in fields {
-                            inner.push_str(&format!(
-                                "__inner.insert(\"{f}\".to_string(), ::serde::Serialize::to_json_value({f}));\n"
-                            ));
+                            inner.push_str(&field_insert("__inner", f, &f.name));
                         }
                         arms.push_str(&format!(
                             "{name}::{v} {{ {binds} }} => {{\n\
@@ -396,6 +464,7 @@ fn gen_deserialize(item: &Item) -> String {
                  ::core::result::Result::Ok({name} {{\n"
             );
             for f in fields {
+                let f = &f.name;
                 s.push_str(&format!(
                     "{f}: ::serde::__field(__obj, \"{f}\", \"{name}\")?,\n"
                 ));
@@ -454,6 +523,7 @@ fn gen_deserialize(item: &Item) -> String {
                     VariantShape::Struct(fields) => {
                         let mut init = String::new();
                         for f in fields {
+                            let f = &f.name;
                             init.push_str(&format!(
                                 "{f}: ::serde::__field(__o, \"{f}\", \"{name}::{v}\")?,\n"
                             ));
