@@ -13,6 +13,11 @@
 //! land in the same report under `"matrix"`; the legacy `"results"`
 //! array keeps its schema (and the N=512/FIFO guard cell) untouched.
 //!
+//! A third sweep quantifies **durable-store overhead**: the N=512 fleet
+//! traced only, journalled into a `MemStore`, and journalled into a
+//! `FileStore` (snapshot cadence 32), reported as cases/sec under
+//! `"store"`.
+//!
 //! ```sh
 //! cargo run --release --bin enactment_throughput
 //! cargo run --release --bin enactment_throughput -- --max-cases 64   # CI smoke
@@ -32,7 +37,9 @@ use gridflow_harness::workload::{
     WorkloadGen,
 };
 use gridflow_harness::{FaultPlan, MultiCaseScenario};
+use gridflow_store::{FileStore, MemStore, Store};
 use serde_json::json;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 const FLEET_SIZES: [usize; 5] = [1, 8, 64, 512, 2048];
@@ -43,6 +50,9 @@ const GUARD_WORKERS: u64 = 1;
 const GUARD_FLOOR: f64 = 0.8;
 /// Default fleet size per workload × policy matrix cell.
 const MATRIX_CASES: usize = 32;
+/// Fleet size and snapshot cadence for the durable-store overhead sweep.
+const STORE_CASES: usize = 512;
+const STORE_SNAPSHOT_EVERY: u64 = 32;
 
 /// Staggered hints so every non-FIFO policy visibly reorders the
 /// fleet: alternating tenants, three priority classes, deadlines
@@ -291,12 +301,79 @@ fn main() {
         )
     );
 
+    banner("durable store overhead");
+    let store_cases = STORE_CASES.min(max_cases.max(1));
+    let mut store_wl = dinner_workload();
+    store_wl.case = dinner_case_for_fleet(store_cases);
+    let mut store_rows = Vec::new();
+    let mut store_cells = Vec::new();
+    for backend in ["trace-only", "memory", "file"] {
+        let scenario = MultiCaseScenario::new(&plan, &store_wl, store_cases).max_in_flight(64);
+        // The file cell journals into a throwaway directory, removed
+        // after the measurement.
+        let file_dir = (backend == "file").then(|| {
+            std::env::temp_dir().join(format!("gridflow-bench-store-{}", std::process::id()))
+        });
+        let scenario = match backend {
+            "trace-only" => scenario.traced(),
+            "memory" => scenario.store(
+                Arc::new(Mutex::new(MemStore::new())) as Arc<Mutex<dyn Store>>,
+                STORE_SNAPSHOT_EVERY,
+            ),
+            _ => {
+                let dir = file_dir.as_ref().expect("file cell has a dir");
+                let _ = std::fs::remove_dir_all(dir);
+                std::fs::create_dir_all(dir).expect("create bench store dir");
+                let (fs, _) = FileStore::open(dir, 4096).expect("open bench store");
+                scenario.store(
+                    Arc::new(Mutex::new(fs)) as Arc<Mutex<dyn Store>>,
+                    STORE_SNAPSHOT_EVERY,
+                )
+            }
+        };
+        let start = Instant::now();
+        let outcome = scenario.run().engine;
+        let wall = start.elapsed();
+        if let Some(dir) = file_dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+        assert!(
+            outcome.all_succeeded(),
+            "store cell {backend} did not fully succeed"
+        );
+        let cases_per_sec = store_cases as f64 / wall.as_secs_f64().max(1e-9);
+        store_rows.push(vec![
+            backend.to_string(),
+            store_cases.to_string(),
+            outcome.ticks.to_string(),
+            format!("{:.1}", wall.as_secs_f64() * 1e3),
+            format!("{cases_per_sec:.0}"),
+        ]);
+        store_cells.push(json!({
+            "backend": backend,
+            "cases": store_cases,
+            "snapshot_every": STORE_SNAPSHOT_EVERY,
+            "ticks": outcome.ticks,
+            "wall_ms": wall.as_secs_f64() * 1e3,
+            "cases_per_sec": cases_per_sec,
+            "all_succeeded": true,
+        }));
+    }
+    println!(
+        "{}",
+        render_table(
+            &["backend", "cases", "ticks", "wall ms", "cases/s"],
+            &store_rows,
+        )
+    );
+
     let report = json!({
         "bench": "enactment_throughput",
         "workload": wl.name,
         "engine": {"max_in_flight": 64, "enforce_reservations": true},
         "results": results,
         "matrix": matrix,
+        "store": store_cells,
     });
     std::fs::write(
         path,

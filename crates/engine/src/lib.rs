@@ -27,9 +27,16 @@
 
 pub mod policy;
 pub mod scheduler;
+pub mod snapshot;
 
 pub use policy::{
     Admission, AdmissionPolicy, CaseHints, Deadline, FairShare, Fifo, PolicySpec, Priority,
     WaitingCase,
 };
-pub use scheduler::{CaseOutcome, CaseScheduler, CaseSpec, EngineConfig, EngineOutcome};
+pub use scheduler::{
+    CaseOutcome, CaseScheduler, CaseSpec, EngineConfig, EngineOutcome, StoreBinding,
+};
+pub use snapshot::{
+    AdmissionRecord, BlueprintPool, CaseBlueprint, EngineSnapshot, FinishedImage, SlotImage,
+    WaitingImage,
+};

@@ -20,12 +20,14 @@
 //! picks position 0 with no reason, which is exactly the old
 //! `pop_front`.
 
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Scheduling metadata a case carries into admission.  All fields are
 /// advisory: FIFO ignores them entirely, and each policy reads only the
-/// axis it arbitrates.
-#[derive(Debug, Clone, PartialEq, Default)]
+/// axis it arbitrates.  Serializable so engine snapshots can persist
+/// the hints of still-waiting cases.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct CaseHints {
     /// Bigger is more urgent.  Read by [`Priority`]; ties fall back to
     /// submission order.

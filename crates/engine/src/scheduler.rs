@@ -2,12 +2,55 @@
 //! reservations, and per-case scoped tracing.
 
 use crate::policy::{AdmissionPolicy, CaseHints, PolicySpec, WaitingCase};
+use crate::snapshot::{
+    AdmissionRecord, BlueprintPool, EngineSnapshot, FinishedImage, SlotImage, WaitingImage,
+};
 use gridflow_process::{ActivityKind, CaseDescription, ProcessGraph};
 use gridflow_services::matchmaking::{matchmake, MatchRequest};
 use gridflow_services::{CaseFiber, EnactmentConfig, EnactmentReport, FiberStatus, GridWorld};
-use gridflow_telemetry::{ScopedSink, TraceEvent, TraceHandle, TraceSink};
+use gridflow_store::{SnapshotRecord, Store, StoreError, StoreResult};
+use gridflow_telemetry::{ScopedSink, TraceEvent, TraceHandle, TraceLog, TraceSink};
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+/// The durable-store attachment for a run: where tick events and
+/// snapshots go, and which journal they are read back out of.
+///
+/// `journal` **must** be the same [`TraceLog`] the scheduler records
+/// into (wired via [`CaseScheduler::trace`]) — the event core flushes
+/// `journal.records_from(..)` into `store` at every tick boundary, so a
+/// different log would persist someone else's events.  For crash
+/// recovery the caller reseeds the journal
+/// ([`TraceLog::resuming`]) at the snapshot's `journal_seq` before
+/// constructing the scheduler; the store then byte-verifies the
+/// regenerated overlap instead of trusting it.
+#[derive(Clone)]
+pub struct StoreBinding {
+    /// The durable backend (shared so tests and recovery can read it
+    /// back after the run).
+    pub store: Arc<Mutex<dyn Store>>,
+    /// The trace log the engine journals into — the flush source.
+    pub journal: TraceLog,
+    /// Snapshot cadence: capture engine state every `snapshot_every`
+    /// ticks.  `0` disables snapshots (the log still appends events,
+    /// and recovery replays from the very beginning).
+    pub snapshot_every: u64,
+}
+
+impl std::fmt::Debug for StoreBinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreBinding")
+            .field("snapshot_every", &self.snapshot_every)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PartialEq for StoreBinding {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.store, &other.store) && self.snapshot_every == other.snapshot_every
+    }
+}
 
 /// Scheduler knobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +85,21 @@ pub struct EngineConfig {
     /// engine; non-FIFO policies reorder admission only and stamp each
     /// `case.admitted` event with a `reason`.
     pub policy: PolicySpec,
+    /// Durable store attachment.  `None` (the default) leaves the
+    /// engine exactly as before — no I/O, no snapshots.  `Some` makes
+    /// the event core flush the journal's new records into the store at
+    /// every tick boundary and capture an [`EngineSnapshot`] every
+    /// [`StoreBinding::snapshot_every`] ticks.  The legacy scan core
+    /// ignores the binding entirely (it is a frozen differential
+    /// oracle, not a feature surface).
+    pub store: Option<StoreBinding>,
+    /// Crash-injection knob: stop the event core dead at the top of
+    /// this tick, *before* the tick's `TickStarted` is emitted and
+    /// before any of its events reach the store.  The durable log is
+    /// left holding exactly the ticks `< kill_at` — the state a real
+    /// process death at that boundary would leave.  `None` (the
+    /// default) never kills.  Ignored by the scan core.
+    pub kill_at: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -53,6 +111,8 @@ impl Default for EngineConfig {
             max_ticks: 100_000,
             scan_core: false,
             policy: PolicySpec::Fifo,
+            store: None,
+            kill_at: None,
         }
     }
 }
@@ -81,7 +141,7 @@ pub struct CaseSpec {
 }
 
 /// What became of one submitted case.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CaseOutcome {
     /// The case's label, as submitted.
     pub label: String,
@@ -123,9 +183,17 @@ impl CaseOutcome {
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineOutcome {
     /// One outcome per submitted case, in submission order.
+    ///
+    /// When [`EngineOutcome::killed`] is set, only cases that finished
+    /// *before* the kill tick appear here — the rest died with the
+    /// simulated process.
     pub cases: Vec<CaseOutcome>,
     /// Ticks the schedule took overall.
     pub ticks: u64,
+    /// The run was stopped by [`EngineConfig::kill_at`] rather than
+    /// running to completion — a simulated process death at a tick
+    /// boundary.
+    pub killed: bool,
 }
 
 impl EngineOutcome {
@@ -163,6 +231,27 @@ enum WaitState {
 struct EventSlot {
     slot: Slot,
     wait: WaitState,
+}
+
+/// The event core's complete loop state, factored out of the loop so a
+/// run can start fresh ([`CaseScheduler::run`]) or resume from a
+/// restored [`EngineSnapshot`] ([`CaseScheduler::recover`]) through the
+/// *same* code path — recovery re-executes the identical loop, which is
+/// what makes the regenerated trace byte-verifiable.
+struct EventState {
+    waiting: VecDeque<(usize, CaseSpec)>,
+    live: Vec<EventSlot>,
+    finished: Vec<(usize, CaseOutcome)>,
+    tick: u64,
+    policy: Box<dyn AdmissionPolicy>,
+    /// Committed admissions in order — serialized into snapshots so a
+    /// restored run can rebuild the policy's history by replaying
+    /// [`AdmissionPolicy::admitted`] calls.
+    admissions: Vec<AdmissionRecord>,
+    /// Containers whose tick-scoped holds drained at the previous tick
+    /// boundary — the wake signal for capacity waiters.
+    freed: Vec<String>,
+    last_generation: u64,
 }
 
 /// The multi-case enactment engine.
@@ -422,6 +511,7 @@ impl CaseScheduler {
         EngineOutcome {
             cases: finished.into_iter().map(|(_, c)| c).collect(),
             ticks: tick.max(1),
+            killed: false,
         }
     }
 
@@ -437,30 +527,219 @@ impl CaseScheduler {
     fn run_event(
         &mut self,
         world: &mut GridWorld,
+        on_tick: impl FnMut(u64, &mut GridWorld),
+    ) -> EngineOutcome {
+        let specs = std::mem::take(&mut self.pending);
+        let last_generation = world.generation();
+        let st = EventState {
+            waiting: specs.into_iter().enumerate().collect(),
+            live: Vec::new(),
+            finished: Vec::new(),
+            tick: 0,
+            policy: self.config.policy.build(),
+            admissions: Vec::new(),
+            freed: Vec::new(),
+            last_generation,
+        };
+        self.run_event_loop(world, on_tick, st)
+    }
+
+    /// Resume a crashed run from the durable store.
+    ///
+    /// Loads the latest valid snapshot (schema- and hash-checked — a
+    /// future-version snapshot is refused with
+    /// [`StoreError::UnsupportedSchema`], mirroring
+    /// `EnactmentCheckpoint::validate`), restores the world image onto
+    /// `world`, rebuilds every live fiber and the admission policy's
+    /// history, and re-enters the event loop at the snapshot's tick.
+    /// With no snapshot in the log the run restarts from the submitted
+    /// specs (replay-only recovery).  Either way the suffix is
+    /// *re-executed*, not skipped: the store byte-verifies every
+    /// regenerated event against what it already holds, so a successful
+    /// recovery is a proof the rebuilt state matches the crashed run's.
+    ///
+    /// The caller must have reseeded [`StoreBinding::journal`] at the
+    /// snapshot's `journal_seq` (via [`TraceLog::resuming`] and a clock
+    /// resumed at the snapshot's reading) — or at 0 for replay-only —
+    /// before constructing the scheduler; a mismatch is reported as
+    /// [`StoreError::Corrupt`].
+    ///
+    /// # Panics
+    ///
+    /// If [`EngineConfig::store`] is `None`.  Recovery always runs the
+    /// event core regardless of [`EngineConfig::scan_core`].
+    pub fn recover(
+        &mut self,
+        world: &mut GridWorld,
+        on_tick: impl FnMut(u64, &mut GridWorld),
+    ) -> StoreResult<EngineOutcome> {
+        let binding = self
+            .config
+            .store
+            .clone()
+            .expect("CaseScheduler::recover requires EngineConfig::store");
+        let snap = binding
+            .store
+            .lock()
+            .expect("store mutex poisoned")
+            .latest_snapshot()?;
+        let Some(record) = snap else {
+            // Replay-only recovery: no snapshot survived, so the run
+            // restarts from scratch and the store verifies the whole
+            // regenerated prefix against the stored events.
+            if binding.journal.next_seq() != 0 {
+                return Err(StoreError::Corrupt(format!(
+                    "replay-only recovery needs a journal reseeded at 0, got {}",
+                    binding.journal.next_seq()
+                )));
+            }
+            let specs = std::mem::take(&mut self.pending);
+            let last_generation = world.generation();
+            let st = EventState {
+                waiting: specs.into_iter().enumerate().collect(),
+                live: Vec::new(),
+                finished: Vec::new(),
+                tick: 0,
+                policy: self.config.policy.build(),
+                admissions: Vec::new(),
+                freed: Vec::new(),
+                last_generation,
+            };
+            return Ok(self.run_event_loop(world, on_tick, st));
+        };
+        if binding.journal.next_seq() != record.journal_seq {
+            return Err(StoreError::Corrupt(format!(
+                "journal reseeded at {}, snapshot expects {}",
+                binding.journal.next_seq(),
+                record.journal_seq
+            )));
+        }
+        let image = EngineSnapshot::from_bytes(&record.state)
+            .map_err(|e| StoreError::Corrupt(format!("snapshot payload: {e}")))?;
+        if image.next_tick != record.next_tick {
+            return Err(StoreError::Corrupt(format!(
+                "snapshot payload resumes at tick {} but its record says {}",
+                image.next_tick, record.next_tick
+            )));
+        }
+        world
+            .restore_image(&image.world)
+            .map_err(|e| StoreError::Corrupt(format!("world restore: {e}")))?;
+        // The snapshot, not the pending queue, is the truth now.
+        self.pending.clear();
+        let mut policy = self.config.policy.build();
+        for a in &image.admissions {
+            policy.admitted(&WaitingCase {
+                submitted: a.submitted,
+                label: &a.label,
+                hints: &a.hints,
+            });
+        }
+        let mut live = Vec::new();
+        for slot in image.live {
+            let index = slot.index;
+            let Some(fiber_image) = slot.fiber.hydrate(&image.blueprints) else {
+                return Err(StoreError::Corrupt(format!(
+                    "live case {index} references a blueprint past the pool"
+                )));
+            };
+            let trace = self.scoped_trace(&fiber_image.label);
+            live.push(EventSlot {
+                wait: match slot.blockers {
+                    None => WaitState::Ready,
+                    Some(blockers) => WaitState::Capacity { blockers },
+                },
+                slot: Slot {
+                    index,
+                    fiber: CaseFiber::from_image(fiber_image, trace),
+                    admitted_tick: slot.admitted_tick,
+                    blocked_ticks: slot.blocked_ticks,
+                },
+            });
+        }
+        // Re-share each blueprint's description behind one Arc, as the
+        // original submissions did.
+        let shared: Vec<_> = image
+            .blueprints
+            .into_iter()
+            .map(|b| (b.graph, Arc::new(b.case), b.config))
+            .collect();
+        let mut waiting = VecDeque::new();
+        for w in image.waiting {
+            let Some((graph, case, config)) = shared.get(w.blueprint) else {
+                return Err(StoreError::Corrupt(format!(
+                    "waiting case {} references blueprint {} of {}",
+                    w.index,
+                    w.blueprint,
+                    shared.len()
+                )));
+            };
+            waiting.push_back((
+                w.index,
+                CaseSpec {
+                    label: w.label,
+                    graph: graph.clone(),
+                    case: case.clone(),
+                    config: config.clone(),
+                    hints: w.hints,
+                },
+            ));
+        }
+        let st = EventState {
+            waiting,
+            live,
+            finished: image
+                .finished
+                .into_iter()
+                .map(|f| (f.index, f.outcome))
+                .collect(),
+            tick: image.next_tick,
+            policy,
+            admissions: image.admissions,
+            freed: image.freed,
+            last_generation: image.last_generation,
+        };
+        Ok(self.run_event_loop(world, on_tick, st))
+    }
+
+    /// The event loop proper, driving an [`EventState`] that is either
+    /// fresh or restored from a snapshot.  When a [`StoreBinding`] is
+    /// configured, every tick boundary flushes the journal's new
+    /// records into the store and every `snapshot_every` ticks captures
+    /// an [`EngineSnapshot`]; [`EngineConfig::kill_at`] stops the loop
+    /// dead at a tick boundary to simulate a crash.
+    fn run_event_loop(
+        &mut self,
+        world: &mut GridWorld,
         mut on_tick: impl FnMut(u64, &mut GridWorld),
+        mut st: EventState,
     ) -> EngineOutcome {
         let reservations_before = world.reservations_enabled();
         world.enable_reservations(self.config.enforce_reservations);
 
-        let specs = std::mem::take(&mut self.pending);
-        let mut waiting: VecDeque<(usize, CaseSpec)> = specs.into_iter().enumerate().collect();
-        let mut live: Vec<EventSlot> = Vec::new();
-        let mut finished: Vec<(usize, CaseOutcome)> = Vec::new();
-        let mut tick: u64 = 0;
-        let mut policy = self.config.policy.build();
-        // Containers whose tick-scoped holds drained at the previous
-        // tick boundary — the wake signal for capacity waiters.
-        let mut freed: Vec<String> = Vec::new();
-        let mut last_generation = world.generation();
+        let binding = self.config.store.clone();
+        let mut flush_cursor = binding.as_ref().map_or(0, |b| b.journal.next_seq());
+        let mut killed = false;
 
         loop {
-            self.trace.emit("engine", TraceEvent::TickStarted { tick });
-            on_tick(tick, world);
+            // Simulated process death: stop before this tick emits
+            // anything, so the durable log holds exactly the ticks
+            // `< kill_at` — the state a real crash at the boundary
+            // would leave behind.
+            if self.config.kill_at == Some(st.tick) {
+                killed = true;
+                break;
+            }
+
+            self.trace
+                .emit("engine", TraceEvent::TickStarted { tick: st.tick });
+            on_tick(st.tick, world);
 
             // Policy-ordered admission, identical to the scan core;
             // fresh admissions enter the ready queue.
-            while live.len() < self.config.max_in_flight.max(1) {
-                let Some((index, spec, why)) = Self::pick_next(policy.as_mut(), &mut waiting, tick)
+            while st.live.len() < self.config.max_in_flight.max(1) {
+                let Some((index, spec, why)) =
+                    Self::pick_next(st.policy.as_mut(), &mut st.waiting, st.tick)
                 else {
                     break;
                 };
@@ -470,21 +749,26 @@ impl CaseScheduler {
                             "engine",
                             TraceEvent::CaseAdmitted {
                                 case: spec.label.clone(),
-                                tick,
+                                tick: st.tick,
                                 reason: why,
                             },
                         );
-                        policy.admitted(&WaitingCase {
+                        st.policy.admitted(&WaitingCase {
                             submitted: index,
                             label: &spec.label,
                             hints: &spec.hints,
                         });
+                        st.admissions.push(AdmissionRecord {
+                            submitted: index,
+                            label: spec.label.clone(),
+                            hints: spec.hints.clone(),
+                        });
                         let fiber = self.spawn_fiber(&spec);
-                        live.push(EventSlot {
+                        st.live.push(EventSlot {
                             slot: Slot {
                                 index,
                                 fiber,
-                                admitted_tick: tick,
+                                admitted_tick: st.tick,
                                 blocked_ticks: 0,
                             },
                             wait: WaitState::Ready,
@@ -500,13 +784,13 @@ impl CaseScheduler {
                         );
                         let mut fiber = self.spawn_fiber(&spec);
                         fiber.abort(format!("admission refused: {reason}"));
-                        finished.push((
+                        st.finished.push((
                             index,
                             CaseOutcome {
                                 label: spec.label.clone(),
                                 report: fiber.into_report(),
                                 admitted_tick: None,
-                                finished_tick: tick,
+                                finished_tick: st.tick,
                                 blocked_ticks: 0,
                             },
                         ));
@@ -514,7 +798,7 @@ impl CaseScheduler {
                 }
             }
 
-            if live.is_empty() && waiting.is_empty() {
+            if st.live.is_empty() && st.waiting.is_empty() {
                 break;
             }
 
@@ -522,13 +806,13 @@ impl CaseScheduler {
             // slot (or whose candidate ranking may have changed) back to
             // the ready queue.
             let generation = world.generation();
-            for entry in &mut live {
+            for entry in &mut st.live {
                 let wake = match &entry.wait {
                     WaitState::Ready => true,
                     WaitState::Capacity { blockers } => {
                         blockers.is_empty()
-                            || generation != last_generation
-                            || blockers.iter().any(|b| freed.contains(b))
+                            || generation != st.last_generation
+                            || blockers.iter().any(|b| st.freed.contains(b))
                     }
                 };
                 if wake {
@@ -541,17 +825,17 @@ impl CaseScheduler {
             // hence the trace) is independent of who happens to be
             // parked.  Worker chunking is order-preserving, as in the
             // scan core.
-            let n = live.len();
-            let rotation = (tick as usize) % n.max(1);
+            let n = st.live.len();
+            let rotation = (st.tick as usize) % n.max(1);
             let order: Vec<usize> = (0..n)
                 .map(|i| (i + rotation) % n)
-                .filter(|&i| matches!(live[i].wait, WaitState::Ready))
+                .filter(|&i| matches!(st.live[i].wait, WaitState::Ready))
                 .collect();
             let chunk = order.len().div_ceil(self.config.workers.max(1));
             let mut done: Vec<usize> = Vec::new();
             for worker_share in order.chunks(chunk.max(1)) {
                 for &slot_idx in worker_share {
-                    let entry = &mut live[slot_idx];
+                    let entry = &mut st.live[slot_idx];
                     match entry.slot.fiber.step(world) {
                         FiberStatus::Progressed => entry.wait = WaitState::Ready,
                         FiberStatus::Blocked { .. } => {
@@ -574,7 +858,7 @@ impl CaseScheduler {
             // don't shift pending indices).
             done.sort_unstable();
             for &slot_idx in done.iter().rev() {
-                let slot = live.remove(slot_idx).slot;
+                let slot = st.live.remove(slot_idx).slot;
                 self.trace.emit(
                     "engine",
                     TraceEvent::CaseCompleted {
@@ -582,13 +866,13 @@ impl CaseScheduler {
                         success: slot.fiber.report().success,
                     },
                 );
-                finished.push((
+                st.finished.push((
                     slot.index,
                     CaseOutcome {
                         label: slot.fiber.label().to_owned(),
                         report: slot.fiber.into_report(),
                         admitted_tick: Some(slot.admitted_tick),
-                        finished_tick: tick,
+                        finished_tick: st.tick,
                         blocked_ticks: slot.blocked_ticks,
                     },
                 ));
@@ -596,7 +880,7 @@ impl CaseScheduler {
 
             // Drain the tick's reservations and remember which
             // containers freed capacity — next tick's wake signal.
-            freed.clear();
+            st.freed.clear();
             for (container, holders) in world.drain_reservations() {
                 for case in holders {
                     self.trace.emit(
@@ -607,13 +891,19 @@ impl CaseScheduler {
                         },
                     );
                 }
-                freed.push(container);
+                st.freed.push(container);
             }
-            last_generation = world.generation();
+            st.last_generation = world.generation();
 
-            tick += 1;
-            if tick >= self.config.max_ticks {
-                for entry in live.drain(..) {
+            // Durable boundary: everything emitted through the end of
+            // this tick reaches the store before the next tick starts.
+            if let Some(b) = &binding {
+                Self::flush_events(b, &mut flush_cursor);
+            }
+
+            st.tick += 1;
+            if st.tick >= self.config.max_ticks {
+                for entry in st.live.drain(..) {
                     let mut slot = entry.slot;
                     slot.fiber.abort(format!(
                         "engine tick budget exhausted after {} ticks",
@@ -626,27 +916,132 @@ impl CaseScheduler {
                             success: false,
                         },
                     );
-                    finished.push((
+                    st.finished.push((
                         slot.index,
                         CaseOutcome {
                             label: slot.fiber.label().to_owned(),
                             report: slot.fiber.into_report(),
                             admitted_tick: Some(slot.admitted_tick),
-                            finished_tick: tick,
+                            finished_tick: st.tick,
                             blocked_ticks: slot.blocked_ticks,
                         },
                     ));
                 }
-                waiting.clear();
+                st.waiting.clear();
                 break;
+            }
+
+            // Snapshot cadence.  Placed after the budget check so a
+            // snapshot never points a restored run at a tick the loop
+            // would refuse to start; journal_seq equals the flush
+            // cursor, so every event the snapshot assumes is already
+            // durable.  During recovery the same snapshots are
+            // regenerated and verified as duplicates — another equality
+            // proof, this time over the full engine state.
+            if let Some(b) = &binding {
+                if b.snapshot_every > 0 && st.tick.is_multiple_of(b.snapshot_every) {
+                    let (clock_ticks, clock_s) = b.journal.clock_now();
+                    let image = Self::capture_snapshot(&st, world);
+                    let record = SnapshotRecord::new(
+                        st.tick,
+                        flush_cursor,
+                        clock_ticks,
+                        clock_s,
+                        image.to_bytes(),
+                    );
+                    b.store
+                        .lock()
+                        .expect("store mutex poisoned")
+                        .snapshot(record)
+                        .unwrap_or_else(|e| {
+                            panic!("durable store rejected an engine snapshot: {e}")
+                        });
+                }
+            }
+        }
+
+        // A killed run deliberately loses its unflushed tail — that is
+        // the crash being simulated.  Every other exit flushes the
+        // final events (completion or budget-abort records).
+        if !killed {
+            if let Some(b) = &binding {
+                Self::flush_events(b, &mut flush_cursor);
             }
         }
 
         world.enable_reservations(reservations_before);
-        finished.sort_by_key(|(index, _)| *index);
+        st.finished.sort_by_key(|(index, _)| *index);
         EngineOutcome {
-            cases: finished.into_iter().map(|(_, c)| c).collect(),
-            ticks: tick.max(1),
+            cases: st.finished.into_iter().map(|(_, c)| c).collect(),
+            ticks: st.tick.max(1),
+            killed,
+        }
+    }
+
+    /// Append every journal record at or past the cursor to the store,
+    /// advancing the cursor.  Store rejections are programming errors
+    /// (a divergence here means determinism itself broke), so they
+    /// panic rather than limp on with a corrupt log.
+    fn flush_events(binding: &StoreBinding, cursor: &mut u64) {
+        let records = binding.journal.records_from(*cursor);
+        let Some(last) = records.last() else {
+            return;
+        };
+        *cursor = last.seq + 1;
+        binding
+            .store
+            .lock()
+            .expect("store mutex poisoned")
+            .append(&records)
+            .unwrap_or_else(|e| panic!("durable store rejected a journal flush: {e}"));
+    }
+
+    /// Freeze the loop state into its serializable image.  Waiting
+    /// specs are interned through a [`BlueprintPool`] so the shared
+    /// workload is stored once, not once per waiting case.
+    fn capture_snapshot(st: &EventState, world: &GridWorld) -> EngineSnapshot {
+        let mut pool = BlueprintPool::default();
+        let waiting = st
+            .waiting
+            .iter()
+            .map(|(index, spec)| WaitingImage {
+                index: *index,
+                label: spec.label.clone(),
+                hints: spec.hints.clone(),
+                blueprint: pool.intern(spec),
+            })
+            .collect();
+        let live = st
+            .live
+            .iter()
+            .map(|entry| SlotImage {
+                index: entry.slot.index,
+                admitted_tick: entry.slot.admitted_tick,
+                blocked_ticks: entry.slot.blocked_ticks,
+                blockers: match &entry.wait {
+                    WaitState::Ready => None,
+                    WaitState::Capacity { blockers } => Some(blockers.clone()),
+                },
+                fiber: pool.slim(entry.slot.fiber.image()),
+            })
+            .collect();
+        EngineSnapshot {
+            next_tick: st.tick,
+            blueprints: pool.into_entries(),
+            waiting,
+            live,
+            finished: st
+                .finished
+                .iter()
+                .map(|(index, outcome)| FinishedImage {
+                    index: *index,
+                    outcome: outcome.clone(),
+                })
+                .collect(),
+            admissions: st.admissions.clone(),
+            freed: st.freed.clone(),
+            last_generation: st.last_generation,
+            world: world.image(),
         }
     }
 
@@ -697,19 +1092,24 @@ impl CaseScheduler {
         None
     }
 
-    /// A fiber whose trace events are scoped `case:<label>/…` in the
-    /// merged log (no-op when the scheduler is untraced).
-    fn spawn_fiber(&self, spec: &CaseSpec) -> CaseFiber {
-        let trace = match &self.sink {
+    /// A trace handle scoped `case:<label>/…` in the merged log (no-op
+    /// when the scheduler is untraced).
+    fn scoped_trace(&self, label: &str) -> TraceHandle {
+        match &self.sink {
             Some(sink) => TraceHandle::from(Arc::new(ScopedSink::new(
-                format!("case:{}", spec.label),
+                format!("case:{label}"),
                 sink.clone(),
             )) as Arc<dyn TraceSink>),
             None => TraceHandle::none(),
-        };
+        }
+    }
+
+    /// A fiber whose trace events are scoped `case:<label>/…` in the
+    /// merged log (no-op when the scheduler is untraced).
+    fn spawn_fiber(&self, spec: &CaseSpec) -> CaseFiber {
         CaseFiber::new(
             spec.config.clone(),
-            trace,
+            self.scoped_trace(&spec.label),
             &spec.graph,
             spec.case.clone(),
             spec.label.clone(),

@@ -63,6 +63,18 @@ impl FailureModel {
     pub fn draws(&self) -> u64 {
         self.draws
     }
+
+    /// Burn `n` draws to reposition the generator.  Because every
+    /// [`FailureModel::execution_fails`] call consumes exactly one draw
+    /// regardless of its arguments, a model restored from a checkpoint
+    /// only needs the original seed and the draw count to resume the
+    /// outcome stream exactly where the crashed run left it.
+    pub fn advance_draws(&mut self, n: u64) {
+        for _ in 0..n {
+            self.draws += 1;
+            let _ = self.rng.gen_range(0.0..1.0);
+        }
+    }
 }
 
 /// A deterministic failure script: which container fails before which
@@ -171,6 +183,17 @@ mod tests {
         let oa: Vec<bool> = (0..100).map(|_| a.execution_fails(0.9)).collect();
         let ob: Vec<bool> = (0..100).map(|_| b.execution_fails(0.9)).collect();
         assert_eq!(oa, ob);
+    }
+
+    #[test]
+    fn advance_draws_repositions_the_outcome_stream() {
+        let mut a = FailureModel::new(42, 0.3);
+        let outcomes: Vec<bool> = (0..10).map(|_| a.execution_fails(0.9)).collect();
+        let mut b = FailureModel::new(42, 0.3);
+        b.advance_draws(4);
+        assert_eq!(b.draws(), 4);
+        let resumed: Vec<bool> = (0..6).map(|_| b.execution_fails(0.9)).collect();
+        assert_eq!(resumed, outcomes[4..]);
     }
 
     #[test]

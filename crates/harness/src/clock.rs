@@ -30,6 +30,15 @@ impl VirtualClock {
         Self::default()
     }
 
+    /// A clock resumed at a stored reading — what crash recovery hands
+    /// a reseeded trace log so regenerated events carry the same
+    /// virtual timestamps the original run stamped.
+    pub fn starting_at(ticks: u64, seconds: f64) -> Self {
+        VirtualClock {
+            inner: Arc::new(Mutex::new(ClockState { ticks, seconds })),
+        }
+    }
+
     /// Advance by one tick and return the tick just consumed (so the
     /// first call returns 0 — ticks number events, not boundaries).
     pub fn tick(&self) -> u64 {
@@ -99,6 +108,15 @@ mod tests {
         let c = VirtualClock::new();
         c.advance_s(-1.0);
         assert_eq!(c.now_s(), 0.0);
+    }
+
+    #[test]
+    fn resumed_clocks_continue_from_the_stored_reading() {
+        let c = VirtualClock::starting_at(5, 12.25);
+        assert_eq!(c.now(), (5, 12.25));
+        assert_eq!(c.tick(), 5);
+        c.advance_s(0.75);
+        assert_eq!(c.now(), (6, 13.0));
     }
 
     #[test]

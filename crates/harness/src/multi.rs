@@ -14,9 +14,12 @@ use crate::plan::FaultPlan;
 use crate::workload::Workload;
 use gridflow_engine::{
     CaseHints, CaseOutcome, CaseScheduler, CaseSpec, EngineConfig, EngineOutcome, PolicySpec,
+    StoreBinding,
 };
+use gridflow_services::GridWorld;
+use gridflow_store::{Store, StoreResult};
 use gridflow_telemetry::{TraceEvent, TraceHandle, TraceLog, TraceSink};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// The record of one multi-case run.
 #[derive(Debug, Clone)]
@@ -42,7 +45,7 @@ impl MultiCaseOutcome {
 /// Case `i` is labelled `<workload name>-<i>`; labels are the
 /// scheduler's canonical order, its reservation-hold owners, and the
 /// per-case trace scopes.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct MultiCaseScenario<'a> {
     plan: &'a FaultPlan,
     workload: &'a Workload,
@@ -50,6 +53,19 @@ pub struct MultiCaseScenario<'a> {
     config: EngineConfig,
     traced: bool,
     hints_fn: Option<fn(usize) -> CaseHints>,
+    store: Option<(Arc<Mutex<dyn Store>>, u64)>,
+    kill_at: Option<u64>,
+}
+
+impl std::fmt::Debug for MultiCaseScenario<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiCaseScenario")
+            .field("workload", &self.workload.name)
+            .field("cases", &self.cases)
+            .field("config", &self.config)
+            .field("kill_at", &self.kill_at)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> MultiCaseScenario<'a> {
@@ -63,6 +79,8 @@ impl<'a> MultiCaseScenario<'a> {
             config: EngineConfig::default(),
             traced: false,
             hints_fn: None,
+            store: None,
+            kill_at: None,
         }
     }
 
@@ -113,6 +131,26 @@ impl<'a> MultiCaseScenario<'a> {
         self
     }
 
+    /// Journal the run into `store` at every tick boundary and capture
+    /// an engine snapshot every `snapshot_every` ticks (`0` = events
+    /// only).  Implies [`traced`](MultiCaseScenario::traced) — the
+    /// store's flush source is the scenario's trace log.
+    pub fn store(mut self, store: Arc<Mutex<dyn Store>>, snapshot_every: u64) -> Self {
+        self.store = Some((store, snapshot_every));
+        self.traced = true;
+        self
+    }
+
+    /// Simulate a process death at the top of `tick`: the run stops
+    /// before that tick emits anything, leaving the store holding
+    /// exactly the ticks `< tick`.  Recover the fleet afterwards with
+    /// [`MultiCaseScenario::recover`] on a scenario bound to the same
+    /// store.
+    pub fn kill_at(mut self, tick: u64) -> Self {
+        self.kill_at = Some(tick);
+        self
+    }
+
     /// Drive every case to completion.
     ///
     /// Scripted node losses fire at the top of the tick on which the
@@ -124,7 +162,7 @@ impl<'a> MultiCaseScenario<'a> {
         let log = self
             .traced
             .then(|| TraceLog::with_clock(Arc::new(VirtualClock::new())));
-        let mut scheduler = CaseScheduler::new(self.config);
+        let mut scheduler = CaseScheduler::new(self.engine_config_for(log.as_ref()));
         let runner_trace = match &log {
             Some(log) => {
                 scheduler = scheduler.trace(Arc::new(log.clone()) as Arc<dyn TraceSink>);
@@ -132,6 +170,79 @@ impl<'a> MultiCaseScenario<'a> {
             }
             None => TraceHandle::none(),
         };
+        self.submit_fleet(&mut scheduler);
+        let mut world = self.workload.fresh_world(self.plan, 0);
+        let engine = scheduler.run_with(&mut world, Self::node_loss_hook(self.plan, runner_trace));
+        MultiCaseOutcome { engine, trace: log }
+    }
+
+    /// Recover a crashed run from the scenario's store: reseed a trace
+    /// log at the latest snapshot's journal position (and a
+    /// [`VirtualClock`] at its stored reading), then let the engine's
+    /// [`CaseScheduler::recover`] restore state and re-execute the
+    /// suffix.  With no snapshot in the store the fleet restarts from
+    /// scratch and the whole regenerated prefix is byte-verified
+    /// against the stored events.
+    ///
+    /// The scenario must describe the *same* `(plan, workload, cases,
+    /// config)` as the crashed run — recovery re-executes, so a
+    /// different scenario would diverge and be rejected by the store.
+    ///
+    /// # Panics
+    ///
+    /// If the scenario has no [`store`](MultiCaseScenario::store).
+    pub fn recover(self) -> StoreResult<MultiCaseOutcome> {
+        let (store, _) = self
+            .store
+            .clone()
+            .expect("MultiCaseScenario::recover requires a store");
+        let snap = store
+            .lock()
+            .expect("store mutex poisoned")
+            .latest_snapshot()?;
+        let log = match &snap {
+            Some(rec) => TraceLog::resuming(
+                rec.journal_seq,
+                Arc::new(VirtualClock::starting_at(rec.clock_ticks, rec.clock_s)),
+            ),
+            None => TraceLog::with_clock(Arc::new(VirtualClock::new())),
+        };
+        let mut scheduler = CaseScheduler::new(self.engine_config_for(Some(&log)))
+            .trace(Arc::new(log.clone()) as Arc<dyn TraceSink>);
+        let runner_trace = TraceHandle::from(log.clone());
+        // Submissions feed the replay-only path; a snapshot-led
+        // recovery discards them in favor of the restored state.
+        self.submit_fleet(&mut scheduler);
+        let mut world = self.workload.fresh_world(self.plan, 0);
+        let engine =
+            scheduler.recover(&mut world, Self::node_loss_hook(self.plan, runner_trace))?;
+        Ok(MultiCaseOutcome {
+            engine,
+            trace: Some(log),
+        })
+    }
+
+    /// The engine configuration for a run: the scenario's config plus
+    /// the run-time store binding (which needs the run's trace log) and
+    /// the kill point.
+    fn engine_config_for(&self, log: Option<&TraceLog>) -> EngineConfig {
+        let mut config = self.config.clone();
+        config.kill_at = self.kill_at;
+        config.store = self.store.as_ref().map(|(store, snapshot_every)| {
+            let journal = log
+                .expect("a store-bound scenario is always traced")
+                .clone();
+            StoreBinding {
+                store: store.clone(),
+                journal,
+                snapshot_every: *snapshot_every,
+            }
+        });
+        config
+    }
+
+    /// Submit the fleet's specs in canonical label order.
+    fn submit_fleet(&self, scheduler: &mut CaseScheduler) {
         let case = Arc::new(self.workload.case.clone());
         for i in 0..self.cases {
             scheduler.submit(CaseSpec {
@@ -142,9 +253,17 @@ impl<'a> MultiCaseScenario<'a> {
                 hints: self.hints_fn.map(|f| f(i)).unwrap_or_default(),
             });
         }
-        let mut world = self.workload.fresh_world(self.plan, 0);
-        let plan = self.plan;
-        let engine = scheduler.run_with(&mut world, |_tick, world| {
+    }
+
+    /// The per-tick hook that stages scripted node losses, keyed to the
+    /// shared world's execution count.  Restored worlds replay
+    /// correctly: a loss already applied before the crash finds its
+    /// container down (`was_up` false) and does not re-emit.
+    fn node_loss_hook(
+        plan: &FaultPlan,
+        runner_trace: TraceHandle,
+    ) -> impl FnMut(u64, &mut GridWorld) + '_ {
+        move |_tick, world| {
             for loss in &plan.node_loss {
                 if loss.after_executions <= world.history.len() {
                     let was_up = world
@@ -164,8 +283,7 @@ impl<'a> MultiCaseScenario<'a> {
                     }
                 }
             }
-        });
-        MultiCaseOutcome { engine, trace: log }
+        }
     }
 }
 

@@ -432,6 +432,69 @@ struct PendingDispatch {
     taken: Option<Vec<String>>,
 }
 
+/// Serializable mirror of a [`PendingDispatch`] inside a
+/// [`FiberImage`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PendingImage {
+    /// The ready activity the blocking step chose.
+    pub activity_id: String,
+    /// The service it resolves to.
+    pub service: String,
+    /// World generation the cached ranking was computed at.
+    pub generation: u64,
+    /// The reserved-away candidate set, in rank order (absent when the
+    /// recovery ladder forces full re-dispatch).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub taken: Option<Vec<String>>,
+}
+
+/// A complete, serializable capture of a [`CaseFiber`] between steps —
+/// the per-case payload of a durable engine snapshot.
+///
+/// Unlike [`EnactmentCheckpoint`] (which records only enactment
+/// accounting and is captured on the fiber's own cadence), an image is
+/// a *total* capture at an arbitrary tick boundary: it also carries the
+/// engine-facing fields a checkpoint deliberately omits — the blocked
+/// dispatch cache, the flow-transition baseline, the checkpoint cadence
+/// counter, and the report with its accumulated checkpoints — so
+/// [`CaseFiber::from_image`] reconstructs the fiber *exactly*, emitting
+/// nothing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FiberImage {
+    /// Enactment configuration (includes the planner seed, so the
+    /// rebuilt planning service is exact).
+    pub config: EnactmentConfig,
+    /// The case being enacted.
+    pub case: CaseDescription,
+    /// Case label (trace scope and reservation-hold owner).
+    pub label: String,
+    /// The process graph in force (original or re-planned).
+    pub graph: ProcessGraph,
+    /// ATN machine state, if any step has run.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub snapshot: Option<AtnSnapshot>,
+    /// Whether the next restore primes the flow baseline (checkpoint
+    /// resume semantics).
+    pub prime_flow_base: bool,
+    /// Flow-transition baseline counts.
+    pub flow_base: BTreeMap<String, usize>,
+    /// Data state.
+    pub state: DataState,
+    /// The report so far, including captured checkpoints.
+    pub report: EnactmentReport,
+    /// Services excluded by re-planning.
+    pub excluded: Vec<String>,
+    /// Recovery-layer state (breakers, attempts, pending backoffs).
+    pub recovery: RecoveryState,
+    /// Activities executed since the last cadence checkpoint.
+    pub since_checkpoint: usize,
+    /// Has the enactment reached a terminal state?
+    pub done: bool,
+    /// Cached blocked dispatch, if the fiber is waiting on capacity.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub pending: Option<PendingImage>,
+}
+
 /// A resumable, single-step enactment — the coroutine the enactor's
 /// old internal loop was unrolled into.
 ///
@@ -582,6 +645,85 @@ impl CaseFiber {
             since_checkpoint: 0,
             done: false,
             pending: None,
+        }
+    }
+
+    /// Capture the fiber's complete state as a serializable
+    /// [`FiberImage`] (see there for how this differs from a
+    /// checkpoint).  Must be taken between steps.
+    pub fn image(&self) -> FiberImage {
+        FiberImage {
+            config: self.config.clone(),
+            case: (*self.case).clone(),
+            label: self.label.clone(),
+            graph: self.current_graph.clone(),
+            snapshot: self.snapshot.clone(),
+            prime_flow_base: self.prime_flow_base,
+            flow_base: self.flow_base.clone(),
+            state: self.state.clone(),
+            report: self.report.clone(),
+            excluded: self.excluded.clone(),
+            recovery: self.recovery.snapshot(),
+            since_checkpoint: self.since_checkpoint,
+            done: self.done,
+            pending: self.pending.as_ref().map(|p| PendingImage {
+                activity_id: p.activity_id.clone(),
+                service: p.service.clone(),
+                generation: p.generation,
+                taken: p.taken.clone(),
+            }),
+        }
+    }
+
+    /// Rebuild a fiber from a captured [`FiberImage`], *silently*: no
+    /// `EnactmentStarted` (or any other event) is emitted, because the
+    /// original run already emitted everything up to the capture point
+    /// and a crash-recovered trace must stay byte-identical to an
+    /// uninterrupted one.
+    pub fn from_image(image: FiberImage, trace: TraceHandle) -> Self {
+        let FiberImage {
+            config,
+            case,
+            label,
+            graph,
+            snapshot,
+            prime_flow_base,
+            flow_base,
+            state,
+            report,
+            excluded,
+            recovery,
+            since_checkpoint,
+            done,
+            pending,
+        } = image;
+        let recovery = RecoveryManager::restore(config.recovery.clone(), recovery, trace.clone());
+        let planning = PlanningService::new(config.gp).with_trace_handle(trace.clone());
+        let case = Arc::new(case);
+        let initial_classifications = initial_classifications(&case);
+        CaseFiber {
+            config,
+            trace,
+            case,
+            label,
+            planning,
+            initial_classifications,
+            current_graph: graph,
+            snapshot,
+            prime_flow_base,
+            flow_base,
+            state,
+            report,
+            excluded,
+            recovery,
+            since_checkpoint,
+            done,
+            pending: pending.map(|p| PendingDispatch {
+                activity_id: p.activity_id,
+                service: p.service,
+                generation: p.generation,
+                taken: p.taken,
+            }),
         }
     }
 
@@ -1379,6 +1521,64 @@ mod tests {
     fn graph() -> gridflow_process::ProcessGraph {
         let ast = parse_process("BEGIN prep; cook; plate; END").unwrap();
         lower("dinner", &ast).unwrap()
+    }
+
+    #[test]
+    fn fiber_images_round_trip_mid_enactment_without_emitting() {
+        use gridflow_telemetry::{TraceHandle, TraceLog};
+        // Original run: step a traced fiber partway through the dinner
+        // workflow.
+        let log_a = TraceLog::new();
+        let mut wa = world(5);
+        let mut fa = CaseFiber::new(
+            EnactmentConfig::default(),
+            TraceHandle::from(log_a.clone()),
+            &graph(),
+            case(),
+            "img-case",
+        );
+        fa.step(&mut wa);
+        fa.step(&mut wa);
+        assert!(!fa.is_done());
+
+        // Capture both halves of the state (fiber + world), serialize
+        // the fiber image, and restore into a fresh world rebuilt from
+        // the same seed.
+        let image = fa.image();
+        let json = serde_json::to_string(&image).unwrap();
+        let back: FiberImage = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, image);
+        let world_image = wa.image();
+        let mut wb = world(5);
+        wb.restore_image(&world_image).unwrap();
+        let log_b = TraceLog::resuming(
+            log_a.len() as u64,
+            std::sync::Arc::new(gridflow_telemetry::FrozenClock),
+        );
+        let mut fb = CaseFiber::from_image(back, TraceHandle::from(log_b.clone()));
+        // The restore is silent: recovery must not re-emit history.
+        assert!(log_b.is_empty());
+        assert_eq!(fb.label(), fa.label());
+
+        // Both fibers run to completion; reports and the remaining
+        // trace suffixes agree exactly.
+        let suffix_from = log_a.len() as u64;
+        for _ in 0..64 {
+            if fa.is_done() {
+                break;
+            }
+            fa.step(&mut wa);
+        }
+        for _ in 0..64 {
+            if fb.is_done() {
+                break;
+            }
+            fb.step(&mut wb);
+        }
+        assert!(fa.is_done() && fb.is_done());
+        assert_eq!(fa.report(), fb.report());
+        assert!(fa.report().success);
+        assert_eq!(log_a.records_from(suffix_from), log_b.records());
     }
 
     #[test]

@@ -41,7 +41,10 @@ pub mod world;
 
 pub use coordination::{
     CaseFiber, EnactmentCheckpoint, EnactmentConfig, EnactmentReport, Enactor, EnactorBuilder,
-    FiberStatus,
+    FiberImage, FiberStatus, PendingImage,
 };
 pub use error::{Result, ServiceError};
-pub use world::{ExecutionRecord, GridWorld, OutputSpec, ServiceOffering, SharedWorld};
+pub use world::{
+    ContainerImage, ExecutionRecord, GridWorld, OutputSpec, ServiceOffering, SharedWorld,
+    WorldImage,
+};

@@ -467,6 +467,79 @@ impl GridWorld {
         Ok(produced)
     }
 
+    /// Capture the world's mutable state as a serializable image.
+    ///
+    /// The image records only what a seeded rebuild cannot reproduce:
+    /// container status counters, execution history, clocks, the data-id
+    /// counter, installed slowdowns/capacities, the matchmaking
+    /// generation, and the failure model's draw position.  Static
+    /// structure (topology shape, offerings, market) is *not* captured —
+    /// [`GridWorld::restore_image`] expects to run against a world
+    /// freshly rebuilt from the same `(plan, workload)` pair, which is
+    /// the determinism bargain the whole harness rests on.
+    ///
+    /// Must be taken at a tick boundary: live reservation holds are
+    /// tick-scoped (drained every tick) and are not captured.
+    pub fn image(&self) -> WorldImage {
+        WorldImage {
+            containers: self
+                .topology
+                .containers
+                .iter()
+                .map(|c| ContainerImage {
+                    id: c.id.clone(),
+                    up: c.up,
+                    completed: c.completed,
+                    failed: c.failed,
+                })
+                .collect(),
+            history: self.history.clone(),
+            clock_s: self.clock_s,
+            failures_are_persistent: self.failures_are_persistent,
+            slowdowns: self.slowdowns.clone(),
+            data_counter: self.data_counter,
+            capacities: self.capacities.clone(),
+            generation: self.generation,
+            failure_draws: self.failure.draws(),
+        }
+    }
+
+    /// Restore a captured [`WorldImage`] onto this world, which must be
+    /// a fresh rebuild from the same `(plan, workload)` pair the image
+    /// was captured under (same topology, same offerings, same failure
+    /// seed).  The failure model is repositioned by replaying its draw
+    /// count, so the post-restore outcome stream continues exactly
+    /// where the captured run left off.
+    pub fn restore_image(&mut self, image: &WorldImage) -> Result<()> {
+        for ci in &image.containers {
+            let c = self
+                .topology
+                .containers
+                .iter_mut()
+                .find(|c| c.id == ci.id)
+                .ok_or_else(|| ServiceError::Grid(GridError::UnknownContainer(ci.id.clone())))?;
+            c.up = ci.up;
+            c.completed = ci.completed;
+            c.failed = ci.failed;
+        }
+        self.history = image.history.clone();
+        self.clock_s = image.clock_s;
+        self.failures_are_persistent = image.failures_are_persistent;
+        self.slowdowns = image.slowdowns.clone();
+        self.data_counter = image.data_counter;
+        self.capacities = image.capacities.clone();
+        self.holds.clear();
+        let already = self.failure.draws();
+        self.failure
+            .advance_draws(image.failure_draws.saturating_sub(already));
+        // Restore the generation last (the mutations above must not
+        // leak bumps) and drop any cached candidate index built
+        // against pre-restore state.
+        self.generation = image.generation;
+        *self.match_index.lock() = None;
+        Ok(())
+    }
+
     /// The planning problem `P = {S_init, G, T}` this world induces for a
     /// given initial data set and goal list (`T` = the offering catalog).
     pub fn planning_problem(&self, initial: Vec<String>, goals: Vec<GoalSpec>) -> PlanningProblem {
@@ -492,6 +565,44 @@ impl GridWorld {
             Some(durations.iter().sum::<f64>() / durations.len() as f64)
         }
     }
+}
+
+/// One container's mutable status inside a [`WorldImage`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContainerImage {
+    /// Container id.
+    pub id: String,
+    /// Is it up?
+    pub up: bool,
+    /// Successful executions so far.
+    pub completed: u64,
+    /// Failed executions so far.
+    pub failed: u64,
+}
+
+/// A serializable capture of a [`GridWorld`]'s mutable state, taken at
+/// a tick boundary — the world's half of a durable engine snapshot.
+/// See [`GridWorld::image`] for what is (and is not) captured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorldImage {
+    /// Mutable status of every container, in topology order.
+    pub containers: Vec<ContainerImage>,
+    /// Execution history.
+    pub history: Vec<ExecutionRecord>,
+    /// Virtual world clock, in seconds.
+    pub clock_s: f64,
+    /// Whether stochastic failures down their container.
+    pub failures_are_persistent: bool,
+    /// Installed per-container slowdown factors.
+    pub slowdowns: BTreeMap<String, f64>,
+    /// Fresh-data-id counter.
+    pub data_counter: usize,
+    /// Per-container slot capacities.
+    pub capacities: BTreeMap<String, usize>,
+    /// Matchmaking generation counter.
+    pub generation: u64,
+    /// Failure-model draws consumed so far.
+    pub failure_draws: u64,
 }
 
 /// Thread-safe handle used by agent wrappers.
@@ -524,6 +635,44 @@ mod tests {
             vec![OutputSpec::plain("3D Model")],
         ));
         w
+    }
+
+    #[test]
+    fn world_images_round_trip_onto_a_fresh_rebuild() {
+        let build = || {
+            let mut w = world();
+            w.failure = FailureModel::new(11, 0.2);
+            w.set_capacity("c", 3);
+            w
+        };
+        let mut original = build();
+        let service = original.executable_containers("POD")[0].clone();
+        for _ in 0..5 {
+            let _ = original.execute_service("POD", &service);
+        }
+        original.set_slowdown(&service, 2.0);
+        let image = original.image();
+
+        let mut restored = build();
+        restored.restore_image(&image).unwrap();
+        assert_eq!(restored.image(), image);
+        assert_eq!(restored.history, original.history);
+        assert_eq!(restored.clock_s, original.clock_s);
+        assert_eq!(restored.generation(), original.generation());
+        assert_eq!(restored.failure.draws(), original.failure.draws());
+        // The two worlds continue identically: same outcomes, same
+        // clock advance, same history growth.
+        for _ in 0..5 {
+            let a = original.execute_service("POD", &service).is_ok();
+            let b = restored.execute_service("POD", &service).is_ok();
+            assert_eq!(a, b);
+        }
+        assert_eq!(restored.history, original.history);
+        assert_eq!(restored.clock_s, original.clock_s);
+        // The image itself serializes (it rides inside snapshots).
+        let json = serde_json::to_string(&image).unwrap();
+        let back: WorldImage = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, image);
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! The in-memory backend: verified-append semantics with no I/O.
+//!
+//! `MemStore` is the reference implementation the file backend must
+//! agree with, and the cheapest way to give an engine run a durable
+//! journal when the "process" being killed is a simulated one (the
+//! store outlives the engine object, not the OS process).
+
+use crate::{JournalCore, SnapshotRecord, Store, StoreResult};
+use gridflow_telemetry::TraceRecord;
+
+/// An in-memory [`Store`].
+#[derive(Debug, Default)]
+pub struct MemStore {
+    core: JournalCore,
+}
+
+impl MemStore {
+    /// An empty in-memory store.
+    pub fn new() -> Self {
+        MemStore::default()
+    }
+}
+
+impl Store for MemStore {
+    fn append(&mut self, events: &[TraceRecord]) -> StoreResult<()> {
+        for record in events {
+            self.core.accept_event(record)?;
+        }
+        Ok(())
+    }
+
+    fn snapshot(&mut self, snap: SnapshotRecord) -> StoreResult<()> {
+        self.core.accept_snapshot(&snap)?;
+        Ok(())
+    }
+
+    fn replay_from(&self, seq: u64) -> StoreResult<Vec<TraceRecord>> {
+        Ok(self.core.events_from(seq))
+    }
+
+    fn latest_snapshot(&self) -> StoreResult<Option<SnapshotRecord>> {
+        self.core.latest_snapshot()
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.core.next_seq()
+    }
+
+    fn snapshot_count(&self) -> usize {
+        self.core.snapshot_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridflow_telemetry::TraceEvent;
+
+    fn event(seq: u64) -> TraceRecord {
+        TraceRecord {
+            seq,
+            tick: seq,
+            at_s: 0.0,
+            source: "engine".into(),
+            event: TraceEvent::TickStarted { tick: seq },
+        }
+    }
+
+    #[test]
+    fn replay_from_slices_the_suffix() {
+        let mut store = MemStore::new();
+        store.append(&[event(0), event(1), event(2)]).unwrap();
+        assert_eq!(store.next_seq(), 3);
+        let suffix = store.replay_from(1).unwrap();
+        assert_eq!(suffix.len(), 2);
+        assert_eq!(suffix[0].seq, 1);
+        assert!(store.replay_from(3).unwrap().is_empty());
+        assert_eq!(store.replay_from(0).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn latest_snapshot_returns_the_most_recent() {
+        let mut store = MemStore::new();
+        store.append(&[event(0), event(1)]).unwrap();
+        store
+            .snapshot(SnapshotRecord::new(1, 2, 1, 0.0, b"a".to_vec()))
+            .unwrap();
+        store.append(&[event(2)]).unwrap();
+        store
+            .snapshot(SnapshotRecord::new(2, 3, 2, 0.0, b"b".to_vec()))
+            .unwrap();
+        let latest = store.latest_snapshot().unwrap().unwrap();
+        assert_eq!((latest.next_tick, latest.journal_seq), (2, 3));
+        assert_eq!(store.snapshot_count(), 2);
+    }
+}

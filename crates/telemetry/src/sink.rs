@@ -125,6 +125,42 @@ impl TraceLog {
         }
     }
 
+    /// An empty log whose sequence counter starts at `next_seq`,
+    /// stamped from `clock` — the journal shape a recovering engine
+    /// needs: events regenerated while replaying from a snapshot carry
+    /// the same sequence numbers the original run gave them, so a
+    /// durable store can verify the overlap byte-for-byte.
+    pub fn resuming(next_seq: u64, clock: Arc<dyn TraceClock>) -> Self {
+        let log = Self::with_clock(clock);
+        log.state.lock().next_seq = next_seq;
+        log
+    }
+
+    /// The sequence number the next emission will be stamped with.
+    pub fn next_seq(&self) -> u64 {
+        self.state.lock().next_seq
+    }
+
+    /// The clock's current `(tick, seconds)` reading — what a snapshot
+    /// must persist so a resumed log stamps time exactly where the
+    /// original left off.
+    pub fn clock_now(&self) -> (u64, f64) {
+        self.clock.now()
+    }
+
+    /// All records with `seq >= seq`, in emission order — the
+    /// incremental read used to flush a tick's worth of journal into a
+    /// durable store.
+    pub fn records_from(&self, seq: u64) -> Vec<TraceRecord> {
+        self.state
+            .lock()
+            .records
+            .iter()
+            .filter(|r| r.seq >= seq)
+            .cloned()
+            .collect()
+    }
+
     /// Number of records so far.
     pub fn len(&self) -> usize {
         self.state.lock().records.len()
@@ -485,6 +521,22 @@ mod tests {
         assert_eq!(recs[0].source, "case:x/enactor");
         assert_eq!(recs[1].source, "case:x/enactor");
         assert_eq!(recs[2].source, "case:x/recovery");
+    }
+
+    #[test]
+    fn resumed_logs_continue_the_sequence() {
+        let log = TraceLog::resuming(7, Arc::new(FrozenClock));
+        assert_eq!(log.next_seq(), 7);
+        assert_eq!(log.clock_now(), (0, 0.0));
+        log.emit("t", msg(1));
+        log.emit("t", msg(2));
+        let recs = log.records();
+        assert_eq!((recs[0].seq, recs[1].seq), (7, 8));
+        // records_from slices by stamped seq, not vector index.
+        assert_eq!(log.records_from(8).len(), 1);
+        assert_eq!(log.records_from(8)[0].seq, 8);
+        assert!(log.records_from(9).is_empty());
+        assert_eq!(log.records_from(0).len(), 2);
     }
 
     #[test]
