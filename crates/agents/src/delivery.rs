@@ -1,0 +1,227 @@
+//! Pluggable remote-delivery backends.
+//!
+//! A [`Directory`] routes to local mailboxes; when a receiver is not
+//! registered locally it can consult a [`RouteTable`] and hand the
+//! message to a [`DeliveryBackend`].  Two backends ship here:
+//!
+//! * [`InProcBackend`] — a registry of other in-process directories
+//!   keyed by endpoint.  Zero I/O, zero new behavior: a delivery is one
+//!   direct `Directory::deliver` call on the target, so traces stay
+//!   byte-identical to a single-directory deployment.
+//! * [`TcpBackend`] — one pooled [`TcpChannel`] per endpoint, carrying
+//!   [`Frame::Deliver`](crate::wire::Frame) RPCs with per-RPC deadline
+//!   and seeded retry.
+
+use crate::directory::Directory;
+use crate::error::{AgentError, Result};
+use crate::message::AclMessage;
+use crate::net::{RetryCfg, TcpChannel};
+use crate::routing::RemoteRoute;
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A way to hand a message to an agent that lives on another node.
+pub trait DeliveryBackend: Send + Sync {
+    /// Short backend name for diagnostics (`"in-proc"`, `"tcp"`).
+    fn name(&self) -> &'static str;
+    /// Deliver `msg` to the node behind `route`.
+    fn deliver_remote(&self, route: &RemoteRoute, msg: AclMessage) -> Result<()>;
+}
+
+/// In-process backend: endpoint → [`Directory`] map.  The reference
+/// backend — remote delivery degenerates to a local `deliver` call on
+/// the target directory (its own transports and trace sinks apply).
+#[derive(Debug, Default, Clone)]
+pub struct InProcBackend {
+    nodes: Arc<RwLock<BTreeMap<String, Directory>>>,
+}
+
+impl InProcBackend {
+    /// An empty backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) the directory behind an endpoint key.
+    pub fn register_node(&self, endpoint: impl Into<String>, directory: Directory) {
+        self.nodes.write().insert(endpoint.into(), directory);
+    }
+
+    /// Remove an endpoint's directory.
+    pub fn deregister_node(&self, endpoint: &str) {
+        self.nodes.write().remove(endpoint);
+    }
+}
+
+impl DeliveryBackend for InProcBackend {
+    fn name(&self) -> &'static str {
+        "in-proc"
+    }
+
+    fn deliver_remote(&self, route: &RemoteRoute, msg: AclMessage) -> Result<()> {
+        let dir = self
+            .nodes
+            .read()
+            .get(&route.endpoint)
+            .cloned()
+            .ok_or_else(|| AgentError::Remote {
+                endpoint: route.endpoint.clone(),
+                reason: "no in-proc node registered".into(),
+            })?;
+        dir.deliver(msg)
+    }
+}
+
+/// TCP backend: lazily opens one pooled [`TcpChannel`] per endpoint.
+pub struct TcpBackend {
+    deadline: Duration,
+    retry: RetryCfg,
+    channels: Mutex<BTreeMap<String, Arc<TcpChannel>>>,
+}
+
+impl std::fmt::Debug for TcpBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpBackend")
+            .field("deadline", &self.deadline)
+            .field("endpoints", &self.channels.lock().len())
+            .finish()
+    }
+}
+
+impl TcpBackend {
+    /// Build a backend with the given per-RPC deadline and retry
+    /// schedule (applied to every endpoint's channel).
+    pub fn new(deadline: Duration, retry: RetryCfg) -> Self {
+        TcpBackend {
+            deadline,
+            retry,
+            channels: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The channel for an endpoint, opening it on first use.
+    pub fn channel(&self, endpoint: &str) -> Arc<TcpChannel> {
+        let mut map = self.channels.lock();
+        if let Some(c) = map.get(endpoint) {
+            return Arc::clone(c);
+        }
+        let chan = Arc::new(TcpChannel::new(
+            endpoint.to_string(),
+            self.deadline,
+            self.retry.clone(),
+        ));
+        map.insert(endpoint.to_string(), Arc::clone(&chan));
+        chan
+    }
+}
+
+impl DeliveryBackend for TcpBackend {
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn deliver_remote(&self, route: &RemoteRoute, msg: AclMessage) -> Result<()> {
+        self.channel(&route.endpoint)
+            .send(msg)
+            .map_err(|e| AgentError::Remote {
+                endpoint: route.endpoint.clone(),
+                reason: e.to_string(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::directory::{AgentInfo, Control};
+    use crate::message::Performative;
+    use crate::net::NodeServer;
+    use crate::routing::RouteTable;
+    use crossbeam_channel::unbounded;
+    use serde_json::json;
+
+    fn hosted(name: &str) -> (Directory, crossbeam_channel::Receiver<Control>) {
+        let dir = Directory::new();
+        let (tx, rx) = unbounded();
+        dir.register(AgentInfo {
+            name: name.into(),
+            service_type: "t".into(),
+            mailbox: tx,
+        })
+        .unwrap();
+        (dir, rx)
+    }
+
+    #[test]
+    fn in_proc_backend_routes_across_directories() {
+        let (node_a, _rx_a) = hosted("local");
+        let (node_b, rx_b) = hosted("planning");
+        let backend = InProcBackend::new();
+        backend.register_node("node-b", node_b);
+        let routes = RouteTable::new();
+        routes.set("planning", RemoteRoute::new("node-b", "node-b"));
+        node_a.set_remote(routes, Arc::new(backend));
+
+        let msg = AclMessage::new(Performative::Request, "local", "planning", "t", json!(1));
+        node_a.deliver(msg.clone()).unwrap();
+        match rx_b.try_recv().unwrap() {
+            Control::Deliver(got) => assert_eq!(got, msg),
+            other => panic!("expected Deliver, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unrouted_unknown_receiver_still_errors() {
+        let (node_a, _rx) = hosted("local");
+        node_a.set_remote(RouteTable::new(), Arc::new(InProcBackend::new()));
+        let msg = AclMessage::new(Performative::Request, "local", "ghost", "t", json!(1));
+        assert!(matches!(
+            node_a.deliver(msg),
+            Err(AgentError::UnknownAgent(_))
+        ));
+    }
+
+    #[test]
+    fn missing_in_proc_node_reports_remote_error() {
+        let (node_a, _rx) = hosted("local");
+        let routes = RouteTable::new();
+        routes.set("planning", RemoteRoute::new("node-b", "node-b"));
+        node_a.set_remote(routes, Arc::new(InProcBackend::new()));
+        let msg = AclMessage::new(Performative::Request, "local", "planning", "t", json!(1));
+        assert!(matches!(
+            node_a.deliver(msg),
+            Err(AgentError::Remote { .. })
+        ));
+    }
+
+    #[test]
+    fn tcp_backend_delivers_over_loopback() {
+        let (node_a, _rx_a) = hosted("local");
+        let (node_b, rx_b) = hosted("planning");
+        let mut server = NodeServer::serve("127.0.0.1:0", node_b).unwrap();
+        let endpoint = server.local_addr().to_string();
+
+        let routes = RouteTable::new();
+        routes.set("planning", RemoteRoute::new("node-b", endpoint));
+        node_a.set_remote(
+            routes,
+            Arc::new(TcpBackend::new(Duration::from_secs(2), RetryCfg::default())),
+        );
+
+        let msg = AclMessage::new(
+            Performative::Request,
+            "local",
+            "planning",
+            "t",
+            json!({"k": 3}),
+        );
+        node_a.deliver(msg.clone()).unwrap();
+        match rx_b.recv_timeout(Duration::from_secs(2)).unwrap() {
+            Control::Deliver(got) => assert_eq!(got, msg),
+            other => panic!("expected Deliver, got {other:?}"),
+        }
+        server.shutdown();
+    }
+}

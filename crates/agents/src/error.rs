@@ -30,6 +30,13 @@ pub enum AgentError {
     },
     /// Payload (de)serialization failed.
     Payload(String),
+    /// Remote delivery through a backend failed.
+    Remote {
+        /// The endpoint the delivery was addressed to.
+        endpoint: String,
+        /// The backend's failure description.
+        reason: String,
+    },
     /// The runtime is already shut down.
     ShutDown,
 }
@@ -47,6 +54,9 @@ impl fmt::Display for AgentError {
                 write!(f, "agent `{agent}` refused: {reason}")
             }
             Self::Payload(msg) => write!(f, "payload error: {msg}"),
+            Self::Remote { endpoint, reason } => {
+                write!(f, "remote delivery to `{endpoint}` failed: {reason}")
+            }
             Self::ShutDown => write!(f, "agent runtime is shut down"),
         }
     }

@@ -1,0 +1,110 @@
+//! Coordinator-style routing table: service/agent name → (node, endpoint).
+//!
+//! The paper distributes the core services across grid nodes (Fig. 1);
+//! this table is the piece of metainformation that says *where* a named
+//! service lives.  The local [`Directory`](crate::Directory) consults it
+//! only when a receiver is not registered locally, so a fully local
+//! deployment never touches it.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Where a remote service lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteRoute {
+    /// Logical node name (e.g. `"node-b"`).
+    pub node: String,
+    /// Backend-specific endpoint: a socket address for the TCP backend,
+    /// a node key for the in-proc backend.
+    pub endpoint: String,
+}
+
+impl RemoteRoute {
+    /// Build a route.
+    pub fn new(node: impl Into<String>, endpoint: impl Into<String>) -> Self {
+        RemoteRoute {
+            node: node.into(),
+            endpoint: endpoint.into(),
+        }
+    }
+}
+
+/// Thread-safe name → route map.  Clones share the underlying table.
+#[derive(Debug, Default, Clone)]
+pub struct RouteTable {
+    inner: Arc<RwLock<BTreeMap<String, RemoteRoute>>>,
+}
+
+impl RouteTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install (or replace) the route for a name.
+    pub fn set(&self, name: impl Into<String>, route: RemoteRoute) {
+        self.inner.write().insert(name.into(), route);
+    }
+
+    /// Remove the route for a name, returning it if present.
+    pub fn remove(&self, name: &str) -> Option<RemoteRoute> {
+        self.inner.write().remove(name)
+    }
+
+    /// Resolve a name to its route.
+    pub fn resolve(&self, name: &str) -> Option<RemoteRoute> {
+        self.inner.read().get(name).cloned()
+    }
+
+    /// All routed names, in order.
+    pub fn names(&self) -> Vec<String> {
+        self.inner.read().keys().cloned().collect()
+    }
+
+    /// Number of routes.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_resolve_remove() {
+        let table = RouteTable::new();
+        assert!(table.is_empty());
+        table.set("planning", RemoteRoute::new("node-b", "127.0.0.1:9001"));
+        assert_eq!(
+            table.resolve("planning"),
+            Some(RemoteRoute::new("node-b", "127.0.0.1:9001"))
+        );
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.names(), vec!["planning".to_string()]);
+        assert!(table.remove("planning").is_some());
+        assert!(table.resolve("planning").is_none());
+    }
+
+    #[test]
+    fn clones_share_routes() {
+        let table = RouteTable::new();
+        let clone = table.clone();
+        clone.set("monitoring", RemoteRoute::new("node-c", "ep"));
+        assert!(table.resolve("monitoring").is_some());
+    }
+
+    #[test]
+    fn replace_overwrites() {
+        let table = RouteTable::new();
+        table.set("x", RemoteRoute::new("a", "1"));
+        table.set("x", RemoteRoute::new("b", "2"));
+        assert_eq!(table.resolve("x").unwrap().node, "b");
+    }
+}

@@ -56,13 +56,17 @@
 pub mod clock;
 pub mod multi;
 pub mod plan;
+pub mod remote;
 pub mod runner;
 pub mod transport;
 pub mod workload;
 
 pub use clock::VirtualClock;
 pub use multi::MultiCaseScenario;
-pub use plan::{FaultAction, FaultEvent, FaultPlan, FaultSchedule, NodeLoss, Slowdown};
+pub use plan::{
+    FaultAction, FaultEvent, FaultPlan, FaultSchedule, NodeLoss, PartitionSpec, Slowdown,
+};
+pub use remote::{RemoteMirror, RemoteReport, TcpMirrorConfig, TransportSpec};
 pub use runner::{
     execution_counts, is_execution_prefix, outcome_fingerprint, report_fingerprint, run_scenario,
     Scenario, ScenarioOutcome,
@@ -75,8 +79,8 @@ pub use workload::{dinner_workload, Workload};
 // The telemetry surface tests lean on, re-exported so harness consumers
 // need only one crate in scope.
 pub use gridflow_telemetry::{
-    MetricsRegistry, TraceEvent, TraceHandle, TraceLog, TraceQuery, TraceRecord, TraceSink,
-    TraceViolation,
+    MetricsRegistry, TeeSink, TraceEvent, TraceHandle, TraceLog, TraceQuery, TraceRecord,
+    TraceSink, TraceViolation,
 };
 
 // The recovery surface the fault scenarios configure, re-exported for

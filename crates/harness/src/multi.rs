@@ -11,6 +11,7 @@
 
 use crate::clock::VirtualClock;
 use crate::plan::FaultPlan;
+use crate::remote::{RemoteMirror, RemoteReport, TransportSpec};
 use crate::workload::Workload;
 use gridflow_engine::{
     CaseHints, CaseOutcome, CaseScheduler, CaseSpec, EngineConfig, EngineOutcome, PolicySpec,
@@ -18,7 +19,7 @@ use gridflow_engine::{
 };
 use gridflow_services::GridWorld;
 use gridflow_store::{Store, StoreResult};
-use gridflow_telemetry::{TraceEvent, TraceHandle, TraceLog, TraceSink};
+use gridflow_telemetry::{TeeSink, TraceEvent, TraceHandle, TraceLog, TraceSink};
 use std::sync::{Arc, Mutex};
 
 /// The record of one multi-case run.
@@ -30,6 +31,10 @@ pub struct MultiCaseOutcome {
     /// The merged event log (engine events under source `engine`, each
     /// case's under `case:<label>/…`), when tracing was requested.
     pub trace: Option<TraceLog>,
+    /// What the remote mirror plane observed, when the scenario selected
+    /// [`TransportSpec::Tcp`].  `None` under the in-proc default.
+    /// Observational only — never part of run equality.
+    pub remote: Option<RemoteReport>,
 }
 
 impl MultiCaseOutcome {
@@ -55,6 +60,7 @@ pub struct MultiCaseScenario<'a> {
     hints_fn: Option<fn(usize) -> CaseHints>,
     store: Option<(Arc<Mutex<dyn Store>>, u64)>,
     kill_at: Option<u64>,
+    transport: TransportSpec,
 }
 
 impl std::fmt::Debug for MultiCaseScenario<'_> {
@@ -81,6 +87,7 @@ impl<'a> MultiCaseScenario<'a> {
             hints_fn: None,
             store: None,
             kill_at: None,
+            transport: TransportSpec::default(),
         }
     }
 
@@ -151,6 +158,17 @@ impl<'a> MultiCaseScenario<'a> {
         self
     }
 
+    /// Select the delivery substrate.  The in-proc default changes
+    /// nothing; [`TransportSpec::Tcp`] tees the merged trace stream
+    /// through a [`RemoteMirror`] onto a loopback TCP node woken on
+    /// demand, returning its [`RemoteReport`] in
+    /// [`MultiCaseOutcome::remote`].  The engine plane — case outcomes,
+    /// tick count, merged trace bytes — is identical either way.
+    pub fn transport(mut self, transport: TransportSpec) -> Self {
+        self.transport = transport;
+        self
+    }
+
     /// Drive every case to completion.
     ///
     /// Scripted node losses fire at the top of the tick on which the
@@ -162,18 +180,23 @@ impl<'a> MultiCaseScenario<'a> {
         let log = self
             .traced
             .then(|| TraceLog::with_clock(Arc::new(VirtualClock::new())));
+        let mirror = self.build_mirror();
         let mut scheduler = CaseScheduler::new(self.engine_config_for(log.as_ref()));
-        let runner_trace = match &log {
-            Some(log) => {
-                scheduler = scheduler.trace(Arc::new(log.clone()) as Arc<dyn TraceSink>);
-                TraceHandle::from(log.clone())
+        let runner_trace = match Self::merged_sink(log.as_ref(), mirror.as_ref()) {
+            Some(sink) => {
+                scheduler = scheduler.trace(sink.clone());
+                TraceHandle::new(sink)
             }
             None => TraceHandle::none(),
         };
         self.submit_fleet(&mut scheduler);
         let mut world = self.workload.fresh_world(self.plan, 0);
-        let engine = scheduler.run_with(&mut world, Self::node_loss_hook(self.plan, runner_trace));
-        MultiCaseOutcome { engine, trace: log }
+        let engine = scheduler.run_with(&mut world, Self::fault_hook(self.plan, runner_trace));
+        MultiCaseOutcome {
+            engine,
+            trace: log,
+            remote: mirror.map(RemoteMirror::finish),
+        }
     }
 
     /// Recover a crashed run from the scenario's store: reseed a trace
@@ -207,19 +230,44 @@ impl<'a> MultiCaseScenario<'a> {
             ),
             None => TraceLog::with_clock(Arc::new(VirtualClock::new())),
         };
-        let mut scheduler = CaseScheduler::new(self.engine_config_for(Some(&log)))
-            .trace(Arc::new(log.clone()) as Arc<dyn TraceSink>);
-        let runner_trace = TraceHandle::from(log.clone());
+        let mirror = self.build_mirror();
+        let sink = Self::merged_sink(Some(&log), mirror.as_ref()).expect("log is always a sink");
+        let mut scheduler =
+            CaseScheduler::new(self.engine_config_for(Some(&log))).trace(sink.clone());
+        let runner_trace = TraceHandle::new(sink);
         // Submissions feed the replay-only path; a snapshot-led
         // recovery discards them in favor of the restored state.
         self.submit_fleet(&mut scheduler);
         let mut world = self.workload.fresh_world(self.plan, 0);
-        let engine =
-            scheduler.recover(&mut world, Self::node_loss_hook(self.plan, runner_trace))?;
+        let engine = scheduler.recover(&mut world, Self::fault_hook(self.plan, runner_trace))?;
         Ok(MultiCaseOutcome {
             engine,
             trace: Some(log),
+            remote: mirror.map(RemoteMirror::finish),
         })
+    }
+
+    /// The remote mirror for this run, if the transport calls for one.
+    fn build_mirror(&self) -> Option<RemoteMirror> {
+        match &self.transport {
+            TransportSpec::InProc => None,
+            TransportSpec::Tcp(cfg) => Some(RemoteMirror::new(cfg.clone())),
+        }
+    }
+
+    /// The sink the scheduler and runner share: the primary log first
+    /// (its bytes stay identical to an un-teed run), the mirror second.
+    fn merged_sink(
+        log: Option<&TraceLog>,
+        mirror: Option<&RemoteMirror>,
+    ) -> Option<Arc<dyn TraceSink>> {
+        let base = log.map(|l| Arc::new(l.clone()) as Arc<dyn TraceSink>);
+        match (base, mirror) {
+            (Some(base), Some(m)) => Some(Arc::new(TeeSink::new(vec![base, m.sink()]))),
+            (Some(base), None) => Some(base),
+            (None, Some(m)) => Some(m.sink()),
+            (None, None) => None,
+        }
     }
 
     /// The engine configuration for a run: the scenario's config plus
@@ -255,15 +303,26 @@ impl<'a> MultiCaseScenario<'a> {
         }
     }
 
-    /// The per-tick hook that stages scripted node losses, keyed to the
-    /// shared world's execution count.  Restored worlds replay
+    /// The per-tick hook that stages scripted faults against the shared
+    /// world: node losses keyed to the execution count, and partition
+    /// windows keyed to the engine tick.  Restored worlds replay
     /// correctly: a loss already applied before the crash finds its
     /// container down (`was_up` false) and does not re-emit.
-    fn node_loss_hook(
+    ///
+    /// A partition `(a, b)` is applied conservatively: each side that
+    /// names a container in the topology is unreachable (down) for
+    /// `[from_tick, heal_tick)`; sides naming no container (e.g.
+    /// `"coordinator"`) cost nothing, so `("coordinator", "ac-h2")`
+    /// reads as "the coordinator cannot reach `ac-h2`".  The window's
+    /// boundaries emit `transport.partitioned` / `transport.healed`
+    /// exactly once each; on heal, a side stays down if a scripted node
+    /// loss or another still-open partition holds it.
+    fn fault_hook(
         plan: &FaultPlan,
         runner_trace: TraceHandle,
     ) -> impl FnMut(u64, &mut GridWorld) + '_ {
-        move |_tick, world| {
+        let mut phases = vec![0u8; plan.partitions.len()];
+        move |tick, world| {
             for loss in &plan.node_loss {
                 if loss.after_executions <= world.history.len() {
                     let was_up = world
@@ -283,8 +342,67 @@ impl<'a> MultiCaseScenario<'a> {
                     }
                 }
             }
+            for (i, cut) in plan.partitions.iter().enumerate() {
+                match phases[i] {
+                    // A window the run jumped clean over (or a
+                    // degenerate `from == heal` one) never opened.
+                    0 if tick >= cut.heal_tick => phases[i] = 2,
+                    0 if tick >= cut.from_tick => {
+                        for side in [&cut.a, &cut.b] {
+                            if world.topology.container(side).is_some() {
+                                let _ = world.set_container_up(side, false);
+                            }
+                        }
+                        runner_trace.emit(
+                            "runner",
+                            TraceEvent::PartitionStarted {
+                                a: cut.a.clone(),
+                                b: cut.b.clone(),
+                                heal_tick: cut.heal_tick,
+                            },
+                        );
+                        phases[i] = 1;
+                    }
+                    1 if tick >= cut.heal_tick => {
+                        for side in [&cut.a, &cut.b] {
+                            if world.topology.container(side).is_some()
+                                && !held_down(plan, side, world.history.len(), tick, i)
+                            {
+                                let _ = world.set_container_up(side, true);
+                            }
+                        }
+                        runner_trace.emit(
+                            "runner",
+                            TraceEvent::PartitionHealed {
+                                a: cut.a.clone(),
+                                b: cut.b.clone(),
+                            },
+                        );
+                        phases[i] = 2;
+                    }
+                    _ => {}
+                }
+            }
         }
     }
+}
+
+/// Is `container` held down at `tick` by something other than partition
+/// `healing` — a tripped node loss, or another still-open partition
+/// naming it?
+fn held_down(
+    plan: &FaultPlan,
+    container: &str,
+    executions: usize,
+    tick: u64,
+    healing: usize,
+) -> bool {
+    plan.node_loss
+        .iter()
+        .any(|l| l.container == container && l.after_executions <= executions)
+        || plan.partitions.iter().enumerate().any(|(j, p)| {
+            j != healing && p.active_at(tick) && (p.a == container || p.b == container)
+        })
 }
 
 #[cfg(test)]
@@ -308,6 +426,53 @@ mod tests {
         // Interleaving three cases cannot take fewer ticks than the
         // longest single case.
         assert!(outcome.engine.ticks >= 4, "ticks: {}", outcome.engine.ticks);
+    }
+
+    #[test]
+    fn fault_hook_stages_partition_windows_and_honors_holds() {
+        use crate::workload::dinner_world;
+        use gridflow_telemetry::TraceQuery;
+
+        // Two overlapping windows plus a node loss that outlives them:
+        //   ac-h2 cut for ticks [2, 4) by a coordinator-side partition,
+        //   ac-h4/ac-h5 cut for [1, 3), and ac-h5 scripted lost from the
+        //   start — its heal must find it held down.
+        let plan = FaultPlan::seeded(1)
+            .partitioning("coordinator", "ac-h2", 2, 4)
+            .partitioning("ac-h4", "ac-h5", 1, 3)
+            .losing_node("ac-h5", 0);
+        let log = TraceLog::new();
+        let mut world = dinner_world();
+        let up = |w: &GridWorld, id: &str| w.topology.container(id).unwrap().up;
+        {
+            let mut hook = MultiCaseScenario::fault_hook(&plan, TraceHandle::from(log.clone()));
+            for tick in 0..6 {
+                hook(tick, &mut world);
+                assert_eq!(up(&world, "ac-h2"), !(2..4).contains(&tick), "tick {tick}");
+                assert_eq!(up(&world, "ac-h4"), !(1..3).contains(&tick), "tick {tick}");
+                assert!(!up(&world, "ac-h5"), "node loss holds ac-h5 at tick {tick}");
+            }
+        }
+
+        let records = log.records();
+        let q = TraceQuery::new(records.clone());
+        q.assert_partition_discipline();
+        assert_eq!(q.count(|e| e.label() == "fault.node_lost"), 1);
+        assert_eq!(q.count(|e| e.label() == "transport.partitioned"), 2);
+        assert_eq!(q.count(|e| e.label() == "transport.healed"), 2);
+        // Boundary order follows the windows: the [1,3) cut opens and
+        // heals before the [2,4) one heals.
+        let labels: Vec<&str> = records.iter().map(|r| r.event.label()).collect();
+        assert_eq!(
+            labels,
+            [
+                "fault.node_lost",
+                "transport.partitioned", // ac-h4/ac-h5 at tick 1
+                "transport.partitioned", // coordinator/ac-h2 at tick 2
+                "transport.healed",      // ac-h4/ac-h5 at tick 3
+                "transport.healed",      // coordinator/ac-h2 at tick 4
+            ]
+        );
     }
 
     #[test]

@@ -27,6 +27,14 @@ pub enum FaultAction {
         /// Tick at which the held message re-enters the stream.
         until_tick: u64,
     },
+    /// Swapped with the next intercepted message: the classic adjacent
+    /// reorder (the message arrives, but one slot late).
+    Reorder,
+    /// Dropped because an active node-pair partition separates sender
+    /// and receiver.  Recorded without consuming a chaos draw, so
+    /// enabling a partition never shifts the drop/duplicate/delay
+    /// decision stream of the rest of the traffic.
+    Partitioned,
 }
 
 /// One entry of a fault schedule: the decision taken at a tick for a
@@ -70,6 +78,36 @@ pub struct Slowdown {
     pub factor: f64,
 }
 
+/// A scheduled node-pair partition: traffic between `a` and `b`
+/// (either direction) is cut from `from_tick` until `heal_tick`, when
+/// the link heals.  The same spec drives both planes: the
+/// fault-injecting transport drops crossing messages in the window, and
+/// the engine-plane hook takes the named container down and restores it
+/// at the heal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionSpec {
+    /// One side of the cut link.
+    pub a: String,
+    /// The other side.
+    pub b: String,
+    /// First tick at which the partition is active.
+    pub from_tick: u64,
+    /// Tick at which the link heals (exclusive end of the window).
+    pub heal_tick: u64,
+}
+
+impl PartitionSpec {
+    /// Is the partition active at `tick`?
+    pub fn active_at(&self, tick: u64) -> bool {
+        tick >= self.from_tick && tick < self.heal_tick
+    }
+
+    /// Does a message between `sender` and `receiver` cross this cut?
+    pub fn severs(&self, sender: &str, receiver: &str) -> bool {
+        (self.a == sender && self.b == receiver) || (self.a == receiver && self.b == sender)
+    }
+}
+
 /// The complete, seeded description of everything that goes wrong in a
 /// run.  `Default` is the null plan: nothing fails.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -86,6 +124,11 @@ pub struct FaultPlan {
     /// How many ticks a delayed message is held (also the reorder
     /// window: messages sent in between overtake it).
     pub delay_ticks: u64,
+    /// Per-message probability of an adjacent reorder (swap with the
+    /// next intercepted message).
+    pub reorder_prob: f64,
+    /// Scheduled node-pair partitions with their heal ticks.
+    pub partitions: Vec<PartitionSpec>,
     /// Bernoulli per-execution probability that an end-user activity
     /// fails on its container.
     pub activity_failure_prob: f64,
@@ -114,6 +157,8 @@ impl Default for FaultPlan {
             duplicate_prob: 0.0,
             delay_prob: 0.0,
             delay_ticks: 3,
+            reorder_prob: 0.0,
+            partitions: Vec::new(),
             activity_failure_prob: 0.0,
             persistent_activity_failures: true,
             node_loss: Vec::new(),
@@ -151,6 +196,30 @@ impl FaultPlan {
     pub fn delaying(mut self, p: f64, ticks: u64) -> Self {
         self.delay_prob = p.clamp(0.0, 1.0);
         self.delay_ticks = ticks;
+        self
+    }
+
+    /// Builder: swap messages with their successor with probability `p`.
+    pub fn reordering(mut self, p: f64) -> Self {
+        self.reorder_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder: cut the link between `a` and `b` from `from_tick`
+    /// until it heals at `heal_tick`.
+    pub fn partitioning(
+        mut self,
+        a: impl Into<String>,
+        b: impl Into<String>,
+        from_tick: u64,
+        heal_tick: u64,
+    ) -> Self {
+        self.partitions.push(PartitionSpec {
+            a: a.into(),
+            b: b.into(),
+            from_tick,
+            heal_tick: heal_tick.max(from_tick),
+        });
         self
     }
 
@@ -196,9 +265,16 @@ impl FaultPlan {
         self
     }
 
-    /// Does the plan inject any message-level faults at all?
+    /// Does the plan inject any *probabilistic* message-level faults
+    /// (and hence consume one chaos draw per message)?  Scheduled
+    /// partitions are deliberately excluded: they drop crossing
+    /// messages without a draw, so the rest of the decision stream is
+    /// unchanged by adding one.
     pub fn perturbs_messages(&self) -> bool {
-        self.drop_prob > 0.0 || self.duplicate_prob > 0.0 || self.delay_prob > 0.0
+        self.drop_prob > 0.0
+            || self.duplicate_prob > 0.0
+            || self.delay_prob > 0.0
+            || self.reorder_prob > 0.0
     }
 }
 
@@ -231,9 +307,35 @@ mod tests {
     }
 
     #[test]
+    fn partition_spec_window_and_pair_matching() {
+        let p = FaultPlan::seeded(1).partitioning("node-a", "node-b", 5, 9);
+        assert!(
+            !p.perturbs_messages(),
+            "partitions are scheduled, not drawn"
+        );
+        let spec = &p.partitions[0];
+        assert!(!spec.active_at(4));
+        assert!(spec.active_at(5));
+        assert!(spec.active_at(8));
+        assert!(!spec.active_at(9), "heal tick is exclusive");
+        assert!(spec.severs("node-a", "node-b"));
+        assert!(spec.severs("node-b", "node-a"));
+        assert!(!spec.severs("node-a", "node-c"));
+    }
+
+    #[test]
+    fn reordering_counts_as_message_perturbation() {
+        assert!(FaultPlan::seeded(1).reordering(0.2).perturbs_messages());
+        let clamped = FaultPlan::seeded(1).reordering(7.0);
+        assert_eq!(clamped.reorder_prob, 1.0);
+    }
+
+    #[test]
     fn plans_round_trip_through_json() {
         let p = FaultPlan::seeded(42)
             .dropping(0.1)
+            .reordering(0.05)
+            .partitioning("ac-h1", "ac-h2", 4, 12)
             .losing_node("ac-h2", 3)
             .slowing_container("ac-h1", 50.0)
             .crashing_after(1)

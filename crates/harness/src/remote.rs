@@ -1,0 +1,558 @@
+//! Transport selection for scenario runs: the in-proc default and a
+//! real loopback-TCP mirror plane.
+//!
+//! The deterministic engine plane must never depend on the wire, so
+//! transport selection is an **observer**: with
+//! [`TransportSpec::InProc`] (the default) nothing changes at all, and
+//! with [`TransportSpec::Tcp`] the run's trace stream is teed — primary
+//! log first, so its bytes are identical to an un-teed run — into a
+//! [`RemoteMirror`] that ships every record as a framed
+//! [`AclMessage`] over real TCP to a [`NodeServer`] on `127.0.0.1`.
+//!
+//! The mirror exercises the whole plane-A substrate:
+//!
+//! * **on-demand wake** — the node starts *cold*; the first mirrored
+//!   event wakes it through a [`WakeCoordinator`], and concurrent
+//!   emissions coalesce onto that single wake;
+//! * **idle sleep** — [`RemoteMirror::sleep_now`] (and
+//!   [`RemoteMirror::finish`]) reap the idle service, shutting the
+//!   server down; the next emission re-wakes it on a fresh endpoint;
+//! * **health probing into breakers** — [`RemoteMirror::probe`] pings
+//!   the node, maps each result onto a one-container probe world and
+//!   feeds it through [`MonitoringService::feed_recovery`], so a dead
+//!   node opens a circuit breaker and a healed one walks it through
+//!   half-open back to closed.
+//!
+//! Wake, sleep, probe and breaker events land in the mirror's **own**
+//! [`TraceLog`] ([`RemoteMirror::mirror_log`]), never the run's primary
+//! log — wall-clock-dependent breaker timings must not perturb the
+//! byte-identical replay invariant.
+
+use crossbeam_channel::{unbounded, Receiver};
+use gridflow_agents::directory::Control;
+use gridflow_agents::{
+    AclMessage, AgentInfo, DeliveryBackend, Directory, NodeServer, Performative, RemoteRoute,
+    RetryCfg, RouteTable, TcpBackend,
+};
+use gridflow_grid::container::ApplicationContainer;
+use gridflow_grid::resource::{Resource, ResourceKind};
+use gridflow_grid::GridTopology;
+use gridflow_recovery::{BreakerConfig, RecoveryManager, RecoveryPolicy};
+use gridflow_services::monitoring::MonitoringService;
+use gridflow_services::world::GridWorld;
+use gridflow_services::{WakeCoordinator, WakeOutcome};
+use gridflow_telemetry::{TeeSink, TraceEvent, TraceHandle, TraceLog, TraceSink};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The logical service name the mirror wakes and routes to.
+pub const MIRROR_SERVICE: &str = "mirror";
+
+/// The probe world's container id (what the breaker quarantines).
+pub const MIRROR_CONTAINER: &str = "remote-mirror";
+
+/// Which delivery substrate a scenario run uses.
+///
+/// The default is [`TransportSpec::InProc`]: no remote plane at all,
+/// byte-identical to every run before transport selection existed.
+#[derive(Debug, Clone, Default)]
+pub enum TransportSpec {
+    /// Everything stays in-process (the legacy behavior).
+    #[default]
+    InProc,
+    /// Mirror the run's trace over loopback TCP through a
+    /// [`RemoteMirror`] built from this config.
+    Tcp(TcpMirrorConfig),
+}
+
+impl TransportSpec {
+    /// The TCP mirror with its default configuration.
+    pub fn tcp() -> Self {
+        TransportSpec::Tcp(TcpMirrorConfig::default())
+    }
+}
+
+/// Configuration of the loopback TCP mirror plane.
+#[derive(Debug, Clone)]
+pub struct TcpMirrorConfig {
+    /// Per-RPC deadline for mirror deliveries and pings.
+    pub deadline: Duration,
+    /// Seeded exponential-backoff retry schedule for the channel.
+    pub retry: RetryCfg,
+    /// How long to wait for an in-flight wake before giving up.
+    pub wake_wait: Duration,
+    /// Idle ticks (mirror sequence numbers) before
+    /// [`RemoteMirror::finish`] reaps the service (`0` = always reap).
+    pub idle_timeout: u64,
+    /// Health probes [`RemoteMirror::finish`] runs before reaping.
+    pub probes: u64,
+    /// Breaker the probe loop feeds (threshold / cooldown in probe
+    /// ticks).
+    pub breaker: BreakerConfig,
+}
+
+impl Default for TcpMirrorConfig {
+    fn default() -> Self {
+        TcpMirrorConfig {
+            deadline: Duration::from_secs(2),
+            retry: RetryCfg::default(),
+            wake_wait: Duration::from_secs(5),
+            idle_timeout: 0,
+            probes: 4,
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                open_ticks: 3,
+            },
+        }
+    }
+}
+
+/// What the mirror plane did during a run.  Purely observational:
+/// scenario outcome equality ignores it, exactly as it ignores the
+/// trace.
+#[derive(Debug, Clone)]
+pub struct RemoteReport {
+    /// The node's last TCP endpoint (`None` if it was never woken).
+    pub endpoint: Option<String>,
+    /// Events delivered and acked over the wire.
+    pub mirrored: u64,
+    /// Events the mirror gave up on (wake failure or exhausted retry).
+    pub failed: u64,
+    /// Actual wakes performed (coalescing keeps this at 1 per cold
+    /// period no matter how many emissions raced).
+    pub wakes: u64,
+    /// Emissions that coalesced onto another caller's in-flight wake.
+    pub coalesced: u64,
+    /// Health probes that reached the node.
+    pub probes_ok: u64,
+    /// Health probes that found it unreachable.
+    pub probes_failed: u64,
+    /// Was the service reaped to sleep at the end of the run?
+    pub slept: bool,
+    /// The mirror plane's own event log (`wake.*`, `breaker.*`,
+    /// `transport.*` from scripted outages) — separate from the run's
+    /// primary log so breaker timing can never perturb replay bytes.
+    pub mirror_log: TraceLog,
+}
+
+struct MirrorShared {
+    cfg: TcpMirrorConfig,
+    wake: WakeCoordinator,
+    backend: TcpBackend,
+    routes: RouteTable,
+    host: Directory,
+    server: Mutex<Option<NodeServer>>,
+    /// The mirror agent's mailbox (kept so deliveries don't error).
+    _inbox: Receiver<Control>,
+    seq: AtomicU64,
+    mirrored: AtomicU64,
+    failed: AtomicU64,
+    coalesced: AtomicU64,
+    probes_ok: AtomicU64,
+    probes_failed: AtomicU64,
+    probe_world: Mutex<GridWorld>,
+    recovery: Mutex<RecoveryManager>,
+    log: TraceLog,
+}
+
+impl MirrorShared {
+    /// Start (or restart) the node server — the wake closure.
+    fn wake_service(&self) -> Result<(), String> {
+        let mut slot = self.server.lock();
+        if slot.is_some() {
+            return Ok(());
+        }
+        let server =
+            NodeServer::serve("127.0.0.1:0", self.host.clone()).map_err(|e| e.to_string())?;
+        self.routes.set(
+            MIRROR_SERVICE,
+            RemoteRoute::new(MIRROR_CONTAINER, server.local_addr().to_string()),
+        );
+        *slot = Some(server);
+        Ok(())
+    }
+
+    /// Shut the node down and unroute it — the sleep closure.
+    fn sleep_service(&self) {
+        if let Some(mut server) = self.server.lock().take() {
+            server.shutdown();
+        }
+        self.routes.remove(MIRROR_SERVICE);
+    }
+
+    /// Mirror one trace record: wake the node if cold (coalescing with
+    /// concurrent emissions), then deliver it as a framed ACL message.
+    /// Infallible from the caller's side — the primary plane can never
+    /// be perturbed by the wire.
+    fn mirror(&self, source: &str, event: TraceEvent) {
+        let tick = self.seq.fetch_add(1, Ordering::SeqCst);
+        let outcome = self
+            .wake
+            .ensure_running(MIRROR_SERVICE, tick, self.cfg.wake_wait, || {
+                self.wake_service()
+            });
+        match outcome {
+            WakeOutcome::Failed(_) => {
+                self.failed.fetch_add(1, Ordering::SeqCst);
+                return;
+            }
+            WakeOutcome::Coalesced => {
+                self.coalesced.fetch_add(1, Ordering::SeqCst);
+            }
+            WakeOutcome::AlreadyRunning | WakeOutcome::Woke => {}
+        }
+        let Some(route) = self.routes.resolve(MIRROR_SERVICE) else {
+            self.failed.fetch_add(1, Ordering::SeqCst);
+            return;
+        };
+        let body = serde_json::json!({ "source": source, "label": event.label() });
+        let msg = AclMessage::new(
+            Performative::Inform,
+            "harness",
+            MIRROR_SERVICE,
+            event.label(),
+            body,
+        );
+        match self.backend.deliver_remote(&route, msg) {
+            Ok(()) => {
+                self.mirrored.fetch_add(1, Ordering::SeqCst);
+            }
+            Err(_) => {
+                self.failed.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// One health probe: ping the node (if routed), map the result onto
+    /// the probe world's container, advance breaker time by one tick and
+    /// feed the world through the monitoring service.
+    fn probe_once(&self) -> bool {
+        let up = match self.routes.resolve(MIRROR_SERVICE) {
+            Some(route) => self.backend.channel(&route.endpoint).ping().is_ok(),
+            None => false,
+        };
+        if up {
+            self.probes_ok.fetch_add(1, Ordering::SeqCst);
+        } else {
+            self.probes_failed.fetch_add(1, Ordering::SeqCst);
+        }
+        let mut world = self.probe_world.lock();
+        let _ = world.set_container_up(MIRROR_CONTAINER, up);
+        let mut recovery = self.recovery.lock();
+        recovery.tick(1);
+        MonitoringService.feed_recovery(&world, &mut recovery);
+        up
+    }
+}
+
+/// The emission side handed to [`TeeSink`]: forwards every record to
+/// the shared mirror state.
+struct MirrorSink(Arc<MirrorShared>);
+
+impl TraceSink for MirrorSink {
+    fn emit(&self, source: &str, event: TraceEvent) {
+        self.0.mirror(source, event);
+    }
+}
+
+/// The probe world: one container on one resource hosting the mirror
+/// service — just enough topology for [`MonitoringService`] probes to
+/// have something to report on.
+fn probe_world() -> GridWorld {
+    GridWorld::new(GridTopology {
+        resources: vec![Resource::new("remote", ResourceKind::PcCluster)
+            .with_nodes(1)
+            .with_software([MIRROR_SERVICE.to_string()])],
+        containers: vec![ApplicationContainer::new(MIRROR_CONTAINER, "remote")
+            .hosting([MIRROR_SERVICE.to_string()])],
+    })
+}
+
+/// The loopback TCP mirror plane: a cold [`NodeServer`] woken on
+/// demand, a pooled [`TcpBackend`] shipping trace records to it, and a
+/// health-probe loop feeding circuit breakers.  Clone-free by design:
+/// the scenario runner owns it and consumes it with
+/// [`RemoteMirror::finish`].
+pub struct RemoteMirror {
+    shared: Arc<MirrorShared>,
+}
+
+impl std::fmt::Debug for RemoteMirror {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteMirror")
+            .field("endpoint", &self.endpoint())
+            .field("mirrored", &self.shared.mirrored.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl RemoteMirror {
+    /// A mirror with a cold node: nothing listens until the first
+    /// emission (or [`RemoteMirror::ensure_awake`]) wakes it.
+    pub fn new(cfg: TcpMirrorConfig) -> Self {
+        let host = Directory::new();
+        let (tx, rx) = unbounded();
+        host.register(AgentInfo {
+            name: MIRROR_SERVICE.into(),
+            service_type: "monitor".into(),
+            mailbox: tx,
+        })
+        .expect("fresh directory accepts the mirror agent");
+        let log = TraceLog::new();
+        let wake = WakeCoordinator::new();
+        wake.set_trace_sink(Arc::new(log.clone()));
+        let recovery = RecoveryManager::with_trace_handle(
+            RecoveryPolicy {
+                breaker: Some(cfg.breaker.clone()),
+                ..RecoveryPolicy::standard()
+            },
+            TraceHandle::from(log.clone()),
+        );
+        let backend = TcpBackend::new(cfg.deadline, cfg.retry.clone());
+        RemoteMirror {
+            shared: Arc::new(MirrorShared {
+                cfg,
+                wake,
+                backend,
+                routes: RouteTable::new(),
+                host,
+                server: Mutex::new(None),
+                _inbox: rx,
+                seq: AtomicU64::new(0),
+                mirrored: AtomicU64::new(0),
+                failed: AtomicU64::new(0),
+                coalesced: AtomicU64::new(0),
+                probes_ok: AtomicU64::new(0),
+                probes_failed: AtomicU64::new(0),
+                probe_world: Mutex::new(probe_world()),
+                recovery: Mutex::new(recovery),
+                log,
+            }),
+        }
+    }
+
+    /// The mirror as a trace sink (share of the same state).
+    pub fn sink(&self) -> Arc<dyn TraceSink> {
+        Arc::new(MirrorSink(Arc::clone(&self.shared)))
+    }
+
+    /// Tee an existing handle through the mirror: the primary sink (if
+    /// any) stays **first**, so its record stream is byte-identical to
+    /// an un-teed run; the mirror observes a copy.
+    pub fn tee(&self, primary: TraceHandle) -> TraceHandle {
+        match primary.sink() {
+            Some(sink) => TraceHandle::new(
+                Arc::new(TeeSink::new(vec![sink, self.sink()])) as Arc<dyn TraceSink>
+            ),
+            None => TraceHandle::new(self.sink()),
+        }
+    }
+
+    /// Wake the node now (idempotent; coalesces with racing emissions).
+    pub fn ensure_awake(&self) -> WakeOutcome {
+        let tick = self.shared.seq.load(Ordering::SeqCst);
+        self.shared
+            .wake
+            .ensure_running(MIRROR_SERVICE, tick, self.shared.cfg.wake_wait, || {
+                self.shared.wake_service()
+            })
+    }
+
+    /// Reap the service unconditionally: shuts the node server down and
+    /// unroutes it.  Returns whether it was running.  The next emission
+    /// re-wakes it on a fresh endpoint — which is also how a scripted
+    /// network partition of the mirror node is staged in tests.
+    pub fn sleep_now(&self) -> bool {
+        let tick = self.shared.seq.load(Ordering::SeqCst);
+        !self
+            .shared
+            .wake
+            .reap_idle(tick, 0, |_| self.shared.sleep_service())
+            .is_empty()
+    }
+
+    /// The node's current TCP endpoint, if it is awake.
+    pub fn endpoint(&self) -> Option<String> {
+        self.shared
+            .routes
+            .resolve(MIRROR_SERVICE)
+            .map(|r| r.endpoint)
+    }
+
+    /// Actual wakes performed so far.
+    pub fn wake_count(&self) -> u64 {
+        self.shared.wake.wake_count(MIRROR_SERVICE)
+    }
+
+    /// Events delivered and acked so far.
+    pub fn mirrored(&self) -> u64 {
+        self.shared.mirrored.load(Ordering::SeqCst)
+    }
+
+    /// Run `n` health probes: each pings the node, feeds the breaker
+    /// (via the probe world and [`MonitoringService::feed_recovery`])
+    /// and advances breaker time one tick.  Returns `(ok, failed)` for
+    /// this batch.
+    pub fn probe(&self, n: u64) -> (u64, u64) {
+        let mut ok = 0;
+        let mut failed = 0;
+        for _ in 0..n {
+            if self.shared.probe_once() {
+                ok += 1;
+            } else {
+                failed += 1;
+            }
+        }
+        (ok, failed)
+    }
+
+    /// Is the probe breaker currently admitting the mirror container?
+    pub fn node_admitted(&self) -> bool {
+        self.shared.recovery.lock().is_admitted(MIRROR_CONTAINER)
+    }
+
+    /// Emit a mirror-plane event (e.g. a scripted
+    /// [`TraceEvent::PartitionStarted`]) into the mirror's own log, so
+    /// partition/breaker happens-before can be asserted on one stream.
+    pub fn note(&self, event: TraceEvent) {
+        self.shared.log.emit("mirror", event);
+    }
+
+    /// The mirror plane's own event log (wake/sleep/breaker events).
+    pub fn mirror_log(&self) -> TraceLog {
+        self.shared.log.clone()
+    }
+
+    /// Finish the run: run the configured health probes, reap the
+    /// service if idle past the configured timeout, shut everything
+    /// down, and summarize.
+    pub fn finish(self) -> RemoteReport {
+        if self.shared.cfg.probes > 0 && self.endpoint().is_some() {
+            self.probe(self.shared.cfg.probes);
+        }
+        let tick = self.shared.seq.load(Ordering::SeqCst);
+        let slept = !self
+            .shared
+            .wake
+            .reap_idle(tick, self.shared.cfg.idle_timeout, |_| {})
+            .is_empty();
+        let endpoint = self.endpoint();
+        // The route survives the reap so the report can name the
+        // endpoint; the server itself shuts down here.
+        self.shared.sleep_service();
+        RemoteReport {
+            endpoint,
+            mirrored: self.shared.mirrored.load(Ordering::SeqCst),
+            failed: self.shared.failed.load(Ordering::SeqCst),
+            wakes: self.shared.wake.wake_count(MIRROR_SERVICE),
+            coalesced: self.shared.coalesced.load(Ordering::SeqCst),
+            probes_ok: self.shared.probes_ok.load(Ordering::SeqCst),
+            probes_failed: self.shared.probes_failed.load(Ordering::SeqCst),
+            slept,
+            mirror_log: self.shared.log.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> TcpMirrorConfig {
+        TcpMirrorConfig {
+            deadline: Duration::from_millis(500),
+            probes: 0,
+            ..TcpMirrorConfig::default()
+        }
+    }
+
+    fn evt(i: u64) -> TraceEvent {
+        TraceEvent::MessageSent {
+            id: i,
+            performative: "inform".into(),
+            sender: "a".into(),
+            receiver: "b".into(),
+            in_reply_to: None,
+        }
+    }
+
+    #[test]
+    fn first_emission_wakes_the_cold_node_and_delivers() {
+        let mirror = RemoteMirror::new(quick_cfg());
+        assert!(mirror.endpoint().is_none(), "node starts cold");
+        let sink = mirror.sink();
+        sink.emit("t", evt(1));
+        sink.emit("t", evt(2));
+        assert_eq!(mirror.wake_count(), 1);
+        assert_eq!(mirror.mirrored(), 2);
+        assert!(mirror.endpoint().is_some());
+        let labels: Vec<_> = mirror
+            .mirror_log()
+            .records()
+            .iter()
+            .map(|r| r.event.label())
+            .collect();
+        assert_eq!(labels, vec!["wake.woken"]);
+        let report = mirror.finish();
+        assert_eq!(report.failed, 0);
+        assert!(report.slept, "idle_timeout 0 reaps at finish");
+    }
+
+    #[test]
+    fn sleep_and_re_wake_move_to_a_fresh_endpoint() {
+        let mirror = RemoteMirror::new(quick_cfg());
+        mirror.sink().emit("t", evt(1));
+        let first = mirror.endpoint().expect("awake");
+        assert!(mirror.sleep_now());
+        assert!(mirror.endpoint().is_none(), "sleep unroutes the node");
+        mirror.sink().emit("t", evt(2));
+        let second = mirror.endpoint().expect("re-awake");
+        assert_ne!(first, second, "re-wake binds a fresh port");
+        assert_eq!(mirror.wake_count(), 2);
+        assert_eq!(mirror.mirrored(), 2);
+    }
+
+    #[test]
+    fn probes_feed_the_breaker_down_and_back_up() {
+        let mirror = RemoteMirror::new(quick_cfg());
+        assert_eq!(mirror.ensure_awake(), WakeOutcome::Woke);
+        let (ok, failed) = mirror.probe(2);
+        assert_eq!((ok, failed), (2, 0));
+        assert!(mirror.node_admitted());
+        // Outage: the node dies; probes fail until the breaker opens.
+        mirror.sleep_now();
+        mirror.probe(2);
+        assert!(!mirror.node_admitted(), "two failures open the breaker");
+        // Heal: re-wake, wait out the cooldown, and the half-open trial
+        // probe readmits the node.
+        mirror.ensure_awake();
+        mirror.probe(4);
+        assert!(mirror.node_admitted(), "healed node is readmitted");
+        let labels: Vec<_> = mirror
+            .mirror_log()
+            .records()
+            .iter()
+            .map(|r| r.event.label().to_string())
+            .collect();
+        assert!(labels.iter().any(|l| l == "breaker.opened"), "{labels:?}");
+        assert!(labels.iter().any(|l| l == "breaker.closed"), "{labels:?}");
+    }
+
+    #[test]
+    fn tee_keeps_the_primary_stream_first_and_intact() {
+        let primary = TraceLog::new();
+        let mirror = RemoteMirror::new(quick_cfg());
+        let teed = mirror.tee(TraceHandle::from(primary.clone()));
+        teed.emit("t", evt(1));
+        teed.emit("t", evt(2));
+        let seqs: Vec<u64> = primary.records().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1], "primary sequencing untouched");
+        assert_eq!(mirror.mirrored(), 2);
+        // Teeing an empty handle still feeds the mirror.
+        let solo = mirror.tee(TraceHandle::none());
+        solo.emit("t", evt(3));
+        assert_eq!(mirror.mirrored(), 3);
+    }
+}

@@ -21,6 +21,13 @@ struct Inner {
     rng: ChaCha8Rng,
     /// Delayed messages, tagged with their release tick.
     held: Vec<(u64, AclMessage)>,
+    /// Reordered messages awaiting their swap partner: released
+    /// immediately *after* the next intercepted message.
+    swap: Vec<AclMessage>,
+    /// Per-partition boundary progress, parallel to `plan.partitions`:
+    /// 0 = pending, 1 = `transport.partitioned` emitted, 2 =
+    /// `transport.healed` emitted (or window skipped entirely).
+    partition_phase: Vec<u8>,
     schedule: FaultSchedule,
 }
 
@@ -36,6 +43,7 @@ impl FaultyTransport {
     /// A transport unfolding `plan`'s message faults, ticking `clock`.
     pub fn new(plan: FaultPlan, clock: VirtualClock) -> Self {
         let rng = ChaCha8Rng::seed_from_u64(plan.seed);
+        let partition_phase = vec![0u8; plan.partitions.len()];
         FaultyTransport {
             plan,
             clock,
@@ -43,6 +51,8 @@ impl FaultyTransport {
             inner: Mutex::new(Inner {
                 rng,
                 held: Vec::new(),
+                swap: Vec::new(),
+                partition_phase,
                 schedule: Vec::new(),
             }),
         }
@@ -76,11 +86,59 @@ impl FaultyTransport {
         self.inner.lock().held.len()
     }
 
+    /// Number of reordered messages still awaiting their swap partner.
+    pub fn swap_count(&self) -> usize {
+        self.inner.lock().swap.len()
+    }
+
     fn immune(&self, msg: &AclMessage) -> bool {
         self.plan
             .immune_agents
             .iter()
             .any(|a| *a == msg.sender || *a == msg.receiver)
+    }
+
+    /// Emit `transport.partitioned` / `transport.healed` for every
+    /// scheduled partition whose boundary `tick` has crossed since the
+    /// last intercept.  A window the tick stream jumped over entirely
+    /// is skipped silently (no message could have crossed it).
+    fn note_partition_boundaries(&self, inner: &mut Inner, tick: u64) {
+        for (i, p) in self.plan.partitions.iter().enumerate() {
+            let phase = &mut inner.partition_phase[i];
+            if *phase == 0 && tick >= p.heal_tick {
+                *phase = 2;
+                continue;
+            }
+            if *phase == 0 && tick >= p.from_tick {
+                *phase = 1;
+                self.trace.emit(
+                    "transport",
+                    TraceEvent::PartitionStarted {
+                        a: p.a.clone(),
+                        b: p.b.clone(),
+                        heal_tick: p.heal_tick,
+                    },
+                );
+            }
+            if *phase == 1 && tick >= p.heal_tick {
+                *phase = 2;
+                self.trace.emit(
+                    "transport",
+                    TraceEvent::PartitionHealed {
+                        a: p.a.clone(),
+                        b: p.b.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Does an active partition sever this message at `tick`?
+    fn partitioned(&self, msg: &AclMessage, tick: u64) -> bool {
+        self.plan
+            .partitions
+            .iter()
+            .any(|p| p.active_at(tick) && p.severs(&msg.sender, &msg.receiver))
     }
 }
 
@@ -88,6 +146,7 @@ impl Transport for FaultyTransport {
     fn intercept(&self, msg: AclMessage) -> Vec<AclMessage> {
         let mut inner = self.inner.lock();
         let tick = self.clock.tick();
+        self.note_partition_boundaries(&mut inner, tick);
 
         // Release any held messages whose time has come, in insertion
         // order (stable for equal ticks), *before* the current message:
@@ -111,23 +170,47 @@ impl Transport for FaultyTransport {
         }
         inner.held = still_held;
 
-        let action = if self.immune(&msg) || !self.plan.perturbs_messages() {
+        // Reordered messages swap with *this* message: it goes first,
+        // they follow right behind it (appended at the end, below).
+        let swapped: Vec<AclMessage> = inner.swap.drain(..).collect();
+
+        let action = if self.immune(&msg) {
             FaultAction::Deliver
         } else {
-            // One draw per message keeps the decision stream aligned
-            // with the intercept sequence regardless of which fault
-            // kinds are enabled.
-            let r: f64 = inner.rng.gen_range(0.0..1.0);
-            if r < self.plan.drop_prob {
-                FaultAction::Drop
-            } else if r < self.plan.drop_prob + self.plan.duplicate_prob {
-                FaultAction::Duplicate
-            } else if r < self.plan.drop_prob + self.plan.duplicate_prob + self.plan.delay_prob {
-                FaultAction::Delay {
-                    until_tick: tick + self.plan.delay_ticks.max(1),
+            // One draw per non-immune message (when any probabilistic
+            // chaos is on) keeps the decision stream aligned with the
+            // intercept sequence regardless of which fault kinds are
+            // enabled.
+            let drawn = if self.plan.perturbs_messages() {
+                let r: f64 = inner.rng.gen_range(0.0..1.0);
+                let drop_to = self.plan.drop_prob;
+                let dup_to = drop_to + self.plan.duplicate_prob;
+                let delay_to = dup_to + self.plan.delay_prob;
+                let reorder_to = delay_to + self.plan.reorder_prob;
+                if r < drop_to {
+                    FaultAction::Drop
+                } else if r < dup_to {
+                    FaultAction::Duplicate
+                } else if r < delay_to {
+                    FaultAction::Delay {
+                        until_tick: tick + self.plan.delay_ticks.max(1),
+                    }
+                } else if r < reorder_to {
+                    FaultAction::Reorder
+                } else {
+                    FaultAction::Deliver
                 }
             } else {
                 FaultAction::Deliver
+            };
+            // A scheduled cut overrides whatever chance decided, but
+            // the draw above was still consumed — so every *surviving*
+            // message's fate is exactly what it would be without the
+            // partition.
+            if self.partitioned(&msg, tick) {
+                FaultAction::Partitioned
+            } else {
+                drawn
             }
         };
 
@@ -166,24 +249,42 @@ impl Transport for FaultyTransport {
                         until_tick: *until_tick,
                     },
                 ),
+                FaultAction::Reorder => self.trace.emit(
+                    "transport",
+                    TraceEvent::MessageReordered {
+                        id: msg.id,
+                        sender: msg.sender.clone(),
+                        receiver: msg.receiver.clone(),
+                    },
+                ),
+                // The partition boundary events tell the story; a
+                // per-message drop event would trip the drops-resolved
+                // discipline for what is really scheduled downtime.
+                FaultAction::Partitioned => {}
             }
         }
 
         match action {
             FaultAction::Deliver => out.push(msg),
-            FaultAction::Drop => {}
+            FaultAction::Drop | FaultAction::Partitioned => {}
             FaultAction::Duplicate => {
                 out.push(msg.clone());
                 out.push(msg);
             }
             FaultAction::Delay { until_tick } => inner.held.push((until_tick, msg)),
+            FaultAction::Reorder => inner.swap.push(msg),
         }
+        // Swap partners arrive right after the message that overtook
+        // them.
+        out.extend(swapped);
         out
     }
 
     fn drain(&self) -> Vec<AclMessage> {
         let mut inner = self.inner.lock();
-        inner.held.drain(..).map(|(_, m)| m).collect()
+        let mut left: Vec<AclMessage> = inner.held.drain(..).map(|(_, m)| m).collect();
+        left.append(&mut inner.swap);
+        left
     }
 }
 
@@ -322,6 +423,94 @@ mod tests {
                 assert!(delayed_ids.contains(id));
             }
         }
+    }
+
+    #[test]
+    fn reorders_swap_but_conserve_messages() {
+        let (schedule, delivered) = run_sequence(FaultPlan::seeded(21).reordering(0.4), 40);
+        assert_eq!(delivered.len(), 40);
+        let sent: Vec<serde_json::Value> = (0..40).map(|i| json!(i)).collect();
+        assert_ne!(delivered, sent, "reorders must change arrival order");
+        let mut sorted = delivered.clone();
+        sorted.sort_by_key(|v| v.as_i64().unwrap());
+        assert_eq!(sorted, sent, "reorders must not lose or invent messages");
+        assert!(schedule.iter().any(|e| e.action == FaultAction::Reorder));
+    }
+
+    #[test]
+    fn reorder_swaps_with_the_next_message() {
+        // Force a reorder on the first message, let the second pass
+        // untouched (immune sender): the swap comes out of the second
+        // intercept, successor first.
+        let plan = FaultPlan::seeded(0).reordering(1.0).immunizing("carol");
+        let t = FaultyTransport::new(plan, VirtualClock::new());
+        let m0 = AclMessage::new(Performative::Inform, "alice", "bob", "t", json!(0));
+        let m1 = AclMessage::new(Performative::Inform, "carol", "bob", "t", json!(1));
+        assert!(t.intercept(m0).is_empty(), "reordered message is held");
+        assert_eq!(t.swap_count(), 1);
+        let out: Vec<_> = t.intercept(m1).into_iter().map(|m| m.content).collect();
+        assert_eq!(
+            out,
+            vec![json!(1), json!(0)],
+            "adjacent swap: successor first"
+        );
+        assert_eq!(t.swap_count(), 0);
+    }
+
+    #[test]
+    fn partition_window_cuts_crossing_traffic_and_emits_boundaries() {
+        use gridflow_telemetry::TraceLog;
+        let log = TraceLog::new();
+        let plan = FaultPlan::seeded(0).partitioning("alice", "bob", 2, 5);
+        let t = FaultyTransport::new(plan, VirtualClock::new()).with_trace(Arc::new(log.clone()));
+        let mut delivered = Vec::new();
+        for i in 0..8 {
+            for m in t.intercept(msg(i)) {
+                delivered.push(m.content);
+            }
+        }
+        let expected: Vec<serde_json::Value> = [0, 1, 5, 6, 7].iter().map(|i| json!(*i)).collect();
+        assert_eq!(delivered, expected, "ticks 2..5 are cut");
+        for e in t.schedule() {
+            if (2..5).contains(&e.tick) {
+                assert_eq!(e.action, FaultAction::Partitioned);
+            } else {
+                assert_eq!(e.action, FaultAction::Deliver);
+            }
+        }
+        let labels: Vec<&str> = log
+            .records()
+            .iter()
+            .map(|r| r.event.label())
+            .filter(|l| l.starts_with("transport."))
+            .collect();
+        assert_eq!(labels, vec!["transport.partitioned", "transport.healed"]);
+    }
+
+    #[test]
+    fn partitions_do_not_shift_the_chaos_stream() {
+        // Same seed, same chaos — the partitioned run must make the
+        // same drop/duplicate/delay calls for every message outside the
+        // window, because crossing messages still consume their draw.
+        let base = FaultPlan::seeded(13).dropping(0.2).duplicating(0.2);
+        let (s1, _) = run_sequence(base.clone(), 60);
+        let (s2, _) = run_sequence(base.partitioning("alice", "bob", 10, 25), 60);
+        assert_eq!(s1.len(), s2.len());
+        for (e1, e2) in s1.iter().zip(&s2) {
+            if (10..25).contains(&e2.tick) {
+                assert_eq!(e2.action, FaultAction::Partitioned);
+            } else {
+                assert_eq!(e1, e2, "outside the window the decisions are identical");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_spares_other_pairs() {
+        let plan = FaultPlan::seeded(0).partitioning("alice", "carol", 0, 100);
+        let (schedule, delivered) = run_sequence(plan, 10);
+        assert_eq!(delivered.len(), 10, "alice→bob traffic is unaffected");
+        assert!(schedule.iter().all(|e| e.action == FaultAction::Deliver));
     }
 
     #[test]

@@ -10,14 +10,26 @@ use proptest::prelude::*;
 use serde_json::json;
 
 fn fault_plan() -> impl Strategy<Value = FaultPlan> {
-    (any::<u64>(), 0.0f64..0.4, 0.0f64..0.4, 0.0f64..0.4, 1u64..6).prop_map(
-        |(seed, drop, dup, delay, ticks)| {
-            FaultPlan::seeded(seed)
+    (
+        any::<u64>(),
+        0.0f64..0.4,
+        0.0f64..0.3,
+        0.0f64..0.3,
+        1u64..6,
+        0.0f64..0.3,
+        prop::option::of((0u64..40, 1u64..40)),
+    )
+        .prop_map(|(seed, drop, dup, delay, ticks, reorder, cut)| {
+            let plan = FaultPlan::seeded(seed)
                 .dropping(drop)
                 .duplicating(dup)
                 .delaying(delay, ticks)
-        },
-    )
+                .reordering(reorder);
+            match cut {
+                Some((from, len)) => plan.partitioning("a", "b", from, from + len),
+                None => plan,
+            }
+        })
 }
 
 fn drive(plan: &FaultPlan, n: usize) -> (FaultyTransport, Vec<AclMessage>) {
@@ -44,12 +56,13 @@ proptest! {
         for e in &schedule {
             match e.action {
                 FaultAction::Deliver => expected += 1,
-                FaultAction::Drop => {}
+                FaultAction::Drop | FaultAction::Partitioned => {}
                 FaultAction::Duplicate => expected += 2,
                 FaultAction::Delay { .. } => expected += 1, // held or released
+                FaultAction::Reorder => expected += 1,      // swapped or drained
             }
         }
-        prop_assert_eq!(delivered.len() + t.held_count(), expected);
+        prop_assert_eq!(delivered.len() + t.held_count() + t.swap_count(), expected);
         // Draining releases exactly the held remainder.
         prop_assert_eq!(t.drain().len() + delivered.len(), expected);
     }

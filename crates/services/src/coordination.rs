@@ -64,6 +64,15 @@ pub struct EnactmentConfig {
     /// reproduces the legacy one-shot candidate loop (and its traces)
     /// exactly.
     pub recovery: RecoveryPolicy,
+    /// Minimum recovery ticks between monitoring probes feeding the
+    /// circuit breakers.  `None` (the default) probes before every
+    /// recovery-enabled dispatch — the legacy cadence, byte-identical
+    /// to pre-interval traces; `Some(n)` skips probes until `n` ticks
+    /// have elapsed since the last one.  Omitted from serialized
+    /// checkpoints when `None`, so legacy checkpoint bytes are
+    /// unchanged.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub probe_interval: Option<u64>,
 }
 
 impl Default for EnactmentConfig {
@@ -82,6 +91,7 @@ impl Default for EnactmentConfig {
             wrap_replans_with_constraint: None,
             checkpoint_every: None,
             recovery: RecoveryPolicy::disabled(),
+            probe_interval: None,
         }
     }
 }
@@ -536,6 +546,12 @@ pub struct CaseFiber {
     /// Set while the fiber is blocked on capacity: the dispatch to
     /// re-try without re-deriving it (see [`PendingDispatch`]).
     pending: Option<PendingDispatch>,
+    /// Recovery tick of the last monitoring probe, when
+    /// [`EnactmentConfig::probe_interval`] throttles probing.  Not
+    /// persisted in [`FiberImage`]: a restored fiber probes on its
+    /// first opportunity, which is also the legacy behavior when the
+    /// interval is unset.
+    last_probe_tick: Option<u64>,
 }
 
 impl std::fmt::Debug for CaseFiber {
@@ -645,6 +661,7 @@ impl CaseFiber {
             since_checkpoint: 0,
             done: false,
             pending: None,
+            last_probe_tick: None,
         }
     }
 
@@ -724,6 +741,7 @@ impl CaseFiber {
                 generation: p.generation,
                 taken: p.taken,
             }),
+            last_probe_tick: None,
         }
     }
 
@@ -837,9 +855,7 @@ impl CaseFiber {
 
         // Monitoring feedback: let live probes open/half-open the
         // circuit breakers before matchmaking sees the candidates.
-        if self.recovery.enabled() {
-            MonitoringService.feed_recovery(world, &mut self.recovery);
-        }
+        self.monitor_probe(world);
 
         match self.run_activity(world, &service, &activity_id) {
             Ok(ActivityOutcome::Blocked { taken }) => {
@@ -851,6 +867,29 @@ impl CaseFiber {
             }
             Err(_) => self.escalate_replan(world, &activity_id, &service),
         }
+    }
+
+    /// The single monitoring-feedback point both dispatch paths share:
+    /// run [`MonitoringService::feed_recovery`] so live probes
+    /// open/half-open the circuit breakers before matchmaking sees the
+    /// candidates.  No-op while recovery is disabled.  With
+    /// [`EnactmentConfig::probe_interval`] set, probes are throttled to
+    /// at most one per `n` recovery ticks; unset (the default) probes
+    /// on every opportunity, the legacy cadence.
+    fn monitor_probe(&mut self, world: &mut GridWorld) {
+        if !self.recovery.enabled() {
+            return;
+        }
+        if let Some(interval) = self.config.probe_interval {
+            let now = self.recovery.now_tick();
+            if let Some(last) = self.last_probe_tick {
+                if now.saturating_sub(last) < interval {
+                    return;
+                }
+            }
+            self.last_probe_tick = Some(now);
+        }
+        MonitoringService.feed_recovery(world, &mut self.recovery);
     }
 
     /// Resume a fiber whose previous step reported
@@ -890,9 +929,7 @@ impl CaseFiber {
         } = pending;
         // Monitoring feedback, exactly as the full path runs it before
         // matchmaking sees the candidates.
-        if self.recovery.enabled() {
-            MonitoringService.feed_recovery(world, &mut self.recovery);
-        }
+        self.monitor_probe(world);
         match self.run_activity(world, &service, &activity_id) {
             Ok(ActivityOutcome::Blocked { taken }) => {
                 // The snapshot is already in place from the step that

@@ -37,6 +37,7 @@ pub mod scheduling;
 pub mod simulation;
 pub mod storage;
 pub mod tracker;
+pub mod wake;
 pub mod world;
 
 pub use coordination::{
@@ -44,6 +45,7 @@ pub use coordination::{
     FiberImage, FiberStatus, PendingImage,
 };
 pub use error::{Result, ServiceError};
+pub use wake::{ServiceState, WakeCoordinator, WakeOutcome};
 pub use world::{
     ContainerImage, ExecutionRecord, GridWorld, OutputSpec, ServiceOffering, SharedWorld,
     WorldImage,

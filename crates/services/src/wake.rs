@@ -1,0 +1,330 @@
+//! On-demand wake of cold Application Containers.
+//!
+//! The paper's coordinator keeps rarely-used services asleep and wakes
+//! them when a request arrives.  [`WakeCoordinator`] implements the
+//! standard shape of that mechanism: per-service Cold → Waking →
+//! Running state, **coalescing** of concurrent wake requests (the first
+//! caller performs the wake, everyone else subscribes to its completion
+//! broadcast — N concurrent requests to a cold service perform exactly
+//! one wake), and an idle-timeout reaper that puts unused services back
+//! to sleep.
+//!
+//! Wakes and sleeps surface as `wake.woken` / `wake.slept` trace
+//! events when a sink is installed.
+
+use crossbeam_channel::{bounded, Sender};
+use gridflow_telemetry::{TraceEvent, TraceSink, TraceSlot};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Observable lifecycle state of one service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceState {
+    /// Asleep: the next request must wake it.
+    Cold,
+    /// A wake is in flight; new requests coalesce onto it.
+    Waking,
+    /// Awake and serving.
+    Running,
+}
+
+/// How a caller's `ensure_running` resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WakeOutcome {
+    /// The service was already running; nothing to do.
+    AlreadyRunning,
+    /// This caller performed the wake.
+    Woke,
+    /// Another caller's in-flight wake was awaited and succeeded.
+    Coalesced,
+    /// The wake (own or awaited) failed with this reason.
+    Failed(String),
+}
+
+#[derive(Debug, Default)]
+struct Entry {
+    state: Option<ServiceState>,
+    waiters: Vec<Sender<Result<(), String>>>,
+    wakes: u64,
+    last_used_tick: u64,
+}
+
+impl Entry {
+    fn state(&self) -> ServiceState {
+        self.state.unwrap_or(ServiceState::Cold)
+    }
+}
+
+/// Tracks per-service wake state; clones share it.
+#[derive(Debug, Default, Clone)]
+pub struct WakeCoordinator {
+    inner: Arc<Mutex<BTreeMap<String, Entry>>>,
+    trace: TraceSlot,
+}
+
+impl WakeCoordinator {
+    /// A coordinator with every service cold.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a trace sink observing `wake.woken` / `wake.slept`.
+    pub fn set_trace_sink(&self, sink: Arc<dyn TraceSink>) {
+        self.trace.set(sink);
+    }
+
+    /// The current state of a service (never-seen services are cold).
+    pub fn state(&self, service: &str) -> ServiceState {
+        self.inner
+            .lock()
+            .get(service)
+            .map(Entry::state)
+            .unwrap_or(ServiceState::Cold)
+    }
+
+    /// How many actual wakes this service has undergone — the number
+    /// every coalescing proof checks.
+    pub fn wake_count(&self, service: &str) -> u64 {
+        self.inner.lock().get(service).map(|e| e.wakes).unwrap_or(0)
+    }
+
+    /// Record that the service handled traffic at `tick`, deferring its
+    /// idle sleep.
+    pub fn note_used(&self, service: &str, tick: u64) {
+        let mut map = self.inner.lock();
+        let entry = map.entry(service.to_string()).or_default();
+        entry.last_used_tick = entry.last_used_tick.max(tick);
+    }
+
+    /// Ensure the service is running, waking it if cold.
+    ///
+    /// * Running → returns immediately ([`WakeOutcome::AlreadyRunning`]).
+    /// * Cold → this caller transitions it to Waking, runs `wake`, then
+    ///   broadcasts the result to every caller that arrived meanwhile.
+    /// * Waking → blocks (up to `wait`) on the in-flight wake's
+    ///   broadcast instead of waking again ([`WakeOutcome::Coalesced`]).
+    ///
+    /// `tick` stamps last-use for the idle reaper.
+    pub fn ensure_running(
+        &self,
+        service: &str,
+        tick: u64,
+        wait: Duration,
+        wake: impl FnOnce() -> Result<(), String>,
+    ) -> WakeOutcome {
+        let waiter = {
+            let mut map = self.inner.lock();
+            let entry = map.entry(service.to_string()).or_default();
+            entry.last_used_tick = entry.last_used_tick.max(tick);
+            match entry.state() {
+                ServiceState::Running => return WakeOutcome::AlreadyRunning,
+                ServiceState::Waking => {
+                    let (tx, rx) = bounded(1);
+                    entry.waiters.push(tx);
+                    Some(rx)
+                }
+                ServiceState::Cold => {
+                    entry.state = Some(ServiceState::Waking);
+                    None
+                }
+            }
+        };
+
+        if let Some(rx) = waiter {
+            return match rx.recv_timeout(wait) {
+                Ok(Ok(())) => WakeOutcome::Coalesced,
+                Ok(Err(reason)) => WakeOutcome::Failed(reason),
+                Err(_) => WakeOutcome::Failed("timed out awaiting in-flight wake".into()),
+            };
+        }
+
+        // This caller owns the wake; run it outside the lock so
+        // concurrent requests can subscribe.
+        let result = wake();
+        let (waiters, woken) = {
+            let mut map = self.inner.lock();
+            let entry = map.entry(service.to_string()).or_default();
+            let waiters = std::mem::take(&mut entry.waiters);
+            match &result {
+                Ok(()) => {
+                    entry.state = Some(ServiceState::Running);
+                    entry.wakes += 1;
+                    (waiters, true)
+                }
+                Err(_) => {
+                    entry.state = Some(ServiceState::Cold);
+                    (waiters, false)
+                }
+            }
+        };
+        if woken {
+            self.trace.emit(
+                "wake",
+                TraceEvent::ServiceWoken {
+                    service: service.to_string(),
+                    waiters: waiters.len(),
+                },
+            );
+        }
+        for tx in waiters {
+            let _ = tx.send(result.clone());
+        }
+        match result {
+            Ok(()) => WakeOutcome::Woke,
+            Err(reason) => WakeOutcome::Failed(reason),
+        }
+    }
+
+    /// Put every running service that has been idle for at least
+    /// `idle_timeout` ticks back to sleep, invoking `sleep` for each
+    /// (e.g. to stop its container) and emitting `wake.slept`.
+    /// Returns the services slept, in name order.
+    pub fn reap_idle(
+        &self,
+        now_tick: u64,
+        idle_timeout: u64,
+        mut sleep: impl FnMut(&str),
+    ) -> Vec<String> {
+        let mut slept = Vec::new();
+        {
+            let mut map = self.inner.lock();
+            for (service, entry) in map.iter_mut() {
+                if entry.state() == ServiceState::Running {
+                    let idle = now_tick.saturating_sub(entry.last_used_tick);
+                    if idle >= idle_timeout {
+                        entry.state = Some(ServiceState::Cold);
+                        slept.push((service.clone(), idle));
+                    }
+                }
+            }
+        }
+        for (service, idle) in &slept {
+            sleep(service);
+            self.trace.emit(
+                "wake",
+                TraceEvent::ServiceSlept {
+                    service: service.clone(),
+                    idle_ticks: *idle,
+                },
+            );
+        }
+        slept.into_iter().map(|(s, _)| s).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::thread;
+
+    const WAIT: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn cold_service_wakes_once_then_runs() {
+        let wc = WakeCoordinator::new();
+        assert_eq!(wc.state("planning"), ServiceState::Cold);
+        let out = wc.ensure_running("planning", 0, WAIT, || Ok(()));
+        assert_eq!(out, WakeOutcome::Woke);
+        assert_eq!(wc.state("planning"), ServiceState::Running);
+        assert_eq!(wc.wake_count("planning"), 1);
+        let out = wc.ensure_running("planning", 1, WAIT, || panic!("must not re-wake"));
+        assert_eq!(out, WakeOutcome::AlreadyRunning);
+        assert_eq!(wc.wake_count("planning"), 1);
+    }
+
+    #[test]
+    fn concurrent_requests_coalesce_into_one_wake() {
+        let wc = WakeCoordinator::new();
+        let wakes = Arc::new(AtomicU64::new(0));
+        let (release_tx, release_rx) = bounded::<()>(0);
+        let (entered_tx, entered_rx) = bounded::<()>(1);
+
+        // First caller holds the wake open until released.
+        let leader = {
+            let wc = wc.clone();
+            let wakes = Arc::clone(&wakes);
+            thread::spawn(move || {
+                wc.ensure_running("ac-1", 0, WAIT, move || {
+                    entered_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                    wakes.fetch_add(1, Ordering::SeqCst);
+                    Ok(())
+                })
+            })
+        };
+        entered_rx.recv_timeout(WAIT).unwrap();
+
+        // N concurrent callers arrive while the wake is in flight.
+        let followers: Vec<_> = (0..8)
+            .map(|_| {
+                let wc = wc.clone();
+                let wakes = Arc::clone(&wakes);
+                thread::spawn(move || {
+                    wc.ensure_running("ac-1", 0, WAIT, move || {
+                        wakes.fetch_add(1, Ordering::SeqCst);
+                        Ok(())
+                    })
+                })
+            })
+            .collect();
+        // Give followers time to park on the broadcast, then release.
+        thread::sleep(Duration::from_millis(50));
+        release_tx.send(()).unwrap();
+
+        assert_eq!(leader.join().unwrap(), WakeOutcome::Woke);
+        for f in followers {
+            assert_eq!(f.join().unwrap(), WakeOutcome::Coalesced);
+        }
+        assert_eq!(wakes.load(Ordering::SeqCst), 1, "exactly one wake ran");
+        assert_eq!(wc.wake_count("ac-1"), 1);
+    }
+
+    #[test]
+    fn failed_wake_returns_to_cold_and_reports_waiters() {
+        let wc = WakeCoordinator::new();
+        let out = wc.ensure_running("ac-2", 0, WAIT, || Err("no capacity".into()));
+        assert_eq!(out, WakeOutcome::Failed("no capacity".into()));
+        assert_eq!(wc.state("ac-2"), ServiceState::Cold);
+        assert_eq!(wc.wake_count("ac-2"), 0);
+        // A later attempt may succeed.
+        assert_eq!(
+            wc.ensure_running("ac-2", 1, WAIT, || Ok(())),
+            WakeOutcome::Woke
+        );
+    }
+
+    #[test]
+    fn idle_reaper_sleeps_only_stale_services() {
+        let wc = WakeCoordinator::new();
+        wc.ensure_running("busy", 0, WAIT, || Ok(()));
+        wc.ensure_running("stale", 0, WAIT, || Ok(()));
+        wc.note_used("busy", 90);
+        let mut slept_calls = Vec::new();
+        let slept = wc.reap_idle(100, 50, |s| slept_calls.push(s.to_string()));
+        assert_eq!(slept, vec!["stale".to_string()]);
+        assert_eq!(slept_calls, vec!["stale".to_string()]);
+        assert_eq!(wc.state("stale"), ServiceState::Cold);
+        assert_eq!(wc.state("busy"), ServiceState::Running);
+        // A re-wake after sleep counts again.
+        assert_eq!(
+            wc.ensure_running("stale", 101, WAIT, || Ok(())),
+            WakeOutcome::Woke
+        );
+        assert_eq!(wc.wake_count("stale"), 2);
+    }
+
+    #[test]
+    fn wake_and_sleep_emit_trace_events() {
+        use gridflow_telemetry::TraceLog;
+        let wc = WakeCoordinator::new();
+        let log = TraceLog::new();
+        wc.set_trace_sink(Arc::new(log.clone()));
+        wc.ensure_running("svc", 0, WAIT, || Ok(()));
+        wc.reap_idle(100, 10, |_| {});
+        let labels: Vec<_> = log.records().iter().map(|r| r.event.label()).collect();
+        assert_eq!(labels, vec!["wake.woken", "wake.slept"]);
+    }
+}

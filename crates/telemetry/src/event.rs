@@ -473,6 +473,54 @@ pub enum TraceEvent {
         /// The released container.
         container: String,
     },
+
+    // ------------------------------------------ transport substrate
+    /// The chaos middleware held a message back so its successor would
+    /// overtake it (an explicit swap, distinct from a tick delay).
+    MessageReordered {
+        /// Message id.
+        id: u64,
+        /// Sending agent.
+        sender: String,
+        /// Receiving agent.
+        receiver: String,
+    },
+    /// A scheduled network partition opened between two endpoints:
+    /// traffic crossing the pair is dropped until the heal.
+    PartitionStarted {
+        /// One side of the partitioned pair.
+        a: String,
+        /// The other side.
+        b: String,
+        /// Tick at which the partition is scheduled to heal.
+        heal_tick: u64,
+    },
+    /// A scheduled network partition healed: traffic between the pair
+    /// flows again.
+    PartitionHealed {
+        /// One side of the healed pair.
+        a: String,
+        /// The other side.
+        b: String,
+    },
+
+    // ------------------------------------------ service wake substrate
+    /// A cold service was woken on demand.  Concurrent requests during
+    /// the wake coalesce: exactly one event fires per cold→running
+    /// transition, carrying how many requesters shared it.
+    ServiceWoken {
+        /// The woken service (container or agent name).
+        service: String,
+        /// Requesters that coalesced onto this single wake (≥ 1).
+        waiters: usize,
+    },
+    /// An idle service was put back to sleep by the idle-timeout reaper.
+    ServiceSlept {
+        /// The slept service.
+        service: String,
+        /// Ticks it sat idle before the reaper fired.
+        idle_ticks: u64,
+    },
 }
 
 impl TraceEvent {
@@ -511,7 +559,8 @@ impl TraceEvent {
             | TraceEvent::MessageDropped { id, .. }
             | TraceEvent::MessageDuplicated { id, .. }
             | TraceEvent::MessageDelayed { id, .. }
-            | TraceEvent::MessageReleased { id, .. } => Some(*id),
+            | TraceEvent::MessageReleased { id, .. }
+            | TraceEvent::MessageReordered { id, .. } => Some(*id),
             _ => None,
         }
     }
@@ -556,18 +605,25 @@ impl TraceEvent {
             TraceEvent::CaseCompleted { .. } => "case.completed",
             TraceEvent::SlotReserved { .. } => "slot.reserved",
             TraceEvent::SlotReleased { .. } => "slot.released",
+            TraceEvent::MessageReordered { .. } => "message.reordered",
+            TraceEvent::PartitionStarted { .. } => "transport.partitioned",
+            TraceEvent::PartitionHealed { .. } => "transport.healed",
+            TraceEvent::ServiceWoken { .. } => "wake.woken",
+            TraceEvent::ServiceSlept { .. } => "wake.slept",
         }
     }
 
     /// Is this one of the fault-injection events (`MessageDropped`,
-    /// `MessageDuplicated`, `MessageDelayed`, `NodeLost`,
-    /// `CoordinatorCrashed`)?
+    /// `MessageDuplicated`, `MessageDelayed`, `MessageReordered`,
+    /// `PartitionStarted`, `NodeLost`, `CoordinatorCrashed`)?
     pub fn is_fault(&self) -> bool {
         matches!(
             self,
             TraceEvent::MessageDropped { .. }
                 | TraceEvent::MessageDuplicated { .. }
                 | TraceEvent::MessageDelayed { .. }
+                | TraceEvent::MessageReordered { .. }
+                | TraceEvent::PartitionStarted { .. }
                 | TraceEvent::NodeLost { .. }
                 | TraceEvent::CoordinatorCrashed { .. }
         )

@@ -97,6 +97,26 @@ pub enum TraceViolation {
         /// What the policy ordering said (rendered comparison).
         detail: String,
     },
+    /// A `transport.partitioned` event was never followed by a
+    /// matching `transport.healed` for the same node pair.
+    UnhealedPartition {
+        /// One side of the partitioned pair.
+        a: String,
+        /// The other side of the partitioned pair.
+        b: String,
+        /// Sequence number of the unmatched `transport.partitioned`.
+        opened_seq: u64,
+    },
+    /// A `transport.healed` event arrived for a node pair with no
+    /// open partition.
+    HealWithoutPartition {
+        /// One side of the healed pair.
+        a: String,
+        /// The other side of the healed pair.
+        b: String,
+        /// Sequence number of the stray `transport.healed`.
+        seq: u64,
+    },
     /// More cases held reservations on a container than it has slots —
     /// the multi-case fair-contention invariant in trace form.
     DoubleBooking {
@@ -179,6 +199,15 @@ impl std::fmt::Display for TraceViolation {
                 f,
                 "tick {tick}: case '{earlier}' was admitted ahead of '{later}' \
                  against the admission policy ({detail})"
+            ),
+            TraceViolation::UnhealedPartition { a, b, opened_seq } => write!(
+                f,
+                "partition between '{a}' and '{b}' opened at seq {opened_seq} was \
+                 never healed"
+            ),
+            TraceViolation::HealWithoutPartition { a, b, seq } => write!(
+                f,
+                "transport.healed for '{a}'/'{b}' at seq {seq} with no open partition"
             ),
             TraceViolation::DoubleBooking {
                 container,
@@ -458,6 +487,46 @@ impl TraceQuery {
         Ok(())
     }
 
+    /// Check: every `transport.partitioned` event is matched by a
+    /// later `transport.healed` for the same node pair (order within
+    /// the pair is ignored), and no heal arrives for a pair that is
+    /// not currently partitioned.
+    pub fn check_partition_discipline(&self) -> Result<(), TraceViolation> {
+        // Open partitions keyed by the sorted node pair → opening seq.
+        let mut open: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for r in &self.records {
+            match &r.event {
+                TraceEvent::PartitionStarted { a, b, .. } => {
+                    let key = if a <= b {
+                        (a.clone(), b.clone())
+                    } else {
+                        (b.clone(), a.clone())
+                    };
+                    open.insert(key, r.seq);
+                }
+                TraceEvent::PartitionHealed { a, b } => {
+                    let key = if a <= b {
+                        (a.clone(), b.clone())
+                    } else {
+                        (b.clone(), a.clone())
+                    };
+                    if open.remove(&key).is_none() {
+                        return Err(TraceViolation::HealWithoutPartition {
+                            a: a.clone(),
+                            b: b.clone(),
+                            seq: r.seq,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(((a, b), opened_seq)) = open.into_iter().next() {
+            return Err(TraceViolation::UnhealedPartition { a, b, opened_seq });
+        }
+        Ok(())
+    }
+
     /// Check: no activity is dispatched to a container between its
     /// `breaker.opened` and the next `breaker.half_open`/`closed` —
     /// quarantine means quarantine.  Tracking resets at phase
@@ -665,6 +734,13 @@ impl TraceQuery {
     /// Panic if [`TraceQuery::check_breaker_discipline`] fails.
     pub fn assert_breaker_discipline(&self) {
         if let Err(v) = self.check_breaker_discipline() {
+            panic!("trace violation: {v}");
+        }
+    }
+
+    /// Panic if [`TraceQuery::check_partition_discipline`] fails.
+    pub fn assert_partition_discipline(&self) {
+        if let Err(v) = self.check_partition_discipline() {
             panic!("trace violation: {v}");
         }
     }

@@ -270,6 +270,13 @@ impl TraceHandle {
         self.sink.is_some()
     }
 
+    /// The installed sink, if any — what a fan-out layer (e.g. a
+    /// [`TeeSink`]) needs to wrap an existing handle without losing its
+    /// destination.
+    pub fn sink(&self) -> Option<Arc<dyn TraceSink>> {
+        self.sink.clone()
+    }
+
     /// Emit `event` from `source` if a sink is installed.
     pub fn emit(&self, source: &str, event: TraceEvent) {
         if let Some(sink) = &self.sink {
@@ -353,6 +360,44 @@ impl TraceSink for ScopedSink {
 
     fn advance_s(&self, dt: f64) {
         self.inner.advance_s(dt);
+    }
+}
+
+/// A sink that fans every emission out to several inner sinks, in
+/// order.  The transport-selection layer uses it to mirror a run's
+/// trace stream onto a remote delivery backend without disturbing the
+/// primary log — the primary sink is listed first, so its sequence
+/// numbers are identical to an un-teed run.
+pub struct TeeSink {
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl TeeSink {
+    /// Fan emissions out to `sinks`, first to last.
+    pub fn new(sinks: Vec<Arc<dyn TraceSink>>) -> Self {
+        TeeSink { sinks }
+    }
+}
+
+impl std::fmt::Debug for TeeSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TeeSink")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl TraceSink for TeeSink {
+    fn emit(&self, source: &str, event: TraceEvent) {
+        for sink in &self.sinks {
+            sink.emit(source, event.clone());
+        }
+    }
+
+    fn advance_s(&self, dt: f64) {
+        for sink in &self.sinks {
+            sink.advance_s(dt);
+        }
     }
 }
 

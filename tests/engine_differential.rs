@@ -74,6 +74,22 @@ fn contended_fleets_trace_identically_on_both_cores() {
     }
 }
 
+/// Partition windows: a `prep` host is cut for `[2, 6)` mid-fleet and
+/// then healed, so the topology flips down *and back up* while cases
+/// are parked.  The heal is the interesting edge — the scan core
+/// rederives readiness from scratch, the event core must wake exactly
+/// the right waiters.
+#[test]
+fn partitioned_fleets_trace_identically_on_both_cores() {
+    let wl = dinner_recovery_workload();
+    for seed in [3, 17, 29] {
+        let plan = FaultPlan::seeded(seed)
+            .failing_activities(0.1)
+            .partitioning("coordinator", "ac-h0", 2, 6);
+        assert_cores_agree(&plan, &wl, 3, 3, &format!("partitioned fleet, seed {seed}"));
+    }
+}
+
 /// Mid-schedule node loss: the world's topology mutates while cases are
 /// parked, which must invalidate any cached dispatch (the generation
 /// check) without perturbing the trace.

@@ -240,6 +240,51 @@ fn stack_survives_message_faults_and_recovers_when_they_stop() {
 }
 
 #[test]
+fn stack_survives_message_reordering_and_recovers_when_it_stops() {
+    let mut rt = AgentRuntime::new();
+    let (stack, graph, case) = booted_stack(&mut rt);
+
+    // Reordering swaps adjacent deliveries: a request can arrive after
+    // the message sent behind it.  The stack must stay degraded-only —
+    // a reply that arrives is correct, a swap that starves a waiter is
+    // a timeout, and nothing is ever wrong.
+    let plan = FaultPlan::seeded(9).reordering(0.3);
+    let transport = Arc::new(FaultyTransport::new(plan, VirtualClock::new()));
+    rt.set_transport(transport.clone());
+
+    let enact = json!({"action": "enact", "graph": graph, "case": case});
+    for _ in 0..4 {
+        match stack.client.request(
+            &stack.coordination,
+            GRIDFLOW_ONTOLOGY,
+            enact.clone(),
+            Duration::from_secs(5),
+        ) {
+            Ok(reply) => {
+                assert_eq!(reply.content["report"]["success"], json!(true));
+            }
+            Err(AgentError::Timeout { .. }) => {}
+            Err(other) => panic!("unexpected failure under reordering: {other}"),
+        }
+    }
+    assert!(!transport.schedule().is_empty(), "transport saw no traffic");
+
+    // Reordering stops → the stack must answer again.
+    rt.directory().clear_transport();
+    let reply = stack
+        .client
+        .request(
+            &stack.coordination,
+            GRIDFLOW_ONTOLOGY,
+            enact,
+            Duration::from_secs(10),
+        )
+        .expect("stack must recover once reordering stops");
+    assert_eq!(reply.content["report"]["success"], json!(true));
+    rt.shutdown();
+}
+
+#[test]
 fn crashed_coordination_agent_fails_over_to_a_replica() {
     let mut rt = AgentRuntime::new();
     let (stack, graph, case) = booted_stack(&mut rt);
