@@ -309,8 +309,7 @@ impl TcpChannel {
                 Err(e) => last_err = Some(e),
             }
         }
-        Err(last_err
-            .unwrap_or_else(|| io::Error::other("no attempts configured")))
+        Err(last_err.unwrap_or_else(|| io::Error::other("no attempts configured")))
     }
 
     /// The backoff before retry `attempt` (1-based): doubling from
@@ -332,9 +331,7 @@ impl TcpChannel {
         let id = msg.id;
         match self.call(&Frame::Deliver(msg))? {
             Frame::Ack { id: acked } if acked == id => Ok(()),
-            Frame::Nack { reason, .. } => Err(io::Error::other(
-                format!("remote nack: {reason}"),
-            )),
+            Frame::Nack { reason, .. } => Err(io::Error::other(format!("remote nack: {reason}"))),
             other => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 format!("unexpected reply {other:?}"),

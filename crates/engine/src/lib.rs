@@ -15,12 +15,15 @@
 //! admission control re-uses the matchmaking service to refuse cases no
 //! live container can serve.
 //!
-//! Determinism is the design constraint, not an afterthought: the
-//! scheduler is logically single-threaded, cases step in a canonical
-//! rotated order that is a pure function of the tick, and the
-//! [`EngineConfig::workers`] knob only changes how the already-ordered
-//! step list is chunked.  A given seed therefore produces a
-//! byte-identical merged JSONL trace regardless of worker count — the
+//! Determinism is the design constraint, not an afterthought: world
+//! state always commits in a canonical rotated order that is a pure
+//! function of the tick.  Under [`CoreSpec::Sharded`] each tick runs in
+//! two phases — a parallel *prepare* over shard-partitioned fibers
+//! against a read-only world snapshot, then a sequential *commit* in
+//! canonical order that re-validates each speculation — so the
+//! [`EngineConfig::workers`] knob changes wall-clock time only.  A
+//! given seed therefore produces a byte-identical merged JSONL trace at
+//! any `(shards, workers)` combination and on every core — the
 //! invariant the engine conformance suite pins.
 
 #![warn(missing_docs)]
@@ -34,9 +37,9 @@ pub use policy::{
     WaitingCase,
 };
 pub use scheduler::{
-    CaseOutcome, CaseScheduler, CaseSpec, EngineConfig, EngineOutcome, StoreBinding,
+    CaseOutcome, CaseScheduler, CaseSpec, CoreSpec, EngineConfig, EngineOutcome, StoreBinding,
 };
 pub use snapshot::{
     AdmissionRecord, BlueprintPool, CaseBlueprint, EngineSnapshot, FinishedImage, SlotImage,
-    WaitingImage,
+    WaitingImage, ENGINE_SNAPSHOT_VERSION,
 };

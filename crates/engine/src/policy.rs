@@ -112,6 +112,16 @@ pub trait AdmissionPolicy {
     fn admitted(&mut self, case: &WaitingCase<'_>) {
         let _ = case;
     }
+
+    /// `true` iff this policy always picks position 0 with no reason —
+    /// i.e. it is plain FIFO.  Lets the scheduler skip building the
+    /// O(waiting) view entirely and pop the queue front directly, which
+    /// matters at fleet scale (the view build was O(N²) across a run).
+    /// The fast path is byte-identical by construction: position 0, no
+    /// reason, stop when empty — exactly [`Fifo::next`].
+    fn is_fifo(&self) -> bool {
+        false
+    }
 }
 
 /// First come, first served — the default, byte-identical to the
@@ -133,6 +143,10 @@ impl AdmissionPolicy for Fifo {
                 reason: None,
             })
         }
+    }
+
+    fn is_fifo(&self) -> bool {
+        true
     }
 }
 

@@ -6,8 +6,10 @@ use crate::snapshot::{
     AdmissionRecord, BlueprintPool, EngineSnapshot, FinishedImage, SlotImage, WaitingImage,
 };
 use gridflow_process::{ActivityKind, CaseDescription, ProcessGraph};
-use gridflow_services::matchmaking::{matchmake, MatchRequest};
-use gridflow_services::{CaseFiber, EnactmentConfig, EnactmentReport, FiberStatus, GridWorld};
+use gridflow_services::matchmaking::{matchmake, MatchRequest, ShardedMatchIndex};
+use gridflow_services::{
+    CaseFiber, EnactmentConfig, EnactmentReport, FiberStatus, GridWorld, PreparedStep,
+};
 use gridflow_store::{SnapshotRecord, Store, StoreError, StoreResult};
 use gridflow_telemetry::{ScopedSink, TraceEvent, TraceHandle, TraceLog, TraceSink};
 use serde::{Deserialize, Serialize};
@@ -52,14 +54,73 @@ impl PartialEq for StoreBinding {
     }
 }
 
+/// Which execution core drives a run — the first-class core selection
+/// that replaced the old `scan_core: bool` flag.
+///
+/// Every core emits byte-identical merged traces for a given `(seed,
+/// workload, case count)`; the differential equivalence suite pins the
+/// three-way agreement down.  They differ only in *how* they get
+/// there:
+///
+/// - [`CoreSpec::Event`] (the default) classifies fibers into a ready
+///   queue and capacity wait-sets so blocked fibers re-check
+///   contention cheaply.
+/// - [`CoreSpec::Scan`] re-derives every fiber's situation from
+///   scratch each tick — the frozen differential oracle.
+/// - [`CoreSpec::Sharded`] runs the event core's tick as two phases:
+///   a parallel *prepare* phase where each shard speculatively works
+///   out its fibers' next moves against a shard-partitioned match
+///   index on real `std::thread::scope` workers, then a sequential
+///   *commit* phase that resolves cross-shard reservations and
+///   splices the shards' buffered emissions into the merged trace in
+///   canonical order.  `shards: 1` degenerates to the event core plus
+///   an inline prepare pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CoreSpec {
+    /// The event-driven core — wait-sets, dispatch caching, match
+    /// index.  The default.
+    #[default]
+    Event,
+    /// The legacy every-tick-rescan loop, kept verbatim as the
+    /// differential oracle.
+    Scan,
+    /// The two-phase sharded core: parallel per-shard prepare, ordered
+    /// cross-shard commit.
+    Sharded {
+        /// How many shards containers and cases are partitioned into.
+        /// Values are clamped to at least 1; shard count never changes
+        /// the merged trace, only how much of the tick runs in
+        /// parallel.
+        shards: usize,
+    },
+}
+
+impl CoreSpec {
+    /// The shard count this core partitions the world into (1 for the
+    /// unsharded cores).
+    pub fn shards(&self) -> usize {
+        match self {
+            CoreSpec::Sharded { shards } => (*shards).max(1),
+            _ => 1,
+        }
+    }
+
+    /// Does this core run the two-phase prepare/commit tick?
+    pub fn is_sharded(&self) -> bool {
+        matches!(self, CoreSpec::Sharded { .. })
+    }
+}
+
 /// Scheduler knobs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineConfig {
-    /// How many workers the per-tick step list is chunked across.
+    /// How many `std::thread::scope` workers the sharded core's prepare
+    /// phase fans shards across (clamped to the shard count).  The
+    /// unsharded cores are single-threaded and ignore it.
     ///
-    /// Stepping is logically single-threaded and the chunking is
-    /// order-preserving, so this knob **cannot** change the merged
-    /// trace: a seed yields byte-identical JSONL for any worker count.
+    /// Commit stays sequential in canonical order under every setting,
+    /// so this knob **cannot** change the merged trace: a seed yields
+    /// byte-identical JSONL for any worker count.
     pub workers: usize,
     /// Cases enacting at once; the rest wait in the admission queue.
     pub max_in_flight: usize,
@@ -71,15 +132,9 @@ pub struct EngineConfig {
     /// Abort every still-running case once this many ticks have
     /// elapsed — the engine's defense against a live-locked schedule.
     pub max_ticks: u64,
-    /// Run the legacy scan core instead of the event-driven core.
-    ///
-    /// The scan core re-derives every fiber's situation from scratch
-    /// each tick; the event core (the default) classifies fibers into a
-    /// ready queue and capacity wait-sets and lets blocked fibers
-    /// re-check contention cheaply.  Both cores emit byte-identical
-    /// merged traces — the scan core exists as the differential oracle
-    /// the equivalence suite compares against, not as a feature.
-    pub scan_core: bool,
+    /// Which execution core drives the run.  See [`CoreSpec`]; every
+    /// core emits byte-identical merged traces.
+    pub core: CoreSpec,
     /// Which admission policy orders the waiting queue.  The default,
     /// [`PolicySpec::Fifo`], is byte-identical to the pre-policy
     /// engine; non-FIFO policies reorder admission only and stamp each
@@ -109,7 +164,7 @@ impl Default for EngineConfig {
             max_in_flight: 16,
             enforce_reservations: true,
             max_ticks: 100_000,
-            scan_core: false,
+            core: CoreSpec::Event,
             policy: PolicySpec::Fifo,
             store: None,
             kill_at: None,
@@ -320,19 +375,19 @@ impl CaseScheduler {
     /// the harness uses to inject mid-schedule faults such as node
     /// loss.
     ///
-    /// Dispatches to the event-driven core, or to the legacy scan core
-    /// when [`EngineConfig::scan_core`] is set.  The two cores emit
-    /// byte-identical merged traces for every `(seed, workload, case
-    /// count)` — the differential equivalence suite pins that down.
+    /// Dispatches on [`EngineConfig::core`]: the event-driven core
+    /// (optionally sharded into a two-phase parallel tick) or the
+    /// legacy scan core.  Every core emits byte-identical merged traces
+    /// for every `(seed, workload, case count)` — the differential
+    /// equivalence suite pins that down.
     pub fn run_with(
         &mut self,
         world: &mut GridWorld,
         on_tick: impl FnMut(u64, &mut GridWorld),
     ) -> EngineOutcome {
-        if self.config.scan_core {
-            self.run_scan(world, on_tick)
-        } else {
-            self.run_event(world, on_tick)
+        match self.config.core {
+            CoreSpec::Scan => self.run_scan(world, on_tick),
+            CoreSpec::Event | CoreSpec::Sharded { .. } => self.run_event(world, on_tick),
         }
     }
 
@@ -566,8 +621,11 @@ impl CaseScheduler {
     ///
     /// # Panics
     ///
-    /// If [`EngineConfig::store`] is `None`.  Recovery always runs the
-    /// event core regardless of [`EngineConfig::scan_core`].
+    /// If [`EngineConfig::store`] is `None`.  Recovery runs the
+    /// configured [`CoreSpec`] unless it is [`CoreSpec::Scan`] (the
+    /// scan oracle has no store support), in which case the event core
+    /// runs; traces are core-invariant, so a run snapshotted under one
+    /// core recovers byte-identically under another.
     pub fn recover(
         &mut self,
         world: &mut GridWorld,
@@ -616,6 +674,13 @@ impl CaseScheduler {
         }
         let image = EngineSnapshot::from_bytes(&record.state)
             .map_err(|e| StoreError::Corrupt(format!("snapshot payload: {e}")))?;
+        if let Err(index) = image.verify_shard_assignments() {
+            return Err(StoreError::Corrupt(format!(
+                "live case {index} carries a shard assignment inconsistent \
+                 with the snapshot's core {:?}",
+                image.core
+            )));
+        }
         if image.next_tick != record.next_tick {
             return Err(StoreError::Corrupt(format!(
                 "snapshot payload resumes at tick {} but its record says {}",
@@ -720,6 +785,10 @@ impl CaseScheduler {
         let binding = self.config.store.clone();
         let mut flush_cursor = binding.as_ref().map_or(0, |b| b.journal.next_seq());
         let mut killed = false;
+        // The sharded core's engine-owned match index, rebuilt lazily
+        // whenever the world's matchmaking generation moves (container
+        // up/down).  The unsharded cores never build it.
+        let mut shard_index: Option<ShardedMatchIndex> = None;
 
         loop {
             // Simulated process death: stop before this tick emits
@@ -831,26 +900,101 @@ impl CaseScheduler {
                 .map(|i| (i + rotation) % n)
                 .filter(|&i| matches!(st.live[i].wait, WaitState::Ready))
                 .collect();
-            let chunk = order.len().div_ceil(self.config.workers.max(1));
-            let mut done: Vec<usize> = Vec::new();
-            for worker_share in order.chunks(chunk.max(1)) {
-                for &slot_idx in worker_share {
-                    let entry = &mut st.live[slot_idx];
-                    match entry.slot.fiber.step(world) {
-                        FiberStatus::Progressed => entry.wait = WaitState::Ready,
-                        FiberStatus::Blocked { .. } => {
-                            entry.slot.blocked_ticks += 1;
-                            entry.wait = WaitState::Capacity {
-                                blockers: entry
-                                    .slot
-                                    .fiber
-                                    .blocked_on()
-                                    .map(<[String]>::to_vec)
-                                    .unwrap_or_default(),
-                            };
-                        }
-                        FiberStatus::Finished => done.push(slot_idx),
+
+            // Sharded two-phase tick, phase 1: prepare every ready
+            // fiber against the frozen world, shards fanned across
+            // `std::thread::scope` workers.  Prepare is semantically
+            // invisible — `step` *is* prepare + commit — so neither the
+            // shard count, the worker count, nor the inline fallback
+            // below can change a byte of the merged trace.
+            let mut prepared: Vec<Option<PreparedStep>> = Vec::new();
+            if self.config.core.is_sharded() && !order.is_empty() {
+                let shards = self.config.core.shards();
+                if shard_index.as_ref().map(ShardedMatchIndex::generation)
+                    != Some(world.generation())
+                {
+                    shard_index = Some(ShardedMatchIndex::build(world, shards));
+                }
+                let index = shard_index.as_ref();
+                prepared = (0..n).map(|_| None).collect();
+                // Partition the ready fibers by shard — submission
+                // index mod shard count, the same striping the match
+                // index and snapshot images use — then fold shards onto
+                // at most `workers` threads.  Fibers are disjoint
+                // across shards, so each thread gets exclusive `&mut`
+                // access to its own; the world is shared read-only.
+                let mut parts: Vec<Vec<(usize, &mut CaseFiber)>> =
+                    (0..shards).map(|_| Vec::new()).collect();
+                for (slot_idx, entry) in st.live.iter_mut().enumerate() {
+                    if matches!(entry.wait, WaitState::Ready) {
+                        parts[entry.slot.index % shards].push((slot_idx, &mut entry.slot.fiber));
                     }
+                }
+                let busy = parts.iter().filter(|p| !p.is_empty()).count();
+                // Below this many ready fibers the ~10-20µs per-thread
+                // spawn cost outweighs the parallelism; prepare inline.
+                const SPAWN_THRESHOLD: usize = 8;
+                let threads = if order.len() < SPAWN_THRESHOLD {
+                    1
+                } else {
+                    self.config.workers.max(1).min(busy.max(1))
+                };
+                let mut groups: Vec<Vec<(usize, &mut CaseFiber)>> =
+                    (0..threads).map(|_| Vec::new()).collect();
+                for (shard, part) in parts.into_iter().enumerate() {
+                    groups[shard % threads].extend(part);
+                }
+                let world_ref: &GridWorld = world;
+                let prep = |group: Vec<(usize, &mut CaseFiber)>| {
+                    group
+                        .into_iter()
+                        .map(|(slot_idx, fiber)| (slot_idx, fiber.prepare(world_ref, index)))
+                        .collect::<Vec<_>>()
+                };
+                let results: Vec<Vec<(usize, PreparedStep)>> = if threads <= 1 {
+                    groups.into_iter().map(prep).collect()
+                } else {
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = groups
+                            .into_iter()
+                            .map(|group| scope.spawn(|| prep(group)))
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("prepare worker panicked"))
+                            .collect()
+                    })
+                };
+                for (slot_idx, step) in results.into_iter().flatten() {
+                    prepared[slot_idx] = Some(step);
+                }
+            }
+
+            // Phase 2 (and the unsharded cores' whole step loop):
+            // commit in the canonical rotated order, sequentially, so
+            // the merged trace is independent of shard and worker
+            // counts.
+            let mut done: Vec<usize> = Vec::new();
+            for &slot_idx in &order {
+                let entry = &mut st.live[slot_idx];
+                let status = match prepared.get_mut(slot_idx).and_then(Option::take) {
+                    Some(step) => entry.slot.fiber.step_prepared(world, step),
+                    None => entry.slot.fiber.step(world),
+                };
+                match status {
+                    FiberStatus::Progressed => entry.wait = WaitState::Ready,
+                    FiberStatus::Blocked { .. } => {
+                        entry.slot.blocked_ticks += 1;
+                        entry.wait = WaitState::Capacity {
+                            blockers: entry
+                                .slot
+                                .fiber
+                                .blocked_on()
+                                .map(<[String]>::to_vec)
+                                .unwrap_or_default(),
+                        };
+                    }
+                    FiberStatus::Finished => done.push(slot_idx),
                 }
             }
 
@@ -941,7 +1085,7 @@ impl CaseScheduler {
             if let Some(b) = &binding {
                 if b.snapshot_every > 0 && st.tick.is_multiple_of(b.snapshot_every) {
                     let (clock_ticks, clock_s) = b.journal.clock_now();
-                    let image = Self::capture_snapshot(&st, world);
+                    let image = Self::capture_snapshot(self.config.core, &st, world);
                     let record = SnapshotRecord::new(
                         st.tick,
                         flush_cursor,
@@ -998,8 +1142,11 @@ impl CaseScheduler {
 
     /// Freeze the loop state into its serializable image.  Waiting
     /// specs are interned through a [`BlueprintPool`] so the shared
-    /// workload is stored once, not once per waiting case.
-    fn capture_snapshot(st: &EventState, world: &GridWorld) -> EngineSnapshot {
+    /// workload is stored once, not once per waiting case.  Under a
+    /// sharded core each live slot records its shard assignment
+    /// (`index mod shards`) so recovery can prove the assignment
+    /// round-tripped.
+    fn capture_snapshot(core: CoreSpec, st: &EventState, world: &GridWorld) -> EngineSnapshot {
         let mut pool = BlueprintPool::default();
         let waiting = st
             .waiting
@@ -1022,10 +1169,13 @@ impl CaseScheduler {
                     WaitState::Ready => None,
                     WaitState::Capacity { blockers } => Some(blockers.clone()),
                 },
+                shard: core.is_sharded().then(|| entry.slot.index % core.shards()),
                 fiber: pool.slim(entry.slot.fiber.image()),
             })
             .collect();
         EngineSnapshot {
+            version: crate::snapshot::ENGINE_SNAPSHOT_VERSION,
+            core,
             next_tick: st.tick,
             blueprints: pool.into_entries(),
             waiting,
@@ -1053,6 +1203,14 @@ impl CaseScheduler {
         waiting: &mut VecDeque<(usize, CaseSpec)>,
         tick: u64,
     ) -> Option<(usize, CaseSpec, Option<String>)> {
+        // FIFO fast path: the default policy always takes the queue
+        // head with no reason, so building the O(waiting) borrowed view
+        // per admission — O(fleet²) over a large fleet's admission
+        // phase — is pure waste.  Pop the head directly.
+        if policy.is_fifo() {
+            let (index, spec) = waiting.pop_front()?;
+            return Some((index, spec, None));
+        }
         let admission = {
             let view: Vec<WaitingCase<'_>> = waiting
                 .iter()

@@ -11,7 +11,7 @@
 //! [`SnapshotRecord`]: gridflow_store::SnapshotRecord
 
 use crate::policy::CaseHints;
-use crate::scheduler::{CaseOutcome, CaseSpec};
+use crate::scheduler::{CaseOutcome, CaseSpec, CoreSpec};
 use gridflow_process::{AtnSnapshot, CaseDescription, DataState, ProcessGraph};
 use gridflow_recovery::RecoveryState;
 use gridflow_services::{EnactmentConfig, EnactmentReport, FiberImage, PendingImage, WorldImage};
@@ -198,6 +198,13 @@ pub struct SlotImage {
     /// always-wake wait).
     #[serde(skip_serializing_if = "Option::is_none")]
     pub blockers: Option<Vec<String>>,
+    /// The shard this fiber belonged to when the snapshot was captured
+    /// under [`CoreSpec::Sharded`] (`submission index mod shards`);
+    /// `None` under the unsharded cores and in pre-version-2 payloads.
+    /// Recovery cross-checks it against the snapshot's own recorded
+    /// core, proving shard assignments round-trip through the store.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub shard: Option<usize>,
     /// The fiber's mid-enactment image, blueprint bulk interned.
     pub fiber: FiberSlim,
 }
@@ -224,9 +231,24 @@ pub struct AdmissionRecord {
     pub hints: CaseHints,
 }
 
+/// Engine-snapshot schema version written by this build.
+///
+/// Version 1 payloads (pre-`CoreSpec`) carry neither a `version` nor a
+/// `core` field; deserialization defaults them to `1` and
+/// [`CoreSpec::Event`], so old checkpoints keep restoring.  Payloads
+/// from a *newer* schema than this build understands are refused.
+pub const ENGINE_SNAPSHOT_VERSION: u32 = 2;
+
 /// The event core's complete loop state at a tick boundary.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EngineSnapshot {
+    /// Snapshot schema version (see [`ENGINE_SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// The core that captured the snapshot.  Informational plus a
+    /// round-trip check: under [`CoreSpec::Sharded`] each live slot's
+    /// recorded [`SlotImage::shard`] must equal `index mod shards`.
+    /// Traces are core-invariant, so recovery may run a different core.
+    pub core: CoreSpec,
     /// First tick the restored loop will execute.
     pub next_tick: u64,
     /// The distinct blueprints the waiting queue references.
@@ -249,6 +271,70 @@ pub struct EngineSnapshot {
     pub world: WorldImage,
 }
 
+// Hand-written serde: version 1 payloads predate the `version` and
+// `core` fields, so deserialization must default them instead of
+// erroring on the missing keys, and must refuse payloads newer than
+// this build's schema.
+impl Serialize for EngineSnapshot {
+    fn to_json_value(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        m.insert("version".to_string(), self.version.to_json_value());
+        m.insert("core".to_string(), self.core.to_json_value());
+        m.insert("next_tick".to_string(), self.next_tick.to_json_value());
+        m.insert("blueprints".to_string(), self.blueprints.to_json_value());
+        m.insert("waiting".to_string(), self.waiting.to_json_value());
+        m.insert("live".to_string(), self.live.to_json_value());
+        m.insert("finished".to_string(), self.finished.to_json_value());
+        m.insert("admissions".to_string(), self.admissions.to_json_value());
+        m.insert("freed".to_string(), self.freed.to_json_value());
+        m.insert(
+            "last_generation".to_string(),
+            self.last_generation.to_json_value(),
+        );
+        m.insert("world".to_string(), self.world.to_json_value());
+        serde::Value::Object(m)
+    }
+}
+
+impl Deserialize for EngineSnapshot {
+    fn from_json_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v.as_object().ok_or_else(|| {
+            serde::Error::custom(format!(
+                "expected object for struct EngineSnapshot, got {v:?}"
+            ))
+        })?;
+        let version = match obj.get("version") {
+            Some(v) => u32::from_json_value(v)
+                .map_err(|e| serde::Error::custom(format!("field `version`: {e}")))?,
+            None => 1,
+        };
+        if version > ENGINE_SNAPSHOT_VERSION {
+            return Err(serde::Error::custom(format!(
+                "engine snapshot version {version} is newer than this \
+                 build's {ENGINE_SNAPSHOT_VERSION}"
+            )));
+        }
+        let core = match obj.get("core") {
+            Some(v) => CoreSpec::from_json_value(v)
+                .map_err(|e| serde::Error::custom(format!("field `core`: {e}")))?,
+            None => CoreSpec::Event,
+        };
+        Ok(EngineSnapshot {
+            version,
+            core,
+            next_tick: serde::__field(obj, "next_tick", "EngineSnapshot")?,
+            blueprints: serde::__field(obj, "blueprints", "EngineSnapshot")?,
+            waiting: serde::__field(obj, "waiting", "EngineSnapshot")?,
+            live: serde::__field(obj, "live", "EngineSnapshot")?,
+            finished: serde::__field(obj, "finished", "EngineSnapshot")?,
+            admissions: serde::__field(obj, "admissions", "EngineSnapshot")?,
+            freed: serde::__field(obj, "freed", "EngineSnapshot")?,
+            last_generation: serde::__field(obj, "last_generation", "EngineSnapshot")?,
+            world: serde::__field(obj, "world", "EngineSnapshot")?,
+        })
+    }
+}
+
 impl EngineSnapshot {
     /// Serialize for a snapshot record's opaque payload.
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -257,9 +343,28 @@ impl EngineSnapshot {
             .into_bytes()
     }
 
-    /// Deserialize a snapshot record's payload.
+    /// Deserialize a snapshot record's payload.  Version 1 payloads
+    /// (no `version`/`core` fields) deserialize with the historical
+    /// defaults; payloads newer than [`ENGINE_SNAPSHOT_VERSION`] are
+    /// refused.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
         let text = std::str::from_utf8(bytes).map_err(|e| e.to_string())?;
         serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+
+    /// Shard-assignment round-trip check: under a sharded recorded
+    /// core, every live slot's `shard` must equal `index mod shards`
+    /// (pre-version-2 slots with no recorded shard are exempt).
+    /// Returns the offending slot's submission index on mismatch.
+    pub fn verify_shard_assignments(&self) -> Result<(), usize> {
+        let shards = self.core.shards();
+        for slot in &self.live {
+            if let Some(shard) = slot.shard {
+                if shard != slot.index % shards {
+                    return Err(slot.index);
+                }
+            }
+        }
+        Ok(())
     }
 }

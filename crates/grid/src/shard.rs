@@ -1,0 +1,161 @@
+//! Deterministic shard partitioning of a grid topology.
+//!
+//! The sharded scheduler core splits the world's containers (and the
+//! fleet's cases) into `shards` disjoint groups so each shard's prepare
+//! phase can rank candidates against a local index.  The assignment is
+//! a pure function of the topology's canonical container order — shard
+//! `i` owns the containers at positions `p` with `p % shards == i` — so
+//! every node, every run, and every `(shards, workers)` combination
+//! derives the identical map without coordination.
+//!
+//! Round-robin by position (rather than contiguous ranges) keeps the
+//! shards balanced under the generator's id-ordered container list:
+//! neighbouring positions tend to host similar service subsets, so
+//! striping spreads each service's candidate set across shards instead
+//! of concentrating it in one.
+
+use crate::topology::GridTopology;
+use std::collections::BTreeMap;
+
+/// The shard assignment for one topology: container id → shard.
+///
+/// Built once per `(topology, shards)` pair and immutable after; the
+/// scheduler rebuilds it only when the shard count changes (never
+/// mid-run).  Container up/down flips do *not* move assignments — a
+/// down container stays owned by its shard and is simply filtered at
+/// ranking time, exactly as the global matchmaker filters it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: usize,
+    by_container: BTreeMap<String, usize>,
+    members: Vec<Vec<String>>,
+}
+
+impl ShardMap {
+    /// Partition `topology`'s containers into `shards` groups by
+    /// position stripe.  `shards` is clamped to at least 1; a shard
+    /// count above the container count leaves the excess shards empty
+    /// (legal — their prepare phase is a no-op).
+    pub fn new(topology: &GridTopology, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let mut by_container = BTreeMap::new();
+        let mut members = vec![Vec::new(); shards];
+        for (pos, container) in topology.containers.iter().enumerate() {
+            let shard = pos % shards;
+            by_container.insert(container.id.clone(), shard);
+            members[shard].push(container.id.clone());
+        }
+        ShardMap {
+            shards,
+            by_container,
+            members,
+        }
+    }
+
+    /// The shard count this map was built for (≥ 1).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning container position `pos` — the assignment rule
+    /// itself, usable without a map instance.
+    pub fn shard_of_position(pos: usize, shards: usize) -> usize {
+        pos % shards.max(1)
+    }
+
+    /// The shard owning the case at submission index `index`.  Cases
+    /// stripe exactly like containers so both halves of the ownership
+    /// map read the same way.
+    pub fn shard_of_case(index: usize, shards: usize) -> usize {
+        index % shards.max(1)
+    }
+
+    /// The shard owning `container`, or `None` if the id is not in the
+    /// topology this map was built from.
+    pub fn shard_of(&self, container: &str) -> Option<usize> {
+        self.by_container.get(container).copied()
+    }
+
+    /// The container ids owned by `shard`, in topology position order.
+    pub fn containers_in(&self, shard: usize) -> &[String] {
+        self.members.get(shard).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total containers across all shards.
+    pub fn len(&self) -> usize {
+        self.by_container.len()
+    }
+
+    /// `true` when the topology had no containers.
+    pub fn is_empty(&self) -> bool {
+        self.by_container.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn services() -> Vec<String> {
+        ["POD", "P3DR"].iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn striping_is_disjoint_and_exhaustive() {
+        let topo = GridTopology::generate(10, &services(), 7);
+        let map = ShardMap::new(&topo, 3);
+        assert_eq!(map.shards(), 3);
+        assert_eq!(map.len(), 10);
+        let mut seen = std::collections::BTreeSet::new();
+        for shard in 0..3 {
+            for id in map.containers_in(shard) {
+                assert!(seen.insert(id.clone()), "{id} owned twice");
+                assert_eq!(map.shard_of(id), Some(shard));
+            }
+        }
+        assert_eq!(seen.len(), 10);
+        // Balanced to within one.
+        let sizes: Vec<usize> = (0..3).map(|s| map.containers_in(s).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn assignment_follows_topology_position() {
+        let topo = GridTopology::generate(8, &services(), 1);
+        let map = ShardMap::new(&topo, 4);
+        for (pos, c) in topo.containers.iter().enumerate() {
+            assert_eq!(map.shard_of(&c.id), Some(pos % 4));
+            assert_eq!(ShardMap::shard_of_position(pos, 4), pos % 4);
+        }
+        assert_eq!(map.shard_of("no-such-container"), None);
+    }
+
+    #[test]
+    fn degenerate_shapes_are_legal() {
+        let topo = GridTopology::generate(3, &services(), 2);
+        // shards = 0 clamps to 1: everything in shard 0.
+        let one = ShardMap::new(&topo, 0);
+        assert_eq!(one.shards(), 1);
+        assert_eq!(one.containers_in(0).len(), 3);
+        // More shards than containers: the excess are empty.
+        let many = ShardMap::new(&topo, 8);
+        assert_eq!(many.shards(), 8);
+        assert_eq!(
+            (0..8).map(|s| many.containers_in(s).len()).sum::<usize>(),
+            3
+        );
+        assert!(many.containers_in(5).is_empty());
+        assert!(many.containers_in(99).is_empty());
+        // Empty topology.
+        let empty = ShardMap::new(&GridTopology::generate(0, &services(), 1), 2);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn case_striping_mirrors_container_striping() {
+        assert_eq!(ShardMap::shard_of_case(0, 4), 0);
+        assert_eq!(ShardMap::shard_of_case(7, 4), 3);
+        assert_eq!(ShardMap::shard_of_case(5, 0), 0, "clamped shard count");
+    }
+}

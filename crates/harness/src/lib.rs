@@ -62,7 +62,7 @@ pub mod transport;
 pub mod workload;
 
 pub use clock::VirtualClock;
-pub use multi::MultiCaseScenario;
+pub use multi::{EngineSpec, MultiCaseScenario};
 pub use plan::{
     FaultAction, FaultEvent, FaultPlan, FaultSchedule, NodeLoss, PartitionSpec, Slowdown,
 };
@@ -71,8 +71,6 @@ pub use runner::{
     execution_counts, is_execution_prefix, outcome_fingerprint, report_fingerprint, run_scenario,
     Scenario, ScenarioOutcome,
 };
-#[allow(deprecated)]
-pub use runner::{run_scenario_traced, run_scenario_with_budget, run_scenario_with_budget_traced};
 pub use transport::FaultyTransport;
 pub use workload::{dinner_workload, Workload};
 

@@ -259,47 +259,6 @@ pub fn run_scenario(plan: &FaultPlan, workload: &Workload) -> ScenarioOutcome {
     Scenario::new(plan, workload).run()
 }
 
-/// Run a scenario, resuming failed phases from their latest checkpoint
-/// up to `max_resumes` times.
-#[deprecated(since = "0.5.0", note = "use `Scenario::new(..).budget(..).run()`")]
-pub fn run_scenario_with_budget(
-    plan: &FaultPlan,
-    workload: &Workload,
-    max_resumes: usize,
-) -> ScenarioOutcome {
-    Scenario::new(plan, workload).budget(max_resumes).run()
-}
-
-/// Run a scenario with the default resume budget, recording the full
-/// event trace into a fresh [`TraceLog`].
-#[deprecated(
-    since = "0.5.0",
-    note = "use `Scenario::new(..).traced().run()` and read `outcome.trace`"
-)]
-pub fn run_scenario_traced(plan: &FaultPlan, workload: &Workload) -> (ScenarioOutcome, TraceLog) {
-    let mut outcome = Scenario::new(plan, workload).traced().run();
-    let log = outcome.trace.take().expect("traced run keeps its log");
-    (outcome, log)
-}
-
-/// Run a scenario, mirroring phases, faults, crashes and resumes into
-/// `trace` alongside the events the [`Enactor`] emits itself.
-#[deprecated(
-    since = "0.5.0",
-    note = "use `Scenario::new(..).budget(..).trace_handle(..).run()`"
-)]
-pub fn run_scenario_with_budget_traced(
-    plan: &FaultPlan,
-    workload: &Workload,
-    max_resumes: usize,
-    trace: TraceHandle,
-) -> ScenarioOutcome {
-    Scenario::new(plan, workload)
-        .budget(max_resumes)
-        .trace_handle(trace)
-        .run()
-}
-
 fn run_impl(
     plan: &FaultPlan,
     workload: &Workload,

@@ -209,12 +209,26 @@ impl GoalIdAllocator {
     /// [`last_id`](Self::last_id)) is classified `classification`.
     pub fn exists_goal(&self, classification: &str, fleet: usize) -> Condition {
         let first = Self::BASE + 1;
-        (first + 1..=self.last_id(fleet))
+        let mut layer: Vec<Condition> = (first..=self.last_id(fleet))
             .map(|i| Condition::classified(format!("D{i}"), classification))
-            .fold(
-                Condition::classified(format!("D{first}"), classification),
-                Condition::or,
-            )
+            .collect();
+        // Reduce pairwise into a *balanced* Or tree: a left-nested fold
+        // would be linear in the fleet size, and everything that walks
+        // the condition recursively (drop, serde, goal compilation)
+        // would overflow the stack on 100k-case fleets.  Or is
+        // associative, so the shape is free to choose.
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            let mut rest = layer.into_iter();
+            while let Some(a) = rest.next() {
+                match rest.next() {
+                    Some(b) => next.push(Condition::or(a, b)),
+                    None => next.push(a),
+                }
+            }
+            layer = next;
+        }
+        layer.pop().expect("goal id range is never empty")
     }
 }
 
@@ -251,9 +265,71 @@ pub fn dinner_topology() -> GridTopology {
     }
 }
 
-/// The dinner world: `prep → cook|nuke → plate` over [`dinner_topology`].
-pub fn dinner_world() -> GridWorld {
-    let mut w = GridWorld::new(dinner_topology());
+/// The dinner topology scaled out: `replicas` dedicated containers per
+/// service instead of two, interleaved by service so consecutive
+/// container positions (and hence shard stripes) mix all four services.
+/// This is the fleet-bench shape — enough capacity that the schedule is
+/// compute-bound rather than contention-bound, which is where the
+/// sharded core's parallel prepare phase earns its keep.
+pub fn dinner_topology_scaled(replicas: usize) -> GridTopology {
+    let services = ["prep", "cook", "nuke", "plate"];
+    let mut resources = Vec::new();
+    let mut containers = Vec::new();
+    for replica in 0..replicas.max(1) {
+        for (slot, service) in services.iter().enumerate() {
+            let name = format!("{service}{replica}");
+            resources.push(
+                Resource::new(&name, ResourceKind::PcCluster)
+                    .with_nodes(4 + slot as u32)
+                    .with_software([service.to_string()]),
+            );
+            containers.push(
+                ApplicationContainer::new(format!("ac-{name}"), &name)
+                    .hosting([service.to_string()]),
+            );
+        }
+    }
+    GridTopology {
+        resources,
+        containers,
+    }
+}
+
+/// The dinner workload over [`dinner_topology_scaled`], with the case
+/// goal sized for a fleet of `fleet` concurrent cases (the shared
+/// world's fresh-id counter is fleet-global).
+pub fn dinner_workload_scaled(replicas: usize, fleet: usize) -> Workload {
+    let mut wl = dinner_workload();
+    wl.name = format!("dinner-x{replicas}");
+    wl.case = dinner_case_for_fleet(fleet);
+    wl.world_builder = WorldBuilder::new(move || {
+        let mut w = GridWorld::new(dinner_topology_scaled(replicas));
+        offer_dinner_services(&mut w);
+        // Every fiber ranks candidates identically, so with the default
+        // one slot per container a whole fleet funnels into the same few
+        // top-ranked hosts each tick.  Give each replica a real slot
+        // budget so the schedule is compute-bound (machine rebuilds,
+        // candidate ranking) rather than reservation-bound — the shape
+        // the sharded core's parallel prepare phase is for.
+        for container in w.hosting_containers("prep") {
+            w.set_capacity(&container, 16);
+        }
+        for container in w.hosting_containers("cook") {
+            w.set_capacity(&container, 16);
+        }
+        for container in w.hosting_containers("nuke") {
+            w.set_capacity(&container, 16);
+        }
+        for container in w.hosting_containers("plate") {
+            w.set_capacity(&container, 16);
+        }
+        w
+    });
+    wl
+}
+
+/// Install the four dinner service offerings on a world.
+fn offer_dinner_services(w: &mut GridWorld) {
     w.offer(ServiceOffering::new(
         "prep",
         ["Raw"],
@@ -274,6 +350,12 @@ pub fn dinner_world() -> GridWorld {
         ["Cooked"],
         vec![OutputSpec::plain("Plated")],
     ));
+}
+
+/// The dinner world: `prep → cook|nuke → plate` over [`dinner_topology`].
+pub fn dinner_world() -> GridWorld {
+    let mut w = GridWorld::new(dinner_topology());
+    offer_dinner_services(&mut w);
     w
 }
 

@@ -216,13 +216,38 @@ impl<'g> AtnMachine<'g> {
         }
     }
 
+    /// Capture the machine's mutable state by consuming the machine —
+    /// [`AtnMachine::snapshot`] without the clones.  The hot path for
+    /// drivers that are done stepping the machine and only need its
+    /// state back (the per-tick restore → fire → snapshot cycle).
+    pub fn into_snapshot(self) -> AtnSnapshot {
+        AtnSnapshot {
+            join_arrivals: self.join_arrivals,
+            ready: self.ready,
+            running: self.running,
+            started: self.started,
+            finished: self.finished,
+            executions: self.executions,
+            trace: self.trace,
+        }
+    }
+
     /// Rebuild a machine from a snapshot against the same (validated)
     /// graph.  The caller is responsible for pairing snapshots with the
     /// graph they were taken from; a mismatched graph surfaces as
     /// enactment errors on the next step.
     pub fn restore(graph: &'g ProcessGraph, snapshot: AtnSnapshot) -> Result<Self> {
         graph.validate()?;
-        Ok(AtnMachine {
+        Ok(Self::restore_prevalidated(graph, snapshot))
+    }
+
+    /// [`AtnMachine::restore`] minus the graph validation: pure field
+    /// moves, no allocation.  Only for callers that have already
+    /// validated this exact graph (e.g. a prepare pass that built a
+    /// machine over it earlier in the same step); pairing it with an
+    /// unvalidated graph surfaces as enactment errors on the next step.
+    pub fn restore_prevalidated(graph: &'g ProcessGraph, snapshot: AtnSnapshot) -> Self {
+        AtnMachine {
             graph,
             join_arrivals: snapshot.join_arrivals,
             ready: snapshot.ready,
@@ -231,7 +256,7 @@ impl<'g> AtnMachine<'g> {
             finished: snapshot.finished,
             executions: snapshot.executions,
             trace: snapshot.trace,
-        })
+        }
     }
 
     /// Move a ready activity into the running set.

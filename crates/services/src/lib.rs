@@ -42,9 +42,10 @@ pub mod world;
 
 pub use coordination::{
     CaseFiber, EnactmentCheckpoint, EnactmentConfig, EnactmentReport, Enactor, EnactorBuilder,
-    FiberImage, FiberStatus, PendingImage,
+    FiberImage, FiberStatus, PendingImage, PreparedStep,
 };
 pub use error::{Result, ServiceError};
+pub use matchmaking::{MatchIndex, MatchRequest, RankedMatch, ShardedMatchIndex};
 pub use wake::{ServiceState, WakeCoordinator, WakeOutcome};
 pub use world::{
     ContainerImage, ExecutionRecord, GridWorld, OutputSpec, ServiceOffering, SharedWorld,
