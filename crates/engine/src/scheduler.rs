@@ -8,7 +8,8 @@ use crate::snapshot::{
 use gridflow_process::{ActivityKind, CaseDescription, ProcessGraph};
 use gridflow_services::matchmaking::{matchmake, MatchRequest, ShardedMatchIndex};
 use gridflow_services::{
-    CaseFiber, EnactmentConfig, EnactmentReport, FiberStatus, GridWorld, PreparedStep,
+    CaseFiber, EnactmentConfig, EnactmentReport, FiberStatus, GridWorld, PlanCacheHandle,
+    PreparedStep,
 };
 use gridflow_store::{SnapshotRecord, Store, StoreError, StoreResult};
 use gridflow_telemetry::{ScopedSink, TraceEvent, TraceHandle, TraceLog, TraceSink};
@@ -155,6 +156,20 @@ pub struct EngineConfig {
     /// process death at that boundary would leave.  `None` (the
     /// default) never kills.  Ignored by the scan core.
     pub kill_at: Option<u64>,
+    /// Fleet-shared, content-addressed plan cache.  `None` (the
+    /// default) plans per-case exactly as before.  `Some` installs the
+    /// handle into every fiber's planning service (fresh spawns and
+    /// recovery rebuilds alike), so identical-key (re)plans across the
+    /// fleet run GP once and reuse the byte-identical result.  Replans
+    /// execute in the sequential commit path under every core, so the
+    /// hit/miss pattern — and with it the merged trace — stays
+    /// deterministic at any worker or shard count.
+    ///
+    /// Recovery note: re-execution regenerates the crashed run's
+    /// events, so a store-verified recovery must be given the same (or
+    /// an equally warmed) cache handle the crashed run used — or plan
+    /// cache events in the journal will not reproduce.
+    pub plan_cache: Option<PlanCacheHandle>,
 }
 
 impl Default for EngineConfig {
@@ -168,6 +183,7 @@ impl Default for EngineConfig {
             policy: PolicySpec::Fifo,
             store: None,
             kill_at: None,
+            plan_cache: None,
         }
     }
 }
@@ -716,7 +732,11 @@ impl CaseScheduler {
                 },
                 slot: Slot {
                     index,
-                    fiber: CaseFiber::from_image(fiber_image, trace),
+                    fiber: {
+                        let mut fiber = CaseFiber::from_image(fiber_image, trace);
+                        self.install_plan_cache(&mut fiber);
+                        fiber
+                    },
                     admitted_tick: slot.admitted_tick,
                     blocked_ticks: slot.blocked_ticks,
                 },
@@ -1265,12 +1285,23 @@ impl CaseScheduler {
     /// A fiber whose trace events are scoped `case:<label>/…` in the
     /// merged log (no-op when the scheduler is untraced).
     fn spawn_fiber(&self, spec: &CaseSpec) -> CaseFiber {
-        CaseFiber::new(
+        let mut fiber = CaseFiber::new(
             spec.config.clone(),
             self.scoped_trace(&spec.label),
             &spec.graph,
             spec.case.clone(),
             spec.label.clone(),
-        )
+        );
+        self.install_plan_cache(&mut fiber);
+        fiber
+    }
+
+    /// Hands the engine's shared plan cache (when configured) to a fiber so
+    /// every replan across the fleet goes through the same content-addressed
+    /// store and single-flight latch.
+    fn install_plan_cache(&self, fiber: &mut CaseFiber) {
+        if let Some(cache) = &self.config.plan_cache {
+            fiber.set_plan_cache(cache.clone());
+        }
     }
 }

@@ -17,7 +17,7 @@ use gridflow_engine::{
     CaseHints, CaseOutcome, CaseScheduler, CaseSpec, CoreSpec, EngineConfig, EngineOutcome,
     PolicySpec, StoreBinding,
 };
-use gridflow_services::GridWorld;
+use gridflow_services::{GridWorld, PlanCacheHandle};
 use gridflow_store::{Store, StoreResult};
 use gridflow_telemetry::{TeeSink, TraceEvent, TraceHandle, TraceLog, TraceSink};
 use std::sync::{Arc, Mutex};
@@ -54,6 +54,12 @@ pub struct EngineSpec {
     pub kill_at: Option<u64>,
     /// Delivery substrate for the merged trace stream.
     pub transport: TransportSpec,
+    /// Fleet-shared, content-addressed plan cache with single-flight
+    /// replanning (`None` = every fiber plans independently, the legacy
+    /// behaviour).  A strict performance knob: cache hits return
+    /// byte-identical plans, so only `plan.cache_*` trace events and
+    /// wall time change.
+    pub plan_cache: Option<PlanCacheHandle>,
 }
 
 impl Default for EngineSpec {
@@ -67,6 +73,7 @@ impl Default for EngineSpec {
             store: None,
             kill_at: None,
             transport: TransportSpec::default(),
+            plan_cache: None,
         }
     }
 }
@@ -123,6 +130,12 @@ impl EngineSpec {
     /// Select the delivery substrate.
     pub fn transport(mut self, transport: TransportSpec) -> Self {
         self.transport = transport;
+        self
+    }
+
+    /// Share `cache` across the fleet's replans.
+    pub fn plan_cache(mut self, cache: PlanCacheHandle) -> Self {
+        self.plan_cache = Some(cache);
         self
     }
 }
@@ -212,6 +225,7 @@ impl<'a> MultiCaseScenario<'a> {
         self.store = spec.store;
         self.kill_at = spec.kill_at;
         self.transport = spec.transport;
+        self.config.plan_cache = spec.plan_cache;
         self
     }
 
@@ -298,6 +312,16 @@ impl<'a> MultiCaseScenario<'a> {
     /// tick count, merged trace bytes — is identical either way.
     pub fn transport(mut self, transport: TransportSpec) -> Self {
         self.transport = transport;
+        self
+    }
+
+    /// Route every fiber's replans through a fleet-shared,
+    /// content-addressed plan cache.  A strict performance knob: GP is a
+    /// deterministic function of `(seed, problem)`, so cache hits return
+    /// byte-identical plans and the merged trace differs from an
+    /// uncached run only in its `plan.cache_*` events.
+    pub fn plan_cache(mut self, cache: PlanCacheHandle) -> Self {
+        self.config.plan_cache = Some(cache);
         self
     }
 

@@ -430,6 +430,67 @@ pub fn dinner_replan_workload(gp_seed: u64) -> Workload {
     w
 }
 
+/// The replanning workload over [`dinner_topology_scaled`]: the scaled
+/// dinner with the same escalate-to-GP configuration as
+/// [`dinner_replan_workload`], sized for a fleet of `fleet` concurrent
+/// cases.  The planning goal is fleet-independent (`Plated`, count 1),
+/// so every case's replan of the same failure shares one [`PlanKey`]
+/// regardless of fleet size.
+///
+/// [`PlanKey`]: gridflow_planner::PlanKey
+pub fn dinner_replan_workload_scaled(replicas: usize, fleet: usize, gp_seed: u64) -> Workload {
+    let mut w = dinner_workload_scaled(replicas, fleet);
+    w.name = format!("dinner+replan-x{replicas}");
+    // GP winners are valid but not always minimal — a replanned case
+    // can execute (and consume fresh ids for) more than the baseline
+    // three activities, so the goal's id range is sized for double the
+    // fleet's nominal consumption.
+    w.case = dinner_case_for_fleet(fleet * 2);
+    w.config = EnactmentConfig {
+        replan: true,
+        planning_goals: vec![GoalSpec {
+            classification: "Plated".into(),
+            min_count: 1,
+        }],
+        gp: GpConfig {
+            population_size: 80,
+            generations: 25,
+            seed: gp_seed,
+            ..GpConfig::default()
+        },
+        checkpoint_every: Some(1),
+        ..EnactmentConfig::default()
+    };
+    w
+}
+
+/// [`cook_loss_churn_plan`] for [`dinner_topology_scaled`]: every
+/// `cook` replica (`ac-cook0` … `ac-cook{replicas-1}`) dies together
+/// after the fleet's first activity execution.
+pub fn cook_loss_churn_plan_scaled(replicas: usize, seed: u64) -> FaultPlan {
+    (0..replicas.max(1)).fold(FaultPlan::seeded(seed), |p, i| {
+        p.losing_node(format!("ac-cook{i}"), 1)
+    })
+}
+
+/// The replan-under-churn fault plan: both `cook` hosts (`ac-h2`,
+/// `ac-h3`) die together after the fleet's first activity execution —
+/// every in-flight case has finished `prep` (or is about to) and must
+/// escalate to the GP planner to reroute `cook` → `nuke`.
+///
+/// The loss fires after execution 1, not 0, so cases are admitted while
+/// a cook host is still alive (a loss at admission would reject the
+/// case outright as having no live candidate container).  Combined
+/// with [`dinner_replan_workload`] and `max_in_flight >= fleet`, every
+/// case replans the *same* content-addressed problem — goal `Plated`,
+/// produced `["Prepped"]`, excluded `["cook"]` — which is the
+/// worst-case stampede a fleet-shared plan cache exists to absorb.
+pub fn cook_loss_churn_plan(seed: u64) -> FaultPlan {
+    FaultPlan::seeded(seed)
+        .losing_node("ac-h2", 1)
+        .losing_node("ac-h3", 1)
+}
+
 /// The recovery workload: the baseline dinner under the standard
 /// escalation ladder (retries with backoff, 60-tick leases, circuit
 /// breakers) — the configuration the `recovery_failover` acceptance

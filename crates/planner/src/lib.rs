@@ -40,6 +40,7 @@
 
 pub mod fitness;
 pub mod genetic;
+pub mod key;
 pub mod problem;
 pub mod replan;
 pub mod simulate;
@@ -49,6 +50,7 @@ pub mod state;
 pub mod prelude {
     pub use crate::fitness::{Fitness, FitnessWeights};
     pub use crate::genetic::{GenerationStats, GpConfig, GpPlanner, GpResult};
+    pub use crate::key::{plan_tree_hash, PlanKey, StableHasher};
     pub use crate::problem::{ActivitySpec, GoalSpec, PlanningProblem};
     pub use crate::replan::{replan, ReplanRequest};
     pub use crate::simulate::{simulate, SimOutcome};
@@ -57,5 +59,6 @@ pub mod prelude {
 
 pub use fitness::{evaluate, Fitness, FitnessWeights};
 pub use genetic::{GpConfig, GpPlanner, GpResult};
+pub use key::{plan_tree_hash, PlanKey, StableHasher};
 pub use problem::{ActivitySpec, GoalSpec, PlanningProblem};
 pub use state::PlanningState;

@@ -93,18 +93,39 @@ proptest! {
         prop_assert_eq!(f1, f2);
     }
 
-    /// A GP run is reproducible from its seed.
+    /// A GP run is reproducible from its seed, and invariant to thread
+    /// count and fitness memoization: the same `(seed, problem)` yields
+    /// an identical `GpResult` across `threads ∈ {1, 2, 8}` with the
+    /// memo on and off.  (Population 64 ≥ the engine's parallel-eval
+    /// threshold, so the multi-threaded path genuinely runs.)
     #[test]
     fn gp_run_reproducible(seed in any::<u64>()) {
         let cfg = GpConfig {
-            population_size: 20,
+            population_size: 64,
             generations: 4,
             seed,
             ..GpConfig::default()
         };
-        let r1 = GpPlanner::new(cfg, sample_problem()).run();
-        let r2 = GpPlanner::new(cfg, sample_problem()).run();
-        prop_assert_eq!(r1.best, r2.best);
-        prop_assert_eq!(r1.history, r2.history);
+        let reference = GpPlanner::new(cfg, sample_problem()).run();
+        let rerun = GpPlanner::new(cfg, sample_problem()).run();
+        prop_assert_eq!(&reference, &rerun);
+        for threads in [1usize, 2, 8] {
+            for memoize_fitness in [true, false] {
+                let variant = GpConfig { threads, memoize_fitness, ..cfg };
+                let r = GpPlanner::new(variant, sample_problem()).run();
+                prop_assert_eq!(&reference.best, &r.best);
+                prop_assert_eq!(&reference.best_fitness, &r.best_fitness);
+                prop_assert_eq!(&reference.best_ever, &r.best_ever);
+                prop_assert_eq!(&reference.history, &r.history);
+                prop_assert_eq!(reference.evaluations, r.evaluations);
+                if memoize_fitness {
+                    // Memo hits are themselves deterministic: the tree
+                    // sequence is fixed by the seed, not the thread count.
+                    prop_assert_eq!(reference.memo_hits, r.memo_hits);
+                } else {
+                    prop_assert_eq!(r.memo_hits, 0);
+                }
+            }
+        }
     }
 }

@@ -827,6 +827,16 @@ impl CaseFiber {
         &self.label
     }
 
+    /// Route this fiber's replans through a fleet-shared plan cache.
+    ///
+    /// A strict performance knob: GP planning is a deterministic function
+    /// of `(seed, problem)`, so a cache hit returns the byte-identical
+    /// plan the fiber would have computed itself — only the wall time
+    /// (and the `plan.cache_*` trace events) change.
+    pub fn set_plan_cache(&mut self, cache: crate::plan_cache::PlanCacheHandle) {
+        self.planning.set_plan_cache(cache);
+    }
+
     /// Has the enactment reached a terminal state?
     pub fn is_done(&self) -> bool {
         self.done

@@ -32,6 +32,7 @@ pub mod information;
 pub mod matchmaking;
 pub mod monitoring;
 pub mod ontology_service;
+pub mod plan_cache;
 pub mod planning;
 pub mod scheduling;
 pub mod simulation;
@@ -46,6 +47,10 @@ pub use coordination::{
 };
 pub use error::{Result, ServiceError};
 pub use matchmaking::{MatchIndex, MatchRequest, RankedMatch, ShardedMatchIndex};
+pub use plan_cache::{
+    InProcPlanCache, PlanCache, PlanCacheHandle, PlanCacheStats, PlanFetchOutcome,
+};
+pub use planning::{PlanRequest, PlanResponse, PlanningService};
 pub use wake::{ServiceState, WakeCoordinator, WakeOutcome};
 pub use world::{
     ContainerImage, ExecutionRecord, GridWorld, OutputSpec, ServiceOffering, SharedWorld,

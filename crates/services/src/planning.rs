@@ -9,6 +9,7 @@
 //! observed to be non-executable.
 
 use crate::error::{Result, ServiceError};
+use crate::plan_cache::{PlanCacheHandle, PlanFetchOutcome};
 use crate::world::GridWorld;
 use gridflow_plan::{canonicalize, tree_to_graph, PlanNode};
 use gridflow_planner::prelude::*;
@@ -56,6 +57,8 @@ pub struct PlanningService {
     pub config: GpConfig,
     /// Optional trace sink: per-generation GP statistics as events.
     trace: TraceHandle,
+    /// Optional fleet-shared plan cache with single-flight coalescing.
+    cache: Option<PlanCacheHandle>,
 }
 
 impl PlanningService {
@@ -64,6 +67,7 @@ impl PlanningService {
         PlanningService {
             config,
             trace: TraceHandle::none(),
+            cache: None,
         }
     }
 
@@ -79,8 +83,33 @@ impl PlanningService {
         self
     }
 
+    /// Serve same-key requests from this fleet-shared cache instead of
+    /// re-running GP (builder form).
+    pub fn with_plan_cache(mut self, cache: PlanCacheHandle) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Install a fleet-shared plan cache after construction.
+    pub fn set_plan_cache(&mut self, cache: PlanCacheHandle) {
+        self.cache = Some(cache);
+    }
+
+    /// The installed plan cache, if any.
+    pub fn plan_cache(&self) -> Option<&PlanCacheHandle> {
+        self.cache.as_ref()
+    }
+
     /// Handle one (re-)planning request against the world's service
     /// catalog.
+    ///
+    /// With a plan cache installed, the request's [`PlanKey`] is
+    /// resolved against it first: hits and coalesced requests reuse the
+    /// byte-identical cached plan (replaying its `plan.generation`
+    /// history so traced runs stay conformant) and announce themselves
+    /// with a `plan.cache_hit` / `plan.coalesced` event; misses emit
+    /// `plan.cache_miss` and run GP exactly once per key fleet-wide.
+    /// Without a cache the behavior (and trace) is unchanged.
     pub fn plan(&self, world: &GridWorld, request: &PlanRequest) -> Result<PlanResponse> {
         let mut initial = request.initial.clone();
         initial.extend(request.produced.iter().cloned());
@@ -92,6 +121,36 @@ impl PlanningService {
                 "no activities remain after exclusions".into(),
             ));
         }
+        let Some(cache) = &self.cache else {
+            return self.run_gp(problem);
+        };
+        let key = PlanKey::compute(&self.config, &problem, &request.excluded);
+        let outcome = cache.fetch_or_plan(key, || {
+            // The miss announcement precedes the GP run so the
+            // generation events that follow read as its body.
+            self.trace
+                .emit("planner", TraceEvent::PlanCacheMiss { key: key.hex() });
+            self.run_gp(problem).map(Arc::new)
+        });
+        match outcome {
+            PlanFetchOutcome::Hit(response) => {
+                self.trace
+                    .emit("planner", TraceEvent::PlanCacheHit { key: key.hex() });
+                self.replay_history(&response);
+                Ok((*response).clone())
+            }
+            PlanFetchOutcome::Ran(result) => result.map(|r| (*r).clone()),
+            PlanFetchOutcome::Coalesced(result) => result.map(|response| {
+                self.trace
+                    .emit("planner", TraceEvent::PlanCoalesced { key: key.hex() });
+                self.replay_history(&response);
+                (*response).clone()
+            }),
+        }
+    }
+
+    /// Run GP on the (post-exclusion) problem and package the winner.
+    fn run_gp(&self, problem: PlanningProblem) -> Result<PlanResponse> {
         let result = GpPlanner::new(self.config, problem).run();
         if self.trace.is_installed() {
             for g in &result.history {
@@ -124,6 +183,25 @@ impl PlanningService {
             viable,
             history: result.history,
         })
+    }
+
+    /// Re-emit a cached run's per-generation statistics, so a trace
+    /// with a warm cache carries the same `plan.generation` events a
+    /// cold run would have produced.
+    fn replay_history(&self, response: &PlanResponse) {
+        if self.trace.is_installed() {
+            for g in &response.history {
+                self.trace.emit(
+                    "planner",
+                    TraceEvent::PlanGeneration {
+                        generation: g.generation,
+                        best_overall: g.best.overall,
+                        mean_overall: g.mean_overall,
+                        mean_size: g.mean_size,
+                    },
+                );
+            }
+        }
     }
 }
 
@@ -217,6 +295,59 @@ mod tests {
             planner().plan(&world(), &req),
             Err(ServiceError::NoViablePlan(_))
         ));
+    }
+
+    #[test]
+    fn cache_hit_returns_byte_identical_plan() {
+        use crate::plan_cache::PlanCacheHandle;
+        let cache = PlanCacheHandle::in_proc();
+        let service = planner().with_plan_cache(cache.clone());
+        let cold = service.plan(&world(), &request()).unwrap();
+        assert_eq!(cache.len(), 1);
+        let warm = service.plan(&world(), &request()).unwrap();
+        assert_eq!(cold, warm, "cache hits must be byte-identical");
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.hits), (1, 1));
+        // A semantically different request keys separately.
+        let mut other = request();
+        other.excluded = vec!["cook".into()];
+        let _ = service.plan(&world(), &other).unwrap();
+        assert_eq!(cache.len(), 2);
+        // And an uncached service is oblivious to all of it.
+        let uncached = planner().plan(&world(), &request()).unwrap();
+        assert_eq!(uncached, cold);
+    }
+
+    #[test]
+    fn cached_runs_replay_identical_trace_events() {
+        use crate::plan_cache::PlanCacheHandle;
+        use gridflow_telemetry::TraceLog;
+        use std::sync::Arc;
+
+        let record = |service: &PlanningService| -> Vec<gridflow_telemetry::TraceRecord> {
+            let log = Arc::new(TraceLog::new());
+            let traced = service.clone().with_trace(log.clone());
+            traced.plan(&world(), &request()).unwrap();
+            log.records()
+        };
+
+        let uncached = record(&planner());
+        let cache = PlanCacheHandle::in_proc();
+        let cached = planner().with_plan_cache(cache.clone());
+        let cold = record(&cached);
+        let warm = record(&cached);
+
+        // Cold = one miss announcement + the verbatim uncached events;
+        // warm = one hit announcement + the replayed history.
+        assert_eq!(cold.len(), uncached.len() + 1);
+        assert_eq!(warm.len(), uncached.len() + 1);
+        assert_eq!(cold[0].event.label(), "plan.cache_miss");
+        assert_eq!(warm[0].event.label(), "plan.cache_hit");
+        assert_eq!(cold[0].event.plan_key(), warm[0].event.plan_key());
+        for (i, u) in uncached.iter().enumerate() {
+            assert_eq!(cold[i + 1].event, u.event);
+            assert_eq!(warm[i + 1].event, u.event);
+        }
     }
 
     #[test]

@@ -382,6 +382,25 @@ pub enum TraceEvent {
         /// Mean plan-tree size of the population.
         mean_size: f64,
     },
+    /// A planning request was served from the shared plan cache: the GP
+    /// run was skipped and the cached (byte-identical) plan reused.
+    PlanCacheHit {
+        /// Content-addressed plan key (32 lowercase hex digits).
+        key: String,
+    },
+    /// A planning request missed the shared plan cache; a fresh GP run
+    /// follows and its result will populate the cache.
+    PlanCacheMiss {
+        /// Content-addressed plan key (32 lowercase hex digits).
+        key: String,
+    },
+    /// A planning request found a same-key GP run already in flight and
+    /// coalesced onto it (single-flight), reusing its result instead of
+    /// starting another run.
+    PlanCoalesced {
+        /// Content-addressed plan key (32 lowercase hex digits).
+        key: String,
+    },
     /// An enactment ended.
     EnactmentFinished {
         /// Did the workflow reach End with all case goals met?
@@ -565,6 +584,17 @@ impl TraceEvent {
         }
     }
 
+    /// The content-addressed plan key carried by the `plan.cache_hit` /
+    /// `plan.cache_miss` / `plan.coalesced` events, if any.
+    pub fn plan_key(&self) -> Option<&str> {
+        match self {
+            TraceEvent::PlanCacheHit { key }
+            | TraceEvent::PlanCacheMiss { key }
+            | TraceEvent::PlanCoalesced { key } => Some(key),
+            _ => None,
+        }
+    }
+
     /// A short stable label for the event kind (used as a metrics key
     /// component and in compact renderings).
     pub fn label(&self) -> &'static str {
@@ -593,6 +623,9 @@ impl TraceEvent {
             TraceEvent::ReplanTriggered { .. } => "replan.triggered",
             TraceEvent::ReplanInstalled { .. } => "replan.installed",
             TraceEvent::PlanGeneration { .. } => "plan.generation",
+            TraceEvent::PlanCacheHit { .. } => "plan.cache_hit",
+            TraceEvent::PlanCacheMiss { .. } => "plan.cache_miss",
+            TraceEvent::PlanCoalesced { .. } => "plan.coalesced",
             TraceEvent::EnactmentFinished { .. } => "enactment.finished",
             TraceEvent::PhaseStarted { .. } => "phase.started",
             TraceEvent::NodeLost { .. } => "fault.node_lost",
@@ -672,6 +705,32 @@ mod tests {
         assert_eq!(b.label(), "activity.completed");
         assert!(a.is_fault());
         assert!(!b.is_fault());
+    }
+
+    #[test]
+    fn plan_cache_events_have_labels_and_key_accessor() {
+        let key = "00000000000000000000000000000abc".to_string();
+        let hit = TraceEvent::PlanCacheHit { key: key.clone() };
+        let miss = TraceEvent::PlanCacheMiss { key: key.clone() };
+        let coalesced = TraceEvent::PlanCoalesced { key: key.clone() };
+        assert_eq!(hit.label(), "plan.cache_hit");
+        assert_eq!(miss.label(), "plan.cache_miss");
+        assert_eq!(coalesced.label(), "plan.coalesced");
+        for e in [&hit, &miss, &coalesced] {
+            assert_eq!(e.plan_key(), Some(key.as_str()));
+            assert!(!e.is_fault());
+            assert_eq!(e.activity(), None);
+        }
+        assert_eq!(
+            TraceEvent::PlanGeneration {
+                generation: 0,
+                best_overall: 1.0,
+                mean_overall: 0.5,
+                mean_size: 3.0,
+            }
+            .plan_key(),
+            None
+        );
     }
 
     #[test]

@@ -129,6 +129,14 @@ pub enum TraceViolation {
         /// Sequence number of the over-booking reservation.
         seq: u64,
     },
+    /// A content-addressed plan key ran GP more than once — the plan
+    /// cache (or single-flight coalescing) failed to share the work.
+    DuplicatePlanRun {
+        /// The offending plan key (32 hex digits).
+        key: String,
+        /// Sequence numbers of every `plan.cache_miss` for that key.
+        miss_seqs: Vec<u64>,
+    },
 }
 
 impl std::fmt::Display for TraceViolation {
@@ -219,6 +227,12 @@ impl std::fmt::Display for TraceViolation {
                 "container '{container}' ({capacity} slot(s)) held by [{}] at seq {seq} \
                  — double booking",
                 holders.join(", ")
+            ),
+            TraceViolation::DuplicatePlanRun { key, miss_seqs } => write!(
+                f,
+                "plan key {key} ran GP {} times (plan.cache_miss at seqs {miss_seqs:?}) \
+                 — at most one run per key expected",
+                miss_seqs.len()
             ),
         }
     }
@@ -659,6 +673,56 @@ impl TraceQuery {
         Ok(())
     }
 
+    /// Number of `plan.cache_hit` events — planning requests served
+    /// from the shared plan cache without a GP run.
+    pub fn plan_cache_hits(&self) -> usize {
+        self.count(|e| matches!(e, TraceEvent::PlanCacheHit { .. }))
+    }
+
+    /// Number of `plan.coalesced` events — planning requests that
+    /// joined a same-key GP run already in flight.
+    pub fn plan_coalesced(&self) -> usize {
+        self.count(|e| matches!(e, TraceEvent::PlanCoalesced { .. }))
+    }
+
+    /// Number of actual GP runs observed.
+    ///
+    /// With a plan cache installed, every real run announces itself with
+    /// a `plan.cache_miss`, so runs are counted by misses (a fully warm
+    /// trace with hits only correctly counts zero).  Without any cache
+    /// events, a run is identified by its generation-0 `plan.generation`
+    /// event instead — sound there because only real runs emit
+    /// generation history when no cache is in play.
+    pub fn plan_runs(&self) -> usize {
+        let has_cache_events = self.records.iter().any(|r| r.event.plan_key().is_some());
+        if has_cache_events {
+            self.count(|e| matches!(e, TraceEvent::PlanCacheMiss { .. }))
+        } else {
+            self.count(|e| matches!(e, TraceEvent::PlanGeneration { generation: 0, .. }))
+        }
+    }
+
+    /// Check: no content-addressed plan key ran GP more than once (each
+    /// key may miss the cache at most once; all later same-key requests
+    /// must hit or coalesce).
+    pub fn check_plans_at_most_once_per_key(&self) -> Result<(), TraceViolation> {
+        let mut miss_seqs: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+        for r in &self.records {
+            if let TraceEvent::PlanCacheMiss { key } = &r.event {
+                miss_seqs.entry(key).or_default().push(r.seq);
+            }
+        }
+        for (key, seqs) in miss_seqs {
+            if seqs.len() > 1 {
+                return Err(TraceViolation::DuplicatePlanRun {
+                    key: key.to_string(),
+                    miss_seqs: seqs,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Check: at no point in the trace do more cases hold a reservation
     /// on a container than the container has slots.  `capacities` maps
     /// container names to their slot counts; containers not listed
@@ -769,6 +833,13 @@ impl TraceQuery {
     /// Panic if [`TraceQuery::check_admission_deadlines`] fails.
     pub fn assert_admission_deadlines(&self, deadlines: &BTreeMap<String, u64>) {
         if let Err(v) = self.check_admission_deadlines(deadlines) {
+            panic!("trace violation: {v}");
+        }
+    }
+
+    /// Panic if [`TraceQuery::check_plans_at_most_once_per_key`] fails.
+    pub fn assert_plans_at_most_once_per_key(&self) {
+        if let Err(v) = self.check_plans_at_most_once_per_key() {
             panic!("trace violation: {v}");
         }
     }
@@ -1239,5 +1310,62 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    fn generation0() -> TraceEvent {
+        TraceEvent::PlanGeneration {
+            generation: 0,
+            best_overall: 1.0,
+            mean_overall: 0.5,
+            mean_size: 3.0,
+        }
+    }
+
+    #[test]
+    fn plan_cache_counters_and_run_counting() {
+        // With cache events: runs are counted by misses, even when
+        // replayed generation-0 events accompany every hit.
+        let q = TraceQuery::new(vec![
+            rec(0, TraceEvent::PlanCacheMiss { key: "k1".into() }),
+            rec(1, generation0()),
+            rec(2, TraceEvent::PlanCacheHit { key: "k1".into() }),
+            rec(3, generation0()),
+            rec(4, TraceEvent::PlanCoalesced { key: "k1".into() }),
+            rec(5, generation0()),
+        ]);
+        assert_eq!(q.plan_cache_hits(), 1);
+        assert_eq!(q.plan_coalesced(), 1);
+        assert_eq!(q.plan_runs(), 1);
+        q.assert_plans_at_most_once_per_key();
+
+        // Fully warm trace: hits only, zero actual runs.
+        let warm = TraceQuery::new(vec![
+            rec(0, TraceEvent::PlanCacheHit { key: "k1".into() }),
+            rec(1, generation0()),
+        ]);
+        assert_eq!(warm.plan_runs(), 0);
+
+        // No cache events: fall back to generation-0 counting.
+        let uncached = TraceQuery::new(vec![rec(0, generation0()), rec(1, generation0())]);
+        assert_eq!(uncached.plan_runs(), 2);
+        assert_eq!(uncached.plan_cache_hits(), 0);
+        uncached.assert_plans_at_most_once_per_key();
+    }
+
+    #[test]
+    fn duplicate_plan_runs_are_flagged_per_key() {
+        let q = TraceQuery::new(vec![
+            rec(0, TraceEvent::PlanCacheMiss { key: "k1".into() }),
+            rec(1, TraceEvent::PlanCacheMiss { key: "k2".into() }),
+            rec(2, TraceEvent::PlanCacheMiss { key: "k1".into() }),
+        ]);
+        assert_eq!(q.plan_runs(), 3);
+        match q.check_plans_at_most_once_per_key() {
+            Err(TraceViolation::DuplicatePlanRun { key, miss_seqs }) => {
+                assert_eq!(key, "k1");
+                assert_eq!(miss_seqs, vec![0, 2]);
+            }
+            other => panic!("expected DuplicatePlanRun, got {other:?}"),
+        }
     }
 }
